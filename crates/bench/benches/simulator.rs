@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the cycle-level simulator itself: how fast
+//! the host can simulate a collection cycle per preset and core count.
+//! (Simulated-cycle results live in the `fig5_*`/`table*` binaries; this
+//! file measures the *simulator's* throughput, which gates how large an
+//! experiment is practical.)
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwgc_core::{GcConfig, SimCollector};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_collection");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for preset in [Preset::Jlisp, Preset::Javacc, Preset::Db] {
+        for cores in [1usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(preset.name(), cores),
+                &cores,
+                |b, &cores| {
+                    let spec = WorkloadSpec::new(preset, 42);
+                    b.iter_batched(
+                        || spec.build(),
+                        |mut heap| SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn seq_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_cheney");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for preset in [Preset::Jlisp, Preset::Db] {
+        group.bench_function(preset.name(), |b| {
+            let spec = WorkloadSpec::new(preset, 42);
+            b.iter_batched(
+                || spec.build(),
+                |mut heap| hwgc_core::SeqCheney::new().collect(&mut heap),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, seq_reference);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the real-thread software collectors (ablation
+//! B's timing source): wall-clock per collection, per collector, at 1 and
+//! 2 threads (bump the counts on a many-core host).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn collectors(c: &mut Criterion) {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= host.max(2)).collect();
+    let spec = WorkloadSpec::new(Preset::Javacc, 42);
+    let mut group = c.benchmark_group("sw_collect_javacc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let list: Vec<(&str, Box<dyn SwCollector>)> = vec![
+        ("fine-grained", Box::new(FineGrained::new())),
+        ("work-stealing", Box::new(WorkStealing::new())),
+        ("chunked", Box::new(Chunked::new())),
+        ("work-packets", Box::new(Packets::new())),
+    ];
+    for (name, collector) in &list {
+        for &t in &thread_counts {
+            group.bench_with_input(BenchmarkId::new(*name, t), &t, |b, &t| {
+                b.iter_batched(
+                    || spec.build(),
+                    |mut heap| collector.collect(&mut heap, t),
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, collectors);
+criterion_main!(benches);

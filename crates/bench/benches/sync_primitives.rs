@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks of the synchronization primitives: the
+//! software costs the paper's coprocessor eliminates (uncontended lock
+//! acquisition, header CAS), plus the hardware-model SB operations (which
+//! are plain function calls — the simulator's claim of "zero cycles" is a
+//! *model* property, but these numbers show the host-side cost).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwgc_sync::sw::TicketLock;
+use hwgc_sync::SyncBlock;
+use std::hint::black_box;
+
+fn software_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sw_sync");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("ticket_lock_uncontended", |b| {
+        let lock = TicketLock::new();
+        b.iter(|| {
+            drop(black_box(lock.lock()));
+        });
+    });
+    group.bench_function("header_cas_uncontended", |b| {
+        let word = std::sync::atomic::AtomicU32::new(0);
+        b.iter(|| {
+            let _ = black_box(word.compare_exchange(
+                0,
+                1,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            ));
+            word.store(0, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+    group.finish();
+}
+
+fn sb_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sb_model");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("scan_lock_roundtrip", |b| {
+        let mut sb = SyncBlock::new(16);
+        b.iter(|| {
+            assert!(sb.try_acquire_scan(3));
+            sb.release_scan(3);
+        });
+    });
+    group.bench_function("header_lock_roundtrip", |b| {
+        let mut sb = SyncBlock::new(16);
+        b.iter(|| {
+            assert!(sb.try_lock_header(3, black_box(0xABC)));
+            sb.unlock_header(3);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, software_primitives, sb_model);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation A (paper Section V-D): the header FIFO.
+//!
+//! Sweeps the FIFO capacity from 0 (optimization disabled — every gray
+//! header goes through memory) past the cup preset's gray-frontier width,
+//! at 16 cores. The paper's claim: as long as the gray population fits the
+//! FIFO, scan-side header reads cost no memory access; once it overflows,
+//! the memory reads prolong the scan-lock critical section (cup's
+//! pathology in Table II).
+
+use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_core::{GcConfig, StallReason};
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Ablation A: header FIFO capacity sweep (16 cores)\n");
+    let widths = [10, 9, 10, 11, 11, 11, 10];
+    let header: Vec<String> =
+        ["app", "fifo", "total", "scan-lock", "hdr-load", "fifo-hit%", "overflow"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in [Preset::Cup, Preset::Db, Preset::Javac] {
+        for capacity in [0usize, 256, 1024, 4096, 16384, 65536] {
+            let cfg = GcConfig {
+                n_cores: 16,
+                mem: MemConfig { header_fifo_capacity: capacity, ..MemConfig::default() },
+                ..GcConfig::default()
+            };
+            let out = run_verified(&spec(preset), cfg);
+            let s = &out.stats;
+            let hits = s.fifo.hits as f64;
+            let reads = (s.fifo.hits + s.fifo.misses).max(1) as f64;
+            let cells = vec![
+                preset.name().to_string(),
+                capacity.to_string(),
+                s.total_cycles.to_string(),
+                format!("{:.2} %", s.stall_fraction(StallReason::ScanLock) * 100.0),
+                format!("{:.2} %", s.stall_fraction(StallReason::HeaderLoad) * 100.0),
+                format!("{:.1} %", 100.0 * hits / reads),
+                s.fifo.overflows.to_string(),
+            ];
+            println!("{}", row(&cells, &widths));
+            csv.push(format!(
+                "{},{},{},{:.6},{:.6},{:.6},{}",
+                preset.name(),
+                capacity,
+                s.total_cycles,
+                s.stall_fraction(StallReason::ScanLock),
+                s.stall_fraction(StallReason::HeaderLoad),
+                hits / reads,
+                s.fifo.overflows
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "ablation_fifo",
+        "app,fifo_capacity,total,scan_lock_frac,header_load_frac,fifo_hit_rate,overflows",
+        &csv,
+    );
+}

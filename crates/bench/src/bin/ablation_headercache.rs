@@ -1,0 +1,72 @@
+//! Extension 2 (paper conclusions, item 2): a header cache.
+//!
+//! "(2) to make better use of the available memory bandwidth, e.g. by
+//! header caches in conjunction with an optimized header FIFO."
+//!
+//! A shared, direct-mapped, write-through header cache at the memory
+//! interface serves repeated header loads on-chip. javac — whose hot hub
+//! headers are re-read by every parent — benefits most; db's headers are
+//! read once each and mostly miss.
+
+use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_core::{GcConfig, StallReason};
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Extension 2: shared header cache (16 cores)\n");
+    let widths = [10, 9, 10, 11, 11, 10];
+    let header: Vec<String> =
+        ["app", "entries", "total", "hdr-load", "hit rate", "speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in [Preset::Javac, Preset::Db, Preset::Jlisp] {
+        let mut base = 0u64;
+        for entries in [0usize, 64, 256, 4096] {
+            let cfg = GcConfig {
+                n_cores: 16,
+                mem: MemConfig { header_cache_entries: entries, ..MemConfig::default() },
+                ..GcConfig::default()
+            };
+            let out = run_verified(&spec(preset), cfg);
+            let s = &out.stats;
+            if entries == 0 {
+                base = s.total_cycles;
+            }
+            let lookups = s.mem.header_cache_hits + s.mem.header_cache_misses;
+            let hit_rate = if lookups == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1} %", 100.0 * s.mem.header_cache_hits as f64 / lookups as f64)
+            };
+            let cells = vec![
+                preset.name().to_string(),
+                entries.to_string(),
+                s.total_cycles.to_string(),
+                format!("{:.2} %", s.stall_fraction(StallReason::HeaderLoad) * 100.0),
+                hit_rate,
+                format!("{:.2}x", base as f64 / s.total_cycles as f64),
+            ];
+            println!("{}", row(&cells, &widths));
+            csv.push(format!(
+                "{},{},{},{:.6},{},{}",
+                preset.name(),
+                entries,
+                s.total_cycles,
+                s.stall_fraction(StallReason::HeaderLoad),
+                s.mem.header_cache_hits,
+                s.mem.header_cache_misses
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "ablation_headercache",
+        "app,entries,total,header_load_frac,cache_hits,cache_misses",
+        &csv,
+    );
+}

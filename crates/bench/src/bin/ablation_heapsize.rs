@@ -1,0 +1,80 @@
+//! Paper Section VI-B, first paragraph: "In our experiments, the heap
+//! size had little to no influence on the measurement results regarding
+//! synchronization overhead and scalability. Therefore, we dimensioned
+//! the heap according to a rule of thumb and chose twice the minimal heap
+//! size."
+//!
+//! A copying collector's work depends on the *live* data, not the heap:
+//! sweeping the semispace size (with the live graph fixed) must leave
+//! cycle counts and stall fractions essentially unchanged. This binary
+//! checks that claim in the model.
+
+use hwgc_bench::{row, write_csv};
+use hwgc_core::{GcConfig, SimCollector, StallReason};
+use hwgc_heap::{verify_collection, Snapshot};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn main() {
+    println!("Heap-size sensitivity (16 cores; live graph fixed, semispace swept)\n");
+    let widths = [10, 12, 10, 10, 11, 9];
+    let header: Vec<String> =
+        ["app", "semispace", "occupancy", "cycles", "scan-lock", "speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in [Preset::Db, Preset::Cup, Preset::Javac] {
+        let spec = WorkloadSpec::new(preset, 42);
+        let min_semi = spec.semi_words();
+        let mut base = 0u64;
+        for factor in [1u32, 2, 4, 8] {
+            // Rebuild the identical graph inside a larger arena: the heap
+            // constructor only changes where tospace lives.
+            let mut heap = {
+                let tight = spec.build();
+                let mut big = hwgc_heap::Heap::new(min_semi * factor);
+                // Replay the words of the tight build into the big arena.
+                for a in hwgc_heap::RESERVED_WORDS..tight.alloc_ptr() {
+                    big.set_word(a, tight.word(a));
+                }
+                big.set_alloc_ptr(tight.alloc_ptr());
+                for &r in tight.roots() {
+                    big.add_root(r);
+                }
+                big
+            };
+            let snapshot = Snapshot::capture(&heap);
+            let out = SimCollector::new(GcConfig::with_cores(16)).collect(&mut heap);
+            verify_collection(&heap, out.free, &snapshot).expect("correct collection");
+            if factor == 1 {
+                base = out.stats.total_cycles;
+            }
+            let occupancy = 100.0 * snapshot.live_words as f64 / (min_semi * factor) as f64;
+            let cells = vec![
+                preset.name().to_string(),
+                format!("{}x min", factor),
+                format!("{occupancy:.0} %"),
+                out.stats.total_cycles.to_string(),
+                format!("{:.2} %", out.stats.stall_fraction(StallReason::ScanLock) * 100.0),
+                format!("{:.3}", base as f64 / out.stats.total_cycles as f64),
+            ];
+            println!("{}", row(&cells, &widths));
+            csv.push(format!(
+                "{},{},{:.4},{},{:.6}",
+                preset.name(),
+                factor,
+                occupancy,
+                out.stats.total_cycles,
+                out.stats.stall_fraction(StallReason::ScanLock)
+            ));
+        }
+        println!();
+    }
+    println!(
+        "reading: cycle counts and stall profiles are flat across heap sizes — copying\n\
+         collection cost depends on live data only, as the paper observes."
+    );
+    write_csv("ablation_heapsize", "app,semi_factor,occupancy,cycles,scan_lock_frac", &csv);
+}

@@ -1,0 +1,58 @@
+//! Ablation C (paper Section VI-B): "We hope to improve our implementation
+//! by reading the mark bit without prior acquisition of the header lock
+//! and by attempting a locking read only if the mark bit is cleared."
+//!
+//! For javac — whose popular hub objects are referenced by many parents —
+//! most child-header reads find the mark bit already set, so the unlocked
+//! probe eliminates almost all header-lock contention.
+
+use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_core::{GcConfig, StallReason};
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Ablation C: test-before-lock header probing (16 cores)\n");
+    let widths = [10, 14, 9, 13, 13, 10];
+    let header: Vec<String> =
+        ["app", "variant", "total", "header-lock", "hdr-load", "speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in [Preset::Javac, Preset::Db, Preset::Cup] {
+        let mut baseline_total = 0;
+        for (name, tbl) in [("lock-first", false), ("test-first", true)] {
+            let cfg = GcConfig { n_cores: 16, test_before_lock: tbl, ..GcConfig::default() };
+            let out = run_verified(&spec(preset), cfg);
+            let s = &out.stats;
+            if !tbl {
+                baseline_total = s.total_cycles;
+            }
+            let cells = vec![
+                preset.name().to_string(),
+                name.to_string(),
+                s.total_cycles.to_string(),
+                format!("{:.2} %", s.stall_fraction(StallReason::HeaderLock) * 100.0),
+                format!("{:.2} %", s.stall_fraction(StallReason::HeaderLoad) * 100.0),
+                format!("{:.2}x", baseline_total as f64 / s.total_cycles as f64),
+            ];
+            println!("{}", row(&cells, &widths));
+            csv.push(format!(
+                "{},{},{},{:.6},{:.6}",
+                preset.name(),
+                name,
+                s.total_cycles,
+                s.stall_fraction(StallReason::HeaderLock),
+                s.stall_fraction(StallReason::HeaderLoad)
+            ));
+        }
+        println!();
+    }
+    write_csv(
+        "ablation_testlock",
+        "app,variant,total,header_lock_frac,header_load_frac",
+        &csv,
+    );
+}

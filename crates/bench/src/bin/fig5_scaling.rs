@@ -1,0 +1,39 @@
+//! Figure 5: speedup of the garbage collection cycle versus number of GC
+//! cores, for all eight benchmarks, under the default (prototype-like)
+//! memory configuration. The 1-core configuration is the baseline — the
+//! paper notes it performs like sequential Cheney because uncontended
+//! synchronization is free.
+
+use hwgc_bench::{pct, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_core::GcConfig;
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Figure 5: scaling behavior (speedup vs 1-core baseline)\n");
+    let widths = [10, 12, 8, 8, 8, 8, 8];
+    let header: Vec<String> = ["app", "1-core cyc", "x1", "x2", "x4", "x8", "x16"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in Preset::ALL {
+        let s = spec(preset);
+        let mut cycles = Vec::new();
+        for &n in &CORE_COUNTS {
+            let out = run_verified(&s, GcConfig::with_cores(n));
+            cycles.push(out.stats.total_cycles);
+        }
+        let base = cycles[0] as f64;
+        let mut cells = vec![preset.name().to_string(), cycles[0].to_string()];
+        for (&c, &n) in cycles.iter().zip(&CORE_COUNTS) {
+            let speedup = base / c as f64;
+            cells.push(format!("{speedup:.2}"));
+            csv.push(format!("{},{},{},{:.4}", preset.name(), n, c, speedup));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    write_csv("fig5_scaling", "app,cores,cycles,speedup", &csv);
+    let _ = pct(0.0);
+}

@@ -1,0 +1,46 @@
+//! Figure 6: scaling behavior with 20 cycles of artificial latency added
+//! to every memory access.
+//!
+//! The paper's counter-intuitive finding: *higher* memory latency
+//! *improves* scalability for every benchmark with enough object-level
+//! parallelism, because each core spends a larger fraction of its time
+//! stalled, so more cores are needed to exhaust the memory bandwidth.
+
+use hwgc_bench::{row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_core::GcConfig;
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::Preset;
+
+fn main() {
+    const EXTRA: u32 = 20;
+    println!("Figure 6: scaling behavior with +{EXTRA} cycles memory latency\n");
+    let widths = [10, 12, 8, 8, 8, 8, 8];
+    let header: Vec<String> = ["app", "1-core cyc", "x1", "x2", "x4", "x8", "x16"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in Preset::ALL {
+        let s = spec(preset);
+        let mut cycles = Vec::new();
+        for &n in &CORE_COUNTS {
+            let cfg = GcConfig {
+                n_cores: n,
+                mem: MemConfig::default().with_extra_latency(EXTRA),
+                ..GcConfig::default()
+            };
+            cycles.push(run_verified(&s, cfg).stats.total_cycles);
+        }
+        let base = cycles[0] as f64;
+        let mut cells = vec![preset.name().to_string(), cycles[0].to_string()];
+        for (&c, &n) in cycles.iter().zip(&CORE_COUNTS) {
+            let speedup = base / c as f64;
+            cells.push(format!("{speedup:.2}"));
+            csv.push(format!("{},{},{},{:.4}", preset.name(), n, c, speedup));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    write_csv("fig6_latency", "app,cores,cycles,speedup", &csv);
+}

@@ -1,0 +1,40 @@
+//! One-shot reproduction driver: runs every deterministic experiment in
+//! DESIGN.md's index back to back. Useful as a release smoke test and to
+//! refresh all CSVs under `target/experiments/` after a model change.
+//!
+//! (`ablation_software` is excluded — it measures real threads and its
+//! wall-clock columns are host-dependent; run it separately.)
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "fig5_scaling",
+        "table1_empty_worklist",
+        "table2_stall_breakdown",
+        "fig6_latency",
+        "ablation_fifo",
+        "ablation_testlock",
+        "ablation_heapsize",
+        "ablation_granularity",
+        "ablation_linesplit",
+        "ablation_headercache",
+        "ext_concurrent",
+        "trace_dump",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("target dir");
+    let start = std::time::Instant::now();
+    for (i, bin) in binaries.iter().enumerate() {
+        println!("\n=== [{} / {}] {bin} {}", i + 1, binaries.len(), "=".repeat(40));
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!(
+        "\nall {} experiments reproduced in {:.1} s; CSVs under target/experiments/",
+        binaries.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,32 @@
+//! Table I: fraction of clock cycles during which the work list is empty
+//! (`scan == free`), per benchmark and core count. These are the cycles in
+//! which no gray object is available for processing — the paper's measure
+//! of (missing) object-level parallelism.
+
+use hwgc_bench::{pct, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_core::GcConfig;
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Table I: fraction of clock cycles during which work list is empty\n");
+    let widths = [10, 9, 9, 9, 9, 9];
+    let header: Vec<String> = ["app", "1 core", "2 cores", "4 cores", "8 cores", "16 cores"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    for preset in Preset::ALL {
+        let s = spec(preset);
+        let mut cells = vec![preset.name().to_string()];
+        for &n in &CORE_COUNTS {
+            let out = run_verified(&s, GcConfig::with_cores(n));
+            let f = out.stats.empty_worklist_fraction();
+            cells.push(pct(f));
+            csv.push(format!("{},{},{:.6}", preset.name(), n, f));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    write_csv("table1_empty_worklist", "app,cores,empty_fraction", &csv);
+}

@@ -1,0 +1,63 @@
+//! Table II: clock-cycle distribution for the 16-core configuration —
+//! total cycles per collection and, per stall cause, the summed stall
+//! cycles with the mean per-core percentage in parentheses, exactly the
+//! paper's columns: scan lock, free lock, header lock, body load, body
+//! store, header load, header store.
+
+use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_core::{GcConfig, StallReason};
+use hwgc_workloads::Preset;
+
+fn main() {
+    let n_cores = 16;
+    println!("Table II: clock cycle distribution (for {n_cores} cores)\n");
+    let widths = [10, 9, 16, 14, 16, 16, 15, 16, 16];
+    let header: Vec<String> = [
+        "app", "total", "scan-lock", "free-lock", "header-lock", "body-load", "body-store",
+        "header-load", "header-store",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", row(&header, &widths));
+
+    let reasons = [
+        StallReason::ScanLock,
+        StallReason::FreeLock,
+        StallReason::HeaderLock,
+        StallReason::BodyLoad,
+        StallReason::BodyStore,
+        StallReason::HeaderLoad,
+        StallReason::HeaderStore,
+    ];
+    let mut csv = Vec::new();
+    for preset in Preset::ALL {
+        let out = run_verified(&spec(preset), GcConfig::with_cores(n_cores));
+        let s = &out.stats;
+        let counts = [
+            s.stall.scan_lock,
+            s.stall.free_lock,
+            s.stall.header_lock,
+            s.stall.body_load,
+            s.stall.body_store,
+            s.stall.header_load,
+            s.stall.header_store,
+        ];
+        let mut cells = vec![preset.name().to_string(), s.total_cycles.to_string()];
+        let mut line = format!("{},{}", preset.name(), s.total_cycles);
+        for (c, r) in counts.iter().zip(&reasons) {
+            let f = s.stall_fraction(*r);
+            cells.push(format!("{c} ({:.2} %)", f * 100.0));
+            line.push_str(&format!(",{c},{:.6}", f));
+        }
+        println!("{}", row(&cells, &widths));
+        csv.push(line);
+    }
+    write_csv(
+        "table2_stall_breakdown",
+        "app,total,scan_lock,scan_lock_frac,free_lock,free_lock_frac,header_lock,header_lock_frac,\
+         body_load,body_load_frac,body_store,body_store_frac,header_load,header_load_frac,\
+         header_store,header_store_frac",
+        &csv,
+    );
+}

@@ -1,0 +1,60 @@
+//! Extension 4: per-cycle signal tracing (the model's analogue of the
+//! paper's FPGA monitoring framework, Section VI-A).
+//!
+//! Samples scan/free, the gray population, busy cores, FIFO occupancy and
+//! DRAM queue depth every N cycles of one collection, writes the raw
+//! trace as CSV, and prints a coarse timeline so the work-list dynamics —
+//! e.g. cup's frontier explosion versus compress's starvation — are
+//! visible at a glance.
+
+use hwgc_bench::{experiments_dir, run_verified_heap, spec};
+use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_heap::Snapshot;
+use hwgc_workloads::Preset;
+
+fn main() {
+    let preset = std::env::args()
+        .nth(1)
+        .map(|n| Preset::by_name(&n).unwrap_or_else(|| panic!("unknown preset {n}")))
+        .unwrap_or(Preset::Cup);
+    let cores = 8;
+    println!("Extension 4: signal trace of one `{preset}` collection ({cores} cores)\n");
+
+    let mut heap = spec(preset).build();
+    let snapshot = Snapshot::capture(&heap);
+    let mut trace = SignalTrace::new(1);
+    let out = SimCollector::new(GcConfig::with_cores(cores)).collect_traced(&mut heap, &mut trace);
+    hwgc_heap::verify_collection(&heap, out.free, &snapshot).expect("correct collection");
+    // Keep the run honest even though we bypass run_verified.
+    let _ = run_verified_heap;
+
+    println!("total cycles: {}", out.stats.total_cycles);
+    println!("peak gray population: {} words", trace.peak_gray_words());
+    println!("mean busy cores: {:.2} / {cores}", trace.mean_busy_cores());
+
+    // Coarse timeline: 40 buckets of the collection, gray population and
+    // busy cores as bars.
+    let rows = trace.rows();
+    let buckets = 40.min(rows.len());
+    if buckets > 0 {
+        let peak = trace.peak_gray_words().max(1);
+        println!("\n  t%   gray-words (#) and busy cores (*)");
+        for b in 0..buckets {
+            let idx = b * rows.len() / buckets;
+            let r = &rows[idx];
+            let gbar = (r.gray_words as usize * 30 / peak as usize).min(30);
+            let bbar = r.busy_cores as usize * 30 / cores;
+            println!(
+                "{:4} {:<31} {:<31}",
+                b * 100 / buckets,
+                "#".repeat(gbar.max(usize::from(r.gray_words > 0))),
+                "*".repeat(bbar)
+            );
+        }
+    }
+
+    let path = experiments_dir().join(format!("trace_{preset}.csv"));
+    let f = std::fs::File::create(&path).expect("create trace csv");
+    trace.write_csv(std::io::BufWriter::new(f)).expect("write trace");
+    println!("\n[csv] {}", path.display());
+}

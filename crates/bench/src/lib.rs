@@ -1,0 +1,84 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). This library provides the common
+//! plumbing: running a preset through the simulated collector with
+//! verification, formatting the paper-style tables, and writing CSV files
+//! under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use hwgc_core::{GcConfig, GcOutcome, SimCollector};
+use hwgc_heap::{verify_collection, Heap, Snapshot};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+/// The core counts evaluated in the paper (Figures 5/6, Table I).
+pub const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Run one verified collection of `spec` under `cfg` and return the
+/// outcome.
+///
+/// # Panics
+/// Panics if the collected heap fails verification — experiment numbers
+/// from an incorrect collection would be meaningless.
+pub fn run_verified(spec: &WorkloadSpec, cfg: GcConfig) -> GcOutcome {
+    let mut heap = spec.build();
+    let snap = Snapshot::capture(&heap);
+    let out = SimCollector::new(cfg).collect(&mut heap);
+    verify_collection(&heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.preset));
+    out
+}
+
+/// Run a pre-built heap (caller keeps ownership of workload construction).
+pub fn run_verified_heap(heap: &mut Heap, cfg: GcConfig, label: &str) -> GcOutcome {
+    let snap = Snapshot::capture(heap);
+    let out = SimCollector::new(cfg).collect(heap);
+    verify_collection(heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    out
+}
+
+/// Default workload spec for a preset (seed fixed for reproducibility).
+pub fn spec(preset: Preset) -> WorkloadSpec {
+    WorkloadSpec::new(preset, 42)
+}
+
+/// Directory that experiment CSV files are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Write `rows` (already comma-joined) to `target/experiments/<name>.csv`
+/// with the given header, and tell the user where it went.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        writeln!(f, "{row}").unwrap();
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// Format a fraction as the paper prints it: `12.34 %`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2} %", fraction * 100.0)
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}

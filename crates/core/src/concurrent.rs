@@ -1,0 +1,487 @@
+//! Extension 3 (paper Section V-B): running the collection cycle
+//! *concurrently* with the main processor.
+//!
+//! "As our primary focus lies on parallelizing GC, the coprocessor
+//! currently stops the main processor for the whole collection cycle.
+//! However, as a next step, we intend to allow the multi-core coprocessor
+//! to run concurrently to the main processor."
+//!
+//! The model adds one *mutator* — the main processor — to the engine's
+//! cycle loop, executing a synthetic access pattern over its register
+//! file of object handles while the GC cores collect. The machinery that
+//! makes this safe is the hardware **read barrier** of the authors' prior
+//! work (Meyer, ISMM'06): because objects and pointers are known at the
+//! hardware level, every mutator access is checked against the tricolour
+//! state:
+//!
+//! * a pointer loaded from a **black** object is already translated;
+//! * an access to a **gray** frame is redirected through its backlink to
+//!   the fromspace original (the body has not been copied yet);
+//! * a fromspace pointer obtained that way is translated through the
+//!   child's header — evacuating the child on the spot if needed, with
+//!   the same header/free locking protocol the GC cores use (the mutator
+//!   participates in the synchronization block with its own slot and
+//!   busy bit, which also keeps termination detection sound);
+//! * allocation during collection is **black**: the new object is safe
+//!   from the wavefront by construction.
+//!
+//! The mutator cannot create pointers the collector misses: it only loads
+//! pointers (which the barrier translates), writes *data* words (to black
+//! objects — it waits out gray ones), and allocates black objects whose
+//! pointer slots start null. Its registers are appended to the root set
+//! at the end of the cycle so everything it holds stays live.
+//!
+//! Mutator accesses are charged fixed costs (the main processor has its
+//! own caches and port into the memory system; we model the latency, not
+//! the bandwidth interference — see DESIGN.md §9).
+
+use hwgc_heap::header::Header;
+use hwgc_heap::{Addr, Color, Heap, NULL};
+use hwgc_memsim::HeaderFifo;
+use hwgc_sync::SyncBlock;
+
+/// Configuration of the concurrent mutator.
+#[derive(Debug, Clone, Copy)]
+pub struct MutatorConfig {
+    /// Register-file size (live handles the mutator cycles through).
+    pub registers: usize,
+    /// One in `alloc_every` actions is an allocation (0 = never allocate).
+    pub alloc_every: u32,
+    /// Shape of objects allocated during collection.
+    pub alloc_pi: u32,
+    /// Data words of allocated objects (≥ 1, for the id stamp).
+    pub alloc_delta: u32,
+    /// One in `write_every` actions is a data write (0 = never write).
+    pub write_every: u32,
+    /// RNG seed for the access pattern.
+    pub seed: u64,
+}
+
+impl Default for MutatorConfig {
+    fn default() -> MutatorConfig {
+        MutatorConfig {
+            registers: 8,
+            alloc_every: 16,
+            alloc_pi: 2,
+            alloc_delta: 4,
+            write_every: 8,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+/// What the mutator accomplished while the collector ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutatorStats {
+    /// Completed actions (loads, writes, allocations).
+    pub actions: u64,
+    /// Pointer loads performed.
+    pub pointer_loads: u64,
+    /// Data loads performed.
+    pub data_loads: u64,
+    /// Data writes performed.
+    pub data_writes: u64,
+    /// Writes that went to both copies because the target was mid-copy
+    /// (the dual-write barrier).
+    pub dual_writes: u64,
+    /// Objects allocated (black) during the collection.
+    pub allocations: u64,
+    /// Accesses to gray frames redirected through the backlink.
+    pub backlink_redirects: u64,
+    /// Fromspace pointers translated via an existing forwarding pointer.
+    pub barrier_forwards: u64,
+    /// Fromspace pointers whose targets the barrier had to evacuate.
+    pub barrier_evacuations: u64,
+    /// Cycles spent waiting (gray write targets, contended locks).
+    pub stall_cycles: u64,
+    /// Longest run of consecutive stall cycles — the mutator's worst-case
+    /// pause. The architecture's real-time lineage (Meyer's prior work)
+    /// promises pauses "never exceeding a couple of hundred clock
+    /// cycles"; the paper's final sentence plans to combine that with
+    /// this paper's parallel collector. This metric checks the combination.
+    pub max_pause_cycles: u64,
+    /// Cycles spent in fixed access latencies.
+    pub busy_cycles: u64,
+}
+
+impl MutatorStats {
+    /// Fraction of the collection during which the mutator made progress
+    /// (busy or completing actions) rather than waiting.
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+enum Pending {
+    /// Waiting for the child's header lock (barrier evacuation path).
+    BarrierLock { child: Addr, reg: usize },
+    /// Waiting for the free lock (allocation or barrier evacuation).
+    FreeLock { action: FreeAction },
+}
+
+enum FreeAction {
+    Alloc { reg: usize },
+    Evacuate { child: Addr, reg: usize },
+}
+
+/// The simulated main processor.
+pub struct MutatorSm {
+    cfg: MutatorConfig,
+    /// Register file of tospace handles (NULL when empty).
+    pub regs: Vec<Addr>,
+    /// Objects allocated during this collection.
+    pub allocated: Vec<Addr>,
+    rng: u64,
+    cooldown: u32,
+    pending: Option<Pending>,
+    counter: u64,
+    /// The mutator's slot in the synchronization block (== n_gc_cores).
+    sb_slot: usize,
+    /// Consecutive stall cycles in the current pause.
+    stall_run: u64,
+    pub stats: MutatorStats,
+}
+
+impl MutatorSm {
+    /// Mutator whose registers start at the (already evacuated) roots.
+    pub fn new(cfg: MutatorConfig, roots: &[Addr], sb_slot: usize) -> MutatorSm {
+        assert!(cfg.registers >= 1);
+        assert!(cfg.alloc_delta >= 1, "allocated objects carry an id in data[0]");
+        let mut regs = vec![NULL; cfg.registers];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            if !roots.is_empty() {
+                *slot = roots[i % roots.len()];
+            }
+        }
+        MutatorSm {
+            cfg,
+            regs,
+            allocated: Vec::new(),
+            rng: cfg.seed | 1,
+            cooldown: 0,
+            pending: None,
+            counter: 0,
+            sb_slot,
+            stall_run: 0,
+            stats: MutatorStats::default(),
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, no external dependency.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn random_reg(&mut self) -> usize {
+        (self.rand() % self.regs.len() as u64) as usize
+    }
+
+    /// One mutator clock cycle, interleaved with the GC cores' ticks.
+    pub fn tick(&mut self, heap: &mut Heap, sb: &mut SyncBlock, fifo: &mut HeaderFifo) {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.stats.busy_cycles += 1;
+            return;
+        }
+        if let Some(pending) = self.pending.take() {
+            self.retry(pending, heap, sb, fifo);
+            return;
+        }
+        self.counter += 1;
+        let c = self.cfg;
+        if c.alloc_every > 0 && self.counter.is_multiple_of(c.alloc_every as u64) {
+            self.start_alloc(heap, sb, fifo);
+        } else if c.write_every > 0 && self.counter.is_multiple_of(c.write_every as u64) {
+            self.start_write(heap, sb);
+        } else if self.counter.is_multiple_of(3) {
+            self.data_load(heap);
+        } else {
+            self.pointer_load(heap, sb, fifo);
+        }
+    }
+
+    fn retry(&mut self, pending: Pending, heap: &mut Heap, sb: &mut SyncBlock, fifo: &mut HeaderFifo) {
+        match pending {
+            Pending::BarrierLock { child, reg } => self.barrier_lock(heap, sb, fifo, child, reg),
+            Pending::FreeLock { action } => self.take_free(heap, sb, fifo, action),
+        }
+    }
+
+    // --- loads ----------------------------------------------------------
+
+    fn pointer_load(&mut self, heap: &mut Heap, sb: &mut SyncBlock, fifo: &mut HeaderFifo) {
+        let reg = self.random_reg();
+        let obj = self.regs[reg];
+        if obj == NULL {
+            self.finish(1);
+            return;
+        }
+        let h = heap.header(obj);
+        if h.pi == 0 {
+            self.finish(1);
+            return;
+        }
+        let slot = (self.rand() % h.pi as u64) as u32;
+        self.stats.pointer_loads += 1;
+        match h.color {
+            Color::Black => {
+                // Already translated: load and dereference directly.
+                let val = heap.ptr(obj, slot);
+                if val != NULL {
+                    debug_assert!(heap.in_tospace(val), "black object holds untranslated ptr");
+                    let dst = self.random_reg();
+                    self.regs[dst] = val;
+                }
+                self.finish(2);
+            }
+            Color::Gray => {
+                // Read barrier: fetch the raw pointer from the fromspace
+                // original via the backlink, then translate it.
+                self.stats.backlink_redirects += 1;
+                let raw = heap.word(h.link + 2 + slot);
+                if raw == NULL {
+                    self.finish(3);
+                    return;
+                }
+                debug_assert!(heap.in_fromspace(raw));
+                let reg = self.random_reg();
+                self.barrier_lock(heap, sb, fifo, raw, reg);
+            }
+            Color::White => unreachable!("mutator handle to a white tospace object"),
+        }
+    }
+
+    fn data_load(&mut self, heap: &mut Heap) {
+        let reg = self.random_reg();
+        let obj = self.regs[reg];
+        if obj == NULL {
+            self.finish(1);
+            return;
+        }
+        let h = heap.header(obj);
+        if h.delta == 0 {
+            self.finish(1);
+            return;
+        }
+        let slot = (self.rand() % h.delta as u64) as u32;
+        self.stats.data_loads += 1;
+        match h.color {
+            Color::Black => {
+                let _ = heap.data(obj, slot);
+                self.finish(2);
+            }
+            Color::Gray => {
+                // Serve the load from the fromspace original.
+                self.stats.backlink_redirects += 1;
+                let _ = heap.word(h.link + 2 + h.pi + slot);
+                self.finish(3);
+            }
+            Color::White => unreachable!(),
+        }
+    }
+
+    // --- read barrier: translate / evacuate a fromspace pointer ----------
+
+    fn barrier_lock(
+        &mut self,
+        heap: &mut Heap,
+        sb: &mut SyncBlock,
+        fifo: &mut HeaderFifo,
+        child: Addr,
+        reg: usize,
+    ) {
+        // The busy bit keeps termination detection sound: the collector
+        // must not declare the cycle finished while the barrier is about
+        // to create a new gray frame.
+        sb.set_busy(self.sb_slot);
+        if !sb.try_lock_header(self.sb_slot, child) {
+            self.record_stall();
+            self.pending = Some(Pending::BarrierLock { child, reg });
+            return;
+        }
+        let h = heap.header(child);
+        if h.marked {
+            self.stats.barrier_forwards += 1;
+            sb.unlock_header(self.sb_slot);
+            sb.clear_busy(self.sb_slot);
+            self.regs[reg] = h.link;
+            self.finish(2);
+            return;
+        }
+        self.take_free(heap, sb, fifo, FreeAction::Evacuate { child, reg });
+    }
+
+    fn take_free(
+        &mut self,
+        heap: &mut Heap,
+        sb: &mut SyncBlock,
+        fifo: &mut HeaderFifo,
+        action: FreeAction,
+    ) {
+        if !sb.try_acquire_free(self.sb_slot) {
+            self.record_stall();
+            self.pending = Some(Pending::FreeLock { action });
+            return;
+        }
+        match action {
+            FreeAction::Evacuate { child, reg } => {
+                let h = heap.header(child);
+                let dst = sb.free();
+                let size = h.size_words();
+                assert!(dst + size <= heap.to_limit(), "tospace overflow");
+                sb.set_free(self.sb_slot, dst + size);
+                sb.release_free(self.sb_slot);
+                heap.set_header(dst, Header::gray(h.pi, h.delta, child));
+                heap.set_header(child, Header::forwarded(h.pi, h.delta, dst));
+                let (w0, w1) = Header::gray(h.pi, h.delta, child).encode();
+                let _ = fifo.push(dst, w0, w1);
+                sb.unlock_header(self.sb_slot);
+                sb.clear_busy(self.sb_slot);
+                self.stats.barrier_evacuations += 1;
+                self.regs[reg] = dst;
+                self.finish(4);
+            }
+            FreeAction::Alloc { reg } => {
+                let c = self.cfg;
+                let dst = sb.free();
+                let size = 2 + c.alloc_pi + c.alloc_delta;
+                assert!(dst + size <= heap.to_limit(), "tospace overflow");
+                sb.set_free(self.sb_slot, dst + size);
+                sb.release_free(self.sb_slot);
+                // Allocate black: safe from the wavefront by construction.
+                // `scan` must skip it, so it must look like a completed
+                // object — which a black header provides.
+                heap.set_header(dst, Header::black(c.alloc_pi, c.alloc_delta));
+                for i in 0..c.alloc_pi {
+                    heap.set_word(dst + 2 + i, NULL);
+                }
+                for i in 0..c.alloc_delta {
+                    // Unique id stamp (the frame address) for the verifier.
+                    heap.set_word(dst + 2 + c.alloc_pi + i, if i == 0 { dst } else { 0 });
+                }
+                sb.clear_busy(self.sb_slot);
+                self.stats.allocations += 1;
+                self.allocated.push(dst);
+                self.regs[reg] = dst;
+                self.finish(3);
+            }
+        }
+    }
+
+    // --- writes and allocation ------------------------------------------
+
+    fn start_write(&mut self, heap: &mut Heap, sb: &mut SyncBlock) {
+        let reg = self.random_reg();
+        let obj = self.regs[reg];
+        if obj == NULL {
+            self.finish(1);
+            return;
+        }
+        let h = heap.header(obj);
+        if h.delta == 0 {
+            self.finish(1);
+            return;
+        }
+        let slot = (self.rand() % h.delta as u64) as u32;
+        self.do_write(heap, sb, obj, slot);
+    }
+
+    fn do_write(&mut self, heap: &mut Heap, sb: &mut SyncBlock, obj: Addr, slot: u32) {
+        let h = heap.header(obj);
+        match h.color {
+            Color::Black => {
+                // "Touch" write: store the value already present.
+                // Exercises the full barrier path while keeping the
+                // snapshot verifier exact.
+                let v = heap.data(obj, slot);
+                heap.set_data(obj, slot, v);
+                self.stats.data_writes += 1;
+                self.finish(2);
+            }
+            Color::Gray => {
+                // Writing a gray object: the fromspace original is always
+                // written through the backlink (the body copy will carry
+                // it over if it has not passed this word yet). If the
+                // frame has already been claimed by the wavefront (the
+                // SB's scan register is readable by everyone, so the
+                // hardware can tell), the word may already have been
+                // copied, so the write goes to *both* copies — the
+                // dual-write barrier used by concurrent copying designs.
+                // Either way the mutator never waits for a body copy.
+                let unclaimed =
+                    obj > sb.scan() || (obj == sb.scan() && sb.scan_chunk_off() == 0);
+                let from_addr = h.link + 2 + h.pi + slot;
+                let v = heap.word(from_addr);
+                heap.set_word(from_addr, v);
+                self.stats.backlink_redirects += 1;
+                if !unclaimed {
+                    heap.set_word(obj + 2 + h.pi + slot, v);
+                    self.stats.dual_writes += 1;
+                }
+                self.stats.data_writes += 1;
+                self.finish(3);
+            }
+            Color::White => unreachable!(),
+        }
+    }
+
+    fn start_alloc(&mut self, heap: &mut Heap, sb: &mut SyncBlock, fifo: &mut HeaderFifo) {
+        sb.set_busy(self.sb_slot);
+        let reg = self.random_reg();
+        self.take_free(heap, sb, fifo, FreeAction::Alloc { reg });
+    }
+
+    fn record_stall(&mut self) {
+        self.stats.stall_cycles += 1;
+        self.stall_run += 1;
+        self.stats.max_pause_cycles = self.stats.max_pause_cycles.max(self.stall_run);
+    }
+
+    fn finish(&mut self, cost: u32) {
+        self.stall_run = 0;
+        self.stats.actions += 1;
+        self.stats.busy_cycles += 1;
+        self.cooldown = cost.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MutatorConfig::default();
+        assert!(c.registers >= 1);
+        assert!(c.alloc_delta >= 1);
+    }
+
+    #[test]
+    fn registers_seeded_from_roots() {
+        let m = MutatorSm::new(MutatorConfig::default(), &[10, 20], 4);
+        assert_eq!(m.regs.len(), 8);
+        assert_eq!(m.regs[0], 10);
+        assert_eq!(m.regs[1], 20);
+        assert_eq!(m.regs[2], 10);
+    }
+
+    #[test]
+    fn empty_roots_leave_null_registers() {
+        let m = MutatorSm::new(MutatorConfig::default(), &[], 1);
+        assert!(m.regs.iter().all(|&r| r == NULL));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = MutatorStats { busy_cycles: 50, ..MutatorStats::default() };
+        assert!((s.utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(0), 0.0);
+    }
+}

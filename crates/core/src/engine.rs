@@ -1,0 +1,443 @@
+//! The cycle-level simulation engine.
+//!
+//! The engine owns the synchronization block, the memory system and the N
+//! core state machines, and advances them in lock step: each simulated
+//! clock cycle, the memory system ticks first (retiring completed
+//! transactions and starting new DRAM services), then every core executes
+//! one tick **in index order**. Ticking in index order realizes the SB's
+//! static prioritization: when several cores contend for a lock in the
+//! same cycle, the lowest-indexed requester acquires it; and a lock
+//! released by core *i* can be re-acquired by a later-ticking core in the
+//! same cycle — both exactly as in the paper's hardware.
+//!
+//! A collection cycle has three phases, mirroring Section V-E:
+//!
+//! 1. **Root phase**: core 1 (index 0 here) stops the main processor,
+//!    flips the semispaces, initialises `scan` and `free`, and evacuates
+//!    the root set sequentially. Other cores wait at the initialization
+//!    barrier (modelled by starting the parallel loop afterwards).
+//! 2. **Parallel scan loop**: all cores run the microprogram until a core
+//!    observes `scan == free` with all busy bits clear.
+//! 3. **Drain**: all store buffers flush before the main processor would
+//!    be restarted.
+//!
+//! Three front doors share one loop: [`SimCollector::collect`]
+//! (stop-the-world, the paper's configuration),
+//! [`SimCollector::collect_concurrent`] (extension 3: the mutator ticks
+//! first each cycle, at top SB priority) and
+//! [`SimCollector::collect_traced`] (extension 4: per-cycle signal
+//! sampling).
+
+use hwgc_heap::header::Header;
+use hwgc_heap::{Addr, Heap, NULL};
+use hwgc_memsim::{HeaderFifo, MemorySystem};
+use hwgc_sync::SyncBlock;
+
+use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
+use crate::config::GcConfig;
+use crate::machine::{CoreSm, Ctx, State, WorkCounters};
+use crate::stats::GcStats;
+use crate::trace::{SignalTrace, TraceRow};
+
+/// Result of a simulated collection cycle.
+#[derive(Debug, Clone)]
+pub struct GcOutcome {
+    /// Final allocation frontier in tospace.
+    pub free: Addr,
+    /// Cycle-accurate statistics.
+    pub stats: GcStats,
+}
+
+/// Result of a collection cycle that ran concurrently with the mutator.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Final allocation frontier (live data + objects allocated mid-GC).
+    pub free: Addr,
+    /// Collector statistics.
+    pub stats: GcStats,
+    /// Mutator progress and barrier statistics.
+    pub mutator: MutatorStats,
+}
+
+/// The parallel collector on the simulated multi-core GC coprocessor.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCollector {
+    cfg: GcConfig,
+}
+
+impl SimCollector {
+    /// Collector with the given configuration.
+    pub fn new(cfg: GcConfig) -> SimCollector {
+        assert!(cfg.n_cores > 0, "need at least one GC core");
+        SimCollector { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.cfg
+    }
+
+    /// Run one stop-the-world collection cycle on `heap` (the paper's
+    /// configuration: the main processor is stopped throughout).
+    pub fn collect(&self, heap: &mut Heap) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, None);
+        GcOutcome { free, stats }
+    }
+
+    /// Run one collection cycle while sampling internal signals into
+    /// `trace` (extension 4, the paper's monitoring framework).
+    pub fn collect_traced(&self, heap: &mut Heap, trace: &mut SignalTrace) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, Some(trace));
+        GcOutcome { free, stats }
+    }
+
+    /// Extension 3 (paper Section V-B): run the collection cycle while the
+    /// main processor keeps executing behind a hardware read barrier. The
+    /// mutator ticks *first* each cycle (the main processor has top
+    /// priority at the SB) and owns SB slot `n_cores`. Its registers (and
+    /// any objects it allocated) are appended to the root set afterwards
+    /// so everything it holds stays live. See [`crate::concurrent`].
+    pub fn collect_concurrent(
+        &self,
+        heap: &mut Heap,
+        mutator_cfg: &MutatorConfig,
+    ) -> ConcurrentOutcome {
+        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None);
+        ConcurrentOutcome { free, stats, mutator: mutator.expect("mutator ran") }
+    }
+
+    /// The shared collection loop.
+    fn run(
+        &self,
+        heap: &mut Heap,
+        mutator_cfg: Option<MutatorConfig>,
+        mut trace: Option<&mut SignalTrace>,
+    ) -> (Addr, GcStats, Option<MutatorStats>) {
+        let cfg = self.cfg;
+        heap.flip();
+        // One extra SB slot when the mutator participates (its header/free
+        // locking and its busy bit for sound termination detection).
+        let sb_slots = cfg.n_cores + usize::from(mutator_cfg.is_some());
+        let mut sb = SyncBlock::new(sb_slots);
+        sb.init_pointers(heap.to_base(), heap.to_base());
+        let mut mem = MemorySystem::new(cfg.n_cores, cfg.mem);
+        let mut fifo = HeaderFifo::new(cfg.mem.header_fifo_capacity);
+        let mut counters = WorkCounters::default();
+        let mut stats = GcStats::default();
+
+        // --- Phase 1: sequential root evacuation by core 0 -------------
+        self.root_phase(heap, &mut sb, &mut fifo, &mut counters, &mut stats);
+        let mut mutator =
+            mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
+
+        // --- Phase 2+3: parallel scan loop and drain --------------------
+        let mut cores: Vec<CoreSm> = (0..cfg.n_cores).map(CoreSm::new).collect();
+        let mut done = false;
+        let mut cycles: u64 = stats.root_phase_cycles;
+        let mut order: Vec<usize> = (0..cfg.n_cores).collect();
+        let mut perm_rng = cfg.tick_permutation_seed.map(|s| s | 1);
+
+        loop {
+            mem.tick();
+            sb.begin_cycle();
+            if let Some(m) = mutator.as_mut() {
+                m.tick(heap, &mut sb, &mut fifo);
+            }
+            if let Some(rng) = perm_rng.as_mut() {
+                // Fisher–Yates with an inline xorshift: a fresh legal
+                // arbitration order every cycle.
+                for i in (1..order.len()).rev() {
+                    *rng ^= *rng << 13;
+                    *rng ^= *rng >> 7;
+                    *rng ^= *rng << 17;
+                    order.swap(i, (*rng % (i as u64 + 1)) as usize);
+                }
+            }
+            for &idx in &order {
+                let core = &mut cores[idx];
+                let mut ctx = Ctx {
+                    heap,
+                    sb: &mut sb,
+                    mem: &mut mem,
+                    fifo: &mut fifo,
+                    done: &mut done,
+                    counters: &mut counters,
+                    test_before_lock: cfg.test_before_lock,
+                    line_split: cfg.line_split,
+                };
+                core.tick(&mut ctx);
+            }
+            cycles += 1;
+            if sb.scan() == sb.free() {
+                stats.empty_worklist_cycles += 1;
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                if trace.wants(cycles) {
+                    trace.push(TraceRow {
+                        cycle: cycles,
+                        scan: sb.scan(),
+                        free: sb.free(),
+                        gray_words: sb.free() - sb.scan(),
+                        busy_cores: sb.busy_count() as u32,
+                        fifo_len: fifo.len() as u32,
+                        queue_depth: mem.queue_len() as u32,
+                        core_states: cores.iter().map(|c| c.state()).collect(),
+                    });
+                }
+            }
+            if cores.iter().all(|c| c.state() == State::Done) && mem.all_idle() {
+                break;
+            }
+            assert!(
+                cycles < cfg.max_cycles,
+                "simulation exceeded {} cycles; oldest in-flight txn age {:?}; core states {:?}",
+                cfg.max_cycles,
+                mem.oldest_inflight_age(),
+                cores.iter().map(|c| c.state()).collect::<Vec<_>>()
+            );
+        }
+
+        debug_assert!(fifo.is_empty(), "gray headers left in the FIFO after termination");
+        sb.assert_quiescent();
+
+        let free = sb.free();
+        heap.set_alloc_ptr(free);
+        if let Some(m) = &mutator {
+            // Everything in the register file stays live, as do mid-cycle
+            // allocations (which may only be referenced by a register).
+            for &r in m.regs.iter().chain(m.allocated.iter()) {
+                if r != NULL {
+                    heap.add_root(r);
+                }
+            }
+        }
+
+        stats.total_cycles = cycles;
+        stats.per_core = cores.iter().map(|c| c.stalls).collect();
+        for c in &cores {
+            stats.stall.merge(&c.stalls);
+        }
+        stats.objects_copied = counters.objects_copied;
+        stats.words_copied = counters.words_copied;
+        stats.pointers_visited = counters.pointers_visited;
+        stats.chunks_claimed = counters.chunks_claimed;
+        stats.fifo = fifo.stats();
+        stats.mem = mem.stats().clone();
+        stats.sync = sb.stats().clone();
+        (free, stats, mutator.map(|m| m.stats))
+    }
+
+    /// Core 1 evacuates every object referenced by the root set and
+    /// redirects the roots (paper Section V-E: it reads the main
+    /// processor's registers and flushes its caches). The phase is
+    /// inherently sequential; its cycle cost is charged before the
+    /// parallel loop starts. Per root: one header read (`latency + 1`
+    /// cycles — no FIFO or pipelining helps here) plus, for unmarked
+    /// targets, the evacuation register/store work.
+    fn root_phase(
+        &self,
+        heap: &mut Heap,
+        sb: &mut SyncBlock,
+        fifo: &mut HeaderFifo,
+        counters: &mut WorkCounters,
+        stats: &mut GcStats,
+    ) {
+        let mut cycles: u64 = 0;
+        let read_cost = self.cfg.mem.latency as u64 + 1;
+        for i in 0..heap.roots().len() {
+            // Each root takes several cycles; the register write ports
+            // re-arm accordingly.
+            sb.begin_cycle();
+            let r = heap.roots()[i];
+            stats.roots_processed += 1;
+            if r == NULL {
+                cycles += 1;
+                continue;
+            }
+            debug_assert!(heap.in_fromspace(r), "root {r} not in fromspace");
+            cycles += read_cost;
+            let h = heap.header(r);
+            let fwd = if h.marked {
+                h.link
+            } else {
+                let dst = sb.free();
+                let size = h.size_words();
+                assert!(dst + size <= heap.to_limit(), "tospace overflow");
+                // Advance free through the lock for stats consistency.
+                assert!(sb.try_acquire_free(0));
+                sb.set_free(0, dst + size);
+                sb.release_free(0);
+                heap.set_header(dst, Header::gray(h.pi, h.delta, r));
+                heap.set_header(r, Header::forwarded(h.pi, h.delta, dst));
+                let (w0, w1) = Header::gray(h.pi, h.delta, r).encode();
+                if !fifo.push(dst, w0, w1) {
+                    // Gray header must go through memory: charge the store.
+                    cycles += self.cfg.mem.latency as u64;
+                }
+                counters.objects_copied += 1;
+                counters.words_copied += size as u64;
+                cycles += 2; // fromspace header store issue + register work
+                dst
+            };
+            heap.set_root(i, fwd);
+        }
+        stats.root_phase_cycles = cycles;
+        // Until the first evacuation the work list is empty; count those
+        // cycles for Table I. After the first evacuation scan < free for
+        // the rest of the phase.
+        if counters.objects_copied == 0 {
+            stats.empty_worklist_cycles += cycles;
+        } else {
+            stats.empty_worklist_cycles += read_cost.min(cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SeqCheney;
+    use hwgc_heap::{verify_collection, GraphBuilder, Snapshot};
+
+    fn diamond(semi: u32) -> Heap {
+        let mut heap = Heap::new(semi);
+        let mut b = GraphBuilder::new(&mut heap);
+        let r = b.add(2, 1).unwrap();
+        let l = b.add(1, 2).unwrap();
+        let rr = b.add(1, 2).unwrap();
+        let bot = b.add(0, 4).unwrap();
+        let dead = b.add(1, 8).unwrap();
+        b.link(r, 0, l);
+        b.link(r, 1, rr);
+        b.link(l, 0, bot);
+        b.link(rr, 0, bot);
+        b.link(dead, 0, bot);
+        b.root(r);
+        heap
+    }
+
+    #[test]
+    fn one_core_collects_diamond() {
+        let mut heap = diamond(500);
+        let snap = Snapshot::capture(&heap);
+        let out = SimCollector::new(GcConfig::with_cores(1)).collect(&mut heap);
+        assert_eq!(out.stats.objects_copied, 4);
+        verify_collection(&heap, out.free, &snap).unwrap();
+        assert!(out.stats.total_cycles > 0);
+    }
+
+    #[test]
+    fn multi_core_collects_diamond() {
+        for n in [2, 3, 4, 8, 16] {
+            let mut heap = diamond(500);
+            let snap = Snapshot::capture(&heap);
+            let out = SimCollector::new(GcConfig::with_cores(n)).collect(&mut heap);
+            assert_eq!(out.stats.objects_copied, 4, "{n} cores");
+            verify_collection(&heap, out.free, &snap).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let mut h1 = diamond(500);
+        let mut h2 = diamond(500);
+        let seq = SeqCheney::new().collect(&mut h1);
+        let sim = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h2);
+        assert_eq!(seq.objects_copied, sim.stats.objects_copied);
+        assert_eq!(seq.words_copied, sim.stats.words_copied);
+        assert_eq!(seq.free, sim.free);
+    }
+
+    #[test]
+    fn deterministic_cycle_counts() {
+        let run = || {
+            let mut heap = diamond(500);
+            SimCollector::new(GcConfig::with_cores(4)).collect(&mut heap).stats.total_cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_roots_terminate_immediately() {
+        let mut heap = Heap::new(100);
+        let out = SimCollector::new(GcConfig::with_cores(8)).collect(&mut heap);
+        assert_eq!(out.stats.objects_copied, 0);
+        assert_eq!(out.free, heap.to_base());
+        assert!(out.stats.total_cycles < 100);
+    }
+
+    #[test]
+    fn test_before_lock_is_functionally_equivalent() {
+        let mut h1 = diamond(500);
+        let mut h2 = diamond(500);
+        let snap = Snapshot::capture(&h1);
+        let a = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
+        let cfg = GcConfig { test_before_lock: true, ..GcConfig::with_cores(4) };
+        let b = SimCollector::new(cfg).collect(&mut h2);
+        verify_collection(&h1, a.free, &snap).unwrap();
+        verify_collection(&h2, b.free, &snap).unwrap();
+        assert_eq!(a.stats.objects_copied, b.stats.objects_copied);
+    }
+
+    #[test]
+    fn back_to_back_sim_cycles() {
+        let mut heap = diamond(500);
+        let snap1 = Snapshot::capture(&heap);
+        let out1 = SimCollector::new(GcConfig::with_cores(2)).collect(&mut heap);
+        verify_collection(&heap, out1.free, &snap1).unwrap();
+        let snap2 = Snapshot::capture(&heap);
+        let out2 = SimCollector::new(GcConfig::with_cores(2)).collect(&mut heap);
+        verify_collection(&heap, out2.free, &snap2).unwrap();
+        assert_eq!(out1.stats.words_copied, out2.stats.words_copied);
+    }
+
+    #[test]
+    fn null_roots_are_preserved() {
+        let mut heap = Heap::new(200);
+        let mut b = GraphBuilder::new(&mut heap);
+        let r = b.add(0, 1).unwrap();
+        b.root(r);
+        heap.add_root(NULL);
+        let snap = Snapshot::capture(&heap);
+        let out = SimCollector::new(GcConfig::with_cores(2)).collect(&mut heap);
+        verify_collection(&heap, out.free, &snap).unwrap();
+        assert_eq!(heap.roots()[1], NULL);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let mut heap = diamond(500);
+        let out = SimCollector::new(GcConfig::with_cores(4)).collect(&mut heap);
+        let s = &out.stats;
+        assert_eq!(s.per_core.len(), 4);
+        assert!(s.empty_worklist_cycles <= s.total_cycles);
+        // Per-core stalls can never exceed total cycles.
+        for pc in &s.per_core {
+            assert!(pc.total_stalls() + pc.empty_spin + pc.drain <= s.total_cycles);
+        }
+    }
+
+    #[test]
+    fn traced_collection_matches_untraced() {
+        let mut h1 = diamond(500);
+        let plain = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
+        let mut h2 = diamond(500);
+        let mut trace = crate::trace::SignalTrace::new(1);
+        let traced =
+            SimCollector::new(GcConfig::with_cores(4)).collect_traced(&mut h2, &mut trace);
+        assert_eq!(plain.stats.total_cycles, traced.stats.total_cycles);
+        assert_eq!(plain.free, traced.free);
+        // One sample per post-root-phase cycle.
+        assert_eq!(
+            trace.rows().len() as u64,
+            traced.stats.total_cycles - traced.stats.root_phase_cycles
+        );
+        // scan is monotone and gray_words consistent.
+        let mut prev = 0;
+        for row in trace.rows() {
+            assert!(row.scan >= prev);
+            prev = row.scan;
+            assert_eq!(row.gray_words, row.free - row.scan);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Cycle-accurate statistics matching the paper's evaluation.
+//!
+//! Table II reports, per benchmark at 16 cores, the total cycle count and
+//! the mean number of cycles each core spent stalled on: the scan lock, the
+//! free lock, header locks, body loads, body stores, header loads and
+//! header stores. Table I reports the fraction of cycles during which the
+//! work list is empty (`scan == free`). [`GcStats`] captures all of these
+//! plus auxiliary counters used by the ablation experiments.
+
+use hwgc_memsim::{FifoStats, MemStats};
+use hwgc_sync::SyncStats;
+
+/// Why a core failed to make progress in a given cycle. One reason is
+/// recorded per stalled core per cycle, mirroring the paper's monitoring
+/// framework which traces each core's stall cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Waiting for the `scan` lock.
+    ScanLock,
+    /// Waiting for the `free` lock.
+    FreeLock,
+    /// Waiting for a header lock held by another core.
+    HeaderLock,
+    /// Waiting for a body load to complete.
+    BodyLoad,
+    /// Waiting for the body store buffer to drain.
+    BodyStore,
+    /// Waiting for a header load to complete.
+    HeaderLoad,
+    /// Waiting for the header store buffer to drain.
+    HeaderStore,
+    /// Work list empty (`scan == free`) but other cores still busy: the
+    /// core spins. Not a stall in the paper's Table II sense; the basis of
+    /// Table I.
+    EmptySpin,
+    /// Collection finished; waiting for the final buffer flush.
+    Drain,
+}
+
+/// Per-core stall cycle counts (the columns of Table II).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    pub scan_lock: u64,
+    pub free_lock: u64,
+    pub header_lock: u64,
+    pub body_load: u64,
+    pub body_store: u64,
+    pub header_load: u64,
+    pub header_store: u64,
+    pub empty_spin: u64,
+    pub drain: u64,
+}
+
+impl StallBreakdown {
+    /// Record one stalled cycle.
+    pub fn record(&mut self, reason: StallReason) {
+        match reason {
+            StallReason::ScanLock => self.scan_lock += 1,
+            StallReason::FreeLock => self.free_lock += 1,
+            StallReason::HeaderLock => self.header_lock += 1,
+            StallReason::BodyLoad => self.body_load += 1,
+            StallReason::BodyStore => self.body_store += 1,
+            StallReason::HeaderLoad => self.header_load += 1,
+            StallReason::HeaderStore => self.header_store += 1,
+            StallReason::EmptySpin => self.empty_spin += 1,
+            StallReason::Drain => self.drain += 1,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &StallBreakdown) {
+        self.scan_lock += o.scan_lock;
+        self.free_lock += o.free_lock;
+        self.header_lock += o.header_lock;
+        self.body_load += o.body_load;
+        self.body_store += o.body_store;
+        self.header_load += o.header_load;
+        self.header_store += o.header_store;
+        self.empty_spin += o.empty_spin;
+        self.drain += o.drain;
+    }
+
+    /// Total Table-II stall cycles (lock + memory stalls; spinning on an
+    /// empty work list and end-of-cycle draining are reported separately,
+    /// as in the paper).
+    pub fn total_stalls(&self) -> u64 {
+        self.scan_lock
+            + self.free_lock
+            + self.header_lock
+            + self.body_load
+            + self.body_store
+            + self.header_load
+            + self.header_store
+    }
+}
+
+/// Full statistics of one simulated collection cycle.
+#[derive(Debug, Clone, Default)]
+pub struct GcStats {
+    /// Total clock cycles of the collection cycle (Table II "Total").
+    pub total_cycles: u64,
+    /// Cycles during which `scan == free` — no gray objects were available
+    /// for processing (Table I).
+    pub empty_worklist_cycles: u64,
+    /// Stall cycles summed over all cores.
+    pub stall: StallBreakdown,
+    /// Stall cycles per core.
+    pub per_core: Vec<StallBreakdown>,
+    /// Objects evacuated (and later scanned).
+    pub objects_copied: u64,
+    /// Words copied, headers included.
+    pub words_copied: u64,
+    /// Pointer slots processed during scanning.
+    pub pointers_visited: u64,
+    /// Scan claims performed. Equals `objects_copied` at object
+    /// granularity; exceeds it when the line-split extension divides
+    /// large objects across several claims.
+    pub chunks_claimed: u64,
+    /// Roots processed by core 1 in the initialization phase.
+    pub roots_processed: u64,
+    /// Cycles consumed by the sequential root-evacuation phase.
+    pub root_phase_cycles: u64,
+    /// Header-FIFO effectiveness.
+    pub fifo: FifoStats,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Synchronization-block contention counters.
+    pub sync: SyncStats,
+}
+
+impl GcStats {
+    /// Fraction of cycles with an empty work list (Table I), in [0, 1].
+    pub fn empty_worklist_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.empty_worklist_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Mean fraction of time a core spent stalled on `reason`
+    /// (the percentages of Table II).
+    pub fn stall_fraction(&self, reason: StallReason) -> f64 {
+        let n = self.per_core.len().max(1) as u64;
+        let denom = (self.total_cycles * n) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let count = match reason {
+            StallReason::ScanLock => self.stall.scan_lock,
+            StallReason::FreeLock => self.stall.free_lock,
+            StallReason::HeaderLock => self.stall.header_lock,
+            StallReason::BodyLoad => self.stall.body_load,
+            StallReason::BodyStore => self.stall.body_store,
+            StallReason::HeaderLoad => self.stall.header_load,
+            StallReason::HeaderStore => self.stall.header_store,
+            StallReason::EmptySpin => self.stall.empty_spin,
+            StallReason::Drain => self.stall.drain,
+        };
+        count as f64 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = StallBreakdown::default();
+        a.record(StallReason::ScanLock);
+        a.record(StallReason::ScanLock);
+        a.record(StallReason::BodyLoad);
+        let mut b = StallBreakdown::default();
+        b.record(StallReason::HeaderLoad);
+        b.merge(&a);
+        assert_eq!(b.scan_lock, 2);
+        assert_eq!(b.header_load, 1);
+        assert_eq!(b.total_stalls(), 4);
+    }
+
+    #[test]
+    fn empty_spin_not_a_table2_stall() {
+        let mut a = StallBreakdown::default();
+        a.record(StallReason::EmptySpin);
+        a.record(StallReason::Drain);
+        assert_eq!(a.total_stalls(), 0);
+    }
+
+    #[test]
+    fn fractions() {
+        let stats = GcStats {
+            total_cycles: 100,
+            empty_worklist_cycles: 25,
+            stall: StallBreakdown { scan_lock: 40, ..Default::default() },
+            per_core: vec![StallBreakdown::default(); 2],
+            ..Default::default()
+        };
+        assert!((stats.empty_worklist_fraction() - 0.25).abs() < 1e-12);
+        assert!((stats.stall_fraction(StallReason::ScanLock) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_fractions_are_zero() {
+        let stats = GcStats::default();
+        assert_eq!(stats.empty_worklist_fraction(), 0.0);
+        assert_eq!(stats.stall_fraction(StallReason::ScanLock), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-cycle signal tracing — the model's analogue of the paper's
+//! monitoring framework (Section VI-A: "a monitoring framework … allows
+//! to trace up to 32 internal signals in each clock cycle", streamed to a
+//! measurement PC over a dedicated Gigabit link and analyzed offline).
+//!
+//! A [`SignalTrace`] samples the architecturally interesting signals every
+//! `sample_every` cycles: the `scan` and `free` registers, the gray
+//! population (their distance in words), the number of busy cores, the
+//! header-FIFO occupancy, the DRAM service-queue depth, and each core's
+//! microprogram state. Traces can be dumped as CSV for offline analysis
+//! (`trace_dump` binary) or inspected programmatically.
+
+
+
+use crate::machine::State;
+
+/// One sampled cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    pub cycle: u64,
+    pub scan: u32,
+    pub free: u32,
+    /// Words between `scan` and `free` — the work list, in words.
+    pub gray_words: u32,
+    /// Number of busy cores.
+    pub busy_cores: u32,
+    /// Header-FIFO occupancy.
+    pub fifo_len: u32,
+    /// Requests waiting for DRAM service.
+    pub queue_depth: u32,
+    /// Microprogram state per core.
+    pub core_states: Vec<State>,
+}
+
+/// A sampled signal trace of one collection cycle.
+#[derive(Debug, Clone)]
+pub struct SignalTrace {
+    /// Sample period in cycles (1 = every cycle, like the FPGA monitor).
+    pub sample_every: u64,
+    rows: Vec<TraceRow>,
+}
+
+impl SignalTrace {
+    /// Trace sampling every `sample_every` cycles.
+    pub fn new(sample_every: u64) -> SignalTrace {
+        assert!(sample_every >= 1);
+        SignalTrace { sample_every, rows: Vec::new() }
+    }
+
+    /// Should cycle `n` be sampled?
+    pub fn wants(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.sample_every)
+    }
+
+    /// Record a sample (engine-internal).
+    pub fn push(&mut self, row: TraceRow) {
+        self.rows.push(row);
+    }
+
+    /// The sampled rows.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Peak gray population observed, in words.
+    pub fn peak_gray_words(&self) -> u32 {
+        self.rows.iter().map(|r| r.gray_words).max().unwrap_or(0)
+    }
+
+    /// Mean number of busy cores across samples.
+    pub fn mean_busy_cores(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.busy_cores as f64).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Dump as CSV: one row per sample, one state column per core.
+    pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        let cores = self.rows.first().map_or(0, |r| r.core_states.len());
+        write!(w, "cycle,scan,free,gray_words,busy_cores,fifo_len,queue_depth")?;
+        for c in 0..cores {
+            write!(w, ",core{c}")?;
+        }
+        writeln!(w)?;
+        for r in &self.rows {
+            write!(
+                w,
+                "{},{},{},{},{},{},{}",
+                r.cycle, r.scan, r.free, r.gray_words, r.busy_cores, r.fifo_len, r.queue_depth
+            )?;
+            for s in &r.core_states {
+                write!(w, ",{s:?}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cycle: u64, gray: u32, busy: u32) -> TraceRow {
+        TraceRow {
+            cycle,
+            scan: 100,
+            free: 100 + gray,
+            gray_words: gray,
+            busy_cores: busy,
+            fifo_len: 0,
+            queue_depth: 0,
+            core_states: vec![State::Poll, State::Done],
+        }
+    }
+
+    #[test]
+    fn sampling_period() {
+        let t = SignalTrace::new(4);
+        assert!(t.wants(0));
+        assert!(!t.wants(1));
+        assert!(t.wants(4));
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut t = SignalTrace::new(1);
+        t.push(row(0, 10, 1));
+        t.push(row(1, 30, 2));
+        t.push(row(2, 20, 0));
+        assert_eq!(t.peak_gray_words(), 30);
+        assert!((t.mean_busy_cores() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = SignalTrace::new(1);
+        t.push(row(0, 5, 1));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("core0,core1"));
+        assert!(lines[1].contains("Poll"));
+    }
+
+    #[test]
+    fn empty_trace_aggregates_are_zero() {
+        let t = SignalTrace::new(1);
+        assert_eq!(t.peak_gray_words(), 0);
+        assert_eq!(t.mean_busy_cores(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Convenience API for constructing object graphs in fromspace.
+//!
+//! The builder gives every object a unique non-zero *id*, stored in data
+//! word 0, and stamps the remaining data words with a deterministic mix of
+//! the id and the slot index. The snapshot/verify machinery uses the ids to
+//! check, after a collection, that the reachable graph was copied intact
+//! (same ids, same shapes, same contents, same edges).
+
+use crate::heap::{Addr, Heap, NULL};
+
+/// Index of an object created through a [`GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// Deterministic content stamp for data word `slot` of object `id`
+/// (slot 0 always holds the raw id).
+pub fn stamp(id: u32, slot: u32) -> u32 {
+    if slot == 0 {
+        id
+    } else {
+        // splitmix-style mix; any fixed bijective-ish mix works, the
+        // verifier only needs reproducibility.
+        let mut x = (id as u64) << 32 | slot as u64;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (x ^ (x >> 31)) as u32
+    }
+}
+
+/// Builds an object graph in the fromspace of a [`Heap`].
+pub struct GraphBuilder<'h> {
+    heap: &'h mut Heap,
+    addrs: Vec<Addr>,
+}
+
+impl<'h> GraphBuilder<'h> {
+    /// Wrap a heap. Objects previously allocated through other means are not
+    /// tracked by the builder.
+    pub fn new(heap: &'h mut Heap) -> GraphBuilder<'h> {
+        GraphBuilder { heap, addrs: Vec::new() }
+    }
+
+    /// Allocate an object with `pi` pointer slots and `delta >= 1` data
+    /// words and stamp its data area. Returns `None` when fromspace is full.
+    ///
+    /// # Panics
+    /// Panics if `delta == 0`: verified graphs need data word 0 for the id.
+    pub fn add(&mut self, pi: u32, delta: u32) -> Option<ObjId> {
+        assert!(delta >= 1, "verified objects need delta >= 1 to carry an id");
+        let addr = self.heap.alloc(pi, delta)?;
+        let id = self.addrs.len() as u32 + 1;
+        for slot in 0..delta {
+            self.heap.set_data(addr, slot, stamp(id, slot));
+        }
+        self.addrs.push(addr);
+        Some(ObjId(id))
+    }
+
+    /// Point `parent`'s pointer slot `slot` at `child`.
+    pub fn link(&mut self, parent: ObjId, slot: u32, child: ObjId) {
+        let p = self.addr(parent);
+        let c = self.addr(child);
+        self.heap.set_ptr(p, slot, c);
+    }
+
+    /// Null out `parent`'s pointer slot `slot`.
+    pub fn unlink(&mut self, parent: ObjId, slot: u32) {
+        let p = self.addr(parent);
+        self.heap.set_ptr(p, slot, NULL);
+    }
+
+    /// Register `obj` as a root.
+    pub fn root(&mut self, obj: ObjId) {
+        let a = self.addr(obj);
+        self.heap.add_root(a);
+    }
+
+    /// Fromspace address of a built object.
+    pub fn addr(&self, obj: ObjId) -> Addr {
+        self.addrs[(obj.0 - 1) as usize]
+    }
+
+    /// Number of objects built so far.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no objects have been built.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Access the underlying heap.
+    pub fn heap(&mut self) -> &mut Heap {
+        self.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut heap = Heap::new(1000);
+        let mut b = GraphBuilder::new(&mut heap);
+        let a = b.add(2, 1).unwrap();
+        let c = b.add(0, 3).unwrap();
+        b.link(a, 0, c);
+        b.link(a, 1, a); // self loop
+        b.root(a);
+        let (aa, ca) = (b.addr(a), b.addr(c));
+        assert_eq!(heap.ptr(aa, 0), ca);
+        assert_eq!(heap.ptr(aa, 1), aa);
+        assert_eq!(heap.roots(), &[aa]);
+        assert_eq!(heap.data(aa, 0), 1);
+        assert_eq!(heap.data(ca, 0), 2);
+        assert_eq!(heap.data(ca, 1), stamp(2, 1));
+        assert_eq!(heap.data(ca, 2), stamp(2, 2));
+    }
+
+    #[test]
+    fn add_returns_none_when_full() {
+        let mut heap = Heap::new(8);
+        let mut b = GraphBuilder::new(&mut heap);
+        assert!(b.add(0, 1).is_some()); // 3 words
+        assert!(b.add(0, 1).is_some()); // 3 words
+        assert!(b.add(0, 1).is_none()); // 2 words left
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_nonzero() {
+        let mut heap = Heap::new(100);
+        let mut b = GraphBuilder::new(&mut heap);
+        let x = b.add(0, 1).unwrap();
+        let y = b.add(0, 1).unwrap();
+        assert_eq!(x, ObjId(1));
+        assert_eq!(y, ObjId(2));
+    }
+
+    #[test]
+    fn stamp_slot_zero_is_id() {
+        assert_eq!(stamp(17, 0), 17);
+        assert_ne!(stamp(17, 1), stamp(17, 2));
+        assert_ne!(stamp(17, 1), stamp(18, 1));
+    }
+}
+
+#[cfg(test)]
+mod unlink_tests {
+    use super::*;
+    use crate::heap::{Heap, NULL};
+
+    #[test]
+    fn unlink_clears_the_slot() {
+        let mut heap = Heap::new(100);
+        let mut b = GraphBuilder::new(&mut heap);
+        let p = b.add(2, 1).unwrap();
+        let c = b.add(0, 1).unwrap();
+        b.link(p, 0, c);
+        b.link(p, 1, c);
+        b.unlink(p, 0);
+        let pa = b.addr(p);
+        let ca = b.addr(c);
+        assert_eq!(heap.ptr(pa, 0), NULL);
+        assert_eq!(heap.ptr(pa, 1), ca);
+    }
+}

@@ -1,0 +1,526 @@
+//! Post-collection verifier.
+//!
+//! After a collection cycle, the tospace must contain exactly the objects
+//! that were reachable before the cycle, compacted contiguously from the
+//! bottom of tospace, all black, with every pointer redirected into
+//! tospace. This module checks all of that against a [`Snapshot`] captured
+//! before the cycle.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::header::Color;
+use crate::heap::{Addr, Heap, NULL};
+use crate::snapshot::Snapshot;
+
+/// A verification failure, with enough context to debug the collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A root still points into fromspace (or outside the heap).
+    RootNotInTospace { root_index: usize, addr: Addr },
+    /// Root `root_index` refers to the wrong object.
+    RootIdMismatch { root_index: usize, expected: Option<u32>, found: Option<u32> },
+    /// A reachable tospace object is not black.
+    NotBlack { addr: Addr, color: Color },
+    /// A pointer escapes tospace.
+    DanglingPointer { obj: Addr, slot: u32, target: Addr },
+    /// Object contents differ from the snapshot.
+    ContentMismatch { id: u32, detail: String },
+    /// An object present before the cycle is missing afterwards.
+    MissingObject { id: u32 },
+    /// Tospace contains an object that was not reachable before the cycle.
+    UnexpectedObject { id: u32 },
+    /// The objects in `[to_base, free)` do not tile the region contiguously.
+    NotCompacted { detail: String },
+    /// `free` does not match the live data volume.
+    LiveWordsMismatch { expected: u64, found: u64 },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Summary of a successful verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    pub live_objects: usize,
+    pub live_words: u64,
+}
+
+/// Verify the heap after a collection cycle.
+///
+/// * `free` is the collector's final allocation frontier in tospace.
+/// * `snapshot` was captured from the same heap before the cycle.
+///
+/// Checks performed:
+/// 1. every root points to a tospace copy of the object it pointed to,
+/// 2. walking tospace `[to_base, free)` yields a contiguous tiling of black
+///    objects (compaction),
+/// 3. the id-keyed set of walked objects equals the snapshot's reachable
+///    set, with identical `pi`/`delta`, data words and child edges,
+/// 4. every pointer in tospace targets tospace or is null,
+/// 5. every walked object is reachable from the roots (a copying collector
+///    never copies garbage), and `free - to_base` equals the snapshot's
+///    live word count.
+pub fn verify_collection(
+    heap: &Heap,
+    free: Addr,
+    snapshot: &Snapshot,
+) -> Result<VerifyReport, VerifyError> {
+    verify_inner(heap, free, snapshot, VerifyOptions::default())
+}
+
+/// Verify a collection performed by a collector that does **not**
+/// guarantee perfect compaction (the software baselines with local
+/// allocation buffers or chunked allocation leave fragmentation holes).
+/// Performs every check of [`verify_collection`] except the contiguous
+/// tiling of `[to_base, free)`: the live set is discovered from the roots
+/// instead, and `free` only bounds it.
+pub fn verify_collection_relaxed(
+    heap: &Heap,
+    free: Addr,
+    snapshot: &Snapshot,
+) -> Result<VerifyReport, VerifyError> {
+    verify_inner(heap, free, snapshot, VerifyOptions { compacted: false, ..VerifyOptions::default() })
+}
+
+/// Knobs for [`verify_collection_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Require `[to_base, free)` to be a contiguous tiling (walked from
+    /// the roots instead when false).
+    pub compacted: bool,
+    /// Permit black objects whose id is not in the snapshot — objects the
+    /// mutator allocated *during* the collection (concurrent extension).
+    /// Such objects must still be black with tospace-or-null pointers.
+    pub allow_unknown_objects: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions { compacted: true, allow_unknown_objects: false }
+    }
+}
+
+/// [`verify_collection`] with explicit [`VerifyOptions`].
+pub fn verify_collection_with(
+    heap: &Heap,
+    free: Addr,
+    snapshot: &Snapshot,
+    opts: VerifyOptions,
+) -> Result<VerifyReport, VerifyError> {
+    verify_inner(heap, free, snapshot, opts)
+}
+
+fn verify_inner(
+    heap: &Heap,
+    free: Addr,
+    snapshot: &Snapshot,
+    opts: VerifyOptions,
+) -> Result<VerifyReport, VerifyError> {
+    let compacted = opts.compacted;
+    let to_base = heap.to_base();
+
+    // --- 2: discover the tospace objects -------------------------------
+    // Compacted collectors must tile [to_base, free) exactly; relaxed
+    // collectors are walked from the roots instead.
+    let mut by_addr: HashMap<Addr, u32> = HashMap::new(); // addr -> id
+    let mut ids_seen: HashSet<u32> = HashSet::new();
+    if compacted {
+        let mut addr = to_base;
+        while addr < free {
+            let h = heap.header(addr);
+            if h.color != Color::Black {
+                return Err(VerifyError::NotBlack { addr, color: h.color });
+            }
+            if h.delta < 1 {
+                return Err(VerifyError::NotCompacted {
+                    detail: format!("object at {addr} has delta 0; cannot carry id"),
+                });
+            }
+            let id = heap.data(addr, 0);
+            if !ids_seen.insert(id) {
+                return Err(VerifyError::NotCompacted { detail: format!("duplicate id {id}") });
+            }
+            by_addr.insert(addr, id);
+            let next = addr + h.size_words();
+            if next > free {
+                return Err(VerifyError::NotCompacted {
+                    detail: format!("object at {addr} overruns free={free}"),
+                });
+            }
+            addr = next;
+        }
+        if addr != free {
+            return Err(VerifyError::NotCompacted {
+                detail: format!("walk ended at {addr}, expected free={free}"),
+            });
+        }
+    } else {
+        let mut seen: HashSet<Addr> = HashSet::new();
+        let mut queue: VecDeque<Addr> = heap
+            .roots()
+            .iter()
+            .copied()
+            .filter(|&r| r != NULL && seen.insert(r))
+            .collect();
+        while let Some(addr) = queue.pop_front() {
+            if !heap.in_tospace(addr) || addr + 2 > free {
+                return Err(VerifyError::RootNotInTospace { root_index: usize::MAX, addr });
+            }
+            let h = heap.header(addr);
+            if h.color != Color::Black {
+                return Err(VerifyError::NotBlack { addr, color: h.color });
+            }
+            if h.delta < 1 {
+                return Err(VerifyError::NotCompacted {
+                    detail: format!("object at {addr} has delta 0; cannot carry id"),
+                });
+            }
+            let id = heap.data(addr, 0);
+            if !ids_seen.insert(id) {
+                return Err(VerifyError::NotCompacted { detail: format!("duplicate id {id}") });
+            }
+            by_addr.insert(addr, id);
+            for slot in 0..h.pi {
+                let t = heap.ptr(addr, slot);
+                if t != NULL && seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    // --- 1: roots ------------------------------------------------------
+    let id_at = |a: Addr| -> Option<u32> { by_addr.get(&a).copied() };
+    for (i, &r) in heap.roots().iter().enumerate() {
+        if i >= snapshot.root_ids.len() {
+            // Roots appended during/after the snapshot (e.g. mutator
+            // registers in the concurrent extension): only pointer hygiene
+            // applies, which the tiling/BFS walk already covered.
+            if r != NULL && !heap.in_tospace(r) {
+                return Err(VerifyError::RootNotInTospace { root_index: i, addr: r });
+            }
+            continue;
+        }
+        let expected = snapshot.root_ids[i];
+        if r == NULL {
+            if expected.is_some() {
+                return Err(VerifyError::RootIdMismatch {
+                    root_index: i,
+                    expected,
+                    found: None,
+                });
+            }
+            continue;
+        }
+        if !heap.in_tospace(r) {
+            return Err(VerifyError::RootNotInTospace { root_index: i, addr: r });
+        }
+        let found = id_at(r);
+        if found != expected {
+            let points_at_unknown = opts.allow_unknown_objects
+                && found.is_some_and(|id| !snapshot.objects.contains_key(&id));
+            // Roots appended after the snapshot (mutator registers) have
+            // no expectation recorded; `snapshot.root_ids` is shorter.
+            if !points_at_unknown {
+                return Err(VerifyError::RootIdMismatch { root_index: i, expected, found });
+            }
+        }
+    }
+
+    // --- 3 + 4: per-object contents and pointer hygiene ----------------
+    let mut unknown_objects = 0usize;
+    for (&addr, &id) in &by_addr {
+        let rec = match snapshot.objects.get(&id) {
+            Some(rec) => rec,
+            None if opts.allow_unknown_objects => {
+                // Allocated during the collection: must be black (checked
+                // during discovery) with clean pointers; contents are the
+                // mutator's business.
+                unknown_objects += 1;
+                let h = heap.header(addr);
+                for slot in 0..h.pi {
+                    let target = heap.ptr(addr, slot);
+                    if target != NULL && !heap.in_tospace(target) {
+                        return Err(VerifyError::DanglingPointer { obj: addr, slot, target });
+                    }
+                }
+                continue;
+            }
+            None => return Err(VerifyError::UnexpectedObject { id }),
+        };
+        let h = heap.header(addr);
+        if h.pi != rec.pi || h.delta != rec.delta {
+            return Err(VerifyError::ContentMismatch {
+                id,
+                detail: format!(
+                    "shape (pi,delta) = ({},{}), expected ({},{})",
+                    h.pi, h.delta, rec.pi, rec.delta
+                ),
+            });
+        }
+        for slot in 0..h.delta {
+            let got = heap.data(addr, slot);
+            if got != rec.data[slot as usize] {
+                return Err(VerifyError::ContentMismatch {
+                    id,
+                    detail: format!(
+                        "data[{slot}] = {got:#x}, expected {:#x}",
+                        rec.data[slot as usize]
+                    ),
+                });
+            }
+        }
+        for slot in 0..h.pi {
+            let target = heap.ptr(addr, slot);
+            let expected_child = rec.children[slot as usize];
+            if target == NULL {
+                if expected_child.is_some() {
+                    return Err(VerifyError::ContentMismatch {
+                        id,
+                        detail: format!("ptr[{slot}] is null, expected {expected_child:?}"),
+                    });
+                }
+                continue;
+            }
+            if !heap.in_tospace(target) {
+                return Err(VerifyError::DanglingPointer { obj: addr, slot, target });
+            }
+            let child_id = id_at(target);
+            if child_id != expected_child {
+                return Err(VerifyError::ContentMismatch {
+                    id,
+                    detail: format!("ptr[{slot}] -> id {child_id:?}, expected {expected_child:?}"),
+                });
+            }
+        }
+    }
+
+    // --- 3 (other direction) + 5: exact live set, no garbage copied ----
+    for &id in snapshot.objects.keys() {
+        if !ids_seen.contains(&id) {
+            return Err(VerifyError::MissingObject { id });
+        }
+    }
+    let live_words_found = if compacted {
+        let found = (free - to_base) as u64;
+        if opts.allow_unknown_objects {
+            if found < snapshot.live_words {
+                return Err(VerifyError::LiveWordsMismatch {
+                    expected: snapshot.live_words,
+                    found,
+                });
+            }
+        } else if found != snapshot.live_words {
+            return Err(VerifyError::LiveWordsMismatch {
+                expected: snapshot.live_words,
+                found,
+            });
+        }
+        found
+    } else {
+        // Fragmenting collectors consume at least the live volume.
+        let consumed = (free - to_base) as u64;
+        if consumed < snapshot.live_words {
+            return Err(VerifyError::LiveWordsMismatch {
+                expected: snapshot.live_words,
+                found: consumed,
+            });
+        }
+        snapshot.live_words
+    };
+
+    // Reachability from roots must cover every object in tospace (copying
+    // collectors never copy garbage).
+    let mut reached: HashSet<Addr> = HashSet::new();
+    let mut queue: VecDeque<Addr> = heap.roots().iter().copied().filter(|&r| r != NULL).collect();
+    for &r in heap.roots() {
+        if r != NULL {
+            reached.insert(r);
+        }
+    }
+    while let Some(a) = queue.pop_front() {
+        let h = heap.header(a);
+        for slot in 0..h.pi {
+            let t = heap.ptr(a, slot);
+            if t != NULL && reached.insert(t) {
+                queue.push_back(t);
+            }
+        }
+    }
+    if reached.len() != by_addr.len() {
+        return Err(VerifyError::NotCompacted {
+            detail: format!(
+                "{} objects in tospace but only {} reachable from roots",
+                by_addr.len(),
+                reached.len()
+            ),
+        });
+    }
+
+    Ok(VerifyReport {
+        live_objects: by_addr.len() - unknown_objects,
+        live_words: live_words_found,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::header::Header;
+
+    /// Trivial single-threaded Cheney used to exercise the verifier itself.
+    fn toy_cheney(heap: &mut Heap) -> Addr {
+        heap.flip();
+        let mut scan = heap.to_base();
+        let mut free = heap.to_base();
+        let evacuate = |heap: &mut Heap, free: &mut Addr, obj: Addr| -> Addr {
+            if obj == NULL {
+                return NULL;
+            }
+            let h = heap.header(obj);
+            if h.marked {
+                return h.link;
+            }
+            let dst = *free;
+            *free += h.size_words();
+            for i in 0..h.size_words() {
+                let w = heap.word(obj + i);
+                heap.set_word(dst + i, w);
+            }
+            heap.set_header(dst, Header::black(h.pi, h.delta));
+            heap.set_header(obj, Header::forwarded(h.pi, h.delta, dst));
+            dst
+        };
+        for i in 0..heap.roots().len() {
+            let r = heap.roots()[i];
+            let n = evacuate(heap, &mut free, r);
+            heap.set_root(i, n);
+        }
+        while scan < free {
+            let h = heap.header(scan);
+            for slot in 0..h.pi {
+                let t = heap.ptr(scan, slot);
+                let n = evacuate(heap, &mut free, t);
+                heap.set_ptr(scan, slot, n);
+            }
+            scan += h.size_words();
+        }
+        heap.set_alloc_ptr(free);
+        free
+    }
+
+    fn diamond_heap() -> Heap {
+        let mut heap = Heap::new(500);
+        let mut b = GraphBuilder::new(&mut heap);
+        let r = b.add(2, 1).unwrap();
+        let l = b.add(1, 2).unwrap();
+        let rr = b.add(1, 2).unwrap();
+        let bot = b.add(0, 4).unwrap();
+        let _garbage = b.add(3, 3).unwrap();
+        b.link(r, 0, l);
+        b.link(r, 1, rr);
+        b.link(l, 0, bot);
+        b.link(rr, 0, bot);
+        b.root(r);
+        heap
+    }
+
+    #[test]
+    fn verifier_accepts_correct_collection() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        let report = verify_collection(&heap, free, &snap).unwrap();
+        assert_eq!(report.live_objects, 4);
+        assert_eq!(report.live_words, snap.live_words);
+    }
+
+    #[test]
+    fn verifier_rejects_gray_object() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Corrupt: re-gray the first object.
+        let base = heap.to_base();
+        let h = heap.header(base);
+        heap.set_header(base, Header::gray(h.pi, h.delta, 0));
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::NotBlack { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_fromspace_pointer() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        let base = heap.to_base();
+        let from = heap.from_base();
+        heap.set_ptr(base, 0, from); // dangling into fromspace
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::DanglingPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_content_corruption() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        let base = heap.to_base();
+        let h = heap.header(base);
+        heap.set_data(base, h.delta - 1, 0x12345678);
+        let r = verify_collection(&heap, free, &snap);
+        assert!(
+            matches!(r, Err(VerifyError::ContentMismatch { .. }))
+                // data word 0 corruption shows up as an id mismatch instead
+                || matches!(r, Err(VerifyError::UnexpectedObject { .. }))
+                || matches!(r, Err(VerifyError::RootIdMismatch { .. })),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_wrong_free_pointer() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        assert!(verify_collection(&heap, free + 3, &snap).is_err());
+    }
+
+    #[test]
+    fn verifier_rejects_missing_object() {
+        let mut heap = diamond_heap();
+        let mut snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Pretend the snapshot had one more object.
+        snap.objects.insert(
+            999,
+            crate::snapshot::ObjRecord { pi: 0, delta: 1, data: vec![999], children: vec![] },
+        );
+        snap.live_words += 3;
+        let r = verify_collection(&heap, free, &snap);
+        assert!(
+            matches!(r, Err(VerifyError::MissingObject { id: 999 }))
+                || matches!(r, Err(VerifyError::LiveWordsMismatch { .. })),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn empty_heap_verifies() {
+        let mut heap = Heap::new(100);
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        let report = verify_collection(&heap, free, &snap).unwrap();
+        assert_eq!(report.live_objects, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests of the heap substrate: allocation never overlaps,
+//! accessors round-trip, and the snapshot is stable under re-capture.
+
+use hwgc_heap::{GraphBuilder, Heap, Snapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Allocations tile the semispace without overlap and respect its end.
+    #[test]
+    fn allocations_never_overlap(sizes in prop::collection::vec((0u32..6, 0u32..10), 1..60)) {
+        let mut heap = Heap::new(512);
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for (pi, delta) in sizes {
+            if let Some(a) = heap.alloc(pi, delta) {
+                let size = 2 + pi + delta;
+                for &(b, bs) in &spans {
+                    prop_assert!(a + size <= b || b + bs <= a, "overlap");
+                }
+                prop_assert!(a + size <= heap.to_limit());
+                spans.push((a, size));
+            }
+        }
+    }
+
+    /// Pointer and data slots are disjoint: writing one never disturbs
+    /// the other, for any shape.
+    #[test]
+    fn pointer_and_data_areas_are_disjoint(
+        pi in 1u32..8,
+        delta in 1u32..8,
+        pslot in 0u32..8,
+        dslot in 0u32..8,
+        val in 1u32..u32::MAX,
+    ) {
+        let pslot = pslot % pi;
+        let dslot = dslot % delta;
+        let mut heap = Heap::new(128);
+        let target = heap.alloc(0, 1).unwrap();
+        let a = heap.alloc(pi, delta).unwrap();
+        heap.set_data(a, dslot, val);
+        heap.set_ptr(a, pslot, target);
+        prop_assert_eq!(heap.data(a, dslot), val);
+        prop_assert_eq!(heap.ptr(a, pslot), target);
+        heap.set_ptr(a, pslot, 0);
+        prop_assert_eq!(heap.data(a, dslot), val);
+    }
+
+    /// Capturing a snapshot twice yields identical structures, and a
+    /// clone of the heap snapshots identically.
+    #[test]
+    fn snapshot_is_pure(n in 1usize..40, seed in 0u64..500) {
+        let mut heap = Heap::new(4096);
+        let mut b = GraphBuilder::new(&mut heap);
+        let mut x = seed | 1;
+        let mut rand = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        let ids: Vec<_> = (0..n)
+            .map(|_| b.add((rand() % 4) as u32, 1 + (rand() % 4) as u32).unwrap())
+            .collect();
+        for &id in &ids {
+            if rand().is_multiple_of(2) {
+                let tgt = ids[(rand() as usize) % ids.len()];
+                let pi = { let a = b.addr(id); hwgc_heap::header::pi_of(b.heap().word(a)) };
+                if pi > 0 {
+                    b.link(id, (rand() % pi as u64) as u32, tgt);
+                }
+            }
+        }
+        b.root(ids[0]);
+        let s1 = Snapshot::capture(&heap);
+        let s2 = Snapshot::capture(&heap);
+        prop_assert_eq!(&s1, &s2);
+        let s3 = Snapshot::capture(&heap.clone());
+        prop_assert_eq!(&s1, &s3);
+    }
+}

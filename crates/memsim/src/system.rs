@@ -1,0 +1,655 @@
+//! The memory access scheduler and DRAM timing model.
+
+use std::collections::VecDeque;
+
+/// Memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Cycles from service start to completion for *random* accesses
+    /// (header traffic, and the first word of a body stream). The FPGA
+    /// prototype's DDR-SDRAM ran at ≥4× the 25 MHz core clock, so its
+    /// latency was "a few clock cycles"; Figure 6 adds an artificial +20
+    /// to every access.
+    pub latency: u32,
+    /// Requests that may begin service per core cycle (bandwidth). The
+    /// prototype's memory clock ratio gives it several transfers per core
+    /// cycle.
+    pub bandwidth: u32,
+    /// Capacity of the on-chip header FIFO (prototype: up to 32k entries).
+    pub header_fifo_capacity: usize,
+    /// Extra latency applied to *every* access on top of any burst
+    /// shortcut — the Figure 6 "artificial latency" knob.
+    pub extra_latency: u32,
+    /// Extension 2 (paper conclusions, item 2): a shared, direct-mapped,
+    /// write-through header cache at the memory interface. Header loads
+    /// that hit complete in one cycle without a DRAM request. `0`
+    /// disables it (the paper's baseline).
+    pub header_cache_entries: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        // Prototype-like regime: latency of a few core cycles and a memory
+        // clock several times the core clock (Section VI-A), i.e. enough
+        // bandwidth that ~a dozen active cores saturate it — which is what
+        // bounds the paper's 16-core speedup at 12.1×.
+        MemConfig {
+            latency: 5,
+            bandwidth: 10,
+            header_fifo_capacity: 4096,
+            extra_latency: 0,
+            header_cache_entries: 0,
+        }
+    }
+}
+
+impl MemConfig {
+    /// The Figure 6 experiment: add cycles of artificial latency to every
+    /// memory access (bursts included — the paper delays each access).
+    pub fn with_extra_latency(mut self, extra: u32) -> MemConfig {
+        self.extra_latency = extra;
+        self
+    }
+}
+
+/// One of the four per-core buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Port {
+    HeaderLoad = 0,
+    HeaderStore = 1,
+    BodyLoad = 2,
+    BodyStore = 3,
+}
+
+/// Number of ports per core.
+pub const PORT_COUNT: usize = 4;
+
+impl Port {
+    /// All ports, in index order.
+    pub const ALL: [Port; PORT_COUNT] =
+        [Port::HeaderLoad, Port::HeaderStore, Port::BodyLoad, Port::BodyStore];
+
+    /// Is this a load port?
+    pub fn is_load(self) -> bool {
+        matches!(self, Port::HeaderLoad | Port::BodyLoad)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    /// Header load waiting for a matching header store (comparator array).
+    Blocked,
+    /// Waiting for DRAM service.
+    Queued,
+    /// In DRAM; completes at the stored cycle.
+    InService { done_at: u64 },
+    /// Load data sitting in the buffer, not yet consumed by the core.
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    addr: u32,
+    state: TxnState,
+    issued_at: u64,
+}
+
+/// Aggregate statistics of the memory system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Transactions issued per port kind (indexed by `Port as usize`).
+    pub issued: [u64; PORT_COUNT],
+    /// Cycles a header load spent blocked behind a matching store.
+    pub comparator_blocked_cycles: u64,
+    /// Header-cache hits (loads served on-chip).
+    pub header_cache_hits: u64,
+    /// Header-cache misses (loads that went to DRAM while the cache was
+    /// enabled).
+    pub header_cache_misses: u64,
+    /// Cumulative DRAM queue occupancy (for mean queue depth).
+    pub queue_occupancy_sum: u64,
+    /// Cycles with at least one request waiting for DRAM service.
+    pub queue_busy_cycles: u64,
+    /// Total cycles observed.
+    pub cycles: u64,
+}
+
+impl MemStats {
+    /// Mean number of requests waiting for DRAM service per cycle.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.queue_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total transactions issued.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+}
+
+/// The split-transaction memory system: per-core single-entry buffers in
+/// front of a bandwidth/latency DRAM model, with the comparator array that
+/// orders header loads after matching header stores.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    cycle: u64,
+    /// `ports[core][port]`.
+    ports: Vec<[Option<Txn>; PORT_COUNT]>,
+    /// Service queue: `(core, port)` in arrival order.
+    queue: VecDeque<(usize, Port)>,
+    /// Pending header-store addresses (comparator array). Tiny: at most one
+    /// entry per core.
+    pending_header_stores: Vec<u32>,
+    /// Last body-access address per core and port parity (load/store),
+    /// for the sequential-burst fast path: bodies are streamed, so an
+    /// access to `prev + 1` hits the open DRAM row / continues the burst.
+    last_body_addr: Vec<[Option<u32>; 2]>,
+    /// Shared direct-mapped header cache: tag (header address) per set.
+    /// Timing-only — data always comes from the functional heap; the
+    /// cache is write-through and therefore coherent by construction.
+    header_cache: Vec<Option<u32>>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Memory system serving `n_cores` cores.
+    pub fn new(n_cores: usize, cfg: MemConfig) -> MemorySystem {
+        assert!(cfg.bandwidth > 0, "bandwidth must be positive");
+        MemorySystem {
+            cfg,
+            cycle: 0,
+            ports: vec![[None; PORT_COUNT]; n_cores],
+            queue: VecDeque::new(),
+            pending_header_stores: Vec::new(),
+            last_body_addr: vec![[None; 2]; n_cores],
+            header_cache: vec![None; cfg.header_cache_entries],
+            stats: MemStats::default(),
+        }
+    }
+
+    fn cache_lookup(&mut self, addr: u32) -> bool {
+        if self.header_cache.is_empty() {
+            return false;
+        }
+        let set = addr as usize % self.header_cache.len();
+        if self.header_cache[set] == Some(addr) {
+            self.stats.header_cache_hits += 1;
+            true
+        } else {
+            self.stats.header_cache_misses += 1;
+            false
+        }
+    }
+
+    fn cache_fill(&mut self, addr: u32) {
+        if self.header_cache.is_empty() {
+            return;
+        }
+        let set = addr as usize % self.header_cache.len();
+        self.header_cache[set] = Some(addr);
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advance one cycle: complete finished services, unblock header loads
+    /// whose matching stores retired, and start service for up to
+    /// `bandwidth` queued requests. Call once per engine cycle, before the
+    /// cores tick.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+
+        // 1. Retire in-service transactions that are done.
+        for core in 0..self.ports.len() {
+            for port in Port::ALL {
+                if let Some(txn) = &mut self.ports[core][port as usize] {
+                    if let TxnState::InService { done_at } = txn.state {
+                        if done_at <= self.cycle {
+                            if port.is_load() {
+                                txn.state = TxnState::Complete;
+                            } else {
+                                // Stores retire fully; free the buffer.
+                                if port == Port::HeaderStore {
+                                    let addr = txn.addr;
+                                    remove_one(&mut self.pending_header_stores, addr);
+                                }
+                                self.ports[core][port as usize] = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Unblock header loads (comparator array re-check).
+        for core in 0..self.ports.len() {
+            if let Some(txn) = &mut self.ports[core][Port::HeaderLoad as usize] {
+                if txn.state == TxnState::Blocked {
+                    if self.pending_header_stores.contains(&txn.addr) {
+                        self.stats.comparator_blocked_cycles += 1;
+                    } else {
+                        txn.state = TxnState::Queued;
+                        self.queue.push_back((core, Port::HeaderLoad));
+                    }
+                }
+            }
+        }
+
+        // 3. DRAM accepts up to `bandwidth` queued requests.
+        self.stats.queue_occupancy_sum += self.queue.len() as u64;
+        if !self.queue.is_empty() {
+            self.stats.queue_busy_cycles += 1;
+        }
+        for _ in 0..self.cfg.bandwidth {
+            let Some((core, port)) = self.queue.pop_front() else { break };
+            let latency = self.access_latency(core, port);
+            if latency == 0 {
+                // Burst continuation: the open-row access completes within
+                // this memory cycle — data is ready when the core ticks.
+                let txn = self.ports[core][port as usize].take().expect("queued txn");
+                debug_assert_eq!(txn.state, TxnState::Queued);
+                if port.is_load() {
+                    self.ports[core][port as usize] =
+                        Some(Txn { state: TxnState::Complete, ..txn });
+                } else if port == Port::HeaderStore {
+                    remove_one(&mut self.pending_header_stores, txn.addr);
+                }
+                continue;
+            }
+            let txn = self.ports[core][port as usize]
+                .as_mut()
+                .expect("queued transaction must exist");
+            debug_assert_eq!(txn.state, TxnState::Queued);
+            txn.state = TxnState::InService { done_at: self.cycle + latency as u64 };
+        }
+    }
+
+    /// Effective latency of the transaction sitting in `(core, port)`:
+    /// body accesses that continue a sequential stream complete at burst
+    /// speed (0 = ready next cycle); header accesses and stream starts pay
+    /// the full random-access latency. The Figure 6 artificial latency is
+    /// added to everything.
+    fn access_latency(&mut self, core: usize, port: Port) -> u32 {
+        let txn = self.ports[core][port as usize].as_ref().expect("txn");
+        let addr = txn.addr;
+        let base = match port {
+            Port::BodyLoad | Port::BodyStore => {
+                let slot = if port == Port::BodyLoad { 0 } else { 1 };
+                let seq = self.last_body_addr[core][slot] == Some(addr.wrapping_sub(1));
+                self.last_body_addr[core][slot] = Some(addr);
+                if seq {
+                    0
+                } else {
+                    self.cfg.latency
+                }
+            }
+            _ => self.cfg.latency,
+        };
+        base + self.cfg.extra_latency
+    }
+
+    /// Issue a request on `(core, port)`. Returns `false` (core stalls)
+    /// when the buffer is still busy with the previous request.
+    ///
+    /// Header loads to an address with a pending header store enter the
+    /// blocked state and are only queued once the store retires.
+    pub fn try_issue(&mut self, core: usize, port: Port, addr: u32) -> bool {
+        if self.ports[core][port as usize].is_some() {
+            return false;
+        }
+        let mut state = TxnState::Queued;
+        if port == Port::HeaderLoad && self.pending_header_stores.contains(&addr) {
+            // Comparator array: ordered behind the store regardless of any
+            // cached copy.
+            state = TxnState::Blocked;
+        } else if port == Port::HeaderLoad && self.cache_lookup(addr) {
+            // Header-cache hit: served on-chip, ready next cycle, no DRAM
+            // bandwidth consumed.
+            state = TxnState::Complete;
+        }
+        if port == Port::HeaderLoad && state == TxnState::Queued {
+            // The returning line fills the cache (tag set at issue; the
+            // model is timing-only).
+            self.cache_fill(addr);
+        }
+        if port == Port::HeaderStore {
+            self.pending_header_stores.push(addr);
+            // Write-through: the stored header is cached.
+            self.cache_fill(addr);
+        }
+        self.ports[core][port as usize] = Some(Txn { addr, state, issued_at: self.cycle });
+        if state == TxnState::Queued {
+            self.queue.push_back((core, port));
+        }
+        self.stats.issued[port as usize] += 1;
+        true
+    }
+
+    /// Is the buffer `(core, port)` occupied (request in flight or load
+    /// data not yet consumed)?
+    pub fn port_busy(&self, core: usize, port: Port) -> bool {
+        self.ports[core][port as usize].is_some()
+    }
+
+    /// Has the load on `(core, port)` completed (data available)?
+    ///
+    /// # Panics
+    /// Panics when called on a store port.
+    pub fn load_ready(&self, core: usize, port: Port) -> bool {
+        assert!(port.is_load());
+        matches!(
+            self.ports[core][port as usize],
+            Some(Txn { state: TxnState::Complete, .. })
+        )
+    }
+
+    /// Consume the completed load on `(core, port)`, freeing the buffer.
+    /// Returns the address the load targeted (the caller samples the heap).
+    ///
+    /// # Panics
+    /// Panics if the load is not complete — the core must check
+    /// [`MemorySystem::load_ready`] and stall otherwise.
+    pub fn consume_load(&mut self, core: usize, port: Port) -> u32 {
+        assert!(port.is_load());
+        let txn = self.ports[core][port as usize]
+            .take()
+            .expect("no load in buffer");
+        assert_eq!(txn.state, TxnState::Complete, "load consumed before completion");
+        txn.addr
+    }
+
+    /// True when every buffer of every core is empty (all stores committed,
+    /// all loads consumed) — the end-of-cycle flush condition.
+    pub fn all_idle(&self) -> bool {
+        self.ports.iter().all(|p| p.iter().all(Option::is_none))
+    }
+
+    /// Is a header store to `addr` pending (comparator array view)?
+    pub fn header_store_pending(&self, addr: u32) -> bool {
+        self.pending_header_stores.contains(&addr)
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Requests currently waiting for DRAM service (monitoring).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Age (in cycles) of the oldest in-flight transaction, if any —
+    /// diagnostic for deadlock hunting in the engine.
+    pub fn oldest_inflight_age(&self) -> Option<u64> {
+        self.ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|t| self.cycle.saturating_sub(t.issued_at))
+            .max()
+    }
+}
+
+fn remove_one(v: &mut Vec<u32>, value: u32) {
+    let idx = v.iter().position(|&x| x == value).expect("pending store missing");
+    v.swap_remove(idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(n: usize) -> MemorySystem {
+        MemorySystem::new(
+            n,
+            MemConfig {
+                latency: 3,
+                bandwidth: 2,
+                header_fifo_capacity: 16,
+                extra_latency: 0,
+                header_cache_entries: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn load_completes_after_latency() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::BodyLoad, 100));
+        assert!(!m.load_ready(0, Port::BodyLoad));
+        m.tick(); // service starts at cycle 1, completes at 4
+        assert!(!m.load_ready(0, Port::BodyLoad));
+        m.tick();
+        m.tick();
+        assert!(!m.load_ready(0, Port::BodyLoad));
+        m.tick(); // cycle 4
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert_eq!(m.consume_load(0, Port::BodyLoad), 100);
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn port_busy_until_consumed() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::BodyLoad, 1));
+        assert!(!m.try_issue(0, Port::BodyLoad, 2), "buffer holds previous load");
+        for _ in 0..10 {
+            m.tick();
+        }
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert!(!m.try_issue(0, Port::BodyLoad, 2), "unconsumed data still occupies buffer");
+        m.consume_load(0, Port::BodyLoad);
+        assert!(m.try_issue(0, Port::BodyLoad, 2));
+    }
+
+    #[test]
+    fn store_buffer_frees_on_completion() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::BodyStore, 5));
+        assert!(!m.try_issue(0, Port::BodyStore, 6));
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert!(m.all_idle());
+        assert!(m.try_issue(0, Port::BodyStore, 6));
+    }
+
+    #[test]
+    fn bandwidth_limits_service_starts() {
+        // 3 cores each issue a body load; bandwidth 2 ⇒ the third is
+        // serviced one cycle later.
+        let mut m = mem(3);
+        for c in 0..3 {
+            assert!(m.try_issue(c, Port::BodyLoad, c as u32));
+        }
+        for _ in 0..4 {
+            m.tick();
+        }
+        // Cores 0 and 1 started at cycle 1 → done at cycle 4.
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert!(m.load_ready(1, Port::BodyLoad));
+        assert!(!m.load_ready(2, Port::BodyLoad), "third request started a cycle later");
+        m.tick();
+        assert!(m.load_ready(2, Port::BodyLoad));
+    }
+
+    #[test]
+    fn comparator_array_orders_header_load_after_store() {
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        assert!(m.try_issue(1, Port::HeaderLoad, 42));
+        assert!(m.header_store_pending(42));
+        // Store: starts cycle 1, done cycle 4. Load blocked until then,
+        // queued cycle 5 (after the tick notices), done cycle 5+3.
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert!(!m.header_store_pending(42));
+        assert!(!m.load_ready(1, Port::HeaderLoad), "load must not bypass the store");
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert!(m.load_ready(1, Port::HeaderLoad));
+        assert!(m.stats().comparator_blocked_cycles > 0);
+    }
+
+    #[test]
+    fn header_load_to_other_address_not_blocked() {
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        assert!(m.try_issue(1, Port::HeaderLoad, 43));
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert!(m.load_ready(1, Port::HeaderLoad));
+    }
+
+    #[test]
+    fn independent_ports_of_one_core() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::HeaderLoad, 1));
+        assert!(m.try_issue(0, Port::HeaderStore, 2));
+        assert!(m.try_issue(0, Port::BodyLoad, 3));
+        assert!(m.try_issue(0, Port::BodyStore, 4));
+        assert!(!m.all_idle());
+        for _ in 0..12 {
+            m.tick();
+        }
+        m.consume_load(0, Port::HeaderLoad);
+        m.consume_load(0, Port::BodyLoad);
+        assert!(m.all_idle());
+        assert_eq!(m.stats().total_issued(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "load consumed before completion")]
+    fn consuming_incomplete_load_panics() {
+        let mut m = mem(1);
+        m.try_issue(0, Port::BodyLoad, 9);
+        m.consume_load(0, Port::BodyLoad);
+    }
+
+    #[test]
+    fn queue_stats_accumulate() {
+        let mut m = mem(4);
+        for c in 0..4 {
+            m.try_issue(c, Port::BodyLoad, c as u32);
+        }
+        m.tick();
+        assert!(m.stats().queue_busy_cycles >= 1);
+        assert!(m.stats().mean_queue_depth() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    fn cached_mem() -> MemorySystem {
+        MemorySystem::new(
+            2,
+            MemConfig { header_cache_entries: 16, ..MemConfig::default() },
+        )
+    }
+
+    #[test]
+    fn first_header_load_misses_second_hits() {
+        let mut m = cached_mem();
+        assert!(m.try_issue(0, Port::HeaderLoad, 42));
+        assert!(!m.load_ready(0, Port::HeaderLoad), "cold miss goes to DRAM");
+        for _ in 0..6 {
+            m.tick();
+        }
+        m.consume_load(0, Port::HeaderLoad);
+        assert!(m.try_issue(1, Port::HeaderLoad, 42));
+        m.tick();
+        assert!(m.load_ready(1, Port::HeaderLoad), "warm hit is ready next cycle");
+        m.consume_load(1, Port::HeaderLoad);
+        assert_eq!(m.stats().header_cache_hits, 1);
+        assert_eq!(m.stats().header_cache_misses, 1);
+    }
+
+    #[test]
+    fn header_store_fills_the_cache() {
+        let mut m = cached_mem();
+        assert!(m.try_issue(0, Port::HeaderStore, 7));
+        for _ in 0..6 {
+            m.tick();
+        }
+        assert!(m.try_issue(1, Port::HeaderLoad, 7));
+        m.tick();
+        assert!(m.load_ready(1, Port::HeaderLoad), "write-through fill");
+        m.consume_load(1, Port::HeaderLoad);
+    }
+
+    #[test]
+    fn comparator_still_orders_cached_loads_behind_stores() {
+        let mut m = cached_mem();
+        // Warm the cache.
+        assert!(m.try_issue(0, Port::HeaderStore, 9));
+        for _ in 0..6 {
+            m.tick();
+        }
+        // Pending store + load to the same address: the load must wait for
+        // the store even though the address is cached.
+        assert!(m.try_issue(0, Port::HeaderStore, 9));
+        assert!(m.try_issue(1, Port::HeaderLoad, 9));
+        m.tick();
+        assert!(!m.load_ready(1, Port::HeaderLoad), "must not bypass the pending store");
+        for _ in 0..10 {
+            m.tick();
+        }
+        assert!(m.load_ready(1, Port::HeaderLoad));
+        m.consume_load(1, Port::HeaderLoad);
+    }
+
+    #[test]
+    fn conflicting_tags_evict() {
+        let mut m = MemorySystem::new(
+            1,
+            MemConfig { header_cache_entries: 4, ..MemConfig::default() },
+        );
+        for addr in [4u32, 8] {
+            // both map to set 0
+            assert!(m.try_issue(0, Port::HeaderLoad, addr));
+            for _ in 0..6 {
+                m.tick();
+            }
+            m.consume_load(0, Port::HeaderLoad);
+        }
+        // 4 was evicted by 8.
+        assert!(m.try_issue(0, Port::HeaderLoad, 4));
+        m.tick();
+        assert!(!m.load_ready(0, Port::HeaderLoad));
+        for _ in 0..6 {
+            m.tick();
+        }
+        m.consume_load(0, Port::HeaderLoad);
+        assert_eq!(m.stats().header_cache_hits, 0);
+    }
+
+    #[test]
+    fn zero_entries_disable_the_cache() {
+        let mut m = MemorySystem::new(1, MemConfig::default());
+        assert!(m.try_issue(0, Port::HeaderLoad, 5));
+        for _ in 0..6 {
+            m.tick();
+        }
+        m.consume_load(0, Port::HeaderLoad);
+        assert_eq!(m.stats().header_cache_hits + m.stats().header_cache_misses, 0);
+    }
+}

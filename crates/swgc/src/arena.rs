@@ -1,0 +1,236 @@
+//! Shared atomic arena with the layout of [`hwgc_heap::Heap`].
+//!
+//! The software collectors operate on a `Vec<AtomicU32>` so that multiple
+//! threads can mutate the heap without `unsafe`. The arena is constructed
+//! from a [`Heap`] before a collection and written back afterwards; the
+//! copies are excluded from the timed region by the callers.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use hwgc_heap::header::{self, Header};
+use hwgc_heap::{Addr, Heap, Word};
+
+/// Mark bit used by the software evacuation protocol, applied with a CAS
+/// on header word 0. Reuses the same bit as the hardware model's mark so
+/// the [`Header`] decoder understands both.
+pub use hwgc_heap::header::SW_LOCK_BIT;
+
+/// A word-addressed atomic view of the heap arena.
+pub struct Arena {
+    words: Vec<AtomicU32>,
+    to_base: Addr,
+    to_limit: Addr,
+    from_base: Addr,
+    from_limit: Addr,
+}
+
+impl Arena {
+    /// Snapshot `heap` (after its flip) into an atomic arena.
+    pub fn from_heap(heap: &Heap) -> Arena {
+        Arena {
+            words: heap.words().iter().map(|&w| AtomicU32::new(w)).collect(),
+            to_base: heap.to_base(),
+            to_limit: heap.to_limit(),
+            from_base: heap.from_base(),
+            from_limit: heap.from_limit(),
+        }
+    }
+
+    /// Write the arena contents back into `heap`.
+    pub fn write_back(&self, heap: &mut Heap) {
+        for (i, w) in self.words.iter().enumerate() {
+            heap.set_word(i as Addr, w.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Base of tospace.
+    pub fn to_base(&self) -> Addr {
+        self.to_base
+    }
+
+    /// One past the end of tospace.
+    pub fn to_limit(&self) -> Addr {
+        self.to_limit
+    }
+
+    /// Is `addr` in fromspace?
+    pub fn in_fromspace(&self, addr: Addr) -> bool {
+        addr >= self.from_base && addr < self.from_limit
+    }
+
+    /// Relaxed word load (single-writer or happens-before established by
+    /// the caller's protocol).
+    #[inline]
+    pub fn load(&self, addr: Addr) -> Word {
+        self.words[addr as usize].load(Ordering::Relaxed)
+    }
+
+    /// Acquire word load (pairs with [`Arena::store_release`]).
+    #[inline]
+    pub fn load_acquire(&self, addr: Addr) -> Word {
+        self.words[addr as usize].load(Ordering::Acquire)
+    }
+
+    /// Relaxed word store.
+    #[inline]
+    pub fn store(&self, addr: Addr, value: Word) {
+        self.words[addr as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Release word store (publishes preceding writes).
+    #[inline]
+    pub fn store_release(&self, addr: Addr, value: Word) {
+        self.words[addr as usize].store(value, Ordering::Release);
+    }
+
+    /// Try to claim the object at `obj` for evacuation by atomically
+    /// setting the mark bit in header word 0. Returns the pre-CAS word 0
+    /// and whether *this* caller won the claim.
+    pub fn try_mark(&self, obj: Addr) -> (Word, bool) {
+        let w = &self.words[obj as usize];
+        let mut cur = w.load(Ordering::Acquire);
+        loop {
+            if header::is_marked(cur) {
+                return (cur, false);
+            }
+            match w.compare_exchange_weak(
+                cur,
+                header::with_mark(cur),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(prev) => return (prev, true),
+                Err(prev) => cur = prev,
+            }
+        }
+    }
+
+    /// Wait (spin) for the forwarding pointer of a marked object to be
+    /// published in header word 1 by the winning evacuator. Returns the
+    /// forwarding address and the number of spin iterations.
+    pub fn await_forward(&self, obj: Addr) -> (Addr, u64) {
+        let mut spins = 0;
+        loop {
+            let fwd = self.load_acquire(obj + 1);
+            if fwd != 0 {
+                return (fwd, spins);
+            }
+            spins += 1;
+            if spins % 64 == 0 {
+                // The winner may be descheduled (oversubscribed hosts);
+                // yield instead of burning the quantum.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Decode the header of the object at `addr` (relaxed; caller must
+    /// hold exclusivity or tolerate staleness).
+    pub fn header(&self, addr: Addr) -> Header {
+        Header::decode(self.load(addr), self.load(addr + 1))
+    }
+
+    /// Store an encoded header (word 1 with release so a subsequent
+    /// reader that observes word 1 also observes the body, when the
+    /// caller's protocol publishes through word 1).
+    pub fn store_header(&self, addr: Addr, h: Header) {
+        let (w0, w1) = h.encode();
+        self.store(addr, w0);
+        self.store_release(addr + 1, w1);
+    }
+
+    /// Raw atomic access to a word (for CAS-based protocols such as the
+    /// fine-grained collector's header spin locks).
+    #[inline]
+    pub fn word_atomic(&self, idx: usize) -> &AtomicU32 {
+        &self.words[idx]
+    }
+
+    /// Arena length in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Never empty in practice (reserved words exist).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with_one_object() -> (Arena, Addr) {
+        let mut heap = Heap::new(64);
+        let obj = heap.alloc(1, 2).unwrap();
+        heap.flip();
+        (Arena::from_heap(&heap), obj)
+    }
+
+    #[test]
+    fn roundtrip_through_heap() {
+        let mut heap = Heap::new(32);
+        let obj = heap.alloc(0, 1).unwrap();
+        heap.set_data(obj, 0, 99);
+        heap.flip();
+        let arena = Arena::from_heap(&heap);
+        arena.store(obj + 2, 123);
+        arena.write_back(&mut heap);
+        assert_eq!(heap.data(obj, 0), 123);
+    }
+
+    #[test]
+    fn try_mark_is_exclusive() {
+        let (arena, obj) = arena_with_one_object();
+        let (w0a, won_a) = arena.try_mark(obj);
+        let (w0b, won_b) = arena.try_mark(obj);
+        assert!(won_a);
+        assert!(!won_b);
+        assert!(!header::is_marked(w0a));
+        assert!(header::is_marked(w0b));
+    }
+
+    #[test]
+    fn try_mark_races_have_one_winner() {
+        let mut heap = Heap::new(4096);
+        let objs: Vec<Addr> = (0..100).map(|_| heap.alloc(0, 1).unwrap()).collect();
+        heap.flip();
+        let arena = Arena::from_heap(&heap);
+        let wins = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for &o in &objs {
+                        if arena.try_mark(o).1 {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn await_forward_sees_published_pointer() {
+        let (arena, obj) = arena_with_one_object();
+        arena.store_release(obj + 1, 42);
+        let (fwd, spins) = arena.await_forward(obj);
+        assert_eq!(fwd, 42);
+        assert_eq!(spins, 0);
+    }
+
+    #[test]
+    fn space_bounds() {
+        let mut heap = Heap::new(100);
+        heap.flip();
+        let arena = Arena::from_heap(&heap);
+        assert_eq!(arena.to_base(), heap.to_base());
+        assert_eq!(arena.to_limit(), heap.to_limit());
+        assert!(arena.in_fromspace(heap.from_base()));
+        assert!(!arena.in_fromspace(heap.to_base()));
+    }
+}

@@ -1,0 +1,360 @@
+//! Shared infrastructure for the software collectors: the collector trait
+//! and report, local allocation buffers, the immediate-copy evacuation
+//! protocol, and work-counting termination.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use hwgc_heap::header::{self, Header};
+use hwgc_heap::{Addr, Heap, NULL};
+use hwgc_sync::sw::SwSyncOps;
+
+use crate::arena::Arena;
+
+/// Result of one software collection cycle.
+#[derive(Debug, Clone)]
+pub struct SwReport {
+    /// Collector name.
+    pub name: &'static str,
+    /// Threads used.
+    pub n_threads: usize,
+    /// Final allocation frontier (includes fragmentation holes).
+    pub free: Addr,
+    /// Objects copied.
+    pub objects_copied: u64,
+    /// Words of live data copied (headers included).
+    pub words_copied: u64,
+    /// Tospace words lost to fragmentation (LAB tails, chunk tails).
+    pub fragmentation_words: u64,
+    /// Synchronization operations performed, summed over threads.
+    pub ops: SwSyncOps,
+    /// Wall-clock time of the parallel phase.
+    pub elapsed: Duration,
+}
+
+/// What a collector's parallel phase returns.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelOutcome {
+    pub free: Addr,
+    pub objects_copied: u64,
+    pub words_copied: u64,
+    pub fragmentation_words: u64,
+    pub ops: SwSyncOps,
+}
+
+/// A software parallel copying collector.
+pub trait SwCollector {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Collect: evacuate everything reachable from `roots` into the
+    /// arena's tospace using `n_threads` threads, rewriting `roots` to the
+    /// new copies.
+    fn parallel_collect(
+        &self,
+        arena: &Arena,
+        roots: &mut [Addr],
+        n_threads: usize,
+    ) -> ParallelOutcome;
+
+    /// Run a full cycle on `heap`: flip, snapshot into an atomic arena,
+    /// run the parallel phase (timed), write back and fix up the mutator
+    /// state.
+    fn collect(&self, heap: &mut Heap, n_threads: usize) -> SwReport {
+        assert!((1..=32).contains(&n_threads), "busy mask is 32 bits");
+        heap.flip();
+        let arena = Arena::from_heap(heap);
+        let mut roots = heap.roots().to_vec();
+        let start = Instant::now();
+        let out = self.parallel_collect(&arena, &mut roots, n_threads);
+        let elapsed = start.elapsed();
+        arena.write_back(heap);
+        for (i, &r) in roots.iter().enumerate() {
+            heap.set_root(i, r);
+        }
+        heap.set_alloc_ptr(out.free);
+        SwReport {
+            name: self.name(),
+            n_threads,
+            free: out.free,
+            objects_copied: out.objects_copied,
+            words_copied: out.words_copied,
+            fragmentation_words: out.fragmentation_words,
+            ops: out.ops,
+            elapsed,
+        }
+    }
+}
+
+/// Default local-allocation-buffer size in words (Flood's "local
+/// allocation buffers"; also used by the packet collector).
+pub const LAB_WORDS: u32 = 1024;
+
+/// A thread-local bump allocator over a shared tospace frontier.
+///
+/// Threads reserve `lab_words` at a time with one `fetch_add` and then
+/// allocate locally without synchronization; the unused tail of each
+/// buffer is lost to fragmentation — the trade the paper's related work
+/// accepts to reduce contention on `free`.
+pub struct LabAllocator<'a> {
+    shared_free: &'a AtomicU32,
+    limit: Addr,
+    lab_words: u32,
+    cur: Addr,
+    end: Addr,
+    fragmentation: u64,
+    shared_fetch_adds: u64,
+}
+
+impl<'a> LabAllocator<'a> {
+    /// Allocator drawing LABs of `lab_words` from `shared_free`, never
+    /// exceeding `limit`.
+    pub fn new(shared_free: &'a AtomicU32, limit: Addr, lab_words: u32) -> LabAllocator<'a> {
+        LabAllocator {
+            shared_free,
+            limit,
+            lab_words,
+            cur: 0,
+            end: 0,
+            fragmentation: 0,
+            shared_fetch_adds: 0,
+        }
+    }
+
+    /// Allocate `size` words.
+    ///
+    /// # Panics
+    /// Panics on tospace overflow (a collector bug or an undersized heap —
+    /// never acceptable to continue from).
+    pub fn alloc(&mut self, size: u32) -> Addr {
+        if size > self.lab_words {
+            // Oversized objects bypass the LAB.
+            self.shared_fetch_adds += 1;
+            let a = self.shared_free.fetch_add(size, Ordering::Relaxed);
+            assert!(a + size <= self.limit, "tospace overflow");
+            return a;
+        }
+        if self.cur + size > self.end {
+            self.fragmentation += (self.end - self.cur) as u64;
+            self.shared_fetch_adds += 1;
+            let a = self.shared_free.fetch_add(self.lab_words, Ordering::Relaxed);
+            assert!(a + self.lab_words <= self.limit, "tospace overflow");
+            self.cur = a;
+            self.end = a + self.lab_words;
+        }
+        let a = self.cur;
+        self.cur += size;
+        a
+    }
+
+    /// Retire the allocator, returning (fragmentation including the
+    /// current LAB tail, number of shared fetch-adds performed).
+    pub fn finish(self) -> (u64, u64) {
+        (self.fragmentation + (self.end - self.cur) as u64, self.shared_fetch_adds)
+    }
+}
+
+/// Count of work items that have been made visible but not fully
+/// processed. All collectors that distribute gray objects through local
+/// structures use this for termination: increment *before* publishing an
+/// item, decrement *after* finishing it; when the count reaches zero there
+/// is no work anywhere.
+#[derive(Debug, Default)]
+pub struct Inflight(AtomicU64);
+
+impl Inflight {
+    /// Zero outstanding work.
+    pub fn new() -> Inflight {
+        Inflight(AtomicU64::new(0))
+    }
+
+    /// Announce a new work item (before making it visible).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Retire a finished work item.
+    pub fn dec(&self) {
+        let prev = self.0.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "inflight underflow");
+    }
+
+    /// Is all published work finished?
+    pub fn idle(&self) -> bool {
+        self.0.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Immediate-copy evacuation (Flood/Imai-Tick/Ossia style, unlike the
+/// paper's frame-only evacuation): claim the object with a header CAS,
+/// copy the whole body into space from `lab`, then publish the forwarding
+/// pointer. Losers spin until the winner publishes. Returns the tospace
+/// address and whether this call did the copy.
+pub fn evacuate_now(
+    arena: &Arena,
+    lab: &mut LabAllocator<'_>,
+    obj: Addr,
+    ops: &mut SwSyncOps,
+) -> (Addr, bool) {
+    debug_assert_ne!(obj, NULL);
+    ops.header_cas += 1;
+    let (w0, won) = arena.try_mark(obj);
+    if !won {
+        let (fwd, spins) = arena.await_forward(obj);
+        if spins > 0 {
+            // A race genuinely in progress (the winner had not yet
+            // published); a claim that merely finds the mark already set
+            // is the common already-forwarded case, not contention.
+            ops.header_cas_failed += 1;
+        }
+        ops.spin_iterations += spins;
+        return (fwd, false);
+    }
+    let pi = header::pi_of(w0);
+    let delta = header::delta_of(w0);
+    let size = 2 + pi + delta;
+    let dst = lab.alloc(size);
+    for i in 0..pi + delta {
+        arena.store(dst + 2 + i, arena.load(obj + 2 + i));
+    }
+    // The copy starts gray: its pointer slots still reference fromspace.
+    // The scanner that processes it blackens it.
+    let (gw0, _) = Header::gray(pi, delta, obj).encode();
+    arena.store(dst, gw0);
+    arena.store(dst + 1, 0);
+    // Publish the forwarding pointer last: anyone who observes it also
+    // observes the copied body (release/acquire pairing in the arena).
+    arena.store_release(obj + 1, dst);
+    (dst, true)
+}
+
+/// Scan one immediately-copied object: translate its pointer slots through
+/// `evacuate_now`, pushing newly copied children to `on_new`, then blacken
+/// it. Shared by the stealing, chunked and packet collectors.
+pub fn scan_copied_object(
+    arena: &Arena,
+    lab: &mut LabAllocator<'_>,
+    copy: Addr,
+    ops: &mut SwSyncOps,
+    mut on_new: impl FnMut(Addr),
+) -> (u64, u32) {
+    let w0 = arena.load(copy);
+    let pi = header::pi_of(w0);
+    let delta = header::delta_of(w0);
+    let mut copied_words = 0;
+    for slot in 0..pi {
+        let child = arena.load(copy + 2 + slot);
+        if child == NULL {
+            continue;
+        }
+        debug_assert!(arena.in_fromspace(child), "pointer {child} escapes fromspace");
+        let (fwd, won) = evacuate_now(arena, lab, child, ops);
+        if won {
+            copied_words += header::size_of_w0(arena.load(child)) as u64;
+            on_new(fwd);
+        }
+        arena.store(copy + 2 + slot, fwd);
+    }
+    let (bw0, bw1) = Header::black(pi, delta).encode();
+    arena.store(copy, bw0);
+    arena.store_release(copy + 1, bw1);
+    (copied_words, 2 + pi + delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_allocates_and_tracks_fragmentation() {
+        let free = AtomicU32::new(100);
+        let mut lab = LabAllocator::new(&free, 100_000, 16);
+        let a = lab.alloc(10);
+        assert_eq!(a, 100);
+        // 6 words left in the LAB; a 10-word allocation wastes them.
+        let b = lab.alloc(10);
+        assert_eq!(b, 116);
+        let (frag, adds) = lab.finish();
+        assert_eq!(frag, 6 + 6); // mid-LAB waste + final tail
+        assert_eq!(adds, 2);
+    }
+
+    #[test]
+    fn lab_oversized_bypass() {
+        let free = AtomicU32::new(0);
+        let mut lab = LabAllocator::new(&free, 100_000, 16);
+        let a = lab.alloc(100);
+        assert_eq!(a, 0);
+        assert_eq!(free.load(Ordering::Relaxed), 100);
+        let (frag, _) = lab.finish();
+        assert_eq!(frag, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tospace overflow")]
+    fn lab_overflow_panics() {
+        let free = AtomicU32::new(0);
+        let mut lab = LabAllocator::new(&free, 20, 16);
+        let _ = lab.alloc(10);
+        let _ = lab.alloc(10); // second LAB exceeds the limit
+    }
+
+    #[test]
+    fn inflight_counts() {
+        let f = Inflight::new();
+        assert!(f.idle());
+        f.inc();
+        f.inc();
+        f.dec();
+        assert!(!f.idle());
+        f.dec();
+        assert!(f.idle());
+    }
+
+    #[test]
+    fn evacuate_now_copies_and_forwards() {
+        let mut heap = Heap::new(256);
+        let obj = heap.alloc(1, 2).unwrap();
+        heap.set_data(obj, 0, 7);
+        heap.set_data(obj, 1, 8);
+        heap.flip();
+        let arena = Arena::from_heap(&heap);
+        let free = AtomicU32::new(arena.to_base());
+        let mut lab = LabAllocator::new(&free, arena.to_limit(), 64);
+        let mut ops = SwSyncOps::default();
+        let (dst, won) = evacuate_now(&arena, &mut lab, obj, &mut ops);
+        assert!(won);
+        assert_eq!(arena.load(dst + 3), 7);
+        assert_eq!(arena.load(dst + 4), 8);
+        let (dst2, won2) = evacuate_now(&arena, &mut lab, obj, &mut ops);
+        assert!(!won2);
+        assert_eq!(dst2, dst);
+        assert_eq!(ops.header_cas, 2);
+        // Losing to an already-published forward is not contention.
+        assert_eq!(ops.header_cas_failed, 0);
+    }
+
+    #[test]
+    fn scan_copied_object_translates_and_blackens() {
+        let mut heap = Heap::new(256);
+        let parent = heap.alloc(1, 1).unwrap();
+        let child = heap.alloc(0, 1).unwrap();
+        heap.set_ptr(parent, 0, child);
+        heap.set_data(parent, 0, 1);
+        heap.set_data(child, 0, 2);
+        heap.flip();
+        let arena = Arena::from_heap(&heap);
+        let free = AtomicU32::new(arena.to_base());
+        let mut lab = LabAllocator::new(&free, arena.to_limit(), 64);
+        let mut ops = SwSyncOps::default();
+        let (pcopy, _) = evacuate_now(&arena, &mut lab, parent, &mut ops);
+        let mut new = Vec::new();
+        let (words, _) =
+            scan_copied_object(&arena, &mut lab, pcopy, &mut ops, |a| new.push(a));
+        assert_eq!(new.len(), 1);
+        assert_eq!(words, 3);
+        let h = arena.header(pcopy);
+        assert_eq!(h.color, hwgc_heap::Color::Black);
+        assert_eq!(arena.load(pcopy + 2), new[0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Real-thread software parallel copying collectors.
+//!
+//! The paper's motivation (Sections I and III): on stock shared-memory
+//! hardware, synchronizing at *object* granularity is prohibitively
+//! expensive — every worklist operation and every object-graph access
+//! needs an atomic read-modify-write on shared cache lines — so published
+//! parallel collectors coarsen the work unit and decouple the processes,
+//! paying with load imbalance, fragmentation, auxiliary data structures
+//! and algorithmic complexity.
+//!
+//! This crate makes that trade-off measurable. It implements, with real
+//! threads and atomics on a shared arena with the exact layout of
+//! [`hwgc_heap::Heap`]:
+//!
+//! * [`FineGrained`] — a direct software transliteration of the paper's
+//!   fine-grained algorithm (single shared worklist via `scan`/`free`,
+//!   per-object header synchronization, scan-time body copy). What the
+//!   coprocessor gets for free, this pays for in atomics: it is the
+//!   software cost baseline.
+//! * [`WorkStealing`] — Flood et al.'s scheme: per-thread deques of gray
+//!   objects with stealing, and local allocation buffers (LABs) in
+//!   tospace that trade contention for fragmentation.
+//! * [`Chunked`] — Imai & Tick's scheme: the heap is partitioned into
+//!   fixed-size chunks; a shared pool of scan chunks replaces the
+//!   object-granular worklist; objects never span chunks, so chunk tails
+//!   fragment.
+//! * [`Packets`] — Ossia et al.'s work packets: gray references grouped
+//!   into fixed-capacity packets exchanged through a shared pool.
+//!
+//! Every collector reports a [`SwReport`] with wall-clock time, the tally
+//! of synchronization operations ([`hwgc_sync::sw::SwSyncOps`]) and the
+//! fragmentation it introduced, so the experiment harness (ablation B in
+//! DESIGN.md) can put the software costs next to the hardware model's
+//! zero-cost synchronization.
+
+pub mod arena;
+pub mod chunked;
+pub mod common;
+pub mod fine;
+pub mod packets;
+pub mod stealing;
+
+pub use arena::Arena;
+pub use chunked::Chunked;
+pub use common::{SwCollector, SwReport};
+pub use fine::FineGrained;
+pub use packets::Packets;
+pub use stealing::WorkStealing;

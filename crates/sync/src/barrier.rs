@@ -1,0 +1,110 @@
+//! Barrier synchronization via "synchronizing" micro-instructions.
+//!
+//! Any micro-instruction can be marked as synchronizing; a core executing
+//! one is stalled by the SB until *all* cores have reached a synchronizing
+//! micro-instruction (paper Section V-C). The engine uses this to keep
+//! cores out of the scan loop until core 1 has initialised `scan`/`free`,
+//! and to hold the main processor stopped until all store buffers have
+//! drained at the end of a cycle.
+
+/// A reusable all-core barrier.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    n_cores: usize,
+    arrived: Vec<bool>,
+    /// Generation counter; bumps every time the barrier opens.
+    generation: u64,
+}
+
+impl Barrier {
+    /// Barrier across `n_cores` cores.
+    pub fn new(n_cores: usize) -> Barrier {
+        assert!(n_cores > 0);
+        Barrier { n_cores, arrived: vec![false; n_cores], generation: 0 }
+    }
+
+    /// `core` executes a synchronizing micro-instruction this cycle.
+    /// Returns `true` when the barrier opens (all cores have arrived);
+    /// the core may then proceed *this* cycle. Returns `false` while the
+    /// core must keep stalling. A core that already arrived keeps calling
+    /// this every stalled cycle; that is idempotent.
+    pub fn arrive(&mut self, core: usize) -> bool {
+        self.arrived[core] = true;
+        if self.arrived.iter().all(|&a| a) {
+            // Last arrival opens the barrier for everyone; reset for reuse.
+            self.arrived.iter_mut().for_each(|a| *a = false);
+            self.generation += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Has the barrier opened since the observer last saw generation `gen`?
+    /// Cores that arrived early use this to notice the opening: they record
+    /// the generation when they start waiting and proceed once it bumps.
+    pub fn opened_since(&self, gen: u64) -> bool {
+        self.generation > gen
+    }
+
+    /// Current generation (bumps each time the barrier opens).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of cores participating.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_barrier_opens_immediately() {
+        let mut b = Barrier::new(1);
+        assert!(b.arrive(0));
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn barrier_waits_for_all() {
+        let mut b = Barrier::new(3);
+        assert!(!b.arrive(0));
+        assert!(!b.arrive(1));
+        assert!(b.arrive(2));
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn early_arrivals_observe_opening_via_generation() {
+        let mut b = Barrier::new(2);
+        let gen = b.generation();
+        assert!(!b.arrive(0));
+        assert!(!b.opened_since(gen));
+        assert!(b.arrive(1));
+        assert!(b.opened_since(gen));
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut b = Barrier::new(2);
+        assert!(!b.arrive(0));
+        assert!(b.arrive(1));
+        // second round
+        assert!(!b.arrive(1));
+        assert!(b.arrive(0));
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    fn repeated_arrival_is_idempotent() {
+        let mut b = Barrier::new(2);
+        assert!(!b.arrive(0));
+        assert!(!b.arrive(0));
+        assert!(!b.arrive(0));
+        assert!(b.arrive(1));
+    }
+}

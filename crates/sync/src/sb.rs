@@ -1,0 +1,445 @@
+//! The synchronization block: scan/free registers and locks, per-core
+//! header-lock registers, and the `ScanState` busy-bit register.
+
+/// Which SB lock a statistic or operation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    Scan,
+    Free,
+    Header,
+}
+
+/// Contention counters maintained by the SB model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Successful acquisitions per lock kind (scan, free, header).
+    pub acquisitions: [u64; 3],
+    /// Failed (stalled) acquisition attempts per lock kind.
+    pub failed_attempts: [u64; 3],
+}
+
+impl SyncStats {
+    fn idx(kind: LockKind) -> usize {
+        match kind {
+            LockKind::Scan => 0,
+            LockKind::Free => 1,
+            LockKind::Header => 2,
+        }
+    }
+
+    /// Successful acquisitions of `kind`.
+    pub fn acquired(&self, kind: LockKind) -> u64 {
+        self.acquisitions[Self::idx(kind)]
+    }
+
+    /// Failed attempts (stall cycles at the SB) for `kind`.
+    pub fn failed(&self, kind: LockKind) -> u64 {
+        self.failed_attempts[Self::idx(kind)]
+    }
+}
+
+/// The synchronization block of the GC coprocessor.
+///
+/// All methods are *synchronous*: they take effect immediately within the
+/// calling core's tick. A `try_*` method returning `false` means the core
+/// must stall this cycle and retry on its next tick (the SB would stall it
+/// in hardware).
+#[derive(Debug, Clone)]
+pub struct SyncBlock {
+    n_cores: usize,
+    /// `scan` register (word address in tospace).
+    scan: u32,
+    /// `free` register (word address in tospace).
+    free: u32,
+    scan_owner: Option<usize>,
+    free_owner: Option<usize>,
+    /// One header-lock register per core; `None` = unlocked.
+    header_regs: Vec<Option<u32>>,
+    /// `ScanState`: one busy bit per core.
+    busy: Vec<bool>,
+    /// Line-split extension: claimed-body offset of the object currently
+    /// at `scan` (0 = unsplit / next claim starts a fresh object).
+    scan_chunk_off: u32,
+    /// Line-split extension: outstanding split objects as
+    /// `(frame address, unfinished chunks)`. A handful of entries at most
+    /// (bounded by the core count in practice).
+    splits: Vec<(u32, u32)>,
+    /// Register write ports: "at most one core may modify each of these
+    /// two registers during a clock cycle" (paper Section V-C). Set on
+    /// write, cleared by the engine at each cycle boundary; a second
+    /// would-be writer cannot acquire the lock until the next cycle.
+    scan_written: bool,
+    free_written: bool,
+    stats: SyncStats,
+}
+
+impl SyncBlock {
+    /// Create an SB for `n_cores` cores (the paper's prototype supports up
+    /// to 16; the model accepts any positive count).
+    pub fn new(n_cores: usize) -> SyncBlock {
+        assert!(n_cores > 0);
+        SyncBlock {
+            n_cores,
+            scan: 0,
+            free: 0,
+            scan_owner: None,
+            free_owner: None,
+            header_regs: vec![None; n_cores],
+            busy: vec![false; n_cores],
+            scan_chunk_off: 0,
+            splits: Vec::new(),
+            scan_written: false,
+            free_written: false,
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// Number of cores this SB serves.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    // --- scan/free registers -------------------------------------------
+
+    /// Read the `scan` register (all cores may read simultaneously).
+    pub fn scan(&self) -> u32 {
+        self.scan
+    }
+
+    /// Read the `free` register (all cores may read simultaneously).
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Initialise both registers (done by core 1 at the start of a cycle).
+    pub fn init_pointers(&mut self, scan: u32, free: u32) {
+        self.scan = scan;
+        self.free = free;
+    }
+
+    /// Write `scan`; only the lock owner may do this, at most once per
+    /// clock cycle.
+    pub fn set_scan(&mut self, core: usize, value: u32) {
+        assert_eq!(self.scan_owner, Some(core), "scan write without lock");
+        debug_assert!(!self.scan_written, "two scan writes in one cycle");
+        self.scan = value;
+        self.scan_written = true;
+    }
+
+    /// Write `free`; only the lock owner may do this, at most once per
+    /// clock cycle.
+    pub fn set_free(&mut self, core: usize, value: u32) {
+        assert_eq!(self.free_owner, Some(core), "free write without lock");
+        debug_assert!(!self.free_written, "two free writes in one cycle");
+        self.free = value;
+        self.free_written = true;
+    }
+
+    /// Cycle boundary: the engine calls this once per clock to re-arm the
+    /// single write port of each register.
+    pub fn begin_cycle(&mut self) {
+        self.scan_written = false;
+        self.free_written = false;
+    }
+
+    /// Attempt to acquire the `scan` lock. Zero-cost when uncontended,
+    /// but the register's write port admits one writer per cycle: after a
+    /// same-cycle write the next acquirer stalls until the next cycle.
+    pub fn try_acquire_scan(&mut self, core: usize) -> bool {
+        if self.scan_written && self.scan_owner.is_none() {
+            self.stats.failed_attempts[0] += 1;
+            return false;
+        }
+        match self.scan_owner {
+            None => {
+                self.scan_owner = Some(core);
+                self.stats.acquisitions[0] += 1;
+                true
+            }
+            Some(owner) => {
+                debug_assert_ne!(owner, core, "recursive scan lock");
+                self.stats.failed_attempts[0] += 1;
+                false
+            }
+        }
+    }
+
+    /// Release the `scan` lock.
+    pub fn release_scan(&mut self, core: usize) {
+        assert_eq!(self.scan_owner, Some(core), "scan release without lock");
+        self.scan_owner = None;
+    }
+
+    /// Attempt to acquire the `free` lock. Zero-cost when uncontended,
+    /// with the same one-write-per-cycle port limit as `scan`.
+    pub fn try_acquire_free(&mut self, core: usize) -> bool {
+        if self.free_written && self.free_owner.is_none() {
+            self.stats.failed_attempts[1] += 1;
+            return false;
+        }
+        match self.free_owner {
+            None => {
+                self.free_owner = Some(core);
+                self.stats.acquisitions[1] += 1;
+                true
+            }
+            Some(owner) => {
+                debug_assert_ne!(owner, core, "recursive free lock");
+                self.stats.failed_attempts[1] += 1;
+                false
+            }
+        }
+    }
+
+    /// Release the `free` lock.
+    pub fn release_free(&mut self, core: usize) {
+        assert_eq!(self.free_owner, Some(core), "free release without lock");
+        self.free_owner = None;
+    }
+
+    /// Does `core` currently hold the `scan` lock?
+    pub fn holds_scan(&self, core: usize) -> bool {
+        self.scan_owner == Some(core)
+    }
+
+    /// Does `core` currently hold the `free` lock?
+    pub fn holds_free(&self, core: usize) -> bool {
+        self.free_owner == Some(core)
+    }
+
+    // --- header-lock registers -----------------------------------------
+
+    /// Attempt to lock the header at `addr` for `core`. The SB compares
+    /// `addr` against every other core's header-lock register in parallel;
+    /// a match means someone else holds that header and the core stalls.
+    ///
+    /// # Panics
+    /// Panics if the core already holds a (different) header lock — each
+    /// core owns exactly one header-lock register in hardware, and the
+    /// algorithm never needs two.
+    pub fn try_lock_header(&mut self, core: usize, addr: u32) -> bool {
+        assert!(
+            self.header_regs[core].is_none() || self.header_regs[core] == Some(addr),
+            "core {core} already holds a different header lock"
+        );
+        let taken = self
+            .header_regs
+            .iter()
+            .enumerate()
+            .any(|(c, &reg)| c != core && reg == Some(addr));
+        if taken {
+            self.stats.failed_attempts[2] += 1;
+            false
+        } else {
+            if self.header_regs[core] != Some(addr) {
+                self.stats.acquisitions[2] += 1;
+            }
+            self.header_regs[core] = Some(addr);
+            true
+        }
+    }
+
+    /// Release `core`'s header lock.
+    pub fn unlock_header(&mut self, core: usize) {
+        assert!(self.header_regs[core].is_some(), "header unlock without lock");
+        self.header_regs[core] = None;
+    }
+
+    /// The address currently locked by `core`, if any.
+    pub fn header_lock_of(&self, core: usize) -> Option<u32> {
+        self.header_regs[core]
+    }
+
+    // --- ScanState busy bits -------------------------------------------
+
+    /// Set `core`'s busy bit (entering the main scanning loop).
+    pub fn set_busy(&mut self, core: usize) {
+        self.busy[core] = true;
+    }
+
+    /// Clear `core`'s busy bit.
+    pub fn clear_busy(&mut self, core: usize) {
+        self.busy[core] = false;
+    }
+
+    /// Is `core` busy?
+    pub fn is_busy(&self, core: usize) -> bool {
+        self.busy[core]
+    }
+
+    /// Atomic read of the whole `ScanState` register: true when *no* core
+    /// other than `observer` is busy. Used together with the `scan == free`
+    /// comparison for termination detection.
+    pub fn none_busy_except(&self, observer: usize) -> bool {
+        self.busy.iter().enumerate().all(|(c, &b)| c == observer || !b)
+    }
+
+    /// Number of busy cores (monitoring).
+    pub fn busy_count(&self) -> usize {
+        self.busy.iter().filter(|&&b| b).count()
+    }
+
+    // --- line-split extension (paper's future work item 1) -------------
+
+    /// Claimed-body offset within the object currently at `scan`; only
+    /// meaningful (and only mutated) under the scan lock.
+    pub fn scan_chunk_off(&self) -> u32 {
+        self.scan_chunk_off
+    }
+
+    /// Set the claimed-body offset (scan-lock holder only).
+    pub fn set_scan_chunk_off(&mut self, core: usize, off: u32) {
+        assert_eq!(self.scan_owner, Some(core), "chunk-off write without scan lock");
+        self.scan_chunk_off = off;
+    }
+
+    /// Register a split object with `chunks` outstanding chunks (called by
+    /// the first claimant, under the scan lock).
+    pub fn split_begin(&mut self, core: usize, frame: u32, chunks: u32) {
+        assert_eq!(self.scan_owner, Some(core), "split_begin without scan lock");
+        debug_assert!(chunks >= 2, "single-chunk objects are not split");
+        debug_assert!(!self.splits.iter().any(|&(f, _)| f == frame));
+        self.splits.push((frame, chunks));
+    }
+
+    /// Report one finished chunk of `frame`; returns `true` for the last
+    /// finisher, which must blacken the object.
+    pub fn split_finish(&mut self, frame: u32) -> bool {
+        let idx = self
+            .splits
+            .iter()
+            .position(|&(f, _)| f == frame)
+            .expect("split_finish on unregistered frame");
+        self.splits[idx].1 -= 1;
+        if self.splits[idx].1 == 0 {
+            self.splits.swap_remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// Assert that no lock is held (end-of-cycle hygiene check).
+    pub fn assert_quiescent(&self) {
+        assert!(self.scan_owner.is_none(), "scan lock leaked");
+        assert!(self.free_owner.is_none(), "free lock leaked");
+        assert!(self.header_regs.iter().all(Option::is_none), "header lock leaked");
+        assert!(self.busy.iter().all(|&b| !b), "busy bit leaked");
+        assert!(self.splits.is_empty(), "split object leaked");
+        assert_eq!(self.scan_chunk_off, 0, "chunk offset leaked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_lock_mutual_exclusion() {
+        let mut sb = SyncBlock::new(4);
+        assert!(sb.try_acquire_scan(0));
+        assert!(!sb.try_acquire_scan(1));
+        assert!(sb.holds_scan(0));
+        sb.release_scan(0);
+        assert!(sb.try_acquire_scan(1));
+        assert_eq!(sb.stats().acquired(LockKind::Scan), 2);
+        assert_eq!(sb.stats().failed(LockKind::Scan), 1);
+        sb.release_scan(1);
+    }
+
+    #[test]
+    fn free_lock_independent_of_scan_lock() {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_acquire_scan(0));
+        assert!(sb.try_acquire_free(1));
+        assert!(!sb.try_acquire_free(0));
+        sb.release_scan(0);
+        sb.release_free(1);
+        sb.assert_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "scan write without lock")]
+    fn scan_write_requires_lock() {
+        let mut sb = SyncBlock::new(2);
+        sb.set_scan(0, 10);
+    }
+
+    #[test]
+    fn pointer_registers_readable_by_all() {
+        let mut sb = SyncBlock::new(2);
+        sb.init_pointers(100, 100);
+        assert_eq!(sb.scan(), 100);
+        assert!(sb.try_acquire_free(1));
+        sb.set_free(1, 120);
+        sb.release_free(1);
+        assert_eq!(sb.free(), 120);
+        assert_eq!(sb.scan(), 100);
+    }
+
+    #[test]
+    fn header_lock_parallel_compare() {
+        let mut sb = SyncBlock::new(3);
+        assert!(sb.try_lock_header(0, 0xA0));
+        assert!(sb.try_lock_header(1, 0xB0)); // different header, fine
+        assert!(!sb.try_lock_header(2, 0xA0)); // held by core 0
+        sb.unlock_header(0);
+        assert!(sb.try_lock_header(2, 0xA0)); // now free
+        sb.unlock_header(1);
+        sb.unlock_header(2);
+        sb.assert_quiescent();
+    }
+
+    #[test]
+    fn header_lock_reacquire_same_addr_is_idempotent() {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_lock_header(0, 7));
+        assert!(sb.try_lock_header(0, 7));
+        assert_eq!(sb.stats().acquired(LockKind::Header), 1);
+        sb.unlock_header(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a different header lock")]
+    fn one_header_lock_per_core() {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_lock_header(0, 1));
+        let _ = sb.try_lock_header(0, 2);
+    }
+
+    #[test]
+    fn busy_bits_and_termination_read() {
+        let mut sb = SyncBlock::new(3);
+        assert!(sb.none_busy_except(0));
+        sb.set_busy(1);
+        assert!(!sb.none_busy_except(0));
+        assert!(sb.none_busy_except(1)); // the observer's own bit is excluded
+        sb.clear_busy(1);
+        assert!(sb.none_busy_except(0));
+    }
+
+    #[test]
+    fn same_cycle_release_reacquire() {
+        // Models the paper's "released by one core and reacquired by
+        // another core in the same cycle": both happen within one engine
+        // cycle as long as the releaser ticks first.
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_acquire_free(0));
+        sb.release_free(0);
+        assert!(sb.try_acquire_free(1));
+        sb.release_free(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan lock leaked")]
+    fn quiescence_check_catches_leak() {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_acquire_scan(0));
+        sb.assert_quiescent();
+    }
+}

@@ -1,0 +1,210 @@
+//! Software synchronization primitives for the real-thread collectors.
+//!
+//! These are what the paper argues is too expensive at object granularity
+//! on stock shared-memory hardware: every acquisition is an atomic
+//! read-modify-write on a shared cache line. The primitives count their
+//! operations and contention so the experiment harness can report the
+//! software synchronization cost next to the hardware model's zero-cost
+//! acquisitions (ablation B in DESIGN.md).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A FIFO ticket spinlock with contention accounting.
+///
+/// Chosen over a test-and-set lock because it is fair (the hardware SB's
+/// static prioritization is at least starvation-free in practice thanks to
+/// the round-robin structure of the scan loop) and over `parking_lot` for
+/// the short critical sections of the collector, where parking would
+/// dominate the cost being measured.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: AtomicU32,
+    serving: AtomicU32,
+    /// Total acquisitions.
+    acquisitions: AtomicU64,
+    /// Total spin iterations while waiting (contention proxy).
+    spins: AtomicU64,
+}
+
+impl TicketLock {
+    /// New unlocked lock.
+    pub const fn new() -> TicketLock {
+        TicketLock {
+            next: AtomicU32::new(0),
+            serving: AtomicU32::new(0),
+            acquisitions: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire, spinning until the caller's ticket is served.
+    pub fn lock(&self) -> TicketGuard<'_> {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u64;
+        while self.serving.load(Ordering::Acquire) != ticket {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                // Under oversubscription the holder may be descheduled.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if spins > 0 {
+            self.spins.fetch_add(spins, Ordering::Relaxed);
+        }
+        TicketGuard { lock: self }
+    }
+
+    /// (acquisitions, spin iterations) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.acquisitions.load(Ordering::Relaxed), self.spins.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII guard for [`TicketLock`].
+pub struct TicketGuard<'a> {
+    lock: &'a TicketLock,
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.serving.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A sense-reversing spin barrier for the software collectors' phases.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: u32,
+    count: AtomicU32,
+    generation: AtomicU32,
+}
+
+impl SpinBarrier {
+    /// Barrier across `n` threads.
+    pub fn new(n: usize) -> SpinBarrier {
+        assert!(n > 0);
+        SpinBarrier { n: n as u32, count: AtomicU32::new(0), generation: AtomicU32::new(0) }
+    }
+
+    /// Block (spin) until all `n` threads have arrived.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Tally of the atomic operations a software collector performed, for
+/// comparison against the hardware model where the equivalent operations
+/// are free. One instance per thread; summed afterwards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SwSyncOps {
+    /// CAS attempts on object headers (mark/lock bits).
+    pub header_cas: u64,
+    /// Failed header CAS attempts (lost races / contention).
+    pub header_cas_failed: u64,
+    /// Atomic fetch-adds on shared allocation or scan pointers.
+    pub shared_fetch_add: u64,
+    /// Lock acquisitions (scan/free/pool locks).
+    pub lock_acquisitions: u64,
+    /// Spin iterations across all waits.
+    pub spin_iterations: u64,
+}
+
+impl SwSyncOps {
+    /// Total heavy synchronization operations (everything but spins).
+    pub fn total_ops(&self) -> u64 {
+        self.header_cas + self.shared_fetch_add + self.lock_acquisitions
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &SwSyncOps) {
+        self.header_cas += other.header_cas;
+        self.header_cas_failed += other.header_cas_failed;
+        self.shared_fetch_add += other.shared_fetch_add;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.spin_iterations += other.spin_iterations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticket_lock_mutual_exclusion() {
+        let lock = TicketLock::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        let _g = lock.lock();
+                        // Non-atomic-looking RMW under the lock: any race
+                        // would lose increments.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+        assert_eq!(lock.stats().0, 40_000);
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_under_sequential_use() {
+        let lock = TicketLock::new();
+        drop(lock.lock());
+        drop(lock.lock());
+        let (acq, spins) = lock.stats();
+        assert_eq!(acq, 2);
+        assert_eq!(spins, 0, "uncontended acquisitions must not spin");
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_phases() {
+        let barrier = SpinBarrier::new(4);
+        let phase1 = AtomicU64::new(0);
+        let phase2_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    phase1.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    // Everyone must observe all phase-1 increments.
+                    if phase1.load(Ordering::SeqCst) == 4 {
+                        phase2_seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                    barrier.wait(); // reusable
+                });
+            }
+        });
+        assert_eq!(phase2_seen.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn sync_ops_merge() {
+        let mut a = SwSyncOps { header_cas: 1, shared_fetch_add: 2, ..Default::default() };
+        let b = SwSyncOps {
+            header_cas: 10,
+            header_cas_failed: 3,
+            lock_acquisitions: 5,
+            spin_iterations: 7,
+            shared_fetch_add: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.header_cas, 11);
+        assert_eq!(a.total_ops(), 18);
+    }
+}

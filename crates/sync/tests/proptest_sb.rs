@@ -1,0 +1,126 @@
+//! Model-based property tests of the synchronization block.
+
+use hwgc_sync::SyncBlock;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AcquireScan(usize),
+    ReleaseScan(usize),
+    AcquireFree(usize),
+    ReleaseFree(usize),
+    LockHeader(usize, u32),
+    UnlockHeader(usize),
+    SetBusy(usize),
+    ClearBusy(usize),
+}
+
+fn ops(cores: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..cores).prop_map(Op::AcquireScan),
+            (0..cores).prop_map(Op::ReleaseScan),
+            (0..cores).prop_map(Op::AcquireFree),
+            (0..cores).prop_map(Op::ReleaseFree),
+            ((0..cores), (1u32..8)).prop_map(|(c, a)| Op::LockHeader(c, a)),
+            (0..cores).prop_map(Op::UnlockHeader),
+            (0..cores).prop_map(Op::SetBusy),
+            (0..cores).prop_map(Op::ClearBusy),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// A shadow model tracks who should hold what; the SB must agree at
+    /// every step, and mutual exclusion must never be violated.
+    #[test]
+    fn sb_agrees_with_shadow_model(ops in ops(4)) {
+        let cores = 4;
+        let mut sb = SyncBlock::new(cores);
+        let mut scan_owner: Option<usize> = None;
+        let mut free_owner: Option<usize> = None;
+        let mut headers: Vec<Option<u32>> = vec![None; cores];
+        let mut busy = vec![false; cores];
+
+        for op in ops {
+            match op {
+                Op::AcquireScan(c) => {
+                    let expect = scan_owner.is_none();
+                    if scan_owner == Some(c) { continue; } // no recursion
+                    prop_assert_eq!(sb.try_acquire_scan(c), expect);
+                    if expect { scan_owner = Some(c); }
+                }
+                Op::ReleaseScan(c) => {
+                    if scan_owner == Some(c) {
+                        sb.release_scan(c);
+                        scan_owner = None;
+                    }
+                }
+                Op::AcquireFree(c) => {
+                    let expect = free_owner.is_none();
+                    if free_owner == Some(c) { continue; }
+                    prop_assert_eq!(sb.try_acquire_free(c), expect);
+                    if expect { free_owner = Some(c); }
+                }
+                Op::ReleaseFree(c) => {
+                    if free_owner == Some(c) {
+                        sb.release_free(c);
+                        free_owner = None;
+                    }
+                }
+                Op::LockHeader(c, a) => {
+                    // One register per core: skip if holding another addr.
+                    if headers[c].is_some() && headers[c] != Some(a) { continue; }
+                    let taken = headers.iter().enumerate().any(|(o, &h)| o != c && h == Some(a));
+                    prop_assert_eq!(sb.try_lock_header(c, a), !taken);
+                    if !taken { headers[c] = Some(a); }
+                }
+                Op::UnlockHeader(c) => {
+                    if headers[c].is_some() {
+                        sb.unlock_header(c);
+                        headers[c] = None;
+                    }
+                }
+                Op::SetBusy(c) => { sb.set_busy(c); busy[c] = true; }
+                Op::ClearBusy(c) => { sb.clear_busy(c); busy[c] = false; }
+            }
+            // Cross-check observable state.
+            for c in 0..cores {
+                prop_assert_eq!(sb.holds_scan(c), scan_owner == Some(c));
+                prop_assert_eq!(sb.holds_free(c), free_owner == Some(c));
+                prop_assert_eq!(sb.header_lock_of(c), headers[c]);
+                prop_assert_eq!(sb.is_busy(c), busy[c]);
+            }
+            prop_assert_eq!(sb.busy_count(), busy.iter().filter(|&&b| b).count());
+            for c in 0..cores {
+                let none_other = busy.iter().enumerate().all(|(o, &b)| o == c || !b);
+                prop_assert_eq!(sb.none_busy_except(c), none_other);
+            }
+        }
+    }
+
+    /// Split bookkeeping: exactly one finisher is told it was last,
+    /// regardless of the finish order.
+    #[test]
+    fn split_finish_has_one_last(chunks in 2u32..20, order_seed in 0u64..1000) {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_acquire_scan(0));
+        sb.split_begin(0, 1000, chunks);
+        sb.release_scan(0);
+        // Finish in a seed-scrambled order (order is irrelevant for a
+        // counter, but the API must tolerate any interleaving).
+        let mut last_count = 0;
+        let mut x = order_seed | 1;
+        for _ in 0..chunks {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if sb.split_finish(1000) {
+                last_count += 1;
+            }
+        }
+        prop_assert_eq!(last_count, 1);
+        sb.assert_quiescent();
+    }
+}

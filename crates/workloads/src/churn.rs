@@ -1,0 +1,205 @@
+//! Multi-cycle mutator churn.
+//!
+//! The paper measures steady-state collection cycles of running programs;
+//! a single hand-built heap only exercises the first cycle. [`Churn`]
+//! drives a heap through many allocate/drop/mutate steps and collections,
+//! so tests and experiments can measure the collector in its steady state
+//! (live-set size stabilised, fromspace containing survivors of previous
+//! cycles rather than a freshly built graph).
+//!
+//! The mutator model is a *root table* (one pinned object whose pointer
+//! slots are the program's variables) over which three operations run:
+//!
+//! * **allocate** a small linked structure and store it in a random slot
+//!   (dropping whatever the slot referenced — garbage),
+//! * **re-point** a random slot at another slot's structure (sharing),
+//! * **clear** a random slot (death without replacement).
+//!
+//! All randomness is seeded; a churn run is deterministic.
+
+use hwgc_heap::{Addr, Heap, NULL};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Churn parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSpec {
+    /// Semispace size in words.
+    pub semi_words: u32,
+    /// Pointer slots in the root table.
+    pub table_slots: u32,
+    /// Objects per allocated structure (a small chain).
+    pub structure_len: u32,
+    /// Data words per allocated object.
+    pub obj_delta: u32,
+    /// Out of 100: probability a step allocates (vs. re-points / clears).
+    pub alloc_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> ChurnSpec {
+        ChurnSpec {
+            semi_words: 64 * 1024,
+            table_slots: 256,
+            structure_len: 3,
+            obj_delta: 6,
+            alloc_percent: 70,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A heap plus the mutator state driving it between collections.
+pub struct Churn {
+    heap: Heap,
+    rng: SmallRng,
+    spec: ChurnSpec,
+    next_id: u32,
+    /// Steps performed since the last collection was requested.
+    steps_since_gc: u64,
+}
+
+/// Outcome of one churn step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step completed; keep going.
+    Ok,
+    /// The semispace is full: the caller must run a collection (any of the
+    /// collectors in this workspace) and then continue stepping.
+    NeedsGc,
+}
+
+impl Churn {
+    /// Fresh heap with an empty root table.
+    pub fn new(spec: ChurnSpec) -> Churn {
+        let mut heap = Heap::new(spec.semi_words);
+        let table = heap
+            .alloc(spec.table_slots, 1)
+            .expect("semispace must fit the root table");
+        // The table is object id 1.
+        heap.set_data(table, 0, 1);
+        heap.add_root(table);
+        Churn { heap, rng: SmallRng::seed_from_u64(spec.seed), spec, next_id: 2, steps_since_gc: 0 }
+    }
+
+    /// The heap (e.g. to hand to a collector).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Immutable heap access.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Address of the root table (always `roots()[0]`).
+    pub fn table(&self) -> Addr {
+        self.heap.roots()[0]
+    }
+
+    /// Perform one mutator step.
+    pub fn step(&mut self) -> StepOutcome {
+        self.steps_since_gc += 1;
+        let spec = self.spec;
+        let slot = self.rng.random_range(0..spec.table_slots);
+        let action = self.rng.random_range(0..100u32);
+        if action < spec.alloc_percent {
+            // Allocate a small chain and store it.
+            match self.alloc_structure() {
+                Some(head) => {
+                    let t = self.table();
+                    self.heap.set_ptr(t, slot, head);
+                    StepOutcome::Ok
+                }
+                None => StepOutcome::NeedsGc,
+            }
+        } else if action < spec.alloc_percent + (100 - spec.alloc_percent) / 2 {
+            // Share: point this slot at another slot's structure.
+            let other = self.rng.random_range(0..spec.table_slots);
+            let t = self.table();
+            let v = self.heap.ptr(t, other);
+            self.heap.set_ptr(t, slot, v);
+            StepOutcome::Ok
+        } else {
+            // Drop.
+            let t = self.table();
+            self.heap.set_ptr(t, slot, NULL);
+            StepOutcome::Ok
+        }
+    }
+
+    fn alloc_structure(&mut self) -> Option<Addr> {
+        let spec = self.spec;
+        let mut head = NULL;
+        // Build back-to-front so each node can point at the previous one.
+        for _ in 0..spec.structure_len {
+            let obj = self.heap.alloc(1, spec.obj_delta)?;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.heap.set_data(obj, 0, id);
+            for d in 1..spec.obj_delta {
+                self.heap.set_data(obj, d, id ^ (d << 16));
+            }
+            self.heap.set_ptr(obj, 0, head);
+            head = obj;
+        }
+        Some(head)
+    }
+
+    /// Steps performed since the last [`Churn::gc_done`].
+    pub fn steps_since_gc(&self) -> u64 {
+        self.steps_since_gc
+    }
+
+    /// Tell the churn driver a collection has happened.
+    pub fn gc_done(&mut self) {
+        self.steps_since_gc = 0;
+    }
+
+    /// Live words currently allocated (mutator view).
+    pub fn allocated_words(&self) -> u32 {
+        self.heap.allocated_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_heap::Snapshot;
+
+    #[test]
+    fn churn_steps_until_full() {
+        let mut churn = Churn::new(ChurnSpec { semi_words: 4096, ..ChurnSpec::default() });
+        let mut steps = 0u64;
+        while churn.step() == StepOutcome::Ok {
+            steps += 1;
+            assert!(steps < 100_000, "a 4Ki semispace must fill");
+        }
+        assert!(steps > 10);
+    }
+
+    #[test]
+    fn churn_graph_is_snapshotable() {
+        let mut churn = Churn::new(ChurnSpec { semi_words: 8192, ..ChurnSpec::default() });
+        while churn.step() == StepOutcome::Ok {}
+        let snap = Snapshot::capture(churn.heap());
+        assert!(snap.live_objects() > 1);
+        // Live data must be below what was allocated (garbage exists).
+        assert!(snap.live_words < churn.allocated_words() as u64);
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let run = || {
+            let mut churn = Churn::new(ChurnSpec { semi_words: 8192, ..ChurnSpec::default() });
+            let mut steps = 0;
+            while churn.step() == StepOutcome::Ok {
+                steps += 1;
+            }
+            (steps, Snapshot::capture(churn.heap()).live_words)
+        };
+        assert_eq!(run(), run());
+    }
+}

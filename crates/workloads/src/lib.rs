@@ -1,0 +1,42 @@
+//! Synthetic heap-graph workloads.
+//!
+//! The paper evaluates on eight single-threaded Java programs (compress,
+//! cup, db, javac, javacc, jflex, jlisp, search). We cannot run Java on the
+//! simulated coprocessor, but the collector never sees the *program* — it
+//! sees the object graph at flip time. Table I, Table II and the prose of
+//! Section VI give each benchmark's GC-relevant signature:
+//!
+//! * **compress, search** — "highly linear structures" with essentially no
+//!   object-level parallelism: a chain of large objects. One gray object
+//!   at a time; extra cores only spin (Tab. I: ≈99 % empty work list at
+//!   ≥4 cores).
+//! * **cup** — a gray frontier wider than the header FIFO: the FIFO
+//!   overflows and the resulting memory reads lengthen the scan-lock
+//!   critical section (Tab. II: 10.49 % scan-lock stalls, 38.6 % header
+//!   load stalls).
+//! * **javac** — "a few objects are referenced by many objects": popular
+//!   hub objects whose header locks become contended (Tab. II: 29.4 %
+//!   header-lock stalls).
+//! * **db** — a large, well-connected graph of small record objects:
+//!   plenty of parallelism, stall profile dominated by child header loads
+//!   and body copies.
+//! * **javacc, jlisp** — moderately sized, well-parallelizable trees/DAGs.
+//! * **jflex** — parallelism that saturates below 16 cores (Tab. I: 35 %
+//!   empty at 16 cores): a forest with fewer independent branches than
+//!   cores.
+//!
+//! [`Preset`] builds a heap whose graph has exactly these properties
+//! (plus unreachable garbage, since a copying collector's cost must be
+//! independent of it). [`generators`] exposes the underlying
+//! parameterized topologies for custom experiments.
+
+pub mod churn;
+pub mod generators;
+pub mod presets;
+
+pub use generators::{
+    big_array_chain, hub_graph, kary_tree, linear_chain, parallel_chains, random_graph,
+    serial_chain, wide_fanout, GenStats,
+};
+pub use churn::{Churn, ChurnSpec, StepOutcome};
+pub use presets::{Preset, WorkloadSpec};

@@ -1,0 +1,55 @@
+//! Sizing study: how many GC cores does a workload actually need?
+//!
+//! The paper's Figure 5 shows that the answer depends on the *shape* of
+//! the object graph, not its size: linear heaps stop scaling at 2–3
+//! cores, while well-connected heaps ride the memory bandwidth to a
+//! dozen. This example runs a workload of your choosing across
+//! coprocessor configurations and prints the smallest configuration
+//! within 10 % of the best observed GC time — the sweet spot a hardware
+//! architect would pick.
+//!
+//! ```sh
+//! cargo run --release --example coprocessor_sizing [preset]
+//! ```
+
+use hwgc::prelude::*;
+use hwgc::workloads::Preset;
+
+fn main() {
+    let preset = std::env::args()
+        .nth(1)
+        .map(|name| Preset::by_name(&name).unwrap_or_else(|| panic!("unknown preset {name}")))
+        .unwrap_or(Preset::Db);
+    let spec = WorkloadSpec::new(preset, 42);
+    println!("sizing the coprocessor for the `{preset}` workload\n");
+    println!("{:>6}  {:>12}  {:>8}  {:>14}", "cores", "GC cycles", "speedup", "efficiency");
+
+    let mut results = Vec::new();
+    for cores in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+        let mut heap = spec.build();
+        let snapshot = Snapshot::capture(&heap);
+        let outcome = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
+        verify_collection(&heap, outcome.free, &snapshot).expect("correct collection");
+        results.push((cores, outcome.stats.total_cycles));
+    }
+
+    let base = results[0].1 as f64;
+    for &(cores, cycles) in &results {
+        let speedup = base / cycles as f64;
+        println!(
+            "{cores:>6}  {cycles:>12}  {speedup:>7.2}x  {:>13.1} %",
+            100.0 * speedup / cores as f64
+        );
+    }
+
+    let best = results.iter().map(|&(_, c)| c).min().unwrap() as f64;
+    let sweet = results
+        .iter()
+        .find(|&&(_, c)| (c as f64) <= best * 1.10)
+        .unwrap();
+    println!(
+        "\nsweet spot: {} cores (within 10 % of the best time; more cores mostly spin \
+         on an empty work list or queue at the memory controller)",
+        sweet.0
+    );
+}

@@ -1,0 +1,80 @@
+//! The paper's thesis in one program: run the *same* fine-grained
+//! algorithm (a) on the simulated coprocessor, where the synchronization
+//! block makes every lock acquisition free, and (b) with real threads and
+//! software synchronization — then compare what each paid per object.
+//! The coarser-grained software baselines from related work are included
+//! to show the trade they make.
+//!
+//! ```sh
+//! cargo run --release --example software_vs_hardware
+//! ```
+
+use hwgc::prelude::*;
+use hwgc::swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
+use hwgc::workloads::Preset;
+use hwgc_heap::verify_collection_relaxed;
+
+fn main() {
+    let spec = WorkloadSpec::new(Preset::Javacc, 42);
+
+    // --- Hardware: the simulated coprocessor --------------------------
+    let mut heap = spec.build();
+    let snapshot = Snapshot::capture(&heap);
+    let hw = SimCollector::new(GcConfig::with_cores(8)).collect(&mut heap);
+    verify_collection(&heap, hw.free, &snapshot).expect("hardware collection correct");
+    let live = snapshot.live_objects() as u64;
+
+    println!("workload: javacc preset, {live} live objects\n");
+    println!("hardware coprocessor (8 cores, simulated):");
+    println!("  {} clock cycles per collection", hw.stats.total_cycles);
+    println!(
+        "  {} lock acquisitions — every one free in the uncontended case",
+        hw.stats.sync.acquisitions.iter().sum::<u64>()
+    );
+    println!(
+        "  {} failed acquisition attempts (contention stalls)",
+        hw.stats.sync.failed_attempts.iter().sum::<u64>()
+    );
+
+    // --- Software: same algorithm + the related-work baselines --------
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    println!("\nsoftware collectors ({threads} thread(s)):");
+    println!(
+        "  {:>14}  {:>10}  {:>13}  {:>12}  {:>10}",
+        "collector", "time (µs)", "sync ops/obj", "failed CAS", "frag words"
+    );
+
+    let collectors: Vec<(Box<dyn SwCollector>, bool)> = vec![
+        (Box::new(FineGrained::new()), true),
+        (Box::new(WorkStealing::new()), false),
+        (Box::new(Chunked::new()), false),
+        (Box::new(Packets::new()), false),
+    ];
+    for (collector, compacting) in collectors {
+        let mut heap = spec.build();
+        let snapshot = Snapshot::capture(&heap);
+        let report = collector.collect(&mut heap, threads);
+        if compacting {
+            verify_collection(&heap, report.free, &snapshot)
+        } else {
+            verify_collection_relaxed(&heap, report.free, &snapshot)
+        }
+        .unwrap_or_else(|e| panic!("{} incorrect: {e}", report.name));
+        println!(
+            "  {:>14}  {:>10.0}  {:>13.1}  {:>12}  {:>10}",
+            report.name,
+            report.elapsed.as_secs_f64() * 1e6,
+            report.ops.total_ops() as f64 / live as f64,
+            report.ops.header_cas_failed,
+            report.fragmentation_words,
+        );
+    }
+
+    println!(
+        "\nreading: the fine-grained software collector needs the most synchronization \
+         per object\nand stays perfectly compact; the coarser schemes buy fewer shared \
+         operations with\nfragmentation and auxiliary structures. The coprocessor's \
+         synchronization block makes\nthe fine-grained scheme free — that is the paper's \
+         contribution."
+    );
+}

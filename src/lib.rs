@@ -1,0 +1,64 @@
+//! # hwgc — fine-grained parallel compacting garbage collection
+//!
+//! Facade crate for the reproduction of *Horvath & Meyer, "Fine-Grained
+//! Parallel Compacting Garbage Collection through Hardware-Supported
+//! Synchronization", ICPP 2010*.
+//!
+//! The workspace models the paper's full system:
+//!
+//! * [`heap`] — the object-based heap (semispaces, two-word headers,
+//!   pointer/data separation, verifier),
+//! * [`sync`] — the coprocessor's synchronization block (scan/free locks,
+//!   per-core header-lock registers, busy bits, barriers),
+//! * [`memsim`] — the split-transaction memory system (per-core ports,
+//!   bandwidth/latency model, comparator array, header FIFO),
+//! * [`core`] — the parallel Cheney collector running on simulated
+//!   microprogrammed cores, plus the sequential reference collector,
+//! * [`swgc`] — real-thread software collectors (the paper's algorithm with
+//!   software synchronization, and the coarser-grained baselines from
+//!   related work),
+//! * [`workloads`] — synthetic heap graphs reproducing the GC-relevant
+//!   signatures of the paper's eight Java benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hwgc::prelude::*;
+//!
+//! // Build a heap with a small object graph.
+//! let mut heap = Heap::new(4096);
+//! let mut b = GraphBuilder::new(&mut heap);
+//! let root = b.add(2, 1).unwrap();
+//! let left = b.add(0, 4).unwrap();
+//! let right = b.add(0, 4).unwrap();
+//! b.link(root, 0, left);
+//! b.link(root, 1, right);
+//! b.root(root);
+//!
+//! // Collect with an 8-core simulated GC coprocessor.
+//! let snapshot = Snapshot::capture(&heap);
+//! let outcome = SimCollector::new(GcConfig { n_cores: 8, ..GcConfig::default() })
+//!     .collect(&mut heap);
+//! verify_collection(&heap, outcome.free, &snapshot).unwrap();
+//! assert_eq!(outcome.stats.objects_copied, 3);
+//! ```
+
+pub use hwgc_core as core;
+pub use hwgc_heap as heap;
+pub use hwgc_memsim as memsim;
+pub use hwgc_swgc as swgc;
+pub use hwgc_sync as sync;
+pub use hwgc_workloads as workloads;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use hwgc_core::{
+        ConcurrentOutcome, GcConfig, GcOutcome, GcStats, MutatorConfig, SeqCheney, SignalTrace,
+        SimCollector,
+    };
+    pub use hwgc_heap::{
+        verify_collection, Addr, GraphBuilder, Heap, ObjId, Snapshot, Word, NULL,
+    };
+    pub use hwgc_memsim::MemConfig;
+    pub use hwgc_workloads::{Churn, ChurnSpec, Preset, StepOutcome, WorkloadSpec};
+}

@@ -1,0 +1,197 @@
+//! Targeted scenarios pinning the core state machine's contention and
+//! memory-path behaviours — the micro-level counterparts of Table II's
+//! stall categories, each provoked deliberately on a purpose-built heap.
+
+use hwgc::memsim::MemConfig;
+use hwgc::prelude::*;
+use hwgc_core::StallReason;
+
+fn collect_cfg(heap: &mut Heap, cfg: GcConfig) -> GcOutcome {
+    let snapshot = Snapshot::capture(heap);
+    let out = SimCollector::new(cfg).collect(heap);
+    hwgc::heap::verify_collection(heap, out.free, &snapshot).expect("correct collection");
+    out
+}
+
+/// Many tiny objects and many cores: claims outnumber scan-lock capacity
+/// and scan-lock stalls must appear.
+#[test]
+fn tiny_objects_contend_on_the_scan_lock() {
+    let mut heap = Heap::new(64 * 1024);
+    let mut b = GraphBuilder::new(&mut heap);
+    // A bushy tree of minimal objects: the evacuation rate grows with the
+    // core count, so claims outpace the scan lock's capacity. (A flat
+    // fan-out would not work: its single producer throttles the claims.)
+    let mut s = Default::default();
+    let root = hwgc::workloads::generators::kary_tree(&mut b, 6, 4, 1, &mut s);
+    b.root(root);
+    let out = collect_cfg(&mut heap, GcConfig::with_cores(16));
+    assert!(
+        out.stats.stall.scan_lock > 0,
+        "16 cores claiming 3-word tree nodes must queue at the scan lock"
+    );
+}
+
+/// Two objects pointing at one shared child that takes a while to
+/// evacuate: the header lock must serialize them, and exactly one
+/// evacuation must happen.
+#[test]
+fn shared_child_is_evacuated_exactly_once_under_contention() {
+    let mut heap = Heap::new(32 * 1024);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(64, 1).unwrap();
+    let shared = b.add(0, 100).unwrap();
+    // Many parents, all pointing at the same child, scanned concurrently.
+    for slot in 0..64 {
+        let parent = b.add(8, 1).unwrap();
+        for ps in 0..8 {
+            b.link(parent, ps, shared);
+        }
+        b.link(root, slot, parent);
+    }
+    b.root(root);
+    let snapshot = Snapshot::capture(&heap);
+    let out = collect_cfg(&mut heap, GcConfig::with_cores(8));
+    assert_eq!(out.stats.objects_copied as usize, snapshot.live_objects());
+    assert!(
+        out.stats.stall.header_lock > 0,
+        "512 concurrent references to one child must contend on its header lock"
+    );
+}
+
+/// With the FIFO disabled, every scan-side header read goes to memory
+/// inside the critical section: header-load stalls and scan-lock stalls
+/// both rise against the default configuration.
+#[test]
+fn fifo_disabled_lengthens_the_critical_section() {
+    let build = || {
+        let mut heap = Heap::new(64 * 1024);
+        let mut b = GraphBuilder::new(&mut heap);
+        let root = b.add(1000, 1).unwrap();
+        for slot in 0..1000 {
+            let leaf = b.add(0, 4).unwrap();
+            b.link(root, slot, leaf);
+        }
+        b.root(root);
+        heap
+    };
+    let mut with_fifo = build();
+    let a = collect_cfg(&mut with_fifo, GcConfig::with_cores(8));
+    let mut without = build();
+    let cfg = GcConfig {
+        n_cores: 8,
+        mem: MemConfig { header_fifo_capacity: 0, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    let b_ = collect_cfg(&mut without, cfg);
+    assert!(b_.stats.total_cycles > a.stats.total_cycles);
+    assert!(b_.stats.stall.scan_lock > a.stats.stall.scan_lock);
+    assert_eq!(a.stats.fifo.overflows, 0, "1000 grays fit the default FIFO");
+    assert!(b_.stats.fifo.overflows > 0);
+}
+
+/// A FIFO of capacity 1 forces the overflow path (second header store per
+/// evacuation) on almost every object; header-store stalls must appear.
+#[test]
+fn fifo_overflow_costs_header_stores() {
+    let mut heap = Heap::new(64 * 1024);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(500, 1).unwrap();
+    for slot in 0..500 {
+        let leaf = b.add(0, 2).unwrap();
+        b.link(root, slot, leaf);
+    }
+    b.root(root);
+    // One core: all 500 evacuations happen before any leaf is claimed,
+    // so a 1-entry FIFO must overflow on nearly all of them. (With more
+    // cores the consumers keep pace and even a tiny FIFO suffices — which
+    // is itself part of the design's point.)
+    let cfg = GcConfig {
+        n_cores: 1,
+        mem: MemConfig { header_fifo_capacity: 1, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    let out = collect_cfg(&mut heap, cfg);
+    assert!(out.stats.fifo.overflows > 400, "overflows: {}", out.stats.fifo.overflows);
+    assert!(
+        out.stats.stall.header_store > 0,
+        "overflowed gray headers must wait for the store buffer"
+    );
+}
+
+/// Zero-bandwidth-pressure single object: the cycle count is exactly
+/// reproducible and small — a regression pin on the microprogram's
+/// per-object cost.
+#[test]
+fn single_object_cycle_cost_is_pinned() {
+    let run = || {
+        let mut heap = Heap::new(1024);
+        let mut b = GraphBuilder::new(&mut heap);
+        let root = b.add(0, 8).unwrap();
+        b.root(root);
+        collect_cfg(&mut heap, GcConfig::with_cores(1)).stats.total_cycles
+    };
+    let cycles = run();
+    assert_eq!(cycles, run(), "deterministic");
+    // Root phase (~latency+3) + claim + 8-word copy + blacken + drain.
+    assert!(
+        (10..60).contains(&cycles),
+        "a single 10-word object should collect in tens of cycles, took {cycles}"
+    );
+}
+
+/// Extra memory latency shows up as body-load stalls on a copy-heavy
+/// object, and the total grows accordingly.
+#[test]
+fn latency_is_charged_to_body_loads() {
+    let build = || {
+        let mut heap = Heap::new(16 * 1024);
+        let mut b = GraphBuilder::new(&mut heap);
+        let root = b.add(1, 1).unwrap();
+        let big = b.add(0, 2000).unwrap();
+        b.link(root, 0, big);
+        b.root(root);
+        heap
+    };
+    let mut fast = build();
+    let a = collect_cfg(&mut fast, GcConfig::with_cores(1));
+    let cfg = GcConfig {
+        n_cores: 1,
+        mem: MemConfig::default().with_extra_latency(10),
+        ..GcConfig::default()
+    };
+    let mut slow = build();
+    let b_ = collect_cfg(&mut slow, cfg);
+    assert!(b_.stats.total_cycles > a.stats.total_cycles);
+    assert!(b_.stats.stall.body_load > a.stats.stall.body_load);
+}
+
+/// The spin counter (Table I's basis) attributes idle cores correctly:
+/// one long object, many cores — the others spin, none of it counted as
+/// a Table II stall.
+#[test]
+fn idle_cores_spin_rather_than_stall() {
+    let mut heap = Heap::new(16 * 1024);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(0, 3000).unwrap();
+    b.root(root);
+    let out = collect_cfg(&mut heap, GcConfig::with_cores(8));
+    assert!(out.stats.stall.empty_spin > 1000, "7 cores must spin for the whole copy");
+    assert_eq!(out.stats.stall.scan_lock, 0);
+    assert!(out.stats.empty_worklist_fraction() > 0.9);
+}
+
+/// chunks_claimed accounting: splitting a single large object into L-word
+/// claims yields exactly ceil(body/L) claims.
+#[test]
+fn split_claim_count_is_exact() {
+    let mut heap = Heap::new(16 * 1024);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(0, 1000).unwrap();
+    b.root(root);
+    let cfg = GcConfig { line_split: Some(64), ..GcConfig::with_cores(4) };
+    let out = collect_cfg(&mut heap, cfg);
+    // body = 1000 words, ceil(1000/64) = 16 claims.
+    assert_eq!(out.stats.chunks_claimed, 16);
+    assert_eq!(out.stats.objects_copied, 1);
+}

@@ -1,0 +1,397 @@
+//! Integration tests of the *modelled* behaviours the paper reports:
+//! the experiments' headline effects must hold as invariants, not just in
+//! the printed tables.
+
+use hwgc::memsim::MemConfig;
+use hwgc::prelude::*;
+use hwgc_core::StallReason;
+use hwgc_workloads::Preset;
+
+fn spec(preset: Preset) -> WorkloadSpec {
+    WorkloadSpec { preset, seed: 42, scale: 0.3 }
+}
+
+fn run(preset: Preset, cfg: GcConfig) -> GcOutcome {
+    let mut heap = spec(preset).build();
+    let snapshot = Snapshot::capture(&heap);
+    let out = SimCollector::new(cfg).collect(&mut heap);
+    verify_collection(&heap, out.free, &snapshot).expect("correct collection");
+    out
+}
+
+fn speedup(preset: Preset, cores: usize, mem: MemConfig) -> f64 {
+    let base = run(preset, GcConfig { n_cores: 1, mem, ..GcConfig::default() });
+    let par = run(preset, GcConfig { n_cores: cores, mem, ..GcConfig::default() });
+    base.stats.total_cycles as f64 / par.stats.total_cycles as f64
+}
+
+#[test]
+fn linear_benchmarks_do_not_scale() {
+    // Paper Figure 5: compress and search show no significant speedup.
+    for preset in [Preset::Compress, Preset::Search] {
+        let s = speedup(preset, 16, MemConfig::default());
+        assert!(s < 4.0, "{preset} scaled to {s:.2}x; the paper's linear graphs must not");
+    }
+}
+
+#[test]
+fn parallel_benchmarks_scale_well() {
+    // Paper Figure 5: up to 7.4x at 8 cores, 12.1x at 16.
+    for preset in [Preset::Db, Preset::Javacc, Preset::Jlisp] {
+        let s8 = speedup(preset, 8, MemConfig::default());
+        assert!(s8 > 5.0, "{preset} reached only {s8:.2}x at 8 cores");
+    }
+}
+
+#[test]
+fn linear_benchmarks_have_empty_worklist_at_high_core_counts() {
+    // Paper Table I: ~99 % for compress/search at >= 4 cores, near 0 % at
+    // 1 core.
+    for preset in [Preset::Compress, Preset::Search] {
+        let one = run(preset, GcConfig::with_cores(1));
+        let many = run(preset, GcConfig::with_cores(8));
+        assert!(
+            one.stats.empty_worklist_fraction() < 0.02,
+            "{preset} at 1 core: {:.4}",
+            one.stats.empty_worklist_fraction()
+        );
+        assert!(
+            many.stats.empty_worklist_fraction() > 0.80,
+            "{preset} at 8 cores: {:.4}",
+            many.stats.empty_worklist_fraction()
+        );
+    }
+}
+
+#[test]
+fn parallel_benchmarks_keep_the_worklist_full() {
+    // Paper Table I: cup/db/javac stay under ~0.1 % even at 16 cores.
+    for preset in [Preset::Cup, Preset::Db, Preset::Javac] {
+        let out = run(preset, GcConfig::with_cores(16));
+        assert!(
+            out.stats.empty_worklist_fraction() < 0.05,
+            "{preset}: {:.4}",
+            out.stats.empty_worklist_fraction()
+        );
+    }
+}
+
+#[test]
+fn javac_contends_on_header_locks() {
+    // Paper Table II: javac is the one benchmark with substantial
+    // header-lock stalls (29.4 %); the others sit near zero.
+    let javac = run(Preset::Javac, GcConfig::with_cores(16));
+    let db = run(Preset::Db, GcConfig::with_cores(16));
+    let javac_frac = javac.stats.stall_fraction(StallReason::HeaderLock);
+    let db_frac = db.stats.stall_fraction(StallReason::HeaderLock);
+    assert!(javac_frac > 0.05, "javac header-lock stalls: {javac_frac:.4}");
+    assert!(db_frac < 0.01, "db header-lock stalls: {db_frac:.4}");
+}
+
+#[test]
+fn test_before_lock_removes_javac_contention() {
+    // Paper Section VI-B's proposed improvement (ablation C).
+    let base = run(Preset::Javac, GcConfig { n_cores: 16, ..GcConfig::default() });
+    let probed =
+        run(Preset::Javac, GcConfig { n_cores: 16, test_before_lock: true, ..GcConfig::default() });
+    let b = base.stats.stall_fraction(StallReason::HeaderLock);
+    let p = probed.stats.stall_fraction(StallReason::HeaderLock);
+    assert!(p < b / 4.0, "test-before-lock: {b:.4} -> {p:.4}");
+    assert_eq!(base.stats.objects_copied, probed.stats.objects_copied);
+}
+
+#[test]
+fn higher_memory_latency_improves_scalability() {
+    // Paper Figure 6: +20 cycles of latency improves the speedup of every
+    // benchmark with enough parallelism.
+    for preset in [Preset::Db, Preset::Javacc] {
+        let normal = speedup(preset, 16, MemConfig::default());
+        let slow = speedup(preset, 16, MemConfig::default().with_extra_latency(20));
+        assert!(
+            slow > normal,
+            "{preset}: speedup {normal:.2} -> {slow:.2} should improve with latency"
+        );
+    }
+}
+
+#[test]
+fn cup_overflows_the_fifo_and_small_fifos_hurt() {
+    // Paper Section V-D + Table II: cup's gray frontier exceeds the FIFO,
+    // and the resulting memory reads lengthen the scan critical section.
+    let big = GcConfig {
+        n_cores: 16,
+        mem: MemConfig { header_fifo_capacity: 1 << 20, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    let small = GcConfig {
+        n_cores: 16,
+        mem: MemConfig { header_fifo_capacity: 64, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    // The full-scale cup frontier (~5000 gray records) exceeds the default
+    // 4096-entry FIFO; this test runs at scale 0.3, so check the overflow
+    // against a proportionally small FIFO instead.
+    let default_cfg = GcConfig {
+        n_cores: 16,
+        mem: MemConfig { header_fifo_capacity: 1024, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    let with_default = run(Preset::Cup, default_cfg);
+    assert!(with_default.stats.fifo.overflows > 0, "cup must overflow an undersized FIFO");
+
+    let with_big = run(Preset::Cup, big);
+    assert_eq!(with_big.stats.fifo.overflows, 0);
+
+    let with_small = run(Preset::Cup, small);
+    assert!(
+        with_small.stats.total_cycles > with_big.stats.total_cycles,
+        "a starved FIFO must cost cycles: {} vs {}",
+        with_small.stats.total_cycles,
+        with_big.stats.total_cycles
+    );
+    assert!(
+        with_small.stats.stall_fraction(StallReason::ScanLock)
+            > with_big.stats.stall_fraction(StallReason::ScanLock),
+        "FIFO misses must lengthen the scan critical section"
+    );
+}
+
+#[test]
+fn disabled_fifo_still_collects_correctly() {
+    let cfg = GcConfig {
+        n_cores: 8,
+        mem: MemConfig { header_fifo_capacity: 0, ..MemConfig::default() },
+        ..GcConfig::default()
+    };
+    let out = run(Preset::Javacc, cfg);
+    assert_eq!(out.stats.fifo.hits, 0);
+    assert!(out.stats.fifo.overflows > 0);
+}
+
+#[test]
+fn single_core_has_no_lock_contention() {
+    // Paper: "this single-core configuration performs like the original
+    // sequential implementation" — nothing to contend with.
+    let out = run(Preset::Db, GcConfig::with_cores(1));
+    assert_eq!(out.stats.stall.scan_lock, 0);
+    assert_eq!(out.stats.stall.free_lock, 0);
+    assert_eq!(out.stats.stall.header_lock, 0);
+}
+
+#[test]
+fn sync_ops_are_free_when_uncontended() {
+    // The SB's zero-cost claim, checked through the stats: at 1 core every
+    // acquisition succeeds on the first attempt.
+    let out = run(Preset::Javacc, GcConfig::with_cores(1));
+    assert!(out.stats.sync.acquisitions.iter().sum::<u64>() > 0);
+    assert_eq!(out.stats.sync.failed_attempts.iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn line_split_parallelizes_serial_big_arrays() {
+    // Extension 1 (paper conclusions item 1): a chain of large reference
+    // arrays with the chain edge last is serial at object granularity;
+    // line-granularity claims recover near-bandwidth-limited scaling.
+    use hwgc::heap::GraphBuilder;
+    use hwgc_workloads::generators::{big_array_chain, GenStats};
+
+    let build = || {
+        let mut heap = Heap::new(16 * 1004 + 4096);
+        let mut b = GraphBuilder::new(&mut heap);
+        let mut s = GenStats::default();
+        let head = big_array_chain(&mut b, 16, 1000, &mut s);
+        b.root(head);
+        heap
+    };
+    let run = |cfg: GcConfig| {
+        let mut heap = build();
+        let snapshot = Snapshot::capture(&heap);
+        let out = SimCollector::new(cfg).collect(&mut heap);
+        verify_collection(&heap, out.free, &snapshot).expect("correct collection");
+        out
+    };
+    let obj_1 = run(GcConfig::with_cores(1)).stats.total_cycles;
+    let obj_16 = run(GcConfig::with_cores(16)).stats.total_cycles;
+    let split_16 =
+        run(GcConfig { line_split: Some(128), ..GcConfig::with_cores(16) });
+    assert!(
+        (obj_1 as f64 / obj_16 as f64) < 1.3,
+        "object granularity must stay serial: {obj_1} vs {obj_16}"
+    );
+    assert!(
+        (obj_1 as f64 / split_16.stats.total_cycles as f64) > 3.0,
+        "line splitting must parallelize: {obj_1} vs {}",
+        split_16.stats.total_cycles
+    );
+    assert!(split_16.stats.chunks_claimed > split_16.stats.objects_copied);
+}
+
+#[test]
+fn line_split_handles_pointer_rich_chunks() {
+    // Chunks that land inside the pointer area must still translate every
+    // slot; mixed pointer/data objects with a tiny line size stress the
+    // chunk arithmetic.
+    let spec = WorkloadSpec { preset: Preset::Db, seed: 5, scale: 0.1 };
+    let mut heap = spec.build();
+    let snapshot = Snapshot::capture(&heap);
+    let cfg = GcConfig { line_split: Some(3), ..GcConfig::with_cores(7) };
+    let out = SimCollector::new(cfg).collect(&mut heap);
+    verify_collection(&heap, out.free, &snapshot).expect("correct collection");
+    assert!(out.stats.chunks_claimed >= out.stats.objects_copied);
+}
+
+#[test]
+fn concurrent_collection_is_correct_and_keeps_the_mutator_running() {
+    // Extension 3: the mutator makes progress during the cycle; the heap
+    // still verifies (mid-cycle allocations appear as extra black
+    // objects).
+    use hwgc::core::MutatorConfig;
+    use hwgc::heap::{verify_collection_with, VerifyOptions};
+
+    for preset in [Preset::Db, Preset::Javac, Preset::Compress] {
+        let mut heap = spec(preset).build();
+        let snapshot = Snapshot::capture(&heap);
+        let out = SimCollector::new(GcConfig::with_cores(4))
+            .collect_concurrent(&mut heap, &MutatorConfig::default());
+        verify_collection_with(
+            &heap,
+            out.free,
+            &snapshot,
+            VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+        )
+        .unwrap_or_else(|e| panic!("{preset}: {e}"));
+        assert!(out.mutator.actions > 0, "{preset}: mutator made no progress");
+        assert!(
+            out.mutator.utilization(out.stats.total_cycles) > 0.5,
+            "{preset}: mutator utilization {:.2}",
+            out.mutator.utilization(out.stats.total_cycles)
+        );
+        // All original live objects must still have been copied — by the
+        // GC cores or by the mutator's read barrier.
+        assert!(
+            (out.stats.objects_copied + out.mutator.barrier_evacuations) as usize
+                >= snapshot.live_objects(),
+            "{preset}: {} + {} < {}",
+            out.stats.objects_copied,
+            out.mutator.barrier_evacuations,
+            snapshot.live_objects()
+        );
+    }
+}
+
+#[test]
+fn concurrent_mutator_triggers_the_read_barrier() {
+    use hwgc::core::MutatorConfig;
+
+    let mut heap = spec(Preset::Db).build();
+    let out = SimCollector::new(GcConfig::with_cores(2))
+        .collect_concurrent(&mut heap, &MutatorConfig::default());
+    let m = &out.mutator;
+    assert!(
+        m.backlink_redirects + m.barrier_forwards + m.barrier_evacuations > 0,
+        "a db-sized cycle must exercise the barrier: {m:?}"
+    );
+    assert!(m.allocations > 0);
+}
+
+#[test]
+fn concurrent_allocations_survive_into_the_next_cycle() {
+    use hwgc::core::MutatorConfig;
+
+    let mut heap = spec(Preset::Javacc).build();
+    let out = SimCollector::new(GcConfig::with_cores(4))
+        .collect_concurrent(&mut heap, &MutatorConfig::default());
+    let allocated = out.mutator.allocations;
+    assert!(allocated > 0);
+    // Next (stop-the-world) cycle: the allocated objects are rooted via
+    // the register dump, so they must be copied again.
+    let snapshot = Snapshot::capture(&heap);
+    let out2 = SimCollector::new(GcConfig::with_cores(4)).collect(&mut heap);
+    verify_collection(&heap, out2.free, &snapshot).expect("follow-up cycle correct");
+}
+
+#[test]
+fn concurrent_collection_is_deterministic() {
+    use hwgc::core::MutatorConfig;
+
+    let run = || {
+        let mut heap = spec(Preset::Cup).build();
+        let out = SimCollector::new(GcConfig::with_cores(4))
+            .collect_concurrent(&mut heap, &MutatorConfig::default());
+        (out.stats.total_cycles, out.mutator.actions, out.free)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn concurrent_mutator_pauses_stay_bounded() {
+    // The paper's final future-work sentence: a fine-grained *parallel
+    // and real-time* collector. With the read barrier, the worst mutator
+    // pause must stay far below the prior work's couple-hundred-cycle
+    // bound — nothing in the design makes the mutator wait longer than a
+    // lock hold or one in-flight object copy.
+    use hwgc::core::MutatorConfig;
+
+    for preset in [Preset::Db, Preset::Cup, Preset::Javac] {
+        let mut heap = spec(preset).build();
+        let out = SimCollector::new(GcConfig::with_cores(8))
+            .collect_concurrent(&mut heap, &MutatorConfig::default());
+        assert!(
+            out.mutator.max_pause_cycles < 200,
+            "{preset}: worst mutator pause {} cycles",
+            out.mutator.max_pause_cycles
+        );
+    }
+}
+
+#[test]
+fn concurrent_read_only_mutator_preserves_strict_verification() {
+    // With allocation and writes disabled the mutator only reads (through
+    // the barrier); the collection must satisfy the *strict* verifier —
+    // perfect compaction, exact live set, exact contents.
+    use hwgc::core::MutatorConfig;
+
+    let mut heap = spec(Preset::Javacc).build();
+    let snapshot = Snapshot::capture(&heap);
+    let mcfg = MutatorConfig { alloc_every: 0, write_every: 0, ..MutatorConfig::default() };
+    let out = SimCollector::new(GcConfig::with_cores(4)).collect_concurrent(&mut heap, &mcfg);
+    // Registers duplicate existing roots; drop them for the strict check.
+    while heap.roots().len() > snapshot.root_ids.len() {
+        heap.pop_root();
+    }
+    verify_collection(&heap, out.free, &snapshot).expect("read-only mutator must be invisible");
+    assert_eq!(out.mutator.allocations, 0);
+    assert_eq!(out.mutator.data_writes, 0);
+    assert!(out.mutator.pointer_loads > 0);
+}
+
+#[test]
+fn concurrent_collection_on_an_empty_heap_terminates() {
+    use hwgc::core::MutatorConfig;
+
+    let mut heap = Heap::new(4096);
+    let out = SimCollector::new(GcConfig::with_cores(2))
+        .collect_concurrent(&mut heap, &MutatorConfig::default());
+    // Nothing to trace, nothing to read — but allocation still works.
+    assert!(out.stats.objects_copied == 0);
+    assert!(out.mutator.allocations <= 2, "empty heaps end almost immediately");
+}
+
+#[test]
+fn concurrent_composes_with_line_split() {
+    use hwgc::core::MutatorConfig;
+    use hwgc::heap::{verify_collection_with, VerifyOptions};
+
+    let mut heap = spec(Preset::Db).build();
+    let snapshot = Snapshot::capture(&heap);
+    let cfg = GcConfig { line_split: Some(16), ..GcConfig::with_cores(6) };
+    let out = SimCollector::new(cfg).collect_concurrent(&mut heap, &MutatorConfig::default());
+    verify_collection_with(
+        &heap,
+        out.free,
+        &snapshot,
+        VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+    )
+    .expect("line-split + concurrent must verify");
+    assert!(out.stats.chunks_claimed > out.stats.objects_copied);
+}

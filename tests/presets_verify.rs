@@ -1,0 +1,158 @@
+//! Cross-crate integration: every benchmark preset collected by the
+//! simulated coprocessor at every paper core count, verified against the
+//! pre-collection snapshot and against the sequential reference.
+
+use hwgc::prelude::*;
+use hwgc_workloads::Preset;
+
+fn scaled(preset: Preset) -> WorkloadSpec {
+    // Smaller instances keep debug-mode test time reasonable while
+    // exercising identical code paths.
+    WorkloadSpec { preset, seed: 7, scale: 0.2 }
+}
+
+#[test]
+fn every_preset_collects_correctly_at_every_core_count() {
+    for preset in Preset::ALL {
+        let spec = scaled(preset);
+        for cores in [1usize, 2, 4, 16] {
+            let mut heap = spec.build();
+            let snapshot = Snapshot::capture(&heap);
+            let out = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
+            verify_collection(&heap, out.free, &snapshot)
+                .unwrap_or_else(|e| panic!("{preset} at {cores} cores: {e}"));
+            assert_eq!(
+                out.stats.objects_copied as usize,
+                snapshot.live_objects(),
+                "{preset} at {cores} cores copied the wrong object count"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_work_equals_sequential_work() {
+    for preset in Preset::ALL {
+        let spec = scaled(preset);
+        let mut seq_heap = spec.build();
+        let seq = SeqCheney::new().collect(&mut seq_heap);
+        for cores in [2usize, 8] {
+            let mut heap = spec.build();
+            let out = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
+            assert_eq!(seq.objects_copied, out.stats.objects_copied, "{preset}/{cores}");
+            assert_eq!(seq.words_copied, out.stats.words_copied, "{preset}/{cores}");
+            assert_eq!(seq.free, out.free, "{preset}/{cores}: compaction frontier differs");
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for preset in [Preset::Db, Preset::Cup, Preset::Compress] {
+        let spec = scaled(preset);
+        let run = |cores: usize| {
+            let mut heap = spec.build();
+            SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap).stats.total_cycles
+        };
+        for cores in [1, 4, 16] {
+            assert_eq!(run(cores), run(cores), "{preset} at {cores} cores not deterministic");
+        }
+    }
+}
+
+#[test]
+fn adding_cores_never_corrupts_and_rarely_hurts() {
+    // Monotonicity is not guaranteed in general (contention), but a
+    // multi-core run must never be drastically slower than 1 core.
+    for preset in Preset::ALL {
+        let spec = scaled(preset);
+        let mut h1 = spec.build();
+        let base = SimCollector::new(GcConfig::with_cores(1)).collect(&mut h1).stats.total_cycles;
+        let mut h16 = spec.build();
+        let par = SimCollector::new(GcConfig::with_cores(16)).collect(&mut h16).stats.total_cycles;
+        assert!(
+            par <= base + base / 5,
+            "{preset}: 16 cores took {par} cycles vs {base} at 1 core"
+        );
+    }
+}
+
+#[test]
+fn consecutive_cycles_preserve_the_graph() {
+    let spec = scaled(Preset::Javacc);
+    let mut heap = spec.build();
+    for cycle in 0..4 {
+        let snapshot = Snapshot::capture(&heap);
+        let out = SimCollector::new(GcConfig::with_cores(4)).collect(&mut heap);
+        verify_collection(&heap, out.free, &snapshot)
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+    }
+}
+
+#[test]
+fn garbage_volume_does_not_change_collection_work() {
+    // Copying-collector property: cost is proportional to live data only.
+    let lean = WorkloadSpec { preset: Preset::Jlisp, seed: 3, scale: 1.0 };
+    let mut h1 = lean.build();
+    let out1 = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
+
+    // Same graph, extra garbage appended.
+    let mut h2 = lean.build();
+    while h2.alloc(0, 16).is_some() {}
+    let out2 = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h2);
+    assert_eq!(out1.stats.words_copied, out2.stats.words_copied);
+    assert_eq!(out1.stats.total_cycles, out2.stats.total_cycles);
+}
+
+#[test]
+fn steady_state_churn_across_many_cycles() {
+    // Drive a heap through mutator churn and repeated collections; every
+    // cycle must verify and the live set must stabilise well below the
+    // semispace.
+    use hwgc_workloads::{Churn, ChurnSpec, StepOutcome};
+
+    let mut churn = Churn::new(ChurnSpec { semi_words: 24 * 1024, ..ChurnSpec::default() });
+    let collector = SimCollector::new(GcConfig::with_cores(4));
+    let mut cycles = 0;
+    let mut last_live = 0;
+    while cycles < 6 {
+        match churn.step() {
+            StepOutcome::Ok => {}
+            StepOutcome::NeedsGc => {
+                let snapshot = Snapshot::capture(churn.heap());
+                let out = collector.collect(churn.heap_mut());
+                verify_collection(churn.heap(), out.free, &snapshot)
+                    .unwrap_or_else(|e| panic!("cycle {cycles}: {e}"));
+                churn.gc_done();
+                cycles += 1;
+                last_live = out.stats.words_copied;
+            }
+        }
+    }
+    assert!(last_live > 0);
+    assert!(last_live < 24 * 1024, "live set must fit the semispace");
+}
+
+#[test]
+fn steady_state_churn_with_software_collectors() {
+    use hwgc_heap::verify_collection_relaxed;
+    use hwgc_swgc::{SwCollector, WorkStealing};
+    use hwgc_workloads::{Churn, ChurnSpec, StepOutcome};
+
+    let mut churn = Churn::new(ChurnSpec { semi_words: 24 * 1024, ..ChurnSpec::default() });
+    let collector = WorkStealing::new();
+    let mut cycles = 0;
+    while cycles < 4 {
+        match churn.step() {
+            StepOutcome::Ok => {}
+            StepOutcome::NeedsGc => {
+                let snapshot = Snapshot::capture(churn.heap());
+                let report = collector.collect(churn.heap_mut(), 2);
+                verify_collection_relaxed(churn.heap(), report.free, &snapshot)
+                    .unwrap_or_else(|e| panic!("cycle {cycles}: {e}"));
+                churn.gc_done();
+                cycles += 1;
+            }
+        }
+    }
+}

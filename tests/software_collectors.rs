@@ -1,0 +1,123 @@
+//! Cross-crate integration: the real-thread software collectors on the
+//! benchmark presets, verified (strictly for the compacting fine-grained
+//! collector, relaxed for the fragmenting baselines).
+
+use hwgc::prelude::*;
+use hwgc_heap::verify_collection_relaxed;
+use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
+use hwgc_workloads::Preset;
+
+fn scaled(preset: Preset) -> WorkloadSpec {
+    WorkloadSpec { preset, seed: 11, scale: 0.15 }
+}
+
+fn check(collector: &dyn SwCollector, compacting: bool, preset: Preset, threads: usize) {
+    let mut heap = scaled(preset).build();
+    let snapshot = Snapshot::capture(&heap);
+    let report = collector.collect(&mut heap, threads);
+    let result = if compacting {
+        verify_collection(&heap, report.free, &snapshot)
+    } else {
+        verify_collection_relaxed(&heap, report.free, &snapshot)
+    };
+    result.unwrap_or_else(|e| panic!("{} on {preset} with {threads} threads: {e}", report.name));
+    assert_eq!(
+        report.objects_copied as usize,
+        snapshot.live_objects(),
+        "{} on {preset}/{threads}",
+        report.name
+    );
+    assert_eq!(
+        report.words_copied,
+        snapshot.live_words,
+        "{} on {preset}/{threads}",
+        report.name
+    );
+}
+
+#[test]
+fn fine_grained_on_all_presets() {
+    for preset in Preset::ALL {
+        for threads in [1, 2, 4] {
+            check(&FineGrained::new(), true, preset, threads);
+        }
+    }
+}
+
+#[test]
+fn work_stealing_on_all_presets() {
+    for preset in Preset::ALL {
+        for threads in [1, 2, 4] {
+            check(&WorkStealing::new(), false, preset, threads);
+        }
+    }
+}
+
+#[test]
+fn chunked_on_all_presets() {
+    for preset in Preset::ALL {
+        for threads in [1, 2, 4] {
+            check(&Chunked::new(), false, preset, threads);
+        }
+    }
+}
+
+#[test]
+fn packets_on_all_presets() {
+    for preset in Preset::ALL {
+        for threads in [1, 2, 4] {
+            check(&Packets::new(), false, preset, threads);
+        }
+    }
+}
+
+#[test]
+fn software_collectors_agree_on_live_volume() {
+    let spec = scaled(Preset::Db);
+    let collectors: Vec<(Box<dyn SwCollector>, bool)> = vec![
+        (Box::new(FineGrained::new()), true),
+        (Box::new(WorkStealing::new()), false),
+        (Box::new(Chunked::new()), false),
+        (Box::new(Packets::new()), false),
+    ];
+    let mut volumes = Vec::new();
+    for (collector, _) in &collectors {
+        let mut heap = spec.build();
+        let report = collector.collect(&mut heap, 2);
+        volumes.push((report.name, report.words_copied));
+    }
+    let first = volumes[0].1;
+    for (name, v) in volumes {
+        assert_eq!(v, first, "{name} copied a different live volume");
+    }
+}
+
+#[test]
+fn fine_grained_matches_hardware_compaction_layout_invariants() {
+    // Both produce a perfectly compacted tospace of identical total size
+    // (the object order may differ between collectors).
+    let spec = scaled(Preset::Javacc);
+    let mut h1 = spec.build();
+    let hw = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
+    let mut h2 = spec.build();
+    let sw = FineGrained::new().collect(&mut h2, 2);
+    assert_eq!(hw.free, sw.free);
+    assert_eq!(hw.stats.words_copied, sw.words_copied);
+}
+
+#[test]
+fn fragmenting_collectors_report_consistent_accounting() {
+    for (collector, name) in [
+        (Box::new(WorkStealing::new()) as Box<dyn SwCollector>, "stealing"),
+        (Box::new(Chunked::new()), "chunked"),
+        (Box::new(Packets::new()), "packets"),
+    ] {
+        let mut heap = scaled(Preset::Cup).build();
+        let report = collector.collect(&mut heap, 3);
+        assert_eq!(
+            report.free as u64 - heap.to_base() as u64,
+            report.words_copied + report.fragmentation_words,
+            "{name}: consumed tospace must equal live + fragmentation"
+        );
+    }
+}
