@@ -4,10 +4,10 @@
 //! file measures the *simulator's* throughput, which gates how large an
 //! experiment is practical.)
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hwgc_core::{GcConfig, SimCollector};
 use hwgc_workloads::{Preset, WorkloadSpec};
+use std::time::Duration;
 
 fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_collection");
@@ -23,7 +23,9 @@ fn sim_throughput(c: &mut Criterion) {
                     let spec = WorkloadSpec::new(preset, 42);
                     b.iter_batched(
                         || spec.build(),
-                        |mut heap| SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap),
+                        |mut heap| {
+                            SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap)
+                        },
                         criterion::BatchSize::LargeInput,
                     );
                 },

@@ -2,14 +2,19 @@
 //! B's timing source): wall-clock per collection, per collector, at 1 and
 //! 2 threads (bump the counts on a many-core host).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
 use hwgc_workloads::{Preset, WorkloadSpec};
+use std::time::Duration;
 
 fn collectors(c: &mut Criterion) {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let thread_counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= host.max(2)).collect();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= host.max(2))
+        .collect();
     let spec = WorkloadSpec::new(Preset::Javacc, 42);
     let mut group = c.benchmark_group("sw_collect_javacc");
     group.sample_size(10);

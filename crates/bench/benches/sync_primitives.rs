@@ -4,11 +4,11 @@
 //! are plain function calls — the simulator's claim of "zero cycles" is a
 //! *model* property, but these numbers show the host-side cost).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hwgc_sync::sw::TicketLock;
 use hwgc_sync::SyncBlock;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn software_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("sw_sync");

@@ -15,11 +15,18 @@ use hwgc_workloads::Preset;
 fn main() {
     println!("Ablation A: header FIFO capacity sweep (16 cores)\n");
     let widths = [10, 9, 10, 11, 11, 11, 10];
-    let header: Vec<String> =
-        ["app", "fifo", "total", "scan-lock", "hdr-load", "fifo-hit%", "overflow"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "app",
+        "fifo",
+        "total",
+        "scan-lock",
+        "hdr-load",
+        "fifo-hit%",
+        "overflow",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
@@ -27,7 +34,10 @@ fn main() {
         for capacity in [0usize, 256, 1024, 4096, 16384, 65536] {
             let cfg = GcConfig {
                 n_cores: 16,
-                mem: MemConfig { header_fifo_capacity: capacity, ..MemConfig::default() },
+                mem: MemConfig {
+                    header_fifo_capacity: capacity,
+                    ..MemConfig::default()
+                },
                 ..GcConfig::default()
             };
             let out = run_verified(&spec(preset), cfg);

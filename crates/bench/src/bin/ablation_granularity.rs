@@ -16,7 +16,13 @@ use hwgc_heap::{verify_collection_relaxed, Snapshot};
 use hwgc_swgc::{Chunked, Packets, SwCollector, WorkStealing};
 use hwgc_workloads::Preset;
 
-fn run(collector: &dyn SwCollector, label: &str, knob: u32, csv: &mut Vec<String>, widths: &[usize]) {
+fn run(
+    collector: &dyn SwCollector,
+    label: &str,
+    knob: u32,
+    csv: &mut Vec<String>,
+    widths: &[usize],
+) {
     let mut heap = spec(Preset::Db).build();
     let snapshot = Snapshot::capture(&heap);
     let report = collector.collect(&mut heap, 2);
@@ -44,25 +50,39 @@ fn run(collector: &dyn SwCollector, label: &str, knob: u32, csv: &mut Vec<String
 fn main() {
     println!("Granularity trade-off of the software baselines (db preset, 2 threads)\n");
     let widths = [14, 9, 13, 12, 8];
-    let header: Vec<String> =
-        ["collector", "knob", "sync-ops/obj", "frag words", "frag%"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = ["collector", "knob", "sync-ops/obj", "frag words", "frag%"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
     for lab in [64u32, 256, 1024, 4096] {
-        run(&WorkStealing { lab_words: lab }, "work-stealing", lab, &mut csv, &widths);
+        run(
+            &WorkStealing { lab_words: lab },
+            "work-stealing",
+            lab,
+            &mut csv,
+            &widths,
+        );
     }
     println!();
     for chunk in [256u32, 1024, 2048, 8192] {
-        run(&Chunked { chunk_words: chunk }, "chunked", chunk, &mut csv, &widths);
+        run(
+            &Chunked { chunk_words: chunk },
+            "chunked",
+            chunk,
+            &mut csv,
+            &widths,
+        );
     }
     println!();
     for packet in [1usize, 16, 256, 1024] {
         run(
-            &Packets { packet_size: packet, lab_words: 1024 },
+            &Packets {
+                packet_size: packet,
+                lab_words: 1024,
+            },
             "work-packets",
             packet as u32,
             &mut csv,
@@ -75,5 +95,9 @@ fn main() {
          collector's sync-ops/object equivalent is ~4.5, each costing zero cycles, with\n\
          zero fragmentation."
     );
-    write_csv("ablation_granularity", "collector,knob,sync_ops_per_obj,frag_words,frag_pct", &csv);
+    write_csv(
+        "ablation_granularity",
+        "collector,knob,sync_ops_per_obj,frag_words,frag_pct",
+        &csv,
+    );
 }

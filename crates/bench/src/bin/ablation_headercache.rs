@@ -16,11 +16,10 @@ use hwgc_workloads::Preset;
 fn main() {
     println!("Extension 2: shared header cache (16 cores)\n");
     let widths = [10, 9, 10, 11, 11, 10];
-    let header: Vec<String> =
-        ["app", "entries", "total", "hdr-load", "hit rate", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = ["app", "entries", "total", "hdr-load", "hit rate", "speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
@@ -29,7 +28,10 @@ fn main() {
         for entries in [0usize, 64, 256, 4096] {
             let cfg = GcConfig {
                 n_cores: 16,
-                mem: MemConfig { header_cache_entries: entries, ..MemConfig::default() },
+                mem: MemConfig {
+                    header_cache_entries: entries,
+                    ..MemConfig::default()
+                },
                 ..GcConfig::default()
             };
             let out = run_verified(&spec(preset), cfg);
@@ -41,7 +43,10 @@ fn main() {
             let hit_rate = if lookups == 0 {
                 "-".to_string()
             } else {
-                format!("{:.1} %", 100.0 * s.mem.header_cache_hits as f64 / lookups as f64)
+                format!(
+                    "{:.1} %",
+                    100.0 * s.mem.header_cache_hits as f64 / lookups as f64
+                )
             };
             let cells = vec![
                 preset.name().to_string(),

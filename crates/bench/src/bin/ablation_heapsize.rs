@@ -17,11 +17,17 @@ use hwgc_workloads::{Preset, WorkloadSpec};
 fn main() {
     println!("Heap-size sensitivity (16 cores; live graph fixed, semispace swept)\n");
     let widths = [10, 12, 10, 10, 11, 9];
-    let header: Vec<String> =
-        ["app", "semispace", "occupancy", "cycles", "scan-lock", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "app",
+        "semispace",
+        "occupancy",
+        "cycles",
+        "scan-lock",
+        "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
@@ -57,7 +63,10 @@ fn main() {
                 format!("{}x min", factor),
                 format!("{occupancy:.0} %"),
                 out.stats.total_cycles.to_string(),
-                format!("{:.2} %", out.stats.stall_fraction(StallReason::ScanLock) * 100.0),
+                format!(
+                    "{:.2} %",
+                    out.stats.stall_fraction(StallReason::ScanLock) * 100.0
+                ),
                 format!("{:.3}", base as f64 / out.stats.total_cycles as f64),
             ];
             println!("{}", row(&cells, &widths));
@@ -76,5 +85,9 @@ fn main() {
         "reading: cycle counts and stall profiles are flat across heap sizes — copying\n\
          collection cost depends on live data only, as the paper observes."
     );
-    write_csv("ablation_heapsize", "app,semi_factor,occupancy,cycles,scan_lock_frac", &csv);
+    write_csv(
+        "ablation_heapsize",
+        "app,semi_factor,occupancy,cycles,scan_lock_frac",
+        &csv,
+    );
 }

@@ -49,7 +49,11 @@ fn main() {
     ] {
         let mut base = 0u64;
         for cores in [1usize, 4, 16] {
-            let cfg = GcConfig { n_cores: cores, line_split, ..GcConfig::default() };
+            let cfg = GcConfig {
+                n_cores: cores,
+                line_split,
+                ..GcConfig::default()
+            };
             let mut heap = build();
             let out = run_verified_heap(&mut heap, cfg, "bigarrays");
             if cores == 1 {
@@ -79,5 +83,9 @@ fn main() {
          body copy into lines recovers the parallelism the paper's conclusions predict\n\
          (until the claims become so small that scan-lock traffic dominates)."
     );
-    write_csv("ablation_linesplit", "granularity,cores,cycles,speedup,claims", &csv);
+    write_csv(
+        "ablation_linesplit",
+        "granularity,cores,cycles,speedup,claims",
+        &csv,
+    );
 }

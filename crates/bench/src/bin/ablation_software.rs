@@ -15,7 +15,9 @@ use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
 use hwgc_workloads::Preset;
 
 fn main() {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("Ablation B: software collectors (real threads)");
     println!(
         "host parallelism: {host} — wall-clock speedups are only meaningful when the\n         thread count stays at or below this; sync-ops/object and fragmentation are\n         schedule-independent.\n"
@@ -23,11 +25,18 @@ fn main() {
     let presets = [Preset::Db, Preset::Javac, Preset::Cup, Preset::Compress];
     let threads = [1usize, 2, 4];
     let widths = [10, 15, 9, 12, 9, 13, 11];
-    let header: Vec<String> =
-        ["app", "collector", "threads", "time (µs)", "speedup", "sync-ops/obj", "frag words"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "app",
+        "collector",
+        "threads",
+        "time (µs)",
+        "speedup",
+        "sync-ops/obj",
+        "frag words",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     println!("{}", row(&header, &widths));
 
     let collectors: Vec<(Box<dyn SwCollector>, bool)> = vec![

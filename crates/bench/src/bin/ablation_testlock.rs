@@ -13,18 +13,28 @@ use hwgc_workloads::Preset;
 fn main() {
     println!("Ablation C: test-before-lock header probing (16 cores)\n");
     let widths = [10, 14, 9, 13, 13, 10];
-    let header: Vec<String> =
-        ["app", "variant", "total", "header-lock", "hdr-load", "speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "app",
+        "variant",
+        "total",
+        "header-lock",
+        "hdr-load",
+        "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
     for preset in [Preset::Javac, Preset::Db, Preset::Cup] {
         let mut baseline_total = 0;
         for (name, tbl) in [("lock-first", false), ("test-first", true)] {
-            let cfg = GcConfig { n_cores: 16, test_before_lock: tbl, ..GcConfig::default() };
+            let cfg = GcConfig {
+                n_cores: 16,
+                test_before_lock: tbl,
+                ..GcConfig::default()
+            };
             let out = run_verified(&spec(preset), cfg);
             let s = &out.stats;
             if !tbl {

@@ -16,7 +16,14 @@ fn main() {
     println!("Extension 3: concurrent collection (8 GC cores + 1 mutator)\n");
     let widths = [10, 9, 10, 9, 11, 10, 9, 9, 10];
     let header: Vec<String> = [
-        "app", "stw cyc", "conc cyc", "dilation", "mut actions", "mut util", "barrier", "allocs",
+        "app",
+        "stw cyc",
+        "conc cyc",
+        "dilation",
+        "mut actions",
+        "mut util",
+        "barrier",
+        "allocs",
         "max pause",
     ]
     .iter()
@@ -40,7 +47,10 @@ fn main() {
             &heap,
             out.free,
             &snapshot,
-            VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+            VerifyOptions {
+                allow_unknown_objects: true,
+                ..VerifyOptions::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{preset} concurrent: {e}"));
 
@@ -52,7 +62,10 @@ fn main() {
             out.stats.total_cycles.to_string(),
             format!("{dilation:.2}x"),
             out.mutator.actions.to_string(),
-            format!("{:.0} %", out.mutator.utilization(out.stats.total_cycles) * 100.0),
+            format!(
+                "{:.0} %",
+                out.mutator.utilization(out.stats.total_cycles) * 100.0
+            ),
             barrier.to_string(),
             out.mutator.allocations.to_string(),
             format!("{} cyc", out.mutator.max_pause_cycles),

@@ -26,7 +26,12 @@ fn main() {
     let dir = exe.parent().expect("target dir");
     let start = std::time::Instant::now();
     for (i, bin) in binaries.iter().enumerate() {
-        println!("\n=== [{} / {}] {bin} {}", i + 1, binaries.len(), "=".repeat(40));
+        println!(
+            "\n=== [{} / {}] {bin} {}",
+            i + 1,
+            binaries.len(),
+            "=".repeat(40)
+        );
         let status = Command::new(dir.join(bin))
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));

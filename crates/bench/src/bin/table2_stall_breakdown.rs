@@ -13,8 +13,15 @@ fn main() {
     println!("Table II: clock cycle distribution (for {n_cores} cores)\n");
     let widths = [10, 9, 16, 14, 16, 16, 15, 16, 16];
     let header: Vec<String> = [
-        "app", "total", "scan-lock", "free-lock", "header-lock", "body-load", "body-store",
-        "header-load", "header-store",
+        "app",
+        "total",
+        "scan-lock",
+        "free-lock",
+        "header-lock",
+        "body-load",
+        "body-store",
+        "header-load",
+        "header-store",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -55,6 +55,8 @@ fn main() {
 
     let path = experiments_dir().join(format!("trace_{preset}.csv"));
     let f = std::fs::File::create(&path).expect("create trace csv");
-    trace.write_csv(std::io::BufWriter::new(f)).expect("write trace");
+    trace
+        .write_csv(std::io::BufWriter::new(f))
+        .expect("write trace");
     println!("\n[csv] {}", path.display());
 }

@@ -48,10 +48,9 @@ pub fn spec(preset: Preset) -> WorkloadSpec {
 
 /// Directory that experiment CSV files are written to.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

@@ -1,0 +1,268 @@
+//! Deterministic adversarial object graphs for the harness.
+//!
+//! Each generator produces a shape that stresses one of the collector's
+//! three invariants (paper Section IV):
+//!
+//! * deep lists — the work list never holds more than one gray object, so
+//!   `scan`-lock contention (invariant 1) dominates and most cores spin,
+//! * wide fanouts — one scan yields thousands of children at once; the
+//!   `free` lock (invariant 3) and the header FIFO are hammered,
+//! * shared hubs / diamond meshes — the same child is reached over many
+//!   edges, so several cores race to lock the same fromspace header
+//!   (invariant 2: the object must still be evacuated exactly once),
+//! * cyclic rings and self-loops — the forwarded-pointer path must hold
+//!   under re-entry into already-claimed objects,
+//! * minimal objects — maximum header-traffic rate per copied word,
+//! * a seeded random mix with garbage — everything at once.
+//!
+//! All generators are deterministic (the random mix takes an explicit
+//! seed), so failures reproduce exactly.
+
+use hwgc_heap::{GraphBuilder, Heap, ObjId};
+
+fn heap_for(objects: u32, words_per_obj: u32) -> Heap {
+    // Generous slack: the software baselines allocate LABs (1024 words per
+    // thread) and fixed-size 2048-word chunks in tospace, so a
+    // tightly-sized semispace overflows even when the live data fits.
+    Heap::new(objects * words_per_obj + 24 * 1024)
+}
+
+/// A singly linked list of `n` objects (`pi = 1`, `delta = 1`), rooted at
+/// the head. The gray work list holds at most one object at a time.
+pub fn deep_list(n: usize) -> Heap {
+    let mut heap = heap_for(n as u32, 4);
+    let mut b = GraphBuilder::new(&mut heap);
+    let head = b.add(1, 1).unwrap();
+    let mut prev = head;
+    for _ in 1..n {
+        let next = b.add(1, 1).unwrap();
+        b.link(prev, 0, next);
+        prev = next;
+    }
+    b.root(head);
+    heap
+}
+
+/// One root object with `children` pointer slots, each to its own leaf.
+/// A single scan floods the work list and the `free` register.
+pub fn wide_fanout(children: u32) -> Heap {
+    let mut heap = heap_for(children + 1, 4);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(children, 1).unwrap();
+    for i in 0..children {
+        let leaf = b.add(0, 1).unwrap();
+        b.link(root, i, leaf);
+    }
+    b.root(root);
+    heap
+}
+
+/// `spokes` two-slot objects, every one pointing at one shared hub (and
+/// chained so all are reachable from a single root). Every spoke scan
+/// races for the hub's header lock.
+pub fn shared_hub(spokes: usize) -> Heap {
+    let mut heap = heap_for(spokes as u32 + 1, 5);
+    let mut b = GraphBuilder::new(&mut heap);
+    let hub = b.add(0, 2).unwrap();
+    let first = b.add(2, 1).unwrap();
+    b.link(first, 0, hub);
+    let mut prev = first;
+    for _ in 1..spokes {
+        let spoke = b.add(2, 1).unwrap();
+        b.link(spoke, 0, hub);
+        b.link(prev, 1, spoke);
+        prev = spoke;
+    }
+    b.root(first);
+    heap
+}
+
+/// A ring of `n` objects: each points at the next, the last closes the
+/// cycle back to the first. Exercises the forwarded-header path.
+pub fn cyclic_ring(n: usize) -> Heap {
+    assert!(n >= 1);
+    let mut heap = heap_for(n as u32, 4);
+    let mut b = GraphBuilder::new(&mut heap);
+    let first = b.add(1, 1).unwrap();
+    let mut prev = first;
+    for _ in 1..n {
+        let next = b.add(1, 1).unwrap();
+        b.link(prev, 0, next);
+        prev = next;
+    }
+    b.link(prev, 0, first);
+    b.root(first);
+    heap
+}
+
+/// A chain of `n` objects each of which also points at itself. A core
+/// scanning an object immediately re-encounters the object it (or another
+/// core) just claimed.
+pub fn self_loops(n: usize) -> Heap {
+    let mut heap = heap_for(n as u32, 5);
+    let mut b = GraphBuilder::new(&mut heap);
+    let first = b.add(2, 1).unwrap();
+    b.link(first, 0, first);
+    let mut prev = first;
+    for _ in 1..n {
+        let next = b.add(2, 1).unwrap();
+        b.link(next, 0, next);
+        b.link(prev, 1, next);
+        prev = next;
+    }
+    b.root(first);
+    heap
+}
+
+/// A diamond mesh of `layers` layers of two objects each: every object
+/// points at *both* objects of the next layer, so every object below the
+/// apex is reached twice — maximal sharing on a small heap.
+pub fn diamond_mesh(layers: usize) -> Heap {
+    assert!(layers >= 2);
+    let mut heap = heap_for(2 * layers as u32 + 1, 5);
+    let mut b = GraphBuilder::new(&mut heap);
+    let apex = b.add(2, 1).unwrap();
+    let mut upper: [ObjId; 2] = [apex, apex];
+    for layer in 0..layers {
+        let left = b.add(2, 1).unwrap();
+        let right = b.add(2, 1).unwrap();
+        if layer == 0 {
+            b.link(apex, 0, left);
+            b.link(apex, 1, right);
+        } else {
+            for parent in upper {
+                b.link(parent, 0, left);
+                b.link(parent, 1, right);
+            }
+        }
+        upper = [left, right];
+    }
+    b.root(apex);
+    heap
+}
+
+/// `n` minimal objects (`pi = 0`, `delta = 1`), each its own root: the
+/// smallest objects the model supports, maximizing header traffic per
+/// copied word (the whole collection is header handling).
+pub fn minimal_objects(n: usize) -> Heap {
+    let mut heap = heap_for(n as u32, 3);
+    let mut b = GraphBuilder::new(&mut heap);
+    for _ in 0..n {
+        let o = b.add(0, 1).unwrap();
+        b.root(o);
+    }
+    heap
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A seeded random object soup: varied `pi`/`delta`, a connected spine,
+/// random cross/back edges (sharing and cycles), and unreachable garbage.
+pub fn random_mix(seed: u64, n: usize) -> Heap {
+    assert!(n >= 2);
+    let mut state = seed | 1;
+    let mut heap = heap_for(n as u32, 8);
+    let mut b = GraphBuilder::new(&mut heap);
+    let mut objs: Vec<(ObjId, u32)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pi = (xorshift(&mut state) % 4) as u32;
+        let delta = 1 + (xorshift(&mut state) % 3) as u32;
+        objs.push((b.add(pi, delta).unwrap(), pi));
+    }
+    // Spine: every object with a pointer slot links to its successor, so a
+    // prefix of the soup is reachable from the first object.
+    for i in 0..n - 1 {
+        let (obj, pi) = objs[i];
+        if pi > 0 {
+            b.link(obj, 0, objs[i + 1].0);
+        }
+    }
+    // Random extra edges — forward (sharing) and backward (cycles).
+    for _ in 0..n {
+        let src = (xorshift(&mut state) as usize) % n;
+        let dst = (xorshift(&mut state) as usize) % n;
+        let (s, pi) = objs[src];
+        if pi > 1 {
+            let slot = 1 + (xorshift(&mut state) % (pi as u64 - 1)) as u32;
+            b.link(s, slot, objs[dst].0);
+        }
+    }
+    // A few roots into the middle; the tail past the last pointer-free
+    // spine break stays garbage.
+    b.root(objs[0].0);
+    for _ in 0..3 {
+        let r = (xorshift(&mut state) as usize) % n;
+        b.root(objs[r].0);
+    }
+    heap
+}
+
+/// The standard small-instance catalog the harness sweeps: every shape at
+/// a size that keeps a single simulated collection in the low thousands of
+/// cycles.
+pub fn catalog() -> Vec<(&'static str, Heap)> {
+    vec![
+        ("deep_list", deep_list(64)),
+        ("wide_fanout", wide_fanout(128)),
+        ("shared_hub", shared_hub(48)),
+        ("cyclic_ring", cyclic_ring(40)),
+        ("self_loops", self_loops(32)),
+        ("diamond_mesh", diamond_mesh(12)),
+        ("minimal_objects", minimal_objects(48)),
+        ("random_mix", random_mix(0xBADC_0FFE, 96)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_heap::Snapshot;
+
+    #[test]
+    fn catalog_shapes_are_live_and_deterministic() {
+        for (name, heap) in catalog() {
+            let snap = Snapshot::capture(&heap);
+            assert!(snap.live_objects() > 0, "{name} has no live objects");
+            let again = catalog().into_iter().find(|(n, _)| *n == name).unwrap().1;
+            assert_eq!(heap.words(), again.words(), "{name} not deterministic");
+            assert_eq!(
+                heap.roots(),
+                again.roots(),
+                "{name} roots not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_hub_is_fully_reachable() {
+        let heap = shared_hub(10);
+        let snap = Snapshot::capture(&heap);
+        assert_eq!(snap.live_objects(), 11);
+    }
+
+    #[test]
+    fn random_mix_has_garbage() {
+        let heap = random_mix(7, 64);
+        let snap = Snapshot::capture(&heap);
+        assert!(
+            snap.live_objects() < 64,
+            "everything reachable — no garbage"
+        );
+        assert!(snap.live_objects() > 1, "nothing reachable");
+    }
+
+    #[test]
+    fn cyclic_and_self_referential_shapes_close_their_loops() {
+        let ring = cyclic_ring(5);
+        let snap = Snapshot::capture(&ring);
+        assert_eq!(snap.live_objects(), 5);
+        let loops = self_loops(4);
+        let snap = Snapshot::capture(&loops);
+        assert_eq!(snap.live_objects(), 4);
+    }
+}

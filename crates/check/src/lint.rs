@@ -1,0 +1,793 @@
+//! Online trace lint: replays the SB's cycle-stamped operation log and
+//! flags any behaviour that would break the collector's three invariants
+//! (paper Section IV) — with the exact cycle number of the offence.
+//!
+//! The lint maintains a *shadow SB* (lock owners, register values, busy
+//! bits) and checks every event against it:
+//!
+//! * **Invariant 2 — exactly-once evacuation**: no two cores may hold the
+//!   same header lock ([`Violation::DoubleHeaderLock`]); a core holds at
+//!   most one header register ([`Violation::SecondHeaderLock`]); unlocks
+//!   must match a held lock ([`Violation::UnlockWithoutLock`]).
+//! * **Invariants 1 and 3 — exactly-once claim, exclusive tospace areas**:
+//!   `scan`/`free` writes require the lock
+//!   ([`Violation::SetWithoutLock`]), must read back the shadow value
+//!   ([`Violation::LostUpdate`]), may not move backwards
+//!   ([`Violation::Regression`]) and may not push `scan` past `free`
+//!   ([`Violation::ScanPastFree`]); each register has a single write port
+//!   per cycle ([`Violation::WritePortConflict`]); locks are not acquired
+//!   twice ([`Violation::DoubleLock`]) nor released unheld
+//!   ([`Violation::ReleaseWithoutLock`]).
+//! * **Lock ordering** `scan < header < free` (Section IV): acquiring a
+//!   lower-ranked lock while holding a higher-ranked one risks deadlock
+//!   ([`Violation::LockOrderViolation`]).
+//! * **Termination** (Section V-E): a core may declare termination only
+//!   when `scan == free` and no other core is busy
+//!   ([`Violation::PrematureTermination`]).
+//!
+//! When the trace also carries sampled rows ([`hwgc_core::TraceRow`]), the
+//! lint cross-checks each row's `scan`/`free` against the shadow registers
+//! at that cycle ([`Violation::RowMismatch`]).
+
+use std::collections::HashMap;
+
+use hwgc_core::SignalTrace;
+use hwgc_sync::{SbEvent, SbEventRecord};
+
+/// Which SB register a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reg {
+    Scan,
+    Free,
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reg::Scan => write!(f, "scan"),
+            Reg::Free => write!(f, "free"),
+        }
+    }
+}
+
+/// One invariant violation, pinpointed to the SB cycle it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two cores own the same header lock (invariant 2 would break: both
+    /// would evacuate the object).
+    DoubleHeaderLock {
+        cycle: u64,
+        addr: u32,
+        holder: usize,
+        core: usize,
+    },
+    /// A core acquired a second header lock while still holding another —
+    /// each core has exactly one header-lock register in hardware.
+    SecondHeaderLock {
+        cycle: u64,
+        core: usize,
+        held: u32,
+        addr: u32,
+    },
+    /// A header unlock with no matching held lock.
+    UnlockWithoutLock { cycle: u64, core: usize, addr: u32 },
+    /// A scan/free lock acquisition while the lock was already held.
+    DoubleLock {
+        cycle: u64,
+        reg: Reg,
+        holder: usize,
+        core: usize,
+    },
+    /// A scan/free lock release by a core that did not hold it.
+    ReleaseWithoutLock { cycle: u64, reg: Reg, core: usize },
+    /// A register write without holding the corresponding lock (`free`
+    /// moved without lock ⇒ two objects could share a tospace area).
+    SetWithoutLock { cycle: u64, reg: Reg, core: usize },
+    /// A register write whose observed old value disagrees with the shadow
+    /// register — an update was lost or invented.
+    LostUpdate {
+        cycle: u64,
+        reg: Reg,
+        core: usize,
+        expected: u32,
+        observed: u32,
+    },
+    /// A register moved backwards.
+    Regression {
+        cycle: u64,
+        reg: Reg,
+        from: u32,
+        to: u32,
+    },
+    /// `scan` advanced past `free` (a core claimed non-existent work).
+    ScanPastFree { cycle: u64, scan: u32, free: u32 },
+    /// Two writes to the same register in one cycle (the SB register file
+    /// has a single write port per register, paper Section V-C).
+    WritePortConflict { cycle: u64, reg: Reg, core: usize },
+    /// A lock acquisition violating the deadlock-free order
+    /// `scan < header < free`.
+    LockOrderViolation {
+        cycle: u64,
+        core: usize,
+        held: &'static str,
+        acquiring: &'static str,
+    },
+    /// Termination declared while work remained (`scan != free`) or other
+    /// cores were still busy.
+    PrematureTermination {
+        cycle: u64,
+        core: usize,
+        scan: u32,
+        free: u32,
+        busy: Vec<usize>,
+    },
+    /// A sampled trace row disagrees with the shadow register value.
+    RowMismatch {
+        cycle: u64,
+        reg: Reg,
+        row: u32,
+        shadow: u32,
+    },
+}
+
+impl Violation {
+    /// The cycle the violation occurred in.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            Violation::DoubleHeaderLock { cycle, .. }
+            | Violation::SecondHeaderLock { cycle, .. }
+            | Violation::UnlockWithoutLock { cycle, .. }
+            | Violation::DoubleLock { cycle, .. }
+            | Violation::ReleaseWithoutLock { cycle, .. }
+            | Violation::SetWithoutLock { cycle, .. }
+            | Violation::LostUpdate { cycle, .. }
+            | Violation::Regression { cycle, .. }
+            | Violation::ScanPastFree { cycle, .. }
+            | Violation::WritePortConflict { cycle, .. }
+            | Violation::LockOrderViolation { cycle, .. }
+            | Violation::PrematureTermination { cycle, .. }
+            | Violation::RowMismatch { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DoubleHeaderLock { cycle, addr, holder, core } => write!(
+                f,
+                "cycle {cycle}: core {core} locked header {addr:#x} already held by core {holder}"
+            ),
+            Violation::SecondHeaderLock { cycle, core, held, addr } => write!(
+                f,
+                "cycle {cycle}: core {core} locked header {addr:#x} while holding {held:#x}"
+            ),
+            Violation::UnlockWithoutLock { cycle, core, addr } => write!(
+                f,
+                "cycle {cycle}: core {core} unlocked header {addr:#x} it did not hold"
+            ),
+            Violation::DoubleLock { cycle, reg, holder, core } => write!(
+                f,
+                "cycle {cycle}: core {core} acquired the {reg} lock held by core {holder}"
+            ),
+            Violation::ReleaseWithoutLock { cycle, reg, core } => {
+                write!(f, "cycle {cycle}: core {core} released the {reg} lock it did not hold")
+            }
+            Violation::SetWithoutLock { cycle, reg, core } => {
+                write!(f, "cycle {cycle}: core {core} wrote {reg} without holding its lock")
+            }
+            Violation::LostUpdate { cycle, reg, core, expected, observed } => write!(
+                f,
+                "cycle {cycle}: core {core} wrote {reg} reading {observed} but the register held {expected}"
+            ),
+            Violation::Regression { cycle, reg, from, to } => {
+                write!(f, "cycle {cycle}: {reg} moved backwards from {from} to {to}")
+            }
+            Violation::ScanPastFree { cycle, scan, free } => {
+                write!(f, "cycle {cycle}: scan {scan} advanced past free {free}")
+            }
+            Violation::WritePortConflict { cycle, reg, core } => write!(
+                f,
+                "cycle {cycle}: core {core} wrote {reg} twice-in-cycle (single write port)"
+            ),
+            Violation::LockOrderViolation { cycle, core, held, acquiring } => write!(
+                f,
+                "cycle {cycle}: core {core} acquired {acquiring} while holding {held} (order is scan < header < free)"
+            ),
+            Violation::PrematureTermination { cycle, core, scan, free, busy } => write!(
+                f,
+                "cycle {cycle}: core {core} declared termination with scan {scan}, free {free}, busy cores {busy:?}"
+            ),
+            Violation::RowMismatch { cycle, reg, row, shadow } => write!(
+                f,
+                "cycle {cycle}: sampled row has {reg} = {row} but the event stream implies {shadow}"
+            ),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shadow {
+    scan: u32,
+    free: u32,
+    scan_owner: Option<usize>,
+    free_owner: Option<usize>,
+    /// header addr → holding core.
+    headers: HashMap<u32, usize>,
+    /// core → held header addr.
+    core_header: HashMap<usize, u32>,
+    busy: HashMap<usize, bool>,
+    /// Write-port re-arm tracking: (cycle, writes this cycle) per register.
+    scan_writes: (u64, u32),
+    free_writes: (u64, u32),
+}
+
+/// The online lint. Feed it events in stream order with
+/// [`TraceLint::observe`] (or use [`lint_trace`] / [`lint_events`] for
+/// whole captured streams); collected violations accumulate in order.
+#[derive(Default)]
+pub struct TraceLint {
+    shadow: Shadow,
+    violations: Vec<Violation>,
+}
+
+impl TraceLint {
+    /// A fresh lint with an empty shadow SB.
+    pub fn new() -> TraceLint {
+        TraceLint::default()
+    }
+
+    /// The violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consume the lint, yielding all violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    fn held_of(&self, core: usize) -> Option<&'static str> {
+        if self.shadow.free_owner == Some(core) {
+            Some("the free lock")
+        } else if self.shadow.core_header.contains_key(&core) {
+            Some("a header lock")
+        } else {
+            None
+        }
+    }
+
+    fn track_write(&mut self, reg: Reg, cycle: u64, core: usize) {
+        let slot = match reg {
+            Reg::Scan => &mut self.shadow.scan_writes,
+            Reg::Free => &mut self.shadow.free_writes,
+        };
+        if slot.0 == cycle {
+            slot.1 += 1;
+        } else {
+            *slot = (cycle, 1);
+        }
+        if slot.1 > 1 {
+            self.violations
+                .push(Violation::WritePortConflict { cycle, reg, core });
+        }
+    }
+
+    /// Process one event against the shadow SB.
+    pub fn observe(&mut self, rec: &SbEventRecord) {
+        let cycle = rec.cycle;
+        match rec.event {
+            SbEvent::Init { scan, free } => {
+                self.shadow.scan = scan;
+                self.shadow.free = free;
+            }
+            SbEvent::AcquireScan { core } => {
+                if let Some(holder) = self.shadow.scan_owner {
+                    self.violations.push(Violation::DoubleLock {
+                        cycle,
+                        reg: Reg::Scan,
+                        holder,
+                        core,
+                    });
+                }
+                // scan is the lowest-ranked lock: holding anything else
+                // while taking it inverts the order.
+                if let Some(held) = self.held_of(core) {
+                    self.violations.push(Violation::LockOrderViolation {
+                        cycle,
+                        core,
+                        held,
+                        acquiring: "the scan lock",
+                    });
+                }
+                self.shadow.scan_owner = Some(core);
+            }
+            SbEvent::FailScan { .. } | SbEvent::FailFree { .. } | SbEvent::FailHeader { .. } => {}
+            SbEvent::ReleaseScan { core } => {
+                if self.shadow.scan_owner != Some(core) {
+                    self.violations.push(Violation::ReleaseWithoutLock {
+                        cycle,
+                        reg: Reg::Scan,
+                        core,
+                    });
+                } else {
+                    self.shadow.scan_owner = None;
+                }
+            }
+            SbEvent::SetScan { core, from, to } => {
+                if self.shadow.scan_owner != Some(core) {
+                    self.violations.push(Violation::SetWithoutLock {
+                        cycle,
+                        reg: Reg::Scan,
+                        core,
+                    });
+                }
+                if from != self.shadow.scan {
+                    self.violations.push(Violation::LostUpdate {
+                        cycle,
+                        reg: Reg::Scan,
+                        core,
+                        expected: self.shadow.scan,
+                        observed: from,
+                    });
+                }
+                if to < from {
+                    self.violations.push(Violation::Regression {
+                        cycle,
+                        reg: Reg::Scan,
+                        from,
+                        to,
+                    });
+                }
+                self.track_write(Reg::Scan, cycle, core);
+                self.shadow.scan = to;
+                if self.shadow.scan > self.shadow.free {
+                    self.violations.push(Violation::ScanPastFree {
+                        cycle,
+                        scan: self.shadow.scan,
+                        free: self.shadow.free,
+                    });
+                }
+            }
+            SbEvent::AcquireFree { core } => {
+                if let Some(holder) = self.shadow.free_owner {
+                    self.violations.push(Violation::DoubleLock {
+                        cycle,
+                        reg: Reg::Free,
+                        holder,
+                        core,
+                    });
+                }
+                self.shadow.free_owner = Some(core);
+            }
+            SbEvent::ReleaseFree { core } => {
+                if self.shadow.free_owner != Some(core) {
+                    self.violations.push(Violation::ReleaseWithoutLock {
+                        cycle,
+                        reg: Reg::Free,
+                        core,
+                    });
+                } else {
+                    self.shadow.free_owner = None;
+                }
+            }
+            SbEvent::SetFree { core, from, to } => {
+                if self.shadow.free_owner != Some(core) {
+                    self.violations.push(Violation::SetWithoutLock {
+                        cycle,
+                        reg: Reg::Free,
+                        core,
+                    });
+                }
+                if from != self.shadow.free {
+                    self.violations.push(Violation::LostUpdate {
+                        cycle,
+                        reg: Reg::Free,
+                        core,
+                        expected: self.shadow.free,
+                        observed: from,
+                    });
+                }
+                if to < from {
+                    self.violations.push(Violation::Regression {
+                        cycle,
+                        reg: Reg::Free,
+                        from,
+                        to,
+                    });
+                }
+                self.track_write(Reg::Free, cycle, core);
+                self.shadow.free = to;
+            }
+            SbEvent::LockHeader { core, addr } => {
+                if let Some(&holder) = self.shadow.headers.get(&addr) {
+                    if holder != core {
+                        self.violations.push(Violation::DoubleHeaderLock {
+                            cycle,
+                            addr,
+                            holder,
+                            core,
+                        });
+                    }
+                }
+                if let Some(&held) = self.shadow.core_header.get(&core) {
+                    if held != addr {
+                        self.violations.push(Violation::SecondHeaderLock {
+                            cycle,
+                            core,
+                            held,
+                            addr,
+                        });
+                    }
+                }
+                if self.shadow.free_owner == Some(core) {
+                    self.violations.push(Violation::LockOrderViolation {
+                        cycle,
+                        core,
+                        held: "the free lock",
+                        acquiring: "a header lock",
+                    });
+                }
+                self.shadow.headers.insert(addr, core);
+                self.shadow.core_header.insert(core, addr);
+            }
+            SbEvent::UnlockHeader { core, addr } => {
+                if self.shadow.headers.get(&addr) == Some(&core) {
+                    self.shadow.headers.remove(&addr);
+                    self.shadow.core_header.remove(&core);
+                } else {
+                    self.violations
+                        .push(Violation::UnlockWithoutLock { cycle, core, addr });
+                }
+            }
+            SbEvent::SetBusy { core } => {
+                self.shadow.busy.insert(core, true);
+            }
+            SbEvent::ClearBusy { core } => {
+                self.shadow.busy.insert(core, false);
+            }
+            SbEvent::Termination { core } => {
+                let busy: Vec<usize> = self
+                    .shadow
+                    .busy
+                    .iter()
+                    .filter(|&(&c, &b)| b && c != core)
+                    .map(|(&c, _)| c)
+                    .collect();
+                if self.shadow.scan != self.shadow.free || !busy.is_empty() {
+                    let mut busy = busy;
+                    busy.sort_unstable();
+                    self.violations.push(Violation::PrematureTermination {
+                        cycle,
+                        core,
+                        scan: self.shadow.scan,
+                        free: self.shadow.free,
+                        busy,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Cross-check one sampled row against the shadow registers. Call
+    /// after observing every event with `cycle <= row.cycle`.
+    pub fn check_row(&mut self, row: &hwgc_core::TraceRow) {
+        if row.scan != self.shadow.scan {
+            self.violations.push(Violation::RowMismatch {
+                cycle: row.cycle,
+                reg: Reg::Scan,
+                row: row.scan,
+                shadow: self.shadow.scan,
+            });
+        }
+        if row.free != self.shadow.free {
+            self.violations.push(Violation::RowMismatch {
+                cycle: row.cycle,
+                reg: Reg::Free,
+                row: row.free,
+                shadow: self.shadow.free,
+            });
+        }
+    }
+}
+
+/// Lint a bare event stream (no row cross-checks).
+pub fn lint_events(events: &[SbEventRecord]) -> Vec<Violation> {
+    let mut lint = TraceLint::new();
+    for rec in events {
+        lint.observe(rec);
+    }
+    lint.into_violations()
+}
+
+/// Lint a captured trace: replays the full event stream and cross-checks
+/// every sampled row at its cycle. The trace must have been captured with
+/// [`SignalTrace::with_events`] (asserts otherwise — linting without
+/// events would silently check nothing).
+pub fn lint_trace(trace: &SignalTrace) -> Vec<Violation> {
+    assert!(
+        trace.capture_events(),
+        "lint_trace needs a trace built with SignalTrace::with_events"
+    );
+    let mut lint = TraceLint::new();
+    let mut events = trace.events().iter().peekable();
+    for row in trace.rows() {
+        while let Some(rec) = events.peek() {
+            if rec.cycle <= row.cycle {
+                lint.observe(rec);
+                events.next();
+            } else {
+                break;
+            }
+        }
+        lint.check_row(row);
+    }
+    for rec in events {
+        lint.observe(rec);
+    }
+    lint.into_violations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, event: SbEvent) -> SbEventRecord {
+        SbEventRecord { cycle, event }
+    }
+
+    #[test]
+    fn clean_stream_has_no_violations() {
+        let events = vec![
+            rec(
+                0,
+                SbEvent::Init {
+                    scan: 100,
+                    free: 100,
+                },
+            ),
+            rec(1, SbEvent::AcquireFree { core: 0 }),
+            rec(
+                1,
+                SbEvent::SetFree {
+                    core: 0,
+                    from: 100,
+                    to: 110,
+                },
+            ),
+            rec(1, SbEvent::ReleaseFree { core: 0 }),
+            rec(2, SbEvent::AcquireScan { core: 1 }),
+            rec(
+                2,
+                SbEvent::SetScan {
+                    core: 1,
+                    from: 100,
+                    to: 104,
+                },
+            ),
+            rec(2, SbEvent::ReleaseScan { core: 1 }),
+            rec(
+                3,
+                SbEvent::LockHeader {
+                    core: 1,
+                    addr: 0x40,
+                },
+            ),
+            rec(
+                4,
+                SbEvent::UnlockHeader {
+                    core: 1,
+                    addr: 0x40,
+                },
+            ),
+            rec(5, SbEvent::SetBusy { core: 1 }),
+            rec(6, SbEvent::ClearBusy { core: 1 }),
+            rec(7, SbEvent::AcquireScan { core: 0 }),
+            rec(
+                7,
+                SbEvent::SetScan {
+                    core: 0,
+                    from: 104,
+                    to: 110,
+                },
+            ),
+            rec(7, SbEvent::ReleaseScan { core: 0 }),
+            rec(8, SbEvent::Termination { core: 0 }),
+        ];
+        assert_eq!(lint_events(&events), vec![]);
+    }
+
+    #[test]
+    fn double_header_lock_is_flagged_at_its_cycle() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 0 }),
+            rec(
+                3,
+                SbEvent::LockHeader {
+                    core: 0,
+                    addr: 0xA0,
+                },
+            ),
+            rec(
+                5,
+                SbEvent::LockHeader {
+                    core: 2,
+                    addr: 0xA0,
+                },
+            ),
+        ];
+        let violations = lint_events(&events);
+        assert_eq!(
+            violations,
+            vec![Violation::DoubleHeaderLock {
+                cycle: 5,
+                addr: 0xA0,
+                holder: 0,
+                core: 2
+            }]
+        );
+        assert_eq!(violations[0].cycle(), 5);
+    }
+
+    #[test]
+    fn free_moved_without_lock_is_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 0 }),
+            rec(
+                2,
+                SbEvent::SetFree {
+                    core: 1,
+                    from: 0,
+                    to: 8,
+                },
+            ),
+        ];
+        assert_eq!(
+            lint_events(&events),
+            vec![Violation::SetWithoutLock {
+                cycle: 2,
+                reg: Reg::Free,
+                core: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn lock_order_violations_are_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 0 }),
+            rec(1, SbEvent::AcquireFree { core: 0 }),
+            rec(
+                2,
+                SbEvent::LockHeader {
+                    core: 0,
+                    addr: 0x10,
+                },
+            ),
+            rec(3, SbEvent::AcquireScan { core: 0 }),
+        ];
+        let violations = lint_events(&events);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::LockOrderViolation {
+                cycle: 2,
+                core: 0,
+                acquiring: "a header lock",
+                ..
+            }
+        )));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::LockOrderViolation {
+                cycle: 3,
+                core: 0,
+                acquiring: "the scan lock",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn premature_termination_is_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 8 }),
+            rec(1, SbEvent::SetBusy { core: 2 }),
+            rec(4, SbEvent::Termination { core: 0 }),
+        ];
+        let violations = lint_events(&events);
+        assert_eq!(
+            violations,
+            vec![Violation::PrematureTermination {
+                cycle: 4,
+                core: 0,
+                scan: 0,
+                free: 8,
+                busy: vec![2],
+            }]
+        );
+    }
+
+    #[test]
+    fn lost_update_and_regression_are_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 10, free: 20 }),
+            rec(1, SbEvent::AcquireScan { core: 0 }),
+            rec(
+                1,
+                SbEvent::SetScan {
+                    core: 0,
+                    from: 12,
+                    to: 8,
+                },
+            ),
+        ];
+        let violations = lint_events(&events);
+        assert!(violations.contains(&Violation::LostUpdate {
+            cycle: 1,
+            reg: Reg::Scan,
+            core: 0,
+            expected: 10,
+            observed: 12,
+        }));
+        assert!(violations.contains(&Violation::Regression {
+            cycle: 1,
+            reg: Reg::Scan,
+            from: 12,
+            to: 8,
+        }));
+    }
+
+    #[test]
+    fn write_port_conflict_is_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 0 }),
+            rec(1, SbEvent::AcquireFree { core: 0 }),
+            rec(
+                1,
+                SbEvent::SetFree {
+                    core: 0,
+                    from: 0,
+                    to: 4,
+                },
+            ),
+            rec(
+                1,
+                SbEvent::SetFree {
+                    core: 0,
+                    from: 4,
+                    to: 8,
+                },
+            ),
+        ];
+        assert_eq!(
+            lint_events(&events),
+            vec![Violation::WritePortConflict {
+                cycle: 1,
+                reg: Reg::Free,
+                core: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn scan_past_free_is_flagged() {
+        let events = vec![
+            rec(0, SbEvent::Init { scan: 0, free: 4 }),
+            rec(1, SbEvent::AcquireScan { core: 0 }),
+            rec(
+                1,
+                SbEvent::SetScan {
+                    core: 0,
+                    from: 0,
+                    to: 8,
+                },
+            ),
+        ];
+        let violations = lint_events(&events);
+        assert!(violations.contains(&Violation::ScanPastFree {
+            cycle: 1,
+            scan: 8,
+            free: 4
+        }));
+    }
+}

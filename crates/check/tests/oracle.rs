@@ -1,0 +1,32 @@
+//! Differential oracle over the full graph catalog: the sequential
+//! reference, the simulated collector (all configuration axes) and the
+//! four software collectors must agree on every adversarial shape.
+
+use hwgc_check::{differential, graphs};
+use hwgc_heap::MAX_FIELD;
+
+#[test]
+fn catalog_shapes_agree_across_all_collectors() {
+    for (name, heap) in graphs::catalog() {
+        let outcome = differential(name, &heap);
+        assert!(outcome.runs >= 25, "{name}: only {} runs", outcome.runs);
+        assert!(outcome.live_objects > 0, "{name}");
+    }
+}
+
+#[test]
+fn max_fanout_object_agrees_across_all_collectors() {
+    // The widest object the header encoding supports: one root with 4095
+    // pointer slots. A single scan floods the work list.
+    let heap = graphs::wide_fanout(MAX_FIELD);
+    let outcome = differential("wide_fanout(max)", &heap);
+    assert_eq!(outcome.live_objects, MAX_FIELD as usize + 1);
+}
+
+#[test]
+fn random_mixes_agree_across_seeds() {
+    for seed in [3u64, 0x1234_5678, u64::MAX] {
+        let heap = graphs::random_mix(seed, 128);
+        differential(&format!("random_mix({seed:#x})"), &heap);
+    }
+}

@@ -150,7 +150,10 @@ impl MutatorSm {
     /// Mutator whose registers start at the (already evacuated) roots.
     pub fn new(cfg: MutatorConfig, roots: &[Addr], sb_slot: usize) -> MutatorSm {
         assert!(cfg.registers >= 1);
-        assert!(cfg.alloc_delta >= 1, "allocated objects carry an id in data[0]");
+        assert!(
+            cfg.alloc_delta >= 1,
+            "allocated objects carry an id in data[0]"
+        );
         let mut regs = vec![NULL; cfg.registers];
         for (i, slot) in regs.iter_mut().enumerate() {
             if !roots.is_empty() {
@@ -207,7 +210,13 @@ impl MutatorSm {
         }
     }
 
-    fn retry(&mut self, pending: Pending, heap: &mut Heap, sb: &mut SyncBlock, fifo: &mut HeaderFifo) {
+    fn retry(
+        &mut self,
+        pending: Pending,
+        heap: &mut Heap,
+        sb: &mut SyncBlock,
+        fifo: &mut HeaderFifo,
+    ) {
         match pending {
             Pending::BarrierLock { child, reg } => self.barrier_lock(heap, sb, fifo, child, reg),
             Pending::FreeLock { action } => self.take_free(heap, sb, fifo, action),
@@ -415,8 +424,7 @@ impl MutatorSm {
                 // copied, so the write goes to *both* copies — the
                 // dual-write barrier used by concurrent copying designs.
                 // Either way the mutator never waits for a body copy.
-                let unclaimed =
-                    obj > sb.scan() || (obj == sb.scan() && sb.scan_chunk_off() == 0);
+                let unclaimed = obj > sb.scan() || (obj == sb.scan() && sb.scan_chunk_off() == 0);
                 let from_addr = h.link + 2 + h.pi + slot;
                 let v = heap.word(from_addr);
                 heap.set_word(from_addr, v);
@@ -480,7 +488,10 @@ mod tests {
 
     #[test]
     fn utilization_bounds() {
-        let s = MutatorStats { busy_cycles: 50, ..MutatorStats::default() };
+        let s = MutatorStats {
+            busy_cycles: 50,
+            ..MutatorStats::default()
+        };
         assert!((s.utilization(100) - 0.5).abs() < 1e-12);
         assert_eq!(s.utilization(0), 0.0);
     }

@@ -50,7 +50,10 @@ impl Default for GcConfig {
 impl GcConfig {
     /// Convenience constructor for the common case.
     pub fn with_cores(n_cores: usize) -> GcConfig {
-        GcConfig { n_cores, ..GcConfig::default() }
+        GcConfig {
+            n_cores,
+            ..GcConfig::default()
+        }
     }
 }
 

@@ -36,6 +36,7 @@ use hwgc_sync::SyncBlock;
 use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
 use crate::config::GcConfig;
 use crate::machine::{CoreSm, Ctx, State, WorkCounters};
+use crate::schedule::{CoreView, RandomOrder, SchedulePolicy, ScheduleView};
 use crate::stats::GcStats;
 use crate::trace::{SignalTrace, TraceRow};
 
@@ -80,14 +81,37 @@ impl SimCollector {
     /// Run one stop-the-world collection cycle on `heap` (the paper's
     /// configuration: the main processor is stopped throughout).
     pub fn collect(&self, heap: &mut Heap) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, None);
+        let (free, stats, _) = self.run(heap, None, None, None);
         GcOutcome { free, stats }
     }
 
     /// Run one collection cycle while sampling internal signals into
-    /// `trace` (extension 4, the paper's monitoring framework).
+    /// `trace` (extension 4, the paper's monitoring framework). A trace
+    /// built with [`SignalTrace::with_events`] also receives the SB's
+    /// complete cycle-stamped operation log.
     pub fn collect_traced(&self, heap: &mut Heap, trace: &mut SignalTrace) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, Some(trace));
+        let (free, stats, _) = self.run(heap, None, Some(trace), None);
+        GcOutcome { free, stats }
+    }
+
+    /// Run one collection cycle with `policy` choosing the per-cycle core
+    /// tick order (any legal SB arbiter — see [`crate::schedule`]). The
+    /// functional outcome must match [`SimCollector::collect`] for every
+    /// policy; only timing and stall attribution may shift.
+    pub fn collect_scheduled(&self, heap: &mut Heap, policy: &mut dyn SchedulePolicy) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, None, Some(policy));
+        GcOutcome { free, stats }
+    }
+
+    /// [`SimCollector::collect_scheduled`] with signal/event tracing —
+    /// the full harness configuration used by the `hwgc-check` sweeps.
+    pub fn collect_scheduled_traced(
+        &self,
+        heap: &mut Heap,
+        policy: &mut dyn SchedulePolicy,
+        trace: &mut SignalTrace,
+    ) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, Some(trace), Some(policy));
         GcOutcome { free, stats }
     }
 
@@ -102,8 +126,12 @@ impl SimCollector {
         heap: &mut Heap,
         mutator_cfg: &MutatorConfig,
     ) -> ConcurrentOutcome {
-        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None);
-        ConcurrentOutcome { free, stats, mutator: mutator.expect("mutator ran") }
+        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None, None);
+        ConcurrentOutcome {
+            free,
+            stats,
+            mutator: mutator.expect("mutator ran"),
+        }
     }
 
     /// The shared collection loop.
@@ -112,6 +140,7 @@ impl SimCollector {
         heap: &mut Heap,
         mutator_cfg: Option<MutatorConfig>,
         mut trace: Option<&mut SignalTrace>,
+        policy: Option<&mut dyn SchedulePolicy>,
     ) -> (Addr, GcStats, Option<MutatorStats>) {
         let cfg = self.cfg;
         heap.flip();
@@ -119,6 +148,9 @@ impl SimCollector {
         // locking and its busy bit for sound termination detection).
         let sb_slots = cfg.n_cores + usize::from(mutator_cfg.is_some());
         let mut sb = SyncBlock::new(sb_slots);
+        if trace.as_ref().is_some_and(|t| t.capture_events()) {
+            sb.enable_event_log();
+        }
         sb.init_pointers(heap.to_base(), heap.to_base());
         let mut mem = MemorySystem::new(cfg.n_cores, cfg.mem);
         let mut fifo = HeaderFifo::new(cfg.mem.header_fifo_capacity);
@@ -127,15 +159,27 @@ impl SimCollector {
 
         // --- Phase 1: sequential root evacuation by core 0 -------------
         self.root_phase(heap, &mut sb, &mut fifo, &mut counters, &mut stats);
-        let mut mutator =
-            mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
+        let mut mutator = mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
 
         // --- Phase 2+3: parallel scan loop and drain --------------------
         let mut cores: Vec<CoreSm> = (0..cfg.n_cores).map(CoreSm::new).collect();
         let mut done = false;
         let mut cycles: u64 = stats.root_phase_cycles;
+        // Align the SB clock with the engine's cycle numbering (the root
+        // phase ticks the SB once per root but costs more cycles), so SB
+        // event stamps in the parallel phase equal trace-row cycles.
+        sb.set_cycle(cycles);
         let mut order: Vec<usize> = (0..cfg.n_cores).collect();
-        let mut perm_rng = cfg.tick_permutation_seed.map(|s| s | 1);
+        // Back-compat: the `tick_permutation_seed` knob is the RandomOrder
+        // policy (bit-identical shuffles). An explicit policy wins.
+        let mut seeded_fallback = cfg.tick_permutation_seed.map(RandomOrder::new);
+        let mut policy: Option<&mut dyn SchedulePolicy> = match policy {
+            Some(p) => Some(p),
+            None => seeded_fallback
+                .as_mut()
+                .map(|p| p as &mut dyn SchedulePolicy),
+        };
+        let mut views: Vec<CoreView> = Vec::with_capacity(cfg.n_cores);
 
         loop {
             mem.tick();
@@ -143,15 +187,21 @@ impl SimCollector {
             if let Some(m) = mutator.as_mut() {
                 m.tick(heap, &mut sb, &mut fifo);
             }
-            if let Some(rng) = perm_rng.as_mut() {
-                // Fisher–Yates with an inline xorshift: a fresh legal
-                // arbitration order every cycle.
-                for i in (1..order.len()).rev() {
-                    *rng ^= *rng << 13;
-                    *rng ^= *rng >> 7;
-                    *rng ^= *rng << 17;
-                    order.swap(i, (*rng % (i as u64 + 1)) as usize);
-                }
+            if let Some(p) = policy.as_deref_mut() {
+                views.clear();
+                views.extend(cores.iter().enumerate().map(|(i, c)| CoreView {
+                    pending_header: c.pending_header(),
+                    holds_header: sb.header_lock_of(i),
+                    holds_scan: sb.holds_scan(i),
+                    holds_free: sb.holds_free(i),
+                    busy: sb.is_busy(i),
+                }));
+                let view = ScheduleView {
+                    scan: sb.scan(),
+                    free: sb.free(),
+                    cores: &views,
+                };
+                p.arrange(cycles + 1, &view, &mut order);
             }
             for &idx in &order {
                 let core = &mut cores[idx];
@@ -197,8 +247,17 @@ impl SimCollector {
             );
         }
 
-        debug_assert!(fifo.is_empty(), "gray headers left in the FIFO after termination");
+        debug_assert!(
+            fifo.is_empty(),
+            "gray headers left in the FIFO after termination"
+        );
         sb.assert_quiescent();
+
+        if let Some(trace) = trace {
+            if trace.capture_events() {
+                trace.set_events(sb.take_event_log());
+            }
+        }
 
         let free = sb.free();
         heap.set_alloc_ptr(free);
@@ -352,7 +411,10 @@ mod tests {
     fn deterministic_cycle_counts() {
         let run = || {
             let mut heap = diamond(500);
-            SimCollector::new(GcConfig::with_cores(4)).collect(&mut heap).stats.total_cycles
+            SimCollector::new(GcConfig::with_cores(4))
+                .collect(&mut heap)
+                .stats
+                .total_cycles
         };
         assert_eq!(run(), run());
     }
@@ -372,7 +434,10 @@ mod tests {
         let mut h2 = diamond(500);
         let snap = Snapshot::capture(&h1);
         let a = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
-        let cfg = GcConfig { test_before_lock: true, ..GcConfig::with_cores(4) };
+        let cfg = GcConfig {
+            test_before_lock: true,
+            ..GcConfig::with_cores(4)
+        };
         let b = SimCollector::new(cfg).collect(&mut h2);
         verify_collection(&h1, a.free, &snap).unwrap();
         verify_collection(&h2, b.free, &snap).unwrap();
@@ -418,13 +483,97 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_collection_matches_static_functionally() {
+        use crate::schedule::{Adversarial, RandomOrder, SchedulePolicy};
+        let mut h0 = diamond(500);
+        let snap = Snapshot::capture(&h0);
+        let base = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h0);
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let policies: [Box<dyn SchedulePolicy>; 2] = [
+                Box::new(RandomOrder::new(seed)),
+                Box::new(Adversarial::new(seed)),
+            ];
+            for mut p in policies {
+                let mut heap = diamond(500);
+                let out = SimCollector::new(GcConfig::with_cores(4))
+                    .collect_scheduled(&mut heap, p.as_mut());
+                assert_eq!(
+                    out.stats.objects_copied,
+                    base.stats.objects_copied,
+                    "{}",
+                    p.name()
+                );
+                assert_eq!(
+                    out.stats.words_copied,
+                    base.stats.words_copied,
+                    "{}",
+                    p.name()
+                );
+                assert_eq!(out.free, base.free, "{}", p.name());
+                verify_collection(&heap, out.free, &snap).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_matches_tick_permutation_seed() {
+        // The legacy knob and the RandomOrder policy are the same arbiter:
+        // identical seeds must reproduce identical cycle counts.
+        let seed = 7u64;
+        let mut h1 = diamond(500);
+        let legacy_cfg = GcConfig {
+            tick_permutation_seed: Some(seed),
+            ..GcConfig::with_cores(4)
+        };
+        let legacy = SimCollector::new(legacy_cfg).collect(&mut h1);
+        let mut h2 = diamond(500);
+        let mut policy = crate::schedule::RandomOrder::new(seed);
+        let scheduled =
+            SimCollector::new(GcConfig::with_cores(4)).collect_scheduled(&mut h2, &mut policy);
+        assert_eq!(legacy.stats.total_cycles, scheduled.stats.total_cycles);
+        assert_eq!(legacy.free, scheduled.free);
+    }
+
+    #[test]
+    fn event_trace_captures_full_sb_log() {
+        use hwgc_sync::SbEvent;
+        let mut heap = diamond(500);
+        let mut trace = crate::trace::SignalTrace::with_events(1);
+        let out = SimCollector::new(GcConfig::with_cores(4)).collect_traced(&mut heap, &mut trace);
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Stamps are monotone and never exceed the final cycle count.
+        let mut prev = 0;
+        for rec in events {
+            assert!(rec.cycle >= prev, "stamps must be monotone");
+            prev = rec.cycle;
+            assert!(rec.cycle <= out.stats.total_cycles);
+        }
+        // Exactly one core announces termination, and it is the last word.
+        let terms: Vec<_> = events
+            .iter()
+            .filter(|r| matches!(r.event, SbEvent::Termination { .. }))
+            .collect();
+        assert_eq!(terms.len(), 1);
+        assert!(matches!(
+            events.last().unwrap().event,
+            SbEvent::Termination { .. }
+        ));
+        // Every evacuated object shows up as exactly one header lock.
+        let locks = events
+            .iter()
+            .filter(|r| matches!(r.event, SbEvent::LockHeader { .. }))
+            .count() as u64;
+        assert!(locks >= out.stats.objects_copied.saturating_sub(1));
+    }
+
+    #[test]
     fn traced_collection_matches_untraced() {
         let mut h1 = diamond(500);
         let plain = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
         let mut h2 = diamond(500);
         let mut trace = crate::trace::SignalTrace::new(1);
-        let traced =
-            SimCollector::new(GcConfig::with_cores(4)).collect_traced(&mut h2, &mut trace);
+        let traced = SimCollector::new(GcConfig::with_cores(4)).collect_traced(&mut h2, &mut trace);
         assert_eq!(plain.stats.total_cycles, traced.stats.total_cycles);
         assert_eq!(plain.free, traced.free);
         // One sample per post-root-phase cycle.

@@ -25,6 +25,8 @@
 //!   and II,
 //! * [`machine`] — the per-core microprogram as an explicit state machine,
 //! * [`engine`] — the cycle-level simulation loop and [`SimCollector`],
+//! * [`schedule`] — pluggable per-cycle core-arbitration policies (the
+//!   schedule-exploration hook used by the `hwgc-check` harness),
 //! * [`seq`] — the sequential Cheney reference collector (functionally the
 //!   paper's 1-core configuration, with no timing model).
 
@@ -32,6 +34,7 @@ pub mod concurrent;
 pub mod config;
 pub mod engine;
 pub mod machine;
+pub mod schedule;
 pub mod seq;
 pub mod stats;
 pub mod trace;
@@ -39,6 +42,9 @@ pub mod trace;
 pub use concurrent::{MutatorConfig, MutatorStats};
 pub use config::GcConfig;
 pub use engine::{ConcurrentOutcome, GcOutcome, SimCollector};
+pub use schedule::{
+    Adversarial, CoreView, RandomOrder, SchedulePolicy, ScheduleView, StaticPriority,
+};
 pub use seq::{SeqCheney, SeqOutcome};
 pub use stats::{GcStats, StallBreakdown, StallReason};
 pub use trace::{SignalTrace, TraceRow};

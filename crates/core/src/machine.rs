@@ -150,7 +150,12 @@ pub struct CoreSm {
 impl CoreSm {
     /// Core with the given index (index order = static lock priority).
     pub fn new(id: usize) -> CoreSm {
-        CoreSm { id, state: State::Poll, regs: ObjRegs::default(), stalls: StallBreakdown::default() }
+        CoreSm {
+            id,
+            state: State::Poll,
+            regs: ObjRegs::default(),
+            stalls: StallBreakdown::default(),
+        }
     }
 
     /// Core index.
@@ -161,6 +166,13 @@ impl CoreSm {
     /// Current state (for the engine's termination test and diagnostics).
     pub fn state(&self) -> State {
         self.state
+    }
+
+    /// The fromspace header address this core will try to lock on its next
+    /// tick (it is parked in [`State::ChildLock`]), if any. Input to
+    /// contention-aware scheduling policies ([`crate::schedule`]).
+    pub fn pending_header(&self) -> Option<Addr> {
+        (self.state == State::ChildLock).then_some(self.regs.child)
     }
 
     /// Execute one clock cycle.
@@ -182,7 +194,10 @@ impl CoreSm {
                 }
             }
         }
-        panic!("core {} chained too many micro-steps in state {:?}", self.id, state);
+        panic!(
+            "core {} chained too many micro-steps in state {:?}",
+            self.id, state
+        );
     }
 
     fn step(&mut self, state: State, ctx: &mut Ctx<'_>) -> Step {
@@ -232,6 +247,7 @@ impl CoreSm {
         debug_assert!(!ctx.sb.is_busy(self.id));
         if ctx.sb.none_busy_except(self.id) {
             *ctx.done = true;
+            ctx.sb.log_termination(self.id);
             return Step::Chain(State::Drain);
         }
         Step::Stall(State::Poll, StallReason::EmptySpin)
@@ -357,7 +373,10 @@ impl CoreSm {
                 self.regs.store_val = NULL;
                 return Step::Chain(State::StoreWord);
             }
-            debug_assert!(ctx.heap.in_fromspace(val), "body pointer {val} escapes fromspace");
+            debug_assert!(
+                ctx.heap.in_fromspace(val),
+                "body pointer {val} escapes fromspace"
+            );
             self.regs.child = val;
             if ctx.test_before_lock {
                 // Ablation C: probe the mark bit without the header lock.
@@ -395,7 +414,9 @@ impl CoreSm {
         if !ctx.sb.try_lock_header(self.id, self.regs.child) {
             return Step::Stall(State::ChildLock, StallReason::HeaderLock);
         }
-        let ok = ctx.mem.try_issue(self.id, Port::HeaderLoad, self.regs.child);
+        let ok = ctx
+            .mem
+            .try_issue(self.id, Port::HeaderLoad, self.regs.child);
         debug_assert!(ok, "header-load buffer must be free here");
         Step::Yield(State::ChildHeaderWait)
     }
@@ -437,7 +458,10 @@ impl CoreSm {
         self.regs.child_dst = dst;
         // Functional effect of the two header writes; their *timing* is
         // modelled by the store / FIFO handling in ChildEvacStore.
-        ctx.heap.set_header(dst, Header::gray(self.regs.child_pi, self.regs.child_delta, self.regs.child));
+        ctx.heap.set_header(
+            dst,
+            Header::gray(self.regs.child_pi, self.regs.child_delta, self.regs.child),
+        );
         ctx.heap.set_header(
             self.regs.child,
             Header::forwarded(self.regs.child_pi, self.regs.child_delta, dst),
@@ -456,7 +480,10 @@ impl CoreSm {
 
     fn child_evac_store(&mut self, ctx: &mut Ctx<'_>) -> Step {
         // Mark + forwarding pointer to the fromspace header.
-        if !ctx.mem.try_issue(self.id, Port::HeaderStore, self.regs.child) {
+        if !ctx
+            .mem
+            .try_issue(self.id, Port::HeaderStore, self.regs.child)
+        {
             return Step::Stall(State::ChildEvacStore, StallReason::HeaderStore);
         }
         // Gray frame header: buffered on-chip at evacuation time when it
@@ -473,7 +500,10 @@ impl CoreSm {
     fn child_evac_overflow(&mut self, ctx: &mut Ctx<'_>) -> Step {
         // The header-store buffer still holds the fromspace store; the
         // gray header must wait for it — the overflow penalty.
-        if !ctx.mem.try_issue(self.id, Port::HeaderStore, self.regs.child_dst) {
+        if !ctx
+            .mem
+            .try_issue(self.id, Port::HeaderStore, self.regs.child_dst)
+        {
             return Step::Stall(State::ChildEvacOverflow, StallReason::HeaderStore);
         }
         ctx.sb.unlock_header(self.id);
@@ -516,10 +546,16 @@ impl CoreSm {
     }
 
     fn blacken(&mut self, ctx: &mut Ctx<'_>) -> Step {
-        if !ctx.mem.try_issue(self.id, Port::HeaderStore, self.regs.frame) {
+        if !ctx
+            .mem
+            .try_issue(self.id, Port::HeaderStore, self.regs.frame)
+        {
             return Step::Stall(State::Blacken, StallReason::HeaderStore);
         }
-        ctx.heap.set_header(self.regs.frame, Header::black(self.regs.pi, self.regs.delta));
+        ctx.heap.set_header(
+            self.regs.frame,
+            Header::black(self.regs.pi, self.regs.delta),
+        );
         ctx.sb.clear_busy(self.id);
         Step::Yield(State::Poll)
     }

@@ -1,0 +1,301 @@
+//! Per-cycle core-arbitration policies.
+//!
+//! The engine ticks the cores once per simulated cycle; the *order* in
+//! which they tick realizes the SB's arbitration. The paper's hardware
+//! uses a static priority (lowest core index wins every contended lock),
+//! which the engine reproduces by ticking in index order. Any other order
+//! is an equally legal arbiter — the collector's three invariants must
+//! hold under all of them — so the test harness parameterizes the order
+//! through a [`SchedulePolicy`] and sweeps seeds to explore interleavings:
+//!
+//! * [`StaticPriority`] — index order, the paper's arbiter (the default),
+//! * [`RandomOrder`] — a fresh seeded permutation every cycle
+//!   (bit-compatible with the older `tick_permutation_seed` knob),
+//! * [`Adversarial`] — an order chosen each cycle to maximize lock
+//!   contention windows: cores *contending* for locks tick before the
+//!   holders (so every contender samples the lock while it is still
+//!   held), holders release last, and ties rotate pseudo-randomly so the
+//!   winner of a contended header is not pinned to the lowest index.
+//!
+//! Policies only reorder whole-core ticks; they cannot express anything
+//! the hardware could not do, so a functional difference under any policy
+//! is a collector bug, not a harness artifact.
+
+/// What the policy may observe about one core when choosing an order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreView {
+    /// Fromspace header address the core is trying to lock this cycle
+    /// (it is in the `ChildLock` state), if any.
+    pub pending_header: Option<u32>,
+    /// Header address the core currently holds locked, if any.
+    pub holds_header: Option<u32>,
+    /// Does the core hold the `scan` lock? (Never true at the cycle
+    /// boundary in the current microprogram — scan critical sections are
+    /// intra-tick — but recorded for policy generality.)
+    pub holds_scan: bool,
+    /// Does the core hold the `free` lock? (Same caveat as `holds_scan`.)
+    pub holds_free: bool,
+    /// Is the core's busy bit set (it owns a claimed object)?
+    pub busy: bool,
+}
+
+/// Cycle-boundary snapshot handed to [`SchedulePolicy::arrange`].
+#[derive(Debug)]
+pub struct ScheduleView<'a> {
+    /// The `scan` register.
+    pub scan: u32,
+    /// The `free` register.
+    pub free: u32,
+    /// Per-core state, indexed by core id.
+    pub cores: &'a [CoreView],
+}
+
+/// A per-cycle arbitration policy: permutes the order in which the engine
+/// ticks the cores.
+pub trait SchedulePolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Rearrange `order` (a permutation of `0..n_cores`) for this cycle.
+    /// `order` arrives as the *previous* cycle's order (initially the
+    /// identity), so a no-op keeps the static priority.
+    fn arrange(&mut self, cycle: u64, view: &ScheduleView<'_>, order: &mut [usize]);
+}
+
+/// The paper's arbiter: cores tick in index order every cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticPriority;
+
+impl SchedulePolicy for StaticPriority {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn arrange(&mut self, _cycle: u64, _view: &ScheduleView<'_>, order: &mut [usize]) {
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A fresh uniformly random legal arbitration order every cycle
+/// (Fisher–Yates over the persisted order, driven by an xorshift state —
+/// bit-compatible with `GcConfig::tick_permutation_seed`).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomOrder {
+    state: u64,
+}
+
+impl RandomOrder {
+    /// Policy seeded with `seed` (0 is mapped to a nonzero state).
+    pub fn new(seed: u64) -> RandomOrder {
+        RandomOrder { state: seed | 1 }
+    }
+}
+
+impl SchedulePolicy for RandomOrder {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn arrange(&mut self, _cycle: u64, _view: &ScheduleView<'_>, order: &mut [usize]) {
+        for i in (1..order.len()).rev() {
+            let r = xorshift(&mut self.state);
+            order.swap(i, (r % (i as u64 + 1)) as usize);
+        }
+    }
+}
+
+/// Contention-maximizing arbiter. Each cycle, cores are ranked:
+///
+/// 1. cores whose pending header lock is *currently held* by another core
+///    (they tick first and are guaranteed to fail this cycle),
+/// 2. other contenders and idle cores, shuffled,
+/// 3. lock holders and busy cores last (locks stay held across as many
+///    other ticks as possible; releases land after every failed attempt).
+///
+/// Ties rotate pseudo-randomly so that the winner of a contended resource
+/// varies between cycles rather than following the static priority.
+#[derive(Debug, Clone, Copy)]
+pub struct Adversarial {
+    state: u64,
+}
+
+impl Adversarial {
+    /// Policy seeded with `seed` (0 is mapped to a nonzero state).
+    pub fn new(seed: u64) -> Adversarial {
+        Adversarial { state: seed | 1 }
+    }
+}
+
+impl SchedulePolicy for Adversarial {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+
+    fn arrange(&mut self, _cycle: u64, view: &ScheduleView<'_>, order: &mut [usize]) {
+        let held = |addr: u32| view.cores.iter().any(|c| c.holds_header == Some(addr));
+        let rank = |id: usize| -> u64 {
+            let c = &view.cores[id];
+            if c.pending_header.is_some_and(held) {
+                0
+            } else if c.holds_header.is_some() || c.holds_scan || c.holds_free || c.busy {
+                2
+            } else {
+                1
+            }
+        };
+        // Deterministic per-(cycle, core) tiebreak, advanced once per call
+        // so consecutive cycles shuffle differently.
+        let salt = xorshift(&mut self.state);
+        order.sort_by_key(|&id| {
+            let mut h = salt ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            (rank(id), h ^ (h >> 29))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_view(n: usize) -> Vec<CoreView> {
+        vec![CoreView::default(); n]
+    }
+
+    fn is_permutation(order: &[usize]) -> bool {
+        let mut seen = vec![false; order.len()];
+        order
+            .iter()
+            .all(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true))
+    }
+
+    #[test]
+    fn static_priority_restores_identity() {
+        let cores = idle_view(4);
+        let view = ScheduleView {
+            scan: 0,
+            free: 0,
+            cores: &cores,
+        };
+        let mut order = vec![3, 1, 0, 2];
+        StaticPriority.arrange(7, &view, &mut order);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_order_yields_permutations_and_varies() {
+        let cores = idle_view(8);
+        let view = ScheduleView {
+            scan: 0,
+            free: 0,
+            cores: &cores,
+        };
+        let mut policy = RandomOrder::new(42);
+        let mut order: Vec<usize> = (0..8).collect();
+        let mut distinct = std::collections::HashSet::new();
+        for cycle in 0..50 {
+            policy.arrange(cycle, &view, &mut order);
+            assert!(is_permutation(&order), "cycle {cycle}: {order:?}");
+            distinct.insert(order.clone());
+        }
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct orders",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn random_order_matches_legacy_inline_shuffle() {
+        // The engine's old `tick_permutation_seed` code path: xorshift
+        // state seeded with `seed | 1`, Fisher–Yates every cycle over the
+        // persisted order. RandomOrder must replay it exactly so existing
+        // seeds reproduce the same interleavings.
+        let seed: u64 = 12345;
+        let n = 6;
+        let mut legacy: Vec<usize> = (0..n).collect();
+        let mut rng = seed | 1;
+        let cores = idle_view(n);
+        let view = ScheduleView {
+            scan: 0,
+            free: 0,
+            cores: &cores,
+        };
+        let mut policy = RandomOrder::new(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for cycle in 0..100 {
+            for i in (1..legacy.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                legacy.swap(i, (rng % (i as u64 + 1)) as usize);
+            }
+            policy.arrange(cycle, &view, &mut order);
+            assert_eq!(order, legacy, "diverged at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn adversarial_puts_contenders_first_and_holders_last() {
+        // Core 2 holds header 0xA0; cores 0 and 3 want it; core 1 is idle.
+        let mut cores = idle_view(4);
+        cores[0].pending_header = Some(0xA0);
+        cores[2].holds_header = Some(0xA0);
+        cores[2].busy = true;
+        cores[3].pending_header = Some(0xA0);
+        let view = ScheduleView {
+            scan: 0,
+            free: 0,
+            cores: &cores,
+        };
+        let mut policy = Adversarial::new(1);
+        let mut order: Vec<usize> = (0..4).collect();
+        for cycle in 0..20 {
+            policy.arrange(cycle, &view, &mut order);
+            assert!(is_permutation(&order));
+            let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+            assert!(
+                pos(0) < pos(2),
+                "cycle {cycle}: contender after holder: {order:?}"
+            );
+            assert!(
+                pos(3) < pos(2),
+                "cycle {cycle}: contender after holder: {order:?}"
+            );
+            assert_eq!(pos(2), 3, "cycle {cycle}: holder must tick last: {order:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_rotates_ties() {
+        let cores = idle_view(8);
+        let view = ScheduleView {
+            scan: 0,
+            free: 0,
+            cores: &cores,
+        };
+        let mut policy = Adversarial::new(99);
+        let mut order: Vec<usize> = (0..8).collect();
+        let mut distinct = std::collections::HashSet::new();
+        for cycle in 0..50 {
+            policy.arrange(cycle, &view, &mut order);
+            assert!(is_permutation(&order));
+            distinct.insert(order.clone());
+        }
+        assert!(
+            distinct.len() > 10,
+            "ties do not rotate: {} orders",
+            distinct.len()
+        );
+    }
+}

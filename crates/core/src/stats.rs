@@ -192,7 +192,10 @@ mod tests {
         let stats = GcStats {
             total_cycles: 100,
             empty_worklist_cycles: 25,
-            stall: StallBreakdown { scan_lock: 40, ..Default::default() },
+            stall: StallBreakdown {
+                scan_lock: 40,
+                ..Default::default()
+            },
             per_core: vec![StallBreakdown::default(); 2],
             ..Default::default()
         };

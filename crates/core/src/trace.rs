@@ -9,8 +9,16 @@
 //! header-FIFO occupancy, the DRAM service-queue depth, and each core's
 //! microprogram state. Traces can be dumped as CSV for offline analysis
 //! (`trace_dump` binary) or inspected programmatically.
+//!
+//! A trace created with [`SignalTrace::with_events`] additionally carries
+//! the synchronization block's cycle-stamped operation log
+//! ([`hwgc_sync::SbEvent`]) — every lock acquisition/failure/release,
+//! register write and busy-bit change, plus the termination event. The
+//! rows are periodic *samples*; the events are the *complete* record of
+//! SB traffic, which is what invariant checkers (the `hwgc-check` trace
+//! lint) consume.
 
-
+use hwgc_sync::SbEventRecord;
 
 use crate::machine::State;
 
@@ -38,13 +46,45 @@ pub struct SignalTrace {
     /// Sample period in cycles (1 = every cycle, like the FPGA monitor).
     pub sample_every: u64,
     rows: Vec<TraceRow>,
+    capture_events: bool,
+    events: Vec<SbEventRecord>,
 }
 
 impl SignalTrace {
     /// Trace sampling every `sample_every` cycles.
     pub fn new(sample_every: u64) -> SignalTrace {
         assert!(sample_every >= 1);
-        SignalTrace { sample_every, rows: Vec::new() }
+        SignalTrace {
+            sample_every,
+            rows: Vec::new(),
+            capture_events: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Trace that additionally captures the SB's complete operation log
+    /// (one record per lock/register/busy-bit operation, cycle-stamped).
+    pub fn with_events(sample_every: u64) -> SignalTrace {
+        SignalTrace {
+            capture_events: true,
+            ..SignalTrace::new(sample_every)
+        }
+    }
+
+    /// Should the engine record SB events into this trace?
+    pub fn capture_events(&self) -> bool {
+        self.capture_events
+    }
+
+    /// The captured SB events (empty unless built with `with_events`).
+    pub fn events(&self) -> &[SbEventRecord] {
+        &self.events
+    }
+
+    /// Install the captured event stream (engine-internal; also usable by
+    /// tests to lint a synthetic or mutated stream).
+    pub fn set_events(&mut self, events: Vec<SbEventRecord>) {
+        self.events = events;
     }
 
     /// Should cycle `n` be sampled?
@@ -78,7 +118,10 @@ impl SignalTrace {
     /// Dump as CSV: one row per sample, one state column per core.
     pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
         let cores = self.rows.first().map_or(0, |r| r.core_states.len());
-        write!(w, "cycle,scan,free,gray_words,busy_cores,fifo_len,queue_depth")?;
+        write!(
+            w,
+            "cycle,scan,free,gray_words,busy_cores,fifo_len,queue_depth"
+        )?;
         for c in 0..cores {
             write!(w, ",core{c}")?;
         }
@@ -151,5 +194,21 @@ mod tests {
         let t = SignalTrace::new(1);
         assert_eq!(t.peak_gray_words(), 0);
         assert_eq!(t.mean_busy_cores(), 0.0);
+    }
+
+    #[test]
+    fn event_capture_is_opt_in() {
+        use hwgc_sync::{SbEvent, SbEventRecord};
+        let plain = SignalTrace::new(1);
+        assert!(!plain.capture_events());
+        let mut t = SignalTrace::with_events(4);
+        assert!(t.capture_events());
+        assert_eq!(t.sample_every, 4);
+        assert!(t.events().is_empty());
+        t.set_events(vec![SbEventRecord {
+            cycle: 3,
+            event: SbEvent::SetBusy { core: 1 },
+        }]);
+        assert_eq!(t.events().len(), 1);
     }
 }

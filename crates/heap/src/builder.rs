@@ -37,7 +37,10 @@ impl<'h> GraphBuilder<'h> {
     /// Wrap a heap. Objects previously allocated through other means are not
     /// tracked by the builder.
     pub fn new(heap: &'h mut Heap) -> GraphBuilder<'h> {
-        GraphBuilder { heap, addrs: Vec::new() }
+        GraphBuilder {
+            heap,
+            addrs: Vec::new(),
+        }
     }
 
     /// Allocate an object with `pi` pointer slots and `delta >= 1` data
@@ -46,7 +49,10 @@ impl<'h> GraphBuilder<'h> {
     /// # Panics
     /// Panics if `delta == 0`: verified graphs need data word 0 for the id.
     pub fn add(&mut self, pi: u32, delta: u32) -> Option<ObjId> {
-        assert!(delta >= 1, "verified objects need delta >= 1 to carry an id");
+        assert!(
+            delta >= 1,
+            "verified objects need delta >= 1 to carry an id"
+        );
         let addr = self.heap.alloc(pi, delta)?;
         let id = self.addrs.len() as u32 + 1;
         for slot in 0..delta {

@@ -77,26 +77,50 @@ pub struct Header {
 impl Header {
     /// A fresh white header for a mutator-allocated object.
     pub fn white(pi: u32, delta: u32) -> Header {
-        Header { pi, delta, color: Color::White, marked: false, link: 0 }
+        Header {
+            pi,
+            delta,
+            color: Color::White,
+            marked: false,
+            link: 0,
+        }
     }
 
     /// Gray tospace frame header: sizes plus a backlink to the fromspace
     /// original, installed at evacuation time so that the scanning core can
     /// find the body to copy and advance `scan` by the correct size.
     pub fn gray(pi: u32, delta: u32, backlink: Addr) -> Header {
-        Header { pi, delta, color: Color::Gray, marked: false, link: backlink }
+        Header {
+            pi,
+            delta,
+            color: Color::Gray,
+            marked: false,
+            link: backlink,
+        }
     }
 
     /// Black tospace header: the final state written when the body copy is
     /// complete (paper: "writes pi and delta into the header of the tospace
     /// copy").
     pub fn black(pi: u32, delta: u32) -> Header {
-        Header { pi, delta, color: Color::Black, marked: false, link: 0 }
+        Header {
+            pi,
+            delta,
+            color: Color::Black,
+            marked: false,
+            link: 0,
+        }
     }
 
     /// Marked fromspace header with the forwarding pointer installed.
     pub fn forwarded(pi: u32, delta: u32, fwd: Addr) -> Header {
-        Header { pi, delta, color: Color::White, marked: true, link: fwd }
+        Header {
+            pi,
+            delta,
+            color: Color::White,
+            marked: true,
+            link: fwd,
+        }
     }
 
     /// Total size of the object in words (header + body).

@@ -45,7 +45,10 @@ impl Heap {
     pub fn new(semi_size: u32) -> Heap {
         assert!(semi_size > 0, "semispace must be non-empty");
         let total = RESERVED_WORDS as u64 + 2 * semi_size as u64;
-        assert!(total <= u32::MAX as u64, "arena too large for 32-bit addressing");
+        assert!(
+            total <= u32::MAX as u64,
+            "arena too large for 32-bit addressing"
+        );
         Heap {
             words: vec![0; total as usize],
             semi_size,

@@ -46,8 +46,8 @@ impl Snapshot {
         let mut live_words = 0u64;
 
         let visit = |addr: Addr,
-                         seen: &mut HashMap<Addr, u32>,
-                         queue: &mut VecDeque<Addr>|
+                     seen: &mut HashMap<Addr, u32>,
+                     queue: &mut VecDeque<Addr>|
          -> Option<u32> {
             if addr == NULL {
                 return None;
@@ -56,7 +56,10 @@ impl Snapshot {
                 return Some(id);
             }
             let h = heap.header(addr);
-            assert!(h.delta >= 1, "snapshot requires id-stamped objects (delta >= 1)");
+            assert!(
+                h.delta >= 1,
+                "snapshot requires id-stamped objects (delta >= 1)"
+            );
             let id = heap.data(addr, 0);
             assert_ne!(id, 0, "object at {addr} has no id stamp");
             seen.insert(addr, id);
@@ -79,11 +82,23 @@ impl Snapshot {
             let children: Vec<Option<u32>> = (0..h.pi)
                 .map(|i| visit(heap.ptr(addr, i), &mut seen, &mut queue))
                 .collect();
-            let prev = objects.insert(id, ObjRecord { pi: h.pi, delta: h.delta, data, children });
+            let prev = objects.insert(
+                id,
+                ObjRecord {
+                    pi: h.pi,
+                    delta: h.delta,
+                    data,
+                    children,
+                },
+            );
             assert!(prev.is_none(), "duplicate object id {id}");
         }
 
-        Snapshot { objects, root_ids, live_words }
+        Snapshot {
+            objects,
+            root_ids,
+            live_words,
+        }
     }
 
     /// Number of reachable objects.

@@ -18,7 +18,11 @@ pub enum VerifyError {
     /// A root still points into fromspace (or outside the heap).
     RootNotInTospace { root_index: usize, addr: Addr },
     /// Root `root_index` refers to the wrong object.
-    RootIdMismatch { root_index: usize, expected: Option<u32>, found: Option<u32> },
+    RootIdMismatch {
+        root_index: usize,
+        expected: Option<u32>,
+        found: Option<u32>,
+    },
     /// A reachable tospace object is not black.
     NotBlack { addr: Addr, color: Color },
     /// A pointer escapes tospace.
@@ -84,7 +88,15 @@ pub fn verify_collection_relaxed(
     free: Addr,
     snapshot: &Snapshot,
 ) -> Result<VerifyReport, VerifyError> {
-    verify_inner(heap, free, snapshot, VerifyOptions { compacted: false, ..VerifyOptions::default() })
+    verify_inner(
+        heap,
+        free,
+        snapshot,
+        VerifyOptions {
+            compacted: false,
+            ..VerifyOptions::default()
+        },
+    )
 }
 
 /// Knobs for [`verify_collection_with`].
@@ -101,7 +113,10 @@ pub struct VerifyOptions {
 
 impl Default for VerifyOptions {
     fn default() -> VerifyOptions {
-        VerifyOptions { compacted: true, allow_unknown_objects: false }
+        VerifyOptions {
+            compacted: true,
+            allow_unknown_objects: false,
+        }
     }
 }
 
@@ -134,7 +149,10 @@ fn verify_inner(
         while addr < free {
             let h = heap.header(addr);
             if h.color != Color::Black {
-                return Err(VerifyError::NotBlack { addr, color: h.color });
+                return Err(VerifyError::NotBlack {
+                    addr,
+                    color: h.color,
+                });
             }
             if h.delta < 1 {
                 return Err(VerifyError::NotCompacted {
@@ -143,7 +161,9 @@ fn verify_inner(
             }
             let id = heap.data(addr, 0);
             if !ids_seen.insert(id) {
-                return Err(VerifyError::NotCompacted { detail: format!("duplicate id {id}") });
+                return Err(VerifyError::NotCompacted {
+                    detail: format!("duplicate id {id}"),
+                });
             }
             by_addr.insert(addr, id);
             let next = addr + h.size_words();
@@ -169,11 +189,17 @@ fn verify_inner(
             .collect();
         while let Some(addr) = queue.pop_front() {
             if !heap.in_tospace(addr) || addr + 2 > free {
-                return Err(VerifyError::RootNotInTospace { root_index: usize::MAX, addr });
+                return Err(VerifyError::RootNotInTospace {
+                    root_index: usize::MAX,
+                    addr,
+                });
             }
             let h = heap.header(addr);
             if h.color != Color::Black {
-                return Err(VerifyError::NotBlack { addr, color: h.color });
+                return Err(VerifyError::NotBlack {
+                    addr,
+                    color: h.color,
+                });
             }
             if h.delta < 1 {
                 return Err(VerifyError::NotCompacted {
@@ -182,7 +208,9 @@ fn verify_inner(
             }
             let id = heap.data(addr, 0);
             if !ids_seen.insert(id) {
-                return Err(VerifyError::NotCompacted { detail: format!("duplicate id {id}") });
+                return Err(VerifyError::NotCompacted {
+                    detail: format!("duplicate id {id}"),
+                });
             }
             by_addr.insert(addr, id);
             for slot in 0..h.pi {
@@ -202,7 +230,10 @@ fn verify_inner(
             // registers in the concurrent extension): only pointer hygiene
             // applies, which the tiling/BFS walk already covered.
             if r != NULL && !heap.in_tospace(r) {
-                return Err(VerifyError::RootNotInTospace { root_index: i, addr: r });
+                return Err(VerifyError::RootNotInTospace {
+                    root_index: i,
+                    addr: r,
+                });
             }
             continue;
         }
@@ -218,7 +249,10 @@ fn verify_inner(
             continue;
         }
         if !heap.in_tospace(r) {
-            return Err(VerifyError::RootNotInTospace { root_index: i, addr: r });
+            return Err(VerifyError::RootNotInTospace {
+                root_index: i,
+                addr: r,
+            });
         }
         let found = id_at(r);
         if found != expected {
@@ -227,7 +261,11 @@ fn verify_inner(
             // Roots appended after the snapshot (mutator registers) have
             // no expectation recorded; `snapshot.root_ids` is shorter.
             if !points_at_unknown {
-                return Err(VerifyError::RootIdMismatch { root_index: i, expected, found });
+                return Err(VerifyError::RootIdMismatch {
+                    root_index: i,
+                    expected,
+                    found,
+                });
             }
         }
     }
@@ -246,7 +284,11 @@ fn verify_inner(
                 for slot in 0..h.pi {
                     let target = heap.ptr(addr, slot);
                     if target != NULL && !heap.in_tospace(target) {
-                        return Err(VerifyError::DanglingPointer { obj: addr, slot, target });
+                        return Err(VerifyError::DanglingPointer {
+                            obj: addr,
+                            slot,
+                            target,
+                        });
                     }
                 }
                 continue;
@@ -288,7 +330,11 @@ fn verify_inner(
                 continue;
             }
             if !heap.in_tospace(target) {
-                return Err(VerifyError::DanglingPointer { obj: addr, slot, target });
+                return Err(VerifyError::DanglingPointer {
+                    obj: addr,
+                    slot,
+                    target,
+                });
             }
             let child_id = id_at(target);
             if child_id != expected_child {
@@ -337,7 +383,12 @@ fn verify_inner(
     // Reachability from roots must cover every object in tospace (copying
     // collectors never copy garbage).
     let mut reached: HashSet<Addr> = HashSet::new();
-    let mut queue: VecDeque<Addr> = heap.roots().iter().copied().filter(|&r| r != NULL).collect();
+    let mut queue: VecDeque<Addr> = heap
+        .roots()
+        .iter()
+        .copied()
+        .filter(|&r| r != NULL)
+        .collect();
     for &r in heap.roots() {
         if r != NULL {
             reached.insert(r);
@@ -504,7 +555,12 @@ mod tests {
         // Pretend the snapshot had one more object.
         snap.objects.insert(
             999,
-            crate::snapshot::ObjRecord { pi: 0, delta: 1, data: vec![999], children: vec![] },
+            crate::snapshot::ObjRecord {
+                pi: 0,
+                delta: 1,
+                data: vec![999],
+                children: vec![],
+            },
         );
         snap.live_words += 3;
         let r = verify_collection(&heap, free, &snap);
@@ -522,5 +578,109 @@ mod tests {
         let free = toy_cheney(&mut heap);
         let report = verify_collection(&heap, free, &snap).unwrap();
         assert_eq!(report.live_objects, 0);
+    }
+
+    #[test]
+    fn verifier_rejects_root_left_in_fromspace() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Un-redirect the root: point it back into fromspace.
+        let from = heap.from_base();
+        heap.set_root(0, from);
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::RootNotInTospace { root_index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_root_redirected_to_wrong_object() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Redirect the root to the second tospace object instead of the
+        // first (toy_cheney copies the root object to to_base).
+        let base = heap.to_base();
+        let second = base + heap.header(base).size_words();
+        assert!(second < free);
+        heap.set_root(0, second);
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::RootIdMismatch { root_index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_root_nulled_out() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        heap.set_root(0, NULL);
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::RootIdMismatch {
+                root_index: 0,
+                found: None,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_object_missing_from_snapshot() {
+        let mut heap = diamond_heap();
+        let mut snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Forget the shared bottom object (id 4): the copy in tospace is
+        // now one the snapshot never knew about.
+        assert!(snap.objects.remove(&4).is_some());
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::UnexpectedObject { id: 4 })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_duplicate_evacuation() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // Forge the failure mode invariant 2 prevents: two tospace copies
+        // carrying the same id (here by rewriting the second object's id
+        // to the first's).
+        let base = heap.to_base();
+        let second = base + heap.header(base).size_words();
+        let first_id = heap.data(base, 0);
+        heap.set_data(second, 0, first_id);
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::NotCompacted { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_truncated_tospace_walk() {
+        let mut heap = diamond_heap();
+        let snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // A frontier one word short cuts the last object in half.
+        assert!(matches!(
+            verify_collection(&heap, free - 1, &snap),
+            Err(VerifyError::NotCompacted { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_live_volume_mismatch() {
+        let mut heap = diamond_heap();
+        let mut snap = Snapshot::capture(&heap);
+        let free = toy_cheney(&mut heap);
+        // The heap is intact but the snapshot claims one more live word.
+        snap.live_words += 1;
+        assert!(matches!(
+            verify_collection(&heap, free, &snap),
+            Err(VerifyError::LiveWordsMismatch { .. })
+        ));
     }
 }

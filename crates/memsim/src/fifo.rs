@@ -46,7 +46,11 @@ impl HeaderFifo {
     /// FIFO with room for `capacity` headers. Capacity 0 disables the
     /// optimization entirely (every gray header goes through memory).
     pub fn new(capacity: usize) -> HeaderFifo {
-        HeaderFifo { capacity, q: VecDeque::with_capacity(capacity.min(65536)), stats: FifoStats::default() }
+        HeaderFifo {
+            capacity,
+            q: VecDeque::with_capacity(capacity.min(65536)),
+            stats: FifoStats::default(),
+        }
     }
 
     /// Buffer a freshly written gray header. Returns `false` on overflow:

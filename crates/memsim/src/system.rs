@@ -25,6 +25,14 @@ pub struct MemConfig {
     /// that hit complete in one cycle without a DRAM request. `0`
     /// disables it (the paper's baseline).
     pub header_cache_entries: usize,
+    /// Schedule-exploration knob: when set, DRAM starts service for queued
+    /// requests in a seeded pseudo-random order instead of FIFO arrival
+    /// order. Any service order is legal — the only architectural ordering
+    /// requirement (header loads after matching header stores) is enforced
+    /// by the comparator array *before* a request enters the queue — so a
+    /// functional difference under reordering is a collector bug. `None`
+    /// (the default) keeps FIFO service.
+    pub service_reorder_seed: Option<u64>,
 }
 
 impl Default for MemConfig {
@@ -39,6 +47,7 @@ impl Default for MemConfig {
             header_fifo_capacity: 4096,
             extra_latency: 0,
             header_cache_entries: 0,
+            service_reorder_seed: None,
         }
     }
 }
@@ -48,6 +57,13 @@ impl MemConfig {
     /// memory access (bursts included — the paper delays each access).
     pub fn with_extra_latency(mut self, extra: u32) -> MemConfig {
         self.extra_latency = extra;
+        self
+    }
+
+    /// Serve the DRAM queue in a seeded pseudo-random order (schedule
+    /// exploration; see [`MemConfig::service_reorder_seed`]).
+    pub fn with_service_reorder(mut self, seed: u64) -> MemConfig {
+        self.service_reorder_seed = Some(seed);
         self
     }
 }
@@ -67,8 +83,12 @@ pub const PORT_COUNT: usize = 4;
 
 impl Port {
     /// All ports, in index order.
-    pub const ALL: [Port; PORT_COUNT] =
-        [Port::HeaderLoad, Port::HeaderStore, Port::BodyLoad, Port::BodyStore];
+    pub const ALL: [Port; PORT_COUNT] = [
+        Port::HeaderLoad,
+        Port::HeaderStore,
+        Port::BodyLoad,
+        Port::BodyStore,
+    ];
 
     /// Is this a load port?
     pub fn is_load(self) -> bool {
@@ -153,6 +173,8 @@ pub struct MemorySystem {
     /// Timing-only — data always comes from the functional heap; the
     /// cache is write-through and therefore coherent by construction.
     header_cache: Vec<Option<u32>>,
+    /// xorshift state for out-of-order queue service (`None` = FIFO).
+    reorder_state: Option<u64>,
     stats: MemStats,
 }
 
@@ -168,7 +190,25 @@ impl MemorySystem {
             pending_header_stores: Vec::new(),
             last_body_addr: vec![[None; 2]; n_cores],
             header_cache: vec![None; cfg.header_cache_entries],
+            reorder_state: cfg.service_reorder_seed.map(|s| s | 1),
             stats: MemStats::default(),
+        }
+    }
+
+    /// Pop the next request to serve: FIFO normally, a seeded random pick
+    /// under `service_reorder_seed`.
+    fn pop_service(&mut self) -> Option<(usize, Port)> {
+        match self.reorder_state.as_mut() {
+            None => self.queue.pop_front(),
+            Some(state) => {
+                if self.queue.is_empty() {
+                    return None;
+                }
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                self.queue.remove(*state as usize % self.queue.len())
+            }
         }
     }
 
@@ -254,7 +294,9 @@ impl MemorySystem {
             self.stats.queue_busy_cycles += 1;
         }
         for _ in 0..self.cfg.bandwidth {
-            let Some((core, port)) = self.queue.pop_front() else { break };
+            let Some((core, port)) = self.pop_service() else {
+                break;
+            };
             let latency = self.access_latency(core, port);
             if latency == 0 {
                 // Burst continuation: the open-row access completes within
@@ -262,8 +304,10 @@ impl MemorySystem {
                 let txn = self.ports[core][port as usize].take().expect("queued txn");
                 debug_assert_eq!(txn.state, TxnState::Queued);
                 if port.is_load() {
-                    self.ports[core][port as usize] =
-                        Some(Txn { state: TxnState::Complete, ..txn });
+                    self.ports[core][port as usize] = Some(Txn {
+                        state: TxnState::Complete,
+                        ..txn
+                    });
                 } else if port == Port::HeaderStore {
                     remove_one(&mut self.pending_header_stores, txn.addr);
                 }
@@ -273,7 +317,9 @@ impl MemorySystem {
                 .as_mut()
                 .expect("queued transaction must exist");
             debug_assert_eq!(txn.state, TxnState::Queued);
-            txn.state = TxnState::InService { done_at: self.cycle + latency as u64 };
+            txn.state = TxnState::InService {
+                done_at: self.cycle + latency as u64,
+            };
         }
     }
 
@@ -330,7 +376,11 @@ impl MemorySystem {
             // Write-through: the stored header is cached.
             self.cache_fill(addr);
         }
-        self.ports[core][port as usize] = Some(Txn { addr, state, issued_at: self.cycle });
+        self.ports[core][port as usize] = Some(Txn {
+            addr,
+            state,
+            issued_at: self.cycle,
+        });
         if state == TxnState::Queued {
             self.queue.push_back((core, port));
         }
@@ -352,7 +402,10 @@ impl MemorySystem {
         assert!(port.is_load());
         matches!(
             self.ports[core][port as usize],
-            Some(Txn { state: TxnState::Complete, .. })
+            Some(Txn {
+                state: TxnState::Complete,
+                ..
+            })
         )
     }
 
@@ -367,7 +420,11 @@ impl MemorySystem {
         let txn = self.ports[core][port as usize]
             .take()
             .expect("no load in buffer");
-        assert_eq!(txn.state, TxnState::Complete, "load consumed before completion");
+        assert_eq!(
+            txn.state,
+            TxnState::Complete,
+            "load consumed before completion"
+        );
         txn.addr
     }
 
@@ -405,7 +462,10 @@ impl MemorySystem {
 }
 
 fn remove_one(v: &mut Vec<u32>, value: u32) {
-    let idx = v.iter().position(|&x| x == value).expect("pending store missing");
+    let idx = v
+        .iter()
+        .position(|&x| x == value)
+        .expect("pending store missing");
     v.swap_remove(idx);
 }
 
@@ -420,8 +480,7 @@ mod tests {
                 latency: 3,
                 bandwidth: 2,
                 header_fifo_capacity: 16,
-                extra_latency: 0,
-                header_cache_entries: 0,
+                ..MemConfig::default()
             },
         )
     }
@@ -446,12 +505,18 @@ mod tests {
     fn port_busy_until_consumed() {
         let mut m = mem(1);
         assert!(m.try_issue(0, Port::BodyLoad, 1));
-        assert!(!m.try_issue(0, Port::BodyLoad, 2), "buffer holds previous load");
+        assert!(
+            !m.try_issue(0, Port::BodyLoad, 2),
+            "buffer holds previous load"
+        );
         for _ in 0..10 {
             m.tick();
         }
         assert!(m.load_ready(0, Port::BodyLoad));
-        assert!(!m.try_issue(0, Port::BodyLoad, 2), "unconsumed data still occupies buffer");
+        assert!(
+            !m.try_issue(0, Port::BodyLoad, 2),
+            "unconsumed data still occupies buffer"
+        );
         m.consume_load(0, Port::BodyLoad);
         assert!(m.try_issue(0, Port::BodyLoad, 2));
     }
@@ -482,7 +547,10 @@ mod tests {
         // Cores 0 and 1 started at cycle 1 → done at cycle 4.
         assert!(m.load_ready(0, Port::BodyLoad));
         assert!(m.load_ready(1, Port::BodyLoad));
-        assert!(!m.load_ready(2, Port::BodyLoad), "third request started a cycle later");
+        assert!(
+            !m.load_ready(2, Port::BodyLoad),
+            "third request started a cycle later"
+        );
         m.tick();
         assert!(m.load_ready(2, Port::BodyLoad));
     }
@@ -499,7 +567,10 @@ mod tests {
             m.tick();
         }
         assert!(!m.header_store_pending(42));
-        assert!(!m.load_ready(1, Port::HeaderLoad), "load must not bypass the store");
+        assert!(
+            !m.load_ready(1, Port::HeaderLoad),
+            "load must not bypass the store"
+        );
         for _ in 0..4 {
             m.tick();
         }
@@ -553,6 +624,87 @@ mod tests {
         assert!(m.stats().queue_busy_cycles >= 1);
         assert!(m.stats().mean_queue_depth() > 0.0);
     }
+
+    #[test]
+    fn reordered_service_completes_every_request() {
+        let mut m = MemorySystem::new(
+            6,
+            MemConfig {
+                latency: 3,
+                bandwidth: 1,
+                header_fifo_capacity: 16,
+                ..MemConfig::default()
+            }
+            .with_service_reorder(0xC0FFEE),
+        );
+        for c in 0..6 {
+            assert!(m.try_issue(c, Port::BodyLoad, 100 + 2 * c as u32));
+        }
+        for _ in 0..40 {
+            m.tick();
+        }
+        for c in 0..6 {
+            assert!(m.load_ready(c, Port::BodyLoad), "core {c} starved");
+            m.consume_load(c, Port::BodyLoad);
+        }
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn reordered_service_can_invert_arrival_order() {
+        // bandwidth 1 and two queued loads: FIFO always serves core 0
+        // first; some seed must serve core 1 first.
+        let inverted = (0..32u64).any(|seed| {
+            let mut m = MemorySystem::new(
+                2,
+                MemConfig {
+                    latency: 4,
+                    bandwidth: 1,
+                    header_fifo_capacity: 16,
+                    ..MemConfig::default()
+                }
+                .with_service_reorder(seed),
+            );
+            assert!(m.try_issue(0, Port::BodyLoad, 10));
+            assert!(m.try_issue(1, Port::BodyLoad, 20));
+            // First-served request: service starts at cycle 1, retires at
+            // cycle 1 + latency = 5; the other starts a cycle later.
+            for _ in 0..5 {
+                m.tick();
+            }
+            m.load_ready(1, Port::BodyLoad) && !m.load_ready(0, Port::BodyLoad)
+        });
+        assert!(inverted, "no seed inverted the service order");
+    }
+
+    #[test]
+    fn reordered_header_load_still_waits_for_matching_store() {
+        for seed in 0..8u64 {
+            let mut m = MemorySystem::new(
+                2,
+                MemConfig {
+                    latency: 3,
+                    bandwidth: 2,
+                    header_fifo_capacity: 16,
+                    ..MemConfig::default()
+                }
+                .with_service_reorder(seed),
+            );
+            assert!(m.try_issue(0, Port::HeaderStore, 42));
+            assert!(m.try_issue(1, Port::HeaderLoad, 42));
+            while !m.load_ready(1, Port::HeaderLoad) {
+                assert!(
+                    !(m.load_ready(1, Port::HeaderLoad) && m.header_store_pending(42)),
+                    "seed {seed}: load bypassed the store"
+                );
+                m.tick();
+            }
+            assert!(
+                !m.header_store_pending(42),
+                "seed {seed}: store must retire first"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -562,7 +714,10 @@ mod cache_tests {
     fn cached_mem() -> MemorySystem {
         MemorySystem::new(
             2,
-            MemConfig { header_cache_entries: 16, ..MemConfig::default() },
+            MemConfig {
+                header_cache_entries: 16,
+                ..MemConfig::default()
+            },
         )
     }
 
@@ -577,7 +732,10 @@ mod cache_tests {
         m.consume_load(0, Port::HeaderLoad);
         assert!(m.try_issue(1, Port::HeaderLoad, 42));
         m.tick();
-        assert!(m.load_ready(1, Port::HeaderLoad), "warm hit is ready next cycle");
+        assert!(
+            m.load_ready(1, Port::HeaderLoad),
+            "warm hit is ready next cycle"
+        );
         m.consume_load(1, Port::HeaderLoad);
         assert_eq!(m.stats().header_cache_hits, 1);
         assert_eq!(m.stats().header_cache_misses, 1);
@@ -609,7 +767,10 @@ mod cache_tests {
         assert!(m.try_issue(0, Port::HeaderStore, 9));
         assert!(m.try_issue(1, Port::HeaderLoad, 9));
         m.tick();
-        assert!(!m.load_ready(1, Port::HeaderLoad), "must not bypass the pending store");
+        assert!(
+            !m.load_ready(1, Port::HeaderLoad),
+            "must not bypass the pending store"
+        );
         for _ in 0..10 {
             m.tick();
         }
@@ -621,7 +782,10 @@ mod cache_tests {
     fn conflicting_tags_evict() {
         let mut m = MemorySystem::new(
             1,
-            MemConfig { header_cache_entries: 4, ..MemConfig::default() },
+            MemConfig {
+                header_cache_entries: 4,
+                ..MemConfig::default()
+            },
         );
         for addr in [4u32, 8] {
             // both map to set 0
@@ -650,6 +814,9 @@ mod cache_tests {
             m.tick();
         }
         m.consume_load(0, Port::HeaderLoad);
-        assert_eq!(m.stats().header_cache_hits + m.stats().header_cache_misses, 0);
+        assert_eq!(
+            m.stats().header_cache_hits + m.stats().header_cache_misses,
+            0
+        );
     }
 }

@@ -13,8 +13,11 @@ enum Op {
 fn ops(cores: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            ((0..cores), (0..PORT_COUNT), (0u32..64))
-                .prop_map(|(core, port, addr)| Op::Issue { core, port, addr }),
+            ((0..cores), (0..PORT_COUNT), (0u32..64)).prop_map(|(core, port, addr)| Op::Issue {
+                core,
+                port,
+                addr
+            }),
             Just(Op::Tick),
             ((0..cores), prop_oneof![Just(0usize), Just(2)])
                 .prop_map(|(core, port)| Op::Consume { core, port }),

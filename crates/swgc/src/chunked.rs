@@ -32,7 +32,9 @@ pub struct Chunked {
 
 impl Default for Chunked {
     fn default() -> Chunked {
-        Chunked { chunk_words: CHUNK_WORDS }
+        Chunked {
+            chunk_words: CHUNK_WORDS,
+        }
     }
 }
 
@@ -61,7 +63,10 @@ impl Shared {
         ops.shared_fetch_add += 1;
         let idx = self.next_chunk.fetch_add(n, Ordering::Relaxed);
         let base = self.to_base + idx * self.chunk_words;
-        assert!(base + n * self.chunk_words <= self.to_limit, "tospace overflow");
+        assert!(
+            base + n * self.chunk_words <= self.to_limit,
+            "tospace overflow"
+        );
         base
     }
 }
@@ -236,7 +241,10 @@ impl SwCollector for Chunked {
         }
         // Hand the root chunk's unscanned content to the pool.
         if root_state.scanned < root_state.fill {
-            shared.dirty.lock().push((root_state.scanned, root_state.fill));
+            shared
+                .dirty
+                .lock()
+                .push((root_state.scanned, root_state.fill));
             root_state.scanned = root_state.fill;
         }
         root_state.fragmentation += (root_state.limit - root_state.fill) as u64;

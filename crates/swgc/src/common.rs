@@ -137,7 +137,9 @@ impl<'a> LabAllocator<'a> {
         if self.cur + size > self.end {
             self.fragmentation += (self.end - self.cur) as u64;
             self.shared_fetch_adds += 1;
-            let a = self.shared_free.fetch_add(self.lab_words, Ordering::Relaxed);
+            let a = self
+                .shared_free
+                .fetch_add(self.lab_words, Ordering::Relaxed);
             assert!(a + self.lab_words <= self.limit, "tospace overflow");
             self.cur = a;
             self.end = a + self.lab_words;
@@ -150,7 +152,10 @@ impl<'a> LabAllocator<'a> {
     /// Retire the allocator, returning (fragmentation including the
     /// current LAB tail, number of shared fetch-adds performed).
     pub fn finish(self) -> (u64, u64) {
-        (self.fragmentation + (self.end - self.cur) as u64, self.shared_fetch_adds)
+        (
+            self.fragmentation + (self.end - self.cur) as u64,
+            self.shared_fetch_adds,
+        )
     }
 }
 
@@ -247,7 +252,10 @@ pub fn scan_copied_object(
         if child == NULL {
             continue;
         }
-        debug_assert!(arena.in_fromspace(child), "pointer {child} escapes fromspace");
+        debug_assert!(
+            arena.in_fromspace(child),
+            "pointer {child} escapes fromspace"
+        );
         let (fwd, won) = evacuate_now(arena, lab, child, ops);
         if won {
             copied_words += header::size_of_w0(arena.load(child)) as u64;
@@ -349,8 +357,7 @@ mod tests {
         let mut ops = SwSyncOps::default();
         let (pcopy, _) = evacuate_now(&arena, &mut lab, parent, &mut ops);
         let mut new = Vec::new();
-        let (words, _) =
-            scan_copied_object(&arena, &mut lab, pcopy, &mut ops, |a| new.push(a));
+        let (words, _) = scan_copied_object(&arena, &mut lab, pcopy, &mut ops, |a| new.push(a));
         assert_eq!(new.len(), 1);
         assert_eq!(words, 3);
         let h = arena.header(pcopy);

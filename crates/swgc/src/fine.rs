@@ -80,7 +80,8 @@ impl Shared<'_> {
 
     /// Unlock a header by storing word 0 without the spin bit.
     fn unlock_header(&self, obj: Addr, w0: u32) {
-        self.arena_word(obj as usize).store(w0 & !SW_LOCK_BIT, Ordering::Release);
+        self.arena_word(obj as usize)
+            .store(w0 & !SW_LOCK_BIT, Ordering::Release);
     }
 
     fn arena_word(&self, idx: usize) -> &AtomicU32 {
@@ -252,9 +253,10 @@ fn worker(shared: &Shared<'_>, tid: usize) -> (SwSyncOps, u64, u64) {
             shared.arena.store(scan + 2 + slot, fwd);
         }
         for slot in 0..delta {
-            shared
-                .arena
-                .store(scan + 2 + pi + slot, shared.arena.load(backlink + 2 + pi + slot));
+            shared.arena.store(
+                scan + 2 + pi + slot,
+                shared.arena.load(backlink + 2 + pi + slot),
+            );
         }
         let (bw0, bw1) = Header::black(pi, delta).encode();
         shared.arena.store(scan, bw0);

@@ -35,7 +35,10 @@ pub struct Packets {
 
 impl Default for Packets {
     fn default() -> Packets {
-        Packets { packet_size: PACKET_SIZE, lab_words: LAB_WORDS }
+        Packets {
+            packet_size: PACKET_SIZE,
+            lab_words: LAB_WORDS,
+        }
     }
 }
 
@@ -97,7 +100,14 @@ impl SwCollector for Packets {
                     let inflight = &inflight;
                     let shared_free = &shared_free;
                     s.spawn(move || {
-                        worker(arena, pool, inflight, shared_free, self.packet_size, self.lab_words)
+                        worker(
+                            arena,
+                            pool,
+                            inflight,
+                            shared_free,
+                            self.packet_size,
+                            self.lab_words,
+                        )
                     })
                 })
                 .collect::<Vec<_>>()
@@ -217,7 +227,10 @@ mod tests {
         let root = hwgc_workloads::generators::kary_tree(&mut b, 6, 3, 2, &mut s);
         b.root(root);
         let snap = Snapshot::capture(&heap);
-        let collector = Packets { packet_size: 1, ..Packets::default() };
+        let collector = Packets {
+            packet_size: 1,
+            ..Packets::default()
+        };
         let report = collector.collect(&mut heap, 4);
         verify_collection_relaxed(&heap, report.free, &snap).unwrap();
         assert!(report.ops.lock_acquisitions as usize >= snap.live_objects());

@@ -28,7 +28,9 @@ pub struct WorkStealing {
 
 impl Default for WorkStealing {
     fn default() -> WorkStealing {
-        WorkStealing { lab_words: LAB_WORDS }
+        WorkStealing {
+            lab_words: LAB_WORDS,
+        }
     }
 }
 
@@ -89,7 +91,16 @@ impl SwCollector for WorkStealing {
                     let shared_free = &shared_free;
                     let lab_words = self.lab_words;
                     s.spawn(move || {
-                        run_worker(arena, worker, stealers, injector, inflight, shared_free, lab_words, tid)
+                        run_worker(
+                            arena,
+                            worker,
+                            stealers,
+                            injector,
+                            inflight,
+                            shared_free,
+                            lab_words,
+                            tid,
+                        )
                     })
                 })
                 .collect::<Vec<_>>()

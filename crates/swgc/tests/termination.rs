@@ -1,0 +1,95 @@
+//! Termination edge cases for the software collectors: eight threads
+//! racing over no work (empty roots) or almost no work (a single object)
+//! must all reach the work-counting termination barrier and exit. These
+//! are the configurations where a miscounted `Inflight` or a lost wakeup
+//! hangs the collection forever, so every test here doubles as a liveness
+//! check — a regression shows up as a test timeout, not an assertion.
+
+use hwgc_heap::{verify_collection, verify_collection_relaxed, Heap, Snapshot};
+use hwgc_swgc::{FineGrained, SwCollector, WorkStealing};
+
+const THREADS: usize = 8;
+/// Repetitions per scenario: races near the termination barrier are
+/// timing-dependent, so each shape is run many times.
+const REPS: usize = 25;
+
+/// A heap with no objects and no roots at all.
+fn empty_heap() -> Heap {
+    Heap::new(4096)
+}
+
+/// A heap with live data but an empty root set: everything is garbage,
+/// and the collectors must copy nothing.
+fn garbage_only_heap() -> Heap {
+    let mut heap = Heap::new(4096);
+    let a = heap.alloc(1, 1).unwrap();
+    let b = heap.alloc(1, 1).unwrap();
+    heap.set_ptr(a, 0, b);
+    heap.set_ptr(b, 0, a);
+    heap
+}
+
+/// One rooted object with no children: exactly one thread wins the only
+/// evacuation and seven find the worklist empty from the start.
+fn single_object_heap() -> Heap {
+    let mut heap = Heap::new(4096);
+    let obj = heap.alloc(0, 2).unwrap();
+    heap.set_data(obj, 0, 11);
+    heap.set_data(obj, 1, 22);
+    heap.add_root(obj);
+    heap
+}
+
+fn fine_grained_collects(make: fn() -> Heap, expect_copied: u64) {
+    for rep in 0..REPS {
+        let mut heap = make();
+        let snapshot = Snapshot::capture(&heap);
+        let report = FineGrained::new().collect(&mut heap, THREADS);
+        assert_eq!(report.objects_copied, expect_copied, "rep {rep}");
+        verify_collection(&heap, report.free, &snapshot)
+            .unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+    }
+}
+
+fn work_stealing_collects(make: fn() -> Heap, expect_copied: u64) {
+    for rep in 0..REPS {
+        let mut heap = make();
+        let snapshot = Snapshot::capture(&heap);
+        // Small LABs so eight threads fit in the small tospace even if
+        // every one of them grabs a buffer.
+        let report = WorkStealing { lab_words: 64 }.collect(&mut heap, THREADS);
+        assert_eq!(report.objects_copied, expect_copied, "rep {rep}");
+        verify_collection_relaxed(&heap, report.free, &snapshot)
+            .unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+    }
+}
+
+#[test]
+fn fine_grained_terminates_with_empty_roots() {
+    fine_grained_collects(empty_heap, 0);
+}
+
+#[test]
+fn fine_grained_terminates_with_garbage_only() {
+    fine_grained_collects(garbage_only_heap, 0);
+}
+
+#[test]
+fn fine_grained_terminates_with_single_object() {
+    fine_grained_collects(single_object_heap, 1);
+}
+
+#[test]
+fn work_stealing_terminates_with_empty_roots() {
+    work_stealing_collects(empty_heap, 0);
+}
+
+#[test]
+fn work_stealing_terminates_with_garbage_only() {
+    work_stealing_collects(garbage_only_heap, 0);
+}
+
+#[test]
+fn work_stealing_terminates_with_single_object() {
+    work_stealing_collects(single_object_heap, 1);
+}

@@ -20,7 +20,11 @@ impl Barrier {
     /// Barrier across `n_cores` cores.
     pub fn new(n_cores: usize) -> Barrier {
         assert!(n_cores > 0);
-        Barrier { n_cores, arrived: vec![false; n_cores], generation: 0 }
+        Barrier {
+            n_cores,
+            arrived: vec![false; n_cores],
+            generation: 0,
+        }
     }
 
     /// `core` executes a synchronizing micro-instruction this cycle.

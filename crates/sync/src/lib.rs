@@ -27,4 +27,4 @@ pub mod sb;
 pub mod sw;
 
 pub use barrier::Barrier;
-pub use sb::{LockKind, SyncBlock, SyncStats};
+pub use sb::{LockKind, SbEvent, SbEventRecord, SyncBlock, SyncStats};

@@ -9,6 +9,81 @@ pub enum LockKind {
     Header,
 }
 
+/// One SB operation, as recorded by the opt-in event log (see
+/// [`SyncBlock::enable_event_log`]). Events carry the acting core and, for
+/// register writes, the observed old and new values — enough for an
+/// offline checker to replay the SB's state and flag any behaviour that
+/// would violate the collector's three invariants (exactly-once claim,
+/// exactly-once evacuation, exclusive tospace areas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbEvent {
+    /// `init_pointers`: both registers initialised (start of a cycle).
+    Init {
+        scan: u32,
+        free: u32,
+    },
+    AcquireScan {
+        core: usize,
+    },
+    FailScan {
+        core: usize,
+    },
+    ReleaseScan {
+        core: usize,
+    },
+    SetScan {
+        core: usize,
+        from: u32,
+        to: u32,
+    },
+    AcquireFree {
+        core: usize,
+    },
+    FailFree {
+        core: usize,
+    },
+    ReleaseFree {
+        core: usize,
+    },
+    SetFree {
+        core: usize,
+        from: u32,
+        to: u32,
+    },
+    LockHeader {
+        core: usize,
+        addr: u32,
+    },
+    FailHeader {
+        core: usize,
+        addr: u32,
+    },
+    UnlockHeader {
+        core: usize,
+        addr: u32,
+    },
+    SetBusy {
+        core: usize,
+    },
+    ClearBusy {
+        core: usize,
+    },
+    /// A core observed `scan == free` with every other busy bit clear and
+    /// declared the collection finished (the atomic termination test).
+    Termination {
+        core: usize,
+    },
+}
+
+/// An [`SbEvent`] stamped with the SB clock cycle it occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbEventRecord {
+    /// SB cycle number ([`SyncBlock::begin_cycle`] count, adjusted by the
+    /// engine so it matches the engine's cycle numbering).
+    pub cycle: u64,
+    pub event: SbEvent,
+}
+
 /// Contention counters maintained by the SB model.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyncStats {
@@ -70,6 +145,12 @@ pub struct SyncBlock {
     /// would-be writer cannot acquire the lock until the next cycle.
     scan_written: bool,
     free_written: bool,
+    /// SB clock: number of `begin_cycle` calls (adjustable via
+    /// `set_cycle` so event stamps match the engine's numbering).
+    cycle: u64,
+    /// Cycle-stamped operation log; `None` (the default) records nothing
+    /// and costs nothing.
+    events: Option<Vec<SbEventRecord>>,
     stats: SyncStats,
 }
 
@@ -90,8 +171,57 @@ impl SyncBlock {
             splits: Vec::new(),
             scan_written: false,
             free_written: false,
+            cycle: 0,
+            events: None,
             stats: SyncStats::default(),
         }
+    }
+
+    // --- event log -----------------------------------------------------
+
+    /// Turn on the cycle-stamped operation log. Intended for checkers and
+    /// test harnesses; the engine leaves it off by default.
+    pub fn enable_event_log(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    /// The recorded events, if logging is enabled.
+    pub fn event_log(&self) -> Option<&[SbEventRecord]> {
+        self.events.as_deref()
+    }
+
+    /// Take ownership of the recorded events (empty if logging was off).
+    pub fn take_event_log(&mut self) -> Vec<SbEventRecord> {
+        self.events.take().unwrap_or_default()
+    }
+
+    /// Current SB cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Align the SB clock with an external cycle counter (the engine does
+    /// this after the sequential root phase, whose per-root `begin_cycle`
+    /// calls undercount its multi-cycle cost).
+    pub fn set_cycle(&mut self, cycle: u64) {
+        assert!(cycle >= self.cycle, "SB clock may not go backwards");
+        self.cycle = cycle;
+    }
+
+    fn log(&mut self, event: SbEvent) {
+        if let Some(events) = &mut self.events {
+            events.push(SbEventRecord {
+                cycle: self.cycle,
+                event,
+            });
+        }
+    }
+
+    /// Record that `core` detected termination (`scan == free`, no other
+    /// busy bits). Called by the core microprogram, which is where the
+    /// atomic ScanState + comparison read happens.
+    pub fn log_termination(&mut self, core: usize) {
+        self.log(SbEvent::Termination { core });
     }
 
     /// Number of cores this SB serves.
@@ -115,6 +245,7 @@ impl SyncBlock {
     pub fn init_pointers(&mut self, scan: u32, free: u32) {
         self.scan = scan;
         self.free = free;
+        self.log(SbEvent::Init { scan, free });
     }
 
     /// Write `scan`; only the lock owner may do this, at most once per
@@ -122,6 +253,11 @@ impl SyncBlock {
     pub fn set_scan(&mut self, core: usize, value: u32) {
         assert_eq!(self.scan_owner, Some(core), "scan write without lock");
         debug_assert!(!self.scan_written, "two scan writes in one cycle");
+        self.log(SbEvent::SetScan {
+            core,
+            from: self.scan,
+            to: value,
+        });
         self.scan = value;
         self.scan_written = true;
     }
@@ -131,6 +267,11 @@ impl SyncBlock {
     pub fn set_free(&mut self, core: usize, value: u32) {
         assert_eq!(self.free_owner, Some(core), "free write without lock");
         debug_assert!(!self.free_written, "two free writes in one cycle");
+        self.log(SbEvent::SetFree {
+            core,
+            from: self.free,
+            to: value,
+        });
         self.free = value;
         self.free_written = true;
     }
@@ -140,6 +281,7 @@ impl SyncBlock {
     pub fn begin_cycle(&mut self) {
         self.scan_written = false;
         self.free_written = false;
+        self.cycle += 1;
     }
 
     /// Attempt to acquire the `scan` lock. Zero-cost when uncontended,
@@ -148,17 +290,20 @@ impl SyncBlock {
     pub fn try_acquire_scan(&mut self, core: usize) -> bool {
         if self.scan_written && self.scan_owner.is_none() {
             self.stats.failed_attempts[0] += 1;
+            self.log(SbEvent::FailScan { core });
             return false;
         }
         match self.scan_owner {
             None => {
                 self.scan_owner = Some(core);
                 self.stats.acquisitions[0] += 1;
+                self.log(SbEvent::AcquireScan { core });
                 true
             }
             Some(owner) => {
                 debug_assert_ne!(owner, core, "recursive scan lock");
                 self.stats.failed_attempts[0] += 1;
+                self.log(SbEvent::FailScan { core });
                 false
             }
         }
@@ -168,6 +313,7 @@ impl SyncBlock {
     pub fn release_scan(&mut self, core: usize) {
         assert_eq!(self.scan_owner, Some(core), "scan release without lock");
         self.scan_owner = None;
+        self.log(SbEvent::ReleaseScan { core });
     }
 
     /// Attempt to acquire the `free` lock. Zero-cost when uncontended,
@@ -175,17 +321,20 @@ impl SyncBlock {
     pub fn try_acquire_free(&mut self, core: usize) -> bool {
         if self.free_written && self.free_owner.is_none() {
             self.stats.failed_attempts[1] += 1;
+            self.log(SbEvent::FailFree { core });
             return false;
         }
         match self.free_owner {
             None => {
                 self.free_owner = Some(core);
                 self.stats.acquisitions[1] += 1;
+                self.log(SbEvent::AcquireFree { core });
                 true
             }
             Some(owner) => {
                 debug_assert_ne!(owner, core, "recursive free lock");
                 self.stats.failed_attempts[1] += 1;
+                self.log(SbEvent::FailFree { core });
                 false
             }
         }
@@ -195,6 +344,7 @@ impl SyncBlock {
     pub fn release_free(&mut self, core: usize) {
         assert_eq!(self.free_owner, Some(core), "free release without lock");
         self.free_owner = None;
+        self.log(SbEvent::ReleaseFree { core });
     }
 
     /// Does `core` currently hold the `scan` lock?
@@ -229,10 +379,12 @@ impl SyncBlock {
             .any(|(c, &reg)| c != core && reg == Some(addr));
         if taken {
             self.stats.failed_attempts[2] += 1;
+            self.log(SbEvent::FailHeader { core, addr });
             false
         } else {
             if self.header_regs[core] != Some(addr) {
                 self.stats.acquisitions[2] += 1;
+                self.log(SbEvent::LockHeader { core, addr });
             }
             self.header_regs[core] = Some(addr);
             true
@@ -241,8 +393,9 @@ impl SyncBlock {
 
     /// Release `core`'s header lock.
     pub fn unlock_header(&mut self, core: usize) {
-        assert!(self.header_regs[core].is_some(), "header unlock without lock");
+        let addr = self.header_regs[core].expect("header unlock without lock");
         self.header_regs[core] = None;
+        self.log(SbEvent::UnlockHeader { core, addr });
     }
 
     /// The address currently locked by `core`, if any.
@@ -255,11 +408,13 @@ impl SyncBlock {
     /// Set `core`'s busy bit (entering the main scanning loop).
     pub fn set_busy(&mut self, core: usize) {
         self.busy[core] = true;
+        self.log(SbEvent::SetBusy { core });
     }
 
     /// Clear `core`'s busy bit.
     pub fn clear_busy(&mut self, core: usize) {
         self.busy[core] = false;
+        self.log(SbEvent::ClearBusy { core });
     }
 
     /// Is `core` busy?
@@ -271,7 +426,10 @@ impl SyncBlock {
     /// other than `observer` is busy. Used together with the `scan == free`
     /// comparison for termination detection.
     pub fn none_busy_except(&self, observer: usize) -> bool {
-        self.busy.iter().enumerate().all(|(c, &b)| c == observer || !b)
+        self.busy
+            .iter()
+            .enumerate()
+            .all(|(c, &b)| c == observer || !b)
     }
 
     /// Number of busy cores (monitoring).
@@ -289,7 +447,11 @@ impl SyncBlock {
 
     /// Set the claimed-body offset (scan-lock holder only).
     pub fn set_scan_chunk_off(&mut self, core: usize, off: u32) {
-        assert_eq!(self.scan_owner, Some(core), "chunk-off write without scan lock");
+        assert_eq!(
+            self.scan_owner,
+            Some(core),
+            "chunk-off write without scan lock"
+        );
         self.scan_chunk_off = off;
     }
 
@@ -328,7 +490,10 @@ impl SyncBlock {
     pub fn assert_quiescent(&self) {
         assert!(self.scan_owner.is_none(), "scan lock leaked");
         assert!(self.free_owner.is_none(), "free lock leaked");
-        assert!(self.header_regs.iter().all(Option::is_none), "header lock leaked");
+        assert!(
+            self.header_regs.iter().all(Option::is_none),
+            "header lock leaked"
+        );
         assert!(self.busy.iter().all(|&b| !b), "busy bit leaked");
         assert!(self.splits.is_empty(), "split object leaked");
         assert_eq!(self.scan_chunk_off, 0, "chunk offset leaked");
@@ -441,5 +606,94 @@ mod tests {
         let mut sb = SyncBlock::new(2);
         assert!(sb.try_acquire_scan(0));
         sb.assert_quiescent();
+    }
+
+    #[test]
+    fn event_log_off_by_default() {
+        let mut sb = SyncBlock::new(2);
+        assert!(sb.try_acquire_scan(0));
+        sb.release_scan(0);
+        assert!(sb.event_log().is_none());
+        assert!(sb.take_event_log().is_empty());
+    }
+
+    #[test]
+    fn event_log_records_cycle_stamped_operations() {
+        let mut sb = SyncBlock::new(2);
+        sb.enable_event_log();
+        sb.init_pointers(100, 100);
+        sb.begin_cycle(); // cycle 1
+        assert!(sb.try_acquire_free(0));
+        sb.set_free(0, 110);
+        sb.release_free(0);
+        sb.begin_cycle(); // cycle 2
+        assert!(sb.try_lock_header(1, 0xA0));
+        assert!(!sb.try_lock_header(0, 0xA0));
+        sb.unlock_header(1);
+        sb.log_termination(0);
+        let events = sb.take_event_log();
+        assert_eq!(
+            events,
+            vec![
+                SbEventRecord {
+                    cycle: 0,
+                    event: SbEvent::Init {
+                        scan: 100,
+                        free: 100
+                    }
+                },
+                SbEventRecord {
+                    cycle: 1,
+                    event: SbEvent::AcquireFree { core: 0 }
+                },
+                SbEventRecord {
+                    cycle: 1,
+                    event: SbEvent::SetFree {
+                        core: 0,
+                        from: 100,
+                        to: 110
+                    }
+                },
+                SbEventRecord {
+                    cycle: 1,
+                    event: SbEvent::ReleaseFree { core: 0 }
+                },
+                SbEventRecord {
+                    cycle: 2,
+                    event: SbEvent::LockHeader {
+                        core: 1,
+                        addr: 0xA0
+                    }
+                },
+                SbEventRecord {
+                    cycle: 2,
+                    event: SbEvent::FailHeader {
+                        core: 0,
+                        addr: 0xA0
+                    }
+                },
+                SbEventRecord {
+                    cycle: 2,
+                    event: SbEvent::UnlockHeader {
+                        core: 1,
+                        addr: 0xA0
+                    }
+                },
+                SbEventRecord {
+                    cycle: 2,
+                    event: SbEvent::Termination { core: 0 }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn set_cycle_aligns_the_clock() {
+        let mut sb = SyncBlock::new(1);
+        sb.begin_cycle();
+        assert_eq!(sb.cycle(), 1);
+        sb.set_cycle(10);
+        sb.begin_cycle();
+        assert_eq!(sb.cycle(), 11);
     }
 }

@@ -59,7 +59,10 @@ impl TicketLock {
 
     /// (acquisitions, spin iterations) so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.acquisitions.load(Ordering::Relaxed), self.spins.load(Ordering::Relaxed))
+        (
+            self.acquisitions.load(Ordering::Relaxed),
+            self.spins.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -86,7 +89,11 @@ impl SpinBarrier {
     /// Barrier across `n` threads.
     pub fn new(n: usize) -> SpinBarrier {
         assert!(n > 0);
-        SpinBarrier { n: n as u32, count: AtomicU32::new(0), generation: AtomicU32::new(0) }
+        SpinBarrier {
+            n: n as u32,
+            count: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+        }
     }
 
     /// Block (spin) until all `n` threads have arrived.
@@ -195,7 +202,11 @@ mod tests {
 
     #[test]
     fn sync_ops_merge() {
-        let mut a = SwSyncOps { header_cas: 1, shared_fetch_add: 2, ..Default::default() };
+        let mut a = SwSyncOps {
+            header_cas: 1,
+            shared_fetch_add: 2,
+            ..Default::default()
+        };
         let b = SwSyncOps {
             header_cas: 10,
             header_cas_failed: 3,

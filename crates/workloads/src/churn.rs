@@ -81,7 +81,13 @@ impl Churn {
         // The table is object id 1.
         heap.set_data(table, 0, 1);
         heap.add_root(table);
-        Churn { heap, rng: SmallRng::seed_from_u64(spec.seed), spec, next_id: 2, steps_since_gc: 0 }
+        Churn {
+            heap,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            spec,
+            next_id: 2,
+            steps_since_gc: 0,
+        }
     }
 
     /// The heap (e.g. to hand to a collector).
@@ -171,7 +177,10 @@ mod tests {
 
     #[test]
     fn churn_steps_until_full() {
-        let mut churn = Churn::new(ChurnSpec { semi_words: 4096, ..ChurnSpec::default() });
+        let mut churn = Churn::new(ChurnSpec {
+            semi_words: 4096,
+            ..ChurnSpec::default()
+        });
         let mut steps = 0u64;
         while churn.step() == StepOutcome::Ok {
             steps += 1;
@@ -182,7 +191,10 @@ mod tests {
 
     #[test]
     fn churn_graph_is_snapshotable() {
-        let mut churn = Churn::new(ChurnSpec { semi_words: 8192, ..ChurnSpec::default() });
+        let mut churn = Churn::new(ChurnSpec {
+            semi_words: 8192,
+            ..ChurnSpec::default()
+        });
         while churn.step() == StepOutcome::Ok {}
         let snap = Snapshot::capture(churn.heap());
         assert!(snap.live_objects() > 1);
@@ -193,7 +205,10 @@ mod tests {
     #[test]
     fn churn_is_deterministic() {
         let run = || {
-            let mut churn = Churn::new(ChurnSpec { semi_words: 8192, ..ChurnSpec::default() });
+            let mut churn = Churn::new(ChurnSpec {
+                semi_words: 8192,
+                ..ChurnSpec::default()
+            });
             let mut steps = 0;
             while churn.step() == StepOutcome::Ok {
                 steps += 1;

@@ -198,7 +198,10 @@ pub fn wide_fanout(
 ) -> ObjId {
     assert!((1..=hwgc_heap::MAX_FIELD).contains(&arity));
     let n_arrays = width.div_ceil(arity as usize);
-    assert!(n_arrays <= hwgc_heap::MAX_FIELD as usize, "width too large for two levels");
+    assert!(
+        n_arrays <= hwgc_heap::MAX_FIELD as usize,
+        "width too large for two levels"
+    );
     let root = b.add(n_arrays as u32, 1).expect("fromspace full");
     stats.count(n_arrays as u32, 1);
     let mut remaining = width;
@@ -288,7 +291,10 @@ pub fn random_graph(
     stats: &mut GenStats,
 ) -> ObjId {
     assert!(n >= 1);
-    assert!(pi_range.0 >= 1, "objects need a slot for the connectivity edge");
+    assert!(
+        pi_range.0 >= 1,
+        "objects need a slot for the connectivity edge"
+    );
     let mut objs: Vec<ObjId> = Vec::with_capacity(n);
     let mut free_slots: Vec<(ObjId, u32)> = Vec::new();
     for _ in 0..n {

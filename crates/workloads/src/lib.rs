@@ -34,9 +34,9 @@ pub mod churn;
 pub mod generators;
 pub mod presets;
 
+pub use churn::{Churn, ChurnSpec, StepOutcome};
 pub use generators::{
     big_array_chain, hub_graph, kary_tree, linear_chain, parallel_chains, random_graph,
     serial_chain, wide_fanout, GenStats,
 };
-pub use churn::{Churn, ChurnSpec, StepOutcome};
 pub use presets::{Preset, WorkloadSpec};

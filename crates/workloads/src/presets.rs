@@ -75,7 +75,12 @@ impl Preset {
 
     /// Build the preset's heap at scale 1 with the given seed.
     pub fn build(&self, seed: u64) -> Heap {
-        WorkloadSpec { preset: *self, seed, scale: 1.0 }.build()
+        WorkloadSpec {
+            preset: *self,
+            seed,
+            scale: 1.0,
+        }
+        .build()
     }
 }
 
@@ -98,7 +103,11 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Convenience constructor at scale 1.
     pub fn new(preset: Preset, seed: u64) -> WorkloadSpec {
-        WorkloadSpec { preset, seed, scale: 1.0 }
+        WorkloadSpec {
+            preset,
+            seed,
+            scale: 1.0,
+        }
     }
 
     fn scaled(&self, n: usize) -> usize {
@@ -119,9 +128,7 @@ impl WorkloadSpec {
             Preset::Compress => {
                 serial_chain(&mut b, self.scaled(2_500), 2, 16, 1, 12, 2, &mut stats)
             }
-            Preset::Search => {
-                serial_chain(&mut b, self.scaled(2_500), 1, 24, 1, 4, 8, &mut stats)
-            }
+            Preset::Search => serial_chain(&mut b, self.scaled(2_500), 1, 24, 1, 4, 8, &mut stats),
             Preset::Cup => wide_fanout(&mut b, self.scaled(4_600), 100, 8, 1, 4, &mut stats),
             Preset::Db => random_graph(
                 &mut b,
@@ -132,9 +139,7 @@ impl WorkloadSpec {
                 &mut rng,
                 &mut stats,
             ),
-            Preset::Javac => {
-                hub_graph(&mut b, self.scaled(12_000), 4, 6, 4, &mut rng, &mut stats)
-            }
+            Preset::Javac => hub_graph(&mut b, self.scaled(12_000), 4, 6, 4, &mut rng, &mut stats),
             Preset::Javacc => random_graph(
                 &mut b,
                 self.scaled(3_500),
@@ -217,8 +222,11 @@ mod tests {
         // not guaranteed, but the edge structure should differ.
         assert_eq!(a.objects.len(), b.objects.len());
         let edges = |s: &Snapshot| -> Vec<(u32, Vec<Option<u32>>)> {
-            let mut v: Vec<_> =
-                s.objects.iter().map(|(k, r)| (*k, r.children.clone())).collect();
+            let mut v: Vec<_> = s
+                .objects
+                .iter()
+                .map(|(k, r)| (*k, r.children.clone()))
+                .collect();
             v.sort();
             v
         };
@@ -227,8 +235,16 @@ mod tests {
 
     #[test]
     fn scale_changes_size() {
-        let small = WorkloadSpec { preset: Preset::Javacc, seed: 3, scale: 0.1 };
-        let big = WorkloadSpec { preset: Preset::Javacc, seed: 3, scale: 1.0 };
+        let small = WorkloadSpec {
+            preset: Preset::Javacc,
+            seed: 3,
+            scale: 0.1,
+        };
+        let big = WorkloadSpec {
+            preset: Preset::Javacc,
+            seed: 3,
+            scale: 1.0,
+        };
         let a = Snapshot::capture(&small.build());
         let b = Snapshot::capture(&big.build());
         assert!(a.live_objects() * 5 < b.live_objects());
@@ -264,7 +280,10 @@ mod tests {
                     .count();
                 assert!(interior_children <= 1, "{p} spine must be linear");
             }
-            assert!(in_degree.values().all(|&d| d == 1), "{p} must be tree-shaped");
+            assert!(
+                in_degree.values().all(|&d| d == 1),
+                "{p} must be tree-shaped"
+            );
         }
     }
 }

@@ -21,7 +21,10 @@ fn main() {
     // for the whole cycle.
     let mut heap = spec.build();
     let stw = SimCollector::new(GcConfig::with_cores(8)).collect(&mut heap);
-    println!("stop-the-world: {} cycles — the application is paused throughout", stw.stats.total_cycles);
+    println!(
+        "stop-the-world: {} cycles — the application is paused throughout",
+        stw.stats.total_cycles
+    );
     println!(
         "               at the prototype's 25 MHz that is a {:.2} ms pause",
         stw.stats.total_cycles as f64 / 25_000.0
@@ -36,7 +39,10 @@ fn main() {
         &heap,
         out.free,
         &snapshot,
-        VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+        VerifyOptions {
+            allow_unknown_objects: true,
+            ..VerifyOptions::default()
+        },
     )
     .expect("concurrent collection is correct");
 
@@ -47,13 +53,32 @@ fn main() {
         out.stats.total_cycles,
         100.0 * (out.stats.total_cycles as f64 / stw.stats.total_cycles as f64 - 1.0)
     );
-    println!("  completed {} actions ({:.0} % utilization)", m.actions, m.utilization(out.stats.total_cycles) * 100.0);
-    println!("  {} pointer loads, {} data loads, {} data writes", m.pointer_loads, m.data_loads, m.data_writes);
-    println!("  allocated {} objects (black, safe from the wavefront)", m.allocations);
+    println!(
+        "  completed {} actions ({:.0} % utilization)",
+        m.actions,
+        m.utilization(out.stats.total_cycles) * 100.0
+    );
+    println!(
+        "  {} pointer loads, {} data loads, {} data writes",
+        m.pointer_loads, m.data_loads, m.data_writes
+    );
+    println!(
+        "  allocated {} objects (black, safe from the wavefront)",
+        m.allocations
+    );
     println!();
     println!("read-barrier work that replaced the pause:");
-    println!("  {} accesses redirected through a gray frame's backlink", m.backlink_redirects);
-    println!("  {} fromspace pointers translated via forwarding pointers", m.barrier_forwards);
-    println!("  {} objects evacuated by the barrier itself", m.barrier_evacuations);
+    println!(
+        "  {} accesses redirected through a gray frame's backlink",
+        m.backlink_redirects
+    );
+    println!(
+        "  {} fromspace pointers translated via forwarding pointers",
+        m.barrier_forwards
+    );
+    println!(
+        "  {} objects evacuated by the barrier itself",
+        m.barrier_evacuations
+    );
     println!("  {} cycles spent waiting on the collector", m.stall_cycles);
 }

@@ -22,7 +22,10 @@ fn main() {
         .unwrap_or(Preset::Db);
     let spec = WorkloadSpec::new(preset, 42);
     println!("sizing the coprocessor for the `{preset}` workload\n");
-    println!("{:>6}  {:>12}  {:>8}  {:>14}", "cores", "GC cycles", "speedup", "efficiency");
+    println!(
+        "{:>6}  {:>12}  {:>8}  {:>14}",
+        "cores", "GC cycles", "speedup", "efficiency"
+    );
 
     let mut results = Vec::new();
     for cores in [1usize, 2, 3, 4, 6, 8, 12, 16] {

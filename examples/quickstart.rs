@@ -42,9 +42,15 @@ fn main() {
     // pointer hygiene and perfect compaction.
     let report = verify_collection(&heap, outcome.free, &snapshot).expect("collection is correct");
 
-    println!("after GC:  {} words live ({} objects)", report.live_words, report.live_objects);
+    println!(
+        "after GC:  {} words live ({} objects)",
+        report.live_words, report.live_objects
+    );
     println!();
-    println!("collection took {} simulated clock cycles", outcome.stats.total_cycles);
+    println!(
+        "collection took {} simulated clock cycles",
+        outcome.stats.total_cycles
+    );
     println!("  objects copied:  {}", outcome.stats.objects_copied);
     println!("  words copied:    {}", outcome.stats.words_copied);
     println!("  pointers fixed:  {}", outcome.stats.pointers_visited);

@@ -37,7 +37,10 @@ fn main() {
     );
 
     // --- Software: same algorithm + the related-work baselines --------
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     println!("\nsoftware collectors ({threads} thread(s)):");
     println!(
         "  {:>14}  {:>10}  {:>13}  {:>12}  {:>10}",

@@ -56,9 +56,7 @@ pub mod prelude {
         ConcurrentOutcome, GcConfig, GcOutcome, GcStats, MutatorConfig, SeqCheney, SignalTrace,
         SimCollector,
     };
-    pub use hwgc_heap::{
-        verify_collection, Addr, GraphBuilder, Heap, ObjId, Snapshot, Word, NULL,
-    };
+    pub use hwgc_heap::{verify_collection, Addr, GraphBuilder, Heap, ObjId, Snapshot, Word, NULL};
     pub use hwgc_memsim::MemConfig;
     pub use hwgc_workloads::{Churn, ChurnSpec, Preset, StepOutcome, WorkloadSpec};
 }

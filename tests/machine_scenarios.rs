@@ -4,7 +4,6 @@
 
 use hwgc::memsim::MemConfig;
 use hwgc::prelude::*;
-use hwgc_core::StallReason;
 
 fn collect_cfg(heap: &mut Heap, cfg: GcConfig) -> GcOutcome {
     let snapshot = Snapshot::capture(heap);
@@ -80,7 +79,10 @@ fn fifo_disabled_lengthens_the_critical_section() {
     let mut without = build();
     let cfg = GcConfig {
         n_cores: 8,
-        mem: MemConfig { header_fifo_capacity: 0, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 0,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     let b_ = collect_cfg(&mut without, cfg);
@@ -108,11 +110,18 @@ fn fifo_overflow_costs_header_stores() {
     // is itself part of the design's point.)
     let cfg = GcConfig {
         n_cores: 1,
-        mem: MemConfig { header_fifo_capacity: 1, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 1,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     let out = collect_cfg(&mut heap, cfg);
-    assert!(out.stats.fifo.overflows > 400, "overflows: {}", out.stats.fifo.overflows);
+    assert!(
+        out.stats.fifo.overflows > 400,
+        "overflows: {}",
+        out.stats.fifo.overflows
+    );
     assert!(
         out.stats.stall.header_store > 0,
         "overflowed gray headers must wait for the store buffer"
@@ -129,7 +138,9 @@ fn single_object_cycle_cost_is_pinned() {
         let mut b = GraphBuilder::new(&mut heap);
         let root = b.add(0, 8).unwrap();
         b.root(root);
-        collect_cfg(&mut heap, GcConfig::with_cores(1)).stats.total_cycles
+        collect_cfg(&mut heap, GcConfig::with_cores(1))
+            .stats
+            .total_cycles
     };
     let cycles = run();
     assert_eq!(cycles, run(), "deterministic");
@@ -176,7 +187,10 @@ fn idle_cores_spin_rather_than_stall() {
     let root = b.add(0, 3000).unwrap();
     b.root(root);
     let out = collect_cfg(&mut heap, GcConfig::with_cores(8));
-    assert!(out.stats.stall.empty_spin > 1000, "7 cores must spin for the whole copy");
+    assert!(
+        out.stats.stall.empty_spin > 1000,
+        "7 cores must spin for the whole copy"
+    );
     assert_eq!(out.stats.stall.scan_lock, 0);
     assert!(out.stats.empty_worklist_fraction() > 0.9);
 }
@@ -189,7 +203,10 @@ fn split_claim_count_is_exact() {
     let mut b = GraphBuilder::new(&mut heap);
     let root = b.add(0, 1000).unwrap();
     b.root(root);
-    let cfg = GcConfig { line_split: Some(64), ..GcConfig::with_cores(4) };
+    let cfg = GcConfig {
+        line_split: Some(64),
+        ..GcConfig::with_cores(4)
+    };
     let out = collect_cfg(&mut heap, cfg);
     // body = 1000 words, ceil(1000/64) = 16 claims.
     assert_eq!(out.stats.chunks_claimed, 16);

@@ -8,7 +8,11 @@ use hwgc_core::StallReason;
 use hwgc_workloads::Preset;
 
 fn spec(preset: Preset) -> WorkloadSpec {
-    WorkloadSpec { preset, seed: 42, scale: 0.3 }
+    WorkloadSpec {
+        preset,
+        seed: 42,
+        scale: 0.3,
+    }
 }
 
 fn run(preset: Preset, cfg: GcConfig) -> GcOutcome {
@@ -20,8 +24,22 @@ fn run(preset: Preset, cfg: GcConfig) -> GcOutcome {
 }
 
 fn speedup(preset: Preset, cores: usize, mem: MemConfig) -> f64 {
-    let base = run(preset, GcConfig { n_cores: 1, mem, ..GcConfig::default() });
-    let par = run(preset, GcConfig { n_cores: cores, mem, ..GcConfig::default() });
+    let base = run(
+        preset,
+        GcConfig {
+            n_cores: 1,
+            mem,
+            ..GcConfig::default()
+        },
+    );
+    let par = run(
+        preset,
+        GcConfig {
+            n_cores: cores,
+            mem,
+            ..GcConfig::default()
+        },
+    );
     base.stats.total_cycles as f64 / par.stats.total_cycles as f64
 }
 
@@ -30,7 +48,10 @@ fn linear_benchmarks_do_not_scale() {
     // Paper Figure 5: compress and search show no significant speedup.
     for preset in [Preset::Compress, Preset::Search] {
         let s = speedup(preset, 16, MemConfig::default());
-        assert!(s < 4.0, "{preset} scaled to {s:.2}x; the paper's linear graphs must not");
+        assert!(
+            s < 4.0,
+            "{preset} scaled to {s:.2}x; the paper's linear graphs must not"
+        );
     }
 }
 
@@ -84,16 +105,31 @@ fn javac_contends_on_header_locks() {
     let db = run(Preset::Db, GcConfig::with_cores(16));
     let javac_frac = javac.stats.stall_fraction(StallReason::HeaderLock);
     let db_frac = db.stats.stall_fraction(StallReason::HeaderLock);
-    assert!(javac_frac > 0.05, "javac header-lock stalls: {javac_frac:.4}");
+    assert!(
+        javac_frac > 0.05,
+        "javac header-lock stalls: {javac_frac:.4}"
+    );
     assert!(db_frac < 0.01, "db header-lock stalls: {db_frac:.4}");
 }
 
 #[test]
 fn test_before_lock_removes_javac_contention() {
     // Paper Section VI-B's proposed improvement (ablation C).
-    let base = run(Preset::Javac, GcConfig { n_cores: 16, ..GcConfig::default() });
-    let probed =
-        run(Preset::Javac, GcConfig { n_cores: 16, test_before_lock: true, ..GcConfig::default() });
+    let base = run(
+        Preset::Javac,
+        GcConfig {
+            n_cores: 16,
+            ..GcConfig::default()
+        },
+    );
+    let probed = run(
+        Preset::Javac,
+        GcConfig {
+            n_cores: 16,
+            test_before_lock: true,
+            ..GcConfig::default()
+        },
+    );
     let b = base.stats.stall_fraction(StallReason::HeaderLock);
     let p = probed.stats.stall_fraction(StallReason::HeaderLock);
     assert!(p < b / 4.0, "test-before-lock: {b:.4} -> {p:.4}");
@@ -120,12 +156,18 @@ fn cup_overflows_the_fifo_and_small_fifos_hurt() {
     // and the resulting memory reads lengthen the scan critical section.
     let big = GcConfig {
         n_cores: 16,
-        mem: MemConfig { header_fifo_capacity: 1 << 20, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 1 << 20,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     let small = GcConfig {
         n_cores: 16,
-        mem: MemConfig { header_fifo_capacity: 64, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 64,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     // The full-scale cup frontier (~5000 gray records) exceeds the default
@@ -133,11 +175,17 @@ fn cup_overflows_the_fifo_and_small_fifos_hurt() {
     // against a proportionally small FIFO instead.
     let default_cfg = GcConfig {
         n_cores: 16,
-        mem: MemConfig { header_fifo_capacity: 1024, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 1024,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     let with_default = run(Preset::Cup, default_cfg);
-    assert!(with_default.stats.fifo.overflows > 0, "cup must overflow an undersized FIFO");
+    assert!(
+        with_default.stats.fifo.overflows > 0,
+        "cup must overflow an undersized FIFO"
+    );
 
     let with_big = run(Preset::Cup, big);
     assert_eq!(with_big.stats.fifo.overflows, 0);
@@ -160,7 +208,10 @@ fn cup_overflows_the_fifo_and_small_fifos_hurt() {
 fn disabled_fifo_still_collects_correctly() {
     let cfg = GcConfig {
         n_cores: 8,
-        mem: MemConfig { header_fifo_capacity: 0, ..MemConfig::default() },
+        mem: MemConfig {
+            header_fifo_capacity: 0,
+            ..MemConfig::default()
+        },
         ..GcConfig::default()
     };
     let out = run(Preset::Javacc, cfg);
@@ -212,8 +263,10 @@ fn line_split_parallelizes_serial_big_arrays() {
     };
     let obj_1 = run(GcConfig::with_cores(1)).stats.total_cycles;
     let obj_16 = run(GcConfig::with_cores(16)).stats.total_cycles;
-    let split_16 =
-        run(GcConfig { line_split: Some(128), ..GcConfig::with_cores(16) });
+    let split_16 = run(GcConfig {
+        line_split: Some(128),
+        ..GcConfig::with_cores(16)
+    });
     assert!(
         (obj_1 as f64 / obj_16 as f64) < 1.3,
         "object granularity must stay serial: {obj_1} vs {obj_16}"
@@ -231,10 +284,17 @@ fn line_split_handles_pointer_rich_chunks() {
     // Chunks that land inside the pointer area must still translate every
     // slot; mixed pointer/data objects with a tiny line size stress the
     // chunk arithmetic.
-    let spec = WorkloadSpec { preset: Preset::Db, seed: 5, scale: 0.1 };
+    let spec = WorkloadSpec {
+        preset: Preset::Db,
+        seed: 5,
+        scale: 0.1,
+    };
     let mut heap = spec.build();
     let snapshot = Snapshot::capture(&heap);
-    let cfg = GcConfig { line_split: Some(3), ..GcConfig::with_cores(7) };
+    let cfg = GcConfig {
+        line_split: Some(3),
+        ..GcConfig::with_cores(7)
+    };
     let out = SimCollector::new(cfg).collect(&mut heap);
     verify_collection(&heap, out.free, &snapshot).expect("correct collection");
     assert!(out.stats.chunks_claimed >= out.stats.objects_copied);
@@ -257,10 +317,16 @@ fn concurrent_collection_is_correct_and_keeps_the_mutator_running() {
             &heap,
             out.free,
             &snapshot,
-            VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+            VerifyOptions {
+                allow_unknown_objects: true,
+                ..VerifyOptions::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{preset}: {e}"));
-        assert!(out.mutator.actions > 0, "{preset}: mutator made no progress");
+        assert!(
+            out.mutator.actions > 0,
+            "{preset}: mutator made no progress"
+        );
         assert!(
             out.mutator.utilization(out.stats.total_cycles) > 0.5,
             "{preset}: mutator utilization {:.2}",
@@ -353,7 +419,11 @@ fn concurrent_read_only_mutator_preserves_strict_verification() {
 
     let mut heap = spec(Preset::Javacc).build();
     let snapshot = Snapshot::capture(&heap);
-    let mcfg = MutatorConfig { alloc_every: 0, write_every: 0, ..MutatorConfig::default() };
+    let mcfg = MutatorConfig {
+        alloc_every: 0,
+        write_every: 0,
+        ..MutatorConfig::default()
+    };
     let out = SimCollector::new(GcConfig::with_cores(4)).collect_concurrent(&mut heap, &mcfg);
     // Registers duplicate existing roots; drop them for the strict check.
     while heap.roots().len() > snapshot.root_ids.len() {
@@ -374,7 +444,10 @@ fn concurrent_collection_on_an_empty_heap_terminates() {
         .collect_concurrent(&mut heap, &MutatorConfig::default());
     // Nothing to trace, nothing to read — but allocation still works.
     assert!(out.stats.objects_copied == 0);
-    assert!(out.mutator.allocations <= 2, "empty heaps end almost immediately");
+    assert!(
+        out.mutator.allocations <= 2,
+        "empty heaps end almost immediately"
+    );
 }
 
 #[test]
@@ -384,13 +457,19 @@ fn concurrent_composes_with_line_split() {
 
     let mut heap = spec(Preset::Db).build();
     let snapshot = Snapshot::capture(&heap);
-    let cfg = GcConfig { line_split: Some(16), ..GcConfig::with_cores(6) };
+    let cfg = GcConfig {
+        line_split: Some(16),
+        ..GcConfig::with_cores(6)
+    };
     let out = SimCollector::new(cfg).collect_concurrent(&mut heap, &MutatorConfig::default());
     verify_collection_with(
         &heap,
         out.free,
         &snapshot,
-        VerifyOptions { allow_unknown_objects: true, ..VerifyOptions::default() },
+        VerifyOptions {
+            allow_unknown_objects: true,
+            ..VerifyOptions::default()
+        },
     )
     .expect("line-split + concurrent must verify");
     assert!(out.stats.chunks_claimed > out.stats.objects_copied);

@@ -8,7 +8,11 @@ use hwgc_workloads::Preset;
 fn scaled(preset: Preset) -> WorkloadSpec {
     // Smaller instances keep debug-mode test time reasonable while
     // exercising identical code paths.
-    WorkloadSpec { preset, seed: 7, scale: 0.2 }
+    WorkloadSpec {
+        preset,
+        seed: 7,
+        scale: 0.2,
+    }
 }
 
 #[test]
@@ -39,9 +43,15 @@ fn parallel_work_equals_sequential_work() {
         for cores in [2usize, 8] {
             let mut heap = spec.build();
             let out = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
-            assert_eq!(seq.objects_copied, out.stats.objects_copied, "{preset}/{cores}");
+            assert_eq!(
+                seq.objects_copied, out.stats.objects_copied,
+                "{preset}/{cores}"
+            );
             assert_eq!(seq.words_copied, out.stats.words_copied, "{preset}/{cores}");
-            assert_eq!(seq.free, out.free, "{preset}/{cores}: compaction frontier differs");
+            assert_eq!(
+                seq.free, out.free,
+                "{preset}/{cores}: compaction frontier differs"
+            );
         }
     }
 }
@@ -52,10 +62,17 @@ fn simulation_is_deterministic() {
         let spec = scaled(preset);
         let run = |cores: usize| {
             let mut heap = spec.build();
-            SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap).stats.total_cycles
+            SimCollector::new(GcConfig::with_cores(cores))
+                .collect(&mut heap)
+                .stats
+                .total_cycles
         };
         for cores in [1, 4, 16] {
-            assert_eq!(run(cores), run(cores), "{preset} at {cores} cores not deterministic");
+            assert_eq!(
+                run(cores),
+                run(cores),
+                "{preset} at {cores} cores not deterministic"
+            );
         }
     }
 }
@@ -67,9 +84,15 @@ fn adding_cores_never_corrupts_and_rarely_hurts() {
     for preset in Preset::ALL {
         let spec = scaled(preset);
         let mut h1 = spec.build();
-        let base = SimCollector::new(GcConfig::with_cores(1)).collect(&mut h1).stats.total_cycles;
+        let base = SimCollector::new(GcConfig::with_cores(1))
+            .collect(&mut h1)
+            .stats
+            .total_cycles;
         let mut h16 = spec.build();
-        let par = SimCollector::new(GcConfig::with_cores(16)).collect(&mut h16).stats.total_cycles;
+        let par = SimCollector::new(GcConfig::with_cores(16))
+            .collect(&mut h16)
+            .stats
+            .total_cycles;
         assert!(
             par <= base + base / 5,
             "{preset}: 16 cores took {par} cycles vs {base} at 1 core"
@@ -92,7 +115,11 @@ fn consecutive_cycles_preserve_the_graph() {
 #[test]
 fn garbage_volume_does_not_change_collection_work() {
     // Copying-collector property: cost is proportional to live data only.
-    let lean = WorkloadSpec { preset: Preset::Jlisp, seed: 3, scale: 1.0 };
+    let lean = WorkloadSpec {
+        preset: Preset::Jlisp,
+        seed: 3,
+        scale: 1.0,
+    };
     let mut h1 = lean.build();
     let out1 = SimCollector::new(GcConfig::with_cores(4)).collect(&mut h1);
 
@@ -111,7 +138,10 @@ fn steady_state_churn_across_many_cycles() {
     // semispace.
     use hwgc_workloads::{Churn, ChurnSpec, StepOutcome};
 
-    let mut churn = Churn::new(ChurnSpec { semi_words: 24 * 1024, ..ChurnSpec::default() });
+    let mut churn = Churn::new(ChurnSpec {
+        semi_words: 24 * 1024,
+        ..ChurnSpec::default()
+    });
     let collector = SimCollector::new(GcConfig::with_cores(4));
     let mut cycles = 0;
     let mut last_live = 0;
@@ -139,7 +169,10 @@ fn steady_state_churn_with_software_collectors() {
     use hwgc_swgc::{SwCollector, WorkStealing};
     use hwgc_workloads::{Churn, ChurnSpec, StepOutcome};
 
-    let mut churn = Churn::new(ChurnSpec { semi_words: 24 * 1024, ..ChurnSpec::default() });
+    let mut churn = Churn::new(ChurnSpec {
+        semi_words: 24 * 1024,
+        ..ChurnSpec::default()
+    });
     let collector = WorkStealing::new();
     let mut cycles = 0;
     while cycles < 4 {

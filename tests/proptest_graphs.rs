@@ -210,3 +210,80 @@ proptest! {
         verify_collection(&heap, out.free, &snapshot).unwrap();
     }
 }
+
+/// Named, deterministic re-runs of the shrunken cases recorded in
+/// `proptest_graphs.proptest-regressions`, so the historical failures stay
+/// covered even if the seed file is lost or the proptest dependency is
+/// swapped out. Both shrank to the single-threaded chunked collector.
+mod regressions {
+    use super::*;
+
+    fn chunked_single_thread_collects(spec: &GraphSpec) {
+        let mut heap = spec.build();
+        let snapshot = Snapshot::capture(&heap);
+        let report = Chunked { chunk_words: 64 }.collect(&mut heap, 1);
+        verify_collection_relaxed(&heap, report.free, &snapshot).unwrap();
+        assert_eq!(report.objects_copied as usize, snapshot.live_objects());
+    }
+
+    /// Shrunk case `d7f40b0a…`: a rootless graph (everything is garbage)
+    /// with self-loops and cross edges — exercises the chunked collector's
+    /// empty-worklist path, where it must still terminate and report an
+    /// empty tospace.
+    #[test]
+    fn chunked_single_thread_rootless_garbage_graph() {
+        chunked_single_thread_collects(&GraphSpec {
+            shapes: vec![
+                (0, 1),
+                (0, 2),
+                (3, 4),
+                (2, 3),
+                (1, 3),
+                (1, 4),
+                (0, 5),
+                (1, 1),
+                (1, 4),
+                (3, 4),
+                (0, 2),
+                (3, 1),
+                (1, 4),
+                (1, 1),
+                (4, 4),
+            ],
+            edges: vec![
+                (2, 0, 4),
+                (3, 0, 9),
+                (7, 0, 7),
+                (8, 0, 8),
+                (9, 0, 3),
+                (9, 2, 12),
+                (11, 0, 11),
+                (11, 2, 0),
+                (13, 0, 10),
+                (14, 1, 9),
+            ],
+            roots: vec![],
+        });
+    }
+
+    /// Shrunk case `70b82b29…`: one object rooted twice with no edges —
+    /// the duplicate root must be evacuated exactly once and both root
+    /// slots redirected to the same copy.
+    #[test]
+    fn chunked_single_thread_duplicate_roots() {
+        chunked_single_thread_collects(&GraphSpec {
+            shapes: vec![
+                (0, 1),
+                (0, 1),
+                (3, 4),
+                (4, 1),
+                (4, 4),
+                (1, 4),
+                (0, 2),
+                (2, 2),
+            ],
+            edges: vec![],
+            roots: vec![6, 6],
+        });
+    }
+}

@@ -1,0 +1,51 @@
+//! Cross-crate integration of the `hwgc-check` harness: the schedule
+//! sweep, trace lint and differential oracle applied to the benchmark
+//! preset workloads (not just the harness's own adversarial shapes).
+
+use hwgc_check::{differential, lint_trace, run_sweep, PolicyKind, SweepConfig};
+use hwgc_core::schedule::RandomOrder;
+use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn small(preset: Preset) -> hwgc_heap::Heap {
+    WorkloadSpec {
+        preset,
+        seed: 23,
+        scale: 0.05,
+    }
+    .build()
+}
+
+#[test]
+fn preset_workloads_survive_a_schedule_sweep() {
+    let cfg = SweepConfig {
+        core_counts: vec![4, 16],
+        seeds: vec![0xA11CE, 0xB0B],
+        policies: vec![PolicyKind::Random, PolicyKind::Adversarial],
+        lint: false,
+    };
+    for preset in [Preset::Db, Preset::Javac] {
+        let outcome = run_sweep(&|| small(preset), &cfg);
+        assert_eq!(outcome.combos, cfg.combos(), "{preset}");
+    }
+}
+
+#[test]
+fn preset_collection_traces_lint_clean() {
+    let mut heap = small(Preset::Jlisp);
+    let mut trace = SignalTrace::with_events(16);
+    let mut policy = RandomOrder::new(99);
+    SimCollector::new(GcConfig::with_cores(8)).collect_scheduled_traced(
+        &mut heap,
+        &mut policy,
+        &mut trace,
+    );
+    let violations = lint_trace(&trace);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn preset_workload_passes_the_differential_oracle() {
+    let heap = small(Preset::Cup);
+    differential("preset/cup", &heap);
+}

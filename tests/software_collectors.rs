@@ -8,7 +8,11 @@ use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
 use hwgc_workloads::Preset;
 
 fn scaled(preset: Preset) -> WorkloadSpec {
-    WorkloadSpec { preset, seed: 11, scale: 0.15 }
+    WorkloadSpec {
+        preset,
+        seed: 11,
+        scale: 0.15,
+    }
 }
 
 fn check(collector: &dyn SwCollector, compacting: bool, preset: Preset, threads: usize) {
@@ -28,8 +32,7 @@ fn check(collector: &dyn SwCollector, compacting: bool, preset: Preset, threads:
         report.name
     );
     assert_eq!(
-        report.words_copied,
-        snapshot.live_words,
+        report.words_copied, snapshot.live_words,
         "{} on {preset}/{threads}",
         report.name
     );
@@ -108,7 +111,10 @@ fn fine_grained_matches_hardware_compaction_layout_invariants() {
 #[test]
 fn fragmenting_collectors_report_consistent_accounting() {
     for (collector, name) in [
-        (Box::new(WorkStealing::new()) as Box<dyn SwCollector>, "stealing"),
+        (
+            Box::new(WorkStealing::new()) as Box<dyn SwCollector>,
+            "stealing",
+        ),
         (Box::new(Chunked::new()), "chunked"),
         (Box::new(Packets::new()), "packets"),
     ] {

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`) without the
+//! statistics engine. Behaviour:
+//!
+//! * By default a bench binary exits immediately — `cargo test`/`cargo
+//!   bench` stay fast and dependency-free.
+//! * With `HWGC_RUN_BENCHES=1` every benchmark routine runs once and its
+//!   wall-clock time is printed — a smoke-run that exercises the real
+//!   code paths and gives a rough number, not a statistical estimate.
+
+// Vendored stand-in: keep workspace `clippy -D warnings` focused on first-party code.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Should benchmark bodies actually execute?
+fn enabled() -> bool {
+    std::env::var_os("HWGC_RUN_BENCHES").is_some_and(|v| v == "1")
+}
+
+/// How batched inputs are dropped (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (one invocation in this stand-in).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced by `setup` (one batch here).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sampling count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget (ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement budget (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.to_string(), f);
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.to_string(), |b| f(b, input));
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    if !enabled() {
+        return;
+    }
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {group}/{id}: {:?} (single smoke run)", b.elapsed);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.to_string(), f);
+    }
+}
+
+/// Re-export for call sites using `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_runs_nothing() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        assert!(!ran, "bench bodies must not run without HWGC_RUN_BENCHES=1");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("db", 16).to_string(), "db/16");
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::deque` API surface the work-stealing collector
+//! uses (`Worker::new_lifo`, `Worker::push/pop/stealer`, `Stealer::steal`,
+//! `Injector::new/push/steal`, `Steal`). The semantics match crossbeam's —
+//! LIFO owner end, FIFO steal end, linearizable steals — but the
+//! implementation is a mutex-protected `VecDeque` rather than a lock-free
+//! Chase–Lev deque. The workspace uses the deque for *correctness*
+//! experiments (the sync-op tallies it reports count algorithm-level
+//! operations, not deque internals), so the loss of lock-freedom only
+//! shifts absolute wall-clock numbers, never results.
+
+// Vendored stand-in: keep workspace `clippy -D warnings` focused on first-party code.
+#![allow(clippy::all)]
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The source was empty.
+        Empty,
+        /// A race was lost; retrying may succeed (never produced by this
+        /// mutex-based stand-in, but matched by callers).
+        Retry,
+    }
+
+    /// Owner end of a per-thread deque (LIFO for the owner).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Thief end of a [`Worker`]'s deque (FIFO for thieves).
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        shared: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops the most recently pushed task.
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// New deque whose owner pops the oldest task. The stand-in keeps
+        /// owner order in `pop`; only `new_lifo` is used in-tree.
+        pub fn new_fifo() -> Worker<T> {
+            Worker::new_lifo()
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.shared.lock().unwrap().push_back(task);
+        }
+
+        /// Pop from the owner end (most recent task).
+        pub fn pop(&self) -> Option<T> {
+            self.shared.lock().unwrap().pop_back()
+        }
+
+        /// Is the deque empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().is_empty()
+        }
+
+        /// Create a thief handle.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal from the opposite end of the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Shared FIFO injector queue.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Is the injector empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal(), Steal::Success('a'));
+        assert_eq!(inj.steal(), Steal::Success('b'));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_steals_deliver_each_task_once() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for st in &stealers {
+                s.spawn(|| loop {
+                    match st.steal() {
+                        Steal::Success(v) => got.lock().unwrap().push(v),
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        });
+        let mut got = got.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+}

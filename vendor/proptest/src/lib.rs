@@ -1,0 +1,113 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig { cases, .. })]` header,
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`lo..hi`, `lo..=hi`) over integer types,
+//! * tuple strategies (arity 2–6), `Vec<S>` as a per-element strategy,
+//! * [`prop::collection::vec`], [`prop::option::of`], [`Just`],
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`].
+//!
+//! Generation is deterministic: case `i` of test `name` derives its RNG
+//! seed from `hash(name) ⊕ i` (override the case count with the
+//! `PROPTEST_CASES` env var). There is **no shrinking** — a failing case
+//! reports its full generated input and seed instead, which the
+//! workspace's small inputs keep readable. Regression files
+//! (`proptest-regressions`) are not consumed; historical counterexamples
+//! are promoted to named `#[test]`s in-tree.
+
+// Vendored stand-in: keep workspace `clippy -D warnings` focused on first-party code.
+#![allow(clippy::all)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` / `prop::option` namespaces, proptest-style.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange};
+    }
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (maps to `assert!`; no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut __arms = ::std::vec::Vec::new();
+        $( __arms.push($crate::strategy::boxed($arm)); )+
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+/// Define property tests. Supports the two shapes used in-tree:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_test(x in 0u32..10, v in prop::collection::vec(0..5usize, 1..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &__config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        let __desc = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        let __outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(move || { $body })
+                        );
+                        (__desc, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}

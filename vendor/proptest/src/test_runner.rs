@@ -1,0 +1,136 @@
+//! Deterministic case runner and RNG for the proptest stand-in.
+
+use std::any::Any;
+
+/// Splitmix64 RNG; deterministic per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded RNG.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated cases each property test runs.
+    pub cases: u32,
+    #[doc(hidden)]
+    pub __non_exhaustive: (),
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            __non_exhaustive: (),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` generated cases (env `PROPTEST_CASES` overrides).
+/// `case` returns the Debug-formatted inputs plus the caught test outcome;
+/// on failure the panic is re-raised with case index, seed, and inputs.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> (String, Result<(), Box<dyn Any + Send>>),
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = fnv1a(name);
+    for i in 0..cases {
+        let seed = base ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut rng = TestRng::from_seed(seed);
+        let (desc, outcome) = case(&mut rng);
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "property test `{name}` failed at case {i}/{cases} (seed {seed:#x})\n\
+                 inputs: {desc}\n\
+                 panic: {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::from_seed(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_cases_passes_when_all_cases_pass() {
+        let cfg = ProptestConfig {
+            cases: 10,
+            ..ProptestConfig::default()
+        };
+        let mut count = 0;
+        run_cases("ok", &cfg, |rng| {
+            count += 1;
+            let _ = rng.next_u64();
+            (String::from("x = 1; "), Ok(()))
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn run_cases_reports_failing_case() {
+        let cfg = ProptestConfig {
+            cases: 5,
+            ..ProptestConfig::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases("bad", &cfg, |_rng| {
+                let caught = std::panic::catch_unwind(|| panic!("boom"));
+                (String::from("x = 3; "), caught.map(|_| ()))
+            });
+        }));
+        let payload = result.expect_err("failing case must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("case 0/5"), "got: {msg}");
+        assert!(msg.contains("x = 3"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+}

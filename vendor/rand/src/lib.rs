@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace pins `rand 0.9` but the build environment has no network
+//! and no registry cache, so this path crate provides the small,
+//! deterministic subset the workspace actually uses:
+//!
+//! * [`rngs::SmallRng`] — a splitmix64/xoshiro-style small PRNG,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::random_range`] over half-open and inclusive integer ranges,
+//! * [`Rng::random_bool`].
+//!
+//! Sequences are deterministic per seed but are **not** bit-compatible
+//! with upstream `rand`; nothing in the workspace depends on the exact
+//! stream, only on determinism (workload generators are seeded and their
+//! outputs snapshotted/verified structurally, never byte-compared against
+//! upstream).
+
+// Vendored stand-in: keep workspace `clippy -D warnings` focused on first-party code.
+#![allow(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a 64-bit word source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (the subset used: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng() as $t;
+                }
+                lo + (rng() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits -> uniform in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic PRNG (splitmix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64: passes BigCrush, one add + two xor-shifts-mults.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> SmallRng {
+            SmallRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.random_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let y = r.random_range(2u32..=4);
+            assert!((2..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "got {hits}");
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let _ = r.random_range(0u64..=u64::MAX);
+    }
+}
