@@ -1,0 +1,306 @@
+//! Simulator throughput baseline: how many simulated cycles per wall
+//! second, and how many heap allocations per simulated cycle.
+//!
+//! Runs the preset × core-count matrix through one verified collection
+//! each (serially — concurrent combos would contend for the machine and
+//! corrupt the wall-clock numbers), then writes a machine-parseable JSON
+//! report. The committed `BENCH_simulator.json` at the repo root is the
+//! reference; CI re-runs the reduced matrix and fails when aggregate
+//! throughput regresses below [`CHECK_RATIO`] of the reference.
+//!
+//! ```text
+//! bench_baseline [--smoke] [--out <path>] [--check <baseline.json>]
+//! ```
+//!
+//! * `--smoke` — reduced matrix (3 presets × {1, 4} cores) for CI,
+//! * `--out` — where to write the report (default `BENCH_simulator.json`
+//!   in the current directory),
+//! * `--check` — compare against a previously written report: the
+//!   aggregate cycles/second over the combos present in *both* reports
+//!   must be ≥ `CHECK_RATIO` × the reference, else exit 1.
+//!
+//! The report also carries `ff_speedup`: the wall-clock ratio of the
+//! naive per-cycle loop to the event-horizon fast-forward path on the
+//! Figure 6 configuration (+20 cycles memory latency, javac, 1 core —
+//! the figure's `1-core cyc` normalization baseline), asserted bit-exact
+//! (identical `GcStats`) before the ratio is taken. This is a *lower
+//! bound* on the speedup against the pre-fast-forward engine, because
+//! the naive loop here still benefits from the allocation-free hot loop
+//! and the O(1) memory/SB bookkeeping; measured against the seed engine
+//! the same configuration runs ≈ 5.9× faster.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use hwgc_bench::spec;
+use hwgc_core::{GcConfig, GcOutcome, SimCollector};
+use hwgc_heap::{verify_collection, Snapshot};
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::Preset;
+
+/// Minimum acceptable measured/reference aggregate-throughput ratio: a
+/// regression worse than 30% fails `--check`. Generous because CI runners
+/// are noisy; real slowdowns from lost fast-forwarding or re-introduced
+/// per-cycle allocation are integer factors, not percentages.
+const CHECK_RATIO: f64 = 0.7;
+
+/// Wall-time measurements per combo; the fastest is reported, which is
+/// the standard way to suppress one-off scheduling noise.
+const REPS: u32 = 3;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct ComboResult {
+    preset: &'static str,
+    cores: usize,
+    cycles: u64,
+    wall_s: f64,
+    allocs: u64,
+}
+
+/// One timed, verified collection. Heap construction, snapshot capture
+/// and verification stay *outside* the timed and allocation-counted
+/// window — the report measures the simulator, not the test fixture.
+fn timed_collect(preset: Preset, cfg: GcConfig) -> (GcOutcome, f64, u64) {
+    let mut heap = spec(preset).build();
+    let snap = Snapshot::capture(&heap);
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let t = Instant::now();
+    let out = SimCollector::new(cfg).collect(&mut heap);
+    let wall_s = t.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    verify_collection(&heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{} failed verification: {e}", preset.name()));
+    (out, wall_s, allocs)
+}
+
+fn measure_combo(preset: Preset, cores: usize) -> ComboResult {
+    let cfg = GcConfig::with_cores(cores);
+    let mut best: Option<ComboResult> = None;
+    for _ in 0..REPS {
+        let (out, wall_s, allocs) = timed_collect(preset, cfg);
+        if best.as_ref().is_none_or(|b| wall_s < b.wall_s) {
+            best = Some(ComboResult {
+                preset: preset.name(),
+                cores,
+                cycles: out.stats.total_cycles,
+                wall_s,
+                allocs,
+            });
+        }
+    }
+    best.expect("REPS >= 1")
+}
+
+/// Wall-clock ratio naive / fast-forward on the Figure 6 configuration,
+/// with bit-exactness asserted first.
+fn measure_ff_speedup(preset: Preset, cores: usize) -> f64 {
+    let base = GcConfig {
+        n_cores: cores,
+        mem: MemConfig::default().with_extra_latency(20),
+        ..GcConfig::default()
+    };
+    let naive_cfg = GcConfig {
+        fast_forward: false,
+        ..base
+    };
+    // Warm up and check bit-exactness once.
+    let (fast, _, _) = timed_collect(preset, base);
+    let (naive, _, _) = timed_collect(preset, naive_cfg);
+    assert_eq!(
+        fast.stats,
+        naive.stats,
+        "fast-forward diverged from the naive loop on {}/{}c",
+        preset.name(),
+        cores
+    );
+    let fast_s = (0..REPS)
+        .map(|_| timed_collect(preset, base).1)
+        .fold(f64::INFINITY, f64::min);
+    let naive_s = (0..REPS)
+        .map(|_| timed_collect(preset, naive_cfg).1)
+        .fold(f64::INFINITY, f64::min);
+    naive_s / fast_s.max(1e-9)
+}
+
+fn render_report(mode: &str, combos: &[ComboResult], ff_speedup: f64) -> String {
+    let total_cycles: u64 = combos.iter().map(|c| c.cycles).sum();
+    let total_wall: f64 = combos.iter().map(|c| c.wall_s).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"hwgc-bench-baseline-v1\",\n");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    out.push_str("  \"combos\": [\n");
+    for (i, c) in combos.iter().enumerate() {
+        let sep = if i + 1 == combos.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"preset\": \"{}\", \"cores\": {}, \"cycles\": {}, \"wall_s\": {:.6}, \
+             \"cycles_per_sec\": {:.0}, \"allocs_per_cycle\": {:.4}}}{sep}",
+            c.preset,
+            c.cores,
+            c.cycles,
+            c.wall_s,
+            c.cycles as f64 / c.wall_s.max(1e-9),
+            c.allocs as f64 / c.cycles.max(1) as f64,
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"total_cycles\": {total_cycles},");
+    let _ = writeln!(out, "  \"total_wall_s\": {total_wall:.6},");
+    let _ = writeln!(
+        out,
+        "  \"cycles_per_sec\": {:.0},",
+        total_cycles as f64 / total_wall.max(1e-9)
+    );
+    let _ = writeln!(out, "  \"ff_speedup\": {ff_speedup:.2}");
+    out.push_str("}\n");
+    out
+}
+
+/// Extract `"key": "value"` from one JSON line (the report is written one
+/// combo per line precisely so this suffices — no JSON crate needed).
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extract `"key": <number>` from one JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the combo lines of a report into (preset, cores, cycles, wall_s).
+fn parse_combos(report: &str) -> Vec<(String, usize, f64, f64)> {
+    report
+        .lines()
+        .filter_map(|line| {
+            let preset = json_str(line, "preset")?;
+            Some((
+                preset.to_string(),
+                json_num(line, "cores")? as usize,
+                json_num(line, "cycles")?,
+                json_num(line, "wall_s")?,
+            ))
+        })
+        .collect()
+}
+
+/// Aggregate throughput over the combos present in both reports. Returns
+/// (reference, measured) cycles/second, or `None` if the intersection is
+/// empty.
+fn aggregate_intersection(reference: &str, measured: &str) -> Option<(f64, f64)> {
+    let ref_combos = parse_combos(reference);
+    let mea_combos = parse_combos(measured);
+    let (mut rc, mut rw, mut mc, mut mw) = (0.0, 0.0, 0.0, 0.0);
+    for (preset, cores, cycles, wall) in &mea_combos {
+        if let Some((_, _, ref_cycles, ref_wall)) = ref_combos
+            .iter()
+            .find(|(p, n, _, _)| p == preset && n == cores)
+        {
+            rc += ref_cycles;
+            rw += ref_wall;
+            mc += cycles;
+            mw += wall;
+        }
+    }
+    (rw > 0.0 && mw > 0.0).then_some((rc / rw, mc / mw))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .clone()
+        })
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_simulator.json".to_string());
+    let check_path = flag_value("--check");
+
+    let (presets, core_counts): (&[Preset], &[usize]) = if smoke {
+        (&[Preset::Compress, Preset::Javac, Preset::Jlisp], &[1, 4])
+    } else {
+        (&Preset::ALL, &[1, 4, 16])
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!("bench_baseline: {mode} matrix, {REPS} reps per combo\n");
+    println!(
+        "{:>10}  {:>5}  {:>12}  {:>9}  {:>14}  {:>15}",
+        "preset", "cores", "cycles", "wall ms", "cycles/sec", "allocs/cycle"
+    );
+    let mut combos = Vec::new();
+    for &preset in presets {
+        for &cores in core_counts {
+            let r = measure_combo(preset, cores);
+            println!(
+                "{:>10}  {:>5}  {:>12}  {:>9.3}  {:>14.0}  {:>15.4}",
+                r.preset,
+                r.cores,
+                r.cycles,
+                r.wall_s * 1e3,
+                r.cycles as f64 / r.wall_s.max(1e-9),
+                r.allocs as f64 / r.cycles.max(1) as f64,
+            );
+            combos.push(r);
+        }
+    }
+
+    let ff_speedup = measure_ff_speedup(Preset::Javac, 1);
+    println!("\nfast-forward speedup (fig6 config, javac/1c): {ff_speedup:.2}x");
+
+    let report = render_report(mode, &combos, ff_speedup);
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("[json] {out_path}");
+
+    if let Some(check_path) = check_path {
+        let reference = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("read {check_path}: {e}"));
+        let Some((ref_cps, mea_cps)) = aggregate_intersection(&reference, &report) else {
+            panic!("{check_path} shares no (preset, cores) combos with this run");
+        };
+        let ratio = mea_cps / ref_cps;
+        println!(
+            "check vs {check_path}: reference {ref_cps:.0} c/s, measured {mea_cps:.0} c/s \
+             (ratio {ratio:.2}, floor {CHECK_RATIO})"
+        );
+        if ratio < CHECK_RATIO {
+            eprintln!("throughput regression: ratio {ratio:.2} < {CHECK_RATIO}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,8 +2,14 @@
 //! DESIGN.md's index back to back. Useful as a release smoke test and to
 //! refresh all CSVs under `target/experiments/` after a model change.
 //!
+//! The experiments write disjoint CSVs, so they run concurrently on the
+//! `HWGC_JOBS` worker pool (set `HWGC_JOBS=1` for the old serial
+//! behavior); each child's output is captured and printed in experiment
+//! order, so the log reads identically at any job count.
+//!
 //! (`ablation_software` is excluded — it measures real threads and its
-//! wall-clock columns are host-dependent; run it separately.)
+//! wall-clock columns are host-dependent; run it separately, and prefer
+//! `HWGC_JOBS=1` when quoting its numbers.)
 
 use std::process::Command;
 
@@ -23,23 +29,33 @@ fn main() {
         "trace_dump",
     ];
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("target dir");
+    let dir = exe.parent().expect("target dir").to_path_buf();
     let start = std::time::Instant::now();
-    for (i, bin) in binaries.iter().enumerate() {
+    let outputs = hwgc_check::par_map(&binaries, |_, bin| {
+        Command::new(dir.join(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
+    });
+    let mut failures = 0;
+    for (i, (bin, out)) in binaries.iter().zip(&outputs).enumerate() {
         println!(
             "\n=== [{} / {}] {bin} {}",
             i + 1,
             binaries.len(),
             "=".repeat(40)
         );
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        if !out.status.success() {
+            eprintln!("*** {bin} failed: {}", out.status);
+            failures += 1;
+        }
     }
+    assert!(failures == 0, "{failures} experiment(s) failed");
     println!(
-        "\nall {} experiments reproduced in {:.1} s; CSVs under target/experiments/",
+        "\nall {} experiments reproduced in {:.1} s ({} jobs); CSVs under target/experiments/",
         binaries.len(),
-        start.elapsed().as_secs_f64()
+        start.elapsed().as_secs_f64(),
+        hwgc_check::jobs(),
     );
 }

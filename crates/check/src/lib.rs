@@ -21,11 +21,17 @@
 //!   simulated collector across configurations and the four real-thread
 //!   software collectors on clones of the same heap.
 
+//! * [`par`] — the scoped-thread worker pool (`HWGC_JOBS`) that fans the
+//!   sweep combinations, oracle configurations and experiment binaries
+//!   across cores with deterministic result order.
+
 pub mod graphs;
 pub mod lint;
 pub mod oracle;
+pub mod par;
 pub mod sweep;
 
 pub use lint::{lint_events, lint_trace, TraceLint, Violation};
 pub use oracle::{differential, sim_configs, OracleOutcome};
+pub use par::{jobs, jobs_from, par_map};
 pub use sweep::{run_sweep, PolicyKind, SweepConfig, SweepOutcome};

@@ -22,6 +22,8 @@ use hwgc_heap::{verify_collection, verify_collection_relaxed, Heap, Snapshot};
 use hwgc_memsim::MemConfig;
 use hwgc_swgc::{Chunked, FineGrained, Packets, SwCollector, WorkStealing};
 
+use crate::par::par_map;
+
 /// Summary of one differential run.
 #[derive(Debug, Clone)]
 pub struct OracleOutcome {
@@ -108,64 +110,75 @@ pub fn differential(name: &str, heap: &Heap) -> OracleOutcome {
     runs += 1;
 
     // --- simulated collector across configurations --------------------
-    for (cfg_name, cfg) in sim_configs() {
+    // Every remaining run owns its heap clone, so the three sections fan
+    // out on the `HWGC_JOBS` worker pool; checks still name the exact
+    // diverging configuration because each closure carries its label.
+    let configs = sim_configs();
+    runs += par_map(&configs, |_, (cfg_name, cfg)| {
         let mut h = heap.clone();
-        let out = SimCollector::new(cfg).collect(&mut h);
-        check_sim(name, &cfg_name, &h, &snapshot, &seq, out.free, &out.stats);
-        runs += 1;
-    }
+        let out = SimCollector::new(*cfg).collect(&mut h);
+        check_sim(name, cfg_name, &h, &snapshot, &seq, out.free, &out.stats);
+    })
+    .len();
 
     // --- simulated collector under schedule policies -------------------
-    for seed in [1u64, 0xACE5] {
-        let policies: [Box<dyn SchedulePolicy>; 2] = [
-            Box::new(RandomOrder::new(seed)),
-            Box::new(Adversarial::new(seed)),
-        ];
-        for mut policy in policies {
-            let cfg_name = format!("sim/4c/{}/{seed:#x}", policy.name());
-            let mut h = heap.clone();
-            let out = SimCollector::new(GcConfig::with_cores(4))
-                .collect_scheduled(&mut h, policy.as_mut());
-            check_sim(name, &cfg_name, &h, &snapshot, &seq, out.free, &out.stats);
-            runs += 1;
-        }
-    }
+    let policy_runs: Vec<(u64, bool)> = [1u64, 0xACE5]
+        .into_iter()
+        .flat_map(|seed| [(seed, false), (seed, true)])
+        .collect();
+    runs += par_map(&policy_runs, |_, &(seed, adversarial)| {
+        let mut policy: Box<dyn SchedulePolicy> = if adversarial {
+            Box::new(Adversarial::new(seed))
+        } else {
+            Box::new(RandomOrder::new(seed))
+        };
+        let cfg_name = format!("sim/4c/{}/{seed:#x}", policy.name());
+        let mut h = heap.clone();
+        let out =
+            SimCollector::new(GcConfig::with_cores(4)).collect_scheduled(&mut h, policy.as_mut());
+        check_sim(name, &cfg_name, &h, &snapshot, &seq, out.free, &out.stats);
+    })
+    .len();
 
     // --- real-thread software collectors --------------------------------
-    let sw: [(Box<dyn SwCollector>, bool); 4] = [
-        (Box::new(FineGrained::new()), true),
-        (Box::new(WorkStealing::new()), false),
-        (Box::new(Chunked::new()), false),
-        (Box::new(Packets::new()), false),
+    type SwBuild = fn() -> Box<dyn SwCollector>;
+    let sw_kinds: [(SwBuild, bool); 4] = [
+        (|| Box::new(FineGrained::new()), true),
+        (|| Box::new(WorkStealing::new()), false),
+        (|| Box::new(Chunked::new()), false),
+        (|| Box::new(Packets::new()), false),
     ];
-    for (collector, compacting) in sw {
-        for threads in [1usize, 4] {
-            let mut h = heap.clone();
-            let report = collector.collect(&mut h, threads);
-            let cfg_name = format!("swgc/{}/{threads}t", report.name);
-            let result = if compacting {
-                verify_collection(&h, report.free, &snapshot)
-            } else {
-                verify_collection_relaxed(&h, report.free, &snapshot)
-            };
-            result.unwrap_or_else(|e| panic!("{name}: {cfg_name} failed verification: {e}"));
+    let sw_runs: Vec<((SwBuild, bool), usize)> = sw_kinds
+        .into_iter()
+        .flat_map(|kind| [1usize, 4].map(|threads| (kind, threads)))
+        .collect();
+    runs += par_map(&sw_runs, |_, &((build, compacting), threads)| {
+        let collector = build();
+        let mut h = heap.clone();
+        let report = collector.collect(&mut h, threads);
+        let cfg_name = format!("swgc/{}/{threads}t", report.name);
+        let result = if compacting {
+            verify_collection(&h, report.free, &snapshot)
+        } else {
+            verify_collection_relaxed(&h, report.free, &snapshot)
+        };
+        result.unwrap_or_else(|e| panic!("{name}: {cfg_name} failed verification: {e}"));
+        assert_eq!(
+            report.objects_copied, seq.objects_copied,
+            "{name}: {cfg_name} copied a different number of objects"
+        );
+        assert_eq!(
+            report.words_copied, seq.words_copied,
+            "{name}: {cfg_name} copied a different number of words"
+        );
+        if compacting {
             assert_eq!(
-                report.objects_copied, seq.objects_copied,
-                "{name}: {cfg_name} copied a different number of objects"
+                report.free, seq.free,
+                "{name}: {cfg_name} compacted to a different frontier"
             );
-            assert_eq!(
-                report.words_copied, seq.words_copied,
-                "{name}: {cfg_name} copied a different number of words"
-            );
-            if compacting {
-                assert_eq!(
-                    report.free, seq.free,
-                    "{name}: {cfg_name} compacted to a different frontier"
-                );
-            }
-            runs += 1;
         }
-    }
+    })
+    .len();
 
     OracleOutcome {
         live_objects: snapshot.live_objects(),

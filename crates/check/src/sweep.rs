@@ -27,6 +27,7 @@ use hwgc_heap::{verify_collection, Heap, Snapshot};
 use hwgc_memsim::MemConfig;
 
 use crate::lint::lint_trace;
+use crate::par::par_map;
 
 /// Which arbitration policy a sweep combination uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,16 +85,36 @@ impl SweepConfig {
     ///   `1,2,3,4,8,12,16`,
     /// * `HWGC_SWEEP_LINT` — `0` disables the per-run lint, default on.
     pub fn from_env() -> SweepConfig {
-        let seeds: u64 = std::env::var("HWGC_SWEEP_SEEDS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(100);
-        let core_counts: Vec<usize> = std::env::var("HWGC_SWEEP_CORES")
-            .ok()
-            .map(|s| s.split(',').filter_map(|c| c.trim().parse().ok()).collect())
+        SweepConfig::from_env_values(
+            std::env::var("HWGC_SWEEP_SEEDS").ok().as_deref(),
+            std::env::var("HWGC_SWEEP_CORES").ok().as_deref(),
+            std::env::var("HWGC_SWEEP_LINT").ok().as_deref(),
+        )
+    }
+
+    /// [`SweepConfig::from_env`] on explicit values — separable for tests,
+    /// since the process environment is shared mutable state. Unset,
+    /// unparseable or zero/empty values fall back to the documented
+    /// defaults; core counts of `0` are dropped individually.
+    pub fn from_env_values(
+        seeds: Option<&str>,
+        cores: Option<&str>,
+        lint: Option<&str>,
+    ) -> SweepConfig {
+        let seeds: u64 = match seeds.and_then(|s| s.trim().parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => 100,
+        };
+        let core_counts: Vec<usize> = cores
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|c| c.trim().parse().ok())
+                    .filter(|&c: &usize| c >= 1)
+                    .collect()
+            })
             .filter(|v: &Vec<usize>| !v.is_empty())
             .unwrap_or_else(|| vec![1, 2, 3, 4, 8, 12, 16]);
-        let lint = std::env::var("HWGC_SWEEP_LINT").map_or(true, |s| s != "0");
+        let lint = lint.is_none_or(|s| s != "0");
         SweepConfig {
             core_counts,
             seeds: (0..seeds).map(|i| 0x5EED + i * 0x9E37_79B9).collect(),
@@ -132,15 +153,17 @@ pub struct SweepOutcome {
 /// the heap, collects under the combination's policy, and is checked as
 /// described in the module docs. Panics on the first divergence, naming
 /// the policy, seed and core count.
-pub fn run_sweep(build: &dyn Fn() -> Heap, cfg: &SweepConfig) -> SweepOutcome {
+///
+/// Combinations are independent simulations, so they run on the
+/// [`crate::par`] worker pool (`HWGC_JOBS` workers); the outcome is folded
+/// in combination order and therefore identical at any job count.
+pub fn run_sweep(build: &(dyn Fn() -> Heap + Sync), cfg: &SweepConfig) -> SweepOutcome {
     let base = build();
     let snapshot = Snapshot::capture(&base);
     let mut seq_heap = base.clone();
     let seq = SeqCheney::new().collect(&mut seq_heap);
 
-    let mut combos = 0;
-    let mut total_cycles = 0u64;
-    let mut cycle_range = (u64::MAX, 0u64);
+    let mut combo_list: Vec<(PolicyKind, u64, usize)> = Vec::with_capacity(cfg.combos());
     for &policy_kind in &cfg.policies {
         let seeds: &[u64] = if policy_kind == PolicyKind::Static {
             &[0]
@@ -149,63 +172,124 @@ pub fn run_sweep(build: &dyn Fn() -> Heap, cfg: &SweepConfig) -> SweepOutcome {
         };
         for &seed in seeds {
             for &cores in &cfg.core_counts {
-                let label = format!("{policy_kind:?}/seed {seed:#x}/{cores} cores");
-                let mut heap = base.clone();
-                let gc_cfg = GcConfig {
-                    mem: MemConfig::default().with_service_reorder(seed ^ 0x000F_F5E7),
-                    ..GcConfig::with_cores(cores)
-                };
-                let mut policy = policy_kind.build(seed);
-                let out = if cfg.lint {
-                    let mut trace = SignalTrace::with_events(64);
-                    let out = SimCollector::new(gc_cfg).collect_scheduled_traced(
-                        &mut heap,
-                        policy.as_mut(),
-                        &mut trace,
-                    );
-                    let violations = lint_trace(&trace);
-                    assert!(
-                        violations.is_empty(),
-                        "{label}: trace lint found violations:\n{}",
-                        violations
-                            .iter()
-                            .map(|v| format!("  {v}"))
-                            .collect::<Vec<_>>()
-                            .join("\n")
-                    );
-                    out
-                } else {
-                    SimCollector::new(gc_cfg).collect_scheduled(&mut heap, policy.as_mut())
-                };
-                verify_collection(&heap, out.free, &snapshot)
-                    .unwrap_or_else(|e| panic!("{label}: verification failed: {e}"));
-                assert_eq!(
-                    out.stats.objects_copied, seq.objects_copied,
-                    "{label}: object copy count diverged from the sequential reference"
-                );
-                assert_eq!(
-                    out.stats.words_copied, seq.words_copied,
-                    "{label}: word copy count diverged from the sequential reference"
-                );
-                assert_eq!(out.free, seq.free, "{label}: allocation frontier diverged");
-                combos += 1;
-                total_cycles += out.stats.total_cycles;
-                cycle_range.0 = cycle_range.0.min(out.stats.total_cycles);
-                cycle_range.1 = cycle_range.1.max(out.stats.total_cycles);
+                combo_list.push((policy_kind, seed, cores));
             }
         }
     }
+
+    let per_combo_cycles = par_map(&combo_list, |_, &(policy_kind, seed, cores)| {
+        run_one_combo(&base, &snapshot, &seq, cfg.lint, policy_kind, seed, cores)
+    });
+
+    let mut total_cycles = 0u64;
+    let mut cycle_range = (u64::MAX, 0u64);
+    for &cycles in &per_combo_cycles {
+        total_cycles += cycles;
+        cycle_range.0 = cycle_range.0.min(cycles);
+        cycle_range.1 = cycle_range.1.max(cycles);
+    }
     SweepOutcome {
-        combos,
+        combos: per_combo_cycles.len(),
         total_cycles,
         cycle_range,
     }
+}
+
+/// Run and verify one sweep combination; returns its simulated cycles.
+fn run_one_combo(
+    base: &Heap,
+    snapshot: &Snapshot,
+    seq: &hwgc_core::SeqOutcome,
+    lint: bool,
+    policy_kind: PolicyKind,
+    seed: u64,
+    cores: usize,
+) -> u64 {
+    let label = format!("{policy_kind:?}/seed {seed:#x}/{cores} cores");
+    let mut heap = base.clone();
+    let gc_cfg = GcConfig {
+        mem: MemConfig::default().with_service_reorder(seed ^ 0x000F_F5E7),
+        ..GcConfig::with_cores(cores)
+    };
+    let mut policy = policy_kind.build(seed);
+    let out = if lint {
+        let mut trace = SignalTrace::with_events(64);
+        let out = SimCollector::new(gc_cfg).collect_scheduled_traced(
+            &mut heap,
+            policy.as_mut(),
+            &mut trace,
+        );
+        let violations = lint_trace(&trace);
+        assert!(
+            violations.is_empty(),
+            "{label}: trace lint found violations:\n{}",
+            violations
+                .iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        out
+    } else {
+        SimCollector::new(gc_cfg).collect_scheduled(&mut heap, policy.as_mut())
+    };
+    verify_collection(&heap, out.free, snapshot)
+        .unwrap_or_else(|e| panic!("{label}: verification failed: {e}"));
+    assert_eq!(
+        out.stats.objects_copied, seq.objects_copied,
+        "{label}: object copy count diverged from the sequential reference"
+    );
+    assert_eq!(
+        out.stats.words_copied, seq.words_copied,
+        "{label}: word copy count diverged from the sequential reference"
+    );
+    assert_eq!(out.free, seq.free, "{label}: allocation frontier diverged");
+    out.stats.total_cycles
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graphs;
+
+    #[test]
+    fn from_env_values_documents_every_input_class() {
+        // All unset → documented defaults.
+        let d = SweepConfig::from_env_values(None, None, None);
+        assert_eq!(d.seeds.len(), 100);
+        assert_eq!(d.core_counts, vec![1, 2, 3, 4, 8, 12, 16]);
+        assert!(d.lint);
+
+        // Garbage and zero seed counts fall back to the default.
+        for bad in ["zero", "", "-4", "0"] {
+            let c = SweepConfig::from_env_values(Some(bad), None, None);
+            assert_eq!(c.seeds.len(), 100, "HWGC_SWEEP_SEEDS={bad:?}");
+        }
+        let c = SweepConfig::from_env_values(Some(" 7 "), None, None);
+        assert_eq!(c.seeds.len(), 7, "whitespace is trimmed");
+
+        // Core lists: parse what parses, drop zeros, default when nothing
+        // survives.
+        let c = SweepConfig::from_env_values(None, Some("2, 4,junk,0,16"), None);
+        assert_eq!(c.core_counts, vec![2, 4, 16]);
+        for bad in ["", "junk", "0,0"] {
+            let c = SweepConfig::from_env_values(None, Some(bad), None);
+            assert_eq!(
+                c.core_counts,
+                vec![1, 2, 3, 4, 8, 12, 16],
+                "HWGC_SWEEP_CORES={bad:?}"
+            );
+        }
+
+        // Lint: only the literal "0" disables it.
+        assert!(!SweepConfig::from_env_values(None, None, Some("0")).lint);
+        for on in ["1", "", "off", "true"] {
+            assert!(
+                SweepConfig::from_env_values(None, None, Some(on)).lint,
+                "HWGC_SWEEP_LINT={on:?}"
+            );
+        }
+    }
 
     #[test]
     fn combo_count_matches_dimensions() {

@@ -1,0 +1,94 @@
+//! Differential check of the event-horizon fast-forward: on every
+//! workload preset and every adversarial graph in the catalog, the
+//! fast-forwarding engine must report *exactly* what the naive per-cycle
+//! loop reports — the same `GcStats` (total cycles, stall attribution,
+//! memory and SB counters), the same allocation frontier, and, where the
+//! SB event log is captured, the same cycle-stamped event stream.
+//!
+//! The workload matrix rides the `HWGC_JOBS` worker pool; every pair is
+//! an independent simulation.
+
+use hwgc_check::{graphs, par_map};
+use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_heap::Heap;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn ff_config(cores: usize) -> GcConfig {
+    let cfg = GcConfig::with_cores(cores);
+    assert!(cfg.fast_forward, "fast-forward must be the default");
+    cfg
+}
+
+fn naive_config(cores: usize) -> GcConfig {
+    GcConfig {
+        fast_forward: false,
+        ..ff_config(cores)
+    }
+}
+
+#[test]
+fn every_preset_is_bit_exact_under_fast_forward() {
+    let mut pairs: Vec<(Preset, usize)> = Vec::new();
+    for preset in Preset::ALL {
+        for cores in [1usize, 4, 16] {
+            pairs.push((preset, cores));
+        }
+    }
+    par_map(&pairs, |_, &(preset, cores)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut fast_heap = base.clone();
+        let mut naive_heap = base;
+        let fast = SimCollector::new(ff_config(cores)).collect(&mut fast_heap);
+        let naive = SimCollector::new(naive_config(cores)).collect(&mut naive_heap);
+        assert_eq!(
+            fast.stats,
+            naive.stats,
+            "{}/{cores}c: stats diverged under fast-forward",
+            preset.name()
+        );
+        assert_eq!(
+            fast.free,
+            naive.free,
+            "{}/{cores}c: allocation frontier diverged",
+            preset.name()
+        );
+    });
+}
+
+#[test]
+fn every_catalog_graph_preserves_the_sb_event_stream() {
+    let catalog: Vec<(&'static str, Heap)> = graphs::catalog();
+    par_map(&catalog, |_, (name, heap)| {
+        for cores in [1usize, 4, 16] {
+            let mut fast_heap = heap.clone();
+            let mut naive_heap = heap.clone();
+            // Event capture forces k = 0 whenever a skipped window would
+            // drop per-cycle lock-failure events, so the streams must
+            // match record for record.
+            let mut fast_trace = SignalTrace::with_events(1 << 40);
+            let mut naive_trace = SignalTrace::with_events(1 << 40);
+            let fast =
+                SimCollector::new(ff_config(cores)).collect_traced(&mut fast_heap, &mut fast_trace);
+            let naive = SimCollector::new(naive_config(cores))
+                .collect_traced(&mut naive_heap, &mut naive_trace);
+            assert_eq!(
+                fast.stats, naive.stats,
+                "{name}/{cores}c: stats diverged under fast-forward"
+            );
+            assert_eq!(
+                fast.free, naive.free,
+                "{name}/{cores}c: allocation frontier diverged"
+            );
+            assert_eq!(
+                fast_trace.events(),
+                naive_trace.events(),
+                "{name}/{cores}c: SB event streams diverged"
+            );
+            assert_eq!(
+                fast_trace.rows(),
+                naive_trace.rows(),
+                "{name}/{cores}c: sampled trace rows diverged"
+            );
+        }
+    });
+}

@@ -32,6 +32,15 @@ pub struct GcConfig {
     /// Upper bound on simulated cycles before the engine assumes a model
     /// bug and panics with diagnostics.
     pub max_cycles: u64,
+    /// Event-horizon fast-forward (default on): when every core is
+    /// stalled on in-flight memory transactions and nothing else can
+    /// change, the engine jumps to the next memory completion in one step
+    /// instead of ticking every dead cycle. Bit-exact — identical
+    /// `GcStats`, SB event stamps and trace rows — and automatically
+    /// suppressed whenever a schedule policy, a mutator or tracing could
+    /// observe the skipped cycles. `false` forces the naive per-cycle
+    /// loop (the differential tests compare both).
+    pub fast_forward: bool,
 }
 
 impl Default for GcConfig {
@@ -43,6 +52,7 @@ impl Default for GcConfig {
             line_split: None,
             tick_permutation_seed: None,
             max_cycles: 2_000_000_000,
+            fast_forward: true,
         }
     }
 }

@@ -31,13 +31,13 @@
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Heap, NULL};
 use hwgc_memsim::{HeaderFifo, MemorySystem};
-use hwgc_sync::SyncBlock;
+use hwgc_sync::{LockKind, SyncBlock};
 
 use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
 use crate::config::GcConfig;
-use crate::machine::{CoreSm, Ctx, State, WorkCounters};
+use crate::machine::{CoreSm, Ctx, State, TickOutcome, WorkCounters};
 use crate::schedule::{CoreView, RandomOrder, SchedulePolicy, ScheduleView};
-use crate::stats::GcStats;
+use crate::stats::{GcStats, StallReason};
 use crate::trace::{SignalTrace, TraceRow};
 
 /// Result of a simulated collection cycle.
@@ -179,7 +179,16 @@ impl SimCollector {
                 .as_mut()
                 .map(|p| p as &mut dyn SchedulePolicy),
         };
-        let mut views: Vec<CoreView> = Vec::with_capacity(cfg.n_cores);
+        // Preallocated per-cycle scratch: the steady-state loop must not
+        // allocate.
+        let mut views: Vec<CoreView> = vec![CoreView::default(); cfg.n_cores];
+        let mut outcomes: Vec<TickOutcome> = vec![TickOutcome::Progress; cfg.n_cores];
+        // Event-horizon fast-forward is only sound when nothing outside
+        // the cores can observe or perturb individual cycles: no mutator
+        // (it ticks every cycle) and no schedule policy (stateful
+        // arbiters advance their RNG per cycle). Tracing is handled
+        // per-jump by capping the skip at the next wanted sample.
+        let ff_enabled = cfg.fast_forward && mutator.is_none() && policy.is_none();
 
         loop {
             mem.tick();
@@ -188,14 +197,15 @@ impl SimCollector {
                 m.tick(heap, &mut sb, &mut fifo);
             }
             if let Some(p) = policy.as_deref_mut() {
-                views.clear();
-                views.extend(cores.iter().enumerate().map(|(i, c)| CoreView {
-                    pending_header: c.pending_header(),
-                    holds_header: sb.header_lock_of(i),
-                    holds_scan: sb.holds_scan(i),
-                    holds_free: sb.holds_free(i),
-                    busy: sb.is_busy(i),
-                }));
+                for (i, (view, core)) in views.iter_mut().zip(&cores).enumerate() {
+                    *view = CoreView {
+                        pending_header: core.pending_header(),
+                        holds_header: sb.header_lock_of(i),
+                        holds_scan: sb.holds_scan(i),
+                        holds_free: sb.holds_free(i),
+                        busy: sb.is_busy(i),
+                    };
+                }
                 let view = ScheduleView {
                     scan: sb.scan(),
                     free: sb.free(),
@@ -203,6 +213,7 @@ impl SimCollector {
                 };
                 p.arrange(cycles + 1, &view, &mut order);
             }
+            let mut any_progress = false;
             for &idx in &order {
                 let core = &mut cores[idx];
                 let mut ctx = Ctx {
@@ -215,7 +226,9 @@ impl SimCollector {
                     test_before_lock: cfg.test_before_lock,
                     line_split: cfg.line_split,
                 };
-                core.tick(&mut ctx);
+                let outcome = core.tick(&mut ctx);
+                outcomes[idx] = outcome;
+                any_progress |= outcome == TickOutcome::Progress;
             }
             cycles += 1;
             if sb.scan() == sb.free() {
@@ -245,6 +258,121 @@ impl SimCollector {
                 mem.oldest_inflight_age(),
                 cores.iter().map(|c| c.state()).collect::<Vec<_>>()
             );
+            // --- event-horizon fast-forward ----------------------------
+            // Every core just stalled (or is parked): with frozen SB
+            // registers, FIFO and heap, the coming cycles replay
+            // identically until memory changes something a core can see.
+            // Two flavors of skip alternate until the next core-visible
+            // event:
+            //  * horizon jump — nothing in the memory system moves until
+            //    the earliest in-service completion; jump there in one
+            //    step, replicating the skipped per-cycle statistics in
+            //    bulk;
+            //  * service-start replication — a queued request enters DRAM
+            //    service next tick, which no core can observe; run
+            //    `mem.tick()` for real and replay the cores' stalled
+            //    cycle without ticking them.
+            // The second bridges the one-cycle gap between "request
+            // queued" and "request in service" that would otherwise cost
+            // a full n-core tick in every stall window.
+            if ff_enabled && !any_progress {
+                // Each failed lock attempt emits a cycle-stamped event;
+                // those cannot be replicated outside `core.tick()`.
+                let events_pinned = sb.event_log_enabled()
+                    && outcomes.iter().any(|o| {
+                        matches!(
+                            o,
+                            TickOutcome::Stalled(
+                                StallReason::ScanLock
+                                    | StallReason::FreeLock
+                                    | StallReason::HeaderLock
+                            )
+                        )
+                    });
+                loop {
+                    if let Some(done_at) = mem.next_event_cycle() {
+                        // `mem`'s clock lags `cycles` by the root-phase
+                        // cost.
+                        let mut k = (done_at - 1).saturating_sub(mem.cycle());
+                        if let Some(t) = trace.as_deref() {
+                            // Do not skip over a cycle the trace wants.
+                            let next_sample = (cycles / t.sample_every + 1) * t.sample_every;
+                            k = k.min(next_sample - 1 - cycles);
+                        }
+                        if events_pinned {
+                            k = 0;
+                        }
+                        // Run out of cycles exactly where the naive loop
+                        // would panic.
+                        k = k.min(cfg.max_cycles - 1 - cycles);
+                        if k > 0 {
+                            cycles += k;
+                            sb.fast_forward(k);
+                            mem.fast_forward(k);
+                            if sb.scan() == sb.free() {
+                                stats.empty_worklist_cycles += k;
+                            }
+                            for (core, outcome) in cores.iter_mut().zip(&outcomes) {
+                                if let TickOutcome::Stalled(reason) = *outcome {
+                                    core.stalls.record_n(reason, k);
+                                    match reason {
+                                        StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, k),
+                                        StallReason::FreeLock => sb.bulk_fail(LockKind::Free, k),
+                                        StallReason::HeaderLock => {
+                                            sb.bulk_fail(LockKind::Header, k)
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    if events_pinned
+                        || cycles + 1 >= cfg.max_cycles
+                        || !mem.next_tick_starts_service_only()
+                    {
+                        break;
+                    }
+                    // Replicate one cycle bit for bit: the real memory
+                    // tick (it only starts DRAM services, which no core
+                    // observes), the cores' unchanged stall outcomes, and
+                    // the loop epilogue.
+                    mem.tick();
+                    sb.begin_cycle();
+                    for (core, outcome) in cores.iter_mut().zip(&outcomes) {
+                        if let TickOutcome::Stalled(reason) = *outcome {
+                            core.stalls.record_n(reason, 1);
+                            match reason {
+                                StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, 1),
+                                StallReason::FreeLock => sb.bulk_fail(LockKind::Free, 1),
+                                StallReason::HeaderLock => sb.bulk_fail(LockKind::Header, 1),
+                                _ => {}
+                            }
+                        }
+                    }
+                    cycles += 1;
+                    if sb.scan() == sb.free() {
+                        stats.empty_worklist_cycles += 1;
+                    }
+                    if let Some(trace) = trace.as_deref_mut() {
+                        if trace.wants(cycles) {
+                            trace.push(TraceRow {
+                                cycle: cycles,
+                                scan: sb.scan(),
+                                free: sb.free(),
+                                gray_words: sb.free() - sb.scan(),
+                                busy_cores: sb.busy_count() as u32,
+                                fifo_len: fifo.len() as u32,
+                                queue_depth: mem.queue_len() as u32,
+                                core_states: cores.iter().map(|c| c.state()).collect(),
+                            });
+                        }
+                    }
+                    // The queue may now have drained into service, opening
+                    // a horizon jump on the next pass.
+                }
+            }
         }
 
         debug_assert!(
@@ -281,8 +409,10 @@ impl SimCollector {
         stats.pointers_visited = counters.pointers_visited;
         stats.chunks_claimed = counters.chunks_claimed;
         stats.fifo = fifo.stats();
-        stats.mem = mem.stats().clone();
-        stats.sync = sb.stats().clone();
+        // The memory system and SB are drained; move their stats out
+        // instead of cloning.
+        stats.mem = mem.into_stats();
+        stats.sync = sb.into_stats();
         (free, stats, mutator.map(|m| m.stats))
     }
 
@@ -565,6 +695,56 @@ mod tests {
             .filter(|r| matches!(r.event, SbEvent::LockHeader { .. }))
             .count() as u64;
         assert!(locks >= out.stats.objects_copied.saturating_sub(1));
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact_under_high_latency() {
+        // The Figure 6 regime (+20 cycles on every access) maximizes dead
+        // cycles — exactly where fast-forward pays off and where any
+        // replication error in stall/stat accounting would surface.
+        use hwgc_memsim::MemConfig;
+        for cores in [1, 2, 4, 16] {
+            let cfg = GcConfig {
+                mem: MemConfig::default().with_extra_latency(20),
+                ..GcConfig::with_cores(cores)
+            };
+            let mut h1 = diamond(500);
+            let fast = SimCollector::new(cfg).collect(&mut h1);
+            let mut h2 = diamond(500);
+            let naive_cfg = GcConfig {
+                fast_forward: false,
+                ..cfg
+            };
+            let naive = SimCollector::new(naive_cfg).collect(&mut h2);
+            assert_eq!(fast.stats, naive.stats, "{cores} cores");
+            assert_eq!(fast.free, naive.free, "{cores} cores");
+        }
+    }
+
+    #[test]
+    fn fast_forward_preserves_trace_rows_and_events() {
+        use hwgc_memsim::MemConfig;
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::with_cores(4)
+        };
+        // Sparse sampling leaves room to skip between samples; the rows
+        // and the complete SB event log must still be identical.
+        for sample_every in [1u64, 7, 1 << 40] {
+            let mut h1 = diamond(500);
+            let mut t1 = crate::trace::SignalTrace::with_events(sample_every);
+            let fast = SimCollector::new(cfg).collect_traced(&mut h1, &mut t1);
+            let mut h2 = diamond(500);
+            let mut t2 = crate::trace::SignalTrace::with_events(sample_every);
+            let naive = SimCollector::new(GcConfig {
+                fast_forward: false,
+                ..cfg
+            })
+            .collect_traced(&mut h2, &mut t2);
+            assert_eq!(fast.stats, naive.stats, "sample_every {sample_every}");
+            assert_eq!(t1.rows(), t2.rows(), "sample_every {sample_every}");
+            assert_eq!(t1.events(), t2.events(), "sample_every {sample_every}");
+        }
     }
 
     #[test]

@@ -109,6 +109,22 @@ enum Step {
     Stall(State, StallReason),
 }
 
+/// What a full tick amounted to, as seen by the engine's quiescence
+/// detector: a cycle in which *every* core reports [`TickOutcome::Stalled`]
+/// or [`TickOutcome::Parked`] changed nothing a core can observe, so the
+/// next cycles replay identically until the memory system's next event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// The core did productive work (or transitioned state) this cycle.
+    Progress,
+    /// The tick ended in a stall: the core will retry the same failing
+    /// step, against the same frozen inputs, every cycle until the cause
+    /// resolves.
+    Stalled(StallReason),
+    /// Terminal [`State::Done`] — the core ticks as a no-op forever.
+    Parked,
+}
+
 /// Register state for the object currently being scanned / the child
 /// currently being processed.
 #[derive(Debug, Default, Clone, Copy)]
@@ -176,7 +192,10 @@ impl CoreSm {
     }
 
     /// Execute one clock cycle.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn tick(&mut self, ctx: &mut Ctx<'_>) -> TickOutcome {
+        if self.state == State::Done {
+            return TickOutcome::Parked;
+        }
         let mut state = self.state;
         // A tick chains at most a handful of zero-cost actions; the bound
         // catches accidental intra-cycle loops.
@@ -185,12 +204,12 @@ impl CoreSm {
                 Step::Chain(next) => state = next,
                 Step::Yield(next) => {
                     self.state = next;
-                    return;
+                    return TickOutcome::Progress;
                 }
                 Step::Stall(next, reason) => {
                     self.stalls.record(reason);
                     self.state = next;
-                    return;
+                    return TickOutcome::Stalled(reason);
                 }
             }
         }

@@ -54,16 +54,24 @@ pub struct StallBreakdown {
 impl StallBreakdown {
     /// Record one stalled cycle.
     pub fn record(&mut self, reason: StallReason) {
+        self.record_n(reason, 1);
+    }
+
+    /// Record `n` stalled cycles with the same cause in one step — used by
+    /// the engine's fast-forward to replicate what `n` naive iterations
+    /// would have recorded for a core whose stall cannot resolve before
+    /// the next memory event.
+    pub fn record_n(&mut self, reason: StallReason, n: u64) {
         match reason {
-            StallReason::ScanLock => self.scan_lock += 1,
-            StallReason::FreeLock => self.free_lock += 1,
-            StallReason::HeaderLock => self.header_lock += 1,
-            StallReason::BodyLoad => self.body_load += 1,
-            StallReason::BodyStore => self.body_store += 1,
-            StallReason::HeaderLoad => self.header_load += 1,
-            StallReason::HeaderStore => self.header_store += 1,
-            StallReason::EmptySpin => self.empty_spin += 1,
-            StallReason::Drain => self.drain += 1,
+            StallReason::ScanLock => self.scan_lock += n,
+            StallReason::FreeLock => self.free_lock += n,
+            StallReason::HeaderLock => self.header_lock += n,
+            StallReason::BodyLoad => self.body_load += n,
+            StallReason::BodyStore => self.body_store += n,
+            StallReason::HeaderLoad => self.header_load += n,
+            StallReason::HeaderStore => self.header_store += n,
+            StallReason::EmptySpin => self.empty_spin += n,
+            StallReason::Drain => self.drain += n,
         }
     }
 
@@ -95,7 +103,11 @@ impl StallBreakdown {
 }
 
 /// Full statistics of one simulated collection cycle.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is part of the fast-forward contract: the differential
+/// tests compare entire `GcStats` values between the fast-forwarding and
+/// the naive engine loop, field for field.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GcStats {
     /// Total clock cycles of the collection cycle (Table II "Total").
     pub total_cycles: u64,

@@ -22,6 +22,106 @@ use hwgc_sync::SbEventRecord;
 
 use crate::machine::State;
 
+/// Per-core microprogram states of one sampled cycle, stored inline for
+/// up to [`CoreStates::INLINE`] cores (the prototype's maximum) so that
+/// pushing a trace row does not allocate. Larger simulated machines spill
+/// to the heap. Dereferences to `[State]`.
+#[derive(Clone)]
+pub struct CoreStates {
+    inline: [State; CoreStates::INLINE],
+    len: usize,
+    /// Used only when `len > INLINE`.
+    spill: Vec<State>,
+}
+
+impl CoreStates {
+    /// Inline capacity: the paper's prototype supports up to 16 cores.
+    pub const INLINE: usize = 16;
+
+    /// Empty state list.
+    pub fn new() -> CoreStates {
+        CoreStates {
+            inline: [State::Poll; CoreStates::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append one core's state.
+    pub fn push(&mut self, state: State) {
+        if self.len < CoreStates::INLINE {
+            self.inline[self.len] = state;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(state);
+        }
+        self.len += 1;
+    }
+
+    /// The states as a slice.
+    pub fn as_slice(&self) -> &[State] {
+        if self.len <= CoreStates::INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for CoreStates {
+    fn default() -> CoreStates {
+        CoreStates::new()
+    }
+}
+
+impl std::ops::Deref for CoreStates {
+    type Target = [State];
+    fn deref(&self) -> &[State] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for CoreStates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for CoreStates {
+    fn eq(&self, other: &CoreStates) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for CoreStates {}
+
+impl FromIterator<State> for CoreStates {
+    fn from_iter<I: IntoIterator<Item = State>>(iter: I) -> CoreStates {
+        let mut cs = CoreStates::new();
+        for s in iter {
+            cs.push(s);
+        }
+        cs
+    }
+}
+
+impl From<Vec<State>> for CoreStates {
+    fn from(v: Vec<State>) -> CoreStates {
+        v.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a CoreStates {
+    type Item = &'a State;
+    type IntoIter = std::slice::Iter<'a, State>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One sampled cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRow {
@@ -37,7 +137,7 @@ pub struct TraceRow {
     /// Requests waiting for DRAM service.
     pub queue_depth: u32,
     /// Microprogram state per core.
-    pub core_states: Vec<State>,
+    pub core_states: CoreStates,
 }
 
 /// A sampled signal trace of one collection cycle.
@@ -154,8 +254,22 @@ mod tests {
             busy_cores: busy,
             fifo_len: 0,
             queue_depth: 0,
-            core_states: vec![State::Poll, State::Done],
+            core_states: vec![State::Poll, State::Done].into(),
         }
+    }
+
+    #[test]
+    fn core_states_inline_and_spilled() {
+        let inline: CoreStates = (0..CoreStates::INLINE).map(|_| State::Poll).collect();
+        assert_eq!(inline.len(), CoreStates::INLINE);
+        assert!(inline.iter().all(|&s| s == State::Poll));
+        // One past the inline capacity spills to the heap transparently.
+        let mut spilled = inline.clone();
+        spilled.push(State::Done);
+        assert_eq!(spilled.len(), CoreStates::INLINE + 1);
+        assert_eq!(spilled[CoreStates::INLINE], State::Done);
+        assert_eq!(&spilled[..CoreStates::INLINE], &inline[..]);
+        assert_ne!(inline, spilled);
     }
 
     #[test]

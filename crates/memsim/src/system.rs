@@ -176,6 +176,20 @@ pub struct MemorySystem {
     /// xorshift state for out-of-order queue service (`None` = FIFO).
     reorder_state: Option<u64>,
     stats: MemStats,
+    // Derived occupancy counters so the per-cycle tick touches no port
+    // buffer unless something can actually change. Invariants:
+    // `occupied` = number of `Some` port entries, `in_service` / `blocked`
+    // / `complete` = entries in the corresponding `TxnState`, and
+    // `next_retire` = earliest `done_at` among in-service transactions
+    // (`u64::MAX` when none).
+    occupied: usize,
+    in_service: usize,
+    blocked: usize,
+    complete: usize,
+    next_retire: u64,
+    /// Set when a pending header store retired; the comparator re-check
+    /// can only unblock a load on such a cycle.
+    pending_stores_dirty: bool,
 }
 
 impl MemorySystem {
@@ -186,12 +200,22 @@ impl MemorySystem {
             cfg,
             cycle: 0,
             ports: vec![[None; PORT_COUNT]; n_cores],
-            queue: VecDeque::new(),
-            pending_header_stores: Vec::new(),
+            // Preallocate to the architectural maxima so the steady-state
+            // simulation loop never allocates: at most one outstanding
+            // request per (core, port), at most one pending header store
+            // per core (plus the mutator's slot).
+            queue: VecDeque::with_capacity(n_cores * PORT_COUNT + PORT_COUNT),
+            pending_header_stores: Vec::with_capacity(n_cores + 1),
             last_body_addr: vec![[None; 2]; n_cores],
             header_cache: vec![None; cfg.header_cache_entries],
             reorder_state: cfg.service_reorder_seed.map(|s| s | 1),
             stats: MemStats::default(),
+            occupied: 0,
+            in_service: 0,
+            blocked: 0,
+            complete: 0,
+            next_retire: u64::MAX,
+            pending_stores_dirty: false,
         }
     }
 
@@ -252,74 +276,113 @@ impl MemorySystem {
         self.cycle += 1;
         self.stats.cycles += 1;
 
-        // 1. Retire in-service transactions that are done.
-        for core in 0..self.ports.len() {
-            for port in Port::ALL {
-                if let Some(txn) = &mut self.ports[core][port as usize] {
-                    if let TxnState::InService { done_at } = txn.state {
-                        if done_at <= self.cycle {
-                            if port.is_load() {
-                                txn.state = TxnState::Complete;
-                            } else {
-                                // Stores retire fully; free the buffer.
-                                if port == Port::HeaderStore {
-                                    let addr = txn.addr;
-                                    remove_one(&mut self.pending_header_stores, addr);
+        // 1. Retire in-service transactions that are done. The earliest
+        // completion is tracked in `next_retire`, so cycles with nothing
+        // to retire skip the port scan entirely.
+        if self.in_service > 0 && self.next_retire <= self.cycle {
+            for core in 0..self.ports.len() {
+                for port in Port::ALL {
+                    if let Some(txn) = &mut self.ports[core][port as usize] {
+                        if let TxnState::InService { done_at } = txn.state {
+                            if done_at <= self.cycle {
+                                self.in_service -= 1;
+                                if port.is_load() {
+                                    txn.state = TxnState::Complete;
+                                    self.complete += 1;
+                                } else {
+                                    // Stores retire fully; free the buffer.
+                                    if port == Port::HeaderStore {
+                                        let addr = txn.addr;
+                                        remove_one(&mut self.pending_header_stores, addr);
+                                        self.pending_stores_dirty = true;
+                                    }
+                                    self.ports[core][port as usize] = None;
+                                    self.occupied -= 1;
                                 }
-                                self.ports[core][port as usize] = None;
                             }
                         }
                     }
                 }
             }
+            // Recompute the horizon over whatever is still in service.
+            self.next_retire = self
+                .ports
+                .iter()
+                .flat_map(|p| p.iter().flatten())
+                .filter_map(|t| match t.state {
+                    TxnState::InService { done_at } => Some(done_at),
+                    _ => None,
+                })
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
-        // 2. Unblock header loads (comparator array re-check).
-        for core in 0..self.ports.len() {
-            if let Some(txn) = &mut self.ports[core][Port::HeaderLoad as usize] {
-                if txn.state == TxnState::Blocked {
-                    if self.pending_header_stores.contains(&txn.addr) {
-                        self.stats.comparator_blocked_cycles += 1;
-                    } else {
-                        txn.state = TxnState::Queued;
-                        self.queue.push_back((core, Port::HeaderLoad));
+        // 2. Unblock header loads (comparator array re-check). A blocked
+        // load can only unblock on a cycle where a pending header store
+        // retired; otherwise every blocked load just re-counts.
+        if self.blocked > 0 {
+            if self.pending_stores_dirty {
+                for core in 0..self.ports.len() {
+                    if let Some(txn) = &mut self.ports[core][Port::HeaderLoad as usize] {
+                        if txn.state == TxnState::Blocked {
+                            if self.pending_header_stores.contains(&txn.addr) {
+                                self.stats.comparator_blocked_cycles += 1;
+                            } else {
+                                txn.state = TxnState::Queued;
+                                self.blocked -= 1;
+                                self.queue.push_back((core, Port::HeaderLoad));
+                            }
+                        }
                     }
                 }
+            } else {
+                // No store retired since the last re-check: every blocked
+                // load is still blocked (its matching store is still
+                // pending), exactly as the scan would conclude.
+                self.stats.comparator_blocked_cycles += self.blocked as u64;
             }
         }
+        self.pending_stores_dirty = false;
 
         // 3. DRAM accepts up to `bandwidth` queued requests.
-        self.stats.queue_occupancy_sum += self.queue.len() as u64;
         if !self.queue.is_empty() {
+            self.stats.queue_occupancy_sum += self.queue.len() as u64;
             self.stats.queue_busy_cycles += 1;
-        }
-        for _ in 0..self.cfg.bandwidth {
-            let Some((core, port)) = self.pop_service() else {
-                break;
-            };
-            let latency = self.access_latency(core, port);
-            if latency == 0 {
-                // Burst continuation: the open-row access completes within
-                // this memory cycle — data is ready when the core ticks.
-                let txn = self.ports[core][port as usize].take().expect("queued txn");
-                debug_assert_eq!(txn.state, TxnState::Queued);
-                if port.is_load() {
-                    self.ports[core][port as usize] = Some(Txn {
-                        state: TxnState::Complete,
-                        ..txn
-                    });
-                } else if port == Port::HeaderStore {
-                    remove_one(&mut self.pending_header_stores, txn.addr);
+            for _ in 0..self.cfg.bandwidth {
+                let Some((core, port)) = self.pop_service() else {
+                    break;
+                };
+                let latency = self.access_latency(core, port);
+                if latency == 0 {
+                    // Burst continuation: the open-row access completes
+                    // within this memory cycle — data is ready when the
+                    // core ticks.
+                    let txn = self.ports[core][port as usize].take().expect("queued txn");
+                    debug_assert_eq!(txn.state, TxnState::Queued);
+                    if port.is_load() {
+                        self.ports[core][port as usize] = Some(Txn {
+                            state: TxnState::Complete,
+                            ..txn
+                        });
+                        self.complete += 1;
+                    } else {
+                        self.occupied -= 1;
+                        if port == Port::HeaderStore {
+                            remove_one(&mut self.pending_header_stores, txn.addr);
+                            self.pending_stores_dirty = true;
+                        }
+                    }
+                    continue;
                 }
-                continue;
+                let done_at = self.cycle + latency as u64;
+                let txn = self.ports[core][port as usize]
+                    .as_mut()
+                    .expect("queued transaction must exist");
+                debug_assert_eq!(txn.state, TxnState::Queued);
+                txn.state = TxnState::InService { done_at };
+                self.in_service += 1;
+                self.next_retire = self.next_retire.min(done_at);
             }
-            let txn = self.ports[core][port as usize]
-                .as_mut()
-                .expect("queued transaction must exist");
-            debug_assert_eq!(txn.state, TxnState::Queued);
-            txn.state = TxnState::InService {
-                done_at: self.cycle + latency as u64,
-            };
         }
     }
 
@@ -329,14 +392,26 @@ impl MemorySystem {
     /// the full random-access latency. The Figure 6 artificial latency is
     /// added to everything.
     fn access_latency(&mut self, core: usize, port: Port) -> u32 {
+        let latency = self.peek_latency(core, port);
+        if let Port::BodyLoad | Port::BodyStore = port {
+            let addr = self.ports[core][port as usize].as_ref().expect("txn").addr;
+            let slot = if port == Port::BodyLoad { 0 } else { 1 };
+            self.last_body_addr[core][slot] = Some(addr);
+        }
+        latency
+    }
+
+    /// [`MemorySystem::access_latency`] without the burst-state update:
+    /// what service for `(core, port)` *would* cost if it started now.
+    /// Exact for every queued transaction, because distinct queue entries
+    /// occupy distinct `(core, port)` buffers and therefore distinct burst
+    /// trackers.
+    fn peek_latency(&self, core: usize, port: Port) -> u32 {
         let txn = self.ports[core][port as usize].as_ref().expect("txn");
-        let addr = txn.addr;
         let base = match port {
             Port::BodyLoad | Port::BodyStore => {
                 let slot = if port == Port::BodyLoad { 0 } else { 1 };
-                let seq = self.last_body_addr[core][slot] == Some(addr.wrapping_sub(1));
-                self.last_body_addr[core][slot] = Some(addr);
-                if seq {
+                if self.last_body_addr[core][slot] == Some(txn.addr.wrapping_sub(1)) {
                     0
                 } else {
                     self.cfg.latency
@@ -381,8 +456,12 @@ impl MemorySystem {
             state,
             issued_at: self.cycle,
         });
-        if state == TxnState::Queued {
-            self.queue.push_back((core, port));
+        self.occupied += 1;
+        match state {
+            TxnState::Queued => self.queue.push_back((core, port)),
+            TxnState::Blocked => self.blocked += 1,
+            TxnState::Complete => self.complete += 1,
+            TxnState::InService { .. } => unreachable!("issue never starts service"),
         }
         self.stats.issued[port as usize] += 1;
         true
@@ -425,13 +504,15 @@ impl MemorySystem {
             TxnState::Complete,
             "load consumed before completion"
         );
+        self.occupied -= 1;
+        self.complete -= 1;
         txn.addr
     }
 
     /// True when every buffer of every core is empty (all stores committed,
     /// all loads consumed) — the end-of-cycle flush condition.
     pub fn all_idle(&self) -> bool {
-        self.ports.iter().all(|p| p.iter().all(Option::is_none))
+        self.occupied == 0
     }
 
     /// Is a header store to `addr` pending (comparator array view)?
@@ -439,9 +520,72 @@ impl MemorySystem {
         self.pending_header_stores.contains(&addr)
     }
 
+    /// The event horizon for fast-forwarding: the cycle at which the
+    /// earliest in-service transaction completes, provided nothing else
+    /// can happen before then. Returns `None` when the next cycle is not a
+    /// pure wait — a request is still queued for service (DRAM would start
+    /// it next tick), completed load data is waiting to be consumed, or no
+    /// transaction is in service at all.
+    ///
+    /// When `Some(done_at)` is returned, every tick up to `done_at - 1`
+    /// is observationally identical for the cores (no retirement, no
+    /// unblocking, no service start), so the engine may skip them —
+    /// replicating per-cycle statistics via [`MemorySystem::fast_forward`].
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        // Queued requests start service next tick; completed load data is
+        // consumed by the owning core's next tick — neither is a dead
+        // cycle. Blocked header loads only move when the matching store
+        // retires, which is itself an in-service completion — covered by
+        // the horizon. All tracked by counter, so this is O(1).
+        if !self.queue.is_empty() || self.complete > 0 || self.in_service == 0 {
+            return None;
+        }
+        Some(self.next_retire)
+    }
+
+    /// Is the coming tick *core-invisible*? True when its only effects
+    /// are internal bookkeeping: nothing retires (`next_retire` is past
+    /// the next cycle), no completed load is waiting, and every queued
+    /// request would enter service with a nonzero latency (a zero-latency
+    /// burst start completes within the tick, which the owning core sees
+    /// immediately). Header-load unblocking may still happen — Blocked →
+    /// Queued changes nothing a core reads. The latency peek is exact for
+    /// every queued entry because distinct entries occupy distinct
+    /// `(core, port)` buffers and thus distinct burst trackers.
+    ///
+    /// When true, the engine may run [`MemorySystem::tick`] for real and
+    /// replicate the cores' stalled cycle without ticking them — every
+    /// input the cores read is unchanged.
+    pub fn next_tick_starts_service_only(&self) -> bool {
+        if self.queue.is_empty() || self.complete > 0 || self.next_retire <= self.cycle + 1 {
+            return false;
+        }
+        self.queue
+            .iter()
+            .all(|&(core, port)| self.peek_latency(core, port) > 0)
+    }
+
+    /// Skip `k` cycles in one jump. Only legal when
+    /// [`MemorySystem::next_event_cycle`] returned `Some(done_at)` and
+    /// `cycle + k < done_at`: the skipped ticks would each have retired
+    /// nothing, started no service (empty queue ⇒ zero occupancy, not
+    /// busy) and merely re-counted every comparator-blocked header load.
+    pub fn fast_forward(&mut self, k: u64) {
+        debug_assert!(self.queue.is_empty(), "fast-forward with queued requests");
+        self.cycle += k;
+        self.stats.cycles += k;
+        self.stats.comparator_blocked_cycles += k * self.blocked as u64;
+    }
+
     /// Statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Consume the drained memory system, yielding its statistics without
+    /// a clone (end-of-collection epilogue).
+    pub fn into_stats(self) -> MemStats {
+        self.stats
     }
 
     /// Requests currently waiting for DRAM service (monitoring).
@@ -612,6 +756,68 @@ mod tests {
         let mut m = mem(1);
         m.try_issue(0, Port::BodyLoad, 9);
         m.consume_load(0, Port::BodyLoad);
+    }
+
+    #[test]
+    fn horizon_is_earliest_completion() {
+        let mut m = mem(2); // latency 3, bandwidth 2
+        assert_eq!(m.next_event_cycle(), None, "idle system has no horizon");
+        assert!(m.try_issue(0, Port::BodyLoad, 10));
+        assert_eq!(m.next_event_cycle(), None, "queued request blocks skipping");
+        m.tick(); // service starts at cycle 1, completes at 4
+        assert!(m.try_issue(1, Port::BodyStore, 20));
+        assert_eq!(m.next_event_cycle(), None, "new request is queued");
+        m.tick(); // second service starts: done at 5
+        assert_eq!(m.next_event_cycle(), Some(4));
+        // Fast-forward to just before the horizon, then tick normally.
+        m.fast_forward(4 - 1 - m.cycle());
+        assert_eq!(m.cycle(), 3);
+        m.tick();
+        assert!(m.load_ready(0, Port::BodyLoad));
+        m.consume_load(0, Port::BodyLoad);
+        assert_eq!(m.next_event_cycle(), Some(5));
+        m.tick();
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn horizon_blocked_on_complete_load() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::BodyLoad, 10));
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert_eq!(
+            m.next_event_cycle(),
+            None,
+            "unconsumed load data is not a dead cycle"
+        );
+    }
+
+    #[test]
+    fn fast_forward_replicates_comparator_blocking() {
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        assert!(m.try_issue(1, Port::HeaderLoad, 42));
+        m.tick(); // store in service (done at 4); load blocked
+        let naive = {
+            let mut n = m.clone();
+            let mut ticks = 0;
+            while !n.load_ready(1, Port::HeaderLoad) {
+                n.tick();
+                ticks += 1;
+                assert!(ticks < 32);
+            }
+            n.stats().clone()
+        };
+        // Fast-forwarded: skip to one cycle before the store retires.
+        let horizon = m.next_event_cycle().expect("store in service");
+        m.fast_forward(horizon - 1 - m.cycle());
+        while !m.load_ready(1, Port::HeaderLoad) {
+            m.tick();
+        }
+        assert_eq!(m.stats(), &naive);
     }
 
     #[test]

@@ -132,6 +132,10 @@ pub struct SyncBlock {
     header_regs: Vec<Option<u32>>,
     /// `ScanState`: one busy bit per core.
     busy: Vec<bool>,
+    /// Number of set busy bits, maintained on every transition so the
+    /// whole-register reads (`none_busy_except`, `busy_count`) are O(1) —
+    /// they run in every idle core's poll loop, every cycle.
+    busy_n: usize,
     /// Line-split extension: claimed-body offset of the object currently
     /// at `scan` (0 = unsplit / next claim starts a fresh object).
     scan_chunk_off: u32,
@@ -167,8 +171,11 @@ impl SyncBlock {
             free_owner: None,
             header_regs: vec![None; n_cores],
             busy: vec![false; n_cores],
+            busy_n: 0,
             scan_chunk_off: 0,
-            splits: Vec::new(),
+            // At most one outstanding split per claiming core: preallocate
+            // so the simulation loop never allocates.
+            splits: Vec::with_capacity(n_cores),
             scan_written: false,
             free_written: false,
             cycle: 0,
@@ -206,6 +213,37 @@ impl SyncBlock {
     pub fn set_cycle(&mut self, cycle: u64) {
         assert!(cycle >= self.cycle, "SB clock may not go backwards");
         self.cycle = cycle;
+    }
+
+    /// Is the cycle-stamped operation log enabled? The engine must not
+    /// fast-forward over lock-contention cycles while it is: every failed
+    /// attempt emits a per-cycle event.
+    pub fn event_log_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Skip `k` dead cycles in one jump. Only legal when no core touched
+    /// the SB this cycle (the register write ports are unarmed) — each
+    /// skipped cycle would merely have called [`SyncBlock::begin_cycle`]
+    /// on an untouched SB.
+    pub fn fast_forward(&mut self, k: u64) {
+        debug_assert!(
+            !self.scan_written && !self.free_written,
+            "fast-forward across a register write"
+        );
+        self.cycle += k;
+    }
+
+    /// Account `k` failed acquisition attempts of `kind` at once: a core
+    /// stalled on a lock whose holder cannot move retries — and fails —
+    /// identically every skipped cycle. Illegal while the event log is on
+    /// (each failure would need its own cycle-stamped record).
+    pub fn bulk_fail(&mut self, kind: LockKind, k: u64) {
+        debug_assert!(
+            self.events.is_none(),
+            "bulk_fail would drop per-cycle fail events"
+        );
+        self.stats.failed_attempts[SyncStats::idx(kind)] += k;
     }
 
     fn log(&mut self, event: SbEvent) {
@@ -407,13 +445,19 @@ impl SyncBlock {
 
     /// Set `core`'s busy bit (entering the main scanning loop).
     pub fn set_busy(&mut self, core: usize) {
-        self.busy[core] = true;
+        if !self.busy[core] {
+            self.busy[core] = true;
+            self.busy_n += 1;
+        }
         self.log(SbEvent::SetBusy { core });
     }
 
     /// Clear `core`'s busy bit.
     pub fn clear_busy(&mut self, core: usize) {
-        self.busy[core] = false;
+        if self.busy[core] {
+            self.busy[core] = false;
+            self.busy_n -= 1;
+        }
         self.log(SbEvent::ClearBusy { core });
     }
 
@@ -426,15 +470,12 @@ impl SyncBlock {
     /// other than `observer` is busy. Used together with the `scan == free`
     /// comparison for termination detection.
     pub fn none_busy_except(&self, observer: usize) -> bool {
-        self.busy
-            .iter()
-            .enumerate()
-            .all(|(c, &b)| c == observer || !b)
+        self.busy_n == 0 || (self.busy_n == 1 && self.busy[observer])
     }
 
     /// Number of busy cores (monitoring).
     pub fn busy_count(&self) -> usize {
-        self.busy.iter().filter(|&&b| b).count()
+        self.busy_n
     }
 
     // --- line-split extension (paper's future work item 1) -------------
@@ -484,6 +525,12 @@ impl SyncBlock {
     /// Contention statistics.
     pub fn stats(&self) -> &SyncStats {
         &self.stats
+    }
+
+    /// Consume the quiescent SB, yielding its statistics without a clone
+    /// (end-of-collection epilogue).
+    pub fn into_stats(self) -> SyncStats {
+        self.stats
     }
 
     /// Assert that no lock is held (end-of-cycle hygiene check).
@@ -685,6 +732,20 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn fast_forward_advances_clock_and_bulk_fail_accounts() {
+        let mut sb = SyncBlock::new(2);
+        sb.begin_cycle();
+        assert!(sb.try_acquire_scan(0));
+        // Core 1 stalls on the scan lock for 10 skipped cycles.
+        assert!(!sb.try_acquire_scan(1));
+        sb.fast_forward(9);
+        sb.bulk_fail(LockKind::Scan, 9);
+        assert_eq!(sb.cycle(), 10);
+        assert_eq!(sb.stats().failed(LockKind::Scan), 10);
+        sb.release_scan(0);
     }
 
     #[test]
