@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! bench_baseline [--smoke] [--out <path>] [--check <baseline.json>]
+//!                [--trace-out <path>] [--metrics-out <path>]
 //! ```
 //!
 //! * `--smoke` — reduced matrix (3 presets × {1, 4} cores) for CI,
@@ -17,7 +18,12 @@
 //!   in the current directory),
 //! * `--check` — compare against a previously written report: the
 //!   aggregate cycles/second over the combos present in *both* reports
-//!   must be ≥ `CHECK_RATIO` × the reference, else exit 1.
+//!   must be ≥ `CHECK_RATIO` × the reference, else exit 1,
+//! * `--trace-out` / `--metrics-out` — after the timed matrix, run the
+//!   Figure 6 configuration (javac, 1 core, +20 latency) once more with
+//!   the event bus attached and export the Chrome/Perfetto trace and the
+//!   metrics snapshot. The probed run is *not* timed; every measured
+//!   combo keeps the zero-overhead `NullProbe` path.
 //!
 //! The report also carries `ff_speedup`: the wall-clock ratio of the
 //! naive per-cycle loop to the event-horizon fast-forward path on the
@@ -250,6 +256,8 @@ fn main() {
     };
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_simulator.json".to_string());
     let check_path = flag_value("--check");
+    let trace_out = flag_value("--trace-out");
+    let metrics_out = flag_value("--metrics-out");
 
     let (presets, core_counts): (&[Preset], &[usize]) = if smoke {
         (&[Preset::Compress, Preset::Javac, Preset::Jlisp], &[1, 4])
@@ -282,6 +290,34 @@ fn main() {
 
     let ff_speedup = measure_ff_speedup(Preset::Javac, 1);
     println!("\nfast-forward speedup (fig6 config, javac/1c): {ff_speedup:.2}x");
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        // One extra, untimed probed run of the fig6 configuration for the
+        // observability exports. Bit-exactness of probe-on vs. probe-off
+        // stats is asserted (the differential the trace-smoke CI job also
+        // checks on its reduced config).
+        let cfg = GcConfig {
+            n_cores: 1,
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::default()
+        };
+        let (reference, _, _) = timed_collect(Preset::Javac, cfg);
+        let mut heap = spec(Preset::Javac).build();
+        let (out, _trace, recording) =
+            hwgc_bench::run_probed_heap(&mut heap, cfg, "javac-fig6", 64);
+        assert_eq!(out.stats, reference.stats, "probe perturbed the fig6 run");
+        if let Some(path) = &trace_out {
+            let text = hwgc_bench::chrome_trace("javac-fig6", 1, &out, &recording);
+            std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("[chrome] {path}");
+        }
+        if let Some(path) = &metrics_out {
+            let reg = hwgc_bench::metrics_for_run("javac-fig6", 1, &out, &recording);
+            std::fs::write(path, reg.to_json_string())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("[metrics] {path}");
+        }
+    }
 
     let report = render_report(mode, &combos, ff_speedup);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));

@@ -1,0 +1,131 @@
+//! Regenerate the EXPERIMENTS.md Table II stall-breakdown table from the
+//! metrics JSON written by `table2_stall_breakdown`, so the committed
+//! document and the measurement pipeline cannot drift apart.
+//!
+//! ```text
+//! gen_stall_tables [--metrics <path>] [--doc <path>] [--check]
+//! ```
+//!
+//! The generator replaces everything between the
+//! `<!-- BEGIN GENERATED: table2-stall-breakdown -->` and
+//! `<!-- END GENERATED: table2-stall-breakdown -->` markers in the
+//! document with a markdown table rendered from the
+//! `table2.<app>.stall_frac.*` gauges. `--check` renders without writing
+//! and exits 1 if the committed table is stale (what `reproduce_all`
+//! runs after the experiment batch).
+
+use hwgc_bench::{experiments_dir, pct, STALL_COLUMNS};
+use hwgc_obs::MetricsRegistry;
+
+const BEGIN: &str = "<!-- BEGIN GENERATED: table2-stall-breakdown -->";
+const END: &str = "<!-- END GENERATED: table2-stall-breakdown -->";
+
+/// Render the measured stall-fraction table from the registry gauges.
+fn render_table(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("| app |");
+    for (name, _) in STALL_COLUMNS {
+        out.push_str(&format!(" {} |", name.replace('_', "-")));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---|".repeat(STALL_COLUMNS.len()));
+    out.push('\n');
+    for preset in hwgc_workloads::Preset::ALL {
+        let app = preset.name();
+        out.push_str(&format!("| {app} |"));
+        for (name, _) in STALL_COLUMNS {
+            let gauge = format!("table2.{app}.stall_frac.{name}");
+            let frac = reg
+                .gauge(&gauge)
+                .unwrap_or_else(|| panic!("metrics JSON missing gauge {gauge}"));
+            out.push_str(&format!(" {} |", pct(frac)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Splice `table` between the markers of `doc`.
+fn splice(doc: &str, table: &str) -> Result<String, String> {
+    let begin = doc
+        .find(BEGIN)
+        .ok_or_else(|| format!("marker {BEGIN:?} not found"))?;
+    let end = doc
+        .find(END)
+        .ok_or_else(|| format!("marker {END:?} not found"))?;
+    if end < begin {
+        return Err("END marker precedes BEGIN marker".to_string());
+    }
+    let head = &doc[..begin + BEGIN.len()];
+    let tail = &doc[end..];
+    Ok(format!("{head}\n{table}{tail}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .clone()
+        })
+    };
+    let metrics_path = flag_value("--metrics")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| experiments_dir().join("table2_stall_breakdown.metrics.json"));
+    let doc_path = flag_value("--doc").unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let check = args.iter().any(|a| a == "--check");
+
+    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run table2_stall_breakdown first)",
+            metrics_path.display()
+        )
+    });
+    let reg = MetricsRegistry::from_json_str(&metrics_text)
+        .unwrap_or_else(|e| panic!("parse {}: {e}", metrics_path.display()));
+    let table = render_table(&reg);
+
+    let doc = std::fs::read_to_string(&doc_path).unwrap_or_else(|e| panic!("read {doc_path}: {e}"));
+    let updated = splice(&doc, &table).unwrap_or_else(|e| panic!("{doc_path}: {e}"));
+
+    if check {
+        if doc == updated {
+            println!("{doc_path}: stall-breakdown table is up to date");
+        } else {
+            eprintln!(
+                "{doc_path}: stall-breakdown table is stale; regenerate with \
+                 `cargo run --release -p hwgc-bench --bin gen_stall_tables`"
+            );
+            std::process::exit(1);
+        }
+    } else if doc == updated {
+        println!("{doc_path}: already up to date");
+    } else {
+        std::fs::write(&doc_path, &updated).unwrap_or_else(|e| panic!("write {doc_path}: {e}"));
+        println!(
+            "{doc_path}: stall-breakdown table regenerated from {}",
+            metrics_path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_replaces_between_markers() {
+        let doc = format!("before\n{BEGIN}\nold table\n{END}\nafter\n");
+        let out = splice(&doc, "new\n").unwrap();
+        assert_eq!(out, format!("before\n{BEGIN}\nnew\n{END}\nafter\n"));
+        // Idempotent.
+        assert_eq!(splice(&out, "new\n").unwrap(), out);
+    }
+
+    #[test]
+    fn splice_requires_markers() {
+        assert!(splice("no markers", "t").is_err());
+    }
+}

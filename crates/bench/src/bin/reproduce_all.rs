@@ -7,6 +7,13 @@
 //! behavior); each child's output is captured and printed in experiment
 //! order, so the log reads identically at any job count.
 //!
+//! `--trace-out <path>` / `--metrics-out <path>` are forwarded to the
+//! `trace_dump` child (as `HWGC_TRACE_OUT` / `HWGC_METRICS_OUT`), so one
+//! driver invocation can also produce the Perfetto trace and the metrics
+//! snapshot of the traced run. After the batch, `gen_stall_tables
+//! --check` verifies that EXPERIMENTS.md's stall-breakdown table still
+//! matches the metrics JSON `table2_stall_breakdown` just wrote.
+//!
 //! (`ablation_software` is excluded — it measures real threads and its
 //! wall-clock columns are host-dependent; run it separately, and prefer
 //! `HWGC_JOBS=1` when quoting its numbers.)
@@ -14,6 +21,17 @@
 use std::process::Command;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .clone()
+        })
+    };
+    let trace_out = flag_value("--trace-out");
+    let metrics_out = flag_value("--metrics-out");
+
     let binaries = [
         "fig5_scaling",
         "table1_empty_worklist",
@@ -32,8 +50,16 @@ fn main() {
     let dir = exe.parent().expect("target dir").to_path_buf();
     let start = std::time::Instant::now();
     let outputs = hwgc_check::par_map(&binaries, |_, bin| {
-        Command::new(dir.join(bin))
-            .output()
+        let mut cmd = Command::new(dir.join(bin));
+        if *bin == "trace_dump" {
+            if let Some(p) = &trace_out {
+                cmd.env("HWGC_TRACE_OUT", p);
+            }
+            if let Some(p) = &metrics_out {
+                cmd.env("HWGC_METRICS_OUT", p);
+            }
+        }
+        cmd.output()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
     });
     let mut failures = 0;
@@ -52,6 +78,22 @@ fn main() {
         }
     }
     assert!(failures == 0, "{failures} experiment(s) failed");
+
+    // table2_stall_breakdown refreshed its metrics JSON above; make sure
+    // the committed EXPERIMENTS.md table still matches it. Runs serially
+    // after the batch because it reads what the batch wrote.
+    println!("\n=== gen_stall_tables --check {}", "=".repeat(40));
+    let check = Command::new(dir.join("gen_stall_tables"))
+        .arg("--check")
+        .output()
+        .expect("failed to launch gen_stall_tables");
+    print!("{}", String::from_utf8_lossy(&check.stdout));
+    eprint!("{}", String::from_utf8_lossy(&check.stderr));
+    assert!(
+        check.status.success(),
+        "EXPERIMENTS.md stall table is stale"
+    );
+
     println!(
         "\nall {} experiments reproduced in {:.1} s ({} jobs); CSVs under target/experiments/",
         binaries.len(),

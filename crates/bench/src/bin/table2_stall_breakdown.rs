@@ -3,9 +3,16 @@
 //! cycles with the mean per-core percentage in parentheses, exactly the
 //! paper's columns: scan lock, free lock, header lock, body load, body
 //! store, header load, header store.
+//!
+//! Besides the CSV, the run writes a metrics-registry snapshot
+//! (`--metrics-out`, default `target/experiments/table2_stall_breakdown.metrics.json`)
+//! with per-preset `table2.<app>.stall.*` counters and
+//! `table2.<app>.stall_frac.*` gauges — the input `gen_stall_tables`
+//! renders back into EXPERIMENTS.md.
 
-use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_bench::{experiments_dir, record_stats, row, run_verified, spec, write_csv};
 use hwgc_core::{GcConfig, StallReason};
+use hwgc_obs::MetricsRegistry;
 use hwgc_workloads::Preset;
 
 fn main() {
@@ -38,8 +45,14 @@ fn main() {
         StallReason::HeaderStore,
     ];
     let mut csv = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for preset in Preset::ALL {
         let out = run_verified(&spec(preset), GcConfig::with_cores(n_cores));
+        record_stats(
+            &mut metrics,
+            &format!("table2.{}", preset.name()),
+            &out.stats,
+        );
         let s = &out.stats;
         let counts = [
             s.stall.scan_lock,
@@ -67,4 +80,14 @@ fn main() {
          header_store,header_store_frac",
         &csv,
     );
+
+    let metrics_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--metrics-out")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(|| experiments_dir().join("table2_stall_breakdown.metrics.json"));
+    std::fs::write(&metrics_path, metrics.to_json_string())
+        .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
+    println!("[metrics] {}", metrics_path.display());
 }

@@ -1,0 +1,126 @@
+//! CI trace smoke test: a reduced Figure-6 configuration (javac at 0.2
+//! scale, +20 cycles memory latency, 4 cores) with the full event bus
+//! attached, validated end to end:
+//!
+//! 1. the probed run's `GcStats` equal a probe-off run of the same heap —
+//!    observation must not perturb the simulation;
+//! 2. the Chrome trace-event JSON is well-formed, timestamps are
+//!    monotone, and there is one slice track per GC core and one counter
+//!    track per memory port kind;
+//! 3. the metrics snapshot carries the lock wait-time histograms for all
+//!    three lock kinds (scan, free, header).
+//!
+//! Artifacts (`trace.chrome.json`, `metrics.json`, `stalls.folded`) are
+//! written under `--out-dir` (default `target/trace_smoke/`) for upload.
+//! Any failed check prints a diagnostic and exits nonzero.
+
+use hwgc_bench::{chrome_trace, metrics_for_run, run_probed_heap, stall_folded};
+use hwgc_core::{GcConfig, SimCollector};
+use hwgc_heap::Snapshot;
+use hwgc_memsim::MemConfig;
+use hwgc_obs::validate_chrome_trace;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--out-dir needs a path"))
+                .clone()
+        })
+        .unwrap_or_else(|| "target/trace_smoke".to_string());
+
+    let cores = 4;
+    let spec = WorkloadSpec {
+        preset: Preset::Javac,
+        seed: 42,
+        scale: 0.2,
+    };
+    let cfg = GcConfig {
+        n_cores: cores,
+        mem: MemConfig::default().with_extra_latency(20),
+        ..GcConfig::default()
+    };
+    println!("trace_smoke: javac(scale 0.2), +20 latency, {cores} cores");
+
+    // Probe-off reference run of the identical heap.
+    let reference = {
+        let mut heap = spec.build();
+        let snap = Snapshot::capture(&heap);
+        let out = SimCollector::new(cfg).collect(&mut heap);
+        hwgc_heap::verify_collection(&heap, out.free, &snap)
+            .unwrap_or_else(|e| fail(&format!("probe-off run failed verification: {e}")));
+        out
+    };
+
+    // Probed run: SignalTrace + Recorder fan out from one collection.
+    let mut heap = spec.build();
+    let (out, trace, recording) = run_probed_heap(&mut heap, cfg, "javac-smoke", 8);
+
+    if out.stats != reference.stats || out.free != reference.free {
+        fail(&format!(
+            "probe-on GcStats diverged from probe-off: {} vs {} total cycles",
+            out.stats.total_cycles, reference.stats.total_cycles
+        ));
+    }
+    println!(
+        "GcStats identical probe-on/probe-off ({} cycles, {} objects)",
+        out.stats.total_cycles, out.stats.objects_copied
+    );
+
+    let chrome = chrome_trace("javac-smoke", cores, &out, &recording);
+    let summary = match validate_chrome_trace(&chrome, cores) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("chrome trace invalid: {e}")),
+    };
+    if summary.port_tracks < 4 {
+        fail(&format!(
+            "expected 4 memory-port counter tracks, found {}",
+            summary.port_tracks
+        ));
+    }
+    println!(
+        "chrome trace valid: {} events, {} core tracks, {} port tracks, max ts {}",
+        summary.events, summary.core_tracks, summary.port_tracks, summary.max_ts
+    );
+
+    let metrics = metrics_for_run("javac-smoke", cores, &out, &recording);
+    for kind in ["scan", "free", "header"] {
+        let name = format!("lock.{kind}.wait_cycles");
+        match metrics.histogram_ref(&name) {
+            Some(h) => println!(
+                "{name}: {} acquisitions, max wait {} cycles",
+                h.count(),
+                h.max().unwrap_or(0)
+            ),
+            None => fail(&format!("metrics JSON missing histogram {name}")),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(&format!("mkdir {out_dir}: {e}")));
+    let write = |name: &str, text: &str| {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, text).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("[artifact] {path}");
+    };
+    write("trace.chrome.json", &chrome);
+    write("metrics.json", &metrics.to_json_string());
+    write(
+        "stalls.folded",
+        &stall_folded(&out.stats).to_folded_string(),
+    );
+
+    // The SignalTrace view rides the same bus; sanity-check it saw rows.
+    if trace.rows().is_empty() {
+        fail("signal trace captured no samples");
+    }
+    println!("trace_smoke: OK");
+}

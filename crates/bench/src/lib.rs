@@ -10,8 +10,12 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use hwgc_core::{GcConfig, GcOutcome, SimCollector};
+use hwgc_core::{GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
 use hwgc_heap::{verify_collection, Heap, Snapshot};
+use hwgc_obs::{
+    chrome_trace_json, derive_metrics, Fanout, FoldedStacks, MetricsRegistry, Recorder, Recording,
+    RunMeta,
+};
 use hwgc_workloads::{Preset, WorkloadSpec};
 
 /// The core counts evaluated in the paper (Figures 5/6, Table I).
@@ -70,6 +74,180 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 /// Format a fraction as the paper prints it: `12.34 %`.
 pub fn pct(fraction: f64) -> String {
     format!("{:.2} %", fraction * 100.0)
+}
+
+/// The paper's seven Table II stall columns, in column order, with the
+/// snake_case names the CSV and metrics JSON use.
+pub const STALL_COLUMNS: [(&str, StallReason); 7] = [
+    ("scan_lock", StallReason::ScanLock),
+    ("free_lock", StallReason::FreeLock),
+    ("header_lock", StallReason::HeaderLock),
+    ("body_load", StallReason::BodyLoad),
+    ("body_store", StallReason::BodyStore),
+    ("header_load", StallReason::HeaderLoad),
+    ("header_store", StallReason::HeaderStore),
+];
+
+/// One verified collection with the full event bus attached: the classic
+/// [`SignalTrace`] (rows + SB event log for the CSV view) and an
+/// [`hwgc_obs::Recorder`] (the complete typed stream for the Chrome
+/// exporter and the metrics deriver) fan out from a *single* probed run,
+/// so every export of the run describes the same collection.
+pub fn run_probed_heap(
+    heap: &mut Heap,
+    cfg: GcConfig,
+    label: &str,
+    sample_every: u64,
+) -> (GcOutcome, SignalTrace, Recording) {
+    let snap = Snapshot::capture(heap);
+    let mut trace = SignalTrace::with_events(sample_every);
+    let mut recorder = Recorder::new();
+    let out = {
+        let mut trace_probe = trace.as_probe();
+        let mut fan = Fanout(&mut trace_probe, &mut recorder);
+        SimCollector::new(cfg).collect_probed(heap, &mut fan)
+    };
+    verify_collection(heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    (out, trace, recorder.into_recording())
+}
+
+/// [`run_probed_heap`] on a preset workload.
+pub fn run_probed(
+    spec: &WorkloadSpec,
+    cfg: GcConfig,
+    sample_every: u64,
+) -> (GcOutcome, SignalTrace, Recording) {
+    let mut heap = spec.build();
+    run_probed_heap(&mut heap, cfg, &spec.preset.to_string(), sample_every)
+}
+
+/// Exporter context for a run.
+pub fn run_meta(name: &str, n_cores: usize, out: &GcOutcome) -> RunMeta {
+    RunMeta {
+        name: name.to_string(),
+        n_cores,
+        total_cycles: out.stats.total_cycles,
+    }
+}
+
+/// The classic `trace_dump` text report: headline numbers plus a coarse
+/// 40-bucket timeline of the gray population (`#`) and busy cores (`*`).
+pub fn render_trace_summary(
+    label: &str,
+    cores: usize,
+    out: &GcOutcome,
+    trace: &SignalTrace,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "total cycles: {}", out.stats.total_cycles);
+    let _ = writeln!(s, "peak gray population: {} words", trace.peak_gray_words());
+    let _ = writeln!(
+        s,
+        "mean busy cores: {:.2} / {cores}",
+        trace.mean_busy_cores()
+    );
+    let rows = trace.rows();
+    let buckets = 40.min(rows.len());
+    if buckets > 0 {
+        let peak = trace.peak_gray_words().max(1);
+        let _ = writeln!(s, "\n  t%   gray-words (#) and busy cores (*)");
+        for b in 0..buckets {
+            let idx = b * rows.len() / buckets;
+            let r = &rows[idx];
+            let gbar = (r.gray_words as usize * 30 / peak as usize).min(30);
+            let bbar = r.busy_cores as usize * 30 / cores;
+            let _ = writeln!(
+                s,
+                "{:4} {:<31} {:<31}",
+                b * 100 / buckets,
+                "#".repeat(gbar.max(usize::from(r.gray_words > 0))),
+                "*".repeat(bbar)
+            );
+        }
+    }
+    let _ = label;
+    s
+}
+
+/// The signal-trace CSV as a string (one row per sample).
+pub fn trace_csv(trace: &SignalTrace) -> String {
+    let mut buf = Vec::new();
+    trace.write_csv(&mut buf).expect("csv into memory");
+    String::from_utf8(buf).expect("csv is utf-8")
+}
+
+/// Chrome trace-event / Perfetto JSON for a probed run.
+pub fn chrome_trace(name: &str, cores: usize, out: &GcOutcome, recording: &Recording) -> String {
+    chrome_trace_json(recording, &run_meta(name, cores, out))
+}
+
+/// Per-core stall cycles as flamegraph-ready folded stacks
+/// (`core3;HeaderLock 1845`), one frame per Table II stall cause plus the
+/// idle causes (`EmptySpin`, `Drain`).
+pub fn stall_folded(stats: &GcStats) -> FoldedStacks {
+    let mut folded = FoldedStacks::new();
+    for (i, core) in stats.per_core.iter().enumerate() {
+        let frame = format!("core{i}");
+        for (name, cycles) in [
+            ("ScanLock", core.scan_lock),
+            ("FreeLock", core.free_lock),
+            ("HeaderLock", core.header_lock),
+            ("BodyLoad", core.body_load),
+            ("BodyStore", core.body_store),
+            ("HeaderLoad", core.header_load),
+            ("HeaderStore", core.header_store),
+            ("EmptySpin", core.empty_spin),
+            ("Drain", core.drain),
+        ] {
+            folded.add(&[&frame, name], cycles);
+        }
+    }
+    folded
+}
+
+/// Fold the engine's [`GcStats`] counters into `reg` under `prefix`:
+/// total/stall-cycle counters plus the per-cause stall *fractions* as
+/// gauges (what `gen_stall_tables` renders). This is the bridge for
+/// consumers that have statistics but no recorded event stream.
+pub fn record_stats(reg: &mut MetricsRegistry, prefix: &str, stats: &GcStats) {
+    reg.counter_add(&format!("{prefix}.total_cycles"), stats.total_cycles);
+    reg.gauge_set(&format!("{prefix}.n_cores"), stats.per_core.len() as f64);
+    for (name, reason) in STALL_COLUMNS {
+        reg.counter_add(
+            &format!("{prefix}.stall.{name}"),
+            match reason {
+                StallReason::ScanLock => stats.stall.scan_lock,
+                StallReason::FreeLock => stats.stall.free_lock,
+                StallReason::HeaderLock => stats.stall.header_lock,
+                StallReason::BodyLoad => stats.stall.body_load,
+                StallReason::BodyStore => stats.stall.body_store,
+                StallReason::HeaderLoad => stats.stall.header_load,
+                StallReason::HeaderStore => stats.stall.header_store,
+                StallReason::EmptySpin | StallReason::Drain => unreachable!(),
+            },
+        );
+        reg.gauge_set(
+            &format!("{prefix}.stall_frac.{name}"),
+            stats.stall_fraction(reason),
+        );
+    }
+}
+
+/// The full metrics registry for a probed run: everything
+/// [`derive_metrics`] reconstructs from the event stream (lock wait/hold
+/// histograms per kind, contention pairs, port counters, …) plus the
+/// engine's own statistics under `stats.`.
+pub fn metrics_for_run(
+    name: &str,
+    cores: usize,
+    out: &GcOutcome,
+    recording: &Recording,
+) -> MetricsRegistry {
+    let mut reg = derive_metrics(recording, &run_meta(name, cores, out));
+    record_stats(&mut reg, "stats", &out.stats);
+    reg
 }
 
 /// Print a fixed-width table row.

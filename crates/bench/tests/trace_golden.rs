@@ -1,0 +1,111 @@
+//! Golden-file tests for the `trace_dump` export formats: one probed run
+//! of a tiny, fully deterministic graph, rendered as summary text, signal
+//! CSV, Chrome/Perfetto JSON, folded stalls and the metrics snapshot —
+//! each compared byte-for-byte against a committed golden.
+//!
+//! To regenerate after an intentional format or simulator change:
+//! `HWGC_UPDATE_GOLDENS=1 cargo test -p hwgc-bench --test trace_golden`.
+
+use std::path::PathBuf;
+
+use hwgc_bench::{
+    chrome_trace, metrics_for_run, render_trace_summary, run_probed_heap, stall_folded, trace_csv,
+};
+use hwgc_core::{GcConfig, GcOutcome, SignalTrace};
+use hwgc_heap::{GraphBuilder, Heap};
+use hwgc_obs::{validate_chrome_trace, Recording};
+
+const CORES: usize = 2;
+
+/// A small diamond-with-tails graph: enough shape for both cores to claim
+/// work, small enough that the goldens stay reviewable.
+fn tiny_heap() -> Heap {
+    let mut heap = Heap::new(2_000);
+    let mut b = GraphBuilder::new(&mut heap);
+    let root = b.add(3, 1).unwrap();
+    let left = b.add(2, 2).unwrap();
+    let right = b.add(2, 3).unwrap();
+    let leaf_a = b.add(0, 4).unwrap();
+    let mid = b.add(1, 2).unwrap();
+    let leaf_b = b.add(0, 6).unwrap();
+    let dead = b.add(1, 5).unwrap();
+    b.link(root, 0, left);
+    b.link(root, 1, right);
+    b.link(root, 2, leaf_a);
+    b.link(left, 0, leaf_a);
+    b.link(left, 1, mid);
+    b.link(right, 0, mid);
+    b.link(right, 1, leaf_b);
+    b.link(mid, 0, leaf_b);
+    b.link(dead, 0, root);
+    b.root(root);
+    heap
+}
+
+fn run() -> (GcOutcome, SignalTrace, Recording) {
+    let mut heap = tiny_heap();
+    run_probed_heap(&mut heap, GcConfig::with_cores(CORES), "golden", 1)
+}
+
+fn golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name);
+    if std::env::var_os("HWGC_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}; regenerate with HWGC_UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if the change is intentional, \
+         regenerate with HWGC_UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn summary_format_matches_golden() {
+    let (out, trace, _) = run();
+    golden(
+        "trace_golden.summary.txt",
+        &render_trace_summary("golden", CORES, &out, &trace),
+    );
+}
+
+#[test]
+fn csv_format_matches_golden() {
+    let (_, trace, _) = run();
+    golden("trace_golden.csv", &trace_csv(&trace));
+}
+
+#[test]
+fn chrome_format_matches_golden() {
+    let (out, _, recording) = run();
+    let text = chrome_trace("golden", CORES, &out, &recording);
+    // The golden must stay a *valid* trace, not just a stable one.
+    let summary = validate_chrome_trace(&text, CORES).expect("golden chrome trace validates");
+    assert!(summary.core_tracks >= CORES);
+    golden("trace_golden.chrome.json", &text);
+}
+
+#[test]
+fn folded_stalls_match_golden() {
+    let (out, _, _) = run();
+    golden(
+        "trace_golden.folded",
+        &stall_folded(&out.stats).to_folded_string(),
+    );
+}
+
+#[test]
+fn metrics_snapshot_matches_golden() {
+    let (out, _, recording) = run();
+    let reg = metrics_for_run("golden", CORES, &out, &recording);
+    golden("trace_golden.metrics.json", &reg.to_json_string());
+}

@@ -21,16 +21,21 @@
 //! 3. **Drain**: all store buffers flush before the main processor would
 //!    be restarted.
 //!
-//! Three front doors share one loop: [`SimCollector::collect`]
+//! The front doors share one loop: [`SimCollector::collect`]
 //! (stop-the-world, the paper's configuration),
 //! [`SimCollector::collect_concurrent`] (extension 3: the mutator ticks
 //! first each cycle, at top SB priority) and
-//! [`SimCollector::collect_traced`] (extension 4: per-cycle signal
-//! sampling).
+//! [`SimCollector::collect_probed`] (the observability bus —
+//! [`SimCollector::collect_traced`] is `collect_probed` with the
+//! [`SignalTrace`] adapter). The loop is generic over its
+//! [`hwgc_obs::Probe`]; the probe-less doors pass [`NullProbe`], whose
+//! `ACTIVE == false` compiles every emission site away, keeping the
+//! steady-state loop allocation-free at its current cycle costs.
 
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Heap, NULL};
 use hwgc_memsim::{HeaderFifo, MemorySystem};
+use hwgc_obs::{Event, NullProbe, Probe, SampleRec};
 use hwgc_sync::{LockKind, SyncBlock};
 
 use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
@@ -38,7 +43,7 @@ use crate::config::GcConfig;
 use crate::machine::{CoreSm, Ctx, State, TickOutcome, WorkCounters};
 use crate::schedule::{CoreView, RandomOrder, SchedulePolicy, ScheduleView};
 use crate::stats::{GcStats, StallReason};
-use crate::trace::{SignalTrace, TraceRow};
+use crate::trace::SignalTrace;
 
 /// Result of a simulated collection cycle.
 #[derive(Debug, Clone)]
@@ -81,16 +86,31 @@ impl SimCollector {
     /// Run one stop-the-world collection cycle on `heap` (the paper's
     /// configuration: the main processor is stopped throughout).
     pub fn collect(&self, heap: &mut Heap) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, None, None);
+        let (free, stats, _) = self.run(heap, None, None, &mut NullProbe);
+        GcOutcome { free, stats }
+    }
+
+    /// Run one collection cycle with `probe` subscribed to the event bus:
+    /// typed, cycle-stamped events for phase boundaries, core state
+    /// transitions, worklist claims, FIFO depth changes, periodic signal
+    /// samples, and (bridged at the end, stamps already on the engine
+    /// clock) the SB and memory-system operation logs. Observation is
+    /// passive: the outcome and `GcStats` are bit-identical to
+    /// [`SimCollector::collect`].
+    pub fn collect_probed<P: Probe>(&self, heap: &mut Heap, probe: &mut P) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, None, probe);
         GcOutcome { free, stats }
     }
 
     /// Run one collection cycle while sampling internal signals into
     /// `trace` (extension 4, the paper's monitoring framework). A trace
     /// built with [`SignalTrace::with_events`] also receives the SB's
-    /// complete cycle-stamped operation log.
+    /// complete cycle-stamped operation log. This is
+    /// [`SimCollector::collect_probed`] with [`SignalTrace::as_probe`]:
+    /// the classic CSV view rides the same bus as every other exporter.
     pub fn collect_traced(&self, heap: &mut Heap, trace: &mut SignalTrace) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, Some(trace), None);
+        let mut probe = trace.as_probe();
+        let (free, stats, _) = self.run(heap, None, None, &mut probe);
         GcOutcome { free, stats }
     }
 
@@ -99,7 +119,7 @@ impl SimCollector {
     /// functional outcome must match [`SimCollector::collect`] for every
     /// policy; only timing and stall attribution may shift.
     pub fn collect_scheduled(&self, heap: &mut Heap, policy: &mut dyn SchedulePolicy) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, None, Some(policy));
+        let (free, stats, _) = self.run(heap, None, Some(policy), &mut NullProbe);
         GcOutcome { free, stats }
     }
 
@@ -111,7 +131,8 @@ impl SimCollector {
         policy: &mut dyn SchedulePolicy,
         trace: &mut SignalTrace,
     ) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, Some(trace), Some(policy));
+        let mut probe = trace.as_probe();
+        let (free, stats, _) = self.run(heap, None, Some(policy), &mut probe);
         GcOutcome { free, stats }
     }
 
@@ -126,7 +147,7 @@ impl SimCollector {
         heap: &mut Heap,
         mutator_cfg: &MutatorConfig,
     ) -> ConcurrentOutcome {
-        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None, None);
+        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None, &mut NullProbe);
         ConcurrentOutcome {
             free,
             stats,
@@ -134,13 +155,19 @@ impl SimCollector {
         }
     }
 
-    /// The shared collection loop.
-    fn run(
+    /// The shared collection loop, generic over the bus subscriber. With
+    /// [`NullProbe`] every `P::ACTIVE` block compiles away; with an
+    /// active probe, observation is passive (identical `GcStats`): bus
+    /// events are *transitions*, fast-forward windows are by construction
+    /// transition-free, per-cycle SB lock-failure events pin the skip via
+    /// `events_pinned`, and sampled cycles cap it via
+    /// [`Probe::next_sample`].
+    fn run<P: Probe>(
         &self,
         heap: &mut Heap,
         mutator_cfg: Option<MutatorConfig>,
-        mut trace: Option<&mut SignalTrace>,
         policy: Option<&mut dyn SchedulePolicy>,
+        probe: &mut P,
     ) -> (Addr, GcStats, Option<MutatorStats>) {
         let cfg = self.cfg;
         heap.flip();
@@ -148,16 +175,28 @@ impl SimCollector {
         // locking and its busy bit for sound termination detection).
         let sb_slots = cfg.n_cores + usize::from(mutator_cfg.is_some());
         let mut sb = SyncBlock::new(sb_slots);
-        if trace.as_ref().is_some_and(|t| t.capture_events()) {
+        if P::ACTIVE && probe.wants_sb_events() {
             sb.enable_event_log();
         }
         sb.init_pointers(heap.to_base(), heap.to_base());
         let mut mem = MemorySystem::new(cfg.n_cores, cfg.mem);
+        if P::ACTIVE && probe.wants_mem_events() {
+            mem.enable_event_log();
+        }
         let mut fifo = HeaderFifo::new(cfg.mem.header_fifo_capacity);
         let mut counters = WorkCounters::default();
         let mut stats = GcStats::default();
 
         // --- Phase 1: sequential root evacuation by core 0 -------------
+        if P::ACTIVE {
+            probe.record(
+                0,
+                &Event::Phase {
+                    name: "roots",
+                    begin: true,
+                },
+            );
+        }
         self.root_phase(heap, &mut sb, &mut fifo, &mut counters, &mut stats);
         let mut mutator = mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
 
@@ -165,10 +204,55 @@ impl SimCollector {
         let mut cores: Vec<CoreSm> = (0..cfg.n_cores).map(CoreSm::new).collect();
         let mut done = false;
         let mut cycles: u64 = stats.root_phase_cycles;
-        // Align the SB clock with the engine's cycle numbering (the root
-        // phase ticks the SB once per root but costs more cycles), so SB
-        // event stamps in the parallel phase equal trace-row cycles.
+        // Align the SB and memory clocks with the engine's cycle numbering
+        // (the root phase advances the SB clock as it charges cycles, but
+        // the memory system was just built at cycle 0), so every unit's
+        // event stamps equal engine cycles from here on.
         sb.set_cycle(cycles);
+        mem.set_cycle(cycles);
+        // Mirror of each core's microprogram state as a bus-index buffer:
+        // kept current by the transition emissions, borrowed by `Sample`
+        // events so sampling never allocates.
+        let mut prev_states: Vec<u8> = if P::ACTIVE {
+            vec![State::Poll.index(); cfg.n_cores]
+        } else {
+            Vec::new()
+        };
+        let mut prev_fifo_len = fifo.len() as u32;
+        if P::ACTIVE {
+            probe.record(
+                cycles,
+                &Event::Phase {
+                    name: "roots",
+                    begin: false,
+                },
+            );
+            probe.record(
+                cycles,
+                &Event::Phase {
+                    name: "scan",
+                    begin: true,
+                },
+            );
+            for (i, &state) in prev_states.iter().enumerate() {
+                probe.record(
+                    cycles,
+                    &Event::CoreState {
+                        core: i as u32,
+                        state,
+                        name: State::name_of(state),
+                    },
+                );
+            }
+            if prev_fifo_len > 0 {
+                probe.record(
+                    cycles,
+                    &Event::FifoDepth {
+                        depth: prev_fifo_len,
+                    },
+                );
+            }
+        }
         let mut order: Vec<usize> = (0..cfg.n_cores).collect();
         // Back-compat: the `tick_permutation_seed` knob is the RandomOrder
         // policy (bit-identical shuffles). An explicit policy wins.
@@ -215,6 +299,7 @@ impl SimCollector {
             }
             let mut any_progress = false;
             for &idx in &order {
+                let scan_before = if P::ACTIVE { sb.scan() } else { 0 };
                 let core = &mut cores[idx];
                 let mut ctx = Ctx {
                     heap,
@@ -229,23 +314,58 @@ impl SimCollector {
                 let outcome = core.tick(&mut ctx);
                 outcomes[idx] = outcome;
                 any_progress |= outcome == TickOutcome::Progress;
+                if P::ACTIVE {
+                    // Transition events are stamped with the cycle the
+                    // tick completes (`cycles` increments just below).
+                    let state = cores[idx].state().index();
+                    if prev_states[idx] != state {
+                        prev_states[idx] = state;
+                        probe.record(
+                            cycles + 1,
+                            &Event::CoreState {
+                                core: idx as u32,
+                                state,
+                                name: State::name_of(state),
+                            },
+                        );
+                    }
+                    let scan_after = sb.scan();
+                    if scan_after != scan_before {
+                        probe.record(
+                            cycles + 1,
+                            &Event::WorklistClaim {
+                                core: idx as u32,
+                                from: scan_before,
+                                to: scan_after,
+                            },
+                        );
+                    }
+                }
             }
             cycles += 1;
             if sb.scan() == sb.free() {
                 stats.empty_worklist_cycles += 1;
             }
-            if let Some(trace) = trace.as_deref_mut() {
-                if trace.wants(cycles) {
-                    trace.push(TraceRow {
-                        cycle: cycles,
-                        scan: sb.scan(),
-                        free: sb.free(),
-                        gray_words: sb.free() - sb.scan(),
-                        busy_cores: sb.busy_count() as u32,
-                        fifo_len: fifo.len() as u32,
-                        queue_depth: mem.queue_len() as u32,
-                        core_states: cores.iter().map(|c| c.state()).collect(),
-                    });
+            if P::ACTIVE {
+                let fifo_len = fifo.len() as u32;
+                if fifo_len != prev_fifo_len {
+                    prev_fifo_len = fifo_len;
+                    probe.record(cycles, &Event::FifoDepth { depth: fifo_len });
+                }
+                if probe.next_sample(cycles) == Some(cycles) {
+                    probe.record(
+                        cycles,
+                        &Event::Sample(SampleRec {
+                            scan: sb.scan(),
+                            free: sb.free(),
+                            gray_words: sb.free() - sb.scan(),
+                            busy_cores: sb.busy_count() as u32,
+                            fifo_len,
+                            queue_depth: mem.queue_len() as u32,
+                            states: &prev_states,
+                            state_name: State::name_of,
+                        }),
+                    );
                 }
             }
             if cores.iter().all(|c| c.state() == State::Done) && mem.all_idle() {
@@ -291,13 +411,15 @@ impl SimCollector {
                     });
                 loop {
                     if let Some(done_at) = mem.next_event_cycle() {
-                        // `mem`'s clock lags `cycles` by the root-phase
-                        // cost.
+                        // `mem`'s clock equals `cycles` here (aligned
+                        // after the root phase, ticked in lock step).
                         let mut k = (done_at - 1).saturating_sub(mem.cycle());
-                        if let Some(t) = trace.as_deref() {
-                            // Do not skip over a cycle the trace wants.
-                            let next_sample = (cycles / t.sample_every + 1) * t.sample_every;
-                            k = k.min(next_sample - 1 - cycles);
+                        if P::ACTIVE {
+                            // Do not skip over a cycle the probe wants
+                            // sampled.
+                            if let Some(ns) = probe.next_sample(cycles + 1) {
+                                k = k.min(ns.saturating_sub(cycles + 1));
+                            }
                         }
                         if events_pinned {
                             k = 0;
@@ -355,18 +477,24 @@ impl SimCollector {
                     if sb.scan() == sb.free() {
                         stats.empty_worklist_cycles += 1;
                     }
-                    if let Some(trace) = trace.as_deref_mut() {
-                        if trace.wants(cycles) {
-                            trace.push(TraceRow {
-                                cycle: cycles,
-                                scan: sb.scan(),
-                                free: sb.free(),
-                                gray_words: sb.free() - sb.scan(),
-                                busy_cores: sb.busy_count() as u32,
-                                fifo_len: fifo.len() as u32,
-                                queue_depth: mem.queue_len() as u32,
-                                core_states: cores.iter().map(|c| c.state()).collect(),
-                            });
+                    if P::ACTIVE {
+                        // The replicated cycle is transition-free for the
+                        // cores, the FIFO and the SB registers, so only a
+                        // wanted sample can be due.
+                        if probe.next_sample(cycles) == Some(cycles) {
+                            probe.record(
+                                cycles,
+                                &Event::Sample(SampleRec {
+                                    scan: sb.scan(),
+                                    free: sb.free(),
+                                    gray_words: sb.free() - sb.scan(),
+                                    busy_cores: sb.busy_count() as u32,
+                                    fifo_len: fifo.len() as u32,
+                                    queue_depth: mem.queue_len() as u32,
+                                    states: &prev_states,
+                                    state_name: State::name_of,
+                                }),
+                            );
                         }
                     }
                     // The queue may now have drained into service, opening
@@ -381,9 +509,27 @@ impl SimCollector {
         );
         sb.assert_quiescent();
 
-        if let Some(trace) = trace {
-            if trace.capture_events() {
-                trace.set_events(sb.take_event_log());
+        if P::ACTIVE {
+            probe.record(
+                cycles,
+                &Event::Phase {
+                    name: "scan",
+                    begin: false,
+                },
+            );
+            // Bridge the hardware units' complete operation logs onto the
+            // bus. Their stamps are already on the engine clock (both
+            // units were aligned after the root phase and tick in lock
+            // step), so exporters see one unified timeline.
+            if sb.event_log_enabled() {
+                for rec in sb.take_event_log() {
+                    probe.record(rec.cycle, &Event::Sb(rec));
+                }
+            }
+            if mem.event_log_enabled() {
+                for rec in mem.take_event_log() {
+                    probe.record(rec.cycle, &Event::Mem(rec));
+                }
             }
         }
 
@@ -435,7 +581,12 @@ impl SimCollector {
         let read_cost = self.cfg.mem.latency as u64 + 1;
         for i in 0..heap.roots().len() {
             // Each root takes several cycles; the register write ports
-            // re-arm accordingly.
+            // re-arm accordingly. Keep the SB clock on the *engine*
+            // cycle count (each root charges `read_cost`-plus cycles,
+            // not one) so root-phase event stamps live on the same
+            // timeline as everything after — the trace lint and the
+            // exporters rely on one clock.
+            sb.set_cycle(cycles);
             sb.begin_cycle();
             let r = heap.roots()[i];
             stats.roots_processed += 1;
@@ -745,6 +896,195 @@ mod tests {
             assert_eq!(t1.rows(), t2.rows(), "sample_every {sample_every}");
             assert_eq!(t1.events(), t2.events(), "sample_every {sample_every}");
         }
+    }
+
+    #[test]
+    fn probe_on_and_probe_off_report_identical_stats() {
+        use hwgc_memsim::MemConfig;
+        use hwgc_obs::Recorder;
+        for (cores, extra) in [(1, 0), (4, 0), (4, 20), (16, 20)] {
+            let cfg = GcConfig {
+                mem: MemConfig::default().with_extra_latency(extra),
+                ..GcConfig::with_cores(cores)
+            };
+            let mut h1 = diamond(500);
+            let plain = SimCollector::new(cfg).collect(&mut h1);
+            // A sampling recorder (caps fast-forward at sample cycles)
+            // and a transition-only one (fast-forward runs free) must
+            // both observe without perturbing.
+            let mut sampled = Recorder::sampling(8);
+            let mut h2 = diamond(500);
+            let a = SimCollector::new(cfg).collect_probed(&mut h2, &mut sampled);
+            let mut unsampled = Recorder::new();
+            let mut h3 = diamond(500);
+            let b = SimCollector::new(cfg).collect_probed(&mut h3, &mut unsampled);
+            assert_eq!(plain.stats, a.stats, "{cores} cores +{extra} (sampled)");
+            assert_eq!(plain.stats, b.stats, "{cores} cores +{extra} (unsampled)");
+            assert_eq!(plain.free, a.free);
+            assert_eq!(plain.free, b.free);
+            assert!(!sampled.recording().is_empty());
+            assert!(!unsampled.recording().is_empty());
+        }
+    }
+
+    #[test]
+    fn recorder_sb_stream_matches_signal_trace_events() {
+        // The bus bridges the same SB log `collect_traced` captures: one
+        // instrumentation path, two views.
+        let mut h1 = diamond(500);
+        let mut trace = crate::trace::SignalTrace::with_events(1);
+        SimCollector::new(GcConfig::with_cores(4)).collect_traced(&mut h1, &mut trace);
+        let mut h2 = diamond(500);
+        let mut rec = hwgc_obs::Recorder::new();
+        SimCollector::new(GcConfig::with_cores(4)).collect_probed(&mut h2, &mut rec);
+        let bus: Vec<_> = rec.recording().sb_events().cloned().collect();
+        assert!(!bus.is_empty());
+        assert_eq!(bus, trace.events());
+    }
+
+    #[test]
+    fn root_phase_sb_stamps_follow_the_engine_clock() {
+        use hwgc_memsim::MemConfig;
+        use hwgc_sync::SbEvent;
+        // The Figure 6 regime (+20 cycles per access) stretches each
+        // root's cost to `latency + 1`-plus engine cycles. The SB events
+        // of consecutive roots must be stamped at least that far apart:
+        // the SB clock follows the engine clock through the root phase,
+        // not the root index.
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::with_cores(4)
+        };
+        let read_cost = cfg.mem.latency as u64 + 1;
+        let mut heap = Heap::new(4096);
+        let mut b = GraphBuilder::new(&mut heap);
+        for _ in 0..5 {
+            let r = b.add(0, 4).unwrap();
+            b.root(r);
+        }
+        let mut trace = crate::trace::SignalTrace::with_events(1);
+        let out = SimCollector::new(cfg).collect_traced(&mut heap, &mut trace);
+        // Leaf roots evacuate in the root phase and nowhere else, so the
+        // SetFree stamps are exactly the per-root event times.
+        let set_free: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter(|r| matches!(r.event, SbEvent::SetFree { .. }))
+            .map(|r| r.cycle)
+            .collect();
+        assert_eq!(set_free.len(), 5);
+        for w in set_free.windows(2) {
+            assert!(
+                w[1] >= w[0] + read_cost,
+                "root stamps {} -> {} closer than the {read_cost}-cycle header read",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(*set_free.last().unwrap() <= out.stats.root_phase_cycles);
+    }
+
+    #[test]
+    fn figure6_preset_run_keeps_one_clock_with_probes() {
+        use hwgc_memsim::MemConfig;
+        use hwgc_obs::Recorder;
+        use hwgc_workloads::{Preset, WorkloadSpec};
+        // A reduced Figure 6 javac point: probes on must not perturb the
+        // run, and both bridged unit logs must live on the engine clock —
+        // memory events start after the root phase (the memory system is
+        // aligned to the engine's cycle count, not its own tick count).
+        let spec = WorkloadSpec {
+            preset: Preset::Javac,
+            seed: 1,
+            scale: 0.2,
+        };
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::with_cores(4)
+        };
+        let mut h1 = spec.build();
+        let plain = SimCollector::new(cfg).collect(&mut h1);
+        let mut h2 = spec.build();
+        let mut rec = Recorder::new();
+        let probed = SimCollector::new(cfg).collect_probed(&mut h2, &mut rec);
+        assert_eq!(plain.stats, probed.stats);
+        assert_eq!(plain.free, probed.free);
+        let rec = rec.into_recording();
+        let mem_stamps: Vec<u64> = rec.mem_events().map(|r| r.cycle).collect();
+        assert!(!mem_stamps.is_empty());
+        assert!(
+            *mem_stamps.first().unwrap() > probed.stats.root_phase_cycles,
+            "memory events must be stamped on the engine clock, after the root phase"
+        );
+        for (stamps, unit) in [
+            (&mem_stamps, "mem"),
+            (&rec.sb_events().map(|r| r.cycle).collect(), "sb"),
+        ] {
+            let mut prev = 0;
+            for &c in stamps.iter() {
+                assert!(c >= prev, "{unit} stamps must be monotone");
+                prev = c;
+                assert!(c <= probed.stats.total_cycles, "{unit} stamp past the end");
+            }
+        }
+    }
+
+    #[test]
+    fn probed_run_emits_phases_transitions_and_claims() {
+        use hwgc_obs::{OwnedEvent, Recorder};
+        let mut heap = diamond(500);
+        let mut rec = Recorder::new();
+        let out = SimCollector::new(GcConfig::with_cores(2)).collect_probed(&mut heap, &mut rec);
+        let rec = rec.into_recording();
+        // Exactly two balanced phases, back to back on the engine clock.
+        let phases: Vec<(u64, &str, bool)> = rec
+            .events
+            .iter()
+            .filter_map(|(c, e)| match e {
+                OwnedEvent::Phase { name, begin } => Some((*c, *name, *begin)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            phases,
+            vec![
+                (0, "roots", true),
+                (out.stats.root_phase_cycles, "roots", false),
+                (out.stats.root_phase_cycles, "scan", true),
+                (out.stats.total_cycles, "scan", false),
+            ]
+        );
+        // Every core's transition stream starts at Poll and ends at Done.
+        for core in 0..2u32 {
+            let states: Vec<u8> = rec
+                .events
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    OwnedEvent::CoreState { core: c, state, .. } if *c == core => Some(*state),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(states.first(), Some(&State::Poll.index()), "core {core}");
+            assert_eq!(states.last(), Some(&State::Done.index()), "core {core}");
+        }
+        // Worklist claims are disjoint, contiguous, and cover the whole
+        // evacuated span.
+        let claims: Vec<(u32, u32)> = rec
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                OwnedEvent::WorklistClaim { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert!(!claims.is_empty());
+        for &(f, t) in &claims {
+            assert!(f < t);
+        }
+        for w in claims.windows(2) {
+            assert_eq!(w[1].0, w[0].1, "claims must tile the worklist");
+        }
+        assert_eq!(claims.last().unwrap().1, out.free);
     }
 
     #[test]

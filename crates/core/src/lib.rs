@@ -47,4 +47,4 @@ pub use schedule::{
 };
 pub use seq::{SeqCheney, SeqOutcome};
 pub use stats::{GcStats, StallBreakdown, StallReason};
-pub use trace::{SignalTrace, TraceRow};
+pub use trace::{SignalTrace, TraceProbe, TraceRow};

@@ -99,6 +99,71 @@ pub enum State {
     Done,
 }
 
+impl State {
+    /// Number of microprogram states.
+    pub const COUNT: u8 = 15;
+
+    /// Every state, in discriminant order (`from_index` inverts).
+    pub const ALL: [State; State::COUNT as usize] = [
+        State::Poll,
+        State::ScanHeaderWait,
+        State::BodyStart,
+        State::CopyWait,
+        State::ChildProbeWait,
+        State::ChildLock,
+        State::ChildHeaderWait,
+        State::ChildEvacFree,
+        State::ChildEvacStore,
+        State::ChildEvacOverflow,
+        State::StoreWord,
+        State::ClaimDone,
+        State::Blacken,
+        State::Drain,
+        State::Done,
+    ];
+
+    /// Compact index of this state (for the observability event bus,
+    /// which carries states as `u8` to avoid a crate dependency cycle).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`State::index`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn from_index(index: u8) -> State {
+        State::ALL[index as usize]
+    }
+
+    /// Display name of this state.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Poll => "Poll",
+            State::ScanHeaderWait => "ScanHeaderWait",
+            State::BodyStart => "BodyStart",
+            State::CopyWait => "CopyWait",
+            State::ChildProbeWait => "ChildProbeWait",
+            State::ChildLock => "ChildLock",
+            State::ChildHeaderWait => "ChildHeaderWait",
+            State::ChildEvacFree => "ChildEvacFree",
+            State::ChildEvacStore => "ChildEvacStore",
+            State::ChildEvacOverflow => "ChildEvacOverflow",
+            State::StoreWord => "StoreWord",
+            State::ClaimDone => "ClaimDone",
+            State::Blacken => "Blacken",
+            State::Drain => "Drain",
+            State::Done => "Done",
+        }
+    }
+
+    /// [`State::name`] by index — the `fn(u8) -> &'static str` the event
+    /// bus carries alongside sampled state vectors.
+    pub fn name_of(index: u8) -> &'static str {
+        State::from_index(index).name()
+    }
+}
+
 /// Result of executing one micro-step.
 enum Step {
     /// Keep executing in the same cycle (zero-cost chained action).

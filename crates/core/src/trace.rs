@@ -187,6 +187,12 @@ impl SignalTrace {
         self.events = events;
     }
 
+    /// Append one SB event record (bus-internal: [`TraceProbe`] receives
+    /// the bridged SB stream one record at a time).
+    pub fn push_event(&mut self, event: SbEventRecord) {
+        self.events.push(event);
+    }
+
     /// Should cycle `n` be sampled?
     pub fn wants(&self, cycle: u64) -> bool {
         cycle.is_multiple_of(self.sample_every)
@@ -215,6 +221,15 @@ impl SignalTrace {
         self.rows.iter().map(|r| r.busy_cores as f64).sum::<f64>() / self.rows.len() as f64
     }
 
+    /// View this trace as an event-bus subscriber. The engine has exactly
+    /// one instrumentation path — the [`hwgc_obs::Probe`] bus — so the
+    /// classic `collect_traced` front door is `collect_probed` with this
+    /// adapter: `Sample` events become rows, bridged SB records become the
+    /// event log, everything else is ignored.
+    pub fn as_probe(&mut self) -> TraceProbe<'_> {
+        TraceProbe { trace: self }
+    }
+
     /// Dump as CSV: one row per sample, one state column per core.
     pub fn write_csv(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
         let cores = self.rows.first().map_or(0, |r| r.core_states.len());
@@ -238,6 +253,50 @@ impl SignalTrace {
             writeln!(w)?;
         }
         Ok(())
+    }
+}
+
+/// [`hwgc_obs::Probe`] adapter over a [`SignalTrace`]: the one bridge
+/// between the bus and the classic signal-trace/CSV view. Requests a
+/// [`hwgc_obs::Event::Sample`] every `sample_every` cycles (which also
+/// caps fast-forward jumps, as sampling always has), and subscribes to
+/// the SB operation log only when the trace was built
+/// [`SignalTrace::with_events`].
+pub struct TraceProbe<'a> {
+    trace: &'a mut SignalTrace,
+}
+
+impl hwgc_obs::Probe for TraceProbe<'_> {
+    fn record(&mut self, cycle: u64, event: &hwgc_obs::Event<'_>) {
+        match *event {
+            hwgc_obs::Event::Sample(s) => self.trace.push(TraceRow {
+                cycle,
+                scan: s.scan,
+                free: s.free,
+                gray_words: s.gray_words,
+                busy_cores: s.busy_cores,
+                fifo_len: s.fifo_len,
+                queue_depth: s.queue_depth,
+                core_states: s.states.iter().map(|&i| State::from_index(i)).collect(),
+            }),
+            hwgc_obs::Event::Sb(rec) if self.trace.capture_events => {
+                self.trace.push_event(rec);
+            }
+            _ => {}
+        }
+    }
+
+    fn next_sample(&self, from: u64) -> Option<u64> {
+        let n = self.trace.sample_every;
+        Some(from.div_ceil(n) * n)
+    }
+
+    fn wants_sb_events(&self) -> bool {
+        self.trace.capture_events
+    }
+
+    fn wants_mem_events(&self) -> bool {
+        false
     }
 }
 

@@ -32,4 +32,4 @@ pub mod fifo;
 pub mod system;
 
 pub use fifo::{FifoStats, HeaderFifo};
-pub use system::{MemConfig, MemStats, MemorySystem, Port, PORT_COUNT};
+pub use system::{MemConfig, MemEvent, MemEventRecord, MemStats, MemorySystem, Port, PORT_COUNT};

@@ -115,6 +115,41 @@ struct Txn {
     issued_at: u64,
 }
 
+/// One memory-system transition, as recorded by the opt-in event log (see
+/// [`MemorySystem::enable_event_log`]). Every variant is a *transition* —
+/// something changed — so fast-forward windows (which are transition-free
+/// by construction: empty queue, nothing retiring, no core issuing or
+/// consuming) never need to replicate events, and the log stays bit-exact
+/// under event-horizon skipping without pinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A request entered the `(core, port)` buffer.
+    Issue { core: u32, port: Port, addr: u32 },
+    /// The comparator array held a header load behind a pending header
+    /// store to the same address (at issue time).
+    CompBlocked { core: u32, addr: u32 },
+    /// The matching store retired; the held load joined the DRAM queue.
+    CompUnblocked { core: u32, addr: u32 },
+    /// A header load hit the shared header cache and completed on-chip.
+    CacheHit { core: u32, addr: u32 },
+    /// DRAM began serving the request; it completes `latency` cycles
+    /// later (`0` = burst continuation, complete within this cycle).
+    ServiceStart { core: u32, port: Port, latency: u32 },
+    /// The transaction left DRAM: load data ready / store committed.
+    Retire { core: u32, port: Port },
+    /// The owning core consumed waiting load data, freeing the buffer.
+    Consume { core: u32, port: Port },
+}
+
+/// A [`MemEvent`] stamped with the memory-system cycle it occurred in
+/// (kept equal to the engine's cycle numbering via
+/// [`MemorySystem::set_cycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEventRecord {
+    pub cycle: u64,
+    pub event: MemEvent,
+}
+
 /// Aggregate statistics of the memory system.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -190,6 +225,9 @@ pub struct MemorySystem {
     /// Set when a pending header store retired; the comparator re-check
     /// can only unblock a load on such a cycle.
     pending_stores_dirty: bool,
+    /// Cycle-stamped transition log; `None` (the default) records nothing
+    /// and costs nothing.
+    events: Option<Vec<MemEventRecord>>,
 }
 
 impl MemorySystem {
@@ -216,7 +254,50 @@ impl MemorySystem {
             complete: 0,
             next_retire: u64::MAX,
             pending_stores_dirty: false,
+            events: None,
         }
+    }
+
+    // --- event log -----------------------------------------------------
+
+    /// Turn on the cycle-stamped transition log. Intended for the
+    /// observability layer and test harnesses; off by default.
+    pub fn enable_event_log(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    /// Is the transition log enabled?
+    pub fn event_log_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Take ownership of the recorded events (empty if logging was off).
+    pub fn take_event_log(&mut self) -> Vec<MemEventRecord> {
+        self.events.take().unwrap_or_default()
+    }
+
+    #[inline]
+    fn log(&mut self, event: MemEvent) {
+        if let Some(events) = &mut self.events {
+            events.push(MemEventRecord {
+                cycle: self.cycle,
+                event,
+            });
+        }
+    }
+
+    /// Align the memory clock with an external cycle counter (the engine
+    /// does this after the sequential root phase, which charges cycles
+    /// without ticking the memory system). Only legal while no traffic is
+    /// in flight: every `done_at` is derived from the clock at service
+    /// start, so jumping with transactions pending would warp them.
+    pub fn set_cycle(&mut self, cycle: u64) {
+        assert!(cycle >= self.cycle, "memory clock may not go backwards");
+        assert!(
+            self.occupied == 0 && self.queue.is_empty(),
+            "set_cycle with traffic in flight"
+        );
+        self.cycle = cycle;
     }
 
     /// Pop the next request to serve: FIFO normally, a seeded random pick
@@ -299,6 +380,10 @@ impl MemorySystem {
                                     self.ports[core][port as usize] = None;
                                     self.occupied -= 1;
                                 }
+                                self.log(MemEvent::Retire {
+                                    core: core as u32,
+                                    port,
+                                });
                             }
                         }
                     }
@@ -329,8 +414,13 @@ impl MemorySystem {
                                 self.stats.comparator_blocked_cycles += 1;
                             } else {
                                 txn.state = TxnState::Queued;
+                                let addr = txn.addr;
                                 self.blocked -= 1;
                                 self.queue.push_back((core, Port::HeaderLoad));
+                                self.log(MemEvent::CompUnblocked {
+                                    core: core as u32,
+                                    addr,
+                                });
                             }
                         }
                     }
@@ -353,6 +443,11 @@ impl MemorySystem {
                     break;
                 };
                 let latency = self.access_latency(core, port);
+                self.log(MemEvent::ServiceStart {
+                    core: core as u32,
+                    port,
+                    latency,
+                });
                 if latency == 0 {
                     // Burst continuation: the open-row access completes
                     // within this memory cycle — data is ready when the
@@ -372,6 +467,10 @@ impl MemorySystem {
                             self.pending_stores_dirty = true;
                         }
                     }
+                    self.log(MemEvent::Retire {
+                        core: core as u32,
+                        port,
+                    });
                     continue;
                 }
                 let done_at = self.cycle + latency as u64;
@@ -457,10 +556,27 @@ impl MemorySystem {
             issued_at: self.cycle,
         });
         self.occupied += 1;
+        self.log(MemEvent::Issue {
+            core: core as u32,
+            port,
+            addr,
+        });
         match state {
             TxnState::Queued => self.queue.push_back((core, port)),
-            TxnState::Blocked => self.blocked += 1,
-            TxnState::Complete => self.complete += 1,
+            TxnState::Blocked => {
+                self.blocked += 1;
+                self.log(MemEvent::CompBlocked {
+                    core: core as u32,
+                    addr,
+                });
+            }
+            TxnState::Complete => {
+                self.complete += 1;
+                self.log(MemEvent::CacheHit {
+                    core: core as u32,
+                    addr,
+                });
+            }
             TxnState::InService { .. } => unreachable!("issue never starts service"),
         }
         self.stats.issued[port as usize] += 1;
@@ -506,6 +622,10 @@ impl MemorySystem {
         );
         self.occupied -= 1;
         self.complete -= 1;
+        self.log(MemEvent::Consume {
+            core: core as u32,
+            port,
+        });
         txn.addr
     }
 
@@ -818,6 +938,134 @@ mod tests {
             m.tick();
         }
         assert_eq!(m.stats(), &naive);
+    }
+
+    #[test]
+    fn event_log_off_by_default_and_opt_in() {
+        let mut m = mem(1);
+        assert!(!m.event_log_enabled());
+        assert!(m.try_issue(0, Port::BodyLoad, 1));
+        for _ in 0..5 {
+            m.tick();
+        }
+        m.consume_load(0, Port::BodyLoad);
+        assert!(m.take_event_log().is_empty());
+    }
+
+    #[test]
+    fn event_log_records_transaction_lifecycle() {
+        let mut m = mem(1); // latency 3
+        m.enable_event_log();
+        assert!(m.try_issue(0, Port::BodyLoad, 7));
+        for _ in 0..4 {
+            m.tick();
+        }
+        m.consume_load(0, Port::BodyLoad);
+        let events = m.take_event_log();
+        assert_eq!(
+            events,
+            vec![
+                MemEventRecord {
+                    cycle: 0,
+                    event: MemEvent::Issue {
+                        core: 0,
+                        port: Port::BodyLoad,
+                        addr: 7
+                    }
+                },
+                MemEventRecord {
+                    cycle: 1,
+                    event: MemEvent::ServiceStart {
+                        core: 0,
+                        port: Port::BodyLoad,
+                        latency: 3
+                    }
+                },
+                MemEventRecord {
+                    cycle: 4,
+                    event: MemEvent::Retire {
+                        core: 0,
+                        port: Port::BodyLoad
+                    }
+                },
+                MemEventRecord {
+                    cycle: 4,
+                    event: MemEvent::Consume {
+                        core: 0,
+                        port: Port::BodyLoad
+                    }
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn event_log_records_comparator_block_and_unblock() {
+        let mut m = mem(2);
+        m.enable_event_log();
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        assert!(m.try_issue(1, Port::HeaderLoad, 42));
+        while !m.load_ready(1, Port::HeaderLoad) {
+            m.tick();
+        }
+        let events = m.take_event_log();
+        let blocked = events
+            .iter()
+            .position(|r| matches!(r.event, MemEvent::CompBlocked { core: 1, addr: 42 }));
+        let unblocked = events
+            .iter()
+            .position(|r| matches!(r.event, MemEvent::CompUnblocked { core: 1, addr: 42 }));
+        let store_retire = events.iter().position(|r| {
+            matches!(
+                r.event,
+                MemEvent::Retire {
+                    core: 0,
+                    port: Port::HeaderStore
+                }
+            )
+        });
+        assert!(blocked.unwrap() < store_retire.unwrap());
+        assert!(store_retire.unwrap() < unblocked.unwrap());
+    }
+
+    #[test]
+    fn event_log_is_bit_exact_under_fast_forward() {
+        // Dead-wait windows are transition-free, so skipping them must not
+        // change the recorded stream.
+        let run = |ff: bool| {
+            let mut m = mem(1);
+            m.enable_event_log();
+            assert!(m.try_issue(0, Port::BodyLoad, 9));
+            m.tick(); // service starts; done at 1 + 3 = 4
+            if ff {
+                let horizon = m.next_event_cycle().expect("in service");
+                m.fast_forward(horizon - 1 - m.cycle());
+            }
+            while !m.load_ready(0, Port::BodyLoad) {
+                m.tick();
+            }
+            m.consume_load(0, Port::BodyLoad);
+            (m.take_event_log(), m.into_stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn set_cycle_aligns_the_clock() {
+        let mut m = mem(1);
+        m.enable_event_log();
+        m.set_cycle(100);
+        assert_eq!(m.cycle(), 100);
+        assert!(m.try_issue(0, Port::BodyLoad, 3));
+        assert_eq!(m.take_event_log()[0].cycle, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic in flight")]
+    fn set_cycle_with_traffic_panics() {
+        let mut m = mem(1);
+        assert!(m.try_issue(0, Port::BodyLoad, 3));
+        m.set_cycle(50);
     }
 
     #[test]

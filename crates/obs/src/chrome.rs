@@ -1,0 +1,504 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! [`chrome_trace_json`] converts a [`Recording`] into the Chrome
+//! trace-event format (the JSON flavor), loadable by `ui.perfetto.dev`
+//! and `chrome://tracing`:
+//!
+//! * one **slice track per GC core** (`core0`…`coreN`), built from
+//!   [`OwnedEvent::CoreState`] transitions — each microprogram state
+//!   becomes a complete (`ph:"X"`) slice;
+//! * one **counter track per memory port kind** (`port.HeaderLoad` …
+//!   `port.BodyStore`), built from the bridged memory-system log — the
+//!   number of occupied buffers of that kind over time;
+//! * counter tracks for the header-FIFO occupancy, the gray worklist and
+//!   the busy-core count (from `FifoDepth`/`Sample` events);
+//! * `ph:"B"`/`"E"` spans for engine phases and `ph:"i"` instants for
+//!   software-collector events.
+//!
+//! Timestamps are simulated cycles, written as integer microseconds (one
+//! cycle = 1 µs on the viewer's axis). Events are sorted by timestamp, so
+//! [`validate_chrome_trace`] can insist on monotonicity.
+
+use crate::event::OwnedEvent;
+use crate::json::Json;
+use crate::probe::Recording;
+use hwgc_memsim::{MemEvent, Port, PORT_COUNT};
+
+/// Run context the exporters need but the event stream does not carry.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Workload / preset name (free-form label).
+    pub name: String,
+    /// Number of GC cores in the run.
+    pub n_cores: usize,
+    /// Final cycle count ([`GcStats::total_cycles`]-equivalent); closes
+    /// the still-open core slices.
+    pub total_cycles: u64,
+}
+
+/// What [`validate_chrome_trace`] measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total trace events (metadata included).
+    pub events: usize,
+    /// Distinct core slice tracks seen.
+    pub core_tracks: usize,
+    /// Distinct memory-port counter tracks seen.
+    pub port_tracks: usize,
+    /// Largest timestamp in the trace.
+    pub max_ts: u64,
+}
+
+const ENGINE_TID: i128 = 0;
+
+fn core_tid(core: u32) -> i128 {
+    1 + core as i128
+}
+
+fn ev(name: &str, ph: &str, ts: u64, tid: i128, extra: Vec<(String, Json)>) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ph".to_string(), Json::Str(ph.to_string())),
+        ("ts".to_string(), Json::Int(ts as i128)),
+        ("pid".to_string(), Json::Int(0)),
+        ("tid".to_string(), Json::Int(tid)),
+    ];
+    fields.extend(extra);
+    Json::Obj(fields)
+}
+
+fn counter(name: &str, ts: u64, value: u64) -> Json {
+    ev(
+        name,
+        "C",
+        ts,
+        ENGINE_TID,
+        vec![(
+            "args".to_string(),
+            Json::Obj(vec![("value".to_string(), Json::Int(value as i128))]),
+        )],
+    )
+}
+
+fn thread_name(tid: i128, name: &str) -> Json {
+    ev(
+        "thread_name",
+        "M",
+        0,
+        tid,
+        vec![(
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+        )],
+    )
+}
+
+/// Port kind display name (`port.HeaderLoad` …).
+pub fn port_track_name(port: Port) -> &'static str {
+    match port {
+        Port::HeaderLoad => "port.HeaderLoad",
+        Port::HeaderStore => "port.HeaderStore",
+        Port::BodyLoad => "port.BodyLoad",
+        Port::BodyStore => "port.BodyStore",
+    }
+}
+
+/// Render a recording as Chrome trace-event JSON (compact, one line).
+pub fn chrome_trace_json(recording: &Recording, meta: &RunMeta) -> String {
+    let mut events: Vec<Json> = Vec::new();
+
+    // Track-naming metadata.
+    events.push(ev(
+        "process_name",
+        "M",
+        0,
+        ENGINE_TID,
+        vec![(
+            "args".to_string(),
+            Json::Obj(vec![(
+                "name".to_string(),
+                Json::Str(format!("hwgc-sim:{}", meta.name)),
+            )]),
+        )],
+    ));
+    events.push(thread_name(ENGINE_TID, "engine"));
+    for core in 0..meta.n_cores {
+        events.push(thread_name(core_tid(core as u32), &format!("core{core}")));
+    }
+
+    // Core slices: open at each CoreState transition, close at the next
+    // (or at total_cycles).
+    let mut open: Vec<Option<(u64, &'static str)>> = vec![None; meta.n_cores];
+    // Per-port-kind occupied-buffer counts (summed across cores).
+    let mut port_occ = [0u64; PORT_COUNT];
+    let mut port_seen = [false; PORT_COUNT];
+
+    for &(ts, ref event) in &recording.events {
+        match *event {
+            OwnedEvent::Phase { name, begin } => {
+                events.push(ev(
+                    name,
+                    if begin { "B" } else { "E" },
+                    ts,
+                    ENGINE_TID,
+                    vec![],
+                ));
+            }
+            OwnedEvent::CoreState { core, name, .. } => {
+                let slot = core as usize;
+                if slot >= open.len() {
+                    open.resize(slot + 1, None);
+                }
+                if let Some((start, prev)) = open[slot].take() {
+                    events.push(ev(
+                        prev,
+                        "X",
+                        start,
+                        core_tid(core),
+                        vec![(
+                            "dur".to_string(),
+                            Json::Int(ts.saturating_sub(start) as i128),
+                        )],
+                    ));
+                }
+                open[slot] = Some((ts, name));
+            }
+            OwnedEvent::WorklistClaim { core, from, to } => {
+                events.push(ev(
+                    "claim",
+                    "i",
+                    ts,
+                    core_tid(core),
+                    vec![
+                        ("s".to_string(), Json::Str("t".to_string())),
+                        (
+                            "args".to_string(),
+                            Json::Obj(vec![
+                                ("from".to_string(), Json::Int(from as i128)),
+                                ("to".to_string(), Json::Int(to as i128)),
+                            ]),
+                        ),
+                    ],
+                ));
+            }
+            OwnedEvent::FifoDepth { depth } => {
+                events.push(counter("fifo.occupancy", ts, depth as u64));
+            }
+            OwnedEvent::Sample {
+                gray_words,
+                busy_cores,
+                queue_depth,
+                ..
+            } => {
+                events.push(counter("worklist.gray_words", ts, gray_words as u64));
+                events.push(counter("cores.busy", ts, busy_cores as u64));
+                events.push(counter("dram.queue_depth", ts, queue_depth as u64));
+            }
+            OwnedEvent::Sb(_) => {
+                // The SB stream is consumed by the metrics deriver; as
+                // slices it would drown the core tracks.
+            }
+            OwnedEvent::Mem(rec) => {
+                let delta: Option<(Port, i64)> = match rec.event {
+                    MemEvent::Issue { port, .. } => Some((port, 1)),
+                    // Loads free the buffer at Consume, stores at Retire.
+                    MemEvent::Consume { port, .. } => Some((port, -1)),
+                    MemEvent::Retire { port, .. } if !port.is_load() => Some((port, -1)),
+                    _ => None,
+                };
+                if let Some((port, d)) = delta {
+                    let idx = port as usize;
+                    port_occ[idx] = port_occ[idx].saturating_add_signed(d);
+                    port_seen[idx] = true;
+                    events.push(counter(port_track_name(port), rec.cycle, port_occ[idx]));
+                }
+            }
+            OwnedEvent::Steal {
+                thief,
+                victim,
+                success,
+            } => {
+                events.push(ev(
+                    if success { "steal.hit" } else { "steal.miss" },
+                    "i",
+                    ts,
+                    core_tid(thief),
+                    vec![
+                        ("s".to_string(), Json::Str("t".to_string())),
+                        (
+                            "args".to_string(),
+                            Json::Obj(vec![("victim".to_string(), Json::Int(victim as i128))]),
+                        ),
+                    ],
+                ));
+            }
+            OwnedEvent::PacketHandoff { thread, refs } => {
+                events.push(ev(
+                    "packet.handoff",
+                    "i",
+                    ts,
+                    core_tid(thread),
+                    vec![
+                        ("s".to_string(), Json::Str("t".to_string())),
+                        (
+                            "args".to_string(),
+                            Json::Obj(vec![("refs".to_string(), Json::Int(refs as i128))]),
+                        ),
+                    ],
+                ));
+            }
+        }
+    }
+
+    // Close the final slice of every core at the end of the run.
+    for (core, slot) in open.iter().enumerate() {
+        if let Some((start, name)) = *slot {
+            events.push(ev(
+                name,
+                "X",
+                start,
+                core_tid(core as u32),
+                vec![(
+                    "dur".to_string(),
+                    Json::Int(meta.total_cycles.saturating_sub(start) as i128),
+                )],
+            ));
+        }
+    }
+
+    // Ensure every port kind the run touched has a track even if its
+    // occupancy never returned to zero, and sort for the validator:
+    // metadata first, then by timestamp.
+    events.sort_by_key(|e| {
+        let is_meta = e.get("ph").and_then(Json::as_str) == Some("M");
+        let ts = e.get("ts").and_then(Json::as_int).unwrap_or(0);
+        (!is_meta as u8, ts)
+    });
+
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(meta.name.clone())),
+                ("n_cores".to_string(), Json::Int(meta.n_cores as i128)),
+                (
+                    "total_cycles".to_string(),
+                    Json::Int(meta.total_cycles as i128),
+                ),
+            ]),
+        ),
+    ])
+    .to_string_compact()
+}
+
+/// Check a Chrome-trace JSON document: well-formed, every event carries
+/// the required fields, timestamps are monotone (metadata aside), and a
+/// slice track exists for each of `expect_cores` cores. Returns a
+/// [`ChromeSummary`] on success, a description of the first problem
+/// otherwise.
+pub fn validate_chrome_trace(text: &str, expect_cores: usize) -> Result<ChromeSummary, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut prev_ts: i128 = -1;
+    let mut core_tracks = std::collections::BTreeSet::new();
+    let mut port_tracks = std::collections::BTreeSet::new();
+    let mut max_ts: u64 = 0;
+    for (i, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing ph"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("event {i} ({name}): missing ts"))?;
+        if ts < 0 {
+            return Err(format!("event {i} ({name}): negative ts {ts}"));
+        }
+        event
+            .get("pid")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("event {i} ({name}): missing pid"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("event {i} ({name}): missing tid"))?;
+        if ph == "M" {
+            if name == "thread_name" {
+                let label = event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: thread_name without args.name"))?;
+                if let Some(core) = label.strip_prefix("core") {
+                    if core.parse::<u64>().is_ok() {
+                        core_tracks.insert(tid);
+                    }
+                }
+            }
+            continue;
+        }
+        if ts < prev_ts {
+            return Err(format!(
+                "event {i} ({name}): timestamp {ts} < previous {prev_ts}"
+            ));
+        }
+        prev_ts = ts;
+        max_ts = max_ts.max(ts as u64);
+        if ph == "X" {
+            let dur = event
+                .get("dur")
+                .and_then(Json::as_int)
+                .ok_or_else(|| format!("event {i} ({name}): X event without dur"))?;
+            if dur < 0 {
+                return Err(format!("event {i} ({name}): negative dur {dur}"));
+            }
+        }
+        if ph == "C" && name.starts_with("port.") {
+            port_tracks.insert(name.to_string());
+        }
+    }
+    if core_tracks.len() < expect_cores {
+        return Err(format!(
+            "expected {} core tracks, found {}",
+            expect_cores,
+            core_tracks.len()
+        ));
+    }
+    Ok(ChromeSummary {
+        events: events.len(),
+        core_tracks: core_tracks.len(),
+        port_tracks: port_tracks.len(),
+        max_ts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_memsim::MemEventRecord;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            name: "test".to_string(),
+            n_cores: 2,
+            total_cycles: 100,
+        }
+    }
+
+    fn rec(events: Vec<(u64, OwnedEvent)>) -> Recording {
+        Recording { events }
+    }
+
+    #[test]
+    fn empty_recording_is_valid() {
+        let text = chrome_trace_json(&rec(vec![]), &meta());
+        let summary = validate_chrome_trace(&text, 0).unwrap();
+        assert!(summary.events >= 3, "metadata present");
+        // Core *metadata* tracks exist even without slices.
+        assert_eq!(summary.core_tracks, 2);
+    }
+
+    #[test]
+    fn core_slices_open_and_close() {
+        let events = vec![
+            (
+                10,
+                OwnedEvent::CoreState {
+                    core: 0,
+                    state: 0,
+                    name: "Poll",
+                },
+            ),
+            (
+                20,
+                OwnedEvent::CoreState {
+                    core: 0,
+                    state: 1,
+                    name: "ScanHeaderWait",
+                },
+            ),
+        ];
+        let text = chrome_trace_json(&rec(events), &meta());
+        let summary = validate_chrome_trace(&text, 2).unwrap();
+        assert_eq!(summary.max_ts, 20);
+        let doc = Json::parse(&text).unwrap();
+        let slices: Vec<_> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].get("dur").unwrap().as_int(), Some(10));
+        // Final slice runs to total_cycles.
+        assert_eq!(slices[1].get("dur").unwrap().as_int(), Some(80));
+    }
+
+    #[test]
+    fn port_counters_track_occupancy() {
+        let events = vec![
+            (
+                1,
+                OwnedEvent::Mem(MemEventRecord {
+                    cycle: 1,
+                    event: MemEvent::Issue {
+                        core: 0,
+                        port: Port::BodyLoad,
+                        addr: 9,
+                    },
+                }),
+            ),
+            (
+                6,
+                OwnedEvent::Mem(MemEventRecord {
+                    cycle: 6,
+                    event: MemEvent::Consume {
+                        core: 0,
+                        port: Port::BodyLoad,
+                    },
+                }),
+            ),
+        ];
+        let text = chrome_trace_json(&rec(events), &meta());
+        let summary = validate_chrome_trace(&text, 2).unwrap();
+        assert_eq!(summary.port_tracks, 1);
+        assert!(text.contains("port.BodyLoad"));
+    }
+
+    #[test]
+    fn validator_rejects_non_monotonic() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"i","ts":10,"pid":0,"tid":0},
+            {"name":"b","ph":"i","ts":5,"pid":0,"tid":0}
+        ]}"#;
+        let err = validate_chrome_trace(text, 0).unwrap_err();
+        assert!(err.contains("timestamp"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields_and_garbage() {
+        assert!(validate_chrome_trace("{", 0).is_err());
+        assert!(validate_chrome_trace("{\"foo\":1}", 0).is_err());
+        let no_ts = r#"{"traceEvents":[{"name":"a","ph":"i","pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(no_ts, 0).unwrap_err().contains("ts"));
+    }
+
+    #[test]
+    fn validator_counts_missing_core_tracks() {
+        let text = chrome_trace_json(&rec(vec![]), &meta());
+        let err = validate_chrome_trace(&text, 5).unwrap_err();
+        assert!(err.contains("expected 5 core tracks"), "{err}");
+    }
+}

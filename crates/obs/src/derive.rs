@@ -1,0 +1,404 @@
+//! Derive a [`MetricsRegistry`] from a recorded event stream.
+//!
+//! One pass over the [`Recording`] reconstructs the durations the
+//! hardware-unit logs only record as point transitions:
+//!
+//! * **lock wait time** per [`LockKind`]: from a core's first `Fail*`
+//!   until its `Acquire*`/`Lock*` (0-cycle waits are recorded too, so the
+//!   histograms also count uncontended acquisitions);
+//! * **lock hold time** per kind: `Acquire*` → `Release*` / `Lock*` →
+//!   `Unlock*`;
+//! * **header-lock contention per core pair**: each `FailHeader` is
+//!   charged to the `(failing core, holding core)` pair;
+//! * **worklist depth** (gray words, sampled at every `scan`/`free`
+//!   write), **FIFO occupancy** and **comparator block time**;
+//! * per-port issue/retire counters and DRAM service cycles;
+//! * software-collector steal and work-packet counters.
+
+use std::collections::HashMap;
+
+use hwgc_memsim::MemEvent;
+use hwgc_sync::{LockKind, SbEvent};
+
+use crate::chrome::{port_track_name, RunMeta};
+use crate::event::OwnedEvent;
+use crate::metrics::MetricsRegistry;
+use crate::probe::Recording;
+
+fn kind_name(kind: LockKind) -> &'static str {
+    match kind {
+        LockKind::Scan => "scan",
+        LockKind::Free => "free",
+        LockKind::Header => "header",
+    }
+}
+
+/// Per-(core, lock-kind) wait/hold bookkeeping.
+#[derive(Default)]
+struct LockTracker {
+    /// Cycle of the first failed attempt of the ongoing wait, per core.
+    first_fail: HashMap<usize, u64>,
+    /// Acquisition cycle, per core.
+    acquired_at: HashMap<usize, u64>,
+}
+
+impl LockTracker {
+    fn fail(&mut self, core: usize, cycle: u64) {
+        self.first_fail.entry(core).or_insert(cycle);
+    }
+
+    fn acquire(&mut self, reg: &mut MetricsRegistry, kind: LockKind, core: usize, cycle: u64) {
+        let started = self.first_fail.remove(&core).unwrap_or(cycle);
+        reg.histogram(&format!("lock.{}.wait_cycles", kind_name(kind)))
+            .record(cycle - started);
+        self.acquired_at.insert(core, cycle);
+    }
+
+    fn release(&mut self, reg: &mut MetricsRegistry, kind: LockKind, core: usize, cycle: u64) {
+        if let Some(acquired) = self.acquired_at.remove(&core) {
+            reg.histogram(&format!("lock.{}.hold_cycles", kind_name(kind)))
+                .record(cycle - acquired);
+        }
+    }
+}
+
+/// Fold a recording into a metrics registry (see the module docs for the
+/// derived metric families). Also always creates the three lock wait-time
+/// histograms, so consumers can rely on their presence even for runs
+/// without SB traffic.
+pub fn derive_metrics(recording: &Recording, meta: &RunMeta) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.gauge_set("run.total_cycles", meta.total_cycles as f64);
+    reg.gauge_set("run.n_cores", meta.n_cores as f64);
+    for kind in [LockKind::Scan, LockKind::Free, LockKind::Header] {
+        reg.histogram(&format!("lock.{}.wait_cycles", kind_name(kind)));
+        reg.histogram(&format!("lock.{}.hold_cycles", kind_name(kind)));
+    }
+
+    let mut scan_lock = LockTracker::default();
+    let mut free_lock = LockTracker::default();
+    let mut header_lock = LockTracker::default();
+    // Header address → holding core, for contention pair attribution.
+    let mut header_holder: HashMap<u32, usize> = HashMap::new();
+    // Worklist registers replayed from the SB stream.
+    let (mut scan, mut free) = (0u32, 0u32);
+    // Comparator block start per (core, addr).
+    let mut blocked_at: HashMap<(u32, u32), u64> = HashMap::new();
+
+    for &(ts, ref event) in &recording.events {
+        match *event {
+            OwnedEvent::Sb(rec) => {
+                let cycle = rec.cycle;
+                match rec.event {
+                    SbEvent::Init { scan: s, free: f } => {
+                        scan = s;
+                        free = f;
+                    }
+                    SbEvent::FailScan { core } => scan_lock.fail(core, cycle),
+                    SbEvent::AcquireScan { core } => {
+                        scan_lock.acquire(&mut reg, LockKind::Scan, core, cycle)
+                    }
+                    SbEvent::ReleaseScan { core } => {
+                        scan_lock.release(&mut reg, LockKind::Scan, core, cycle)
+                    }
+                    SbEvent::FailFree { core } => free_lock.fail(core, cycle),
+                    SbEvent::AcquireFree { core } => {
+                        free_lock.acquire(&mut reg, LockKind::Free, core, cycle)
+                    }
+                    SbEvent::ReleaseFree { core } => {
+                        free_lock.release(&mut reg, LockKind::Free, core, cycle)
+                    }
+                    SbEvent::SetScan { to, .. } => {
+                        scan = to;
+                        reg.histogram("worklist.gray_words")
+                            .record(free.saturating_sub(scan) as u64);
+                    }
+                    SbEvent::SetFree { to, .. } => {
+                        free = to;
+                        reg.histogram("worklist.gray_words")
+                            .record(free.saturating_sub(scan) as u64);
+                    }
+                    SbEvent::FailHeader { core, addr } => {
+                        header_lock.fail(core, cycle);
+                        if let Some(&holder) = header_holder.get(&addr) {
+                            reg.counter_add(
+                                &format!("contention.header.core{core}_vs_core{holder}"),
+                                1,
+                            );
+                        }
+                    }
+                    SbEvent::LockHeader { core, addr } => {
+                        header_lock.acquire(&mut reg, LockKind::Header, core, cycle);
+                        header_holder.insert(addr, core);
+                    }
+                    SbEvent::UnlockHeader { core, addr } => {
+                        header_lock.release(&mut reg, LockKind::Header, core, cycle);
+                        header_holder.remove(&addr);
+                    }
+                    SbEvent::SetBusy { .. }
+                    | SbEvent::ClearBusy { .. }
+                    | SbEvent::Termination { .. } => {}
+                }
+            }
+            OwnedEvent::Mem(rec) => match rec.event {
+                MemEvent::Issue { port, .. } => {
+                    reg.counter_add(&format!("mem.{}.issued", port_track_name(port)), 1);
+                }
+                MemEvent::Retire { port, .. } => {
+                    reg.counter_add(&format!("mem.{}.retired", port_track_name(port)), 1);
+                }
+                MemEvent::ServiceStart { port, latency, .. } => {
+                    reg.counter_add(
+                        &format!("mem.{}.service_cycles", port_track_name(port)),
+                        latency as u64,
+                    );
+                    if latency == 0 {
+                        reg.counter_add(&format!("mem.{}.burst_hits", port_track_name(port)), 1);
+                    }
+                }
+                MemEvent::CompBlocked { core, addr } => {
+                    blocked_at.insert((core, addr), rec.cycle);
+                }
+                MemEvent::CompUnblocked { core, addr } => {
+                    if let Some(start) = blocked_at.remove(&(core, addr)) {
+                        reg.histogram("mem.comparator.block_cycles")
+                            .record(rec.cycle - start);
+                    }
+                }
+                MemEvent::CacheHit { .. } => {
+                    reg.counter_add("mem.header_cache.hits", 1);
+                }
+                MemEvent::Consume { .. } => {}
+            },
+            OwnedEvent::FifoDepth { depth } => {
+                reg.histogram("fifo.occupancy").record(depth as u64);
+            }
+            OwnedEvent::Sample {
+                gray_words,
+                busy_cores,
+                queue_depth,
+                ..
+            } => {
+                reg.histogram("sample.gray_words").record(gray_words as u64);
+                reg.histogram("sample.busy_cores").record(busy_cores as u64);
+                reg.histogram("sample.queue_depth")
+                    .record(queue_depth as u64);
+            }
+            OwnedEvent::WorklistClaim { core, from, to } => {
+                reg.counter_add(&format!("core{core}.claims"), 1);
+                reg.counter_add(&format!("core{core}.claimed_words"), (to - from) as u64);
+            }
+            OwnedEvent::Steal { success, .. } => {
+                reg.counter_add("sw.steal.attempts", 1);
+                if success {
+                    reg.counter_add("sw.steal.hits", 1);
+                }
+            }
+            OwnedEvent::PacketHandoff { refs, .. } => {
+                reg.counter_add("sw.packets.handoffs", 1);
+                reg.histogram("sw.packets.refs").record(refs as u64);
+            }
+            OwnedEvent::Phase { name, begin } => {
+                if begin {
+                    reg.counter_add(&format!("phase.{name}.count"), 1);
+                } else {
+                    // Phase end: nothing durable beyond the count; the
+                    // Chrome exporter renders the span itself.
+                    let _ = ts;
+                }
+            }
+            OwnedEvent::CoreState { .. } => {}
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_memsim::{MemEventRecord, Port};
+    use hwgc_sync::SbEventRecord;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            name: "t".to_string(),
+            n_cores: 2,
+            total_cycles: 50,
+        }
+    }
+
+    fn sb(cycle: u64, event: SbEvent) -> (u64, OwnedEvent) {
+        (cycle, OwnedEvent::Sb(SbEventRecord { cycle, event }))
+    }
+
+    #[test]
+    fn empty_recording_still_has_lock_histograms() {
+        let reg = derive_metrics(&Recording::default(), &meta());
+        for kind in ["scan", "free", "header"] {
+            let h = reg
+                .histogram_ref(&format!("lock.{kind}.wait_cycles"))
+                .unwrap();
+            assert_eq!(h.count(), 0);
+        }
+        assert_eq!(reg.gauge("run.total_cycles"), Some(50.0));
+    }
+
+    #[test]
+    fn wait_time_spans_fail_streak() {
+        let rec = Recording {
+            events: vec![
+                sb(10, SbEvent::FailScan { core: 1 }),
+                sb(11, SbEvent::FailScan { core: 1 }),
+                sb(12, SbEvent::AcquireScan { core: 1 }),
+                sb(15, SbEvent::ReleaseScan { core: 1 }),
+                // Uncontended acquisition: 0-cycle wait.
+                sb(20, SbEvent::AcquireScan { core: 0 }),
+                sb(21, SbEvent::ReleaseScan { core: 0 }),
+            ],
+        };
+        let reg = derive_metrics(&rec, &meta());
+        let wait = reg.histogram_ref("lock.scan.wait_cycles").unwrap();
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.max(), Some(2));
+        assert_eq!(wait.min(), Some(0));
+        let hold = reg.histogram_ref("lock.scan.hold_cycles").unwrap();
+        assert_eq!(hold.count(), 2);
+        assert_eq!(hold.max(), Some(3));
+    }
+
+    #[test]
+    fn header_contention_is_attributed_to_the_holder() {
+        let rec = Recording {
+            events: vec![
+                sb(5, SbEvent::LockHeader { core: 0, addr: 64 }),
+                sb(6, SbEvent::FailHeader { core: 1, addr: 64 }),
+                sb(7, SbEvent::FailHeader { core: 1, addr: 64 }),
+                sb(8, SbEvent::UnlockHeader { core: 0, addr: 64 }),
+                sb(9, SbEvent::LockHeader { core: 1, addr: 64 }),
+                sb(10, SbEvent::UnlockHeader { core: 1, addr: 64 }),
+            ],
+        };
+        let reg = derive_metrics(&rec, &meta());
+        assert_eq!(reg.counter("contention.header.core1_vs_core0"), Some(2));
+        let wait = reg.histogram_ref("lock.header.wait_cycles").unwrap();
+        // core 0: 0-cycle wait; core 1: failed at 6, locked at 9.
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.max(), Some(3));
+    }
+
+    #[test]
+    fn worklist_depth_follows_register_writes() {
+        let rec = Recording {
+            events: vec![
+                sb(
+                    0,
+                    SbEvent::Init {
+                        scan: 100,
+                        free: 100,
+                    },
+                ),
+                sb(
+                    1,
+                    SbEvent::SetFree {
+                        core: 0,
+                        from: 100,
+                        to: 110,
+                    },
+                ),
+                sb(
+                    2,
+                    SbEvent::SetScan {
+                        core: 1,
+                        from: 100,
+                        to: 104,
+                    },
+                ),
+            ],
+        };
+        let reg = derive_metrics(&rec, &meta());
+        let h = reg.histogram_ref("worklist.gray_words").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.min(), Some(6));
+    }
+
+    #[test]
+    fn mem_counters_and_comparator_blocks() {
+        let mem = |cycle, event| (cycle, OwnedEvent::Mem(MemEventRecord { cycle, event }));
+        let rec = Recording {
+            events: vec![
+                mem(
+                    1,
+                    MemEvent::Issue {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                        addr: 8,
+                    },
+                ),
+                mem(1, MemEvent::CompBlocked { core: 0, addr: 8 }),
+                mem(7, MemEvent::CompUnblocked { core: 0, addr: 8 }),
+                mem(
+                    8,
+                    MemEvent::ServiceStart {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                        latency: 5,
+                    },
+                ),
+                mem(
+                    13,
+                    MemEvent::Retire {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                    },
+                ),
+            ],
+        };
+        let reg = derive_metrics(&rec, &meta());
+        assert_eq!(reg.counter("mem.port.HeaderLoad.issued"), Some(1));
+        assert_eq!(reg.counter("mem.port.HeaderLoad.retired"), Some(1));
+        assert_eq!(reg.counter("mem.port.HeaderLoad.service_cycles"), Some(5));
+        let blocks = reg.histogram_ref("mem.comparator.block_cycles").unwrap();
+        assert_eq!(blocks.count(), 1);
+        assert_eq!(blocks.max(), Some(6));
+    }
+
+    #[test]
+    fn steals_and_packets_counted() {
+        let rec = Recording {
+            events: vec![
+                (
+                    0,
+                    OwnedEvent::Steal {
+                        thief: 1,
+                        victim: 0,
+                        success: false,
+                    },
+                ),
+                (
+                    1,
+                    OwnedEvent::Steal {
+                        thief: 1,
+                        victim: 0,
+                        success: true,
+                    },
+                ),
+                (
+                    2,
+                    OwnedEvent::PacketHandoff {
+                        thread: 0,
+                        refs: 12,
+                    },
+                ),
+            ],
+        };
+        let reg = derive_metrics(&rec, &meta());
+        assert_eq!(reg.counter("sw.steal.attempts"), Some(2));
+        assert_eq!(reg.counter("sw.steal.hits"), Some(1));
+        assert_eq!(reg.counter("sw.packets.handoffs"), Some(1));
+        assert_eq!(
+            reg.histogram_ref("sw.packets.refs").unwrap().max(),
+            Some(12)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The typed events carried by the bus.
+//!
+//! [`Event`] is the borrowed form the engine emits from its hot loop (the
+//! sampled signal row borrows a preallocated state buffer, so emission
+//! never allocates); [`OwnedEvent`] is the owned form a
+//! [`crate::Recorder`] stores. Hardware-unit events are *reused*, not
+//! mirrored: the SB's [`SbEventRecord`] and the memory system's
+//! [`MemEventRecord`] ride the bus verbatim, with their own cycle stamps
+//! already unified on the engine clock by the engine.
+
+use hwgc_memsim::MemEventRecord;
+use hwgc_sync::SbEventRecord;
+
+/// One sampled cycle of the architecturally interesting signals (the
+/// bus form of a `SignalTrace` row). Core microprogram states travel as
+/// small indices plus a name function, so this crate needs no dependency
+/// on the core crate's `State` enum.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRec<'a> {
+    pub scan: u32,
+    pub free: u32,
+    /// Words between `scan` and `free`.
+    pub gray_words: u32,
+    pub busy_cores: u32,
+    pub fifo_len: u32,
+    pub queue_depth: u32,
+    /// Per-core microprogram state indices (see `state_name`).
+    pub states: &'a [u8],
+    /// Maps a state index to its display name.
+    pub state_name: fn(u8) -> &'static str,
+}
+
+/// A typed, cycle-stamped event on the bus. The stamp travels alongside
+/// (see [`crate::Probe::record`]); `Sb`/`Mem` records additionally carry
+/// their unit's stamp, which the engine keeps equal to the bus stamp.
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// A named phase of the collection cycle begins or ends (root
+    /// evacuation, parallel scan loop, drain) — the barrier entry/exit
+    /// view of the engine.
+    Phase { name: &'static str, begin: bool },
+    /// A core's microprogram state changed this cycle.
+    CoreState {
+        core: u32,
+        state: u8,
+        name: &'static str,
+    },
+    /// A core advanced `scan` — it claimed the work-list span
+    /// `[from, to)`.
+    WorklistClaim { core: u32, from: u32, to: u32 },
+    /// The header FIFO's occupancy changed this cycle.
+    FifoDepth { depth: u32 },
+    /// Periodic signal sample (the `SignalTrace` path through the bus).
+    Sample(SampleRec<'a>),
+    /// A synchronization-block operation (complete log, bridged).
+    Sb(SbEventRecord),
+    /// A memory-system transition (complete log, bridged).
+    Mem(MemEventRecord),
+    /// Software collector: a steal attempt (work-stealing deques).
+    Steal {
+        thief: u32,
+        victim: u32,
+        success: bool,
+    },
+    /// Software collector: a full work packet handed to the shared pool.
+    PacketHandoff { thread: u32, refs: u32 },
+}
+
+/// Owned form of [`Event`] as stored by a [`crate::Recorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwnedEvent {
+    Phase {
+        name: &'static str,
+        begin: bool,
+    },
+    CoreState {
+        core: u32,
+        state: u8,
+        name: &'static str,
+    },
+    WorklistClaim {
+        core: u32,
+        from: u32,
+        to: u32,
+    },
+    FifoDepth {
+        depth: u32,
+    },
+    Sample {
+        scan: u32,
+        free: u32,
+        gray_words: u32,
+        busy_cores: u32,
+        fifo_len: u32,
+        queue_depth: u32,
+        states: Vec<u8>,
+    },
+    Sb(SbEventRecord),
+    Mem(MemEventRecord),
+    Steal {
+        thief: u32,
+        victim: u32,
+        success: bool,
+    },
+    PacketHandoff {
+        thread: u32,
+        refs: u32,
+    },
+}
+
+impl Event<'_> {
+    /// Convert to the owned form (allocates only for `Sample` states).
+    pub fn to_owned(&self) -> OwnedEvent {
+        match *self {
+            Event::Phase { name, begin } => OwnedEvent::Phase { name, begin },
+            Event::CoreState { core, state, name } => OwnedEvent::CoreState { core, state, name },
+            Event::WorklistClaim { core, from, to } => OwnedEvent::WorklistClaim { core, from, to },
+            Event::FifoDepth { depth } => OwnedEvent::FifoDepth { depth },
+            Event::Sample(s) => OwnedEvent::Sample {
+                scan: s.scan,
+                free: s.free,
+                gray_words: s.gray_words,
+                busy_cores: s.busy_cores,
+                fifo_len: s.fifo_len,
+                queue_depth: s.queue_depth,
+                states: s.states.to_vec(),
+            },
+            Event::Sb(rec) => OwnedEvent::Sb(rec),
+            Event::Mem(rec) => OwnedEvent::Mem(rec),
+            Event::Steal {
+                thief,
+                victim,
+                success,
+            } => OwnedEvent::Steal {
+                thief,
+                victim,
+                success,
+            },
+            Event::PacketHandoff { thread, refs } => OwnedEvent::PacketHandoff { thread, refs },
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Flamegraph-ready folded-stacks output.
+//!
+//! One line per unique stack, `frame;frame;frame value`, the input format
+//! of `flamegraph.pl` / `inferno-flamegraph` / speedscope. The stall
+//! exporter writes stacks like `core3;StallHeaderLock 1845`.
+
+use std::collections::BTreeMap;
+
+/// An accumulator of `stack -> value` with deterministic output order.
+#[derive(Debug, Clone, Default)]
+pub struct FoldedStacks {
+    stacks: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// Empty accumulator.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Add `value` to the stack named by `frames` (joined with `;`).
+    /// Frames must not contain `;`, space or newline.
+    pub fn add(&mut self, frames: &[&str], value: u64) {
+        if value == 0 {
+            return;
+        }
+        debug_assert!(
+            frames.iter().all(|f| !f.contains([';', ' ', '\n'])),
+            "folded-stack frames must not contain ';', ' ' or newline"
+        );
+        let key = frames.join(";");
+        let slot = self.stacks.entry(key).or_insert(0);
+        *slot = slot.saturating_add(value);
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Is the accumulator empty?
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Render in folded format, sorted by stack name.
+    pub fn to_folded_string(&self) -> String {
+        let mut out = String::new();
+        for (stack, value) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_and_sorts() {
+        let mut f = FoldedStacks::new();
+        f.add(&["core1", "StallScanLock"], 10);
+        f.add(&["core0", "StallHeaderLock"], 5);
+        f.add(&["core1", "StallScanLock"], 2);
+        f.add(&["core0", "empty"], 0); // dropped
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.to_folded_string(),
+            "core0;StallHeaderLock 5\ncore1;StallScanLock 12\n"
+        );
+    }
+}

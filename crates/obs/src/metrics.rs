@@ -1,0 +1,386 @@
+//! The metrics registry: counters, gauges and log2-bucketed histograms
+//! with a stable JSON snapshot schema.
+
+use std::collections::BTreeMap;
+
+use crate::json::{Json, JsonError};
+
+/// Snapshot schema identifier. Bump when the JSON layout changes shape
+/// (adding new metrics does not require a bump; consumers key by name).
+pub const SCHEMA: &str = "hwgc-metrics-v1";
+
+/// Number of log2 buckets. Bucket `i` holds values `v` with
+/// `floor(log2(v)) == i - 1` for `v >= 1` (bucket 0 holds `v == 0`), so
+/// 65 buckets cover the whole `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// All totals saturate: a hostile `record_n(u64::MAX, u64::MAX)` pins
+/// `count`/`sum` at `u64::MAX` instead of wrapping, so derived means are
+/// merely clipped rather than garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 1 + v.ilog2() as usize,
+        }
+    }
+
+    /// Lower bound of bucket `i` (the smallest value it can hold).
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical observations (bulk add, e.g. a fast-forward
+    /// window replicating `n` stalled cycles). Saturating throughout.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = Self::bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another histogram into this one (saturating).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(n);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the observed values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Occupied buckets as `(bucket_lo, count)` pairs, sparse.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_lo(i), n))
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero_buckets()
+            .map(|(lo, n)| Json::Arr(vec![Json::Int(lo as i128), Json::Int(n as i128)]))
+            .collect();
+        let mut fields = vec![
+            ("count".into(), Json::Int(self.count as i128)),
+            ("sum".into(), Json::Int(self.sum as i128)),
+        ];
+        if self.count > 0 {
+            fields.push(("min".into(), Json::Int(self.min as i128)));
+            fields.push(("max".into(), Json::Int(self.max as i128)));
+        }
+        fields.push(("buckets".into(), Json::Arr(buckets)));
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        h.count = u64::try_from(v.get("count")?.as_int()?).ok()?;
+        h.sum = u64::try_from(v.get("sum")?.as_int()?).ok()?;
+        if h.count > 0 {
+            h.min = u64::try_from(v.get("min")?.as_int()?).ok()?;
+            h.max = u64::try_from(v.get("max")?.as_int()?).ok()?;
+        }
+        for pair in v.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            let lo = u64::try_from(pair.first()?.as_int()?).ok()?;
+            let n = u64::try_from(pair.get(1)?.as_int()?).ok()?;
+            h.buckets[Self::bucket_of(lo)] = n;
+        }
+        Some(h)
+    }
+}
+
+/// A named collection of counters, gauges and histograms with a stable,
+/// deterministic (sorted-key) JSON snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `n` to the named counter (saturating), creating it at zero.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        let c = self.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The named histogram, created empty on first touch.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// The named counter's value, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value, if it exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if it exists.
+    pub fn histogram_ref(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Names of all histograms, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(|s| s.as_str())
+    }
+
+    /// Snapshot as a JSON value (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Float(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Snapshot as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parse a snapshot previously produced by [`Self::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<MetricsRegistry, JsonError> {
+        let v = Json::parse(text)?;
+        let bad = |message| JsonError { offset: 0, message };
+        if v.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(bad("unknown metrics schema"));
+        }
+        let mut reg = MetricsRegistry::new();
+        if let Some(Json::Obj(fields)) = v.get("counters") {
+            for (k, c) in fields {
+                let c = c
+                    .as_int()
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or(bad("bad counter"))?;
+                reg.counters.insert(k.clone(), c);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("gauges") {
+            for (k, g) in fields {
+                reg.gauges
+                    .insert(k.clone(), g.as_f64().ok_or(bad("bad gauge"))?);
+            }
+        }
+        if let Some(Json::Obj(fields)) = v.get("histograms") {
+            for (k, h) in fields {
+                reg.histograms.insert(
+                    k.clone(),
+                    Histogram::from_json(h).ok_or(bad("bad histogram"))?,
+                );
+            }
+        }
+        Ok(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(i)), i);
+        }
+    }
+
+    #[test]
+    fn zero_observation_snapshot() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn single_bucket_saturation() {
+        let mut h = Histogram::new();
+        // Everything lands in the value==5 bucket; the bucket count must
+        // pin at u64::MAX, not wrap.
+        h.record_n(5, u64::MAX);
+        h.record_n(5, u64::MAX);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.nonzero_buckets().collect::<Vec<_>>(), vec![(4, u64::MAX)]);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5));
+    }
+
+    #[test]
+    fn record_n_overflow_guard() {
+        let mut h = Histogram::new();
+        h.record_n(u64::MAX, u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.count(), u64::MAX, "count saturates");
+        h.record(1);
+        assert_eq!(h.sum(), u64::MAX);
+        let mut other = Histogram::new();
+        other.record_n(2, u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), u64::MAX, "merge saturates");
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let mut h = Histogram::new();
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn registry_json_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("mem.port.header_load.issued", 42);
+        reg.counter_add("mem.port.header_load.issued", u64::MAX);
+        reg.gauge_set("run.total_cycles", 123456.0);
+        reg.histogram("lock.scan.wait_cycles").record_n(7, 3);
+        reg.histogram("lock.scan.wait_cycles").record(0);
+        reg.histogram("lock.header.hold_cycles"); // empty but present
+        let text = reg.to_json_string();
+        let back = MetricsRegistry::from_json_str(&text).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.counter("mem.port.header_load.issued"), Some(u64::MAX));
+        assert_eq!(
+            back.histogram_ref("lock.scan.wait_cycles").unwrap().count(),
+            4
+        );
+        assert_eq!(
+            back.histogram_ref("lock.header.hold_cycles")
+                .unwrap()
+                .count(),
+            0
+        );
+        // Round-trip of the round-trip is byte-identical (stable schema).
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(MetricsRegistry::from_json_str("{\"schema\":\"other\"}").is_err());
+        assert!(MetricsRegistry::from_json_str("not json").is_err());
+    }
+}

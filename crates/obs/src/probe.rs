@@ -1,0 +1,262 @@
+//! The event bus: the [`Probe`] trait and its standard implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, OwnedEvent};
+
+/// An event-bus subscriber. The engine is generic over its probe, and the
+/// default [`NullProbe`] has `ACTIVE == false`, so every emission site —
+/// guarded by `if P::ACTIVE` — compiles away entirely in the probe-less
+/// configuration: zero overhead when disabled, by construction.
+pub trait Probe {
+    /// Statically known subscription flag. Emission sites are guarded by
+    /// this constant; `false` removes them at compile time.
+    const ACTIVE: bool = true;
+
+    /// Receive one cycle-stamped event.
+    fn record(&mut self, cycle: u64, event: &Event<'_>);
+
+    /// The next cycle `>= from` at which this probe wants an
+    /// [`Event::Sample`], or `None` for never. The engine also uses this
+    /// to cap event-horizon fast-forward jumps so no wanted sample is
+    /// skipped (the same rule `SignalTrace` always imposed).
+    fn next_sample(&self, _from: u64) -> Option<u64> {
+        None
+    }
+
+    /// Should the engine enable the SB's complete operation log and
+    /// bridge it onto the bus? Enabling it pins per-cycle lock-failure
+    /// events, which the fast-forward path already honors bit-exactly.
+    fn wants_sb_events(&self) -> bool {
+        Self::ACTIVE
+    }
+
+    /// Should the engine enable the memory system's transition log and
+    /// bridge it onto the bus?
+    fn wants_mem_events(&self) -> bool {
+        Self::ACTIVE
+    }
+}
+
+/// The default probe: subscribes to nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _cycle: u64, _event: &Event<'_>) {}
+}
+
+/// A recorded event stream: what a [`Recorder`] saw, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    /// `(bus cycle stamp, event)` in emission order.
+    pub events: Vec<(u64, OwnedEvent)>,
+}
+
+impl Recording {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the recording empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The SB operation records in the stream, in order.
+    pub fn sb_events(&self) -> impl Iterator<Item = &hwgc_sync::SbEventRecord> {
+        self.events.iter().filter_map(|(_, e)| match e {
+            OwnedEvent::Sb(rec) => Some(rec),
+            _ => None,
+        })
+    }
+
+    /// The memory-system records in the stream, in order.
+    pub fn mem_events(&self) -> impl Iterator<Item = &hwgc_memsim::MemEventRecord> {
+        self.events.iter().filter_map(|(_, e)| match e {
+            OwnedEvent::Mem(rec) => Some(rec),
+            _ => None,
+        })
+    }
+}
+
+/// A probe that records every event it sees, with an optional sample
+/// period (like `SignalTrace::new(sample_every)`).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    recording: Recording,
+    /// `Some(n)`: request a [`Event::Sample`] every `n` cycles.
+    pub sample_every: Option<u64>,
+}
+
+impl Recorder {
+    /// Recorder with no sampling (transition events only).
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Recorder that additionally samples every `sample_every` cycles.
+    pub fn sampling(sample_every: u64) -> Recorder {
+        assert!(sample_every >= 1);
+        Recorder {
+            recording: Recording::default(),
+            sample_every: Some(sample_every),
+        }
+    }
+
+    /// The recorded stream.
+    pub fn recording(&self) -> &Recording {
+        &self.recording
+    }
+
+    /// Consume the recorder, yielding the stream.
+    pub fn into_recording(self) -> Recording {
+        self.recording
+    }
+}
+
+impl Probe for Recorder {
+    fn record(&mut self, cycle: u64, event: &Event<'_>) {
+        self.recording.events.push((cycle, event.to_owned()));
+    }
+
+    fn next_sample(&self, from: u64) -> Option<u64> {
+        let n = self.sample_every?;
+        Some(from.div_ceil(n) * n)
+    }
+}
+
+/// Broadcast to two probes. `ACTIVE` if either side is; `next_sample` is
+/// the earlier of the two requests.
+pub struct Fanout<'a, A, B>(pub &'a mut A, pub &'a mut B);
+
+impl<A: Probe, B: Probe> Probe for Fanout<'_, A, B> {
+    const ACTIVE: bool = A::ACTIVE || B::ACTIVE;
+
+    fn record(&mut self, cycle: u64, event: &Event<'_>) {
+        if A::ACTIVE {
+            self.0.record(cycle, event);
+        }
+        if B::ACTIVE {
+            self.1.record(cycle, event);
+        }
+    }
+
+    fn next_sample(&self, from: u64) -> Option<u64> {
+        match (self.0.next_sample(from), self.1.next_sample(from)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn wants_sb_events(&self) -> bool {
+        self.0.wants_sb_events() || self.1.wants_sb_events()
+    }
+
+    fn wants_mem_events(&self) -> bool {
+        self.0.wants_mem_events() || self.1.wants_mem_events()
+    }
+}
+
+/// A thread-safe, cloneable bus endpoint for the software collectors,
+/// whose worker threads have no simulated clock: events are stamped with
+/// a global operation sequence number instead. Cheap when unused — the
+/// collectors take `Option<&SharedProbe>` and skip the lock entirely on
+/// `None`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedProbe {
+    events: Arc<Mutex<Vec<(u64, OwnedEvent)>>>,
+    seq: Arc<AtomicU64>,
+}
+
+impl SharedProbe {
+    /// Empty shared bus endpoint.
+    pub fn new() -> SharedProbe {
+        SharedProbe::default()
+    }
+
+    /// Record one event, stamped with the next global sequence number.
+    pub fn record(&self, event: &Event<'_>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events
+            .lock()
+            .expect("probe poisoned")
+            .push((seq, event.to_owned()));
+    }
+
+    /// Drain everything recorded so far into a [`Recording`].
+    pub fn take_recording(&self) -> Recording {
+        Recording {
+            events: std::mem::take(&mut *self.events.lock().expect("probe poisoned")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_inactive() {
+        const { assert!(!NullProbe::ACTIVE) };
+        let mut p = NullProbe;
+        p.record(
+            0,
+            &Event::Phase {
+                name: "root",
+                begin: true,
+            },
+        );
+        assert_eq!(p.next_sample(0), None);
+        assert!(!p.wants_sb_events());
+    }
+
+    #[test]
+    fn recorder_records_in_order_and_samples() {
+        let mut r = Recorder::sampling(4);
+        assert_eq!(r.next_sample(0), Some(0));
+        assert_eq!(r.next_sample(1), Some(4));
+        assert_eq!(r.next_sample(4), Some(4));
+        assert_eq!(r.next_sample(5), Some(8));
+        r.record(3, &Event::FifoDepth { depth: 2 });
+        r.record(5, &Event::FifoDepth { depth: 1 });
+        let rec = r.into_recording();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.events[0], (3, OwnedEvent::FifoDepth { depth: 2 }));
+    }
+
+    #[test]
+    fn fanout_is_active_if_either_side_is() {
+        const { assert!(<Fanout<'static, NullProbe, Recorder> as Probe>::ACTIVE) };
+        const { assert!(!<Fanout<'static, NullProbe, NullProbe> as Probe>::ACTIVE) };
+        let mut a = NullProbe;
+        let mut b = Recorder::sampling(2);
+        let mut f = Fanout(&mut a, &mut b);
+        f.record(1, &Event::FifoDepth { depth: 7 });
+        assert_eq!(f.next_sample(1), Some(2));
+        assert!(f.wants_sb_events());
+        assert_eq!(b.recording().len(), 1);
+    }
+
+    #[test]
+    fn shared_probe_stamps_with_sequence_numbers() {
+        let p = SharedProbe::new();
+        let p2 = p.clone();
+        p.record(&Event::Steal {
+            thief: 1,
+            victim: 0,
+            success: true,
+        });
+        p2.record(&Event::PacketHandoff { thread: 2, refs: 8 });
+        let rec = p.take_recording();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.events[0].0, 0);
+        assert_eq!(rec.events[1].0, 1);
+        assert!(p.take_recording().is_empty(), "drained");
+    }
+}

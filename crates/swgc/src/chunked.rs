@@ -216,11 +216,15 @@ impl SwCollector for Chunked {
         "chunked"
     }
 
-    fn parallel_collect(
+    // The chunked collector claims chunks through an atomic counter; the
+    // `SwSyncOps` counters already capture that traffic, so there is
+    // nothing extra to put on the bus.
+    fn parallel_collect_observed(
         &self,
         arena: &Arena,
         roots: &mut [Addr],
         n_threads: usize,
+        _probe: Option<&hwgc_obs::SharedProbe>,
     ) -> ParallelOutcome {
         let shared = Shared {
             next_chunk: AtomicU32::new(0),

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use hwgc_heap::header::{self, Header};
 use hwgc_heap::{Addr, Heap, NULL};
+use hwgc_obs::SharedProbe;
 use hwgc_sync::sw::SwSyncOps;
 
 use crate::arena::Arena;
@@ -49,24 +50,49 @@ pub trait SwCollector {
 
     /// Collect: evacuate everything reachable from `roots` into the
     /// arena's tospace using `n_threads` threads, rewriting `roots` to the
-    /// new copies.
+    /// new copies. When `probe` is present, the collector reports its
+    /// distribution mechanism onto the event bus —
+    /// [`hwgc_obs::Event::Steal`] attempts, [`hwgc_obs::Event::PacketHandoff`]s
+    /// — stamped with a global operation sequence number (real threads
+    /// have no simulated clock). `None` must cost nothing.
+    fn parallel_collect_observed(
+        &self,
+        arena: &Arena,
+        roots: &mut [Addr],
+        n_threads: usize,
+        probe: Option<&SharedProbe>,
+    ) -> ParallelOutcome;
+
+    /// [`SwCollector::parallel_collect_observed`] without observation.
     fn parallel_collect(
         &self,
         arena: &Arena,
         roots: &mut [Addr],
         n_threads: usize,
-    ) -> ParallelOutcome;
+    ) -> ParallelOutcome {
+        self.parallel_collect_observed(arena, roots, n_threads, None)
+    }
 
     /// Run a full cycle on `heap`: flip, snapshot into an atomic arena,
     /// run the parallel phase (timed), write back and fix up the mutator
     /// state.
     fn collect(&self, heap: &mut Heap, n_threads: usize) -> SwReport {
+        self.collect_observed(heap, n_threads, None)
+    }
+
+    /// [`SwCollector::collect`] with the event bus attached.
+    fn collect_observed(
+        &self,
+        heap: &mut Heap,
+        n_threads: usize,
+        probe: Option<&SharedProbe>,
+    ) -> SwReport {
         assert!((1..=32).contains(&n_threads), "busy mask is 32 bits");
         heap.flip();
         let arena = Arena::from_heap(heap);
         let mut roots = heap.roots().to_vec();
         let start = Instant::now();
-        let out = self.parallel_collect(&arena, &mut roots, n_threads);
+        let out = self.parallel_collect_observed(&arena, &mut roots, n_threads, probe);
         let elapsed = start.elapsed();
         arena.write_back(heap);
         for (i, &r) in roots.iter().enumerate() {

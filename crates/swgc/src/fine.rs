@@ -133,11 +133,15 @@ impl SwCollector for FineGrained {
         "fine-grained"
     }
 
-    fn parallel_collect(
+    // The fine-grained collector has no steals or packets to report: its
+    // distribution mechanism is the shared scan/free registers, which the
+    // `SwSyncOps` counters already capture.
+    fn parallel_collect_observed(
         &self,
         arena: &Arena,
         roots: &mut [Addr],
         n_threads: usize,
+        _probe: Option<&hwgc_obs::SharedProbe>,
     ) -> ParallelOutcome {
         let shared = Shared {
             arena,

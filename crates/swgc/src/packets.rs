@@ -12,6 +12,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use hwgc_heap::{Addr, NULL};
+use hwgc_obs::{Event, SharedProbe};
 use hwgc_sync::sw::SwSyncOps;
 use parking_lot::Mutex;
 
@@ -54,11 +55,12 @@ impl SwCollector for Packets {
         "work-packets"
     }
 
-    fn parallel_collect(
+    fn parallel_collect_observed(
         &self,
         arena: &Arena,
         roots: &mut [Addr],
         n_threads: usize,
+        probe: Option<&SharedProbe>,
     ) -> ParallelOutcome {
         let shared_free = AtomicU32::new(arena.to_base());
         let pool: Mutex<Vec<Vec<Addr>>> = Mutex::new(Vec::new());
@@ -82,12 +84,27 @@ impl SwCollector for Packets {
                 packet.push(fwd);
                 if packet.len() == self.packet_size {
                     root_ops.lock_acquisitions += 1;
+                    // The root phase hands off as pseudo-thread
+                    // `n_threads` (the slot convention the simulator uses
+                    // for its mutator).
+                    if let Some(p) = probe {
+                        p.record(&Event::PacketHandoff {
+                            thread: n_threads as u32,
+                            refs: packet.len() as u32,
+                        });
+                    }
                     pool.lock().push(std::mem::take(&mut packet));
                 }
             }
             *r = fwd;
         }
         if !packet.is_empty() {
+            if let Some(p) = probe {
+                p.record(&Event::PacketHandoff {
+                    thread: n_threads as u32,
+                    refs: packet.len() as u32,
+                });
+            }
             pool.lock().push(packet);
         }
         let (root_frag, root_adds) = root_lab.finish();
@@ -95,7 +112,7 @@ impl SwCollector for Packets {
 
         let results: Vec<(SwSyncOps, u64, u64, u64)> = std::thread::scope(|s| {
             (0..n_threads)
-                .map(|_| {
+                .map(|tid| {
                     let pool = &pool;
                     let inflight = &inflight;
                     let shared_free = &shared_free;
@@ -107,6 +124,8 @@ impl SwCollector for Packets {
                             shared_free,
                             self.packet_size,
                             self.lab_words,
+                            tid,
+                            probe,
                         )
                     })
                 })
@@ -134,6 +153,7 @@ impl SwCollector for Packets {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker(
     arena: &Arena,
     pool: &Mutex<Vec<Vec<Addr>>>,
@@ -141,6 +161,8 @@ fn worker(
     shared_free: &AtomicU32,
     packet_size: usize,
     lab_words: u32,
+    tid: usize,
+    probe: Option<&SharedProbe>,
 ) -> (SwSyncOps, u64, u64, u64) {
     let mut ops = SwSyncOps::default();
     let mut lab = LabAllocator::new(shared_free, arena.to_limit(), lab_words);
@@ -165,6 +187,14 @@ fn worker(
             words += copied;
             if !full_packets.is_empty() {
                 ops.lock_acquisitions += 1;
+                if let Some(p) = probe {
+                    for fp in &full_packets {
+                        p.record(&Event::PacketHandoff {
+                            thread: tid as u32,
+                            refs: fp.len() as u32,
+                        });
+                    }
+                }
                 pool.lock().append(&mut full_packets);
             }
             inflight.dec();
@@ -215,6 +245,40 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
             assert_eq!(report.objects_copied as usize, snap.live_objects());
         }
+    }
+
+    #[test]
+    fn observed_run_reports_packet_handoffs() {
+        use hwgc_obs::{OwnedEvent, SharedProbe};
+        // Packet size 1 hands every evacuated object to the pool, so the
+        // bus must see exactly one handoff reference per copied object.
+        let mut heap = Heap::new(60_000);
+        let mut b = GraphBuilder::new(&mut heap);
+        let mut s = Default::default();
+        let root = hwgc_workloads::generators::kary_tree(&mut b, 6, 3, 2, &mut s);
+        b.root(root);
+        let snap = Snapshot::capture(&heap);
+        let probe = SharedProbe::new();
+        let collector = Packets {
+            packet_size: 1,
+            ..Packets::default()
+        };
+        let report = collector.collect_observed(&mut heap, 4, Some(&probe));
+        verify_collection_relaxed(&heap, report.free, &snap).unwrap();
+        let rec = probe.take_recording();
+        let handoffs: Vec<(u32, u32)> = rec
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                OwnedEvent::PacketHandoff { thread, refs } => Some((*thread, *refs)),
+                _ => None,
+            })
+            .collect();
+        assert!(!handoffs.is_empty());
+        let total_refs: u64 = handoffs.iter().map(|&(_, r)| r as u64).sum();
+        assert_eq!(total_refs, report.objects_copied);
+        // Worker tids 0..4; the root phase hands off as pseudo-thread 4.
+        assert!(handoffs.iter().all(|&(t, _)| t <= 4));
     }
 
     #[test]

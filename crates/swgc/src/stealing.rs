@@ -11,6 +11,7 @@ use std::sync::atomic::AtomicU32;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use hwgc_heap::{Addr, NULL};
+use hwgc_obs::{Event, SharedProbe};
 use hwgc_sync::sw::SwSyncOps;
 
 use crate::arena::Arena;
@@ -46,11 +47,12 @@ impl SwCollector for WorkStealing {
         "work-stealing"
     }
 
-    fn parallel_collect(
+    fn parallel_collect_observed(
         &self,
         arena: &Arena,
         roots: &mut [Addr],
         n_threads: usize,
+        probe: Option<&SharedProbe>,
     ) -> ParallelOutcome {
         let shared_free = AtomicU32::new(arena.to_base());
         let inflight = Inflight::new();
@@ -100,6 +102,7 @@ impl SwCollector for WorkStealing {
                             shared_free,
                             lab_words,
                             tid,
+                            probe,
                         )
                     })
                 })
@@ -141,13 +144,14 @@ fn run_worker(
     shared_free: &AtomicU32,
     lab_words: u32,
     tid: usize,
+    probe: Option<&SharedProbe>,
 ) -> (SwSyncOps, u64, u64, u64) {
     let mut ops = SwSyncOps::default();
     let mut lab = LabAllocator::new(shared_free, arena.to_limit(), lab_words);
     let mut objects = 0u64;
     let mut words = 0u64;
     loop {
-        let task = find_task(&worker, stealers, injector, tid, &mut ops);
+        let task = find_task(&worker, stealers, injector, tid, &mut ops, probe);
         match task {
             Some(copy) => {
                 let (copied, _) = scan_copied_object(arena, &mut lab, copy, &mut ops, |new| {
@@ -182,6 +186,7 @@ fn find_task(
     injector: &Injector<Addr>,
     tid: usize,
     ops: &mut SwSyncOps,
+    probe: Option<&SharedProbe>,
 ) -> Option<Addr> {
     if let Some(t) = worker.pop() {
         return Some(t);
@@ -193,14 +198,34 @@ fn find_task(
             Steal::Retry => ops.spin_iterations += 1,
         }
     }
-    // Round-robin over the other threads' deques.
+    // Round-robin over the other threads' deques. Each victim probe is a
+    // steal attempt on the bus — hits and misses both, so the derived
+    // `sw.steal.*` metrics expose how often idle threads come up empty.
     let n = stealers.len();
     for i in 1..n {
         let victim = (tid + i) % n;
         loop {
             match stealers[victim].steal() {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
+                Steal::Success(t) => {
+                    if let Some(p) = probe {
+                        p.record(&Event::Steal {
+                            thief: tid as u32,
+                            victim: victim as u32,
+                            success: true,
+                        });
+                    }
+                    return Some(t);
+                }
+                Steal::Empty => {
+                    if let Some(p) = probe {
+                        p.record(&Event::Steal {
+                            thief: tid as u32,
+                            victim: victim as u32,
+                            success: false,
+                        });
+                    }
+                    break;
+                }
                 Steal::Retry => ops.spin_iterations += 1,
             }
         }
@@ -227,6 +252,41 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
             assert_eq!(report.objects_copied as usize, snap.live_objects());
             assert_eq!(report.words_copied, snap.live_words);
+        }
+    }
+
+    #[test]
+    fn observed_run_reports_steals_without_perturbing() {
+        use hwgc_obs::{OwnedEvent, SharedProbe};
+        let mut heap = Heap::new(40_000);
+        let mut b = GraphBuilder::new(&mut heap);
+        let mut s = Default::default();
+        let root = hwgc_workloads::generators::kary_tree(&mut b, 6, 3, 2, &mut s);
+        b.root(root);
+        let snap = Snapshot::capture(&heap);
+        let probe = SharedProbe::new();
+        let report = WorkStealing::new().collect_observed(&mut heap, 4, Some(&probe));
+        verify_collection_relaxed(&heap, report.free, &snap).unwrap();
+        assert_eq!(report.objects_copied as usize, snap.live_objects());
+        let rec = probe.take_recording();
+        let steals: Vec<(u32, u32, bool)> = rec
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                OwnedEvent::Steal {
+                    thief,
+                    victim,
+                    success,
+                } => Some((*thief, *victim, *success)),
+                _ => None,
+            })
+            .collect();
+        // Every find_task miss probes the other deques, so attempts are
+        // guaranteed even on a lucky schedule.
+        assert!(!steals.is_empty());
+        for &(thief, victim, _) in &steals {
+            assert!(thief < 4 && victim < 4);
+            assert_ne!(thief, victim, "no self-steals");
         }
     }
 
