@@ -11,6 +11,7 @@
 //! ```text
 //! bench_baseline [--smoke] [--out <path>] [--check <baseline.json>]
 //!                [--trace-out <path>] [--metrics-out <path>]
+//!                [--trajectory <path> --pr <N>]
 //! ```
 //!
 //! * `--smoke` — reduced matrix (3 presets × {1, 4} cores) for CI,
@@ -23,7 +24,14 @@
 //!   Figure 6 configuration (javac, 1 core, +20 latency) once more with
 //!   the event bus attached and export the Chrome/Perfetto trace and the
 //!   metrics snapshot. The probed run is *not* timed; every measured
-//!   combo keeps the zero-overhead `NullProbe` path.
+//!   combo keeps the zero-overhead `NullProbe` path,
+//! * `--trajectory` / `--pr` — measure the Figure 6 configuration once
+//!   more and append `{pr, cycles, wall_s}` to the per-PR trajectory
+//!   file (the committed `BENCH_trajectory.json`). Idempotent per PR: an
+//!   existing entry for the same PR number is replaced, so re-running
+//!   before merge never duplicates rows. `cycles` is deterministic; the
+//!   wall clock is the recording host's and is kept for order-of-magnitude
+//!   context only.
 //!
 //! The report also carries `ff_speedup`: the wall-clock ratio of the
 //! naive per-cycle loop to the event-horizon fast-forward path on the
@@ -244,6 +252,64 @@ fn aggregate_intersection(reference: &str, measured: &str) -> Option<(f64, f64)>
     (rw > 0.0 && mw > 0.0).then_some((rc / rw, mc / mw))
 }
 
+/// Parse a trajectory file's entry lines into `(pr, cycles, wall_s)`.
+fn parse_trajectory(text: &str) -> Vec<(u64, u64, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            Some((
+                json_num(line, "pr")? as u64,
+                json_num(line, "cycles")? as u64,
+                json_num(line, "wall_s")?,
+            ))
+        })
+        .collect()
+}
+
+fn render_trajectory(entries: &[(u64, u64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"hwgc-bench-trajectory-v1\",\n");
+    out.push_str("  \"config\": \"javac, 1 core, +20 cycles memory latency (fig6 baseline)\",\n");
+    out.push_str("  \"entries\": [\n");
+    for (i, (pr, cycles, wall_s)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"pr\": {pr}, \"cycles\": {cycles}, \"wall_s\": {wall_s:.6}}}{sep}"
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Measure the fig6 configuration and append (or replace) this PR's
+/// entry in the trajectory file.
+fn append_trajectory(path: &str, pr: u64) {
+    let cfg = GcConfig {
+        n_cores: 1,
+        mem: MemConfig::default().with_extra_latency(20),
+        ..GcConfig::default()
+    };
+    let (mut cycles, mut wall_s) = (0, f64::INFINITY);
+    for _ in 0..REPS {
+        let (out, w, _) = timed_collect(Preset::Javac, cfg);
+        cycles = out.stats.total_cycles;
+        wall_s = wall_s.min(w);
+    }
+    let mut entries = std::fs::read_to_string(path)
+        .map(|t| parse_trajectory(&t))
+        .unwrap_or_default();
+    entries.retain(|(p, _, _)| *p != pr);
+    entries.push((pr, cycles, wall_s));
+    entries.sort_by_key(|(p, _, _)| *p);
+    std::fs::write(path, render_trajectory(&entries))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "[trajectory] {path}: pr {pr}, {cycles} cycles, {:.3} ms",
+        wall_s * 1e3
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -258,6 +324,11 @@ fn main() {
     let check_path = flag_value("--check");
     let trace_out = flag_value("--trace-out");
     let metrics_out = flag_value("--metrics-out");
+    let trajectory = flag_value("--trajectory");
+    let pr = flag_value("--pr").map(|s| {
+        s.parse::<u64>()
+            .unwrap_or_else(|e| panic!("--pr needs a PR number: {e}"))
+    });
 
     let (presets, core_counts): (&[Preset], &[usize]) = if smoke {
         (&[Preset::Compress, Preset::Javac, Preset::Jlisp], &[1, 4])
@@ -317,6 +388,11 @@ fn main() {
                 .unwrap_or_else(|e| panic!("write {path}: {e}"));
             println!("[metrics] {path}");
         }
+    }
+
+    if let Some(path) = &trajectory {
+        let pr = pr.unwrap_or_else(|| panic!("--trajectory needs --pr <N>"));
+        append_trajectory(path, pr);
     }
 
     let report = render_report(mode, &combos, ff_speedup);

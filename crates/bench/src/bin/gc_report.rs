@@ -1,0 +1,140 @@
+//! Per-run bottleneck report: one probed collection analyzed end to end —
+//! blame attribution of every stall cycle, critical-path extraction, and
+//! what-if resource-relaxation predictions — rendered as markdown (for
+//! humans) and JSON (`hwgc-report-v1`, for tooling and CI).
+//!
+//! ```text
+//! gc_report [preset] [--cores N] [--scale F] [--extra-latency N]
+//!           [--fifo N] [--out-dir DIR] [--check]
+//! ```
+//!
+//! Defaults: `cup`, 8 cores, scale 1.0, no extra latency, the default
+//! FIFO, artifacts under `target/experiments/` as
+//! `report_<preset>.{md,json}`.
+//!
+//! `--check` (what the CI `report-smoke` job runs) additionally asserts:
+//!
+//! 1. **probe parity** — a probe-off run of the identical heap produces
+//!    identical `GcStats` (observation must not perturb the simulation);
+//! 2. **conservative completeness** — every blame row (and its per-core
+//!    slices) sums exactly to the engine's corresponding stall counter:
+//!    every stall cycle attributed once, none invented;
+//! 3. the critical path partitions the run's wall-clock cycles exactly.
+
+use hwgc_bench::{
+    assert_blame_reconciles, experiments_dir, report_for_run, run_probed_heap, run_verified_heap,
+};
+use hwgc_core::GcConfig;
+use hwgc_memsim::MemConfig;
+use hwgc_obs::{render_report_json, render_report_markdown};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn main() {
+    let mut preset = Preset::Cup;
+    let mut cores = 8usize;
+    let mut scale = 1.0f64;
+    let mut extra_latency = 0u32;
+    let mut fifo: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut check = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--cores" => {
+                cores = value(i).parse().expect("--cores must be a number");
+                i += 2;
+            }
+            "--scale" => {
+                scale = value(i).parse().expect("--scale must be a number");
+                i += 2;
+            }
+            "--extra-latency" => {
+                extra_latency = value(i).parse().expect("--extra-latency must be a number");
+                i += 2;
+            }
+            "--fifo" => {
+                fifo = Some(value(i).parse().expect("--fifo must be a number"));
+                i += 2;
+            }
+            "--out-dir" => {
+                out_dir = Some(value(i));
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            name => {
+                preset = Preset::by_name(name).unwrap_or_else(|| panic!("unknown preset {name}"));
+                i += 1;
+            }
+        }
+    }
+
+    let spec = WorkloadSpec {
+        preset,
+        seed: 42,
+        scale,
+    };
+    let mem = MemConfig {
+        header_fifo_capacity: fifo.unwrap_or(MemConfig::default().header_fifo_capacity),
+        ..MemConfig::default().with_extra_latency(extra_latency)
+    };
+    let cfg = GcConfig {
+        n_cores: cores,
+        mem,
+        ..GcConfig::default()
+    };
+    let label = preset.to_string();
+    println!(
+        "gc_report: {label} (scale {scale}), {cores} cores, +{extra_latency} latency, \
+         FIFO {}\n",
+        mem.header_fifo_capacity
+    );
+
+    let mut heap = spec.build();
+    let (out, _trace, recording) = run_probed_heap(&mut heap, cfg, &label, 64);
+    let report = report_for_run(&label, cores, &out, &recording, mem.bandwidth);
+
+    if check {
+        let mut reference_heap = spec.build();
+        let reference = run_verified_heap(&mut reference_heap, cfg, &label);
+        assert_eq!(
+            out.stats, reference.stats,
+            "probe-on GcStats diverged from probe-off"
+        );
+        assert_eq!(out.free, reference.free, "probe-on free diverged");
+        println!("[check] probe-on GcStats identical to probe-off");
+        assert_blame_reconciles(&report, &out.stats);
+        println!(
+            "[check] blame matrix reconciles: every stall cycle of all {} classes attributed",
+            hwgc_core::StallReason::COUNT
+        );
+    }
+
+    let dir = out_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(experiments_dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    let write = |tag: &str, name: String, text: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("[{tag}] {}", path.display());
+    };
+
+    let md = render_report_markdown(&report);
+    print!("{md}");
+    write("markdown", format!("report_{label}.md"), &md);
+    write(
+        "json",
+        format!("report_{label}.json"),
+        &render_report_json(&report),
+    );
+}

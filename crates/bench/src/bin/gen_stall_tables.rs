@@ -1,27 +1,65 @@
-//! Regenerate the EXPERIMENTS.md Table II stall-breakdown table from the
-//! metrics JSON written by `table2_stall_breakdown`, so the committed
-//! document and the measurement pipeline cannot drift apart.
+//! Regenerate EXPERIMENTS.md's measured tables from the metrics JSON the
+//! experiment binaries write, so the committed document and the
+//! measurement pipeline cannot drift apart:
+//!
+//! * **Table I** (empty-worklist fractions) from the
+//!   `table1.<app>.c<N>.empty_frac` gauges written by
+//!   `table1_empty_worklist`;
+//! * **Table II** (stall breakdown) from the
+//!   `table2.<app>.stall_frac.*` gauges written by
+//!   `table2_stall_breakdown`.
 //!
 //! ```text
-//! gen_stall_tables [--metrics <path>] [--doc <path>] [--check]
+//! gen_stall_tables [--metrics <path>] [--table1-metrics <path>]
+//!                  [--doc <path>] [--check]
 //! ```
 //!
-//! The generator replaces everything between the
-//! `<!-- BEGIN GENERATED: table2-stall-breakdown -->` and
-//! `<!-- END GENERATED: table2-stall-breakdown -->` markers in the
-//! document with a markdown table rendered from the
-//! `table2.<app>.stall_frac.*` gauges. `--check` renders without writing
-//! and exits 1 if the committed table is stale (what `reproduce_all`
-//! runs after the experiment batch).
+//! Each table is replaced between its
+//! `<!-- BEGIN GENERATED: <tag> -->` / `<!-- END GENERATED: <tag> -->`
+//! markers. `--check` renders without writing and exits 1 if either
+//! committed table is stale (what `reproduce_all` and CI run after the
+//! experiment batch).
 
-use hwgc_bench::{experiments_dir, pct, STALL_COLUMNS};
+use hwgc_bench::{experiments_dir, pct, CORE_COUNTS, STALL_COLUMNS};
 use hwgc_obs::MetricsRegistry;
 
-const BEGIN: &str = "<!-- BEGIN GENERATED: table2-stall-breakdown -->";
-const END: &str = "<!-- END GENERATED: table2-stall-breakdown -->";
+const TABLE1_TAG: &str = "table1-empty-worklist";
+const TABLE2_TAG: &str = "table2-stall-breakdown";
 
-/// Render the measured stall-fraction table from the registry gauges.
-fn render_table(reg: &MetricsRegistry) -> String {
+/// Render the measured Table I (empty-worklist fractions) from the
+/// registry gauges.
+fn render_table1(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("| app |");
+    for (i, n) in CORE_COUNTS.iter().enumerate() {
+        if i + 1 == CORE_COUNTS.len() {
+            out.push_str(&format!(" {n} cores |"));
+        } else {
+            out.push_str(&format!(" {n} |"));
+        }
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---|".repeat(CORE_COUNTS.len()));
+    out.push('\n');
+    for preset in hwgc_workloads::Preset::ALL {
+        let app = preset.name();
+        out.push_str(&format!("| {app} |"));
+        for n in CORE_COUNTS {
+            let gauge = format!("table1.{app}.c{n}.empty_frac");
+            let frac = reg
+                .gauge(&gauge)
+                .unwrap_or_else(|| panic!("metrics JSON missing gauge {gauge}"));
+            out.push_str(&format!(" {} |", pct(frac)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the measured Table II (stall fractions) from the registry
+/// gauges.
+fn render_table2(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
     out.push_str("| app |");
     for (name, _) in STALL_COLUMNS {
@@ -46,20 +84,29 @@ fn render_table(reg: &MetricsRegistry) -> String {
     out
 }
 
-/// Splice `table` between the markers of `doc`.
-fn splice(doc: &str, table: &str) -> Result<String, String> {
+/// Splice `table` between the `tag` markers of `doc`.
+fn splice(doc: &str, tag: &str, table: &str) -> Result<String, String> {
+    let begin_marker = format!("<!-- BEGIN GENERATED: {tag} -->");
+    let end_marker = format!("<!-- END GENERATED: {tag} -->");
     let begin = doc
-        .find(BEGIN)
-        .ok_or_else(|| format!("marker {BEGIN:?} not found"))?;
+        .find(&begin_marker)
+        .ok_or_else(|| format!("marker {begin_marker:?} not found"))?;
     let end = doc
-        .find(END)
-        .ok_or_else(|| format!("marker {END:?} not found"))?;
+        .find(&end_marker)
+        .ok_or_else(|| format!("marker {end_marker:?} not found"))?;
     if end < begin {
-        return Err("END marker precedes BEGIN marker".to_string());
+        return Err(format!("{tag}: END marker precedes BEGIN marker"));
     }
-    let head = &doc[..begin + BEGIN.len()];
+    let head = &doc[..begin + begin_marker.len()];
     let tail = &doc[end..];
     Ok(format!("{head}\n{table}{tail}"))
+}
+
+fn load_registry(path: &std::path::Path, producer: &str) -> MetricsRegistry {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (run {producer} first)", path.display()));
+    MetricsRegistry::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
 }
 
 fn main() {
@@ -71,31 +118,36 @@ fn main() {
                 .clone()
         })
     };
-    let metrics_path = flag_value("--metrics")
+    let table2_metrics = flag_value("--metrics")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| experiments_dir().join("table2_stall_breakdown.metrics.json"));
+    let table1_metrics = flag_value("--table1-metrics")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| experiments_dir().join("table1_empty_worklist.metrics.json"));
     let doc_path = flag_value("--doc").unwrap_or_else(|| "EXPERIMENTS.md".to_string());
     let check = args.iter().any(|a| a == "--check");
 
-    let metrics_text = std::fs::read_to_string(&metrics_path).unwrap_or_else(|e| {
-        panic!(
-            "read {}: {e} (run table2_stall_breakdown first)",
-            metrics_path.display()
-        )
-    });
-    let reg = MetricsRegistry::from_json_str(&metrics_text)
-        .unwrap_or_else(|e| panic!("parse {}: {e}", metrics_path.display()));
-    let table = render_table(&reg);
-
     let doc = std::fs::read_to_string(&doc_path).unwrap_or_else(|e| panic!("read {doc_path}: {e}"));
-    let updated = splice(&doc, &table).unwrap_or_else(|e| panic!("{doc_path}: {e}"));
+    let mut updated = doc.clone();
+    for (tag, table) in [
+        (
+            TABLE1_TAG,
+            render_table1(&load_registry(&table1_metrics, "table1_empty_worklist")),
+        ),
+        (
+            TABLE2_TAG,
+            render_table2(&load_registry(&table2_metrics, "table2_stall_breakdown")),
+        ),
+    ] {
+        updated = splice(&updated, tag, &table).unwrap_or_else(|e| panic!("{doc_path}: {e}"));
+    }
 
     if check {
         if doc == updated {
-            println!("{doc_path}: stall-breakdown table is up to date");
+            println!("{doc_path}: generated tables are up to date");
         } else {
             eprintln!(
-                "{doc_path}: stall-breakdown table is stale; regenerate with \
+                "{doc_path}: a generated table is stale; regenerate with \
                  `cargo run --release -p hwgc-bench --bin gen_stall_tables`"
             );
             std::process::exit(1);
@@ -105,8 +157,9 @@ fn main() {
     } else {
         std::fs::write(&doc_path, &updated).unwrap_or_else(|e| panic!("write {doc_path}: {e}"));
         println!(
-            "{doc_path}: stall-breakdown table regenerated from {}",
-            metrics_path.display()
+            "{doc_path}: generated tables refreshed from {} and {}",
+            table1_metrics.display(),
+            table2_metrics.display()
         );
     }
 }
@@ -117,15 +170,30 @@ mod tests {
 
     #[test]
     fn splice_replaces_between_markers() {
-        let doc = format!("before\n{BEGIN}\nold table\n{END}\nafter\n");
-        let out = splice(&doc, "new\n").unwrap();
-        assert_eq!(out, format!("before\n{BEGIN}\nnew\n{END}\nafter\n"));
+        let doc =
+            "before\n<!-- BEGIN GENERATED: t -->\nold table\n<!-- END GENERATED: t -->\nafter\n";
+        let out = splice(doc, "t", "new\n").unwrap();
+        assert_eq!(
+            out,
+            "before\n<!-- BEGIN GENERATED: t -->\nnew\n<!-- END GENERATED: t -->\nafter\n"
+        );
         // Idempotent.
-        assert_eq!(splice(&out, "new\n").unwrap(), out);
+        assert_eq!(splice(&out, "t", "new\n").unwrap(), out);
     }
 
     #[test]
     fn splice_requires_markers() {
-        assert!(splice("no markers", "t").is_err());
+        assert!(splice("no markers", "t", "x").is_err());
+    }
+
+    #[test]
+    fn splice_is_per_tag() {
+        let doc = "<!-- BEGIN GENERATED: a -->\nA\n<!-- END GENERATED: a -->\n\
+                   <!-- BEGIN GENERATED: b -->\nB\n<!-- END GENERATED: b -->\n";
+        let out = splice(doc, "b", "B2\n").unwrap();
+        assert!(out.contains("A\n"), "tag a untouched");
+        assert!(out.contains("B2\n"), "tag b replaced");
+        assert!(!out.contains("\nB\n<!-- END GENERATED: b -->"));
+        assert!(splice(doc, "c", "x").is_err());
     }
 }

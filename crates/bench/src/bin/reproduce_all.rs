@@ -11,8 +11,9 @@
 //! `trace_dump` child (as `HWGC_TRACE_OUT` / `HWGC_METRICS_OUT`), so one
 //! driver invocation can also produce the Perfetto trace and the metrics
 //! snapshot of the traced run. After the batch, `gen_stall_tables
-//! --check` verifies that EXPERIMENTS.md's stall-breakdown table still
-//! matches the metrics JSON `table2_stall_breakdown` just wrote.
+//! --check` verifies that EXPERIMENTS.md's generated tables (Table I,
+//! Table II) still match the metrics JSON `table1_empty_worklist` and
+//! `table2_stall_breakdown` just wrote.
 //!
 //! (`ablation_software` is excluded — it measures real threads and its
 //! wall-clock columns are host-dependent; run it separately, and prefer
@@ -45,6 +46,7 @@ fn main() {
         "ablation_headercache",
         "ext_concurrent",
         "trace_dump",
+        "gc_report",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("target dir").to_path_buf();
@@ -79,9 +81,10 @@ fn main() {
     }
     assert!(failures == 0, "{failures} experiment(s) failed");
 
-    // table2_stall_breakdown refreshed its metrics JSON above; make sure
-    // the committed EXPERIMENTS.md table still matches it. Runs serially
-    // after the batch because it reads what the batch wrote.
+    // table1_empty_worklist and table2_stall_breakdown refreshed their
+    // metrics JSON above; make sure the committed EXPERIMENTS.md tables
+    // still match. Runs serially after the batch because it reads what
+    // the batch wrote.
     println!("\n=== gen_stall_tables --check {}", "=".repeat(40));
     let check = Command::new(dir.join("gen_stall_tables"))
         .arg("--check")

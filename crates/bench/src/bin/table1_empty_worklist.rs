@@ -2,9 +2,16 @@
 //! (`scan == free`), per benchmark and core count. These are the cycles in
 //! which no gray object is available for processing — the paper's measure
 //! of (missing) object-level parallelism.
+//!
+//! Besides the CSV, the run writes a metrics-registry snapshot
+//! (`--metrics-out`, default
+//! `target/experiments/table1_empty_worklist.metrics.json`) holding the
+//! `table1.<app>.c<N>.empty_frac` gauges — the input `gen_stall_tables`
+//! uses to regenerate (and `--check`) EXPERIMENTS.md's Table I.
 
-use hwgc_bench::{pct, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_bench::{experiments_dir, pct, row, run_verified, spec, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
+use hwgc_obs::MetricsRegistry;
 use hwgc_workloads::Preset;
 
 fn main() {
@@ -17,6 +24,7 @@ fn main() {
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for preset in Preset::ALL {
         let s = spec(preset);
         let mut cells = vec![preset.name().to_string()];
@@ -25,8 +33,19 @@ fn main() {
             let f = out.stats.empty_worklist_fraction();
             cells.push(pct(f));
             csv.push(format!("{},{},{:.6}", preset.name(), n, f));
+            metrics.gauge_set(&format!("table1.{}.c{n}.empty_frac", preset.name()), f);
         }
         println!("{}", row(&cells, &widths));
     }
     write_csv("table1_empty_worklist", "app,cores,empty_fraction", &csv);
+
+    let metrics_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--metrics-out")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(|| experiments_dir().join("table1_empty_worklist.metrics.json"));
+    std::fs::write(&metrics_path, metrics.to_json_string())
+        .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
+    println!("[metrics] {}", metrics_path.display());
 }

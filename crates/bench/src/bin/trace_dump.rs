@@ -95,9 +95,10 @@ fn main() {
 
     match format.as_str() {
         "summary" => {
+            let reg = metrics_for_run(&preset.to_string(), cores, &out, &recording);
             print!(
                 "{}",
-                render_trace_summary(&preset.to_string(), cores, &out, &trace)
+                render_trace_summary(&preset.to_string(), cores, &out, &trace, &reg)
             );
             println!();
             write("csv", &default_name("csv"), &trace_csv(&trace));

@@ -14,7 +14,7 @@ use hwgc_core::{GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallRe
 use hwgc_heap::{verify_collection, Heap, Snapshot};
 use hwgc_obs::{
     chrome_trace_json, derive_metrics, Fanout, FoldedStacks, MetricsRegistry, Recorder, Recording,
-    RunMeta,
+    RunMeta, RunReport,
 };
 use hwgc_workloads::{Preset, WorkloadSpec};
 
@@ -132,12 +132,15 @@ pub fn run_meta(name: &str, n_cores: usize, out: &GcOutcome) -> RunMeta {
 }
 
 /// The classic `trace_dump` text report: headline numbers plus a coarse
-/// 40-bucket timeline of the gray population (`#`) and busy cores (`*`).
+/// 40-bucket timeline of the gray population (`#`) and busy cores (`*`),
+/// and latency percentiles (p50/p95/p99) of the run's wait and
+/// stall-span histograms from `metrics`.
 pub fn render_trace_summary(
     label: &str,
     cores: usize,
     out: &GcOutcome,
     trace: &SignalTrace,
+    metrics: &MetricsRegistry,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
@@ -148,6 +151,31 @@ pub fn render_trace_summary(
         "mean busy cores: {:.2} / {cores}",
         trace.mean_busy_cores()
     );
+    let percentiled: Vec<&str> = metrics
+        .histogram_names()
+        .filter(|n| n.ends_with(".wait_cycles") || n.ends_with(".span_cycles"))
+        .filter(|n| metrics.histogram_ref(n).is_some_and(|h| h.count() > 0))
+        .collect();
+    if !percentiled.is_empty() {
+        let _ = writeln!(s, "\n  latency percentiles (cycles)");
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>8} {:>6} {:>6} {:>6}",
+            "histogram", "count", "p50", "p95", "p99"
+        );
+        for name in percentiled {
+            let h = metrics.histogram_ref(name).unwrap();
+            let _ = writeln!(
+                s,
+                "  {:<28} {:>8} {:>6} {:>6} {:>6}",
+                name,
+                h.count(),
+                h.p50().unwrap(),
+                h.p95().unwrap(),
+                h.p99().unwrap()
+            );
+        }
+    }
     let rows = trace.rows();
     let buckets = 40.min(rows.len());
     if buckets > 0 {
@@ -248,6 +276,50 @@ pub fn metrics_for_run(
     let mut reg = derive_metrics(recording, &run_meta(name, cores, out));
     record_stats(&mut reg, "stats", &out.stats);
     reg
+}
+
+/// The full bottleneck report (blame matrix, critical path, what-if
+/// predictions) of a probed run. `dram_bandwidth` must be the run's
+/// `MemConfig.bandwidth` — the what-if predictor's queue model needs it.
+pub fn report_for_run(
+    name: &str,
+    cores: usize,
+    out: &GcOutcome,
+    recording: &Recording,
+    dram_bandwidth: u32,
+) -> RunReport {
+    RunReport::analyze(recording, &run_meta(name, cores, out), dram_bandwidth)
+}
+
+/// Assert the blame matrix is *conservative-complete* against the
+/// engine's own stall counters: for every stall class, the attributed
+/// cycles (the blame row total, and its per-core slices) equal the
+/// corresponding `GcStats` counter exactly — every stall cycle is
+/// attributed once, none invented. Also re-checks the report's internal
+/// invariants (rows sum to class totals; the critical path partitions
+/// the run).
+///
+/// # Panics
+/// Panics with a per-class diagnostic on any mismatch.
+pub fn assert_blame_reconciles(report: &RunReport, stats: &GcStats) {
+    report.validate().unwrap_or_else(|e| panic!("{e}"));
+    for reason in StallReason::ALL {
+        let name = reason.name();
+        let attributed = report.blame.class_total(name);
+        let counted = stats.stall.get(reason);
+        assert_eq!(
+            attributed, counted,
+            "blame row `{name}` has {attributed} cycles, engine counted {counted}"
+        );
+        for (i, core) in stats.per_core.iter().enumerate() {
+            let attributed = report.blame.per_core_matching(i, |class, _| class == name);
+            let counted = core.get(reason);
+            assert_eq!(
+                attributed, counted,
+                "core{i} blame `{name}` has {attributed} cycles, engine counted {counted}"
+            );
+        }
+    }
 }
 
 /// Print a fixed-width table row.

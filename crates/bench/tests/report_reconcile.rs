@@ -1,0 +1,91 @@
+//! Conservative-completeness of the blame attribution on *real* runs:
+//! for every stall class, the cycles the analyzer attributes (and their
+//! per-core slices) must equal the engine's own `GcStats` counters
+//! exactly — every stall cycle attributed once, none invented — and the
+//! critical path must partition the run's wall-clock cycles.
+//!
+//! This is the integration-level counterpart of the unit tests in
+//! `hwgc_obs::attr`: those check the attribution rules on synthetic
+//! event streams; this one checks the reconciliation on full probed
+//! collections across contention regimes (lock-heavy, memory-heavy,
+//! FIFO-overflow, starved).
+
+use hwgc_bench::{assert_blame_reconciles, report_for_run, run_probed_heap};
+use hwgc_core::GcConfig;
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+/// Reduced-scale spec: the reconciliation property is per-cycle exact,
+/// so small heaps prove it as well as full-size ones — and keep the
+/// debug-profile test run fast.
+fn spec(preset: Preset) -> WorkloadSpec {
+    WorkloadSpec {
+        preset,
+        seed: 42,
+        scale: 0.2,
+    }
+}
+
+fn reconcile(label: &str, spec: &WorkloadSpec, cfg: GcConfig) {
+    let mut heap = spec.build();
+    let (out, _trace, recording) = run_probed_heap(&mut heap, cfg, label, 16);
+    let report = report_for_run(label, cfg.n_cores, &out, &recording, cfg.mem.bandwidth);
+    assert_blame_reconciles(&report, &out.stats);
+    assert!(
+        report.path.total == out.stats.total_cycles,
+        "{label}: critical path covers {} of {} cycles",
+        report.path.total,
+        out.stats.total_cycles
+    );
+}
+
+#[test]
+fn blame_reconciles_on_default_runs() {
+    for preset in [Preset::Cup, Preset::Db, Preset::Search] {
+        for cores in [1, 4] {
+            reconcile(
+                &format!("{preset}/{cores}c"),
+                &spec(preset),
+                GcConfig::with_cores(cores),
+            );
+        }
+    }
+}
+
+#[test]
+fn blame_reconciles_under_extra_latency() {
+    // The Figure-6 regime: memory stalls dominate.
+    let cfg = GcConfig {
+        n_cores: 4,
+        mem: MemConfig::default().with_extra_latency(20),
+        ..GcConfig::default()
+    };
+    reconcile("javac/+20", &spec(Preset::Javac), cfg);
+}
+
+#[test]
+fn blame_reconciles_with_fifo_overflow() {
+    // A tiny header FIFO forces the overflow path (cup's Table II
+    // pathology): `fifo.overflow` blame must still reconcile with the
+    // header-store counter it is carved out of.
+    let cfg = GcConfig {
+        n_cores: 8,
+        mem: MemConfig {
+            header_fifo_capacity: 16,
+            ..MemConfig::default()
+        },
+        ..GcConfig::default()
+    };
+    reconcile("cup/fifo16", &spec(Preset::Cup), cfg);
+}
+
+#[test]
+fn blame_reconciles_with_multiport_sb() {
+    // The what-if ablation config itself must also attribute cleanly.
+    let cfg = GcConfig {
+        n_cores: 8,
+        multiport_sb: true,
+        ..GcConfig::default()
+    };
+    reconcile("jlisp/multiport", &spec(Preset::Jlisp), cfg);
+}

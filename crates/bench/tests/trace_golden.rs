@@ -71,10 +71,11 @@ fn golden(name: &str, actual: &str) {
 
 #[test]
 fn summary_format_matches_golden() {
-    let (out, trace, _) = run();
+    let (out, trace, recording) = run();
+    let reg = metrics_for_run("golden", CORES, &out, &recording);
     golden(
         "trace_golden.summary.txt",
-        &render_trace_summary("golden", CORES, &out, &trace),
+        &render_trace_summary("golden", CORES, &out, &trace, &reg),
     );
 }
 

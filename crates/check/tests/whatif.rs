@@ -1,0 +1,152 @@
+//! Predictor-vs-simulator differential: the what-if bottleneck
+//! predictions (`hwgc_obs::predict`, derived analytically from one
+//! probed run's blame matrix) must track *actually re-running* the
+//! simulator with each resource relaxed.
+//!
+//! For every modeled resource the relaxation has an exact configuration
+//! counterpart:
+//!
+//! | prediction               | ablation re-run                         |
+//! |--------------------------|-----------------------------------------|
+//! | `multiport_sb`           | `GcConfig::multiport_sb = true`         |
+//! | `dram_bandwidth_plus_1`  | `MemConfig::bandwidth + 1`              |
+//! | `header_fifo_depth`      | `MemConfig::header_fifo_capacity` large |
+//!
+//! The acceptance budget is 15% **relative error on the predicted
+//! speedup** against the measured speedup of the re-run, per resource,
+//! across contention regimes of the reduced Figure-6 catalog (the
+//! trace-smoke configuration, a FIFO-starved variant, and a lock-heavy
+//! many-core run).
+
+use hwgc_core::{GcConfig, GcOutcome, SimCollector};
+use hwgc_heap::{verify_collection, Snapshot};
+use hwgc_memsim::MemConfig;
+use hwgc_obs::{Recorder, Recording, RunMeta, RunReport};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+/// Relative-error budget on predicted vs. measured speedup.
+const BUDGET: f64 = 0.15;
+
+fn probed(spec: &WorkloadSpec, cfg: GcConfig, label: &str) -> (GcOutcome, Recording) {
+    let mut heap = spec.build();
+    let snap = Snapshot::capture(&heap);
+    let mut recorder = Recorder::new();
+    let out = SimCollector::new(cfg).collect_probed(&mut heap, &mut recorder);
+    verify_collection(&heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    (out, recorder.into_recording())
+}
+
+fn rerun(spec: &WorkloadSpec, cfg: GcConfig, label: &str) -> GcOutcome {
+    let mut heap = spec.build();
+    let snap = Snapshot::capture(&heap);
+    let out = SimCollector::new(cfg).collect(&mut heap);
+    verify_collection(&heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    out
+}
+
+/// The ablated configuration a prediction claims to model.
+fn ablated(base: GcConfig, resource: &str) -> GcConfig {
+    match resource {
+        "multiport_sb" => GcConfig {
+            multiport_sb: true,
+            ..base
+        },
+        "dram_bandwidth_plus_1" => GcConfig {
+            mem: MemConfig {
+                bandwidth: base.mem.bandwidth + 1,
+                ..base.mem
+            },
+            ..base
+        },
+        "header_fifo_depth" => GcConfig {
+            mem: MemConfig {
+                header_fifo_capacity: 1 << 20,
+                ..base.mem
+            },
+            ..base
+        },
+        other => panic!("unmodeled resource {other}"),
+    }
+}
+
+/// Predict on `base`, re-run each ablation, compare speedups.
+fn check_config(name: &str, spec: &WorkloadSpec, base: GcConfig) {
+    let (out, recording) = probed(spec, base, name);
+    let meta = RunMeta {
+        name: name.to_string(),
+        n_cores: base.n_cores,
+        total_cycles: out.stats.total_cycles,
+    };
+    let report = RunReport::analyze(&recording, &meta, base.mem.bandwidth);
+    report.validate().unwrap();
+    assert_eq!(report.predictions.len(), 3, "all three resources modeled");
+    for p in &report.predictions {
+        let actual = rerun(spec, ablated(base, p.resource), name);
+        let actual_speedup = out.stats.total_cycles as f64 / actual.stats.total_cycles as f64;
+        let err = (p.predicted_speedup - actual_speedup).abs() / actual_speedup;
+        println!(
+            "{name}/{}: predicted {:.4}x, measured {:.4}x ({} -> {} cycles), err {:.1}%",
+            p.resource,
+            p.predicted_speedup,
+            actual_speedup,
+            out.stats.total_cycles,
+            actual.stats.total_cycles,
+            err * 100.0
+        );
+        assert!(
+            err <= BUDGET,
+            "{name}/{}: predicted speedup {:.4} vs measured {:.4} — relative error {:.1}% \
+             exceeds the {:.0}% budget",
+            p.resource,
+            p.predicted_speedup,
+            actual_speedup,
+            err * 100.0,
+            BUDGET * 100.0
+        );
+    }
+}
+
+fn reduced(preset: Preset) -> WorkloadSpec {
+    WorkloadSpec {
+        preset,
+        seed: 42,
+        scale: 0.2,
+    }
+}
+
+#[test]
+fn predictions_track_ablations_on_the_fig6_config() {
+    // The trace-smoke configuration: javac at 0.2 scale, +20 cycles
+    // memory latency, 4 cores.
+    let cfg = GcConfig {
+        n_cores: 4,
+        mem: MemConfig::default().with_extra_latency(20),
+        ..GcConfig::default()
+    };
+    check_config("javac/+20/4c", &reduced(Preset::Javac), cfg);
+}
+
+#[test]
+fn predictions_track_ablations_when_the_fifo_starves() {
+    // cup with a cramped header FIFO: `header_fifo_depth` is the
+    // dominant prediction and must match the deep-FIFO re-run.
+    let cfg = GcConfig {
+        n_cores: 8,
+        mem: MemConfig {
+            header_fifo_capacity: 128,
+            ..MemConfig::default()
+        },
+        ..GcConfig::default()
+    };
+    check_config("cup/fifo128/8c", &reduced(Preset::Cup), cfg);
+}
+
+#[test]
+fn predictions_track_ablations_under_write_port_pressure() {
+    // jlisp at 16 cores: evacuation-dense, so the scan/free write port
+    // queues — the regime `multiport_sb` models.
+    let cfg = GcConfig::with_cores(16);
+    check_config("jlisp/16c", &reduced(Preset::Jlisp), cfg);
+}

@@ -32,6 +32,13 @@ pub struct GcConfig {
     /// Upper bound on simulated cycles before the engine assumes a model
     /// bug and panics with diagnostics.
     pub max_cycles: u64,
+    /// What-if ablation knob: give the SB's `scan`/`free` registers one
+    /// write port *per core*, so a same-cycle register write no longer
+    /// blocks the next acquirer (the `scan_lock`/`free_lock` stall class
+    /// loses its write-port-conflict share). Lock holds themselves are
+    /// unchanged — claim and evacuation atomicity still rely on them.
+    /// Not a paper configuration; used to validate the what-if predictor.
+    pub multiport_sb: bool,
     /// Event-horizon fast-forward (default on): when every core is
     /// stalled on in-flight memory transactions and nothing else can
     /// change, the engine jumps to the next memory completion in one step
@@ -51,6 +58,7 @@ impl Default for GcConfig {
             test_before_lock: false,
             line_split: None,
             tick_permutation_seed: None,
+            multiport_sb: false,
             max_cycles: 2_000_000_000,
             fast_forward: true,
         }

@@ -71,6 +71,32 @@ pub struct SimCollector {
     cfg: GcConfig,
 }
 
+/// Close a core's open stall run on the bus: emit the
+/// [`Event::StallSpan`] for the `len` consecutive stalled cycles starting
+/// at stamp `since`, stamped with the last stalled cycle. A span mirrors
+/// the exact `StallBreakdown::record`/`record_n` calls of the run, so per
+/// (core, reason) span lengths reconcile with the engine's stall counters
+/// by construction.
+#[inline]
+fn flush_stall_run<P: Probe>(
+    probe: &mut P,
+    core: usize,
+    run: &mut Option<(StallReason, u64, u64)>,
+) {
+    if let Some((reason, since, len)) = run.take() {
+        probe.record(
+            since + len - 1,
+            &Event::StallSpan {
+                core: core as u32,
+                reason: reason.index(),
+                name: reason.name(),
+                since,
+                len,
+            },
+        );
+    }
+}
+
 impl SimCollector {
     /// Collector with the given configuration.
     pub fn new(cfg: GcConfig) -> SimCollector {
@@ -175,6 +201,7 @@ impl SimCollector {
         // locking and its busy bit for sound termination detection).
         let sb_slots = cfg.n_cores + usize::from(mutator_cfg.is_some());
         let mut sb = SyncBlock::new(sb_slots);
+        sb.set_multiport(cfg.multiport_sb);
         if P::ACTIVE && probe.wants_sb_events() {
             sb.enable_event_log();
         }
@@ -215,6 +242,16 @@ impl SimCollector {
         // events so sampling never allocates.
         let mut prev_states: Vec<u8> = if P::ACTIVE {
             vec![State::Poll.index(); cfg.n_cores]
+        } else {
+            Vec::new()
+        };
+        // Open stall run per core: `(reason, first stalled stamp, length)`.
+        // Grown by naive stalled ticks (+1), horizon jumps (+k) and
+        // service-start replication (+1); flushed as one `StallSpan` when
+        // the cause resolves — so fast-forward emits nothing mid-window
+        // and probe-on streams stay identical to the naive loop's.
+        let mut stall_runs: Vec<Option<(StallReason, u64, u64)>> = if P::ACTIVE {
+            vec![None; cfg.n_cores]
         } else {
             Vec::new()
         };
@@ -315,6 +352,21 @@ impl SimCollector {
                 outcomes[idx] = outcome;
                 any_progress |= outcome == TickOutcome::Progress;
                 if P::ACTIVE {
+                    // Stall-run bookkeeping: a stalled tick extends the
+                    // open run (stamped `cycles + 1`, like every stall
+                    // this tick records); progress or parking closes it.
+                    let run = &mut stall_runs[idx];
+                    if let TickOutcome::Stalled(reason) = outcome {
+                        match run {
+                            Some((r, _, len)) if *r == reason => *len += 1,
+                            _ => {
+                                flush_stall_run(probe, idx, run);
+                                *run = Some((reason, cycles + 1, 1));
+                            }
+                        }
+                    } else {
+                        flush_stall_run(probe, idx, run);
+                    }
                     // Transition events are stamped with the cycle the
                     // tick completes (`cycles` increments just below).
                     let state = cores[idx].state().index();
@@ -434,9 +486,24 @@ impl SimCollector {
                             if sb.scan() == sb.free() {
                                 stats.empty_worklist_cycles += k;
                             }
-                            for (core, outcome) in cores.iter_mut().zip(&outcomes) {
+                            for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate()
+                            {
                                 if let TickOutcome::Stalled(reason) = *outcome {
                                     core.stalls.record_n(reason, k);
+                                    if P::ACTIVE {
+                                        // The tick that opened this window
+                                        // left a matching run open; the
+                                        // jump extends it by `k` without
+                                        // emitting (the span closes when
+                                        // the stall resolves).
+                                        match &mut stall_runs[i] {
+                                            Some((r, _, len)) if *r == reason => *len += k,
+                                            run => {
+                                                flush_stall_run(probe, i, run);
+                                                *run = Some((reason, cycles - k + 1, k));
+                                            }
+                                        }
+                                    }
                                     match reason {
                                         StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, k),
                                         StallReason::FreeLock => sb.bulk_fail(LockKind::Free, k),
@@ -462,9 +529,20 @@ impl SimCollector {
                     // the loop epilogue.
                     mem.tick();
                     sb.begin_cycle();
-                    for (core, outcome) in cores.iter_mut().zip(&outcomes) {
+                    for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate() {
                         if let TickOutcome::Stalled(reason) = *outcome {
                             core.stalls.record_n(reason, 1);
+                            if P::ACTIVE {
+                                // Extend the open stall run exactly as a
+                                // naive iteration would have.
+                                match &mut stall_runs[i] {
+                                    Some((r, _, len)) if *r == reason => *len += 1,
+                                    run => {
+                                        flush_stall_run(probe, i, run);
+                                        *run = Some((reason, cycles + 1, 1));
+                                    }
+                                }
+                            }
                             match reason {
                                 StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, 1),
                                 StallReason::FreeLock => sb.bulk_fail(LockKind::Free, 1),
@@ -510,6 +588,12 @@ impl SimCollector {
         sb.assert_quiescent();
 
         if P::ACTIVE {
+            // Any run still open at termination (the final tick of a core
+            // can stall and then the loop exits on another core's
+            // progress) flushes here, so span sums stay exact.
+            for (i, run) in stall_runs.iter_mut().enumerate() {
+                flush_stall_run(probe, i, run);
+            }
             probe.record(
                 cycles,
                 &Event::Phase {
@@ -895,6 +979,90 @@ mod tests {
             assert_eq!(fast.stats, naive.stats, "sample_every {sample_every}");
             assert_eq!(t1.rows(), t2.rows(), "sample_every {sample_every}");
             assert_eq!(t1.events(), t2.events(), "sample_every {sample_every}");
+        }
+    }
+
+    #[test]
+    fn multiport_sb_is_functionally_identical_and_no_slower() {
+        use hwgc_memsim::MemConfig;
+        let base = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::with_cores(8)
+        };
+        let mut h1 = diamond(500);
+        let a = SimCollector::new(base).collect(&mut h1);
+        let mut h2 = diamond(500);
+        let b = SimCollector::new(GcConfig {
+            multiport_sb: true,
+            ..base
+        })
+        .collect(&mut h2);
+        // The relaxation removes only write-port conflicts: the heap
+        // outcome is identical and the run cannot get slower.
+        assert_eq!(a.free, b.free);
+        assert_eq!(a.stats.objects_copied, b.stats.objects_copied);
+        assert_eq!(a.stats.words_copied, b.stats.words_copied);
+        assert!(b.stats.total_cycles <= a.stats.total_cycles);
+        assert!(b.stats.stall.scan_lock <= a.stats.stall.scan_lock);
+        assert!(b.stats.stall.free_lock <= a.stats.stall.free_lock);
+    }
+
+    #[test]
+    fn stall_spans_reconcile_with_breakdown_and_survive_fast_forward() {
+        use hwgc_memsim::MemConfig;
+        use hwgc_obs::{OwnedEvent, Recorder, Recording};
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::with_cores(4)
+        };
+        let run = |cfg: GcConfig| {
+            let mut heap = diamond(500);
+            let mut rec = Recorder::new();
+            let out = SimCollector::new(cfg).collect_probed(&mut heap, &mut rec);
+            (out.stats, rec.into_recording())
+        };
+        let spans = |rec: &Recording| -> Vec<(u64, u32, u8, u64, u64)> {
+            rec.events
+                .iter()
+                .filter_map(|&(c, ref e)| match *e {
+                    OwnedEvent::StallSpan {
+                        core,
+                        reason,
+                        since,
+                        len,
+                        ..
+                    } => Some((c, core, reason, since, len)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let (stats, rec_ff) = run(cfg);
+        let (stats_naive, rec_naive) = run(GcConfig {
+            fast_forward: false,
+            ..cfg
+        });
+        assert_eq!(stats, stats_naive);
+        // Fast-forward replicates the exact spans of the naive loop.
+        assert_eq!(spans(&rec_ff), spans(&rec_naive));
+        // Conservative completeness: per (core, reason) span lengths sum
+        // exactly to the per-core stall counters, and each span is
+        // stamped with its last stalled cycle.
+        let mut sums = vec![[0u64; StallReason::COUNT]; stats.per_core.len()];
+        for (stamp, core, reason, since, len) in spans(&rec_ff) {
+            assert!(len > 0);
+            assert_eq!(stamp, since + len - 1);
+            sums[core as usize][reason as usize] += len;
+        }
+        assert!(sums.iter().flatten().any(|&n| n > 0));
+        for (core, breakdown) in stats.per_core.iter().enumerate() {
+            for reason in StallReason::ALL {
+                assert_eq!(
+                    sums[core][reason.index() as usize],
+                    breakdown.get(reason),
+                    "core {core} {}",
+                    reason.name()
+                );
+            }
         }
     }
 

@@ -37,6 +37,69 @@ pub enum StallReason {
     Drain,
 }
 
+impl StallReason {
+    /// Number of stall reasons (bus index space).
+    pub const COUNT: usize = 9;
+
+    /// Every reason, in index order: the seven Table II classes first,
+    /// then the two idle causes (`EmptySpin`, `Drain`).
+    pub const ALL: [StallReason; StallReason::COUNT] = [
+        StallReason::ScanLock,
+        StallReason::FreeLock,
+        StallReason::HeaderLock,
+        StallReason::BodyLoad,
+        StallReason::BodyStore,
+        StallReason::HeaderLoad,
+        StallReason::HeaderStore,
+        StallReason::EmptySpin,
+        StallReason::Drain,
+    ];
+
+    /// Stable small index for the event bus (reasons travel as `u8` plus a
+    /// name function, like microprogram states, so `hwgc-obs` needs no
+    /// dependency on this crate).
+    pub fn index(self) -> u8 {
+        match self {
+            StallReason::ScanLock => 0,
+            StallReason::FreeLock => 1,
+            StallReason::HeaderLock => 2,
+            StallReason::BodyLoad => 3,
+            StallReason::BodyStore => 4,
+            StallReason::HeaderLoad => 5,
+            StallReason::HeaderStore => 6,
+            StallReason::EmptySpin => 7,
+            StallReason::Drain => 8,
+        }
+    }
+
+    /// The reason at bus index `i` (inverse of [`StallReason::index`]).
+    pub fn from_index(i: u8) -> Option<StallReason> {
+        StallReason::ALL.get(i as usize).copied()
+    }
+
+    /// snake_case display name, matching the `STALL_COLUMNS` /
+    /// `hwgc-metrics-v1` naming.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::ScanLock => "scan_lock",
+            StallReason::FreeLock => "free_lock",
+            StallReason::HeaderLock => "header_lock",
+            StallReason::BodyLoad => "body_load",
+            StallReason::BodyStore => "body_store",
+            StallReason::HeaderLoad => "header_load",
+            StallReason::HeaderStore => "header_store",
+            StallReason::EmptySpin => "empty_spin",
+            StallReason::Drain => "drain",
+        }
+    }
+
+    /// [`StallReason::name`] by bus index (the bus's `fn(u8)` form;
+    /// unknown indices render as `"?"`).
+    pub fn name_of(i: u8) -> &'static str {
+        StallReason::from_index(i).map_or("?", StallReason::name)
+    }
+}
+
 /// Per-core stall cycle counts (the columns of Table II).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
@@ -72,6 +135,21 @@ impl StallBreakdown {
             StallReason::HeaderStore => self.header_store += n,
             StallReason::EmptySpin => self.empty_spin += n,
             StallReason::Drain => self.drain += n,
+        }
+    }
+
+    /// The recorded cycle count for `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::ScanLock => self.scan_lock,
+            StallReason::FreeLock => self.free_lock,
+            StallReason::HeaderLock => self.header_lock,
+            StallReason::BodyLoad => self.body_load,
+            StallReason::BodyStore => self.body_store,
+            StallReason::HeaderLoad => self.header_load,
+            StallReason::HeaderStore => self.header_store,
+            StallReason::EmptySpin => self.empty_spin,
+            StallReason::Drain => self.drain,
         }
     }
 
@@ -158,18 +236,7 @@ impl GcStats {
         if denom == 0.0 {
             return 0.0;
         }
-        let count = match reason {
-            StallReason::ScanLock => self.stall.scan_lock,
-            StallReason::FreeLock => self.stall.free_lock,
-            StallReason::HeaderLock => self.stall.header_lock,
-            StallReason::BodyLoad => self.stall.body_load,
-            StallReason::BodyStore => self.stall.body_store,
-            StallReason::HeaderLoad => self.stall.header_load,
-            StallReason::HeaderStore => self.stall.header_store,
-            StallReason::EmptySpin => self.stall.empty_spin,
-            StallReason::Drain => self.stall.drain,
-        };
-        count as f64 / denom
+        self.stall.get(reason) as f64 / denom
     }
 }
 
@@ -213,6 +280,38 @@ mod tests {
         };
         assert!((stats.empty_worklist_fraction() - 0.25).abs() < 1e-12);
         assert!((stats.stall_fraction(StallReason::ScanLock) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reason_index_round_trips() {
+        for (i, reason) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index() as usize, i);
+            assert_eq!(StallReason::from_index(i as u8), Some(*reason));
+            assert_eq!(StallReason::name_of(i as u8), reason.name());
+        }
+        assert_eq!(StallReason::from_index(StallReason::COUNT as u8), None);
+        assert_eq!(StallReason::name_of(255), "?");
+        // The first seven indices are exactly the Table II columns.
+        let table2: u64 = StallReason::ALL[..7]
+            .iter()
+            .map(|r| {
+                let mut b = StallBreakdown::default();
+                b.record(*r);
+                b.total_stalls()
+            })
+            .sum();
+        assert_eq!(table2, 7);
+    }
+
+    #[test]
+    fn breakdown_get_matches_fields() {
+        let mut b = StallBreakdown::default();
+        for (n, reason) in StallReason::ALL.iter().enumerate() {
+            b.record_n(*reason, n as u64 + 1);
+        }
+        for (n, reason) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(b.get(*reason), n as u64 + 1);
+        }
     }
 
     #[test]

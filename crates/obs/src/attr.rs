@@ -1,0 +1,1010 @@
+//! Blame attribution: every core-stall cycle gets a cause.
+//!
+//! The [`RunModel`] replays a [`Recording`] once into queryable form —
+//! stall spans, lock-failure causes, per-port memory-transaction phases,
+//! worklist writes and core-state timelines. [`attribute`] then folds the
+//! spans into a [`BlameReport`]:
+//!
+//! * **per-class rows** — one row per stall class (`scan_lock`,
+//!   `body_load`, …) whose cause cells sum *exactly* to the class's total
+//!   stall cycles (an explicit `unattributed` cell absorbs whatever the
+//!   replay cannot explain, so the reconciliation against the engine's
+//!   `StallBreakdown` counters is an equality, not an inequality);
+//! * **cause chains**, depth-capped at three hops: a lock-stall cycle is
+//!   blamed on the core holding the lock, extended by what that holder
+//!   was doing at that moment (`held:core2->header_load/dram.latency` —
+//!   the scan-lock convoy made visible), or on the register's write port
+//!   (`write_port:core3`) when no one held the lock but it was written
+//!   this cycle (paper Section V-C's one-write-per-cycle limit);
+//! * a **core×core contention graph** — `edges[(i, j)]` counts the cycles
+//!   core `i` waited on a lock held (or a port written) by core `j`;
+//! * **per-core cause tallies** (`class/cause` keyed), the what-if
+//!   predictor's input.
+//!
+//! Memory-stall cycles are split by intersecting the span with the
+//! transaction phases of the core's port: comparator-blocked cycles
+//! (`mem.comparator`), queued-behind-DRAM cycles (`dram.queue`) and
+//! in-service cycles (`dram.latency`). A `header_store` span that begins
+//! in the `ChildEvacOverflow` microprogram state is blamed on the header
+//! FIFO instead (`fifo.overflow`): the store only exists because the FIFO
+//! was full and the gray header had to take the memory path.
+//!
+//! Lock-failure causes rely on the SB event log being 1:1 with lock-stall
+//! cycles, which the engine guarantees whenever the log is on (per-cycle
+//! `Fail*` events pin the fast-forward). Within a cycle, bus order equals
+//! operation order, so a plain replay reconstructs the exact owner at
+//! each failure.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hwgc_memsim::MemEvent;
+use hwgc_sync::SbEvent;
+
+use crate::chrome::RunMeta;
+use crate::event::OwnedEvent;
+use crate::probe::Recording;
+
+/// Cause cell absorbing stall cycles the replay cannot explain. Keeps
+/// every row's sum exact by construction.
+pub const UNATTRIBUTED: &str = "unattributed";
+
+/// One maximal run of consecutive stalled cycles of one core with one
+/// cause, reconstructed from [`OwnedEvent::StallSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub core: u32,
+    /// Stall-reason bus index (the core crate's `StallReason::index`).
+    pub reason: u8,
+    /// Stall-reason display name (`"scan_lock"`, `"body_load"`, …).
+    pub name: &'static str,
+    /// First stalled cycle.
+    pub since: u64,
+    /// Number of stalled cycles; the span covers `[since, since + len)`.
+    pub len: u64,
+}
+
+impl Span {
+    /// Last stalled cycle of the span (inclusive).
+    pub fn last(&self) -> u64 {
+        self.since + self.len - 1
+    }
+}
+
+/// Why a lock acquisition failed in one specific cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockCause {
+    /// The core holding the lock, if one did.
+    pub holder: Option<u32>,
+    /// The core whose same-cycle register write armed the write port
+    /// (the cause when no one held the lock).
+    pub writer: Option<u32>,
+}
+
+/// Half-open cycle intervals `[start, end)` of one phase of one
+/// (core, port) transaction stream.
+#[derive(Debug, Clone, Default)]
+struct PortPhases {
+    /// Comparator-blocked (a matching in-flight transaction exists).
+    blocked: Vec<(u64, u64)>,
+    /// In DRAM service.
+    service: Vec<(u64, u64)>,
+    /// Queued, waiting for DRAM bandwidth.
+    queued: Vec<(u64, u64)>,
+}
+
+/// A [`Recording`] replayed once into queryable form. Built by
+/// [`RunModel::build`]; shared by the blame attribution and the
+/// critical-path walk.
+#[derive(Debug)]
+pub struct RunModel {
+    /// Number of GC cores.
+    pub n_cores: usize,
+    /// Total cycles of the run (from [`RunMeta`]).
+    pub total: u64,
+    /// Engine cycle at which the parallel scan phase began (the root
+    /// phase's length); 0 if the recording carries no phase marker.
+    pub phase_start: u64,
+    /// All stall spans, in recording order.
+    pub spans: Vec<Span>,
+    /// Indices into `spans` per core, ordered by `since`.
+    per_core_spans: Vec<Vec<usize>>,
+    /// Exact cause of each lock-acquisition failure, keyed by
+    /// (failing core, cycle).
+    lock_cause: HashMap<(u32, u64), LockCause>,
+    /// Every `SetFree` write as (cycle, writing core), in order.
+    set_free: Vec<(u64, u32)>,
+    /// Memory-transaction phases per (core, port index).
+    phases: HashMap<(u32, u8), PortPhases>,
+    /// Comparator-blocked intervals per core (the events carry no port).
+    blocked: HashMap<u32, Vec<(u64, u64)>>,
+    /// Core-state timelines: (transition cycle, state name), in order.
+    states: Vec<Vec<(u64, &'static str)>>,
+}
+
+/// Stall-reason bus indices, mirroring the core crate's
+/// `StallReason::index` (the obs crate cannot depend on it).
+pub(crate) mod reason_idx {
+    pub const SCAN_LOCK: u8 = 0;
+    pub const FREE_LOCK: u8 = 1;
+    pub const HEADER_LOCK: u8 = 2;
+    pub const BODY_LOAD: u8 = 3;
+    pub const BODY_STORE: u8 = 4;
+    pub const HEADER_LOAD: u8 = 5;
+    pub const HEADER_STORE: u8 = 6;
+    pub const EMPTY_SPIN: u8 = 7;
+    #[allow(dead_code)] // completes the index mirror; exercised in tests
+    pub const DRAIN: u8 = 8;
+}
+
+/// The memory port index a stall reason waits on, if it is a memory
+/// stall (matches `hwgc_memsim::Port as u8`).
+pub(crate) fn port_of_reason(reason: u8) -> Option<u8> {
+    match reason {
+        reason_idx::HEADER_LOAD => Some(0),
+        reason_idx::HEADER_STORE => Some(1),
+        reason_idx::BODY_LOAD => Some(2),
+        reason_idx::BODY_STORE => Some(3),
+        _ => None,
+    }
+}
+
+pub(crate) fn is_lock_reason(reason: u8) -> bool {
+    matches!(
+        reason,
+        reason_idx::SCAN_LOCK | reason_idx::FREE_LOCK | reason_idx::HEADER_LOCK
+    )
+}
+
+impl RunModel {
+    /// Replay `recording` into a queryable model.
+    pub fn build(recording: &Recording, meta: &RunMeta) -> RunModel {
+        let n_cores = meta.n_cores;
+        let mut model = RunModel {
+            n_cores,
+            total: meta.total_cycles,
+            phase_start: 0,
+            spans: Vec::new(),
+            per_core_spans: vec![Vec::new(); n_cores],
+            lock_cause: HashMap::new(),
+            set_free: Vec::new(),
+            phases: HashMap::new(),
+            blocked: HashMap::new(),
+            states: vec![Vec::new(); n_cores],
+        };
+
+        // SB register/lock state, replayed in stream order (within a
+        // cycle, bus order equals operation order).
+        let mut scan_owner: Option<u32> = None;
+        let mut free_owner: Option<u32> = None;
+        let mut header_holder: HashMap<u32, u32> = HashMap::new();
+        // Last register write this cycle, as (cycle, core).
+        let mut scan_write: Option<(u64, u32)> = None;
+        let mut free_write: Option<(u64, u32)> = None;
+
+        // Open memory transactions: issue/service-start cycles pending
+        // their matching service-start/retire, FIFO per (core, port).
+        let mut open_queued: HashMap<(u32, u8), Vec<u64>> = HashMap::new();
+        let mut open_service: HashMap<(u32, u8), Vec<u64>> = HashMap::new();
+        let mut open_blocked: HashMap<(u32, u32), u64> = HashMap::new();
+
+        for &(ts, ref event) in &recording.events {
+            match *event {
+                OwnedEvent::Phase {
+                    name: "scan",
+                    begin: true,
+                } => {
+                    model.phase_start = ts;
+                }
+                OwnedEvent::StallSpan {
+                    core,
+                    reason,
+                    name,
+                    since,
+                    len,
+                } => {
+                    let idx = model.spans.len();
+                    model.spans.push(Span {
+                        core,
+                        reason,
+                        name,
+                        since,
+                        len,
+                    });
+                    if let Some(list) = model.per_core_spans.get_mut(core as usize) {
+                        list.push(idx);
+                    }
+                }
+                OwnedEvent::CoreState { core, name, .. } => {
+                    if let Some(tl) = model.states.get_mut(core as usize) {
+                        tl.push((ts, name));
+                    }
+                }
+                OwnedEvent::Sb(rec) => {
+                    let cycle = rec.cycle;
+                    match rec.event {
+                        SbEvent::FailScan { core } => {
+                            model.lock_cause.insert(
+                                (core as u32, cycle),
+                                LockCause {
+                                    holder: scan_owner,
+                                    writer: scan_write.filter(|&(c, _)| c == cycle).map(|(_, w)| w),
+                                },
+                            );
+                        }
+                        SbEvent::AcquireScan { core } => scan_owner = Some(core as u32),
+                        SbEvent::ReleaseScan { .. } => scan_owner = None,
+                        SbEvent::SetScan { core, .. } => scan_write = Some((cycle, core as u32)),
+                        SbEvent::FailFree { core } => {
+                            model.lock_cause.insert(
+                                (core as u32, cycle),
+                                LockCause {
+                                    holder: free_owner,
+                                    writer: free_write.filter(|&(c, _)| c == cycle).map(|(_, w)| w),
+                                },
+                            );
+                        }
+                        SbEvent::AcquireFree { core } => free_owner = Some(core as u32),
+                        SbEvent::ReleaseFree { .. } => free_owner = None,
+                        SbEvent::SetFree { core, .. } => {
+                            free_write = Some((cycle, core as u32));
+                            model.set_free.push((cycle, core as u32));
+                        }
+                        SbEvent::FailHeader { core, addr } => {
+                            model.lock_cause.insert(
+                                (core as u32, cycle),
+                                LockCause {
+                                    holder: header_holder.get(&addr).copied(),
+                                    writer: None,
+                                },
+                            );
+                        }
+                        SbEvent::LockHeader { core, addr } => {
+                            header_holder.insert(addr, core as u32);
+                        }
+                        SbEvent::UnlockHeader { addr, .. } => {
+                            header_holder.remove(&addr);
+                        }
+                        SbEvent::Init { .. }
+                        | SbEvent::SetBusy { .. }
+                        | SbEvent::ClearBusy { .. }
+                        | SbEvent::Termination { .. } => {}
+                    }
+                }
+                OwnedEvent::Mem(rec) => {
+                    let cycle = rec.cycle;
+                    match rec.event {
+                        MemEvent::Issue { core, port, .. } => {
+                            open_queued
+                                .entry((core, port as u8))
+                                .or_default()
+                                .push(cycle);
+                        }
+                        MemEvent::ServiceStart { core, port, .. } => {
+                            let key = (core, port as u8);
+                            if let Some(issued) = open_queued
+                                .get_mut(&key)
+                                .and_then(|q| (!q.is_empty()).then(|| q.remove(0)))
+                            {
+                                if cycle > issued {
+                                    model
+                                        .phases
+                                        .entry(key)
+                                        .or_default()
+                                        .queued
+                                        .push((issued, cycle));
+                                }
+                            }
+                            open_service.entry(key).or_default().push(cycle);
+                        }
+                        MemEvent::Retire { core, port } => {
+                            let key = (core, port as u8);
+                            if let Some(started) = open_service
+                                .get_mut(&key)
+                                .and_then(|q| (!q.is_empty()).then(|| q.remove(0)))
+                            {
+                                if cycle > started {
+                                    model
+                                        .phases
+                                        .entry(key)
+                                        .or_default()
+                                        .service
+                                        .push((started, cycle));
+                                }
+                            }
+                        }
+                        MemEvent::CompBlocked { core, addr } => {
+                            open_blocked.insert((core, addr), cycle);
+                        }
+                        MemEvent::CompUnblocked { core, addr } => {
+                            if let Some(start) = open_blocked.remove(&(core, addr)) {
+                                if cycle > start {
+                                    model.blocked.entry(core).or_default().push((start, cycle));
+                                }
+                            }
+                        }
+                        MemEvent::CacheHit { .. } | MemEvent::Consume { .. } => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (&(core, port), phases) in &mut model.phases {
+            // A request still open at the end of the run stays unpaired;
+            // its cycles fall into `unattributed` (should not happen — the
+            // engine drains memory before terminating).
+            let _ = (core, port);
+            phases.blocked.sort_unstable();
+            phases.service.sort_unstable();
+            phases.queued.sort_unstable();
+        }
+        for list in model.blocked.values_mut() {
+            list.sort_unstable();
+        }
+        model
+    }
+
+    /// The lock-failure cause recorded for `core` at `cycle`, if any.
+    pub fn lock_cause(&self, core: u32, cycle: u64) -> Option<LockCause> {
+        self.lock_cause.get(&(core, cycle)).copied()
+    }
+
+    /// The stall span of `core` covering `cycle`, if any.
+    pub fn span_at(&self, core: u32, cycle: u64) -> Option<&Span> {
+        let list = self.per_core_spans.get(core as usize)?;
+        // Spans are emitted in resolution order, which is also `since`
+        // order per core; binary search the last span starting <= cycle.
+        let pos = list.partition_point(|&i| self.spans[i].since <= cycle);
+        if pos == 0 {
+            return None;
+        }
+        let span = &self.spans[list[pos - 1]];
+        (cycle <= span.last()).then_some(span)
+    }
+
+    /// The previous stall span of `core` ending strictly before `cycle`.
+    pub fn span_before(&self, core: u32, cycle: u64) -> Option<&Span> {
+        let list = self.per_core_spans.get(core as usize)?;
+        let pos = list.partition_point(|&i| self.spans[i].since < cycle);
+        list[..pos]
+            .iter()
+            .rev()
+            .map(|&i| &self.spans[i])
+            .find(|s| s.last() < cycle)
+    }
+
+    /// The microprogram state `core` was in at `cycle` (the latest
+    /// transition stamped at or before it).
+    pub fn state_at(&self, core: u32, cycle: u64) -> Option<&'static str> {
+        let tl = self.states.get(core as usize)?;
+        let pos = tl.partition_point(|&(c, _)| c <= cycle);
+        (pos > 0).then(|| tl[pos - 1].1)
+    }
+
+    /// The last `SetFree` write at or before `cycle`, as
+    /// (cycle, writing core).
+    pub fn last_set_free_at(&self, cycle: u64) -> Option<(u64, u32)> {
+        let pos = self.set_free.partition_point(|&(c, _)| c <= cycle);
+        (pos > 0).then(|| self.set_free[pos - 1])
+    }
+
+    /// The core whose final transition to `Done` carries the largest
+    /// stamp — the core that finished last (falls back to core 0 for
+    /// state-free recordings).
+    pub fn last_to_finish(&self) -> u32 {
+        let mut best = (0u64, 0u32);
+        for (core, tl) in self.states.iter().enumerate() {
+            if let Some(&(c, _)) = tl.iter().rev().find(|&&(_, n)| n == "Done") {
+                if c >= best.0 {
+                    best = (c, core as u32);
+                }
+            }
+        }
+        best.1
+    }
+
+    /// Split the stalled interval `[lo, hi]` (inclusive cycles) of a
+    /// memory stall on `port` into sub-cause cycle counts:
+    /// (comparator, service, queued). The remainder up to `hi - lo + 1`
+    /// is the caller's plain-class share.
+    pub(crate) fn mem_split(&self, core: u32, port: u8, lo: u64, hi: u64) -> (u64, u64, u64) {
+        let overlap = |ivs: &[(u64, u64)], mut lo: u64, hi: u64, out: &mut Vec<(u64, u64)>| {
+            let mut n = 0;
+            for &(a, b) in ivs {
+                // Interval [a, b) against inclusive [lo, hi].
+                let s = a.max(lo);
+                let e = b.min(hi + 1);
+                if s < e {
+                    n += e - s;
+                    out.push((s, e));
+                    lo = lo.max(e);
+                }
+            }
+            n
+        };
+        // Priority: comparator > service > queued; later classes only
+        // count cycles not already claimed. The phase intervals of one
+        // (core, port) stream are disjoint within a class but can overlap
+        // across classes only through comparator blocks, which precede
+        // queuing — subtracting claimed cycles keeps the split exact.
+        let mut claimed: Vec<(u64, u64)> = Vec::new();
+        let blocked = self
+            .blocked
+            .get(&core)
+            .map_or(0, |ivs| overlap(ivs, lo, hi, &mut claimed));
+        let unclaimed = |ivs: &[(u64, u64)], claimed: &[(u64, u64)]| {
+            let mut n = 0u64;
+            for &(a, b) in ivs {
+                let s = a.max(lo);
+                let e = b.min(hi + 1);
+                if s >= e {
+                    continue;
+                }
+                let mut span = e - s;
+                for &(ca, cb) in claimed {
+                    let os = ca.max(s);
+                    let oe = cb.min(e);
+                    if os < oe {
+                        span = span.saturating_sub(oe - os);
+                    }
+                }
+                n += span;
+            }
+            n
+        };
+        let key = (core, port);
+        let (service, queued) = match self.phases.get(&key) {
+            Some(p) => (
+                unclaimed(&p.service, &claimed),
+                unclaimed(&p.queued, &claimed),
+            ),
+            None => (0, 0),
+        };
+        // Service and queued phases of one FIFO stream never overlap, so
+        // only the comparator subtraction above is needed.
+        let width = hi - lo + 1;
+        let service = service.min(width - blocked.min(width));
+        let queued = queued.min(width - blocked - service);
+        (blocked, service, queued)
+    }
+}
+
+/// One stall class's blame row. `causes` sums exactly to `total`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassBlame {
+    /// Stall-class display name (`"scan_lock"`, `"body_load"`, …).
+    pub name: &'static str,
+    /// Total stall cycles of the class across all cores (sum of span
+    /// lengths — identical to the engine's `StallBreakdown` counter).
+    pub total: u64,
+    /// Cause cells; values sum to `total`.
+    pub causes: BTreeMap<String, u64>,
+}
+
+/// The blame attribution of one recorded run.
+#[derive(Debug, Clone, Default)]
+pub struct BlameReport {
+    /// One row per stall class that occurred, ordered by descending
+    /// total.
+    pub classes: Vec<ClassBlame>,
+    /// Core×core contention graph: `edges[(i, j)]` counts cycles core
+    /// `i` waited on a lock held (or a register port written) by `j`.
+    pub edges: BTreeMap<(u32, u32), u64>,
+    /// Per-core cause tallies keyed `"class/cause"`.
+    pub per_core: Vec<BTreeMap<String, u64>>,
+}
+
+impl BlameReport {
+    /// Total attributed cycles of class `name` (0 when absent).
+    pub fn class_total(&self, name: &str) -> u64 {
+        self.classes
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.total)
+    }
+
+    /// Sum the per-core tally of `core` over all `"class/cause"` keys
+    /// accepted by `pred(class, cause)`.
+    pub fn per_core_matching(&self, core: usize, pred: impl Fn(&str, &str) -> bool) -> u64 {
+        self.per_core.get(core).map_or(0, |m| {
+            m.iter()
+                .filter(|(k, _)| {
+                    let (class, cause) = k.split_once('/').unwrap_or((k, ""));
+                    pred(class, cause)
+                })
+                .map(|(_, v)| v)
+                .sum()
+        })
+    }
+
+    /// Check that every row's cause cells sum exactly to its total.
+    pub fn validate(&self) -> Result<(), String> {
+        for class in &self.classes {
+            let sum: u64 = class.causes.values().sum();
+            if sum != class.total {
+                return Err(format!(
+                    "class {}: causes sum to {sum}, total is {}",
+                    class.name, class.total
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Chain label for a lock-stall cycle blamed on `holder`, extended by
+/// what the holder was doing at that cycle (depth ≤ 3).
+/// FIFO-fault designation for a memory-stall span: the cause cell when
+/// the transaction only exists because the header FIFO was full.
+///
+/// * a `header_store` span beginning in `ChildEvacOverflow` is the gray
+///   header taking the memory path on overflow (`fifo.overflow`);
+/// * a `header_load` span beginning in `ScanHeaderWait` is the gray
+///   header being *re-loaded* inside the scan critical section after a
+///   FIFO miss (`fifo.reload`) — the engine only issues that load when
+///   `fifo.peek` missed, and a never-overflowing FIFO has a 100% hit
+///   rate, so these loads vanish with the overflow (the paper's `cup`
+///   pathology: overflow lengthens the scan critical section).
+pub(crate) fn fifo_fault(model: &RunModel, core: u32, span: &Span) -> Option<&'static str> {
+    match (span.reason, model.state_at(core, span.since)) {
+        (reason_idx::HEADER_STORE, Some("ChildEvacOverflow")) => Some("fifo.overflow"),
+        (reason_idx::HEADER_LOAD, Some("ScanHeaderWait")) => Some("fifo.reload"),
+        _ => None,
+    }
+}
+
+fn holder_chain(model: &RunModel, holder: u32, cycle: u64) -> String {
+    match model.span_at(holder, cycle) {
+        None => format!("held:core{holder}"),
+        Some(span) => match port_of_reason(span.reason) {
+            None => format!("held:core{holder}->{}", span.name),
+            Some(port) => {
+                // Same designation rule as the direct charge: a
+                // FIFO-fault transaction is the FIFO's fault even two
+                // hops up the chain — the what-if FIFO model counts on
+                // seeing convoyed waiters.
+                if let Some(cause) = fifo_fault(model, holder, span) {
+                    return format!("held:core{holder}->{}/{cause}", span.name);
+                }
+                // Third hop: what was the holder's memory stall waiting
+                // on at this exact cycle?
+                let (blocked, service, queued) = model.mem_split(holder, port, cycle, cycle);
+                let sub = if blocked > 0 {
+                    "mem.comparator"
+                } else if service > 0 {
+                    "dram.latency"
+                } else if queued > 0 {
+                    "dram.queue"
+                } else {
+                    UNATTRIBUTED
+                };
+                format!("held:core{holder}->{}/{sub}", span.name)
+            }
+        },
+    }
+}
+
+/// Attribute every stall cycle of the recording to a cause. See the
+/// module docs for the rules. `BlameReport::validate` holds by
+/// construction; callers reconcile `classes[..].total` against the
+/// engine's stall counters for the conservative-completeness check.
+pub fn attribute(model: &RunModel) -> BlameReport {
+    let mut report = BlameReport {
+        per_core: vec![BTreeMap::new(); model.n_cores],
+        ..BlameReport::default()
+    };
+    let mut rows: BTreeMap<&'static str, ClassBlame> = BTreeMap::new();
+
+    let mut charge = |name: &'static str,
+                      core: u32,
+                      cause: String,
+                      n: u64,
+                      per_core: &mut Vec<BTreeMap<String, u64>>| {
+        if n == 0 {
+            return;
+        }
+        let row = rows.entry(name).or_insert_with(|| ClassBlame {
+            name,
+            total: 0,
+            causes: BTreeMap::new(),
+        });
+        row.total += n;
+        if let Some(m) = per_core.get_mut(core as usize) {
+            *m.entry(format!("{name}/{cause}")).or_default() += n;
+        }
+        *row.causes.entry(cause).or_default() += n;
+    };
+
+    for span in &model.spans {
+        let core = span.core;
+        if is_lock_reason(span.reason) {
+            // Per-cycle causes from the SB replay (Fail events are 1:1
+            // with lock-stall cycles while the log is on). Identical
+            // consecutive causes fold into one charge.
+            let mut run: Option<(String, Option<u32>, u64)> = None;
+            for cycle in span.since..=span.last() {
+                let (cause, blocker) = match model.lock_cause(core, cycle) {
+                    Some(LockCause {
+                        holder: Some(j), ..
+                    }) => (holder_chain(model, j, cycle), Some(j)),
+                    Some(LockCause {
+                        writer: Some(j), ..
+                    }) => (format!("write_port:core{j}"), Some(j)),
+                    _ => (UNATTRIBUTED.to_string(), None),
+                };
+                if let Some(j) = blocker {
+                    *report.edges.entry((core, j)).or_default() += 1;
+                }
+                match &mut run {
+                    Some((c, _, n)) if *c == cause => *n += 1,
+                    _ => {
+                        if let Some((c, _, n)) = run.take() {
+                            charge(span.name, core, c, n, &mut report.per_core);
+                        }
+                        run = Some((cause, blocker, 1));
+                    }
+                }
+            }
+            if let Some((c, _, n)) = run {
+                charge(span.name, core, c, n, &mut report.per_core);
+            }
+        } else if let Some(port) = port_of_reason(span.reason) {
+            if let Some(cause) = fifo_fault(model, core, span) {
+                // The transaction only exists because the FIFO was full:
+                // blame the FIFO, not the memory path (see `fifo_fault`).
+                charge(
+                    span.name,
+                    core,
+                    cause.to_string(),
+                    span.len,
+                    &mut report.per_core,
+                );
+                continue;
+            }
+            let (blocked, service, queued) = model.mem_split(core, port, span.since, span.last());
+            let rest = span.len - blocked - service - queued;
+            charge(
+                span.name,
+                core,
+                "mem.comparator".into(),
+                blocked,
+                &mut report.per_core,
+            );
+            charge(
+                span.name,
+                core,
+                "dram.latency".into(),
+                service,
+                &mut report.per_core,
+            );
+            charge(
+                span.name,
+                core,
+                "dram.queue".into(),
+                queued,
+                &mut report.per_core,
+            );
+            charge(
+                span.name,
+                core,
+                UNATTRIBUTED.into(),
+                rest,
+                &mut report.per_core,
+            );
+        } else if span.reason == reason_idx::EMPTY_SPIN {
+            // The spin is over a worklist no one is refilling; blame the
+            // producer side as a whole.
+            charge(
+                span.name,
+                core,
+                "worklist.empty".to_string(),
+                span.len,
+                &mut report.per_core,
+            );
+        } else {
+            // Drain (and any future reason): self-inflicted.
+            charge(
+                span.name,
+                core,
+                span.name.to_string(),
+                span.len,
+                &mut report.per_core,
+            );
+        }
+    }
+
+    report.classes = rows.into_values().collect();
+    report.classes.sort_by_key(|c| std::cmp::Reverse(c.total));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_memsim::{MemEventRecord, Port};
+    use hwgc_sync::SbEventRecord;
+
+    fn meta(n_cores: usize, total: u64) -> RunMeta {
+        RunMeta {
+            name: "t".to_string(),
+            n_cores,
+            total_cycles: total,
+        }
+    }
+
+    fn sb(cycle: u64, event: SbEvent) -> (u64, OwnedEvent) {
+        (cycle, OwnedEvent::Sb(SbEventRecord { cycle, event }))
+    }
+
+    fn mem(cycle: u64, event: MemEvent) -> (u64, OwnedEvent) {
+        (cycle, OwnedEvent::Mem(MemEventRecord { cycle, event }))
+    }
+
+    fn span(core: u32, reason: u8, name: &'static str, since: u64, len: u64) -> (u64, OwnedEvent) {
+        (
+            since + len - 1,
+            OwnedEvent::StallSpan {
+                core,
+                reason,
+                name,
+                since,
+                len,
+            },
+        )
+    }
+
+    #[test]
+    fn lock_stall_blamed_on_holder_with_edge() {
+        let rec = Recording {
+            events: vec![
+                sb(10, SbEvent::AcquireScan { core: 0 }),
+                sb(11, SbEvent::FailScan { core: 1 }),
+                sb(12, SbEvent::FailScan { core: 1 }),
+                sb(13, SbEvent::FailScan { core: 1 }),
+                sb(14, SbEvent::ReleaseScan { core: 0 }),
+                span(1, reason_idx::SCAN_LOCK, "scan_lock", 11, 3),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 20));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        assert_eq!(report.class_total("scan_lock"), 3);
+        let row = &report.classes[0];
+        assert_eq!(row.causes.get("held:core0"), Some(&3));
+        assert_eq!(report.edges.get(&(1, 0)), Some(&3));
+        assert_eq!(
+            report.per_core_matching(1, |class, cause| class == "scan_lock"
+                && cause.starts_with("held:")),
+            3
+        );
+    }
+
+    #[test]
+    fn write_port_conflict_blamed_on_writer() {
+        // Core 0 acquires, writes and releases within cycle 5; core 1's
+        // failure in the same cycle is a write-port conflict.
+        let rec = Recording {
+            events: vec![
+                sb(5, SbEvent::AcquireFree { core: 0 }),
+                sb(
+                    5,
+                    SbEvent::SetFree {
+                        core: 0,
+                        from: 0,
+                        to: 8,
+                    },
+                ),
+                sb(5, SbEvent::ReleaseFree { core: 0 }),
+                sb(5, SbEvent::FailFree { core: 1 }),
+                span(1, reason_idx::FREE_LOCK, "free_lock", 5, 1),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 10));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        assert_eq!(report.classes[0].causes.get("write_port:core0"), Some(&1));
+        assert_eq!(report.edges.get(&(1, 0)), Some(&1));
+    }
+
+    #[test]
+    fn convoy_chain_extends_to_the_holders_stall() {
+        // Core 0 holds the scan lock across a header load (the FIFO-miss
+        // convoy); core 1's wait is chained to that load.
+        let rec = Recording {
+            events: vec![
+                sb(10, SbEvent::AcquireScan { core: 0 }),
+                sb(11, SbEvent::FailScan { core: 1 }),
+                sb(12, SbEvent::FailScan { core: 1 }),
+                span(0, reason_idx::HEADER_LOAD, "header_load", 10, 4),
+                span(1, reason_idx::SCAN_LOCK, "scan_lock", 11, 2),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 20));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        let scan_row = report
+            .classes
+            .iter()
+            .find(|c| c.name == "scan_lock")
+            .unwrap();
+        assert_eq!(
+            scan_row.causes.get("held:core0->header_load/unattributed"),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn memory_stall_splits_into_phases() {
+        // Issue at 10, service starts at 14, retires at 19: a stall span
+        // covering 11..=18 splits into 4 queued + 4 in-service cycles.
+        let rec = Recording {
+            events: vec![
+                mem(
+                    10,
+                    MemEvent::Issue {
+                        core: 0,
+                        port: Port::BodyLoad,
+                        addr: 64,
+                    },
+                ),
+                mem(
+                    14,
+                    MemEvent::ServiceStart {
+                        core: 0,
+                        port: Port::BodyLoad,
+                        latency: 5,
+                    },
+                ),
+                mem(
+                    19,
+                    MemEvent::Retire {
+                        core: 0,
+                        port: Port::BodyLoad,
+                    },
+                ),
+                span(0, reason_idx::BODY_LOAD, "body_load", 11, 8),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 30));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        let row = &report.classes[0];
+        assert_eq!(row.total, 8);
+        assert_eq!(row.causes.get("dram.queue"), Some(&3)); // 11..14
+        assert_eq!(row.causes.get("dram.latency"), Some(&5)); // 14..19
+    }
+
+    #[test]
+    fn comparator_block_takes_priority() {
+        let rec = Recording {
+            events: vec![
+                mem(
+                    10,
+                    MemEvent::Issue {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                        addr: 8,
+                    },
+                ),
+                mem(10, MemEvent::CompBlocked { core: 0, addr: 8 }),
+                mem(16, MemEvent::CompUnblocked { core: 0, addr: 8 }),
+                mem(
+                    16,
+                    MemEvent::ServiceStart {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                        latency: 2,
+                    },
+                ),
+                mem(
+                    18,
+                    MemEvent::Retire {
+                        core: 0,
+                        port: Port::HeaderLoad,
+                    },
+                ),
+                span(0, reason_idx::HEADER_LOAD, "header_load", 11, 7),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 30));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        let row = &report.classes[0];
+        assert_eq!(row.causes.get("mem.comparator"), Some(&5)); // 11..16
+        assert_eq!(row.causes.get("dram.latency"), Some(&2)); // 16..18
+    }
+
+    #[test]
+    fn unexplained_cycles_land_in_unattributed() {
+        let rec = Recording {
+            events: vec![span(0, reason_idx::BODY_STORE, "body_store", 5, 4)],
+        };
+        let model = RunModel::build(&rec, &meta(1, 20));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        assert_eq!(report.classes[0].causes.get(UNATTRIBUTED), Some(&4));
+        assert_eq!(report.class_total("body_store"), 4);
+    }
+
+    #[test]
+    fn overflow_store_blamed_on_the_fifo() {
+        let rec = Recording {
+            events: vec![
+                (
+                    9,
+                    OwnedEvent::CoreState {
+                        core: 0,
+                        state: 11,
+                        name: "ChildEvacOverflow",
+                    },
+                ),
+                span(0, reason_idx::HEADER_STORE, "header_store", 10, 6),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 30));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        assert_eq!(report.classes[0].causes.get("fifo.overflow"), Some(&6));
+        assert_eq!(
+            report.per_core_matching(0, |_, cause| cause == "fifo.overflow"),
+            6
+        );
+    }
+
+    #[test]
+    fn empty_spin_and_drain_rows() {
+        let rec = Recording {
+            events: vec![
+                span(0, reason_idx::EMPTY_SPIN, "empty_spin", 3, 7),
+                span(0, reason_idx::DRAIN, "drain", 20, 2),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 30));
+        let report = attribute(&model);
+        report.validate().unwrap();
+        assert_eq!(report.class_total("empty_spin"), 7);
+        assert_eq!(report.class_total("drain"), 2);
+    }
+
+    #[test]
+    fn model_lookups() {
+        let rec = Recording {
+            events: vec![
+                (
+                    0,
+                    OwnedEvent::Phase {
+                        name: "scan",
+                        begin: true,
+                    },
+                ),
+                (
+                    4,
+                    OwnedEvent::CoreState {
+                        core: 0,
+                        state: 1,
+                        name: "Poll",
+                    },
+                ),
+                sb(
+                    6,
+                    SbEvent::SetFree {
+                        core: 1,
+                        from: 0,
+                        to: 4,
+                    },
+                ),
+                span(0, reason_idx::BODY_LOAD, "body_load", 5, 3),
+                span(0, reason_idx::EMPTY_SPIN, "empty_spin", 12, 2),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 20));
+        assert_eq!(model.span_at(0, 6).map(|s| s.name), Some("body_load"));
+        assert_eq!(model.span_at(0, 8), None);
+        assert_eq!(model.span_at(0, 13).map(|s| s.name), Some("empty_spin"));
+        assert_eq!(model.span_before(0, 12).map(|s| s.name), Some("body_load"));
+        assert_eq!(model.span_before(0, 5), None);
+        assert_eq!(model.state_at(0, 10), Some("Poll"));
+        assert_eq!(model.state_at(0, 3), None);
+        assert_eq!(model.last_set_free_at(7), Some((6, 1)));
+        assert_eq!(model.last_set_free_at(5), None);
+    }
+}

@@ -232,6 +232,33 @@ pub fn chrome_trace_json(recording: &Recording, meta: &RunMeta) -> String {
                     ],
                 ));
             }
+            OwnedEvent::StallSpan {
+                core,
+                name,
+                since,
+                len,
+                ..
+            } => {
+                // A flow-free async span on the core's track would hide
+                // the microprogram slices; render stall runs as instants
+                // at their resolution point, carrying the span bounds.
+                events.push(ev(
+                    &format!("stall.{name}"),
+                    "i",
+                    ts,
+                    core_tid(core),
+                    vec![
+                        ("s".to_string(), Json::Str("t".to_string())),
+                        (
+                            "args".to_string(),
+                            Json::Obj(vec![
+                                ("since".to_string(), Json::Int(since as i128)),
+                                ("len".to_string(), Json::Int(len as i128)),
+                            ]),
+                        ),
+                    ],
+                ));
+            }
             OwnedEvent::PacketHandoff { thread, refs } => {
                 events.push(ev(
                     "packet.handoff",

@@ -1,0 +1,365 @@
+//! Critical-path extraction: the chain of activity that set the run's
+//! wall-clock length.
+//!
+//! [`critical_path`] walks *backward* from the core that finished last,
+//! at `total_cycles`, chasing each wait to whatever resolved it. Each
+//! step charges one contiguous half-open cycle interval `(t_new, t_old]`
+//! to a resource class, so the class totals sum **exactly** to
+//! `total_cycles` — the path is a partition of wall-clock time, not a
+//! sample of it.
+//!
+//! Walk rules (see DESIGN.md §7 for the derivation):
+//!
+//! * **busy** — the core made progress up to `t`; charge back to the end
+//!   of its previous stall (class `busy`), stay on the core;
+//! * **memory stall** — the wait is self-contained (the core's own
+//!   transaction); charge the covered part of the span split by
+//!   transaction phase (`<class>/dram.latency`, `<class>/dram.queue`,
+//!   `<class>/mem.comparator`), or `fifo.overflow` for a header store
+//!   born of a full FIFO, and continue on the same core before the span;
+//! * **lock stall** — the wall time was *occupied by the holder's own
+//!   activity*, which the walk follows: charge one hand-off cycle to the
+//!   lock class and hop to the holding (or same-cycle writing) core —
+//!   the convoy's interior (the holder's header load, its DRAM service)
+//!   is then charged under the holder's own classes;
+//! * **empty spin** — hop to the core that last advanced `free` (the
+//!   producer whose pace the spinner was waiting on), charging one cycle
+//!   to `empty_spin`;
+//! * below the scan-phase start, the remainder is the sequential
+//!   `root_phase`.
+//!
+//! Hops always decrease `t`, so the walk terminates; the per-hop 1-cycle
+//! charge is what keeps the partition exact when waits hand off.
+
+use std::collections::BTreeMap;
+
+use crate::attr::{fifo_fault, is_lock_reason, port_of_reason, reason_idx, RunModel};
+
+/// Cap on stored [`Step`]s (the class totals are always complete; only
+/// the step-by-step listing truncates).
+const MAX_STEPS: usize = 4096;
+
+/// One charged segment of the critical path (in walk order, i.e. from
+/// the end of the run backward).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Core whose activity (or wait) occupied the segment.
+    pub core: u32,
+    /// Resource class charged.
+    pub class: String,
+    /// Cycles charged.
+    pub cycles: u64,
+    /// The segment covers `(until - cycles, until]`.
+    pub until: u64,
+}
+
+/// The extracted critical path.
+#[derive(Debug, Clone, Default)]
+pub struct CritPath {
+    /// Cycles per resource class; sums exactly to `total`.
+    pub classes: BTreeMap<String, u64>,
+    /// The walked segments, newest (end of run) first; truncated at
+    /// [`MAX_STEPS`] entries.
+    pub steps: Vec<Step>,
+    /// Total cycles of the run (the partition target).
+    pub total: u64,
+    /// Number of core-to-core hops the walk took.
+    pub hops: u64,
+}
+
+impl CritPath {
+    /// Cycles charged to `class` (0 when absent).
+    pub fn class_cycles(&self, class: &str) -> u64 {
+        self.classes.get(class).copied().unwrap_or(0)
+    }
+
+    /// Check the partition: class totals must sum exactly to `total`.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum: u64 = self.classes.values().sum();
+        if sum != self.total {
+            return Err(format!(
+                "critical path classes sum to {sum}, run is {} cycles",
+                self.total
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Walk the critical path of a modeled run. The returned partition
+/// satisfies [`CritPath::validate`] by construction.
+pub fn critical_path(model: &RunModel) -> CritPath {
+    let mut path = CritPath {
+        total: model.total,
+        ..CritPath::default()
+    };
+    let phase_start = model.phase_start.min(model.total);
+    let mut core = model.last_to_finish();
+    let mut t = model.total;
+
+    let charge = |path: &mut CritPath, core: u32, class: String, t_old: u64, t_new: u64| {
+        let cycles = t_old - t_new;
+        if cycles == 0 {
+            return;
+        }
+        *path.classes.entry(class.clone()).or_default() += cycles;
+        if path.steps.len() < MAX_STEPS {
+            path.steps.push(Step {
+                core,
+                class,
+                cycles,
+                until: t_old,
+            });
+        }
+    };
+
+    while t > phase_start {
+        match model.span_at(core, t) {
+            None => {
+                // Progressing: charge back to the end of the previous
+                // stall (or the phase start).
+                let t_new = model
+                    .span_before(core, t)
+                    .map_or(phase_start, |s| s.last())
+                    .max(phase_start);
+                charge(&mut path, core, "busy".to_string(), t, t_new);
+                t = t_new;
+            }
+            Some(span) if is_lock_reason(span.reason) => {
+                let blocker = model
+                    .lock_cause(core, t)
+                    .and_then(|c| c.holder.or(c.writer));
+                match blocker {
+                    Some(j) if j != core => {
+                        // Hand-off: one cycle to the lock class, then
+                        // follow the holder's own activity.
+                        charge(&mut path, core, span.name.to_string(), t, t - 1);
+                        core = j;
+                        t -= 1;
+                        path.hops += 1;
+                    }
+                    _ => {
+                        // No replayed cause (log off, or a self-edge):
+                        // charge the covered wait to the lock class.
+                        let t_new = (span.since - 1).max(phase_start);
+                        charge(&mut path, core, span.name.to_string(), t, t_new);
+                        t = t_new;
+                    }
+                }
+            }
+            Some(span) if span.reason == reason_idx::EMPTY_SPIN => {
+                match model.last_set_free_at(t).filter(|&(_, j)| j != core) {
+                    Some((_, j)) => {
+                        charge(&mut path, core, "empty_spin".to_string(), t, t - 1);
+                        core = j;
+                        t -= 1;
+                        path.hops += 1;
+                    }
+                    None => {
+                        let t_new = (span.since - 1).max(phase_start);
+                        charge(&mut path, core, "empty_spin".to_string(), t, t_new);
+                        t = t_new;
+                    }
+                }
+            }
+            Some(span) => {
+                // Memory stall (or drain): self-contained; charge the
+                // covered part of the span, split by transaction phase.
+                let t_new = (span.since - 1).max(phase_start);
+                let width = t - t_new;
+                match port_of_reason(span.reason) {
+                    Some(port) => {
+                        if let Some(cause) = fifo_fault(model, core, span) {
+                            charge(&mut path, core, cause.to_string(), t, t_new);
+                        } else {
+                            let (blocked, service, queued) =
+                                model.mem_split(core, port, t_new + 1, t);
+                            let rest = width - blocked - service - queued;
+                            let mut at = t;
+                            for (sub, n) in [
+                                (format!("{}/mem.comparator", span.name), blocked),
+                                (format!("{}/dram.latency", span.name), service),
+                                (format!("{}/dram.queue", span.name), queued),
+                                (span.name.to_string(), rest),
+                            ] {
+                                charge(&mut path, core, sub, at, at - n);
+                                at -= n;
+                            }
+                        }
+                    }
+                    None => {
+                        // Drain (and any future self-inflicted reason).
+                        charge(&mut path, core, span.name.to_string(), t, t_new);
+                    }
+                }
+                t = t_new;
+            }
+        }
+    }
+    if phase_start > 0 {
+        *path.classes.entry("root_phase".to_string()).or_default() += phase_start;
+        if path.steps.len() < MAX_STEPS {
+            path.steps.push(Step {
+                core: 0,
+                class: "root_phase".to_string(),
+                cycles: phase_start,
+                until: phase_start,
+            });
+        }
+    }
+    debug_assert!(path.validate().is_ok());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::reason_idx;
+    use crate::chrome::RunMeta;
+    use crate::event::OwnedEvent;
+    use crate::probe::Recording;
+    use hwgc_sync::{SbEvent, SbEventRecord};
+
+    fn meta(n_cores: usize, total: u64) -> RunMeta {
+        RunMeta {
+            name: "t".to_string(),
+            n_cores,
+            total_cycles: total,
+        }
+    }
+
+    fn sb(cycle: u64, event: SbEvent) -> (u64, OwnedEvent) {
+        (cycle, OwnedEvent::Sb(SbEventRecord { cycle, event }))
+    }
+
+    fn state(core: u32, cycle: u64, name: &'static str) -> (u64, OwnedEvent) {
+        (
+            cycle,
+            OwnedEvent::CoreState {
+                core,
+                state: 0,
+                name,
+            },
+        )
+    }
+
+    fn span(core: u32, reason: u8, name: &'static str, since: u64, len: u64) -> (u64, OwnedEvent) {
+        (
+            since + len - 1,
+            OwnedEvent::StallSpan {
+                core,
+                reason,
+                name,
+                since,
+                len,
+            },
+        )
+    }
+
+    #[test]
+    fn busy_only_run_partitions_into_busy_and_root_phase() {
+        let rec = Recording {
+            events: vec![
+                (
+                    5,
+                    OwnedEvent::Phase {
+                        name: "scan",
+                        begin: true,
+                    },
+                ),
+                state(0, 6, "Poll"),
+                state(0, 30, "Done"),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 30));
+        let path = critical_path(&model);
+        path.validate().unwrap();
+        assert_eq!(path.class_cycles("busy"), 25);
+        assert_eq!(path.class_cycles("root_phase"), 5);
+        assert_eq!(path.hops, 0);
+    }
+
+    #[test]
+    fn memory_stall_charges_split_phases_on_same_core() {
+        let rec = Recording {
+            events: vec![
+                state(0, 1, "Poll"),
+                state(0, 20, "Done"),
+                span(0, reason_idx::BODY_LOAD, "body_load", 11, 8),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(1, 20));
+        let path = critical_path(&model);
+        path.validate().unwrap();
+        // 20..19 busy? Done at 20; walk from t=20: no span at 20... span
+        // covers 11..=18, so 19..20 busy, 11..18 body_load, 1..10 busy.
+        assert_eq!(path.class_cycles("body_load"), 8);
+        assert_eq!(path.class_cycles("busy"), 12);
+        assert_eq!(path.total, 20);
+    }
+
+    #[test]
+    fn lock_wait_hops_to_the_holder() {
+        // Core 1 finishes last after waiting on core 0's scan lock while
+        // core 0 was busy: the walk hops to core 0 and charges its work.
+        let rec = Recording {
+            events: vec![
+                state(0, 1, "Poll"),
+                state(1, 1, "Poll"),
+                sb(10, SbEvent::AcquireScan { core: 0 }),
+                sb(11, SbEvent::FailScan { core: 1 }),
+                sb(12, SbEvent::FailScan { core: 1 }),
+                sb(13, SbEvent::FailScan { core: 1 }),
+                sb(14, SbEvent::ReleaseScan { core: 0 }),
+                span(1, reason_idx::SCAN_LOCK, "scan_lock", 11, 3),
+                state(0, 18, "Done"),
+                state(1, 20, "Done"),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 20));
+        assert_eq!(model.last_to_finish(), 1);
+        let path = critical_path(&model);
+        path.validate().unwrap();
+        assert!(path.hops >= 1, "must hop to the holder");
+        assert_eq!(path.class_cycles("scan_lock"), 1);
+        // Everything else is the two cores' interleaved busy time.
+        assert_eq!(path.class_cycles("busy"), 19);
+        // The hop happened: some busy segment belongs to core 0.
+        assert!(path.steps.iter().any(|s| s.core == 0 && s.class == "busy"));
+    }
+
+    #[test]
+    fn empty_spin_hops_to_the_free_writer() {
+        let rec = Recording {
+            events: vec![
+                state(0, 1, "Poll"),
+                state(1, 1, "Poll"),
+                sb(
+                    12,
+                    SbEvent::SetFree {
+                        core: 0,
+                        from: 0,
+                        to: 8,
+                    },
+                ),
+                span(1, reason_idx::EMPTY_SPIN, "empty_spin", 8, 6),
+                state(0, 14, "Done"),
+                state(1, 16, "Done"),
+            ],
+        };
+        let model = RunModel::build(&rec, &meta(2, 16));
+        let path = critical_path(&model);
+        path.validate().unwrap();
+        assert_eq!(path.class_cycles("empty_spin"), 1);
+        assert!(path.hops >= 1);
+    }
+
+    #[test]
+    fn partition_is_exact_for_empty_recordings() {
+        let model = RunModel::build(&Recording::default(), &meta(2, 40));
+        let path = critical_path(&model);
+        path.validate().unwrap();
+        // No phase marker, no states: the whole run is core 0 "busy".
+        assert_eq!(path.class_cycles("busy"), 40);
+    }
+}

@@ -207,6 +207,13 @@ pub fn derive_metrics(recording: &Recording, meta: &RunMeta) -> MetricsRegistry 
                     let _ = ts;
                 }
             }
+            OwnedEvent::StallSpan {
+                core, name, len, ..
+            } => {
+                reg.histogram(&format!("stall.{name}.span_cycles"))
+                    .record(len);
+                reg.counter_add(&format!("core{core}.stall.{name}.cycles"), len);
+            }
             OwnedEvent::CoreState { .. } => {}
         }
     }
@@ -241,6 +248,85 @@ mod tests {
             assert_eq!(h.count(), 0);
         }
         assert_eq!(reg.gauge("run.total_cycles"), Some(50.0));
+    }
+
+    #[test]
+    fn zero_event_run_yields_only_static_families() {
+        // A probe-on run that emitted nothing (e.g. an already-empty
+        // heap): the registry must still carry the run gauges and the
+        // always-created lock histograms, and nothing else.
+        let reg = derive_metrics(&Recording::default(), &meta());
+        let json = reg.to_json_string();
+        let reparsed = MetricsRegistry::from_json_str(&json).unwrap();
+        assert_eq!(reparsed.gauge("run.n_cores"), Some(2.0));
+        assert_eq!(reg.counter("sw.steal.attempts"), None);
+        assert!(reg.histogram_ref("worklist.gray_words").is_none());
+    }
+
+    #[test]
+    fn single_core_run_has_no_contention_families() {
+        // One core, lock traffic but no adversary: every acquisition is
+        // a 0-cycle wait and no contention pair counter can appear.
+        let rec = Recording {
+            events: vec![
+                sb(1, SbEvent::AcquireScan { core: 0 }),
+                sb(2, SbEvent::ReleaseScan { core: 0 }),
+                sb(3, SbEvent::LockHeader { core: 0, addr: 8 }),
+                sb(4, SbEvent::UnlockHeader { core: 0, addr: 8 }),
+                (
+                    5,
+                    OwnedEvent::WorklistClaim {
+                        core: 0,
+                        from: 0,
+                        to: 2,
+                    },
+                ),
+            ],
+        };
+        let meta = RunMeta {
+            name: "t".to_string(),
+            n_cores: 1,
+            total_cycles: 10,
+        };
+        let reg = derive_metrics(&rec, &meta);
+        let wait = reg.histogram_ref("lock.scan.wait_cycles").unwrap();
+        assert_eq!((wait.count(), wait.max()), (1, Some(0)));
+        assert_eq!(reg.counter("core0.claims"), Some(1));
+        assert!(
+            !reg.to_json_string().contains("contention.header"),
+            "no pair counters on a single-core run"
+        );
+    }
+
+    #[test]
+    fn stall_span_flushed_at_run_end_is_fully_counted() {
+        // A run that ends inside a fast-forward window: the engine
+        // flushes the still-open stall as a span stamped at the run's
+        // last cycle. The derived histogram and per-core counter must
+        // carry the full length — no truncation at the last event
+        // before the window.
+        let total = 40;
+        let rec = Recording {
+            events: vec![(
+                total,
+                OwnedEvent::StallSpan {
+                    core: 1,
+                    reason: 3,
+                    name: "body_load",
+                    since: total - 11,
+                    len: 12,
+                },
+            )],
+        };
+        let meta = RunMeta {
+            name: "t".to_string(),
+            n_cores: 2,
+            total_cycles: total,
+        };
+        let reg = derive_metrics(&rec, &meta);
+        let spans = reg.histogram_ref("stall.body_load.span_cycles").unwrap();
+        assert_eq!((spans.count(), spans.max()), (1, Some(12)));
+        assert_eq!(reg.counter("core1.stall.body_load.cycles"), Some(12));
     }
 
     #[test]

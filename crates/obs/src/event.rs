@@ -64,6 +64,24 @@ pub enum Event<'a> {
     },
     /// Software collector: a full work packet handed to the shared pool.
     PacketHandoff { thread: u32, refs: u32 },
+    /// A core's maximal run of consecutive stalled cycles with one cause
+    /// ended: `core` stalled on `reason` for engine cycles
+    /// `[since, since + len)`. Emitted when the stall resolves (or at the
+    /// end of the run), stamped with the *last* stalled cycle
+    /// (`since + len - 1`), so fast-forward windows — which extend a run
+    /// without resolving it — never need to emit mid-run. The reason
+    /// travels as a small index plus a name (like core states), keeping
+    /// this crate free of the core crate's `StallReason` enum. Span
+    /// lengths per (core, reason) sum exactly to the engine's
+    /// `StallBreakdown` counters — the blame attribution's
+    /// conservative-completeness anchor.
+    StallSpan {
+        core: u32,
+        reason: u8,
+        name: &'static str,
+        since: u64,
+        len: u64,
+    },
 }
 
 /// Owned form of [`Event`] as stored by a [`crate::Recorder`].
@@ -106,6 +124,13 @@ pub enum OwnedEvent {
         thread: u32,
         refs: u32,
     },
+    StallSpan {
+        core: u32,
+        reason: u8,
+        name: &'static str,
+        since: u64,
+        len: u64,
+    },
 }
 
 impl Event<'_> {
@@ -137,6 +162,19 @@ impl Event<'_> {
                 success,
             },
             Event::PacketHandoff { thread, refs } => OwnedEvent::PacketHandoff { thread, refs },
+            Event::StallSpan {
+                core,
+                reason,
+                name,
+                since,
+                len,
+            } => OwnedEvent::StallSpan {
+                core,
+                reason,
+                name,
+                since,
+                len,
+            },
         }
     }
 }

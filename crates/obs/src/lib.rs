@@ -34,18 +34,26 @@
 //! while a log is enabled), and sampled rows cap the skip at the next
 //! wanted sample via [`Probe::next_sample`].
 
+pub mod attr;
 pub mod chrome;
+pub mod critpath;
 pub mod derive;
 pub mod event;
 pub mod folded;
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod report;
+pub mod whatif;
 
+pub use attr::{attribute, BlameReport, ClassBlame, RunModel};
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary, RunMeta};
+pub use critpath::{critical_path, CritPath};
 pub use derive::derive_metrics;
 pub use event::{Event, OwnedEvent, SampleRec};
 pub use folded::FoldedStacks;
 pub use json::Json;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::{Fanout, NullProbe, Probe, Recorder, Recording, SharedProbe};
+pub use report::{render_report_json, render_report_markdown, RunReport};
+pub use whatif::{predict, Prediction};

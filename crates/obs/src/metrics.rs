@@ -116,6 +116,52 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Estimate of the `p`-quantile (`0.0 < p <= 1.0`), if any values
+    /// were observed.
+    ///
+    /// The estimate is the **upper edge** of the log2 bucket holding the
+    /// rank-`⌈p·count⌉` observation (rank at least 1), clamped into
+    /// `[min, max]`. Being an edge it never lies below the true
+    /// quantile, and the clamp keeps one-bucket histograms exact, so for
+    /// any single-valued distribution every percentile equals that
+    /// value.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                // Upper edge of bucket i = lower edge of bucket i+1,
+                // minus 1 (bucket 64's edge is u64::MAX itself).
+                let hi = if i + 1 < BUCKETS {
+                    Self::bucket_lo(i + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                return Some(hi.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate ([`Self::percentile`] at 0.5).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.5)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
     /// Occupied buckets as `(bucket_lo, count)` pairs, sparse.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -349,6 +395,54 @@ mod tests {
         h.record_n(7, 0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn percentiles_on_single_valued_histograms_are_exact() {
+        let mut h = Histogram::new();
+        h.record_n(37, 1000);
+        // One bucket: the clamp into [min, max] makes every percentile
+        // the exact value, not the bucket edge (63).
+        for p in [0.001, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(37), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_rank_rounding_edges() {
+        let mut h = Histogram::new();
+        // 100 observations: 50 in bucket(1), 50 in bucket(4..=7).
+        h.record_n(1, 50);
+        h.record_n(5, 50);
+        // p=0.5 → rank exactly 50 (ceil(50.0)=50): still in the first
+        // bucket, whose upper edge is 1.
+        assert_eq!(h.p50(), Some(1));
+        // Nudging past the boundary crosses into the 4..=7 bucket; its
+        // upper edge (7) is clamped to the observed max (5).
+        assert_eq!(h.percentile(0.501), Some(5));
+        assert_eq!(h.p95(), Some(5));
+        assert_eq!(h.p99(), Some(5));
+        // With a larger value recorded, the bucket edge itself reports.
+        h.record(40); // bucket 32..=63
+        assert_eq!(
+            h.percentile(0.6),
+            Some(7),
+            "edge of 4..=7, max no longer clamps"
+        );
+        // A tiny p still ranks at least 1 (never rank 0).
+        assert_eq!(h.percentile(1e-9), Some(1));
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(100); // bucket 64..=127, upper edge 127
+        assert_eq!(h.p50(), Some(0), "rank 1 of 2, zero bucket");
+        // Upper edge 127 exceeds max: clamp to 100.
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(Histogram::new().p50(), None, "empty histogram");
     }
 
     #[test]

@@ -244,6 +244,55 @@ mod tests {
     }
 
     #[test]
+    fn fanout_delivers_left_then_right_per_event() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct TagProbe {
+            tag: &'static str,
+            log: Rc<RefCell<Vec<(&'static str, u64)>>>,
+        }
+        impl Probe for TagProbe {
+            fn record(&mut self, cycle: u64, _event: &Event<'_>) {
+                self.log.borrow_mut().push((self.tag, cycle));
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut a = TagProbe {
+            tag: "left",
+            log: log.clone(),
+        };
+        let mut b = TagProbe {
+            tag: "right",
+            log: log.clone(),
+        };
+        let mut f = Fanout(&mut a, &mut b);
+        f.record(3, &Event::FifoDepth { depth: 1 });
+        f.record(7, &Event::FifoDepth { depth: 2 });
+        // Both sides see every event, interleaved per event in tuple
+        // order — never batched per side. Consumers (e.g. a live tracer
+        // fanned out with a recorder) rely on this relative order.
+        assert_eq!(
+            *log.borrow(),
+            vec![("left", 3), ("right", 3), ("left", 7), ("right", 7)]
+        );
+    }
+
+    #[test]
+    fn fanout_next_sample_is_the_earlier_request() {
+        let mut a = Recorder::sampling(6);
+        let mut b = Recorder::sampling(4);
+        let f = Fanout(&mut a, &mut b);
+        assert_eq!(f.next_sample(1), Some(4), "b's request comes first");
+        assert_eq!(f.next_sample(5), Some(6), "a's request comes first");
+        let mut n = NullProbe;
+        let mut c = Recorder::sampling(4);
+        let g = Fanout(&mut n, &mut c);
+        assert_eq!(g.next_sample(1), Some(4), "None side defers to Some");
+    }
+
+    #[test]
     fn shared_probe_stamps_with_sequence_numbers() {
         let p = SharedProbe::new();
         let p2 = p.clone();

@@ -1,0 +1,306 @@
+//! What-if bottleneck prediction: analytically estimate the speedup of
+//! relaxing one synchronization resource, from the blame attribution
+//! alone — no re-run.
+//!
+//! The model (assumptions and limits in DESIGN.md §7): relaxing a
+//! resource deletes the stall cycles blamed on it. A deleted stall cycle
+//! shortens the run only insofar as the stalled core was pacing the
+//! collection, and with the worklist redistributing work the cores
+//! finish near-simultaneously, so the wall-clock reduction is estimated
+//! as the **mean per-core removed cycles**:
+//!
+//! ```text
+//! predicted_cycles = total − mean_i(removed_i)
+//! ```
+//!
+//! Removed cycles per resource:
+//!
+//! * **`multiport_sb`** — scan/free-lock stall cycles blamed on a
+//!   *write-port conflict* (`write_port:*`). Extra write ports delete
+//!   exactly those; cycles blamed on a genuine holder stay (the lock
+//!   still enforces claim atomicity). Matches the engine's
+//!   `GcConfig::multiport_sb` ablation.
+//! * **`dram_bandwidth_plus_1`** — a `1/(b+1)` share of the cycles
+//!   blamed on `dram.queue`: with `b` service slots a queued request
+//!   waits `⌈pos/b⌉` service rounds, so one more slot scales queue waits
+//!   by `b/(b+1)`. Matches re-running with `MemConfig.bandwidth + 1`.
+//! * **`header_fifo_depth`** — cycles blamed on `fifo.overflow` (header
+//!   stores that exist only because the FIFO was full) plus
+//!   `fifo.reload` (gray-header re-loads in `ScanHeaderWait`, issued
+//!   only on a FIFO miss), whether charged directly or at the end of a
+//!   lock convoy's cause chain. A FIFO deep enough never to overflow
+//!   has a 100% hit rate, so both vanish. On top of the direct match,
+//!   each lock class's *residual* queueing cycles (`write_port:*`
+//!   retries and `held:*` cycles whose chain does not end at a FIFO
+//!   fault) are scaled down by the class's FIFO-chained share of holder
+//!   blame: when the critical sections that built the convoy were
+//!   mostly stretched by FIFO faults, the convoy's secondary queueing
+//!   dissolves with them. Matches re-running with a large
+//!   `MemConfig.header_fifo_capacity`.
+//!
+//! The predictor is validated against real ablation re-runs by
+//! `crates/check`'s differential test (15% relative-error budget on the
+//! predicted speedup).
+
+use crate::attr::BlameReport;
+
+/// Run facts the predictor needs beyond the blame matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfInputs {
+    /// Wall-clock cycles of the analyzed run.
+    pub total_cycles: u64,
+    /// GC cores in the run.
+    pub n_cores: usize,
+    /// The DRAM's configured service slots per cycle
+    /// (`MemConfig.bandwidth`).
+    pub dram_bandwidth: u32,
+}
+
+/// One resource-relaxation estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Stable resource key (also the differential test's re-run label).
+    pub resource: &'static str,
+    /// Human-readable description of the relaxation.
+    pub description: &'static str,
+    /// Stall cycles the relaxation deletes, per core.
+    pub removed_per_core: Vec<u64>,
+    /// Estimated wall-clock cycles after the relaxation.
+    pub predicted_cycles: u64,
+    /// `total_cycles / predicted_cycles`.
+    pub predicted_speedup: f64,
+}
+
+fn finish(
+    inputs: &WhatIfInputs,
+    resource: &'static str,
+    description: &'static str,
+    removed_per_core: Vec<u64>,
+) -> Prediction {
+    let n = removed_per_core.len().max(1);
+    let reduction = removed_per_core.iter().sum::<u64>() / n as u64;
+    let predicted_cycles = inputs.total_cycles.saturating_sub(reduction).max(1);
+    Prediction {
+        resource,
+        description,
+        removed_per_core,
+        predicted_cycles,
+        predicted_speedup: inputs.total_cycles as f64 / predicted_cycles as f64,
+    }
+}
+
+fn predict_one(
+    blame: &BlameReport,
+    inputs: &WhatIfInputs,
+    resource: &'static str,
+    description: &'static str,
+    matches: impl Fn(&str, &str) -> bool,
+    fraction: f64,
+) -> Prediction {
+    let n = inputs.n_cores.max(1);
+    let removed_per_core: Vec<u64> = (0..n)
+        .map(|i| (blame.per_core_matching(i, &matches) as f64 * fraction).round() as u64)
+        .collect();
+    finish(inputs, resource, description, removed_per_core)
+}
+
+/// Lock classes whose queueing can convoy behind a FIFO-stretched
+/// critical section.
+const LOCK_CLASSES: [&str; 3] = ["scan_lock", "free_lock", "header_lock"];
+
+/// Does this cause chain end at a FIFO fault (`fifo.overflow` /
+/// `fifo.reload`), directly or through a `held:coreJ-><class>/...`
+/// convoy?
+fn is_fifo_cause(cause: &str) -> bool {
+    cause
+        .rsplit('/')
+        .next()
+        .is_some_and(|tail| tail.starts_with("fifo."))
+}
+
+fn split_key(key: &str) -> (&str, &str) {
+    key.split_once('/').unwrap_or((key, ""))
+}
+
+fn predict_fifo(blame: &BlameReport, inputs: &WhatIfInputs) -> Prediction {
+    let n = inputs.n_cores.max(1);
+    // Per lock class, the FIFO-chained share of holder-attributed
+    // blame: fifo-chained `held:*` cycles over all `held:*` cycles.
+    let mut fifo_held = std::collections::BTreeMap::<&str, u64>::new();
+    let mut all_held = std::collections::BTreeMap::<&str, u64>::new();
+    for per_core in &blame.per_core {
+        for (key, &cycles) in per_core {
+            let (class, cause) = split_key(key);
+            if LOCK_CLASSES.contains(&class) && cause.starts_with("held:") {
+                *all_held.entry(class).or_default() += cycles;
+                if is_fifo_cause(cause) {
+                    *fifo_held.entry(class).or_default() += cycles;
+                }
+            }
+        }
+    }
+    let frac = |class: &str| -> f64 {
+        let all = all_held.get(class).copied().unwrap_or(0);
+        if all == 0 {
+            return 0.0;
+        }
+        fifo_held.get(class).copied().unwrap_or(0) as f64 / all as f64
+    };
+    let removed_per_core: Vec<u64> = (0..n)
+        .map(|i| {
+            let mut removed = 0.0;
+            if let Some(per_core) = blame.per_core.get(i) {
+                for (key, &cycles) in per_core {
+                    let (class, cause) = split_key(key);
+                    if is_fifo_cause(cause) {
+                        removed += cycles as f64;
+                    } else if LOCK_CLASSES.contains(&class)
+                        && (cause.starts_with("held:") || cause.starts_with("write_port:"))
+                    {
+                        removed += cycles as f64 * frac(class);
+                    }
+                }
+            }
+            removed.round() as u64
+        })
+        .collect();
+    finish(
+        inputs,
+        "header_fifo_depth",
+        "header FIFO deep enough to never overflow",
+        removed_per_core,
+    )
+}
+
+/// Predict the speedup of relaxing each modeled resource. Order is
+/// stable: `multiport_sb`, `dram_bandwidth_plus_1`, `header_fifo_depth`.
+pub fn predict(blame: &BlameReport, inputs: &WhatIfInputs) -> Vec<Prediction> {
+    let b = inputs.dram_bandwidth.max(1) as f64;
+    vec![
+        predict_one(
+            blame,
+            inputs,
+            "multiport_sb",
+            "scan/free register write port per core (no write-port conflicts)",
+            |class, cause| {
+                (class == "scan_lock" || class == "free_lock") && cause.starts_with("write_port")
+            },
+            1.0,
+        ),
+        predict_one(
+            blame,
+            inputs,
+            "dram_bandwidth_plus_1",
+            "one more DRAM service slot per cycle",
+            |_, cause| cause == "dram.queue",
+            1.0 / (b + 1.0),
+        ),
+        predict_fifo(blame, inputs),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::ClassBlame;
+    use std::collections::BTreeMap;
+
+    fn blame(per_core: Vec<Vec<(&str, u64)>>) -> BlameReport {
+        BlameReport {
+            classes: Vec::<ClassBlame>::new(),
+            edges: BTreeMap::new(),
+            per_core: per_core
+                .into_iter()
+                .map(|m| {
+                    m.into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect::<BTreeMap<_, _>>()
+                })
+                .collect(),
+        }
+    }
+
+    fn inputs(total: u64, n: usize) -> WhatIfInputs {
+        WhatIfInputs {
+            total_cycles: total,
+            n_cores: n,
+            dram_bandwidth: 4,
+        }
+    }
+
+    #[test]
+    fn multiport_counts_only_write_port_conflicts() {
+        let b = blame(vec![
+            vec![
+                ("scan_lock/write_port:core1", 100),
+                ("scan_lock/held:core1", 400),
+                ("free_lock/write_port:core1", 20),
+            ],
+            vec![("scan_lock/write_port:core0", 60)],
+        ]);
+        let preds = predict(&b, &inputs(1000, 2));
+        let p = &preds[0];
+        assert_eq!(p.resource, "multiport_sb");
+        assert_eq!(p.removed_per_core, vec![120, 60]);
+        // Mean removal: (120 + 60) / 2 = 90.
+        assert_eq!(p.predicted_cycles, 910);
+        assert!((p.predicted_speedup - 1000.0 / 910.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_scales_queue_share() {
+        let b = blame(vec![vec![
+            ("body_load/dram.queue", 500),
+            ("body_load/dram.latency", 300),
+        ]]);
+        let preds = predict(&b, &inputs(2000, 1));
+        let p = &preds[1];
+        assert_eq!(p.resource, "dram_bandwidth_plus_1");
+        // 500 / (4 + 1) = 100 removed; latency cycles untouched.
+        assert_eq!(p.removed_per_core, vec![100]);
+        assert_eq!(p.predicted_cycles, 1900);
+    }
+
+    #[test]
+    fn fifo_depth_removes_overflow_cycles() {
+        let b = blame(vec![vec![
+            ("header_store/fifo.overflow", 80),
+            ("header_store/dram.latency", 40),
+        ]]);
+        let preds = predict(&b, &inputs(500, 1));
+        let p = &preds[2];
+        assert_eq!(p.resource, "header_fifo_depth");
+        assert_eq!(p.removed_per_core, vec![80]);
+        assert_eq!(p.predicted_cycles, 420);
+    }
+
+    #[test]
+    fn fifo_depth_scales_convoyed_lock_queueing() {
+        // 300 of 400 held cycles on the scan lock chain to a FIFO
+        // fault (frac = 0.75), so 75% of the residual held/write-port
+        // queueing dissolves with the convoy; the free lock has no
+        // FIFO-chained holders and keeps its queueing.
+        let b = blame(vec![vec![
+            ("scan_lock/held:core1->header_load/fifo.reload", 300),
+            ("scan_lock/held:core1", 100),
+            ("scan_lock/write_port:core1", 80),
+            ("free_lock/write_port:core1", 40),
+            ("header_store/fifo.overflow", 50),
+        ]]);
+        let preds = predict(&b, &inputs(2000, 1));
+        let p = &preds[2];
+        assert_eq!(p.resource, "header_fifo_depth");
+        // 300 + 50 direct, plus 0.75 * (100 + 80) = 135 convoy share.
+        assert_eq!(p.removed_per_core, vec![485]);
+        assert_eq!(p.predicted_cycles, 2000 - 485);
+    }
+
+    #[test]
+    fn empty_blame_predicts_no_change() {
+        let b = blame(vec![vec![], vec![]]);
+        for p in predict(&b, &inputs(100, 2)) {
+            assert_eq!(p.predicted_cycles, 100);
+            assert!((p.predicted_speedup - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -149,6 +149,12 @@ pub struct SyncBlock {
     /// would-be writer cannot acquire the lock until the next cycle.
     scan_written: bool,
     free_written: bool,
+    /// What-if ablation knob: pretend each register has one write port
+    /// *per core*, so a same-cycle write no longer blocks the next
+    /// acquirer. The locks themselves stay — genuine holds still enforce
+    /// claim/evacuation atomicity — only the write-port conflict
+    /// disappears. Not a paper configuration.
+    multiport: bool,
     /// SB clock: number of `begin_cycle` calls (adjustable via
     /// `set_cycle` so event stamps match the engine's numbering).
     cycle: u64,
@@ -178,6 +184,7 @@ impl SyncBlock {
             splits: Vec::with_capacity(n_cores),
             scan_written: false,
             free_written: false,
+            multiport: false,
             cycle: 0,
             events: None,
             stats: SyncStats::default(),
@@ -267,6 +274,18 @@ impl SyncBlock {
         self.n_cores
     }
 
+    /// Enable or disable the multiport write-port relaxation (see the
+    /// `multiport` field). Off by default — the paper's hardware has one
+    /// write port per register.
+    pub fn set_multiport(&mut self, on: bool) {
+        self.multiport = on;
+    }
+
+    /// Is the multiport relaxation active?
+    pub fn multiport(&self) -> bool {
+        self.multiport
+    }
+
     // --- scan/free registers -------------------------------------------
 
     /// Read the `scan` register (all cores may read simultaneously).
@@ -290,7 +309,10 @@ impl SyncBlock {
     /// clock cycle.
     pub fn set_scan(&mut self, core: usize, value: u32) {
         assert_eq!(self.scan_owner, Some(core), "scan write without lock");
-        debug_assert!(!self.scan_written, "two scan writes in one cycle");
+        debug_assert!(
+            self.multiport || !self.scan_written,
+            "two scan writes in one cycle"
+        );
         self.log(SbEvent::SetScan {
             core,
             from: self.scan,
@@ -304,7 +326,10 @@ impl SyncBlock {
     /// clock cycle.
     pub fn set_free(&mut self, core: usize, value: u32) {
         assert_eq!(self.free_owner, Some(core), "free write without lock");
-        debug_assert!(!self.free_written, "two free writes in one cycle");
+        debug_assert!(
+            self.multiport || !self.free_written,
+            "two free writes in one cycle"
+        );
         self.log(SbEvent::SetFree {
             core,
             from: self.free,
@@ -326,7 +351,7 @@ impl SyncBlock {
     /// but the register's write port admits one writer per cycle: after a
     /// same-cycle write the next acquirer stalls until the next cycle.
     pub fn try_acquire_scan(&mut self, core: usize) -> bool {
-        if self.scan_written && self.scan_owner.is_none() {
+        if !self.multiport && self.scan_written && self.scan_owner.is_none() {
             self.stats.failed_attempts[0] += 1;
             self.log(SbEvent::FailScan { core });
             return false;
@@ -357,7 +382,7 @@ impl SyncBlock {
     /// Attempt to acquire the `free` lock. Zero-cost when uncontended,
     /// with the same one-write-per-cycle port limit as `scan`.
     pub fn try_acquire_free(&mut self, core: usize) -> bool {
-        if self.free_written && self.free_owner.is_none() {
+        if !self.multiport && self.free_written && self.free_owner.is_none() {
             self.stats.failed_attempts[1] += 1;
             self.log(SbEvent::FailFree { core });
             return false;
@@ -746,6 +771,43 @@ mod tests {
         assert_eq!(sb.cycle(), 10);
         assert_eq!(sb.stats().failed(LockKind::Scan), 10);
         sb.release_scan(0);
+    }
+
+    #[test]
+    fn single_port_blocks_second_writer_in_same_cycle() {
+        let mut sb = SyncBlock::new(2);
+        sb.begin_cycle();
+        assert!(sb.try_acquire_scan(0));
+        sb.set_scan(0, 4);
+        sb.release_scan(0);
+        // The register was written this cycle: the port is busy.
+        assert!(!sb.try_acquire_scan(1));
+        sb.begin_cycle();
+        assert!(sb.try_acquire_scan(1));
+        sb.release_scan(1);
+        assert_eq!(sb.stats().failed(LockKind::Scan), 1);
+    }
+
+    #[test]
+    fn multiport_removes_write_port_conflict_only() {
+        let mut sb = SyncBlock::new(2);
+        sb.set_multiport(true);
+        assert!(sb.multiport());
+        sb.begin_cycle();
+        assert!(sb.try_acquire_scan(0));
+        sb.set_scan(0, 4);
+        sb.release_scan(0);
+        // Same cycle, second writer: no port conflict under multiport.
+        assert!(sb.try_acquire_scan(1));
+        sb.set_scan(1, 8);
+        sb.release_scan(1);
+        assert_eq!(sb.scan(), 8);
+        assert_eq!(sb.stats().failed(LockKind::Scan), 0);
+        // Genuine holds still exclude — atomicity is untouched.
+        assert!(sb.try_acquire_free(0));
+        assert!(!sb.try_acquire_free(1));
+        sb.release_free(0);
+        sb.assert_quiescent();
     }
 
     #[test]
