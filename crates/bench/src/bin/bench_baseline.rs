@@ -14,34 +14,39 @@
 //!                [--trajectory <path> --pr <N>]
 //! ```
 //!
-//! * `--smoke` — reduced matrix (3 presets × {1, 4} cores) for CI,
+//! * `--smoke` — reduced matrix (3 presets × {1, 4, 16} cores) for CI;
+//!   16-core combos stay in so the check below gates the regime the
+//!   sparse engine exists for,
 //! * `--out` — where to write the report (default `BENCH_simulator.json`
 //!   in the current directory),
-//! * `--check` — compare against a previously written report: the
-//!   aggregate cycles/second over the combos present in *both* reports
-//!   must be ≥ `CHECK_RATIO` × the reference, else exit 1,
+//! * `--check` — compare against a previously written report: for every
+//!   core count present in *both* reports, the aggregate cycles/second
+//!   must be ≥ `CHECK_RATIO` × the reference (per-core-count gating, so
+//!   a 16-core regression cannot hide behind fast 1-core combos), and
+//!   the per-core-count wall-clock speedup vs the reference is printed;
+//!   any floor violation exits 1,
 //! * `--trace-out` / `--metrics-out` — after the timed matrix, run the
 //!   Figure 6 configuration (javac, 1 core, +20 latency) once more with
 //!   the event bus attached and export the Chrome/Perfetto trace and the
 //!   metrics snapshot. The probed run is *not* timed; every measured
 //!   combo keeps the zero-overhead `NullProbe` path,
-//! * `--trajectory` / `--pr` — measure the Figure 6 configuration once
-//!   more and append `{pr, cycles, wall_s}` to the per-PR trajectory
-//!   file (the committed `BENCH_trajectory.json`). Idempotent per PR: an
-//!   existing entry for the same PR number is replaced, so re-running
-//!   before merge never duplicates rows. `cycles` is deterministic; the
-//!   wall clock is the recording host's and is kept for order-of-magnitude
-//!   context only.
+//! * `--trajectory` / `--pr` — measure every trajectory series (the
+//!   fig6 1-core baseline and, since PR 5, the fig6 16-core sweep
+//!   point) once more and append `{pr, cycles, wall_s}` to each series
+//!   in the per-PR trajectory file (the committed
+//!   `BENCH_trajectory.json`). Idempotent per PR: an existing entry for
+//!   the same PR number is replaced, so re-running before merge never
+//!   duplicates rows. `cycles` is deterministic; the wall clock is the
+//!   recording host's and is kept for order-of-magnitude context only.
 //!
-//! The report also carries `ff_speedup`: the wall-clock ratio of the
-//! naive per-cycle loop to the event-horizon fast-forward path on the
-//! Figure 6 configuration (+20 cycles memory latency, javac, 1 core —
-//! the figure's `1-core cyc` normalization baseline), asserted bit-exact
-//! (identical `GcStats`) before the ratio is taken. This is a *lower
-//! bound* on the speedup against the pre-fast-forward engine, because
-//! the naive loop here still benefits from the allocation-free hot loop
-//! and the O(1) memory/SB bookkeeping; measured against the seed engine
-//! the same configuration runs ≈ 5.9× faster.
+//! The report also carries `engine_speedup_1c` / `engine_speedup_16c`:
+//! the wall-clock ratio of the fully naive per-cycle loop (sparse engine
+//! and fast-forward both off) to the default engine on the Figure 6
+//! configuration (+20 cycles memory latency, javac) at 1 and 16 cores,
+//! asserted bit-exact (identical `GcStats`) before the ratio is taken.
+//! The 16-core number is the one the sparse active-set engine exists
+//! for: at high core counts global quiescence almost never holds, so
+//! the PR 2 fast-forward alone degenerates to the naive loop there.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -129,15 +134,18 @@ fn measure_combo(preset: Preset, cores: usize) -> ComboResult {
     best.expect("REPS >= 1")
 }
 
-/// Wall-clock ratio naive / fast-forward on the Figure 6 configuration,
-/// with bit-exactness asserted first.
-fn measure_ff_speedup(preset: Preset, cores: usize) -> f64 {
+/// Wall-clock ratio of the fully naive per-cycle loop (sparse engine and
+/// fast-forward both off) to the default engine on the Figure 6
+/// configuration, with bit-exactness asserted first.
+fn measure_engine_speedup(preset: Preset, cores: usize) -> f64 {
     let base = GcConfig {
         n_cores: cores,
         mem: MemConfig::default().with_extra_latency(20),
+        sparse: true,
         ..GcConfig::default()
     };
     let naive_cfg = GcConfig {
+        sparse: false,
         fast_forward: false,
         ..base
     };
@@ -147,7 +155,7 @@ fn measure_ff_speedup(preset: Preset, cores: usize) -> f64 {
     assert_eq!(
         fast.stats,
         naive.stats,
-        "fast-forward diverged from the naive loop on {}/{}c",
+        "the default engine diverged from the naive loop on {}/{}c",
         preset.name(),
         cores
     );
@@ -160,7 +168,7 @@ fn measure_ff_speedup(preset: Preset, cores: usize) -> f64 {
     naive_s / fast_s.max(1e-9)
 }
 
-fn render_report(mode: &str, combos: &[ComboResult], ff_speedup: f64) -> String {
+fn render_report(mode: &str, combos: &[ComboResult], speedup_1c: f64, speedup_16c: f64) -> String {
     let total_cycles: u64 = combos.iter().map(|c| c.cycles).sum();
     let total_wall: f64 = combos.iter().map(|c| c.wall_s).sum();
     let mut out = String::new();
@@ -190,7 +198,8 @@ fn render_report(mode: &str, combos: &[ComboResult], ff_speedup: f64) -> String 
         "  \"cycles_per_sec\": {:.0},",
         total_cycles as f64 / total_wall.max(1e-9)
     );
-    let _ = writeln!(out, "  \"ff_speedup\": {ff_speedup:.2}");
+    let _ = writeln!(out, "  \"engine_speedup_1c\": {speedup_1c:.2},");
+    let _ = writeln!(out, "  \"engine_speedup_16c\": {speedup_16c:.2}");
     out.push_str("}\n");
     out
 }
@@ -231,83 +240,163 @@ fn parse_combos(report: &str) -> Vec<(String, usize, f64, f64)> {
         .collect()
 }
 
-/// Aggregate throughput over the combos present in both reports. Returns
-/// (reference, measured) cycles/second, or `None` if the intersection is
-/// empty.
-fn aggregate_intersection(reference: &str, measured: &str) -> Option<(f64, f64)> {
+/// Aggregate throughput per core count over the combos present in both
+/// reports. Returns `(cores, reference c/s, measured c/s)` rows sorted by
+/// core count; empty when the reports share no combos.
+fn per_core_intersection(reference: &str, measured: &str) -> Vec<(usize, f64, f64)> {
     let ref_combos = parse_combos(reference);
     let mea_combos = parse_combos(measured);
-    let (mut rc, mut rw, mut mc, mut mw) = (0.0, 0.0, 0.0, 0.0);
+    // (cores, ref cycles, ref wall, measured cycles, measured wall)
+    let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
     for (preset, cores, cycles, wall) in &mea_combos {
         if let Some((_, _, ref_cycles, ref_wall)) = ref_combos
             .iter()
             .find(|(p, n, _, _)| p == preset && n == cores)
         {
-            rc += ref_cycles;
-            rw += ref_wall;
-            mc += cycles;
-            mw += wall;
+            let row = match rows.iter_mut().find(|r| r.0 == *cores) {
+                Some(row) => row,
+                None => {
+                    rows.push((*cores, 0.0, 0.0, 0.0, 0.0));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.1 += ref_cycles;
+            row.2 += ref_wall;
+            row.3 += cycles;
+            row.4 += wall;
         }
     }
-    (rw > 0.0 && mw > 0.0).then_some((rc / rw, mc / mw))
-}
-
-/// Parse a trajectory file's entry lines into `(pr, cycles, wall_s)`.
-fn parse_trajectory(text: &str) -> Vec<(u64, u64, f64)> {
-    text.lines()
-        .filter_map(|line| {
-            Some((
-                json_num(line, "pr")? as u64,
-                json_num(line, "cycles")? as u64,
-                json_num(line, "wall_s")?,
-            ))
-        })
+    rows.sort_by_key(|r| r.0);
+    rows.into_iter()
+        .filter(|&(_, _, rw, _, mw)| rw > 0.0 && mw > 0.0)
+        .map(|(cores, rc, rw, mc, mw)| (cores, rc / rw, mc / mw))
         .collect()
 }
 
-fn render_trajectory(entries: &[(u64, u64, f64)]) -> String {
+/// The per-PR trajectory series: `(name, config description, cores)`.
+/// All run javac under the Figure 6 memory model (+20 cycles per
+/// access). The 1-core series is the figure's normalization baseline and
+/// goes back to PR 4; the 16-core series (added in PR 5 with the sparse
+/// engine) tracks the regime the paper's headline numbers live in.
+const TRAJECTORY_SERIES: &[(&str, &str, usize)] = &[
+    (
+        "fig6-1c",
+        "javac, 1 core, +20 cycles memory latency (fig6 baseline)",
+        1,
+    ),
+    (
+        "fig6-16c",
+        "javac, 16 cores, +20 cycles memory latency (fig6 sweep point)",
+        16,
+    ),
+];
+
+struct TrajectorySeries {
+    name: String,
+    config: String,
+    entries: Vec<(u64, u64, f64)>,
+}
+
+/// Parse a trajectory file. Understands both the v2 multi-series layout
+/// and the original v1 single-series one (whose entries become the
+/// `fig6-1c` series, which is what they always measured).
+fn parse_trajectory(text: &str) -> Vec<TrajectorySeries> {
+    let mut series: Vec<TrajectorySeries> = Vec::new();
+    for line in text.lines() {
+        if let Some(name) = json_str(line, "name") {
+            series.push(TrajectorySeries {
+                name: name.to_string(),
+                config: json_str(line, "config").unwrap_or_default().to_string(),
+                entries: Vec::new(),
+            });
+        } else if let (Some(pr), Some(cycles), Some(wall_s)) = (
+            json_num(line, "pr"),
+            json_num(line, "cycles"),
+            json_num(line, "wall_s"),
+        ) {
+            if series.is_empty() {
+                // v1 file: entries precede any series header.
+                series.push(TrajectorySeries {
+                    name: TRAJECTORY_SERIES[0].0.to_string(),
+                    config: TRAJECTORY_SERIES[0].1.to_string(),
+                    entries: Vec::new(),
+                });
+            }
+            series
+                .last_mut()
+                .expect("series pushed above")
+                .entries
+                .push((pr as u64, cycles as u64, wall_s));
+        }
+    }
+    series
+}
+
+fn render_trajectory(series: &[TrajectorySeries]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"hwgc-bench-trajectory-v1\",\n");
-    out.push_str("  \"config\": \"javac, 1 core, +20 cycles memory latency (fig6 baseline)\",\n");
-    out.push_str("  \"entries\": [\n");
-    for (i, (pr, cycles, wall_s)) in entries.iter().enumerate() {
-        let sep = if i + 1 == entries.len() { "" } else { "," };
+    out.push_str("  \"schema\": \"hwgc-bench-trajectory-v2\",\n");
+    out.push_str("  \"series\": [\n");
+    for (si, s) in series.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"pr\": {pr}, \"cycles\": {cycles}, \"wall_s\": {wall_s:.6}}}{sep}"
+            "    {{\"name\": \"{}\", \"config\": \"{}\", \"entries\": [",
+            s.name, s.config
         );
+        for (i, (pr, cycles, wall_s)) in s.entries.iter().enumerate() {
+            let sep = if i + 1 == s.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"pr\": {pr}, \"cycles\": {cycles}, \"wall_s\": {wall_s:.6}}}{sep}"
+            );
+        }
+        let sep = if si + 1 == series.len() { "" } else { "," };
+        let _ = writeln!(out, "    ]}}{sep}");
     }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// Measure the fig6 configuration and append (or replace) this PR's
-/// entry in the trajectory file.
+/// Measure every trajectory series and append (or replace) this PR's
+/// entry in each, preserving series the file has that this binary no
+/// longer measures.
 fn append_trajectory(path: &str, pr: u64) {
-    let cfg = GcConfig {
-        n_cores: 1,
-        mem: MemConfig::default().with_extra_latency(20),
-        ..GcConfig::default()
-    };
-    let (mut cycles, mut wall_s) = (0, f64::INFINITY);
-    for _ in 0..REPS {
-        let (out, w, _) = timed_collect(Preset::Javac, cfg);
-        cycles = out.stats.total_cycles;
-        wall_s = wall_s.min(w);
-    }
-    let mut entries = std::fs::read_to_string(path)
+    let mut series = std::fs::read_to_string(path)
         .map(|t| parse_trajectory(&t))
         .unwrap_or_default();
-    entries.retain(|(p, _, _)| *p != pr);
-    entries.push((pr, cycles, wall_s));
-    entries.sort_by_key(|(p, _, _)| *p);
-    std::fs::write(path, render_trajectory(&entries))
+    for &(name, config, cores) in TRAJECTORY_SERIES {
+        let cfg = GcConfig {
+            n_cores: cores,
+            mem: MemConfig::default().with_extra_latency(20),
+            ..GcConfig::default()
+        };
+        let (mut cycles, mut wall_s) = (0, f64::INFINITY);
+        for _ in 0..REPS {
+            let (out, w, _) = timed_collect(Preset::Javac, cfg);
+            cycles = out.stats.total_cycles;
+            wall_s = wall_s.min(w);
+        }
+        let slot = match series.iter_mut().find(|s| s.name == name) {
+            Some(slot) => slot,
+            None => {
+                series.push(TrajectorySeries {
+                    name: name.to_string(),
+                    config: config.to_string(),
+                    entries: Vec::new(),
+                });
+                series.last_mut().expect("just pushed")
+            }
+        };
+        slot.entries.retain(|(p, _, _)| *p != pr);
+        slot.entries.push((pr, cycles, wall_s));
+        slot.entries.sort_by_key(|(p, _, _)| *p);
+        println!(
+            "[trajectory] {path}: {name} pr {pr}, {cycles} cycles, {:.3} ms",
+            wall_s * 1e3
+        );
+    }
+    std::fs::write(path, render_trajectory(&series))
         .unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!(
-        "[trajectory] {path}: pr {pr}, {cycles} cycles, {:.3} ms",
-        wall_s * 1e3
-    );
 }
 
 fn main() {
@@ -331,7 +420,12 @@ fn main() {
     });
 
     let (presets, core_counts): (&[Preset], &[usize]) = if smoke {
-        (&[Preset::Compress, Preset::Javac, Preset::Jlisp], &[1, 4])
+        // 16-core combos stay in the smoke matrix: the sparse engine's
+        // whole point is that regime, so CI must gate it.
+        (
+            &[Preset::Compress, Preset::Javac, Preset::Jlisp],
+            &[1, 4, 16],
+        )
     } else {
         (&Preset::ALL, &[1, 4, 16])
     };
@@ -359,8 +453,9 @@ fn main() {
         }
     }
 
-    let ff_speedup = measure_ff_speedup(Preset::Javac, 1);
-    println!("\nfast-forward speedup (fig6 config, javac/1c): {ff_speedup:.2}x");
+    let speedup_1c = measure_engine_speedup(Preset::Javac, 1);
+    let speedup_16c = measure_engine_speedup(Preset::Javac, 16);
+    println!("\nengine speedup vs naive loop (fig6 config, javac): 1c {speedup_1c:.2}x, 16c {speedup_16c:.2}x");
 
     if trace_out.is_some() || metrics_out.is_some() {
         // One extra, untimed probed run of the fig6 configuration for the
@@ -395,23 +490,33 @@ fn main() {
         append_trajectory(path, pr);
     }
 
-    let report = render_report(mode, &combos, ff_speedup);
+    let report = render_report(mode, &combos, speedup_1c, speedup_16c);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");
 
     if let Some(check_path) = check_path {
         let reference = std::fs::read_to_string(&check_path)
             .unwrap_or_else(|e| panic!("read {check_path}: {e}"));
-        let Some((ref_cps, mea_cps)) = aggregate_intersection(&reference, &report) else {
+        let rows = per_core_intersection(&reference, &report);
+        if rows.is_empty() {
             panic!("{check_path} shares no (preset, cores) combos with this run");
-        };
-        let ratio = mea_cps / ref_cps;
-        println!(
-            "check vs {check_path}: reference {ref_cps:.0} c/s, measured {mea_cps:.0} c/s \
-             (ratio {ratio:.2}, floor {CHECK_RATIO})"
-        );
-        if ratio < CHECK_RATIO {
-            eprintln!("throughput regression: ratio {ratio:.2} < {CHECK_RATIO}");
+        }
+        println!("check vs {check_path} (floor {CHECK_RATIO} per core count):");
+        let mut failed = false;
+        for (cores, ref_cps, mea_cps) in &rows {
+            let ratio = mea_cps / ref_cps;
+            println!(
+                "  {cores:>2} cores: reference {ref_cps:>12.0} c/s, measured {mea_cps:>12.0} c/s \
+                 — {ratio:.2}x vs committed baseline"
+            );
+            if ratio < CHECK_RATIO {
+                eprintln!(
+                    "  throughput regression at {cores} cores: ratio {ratio:.2} < {CHECK_RATIO}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,189 @@
+//! CI parity smoke for the sparse active-set engine: runs a preset ×
+//! core-count × memory-latency matrix twice — sparse engine forced on,
+//! then the fully naive per-cycle loop (sparse and fast-forward off) —
+//! and requires bit-identical `GcStats` and allocation frontier on every
+//! combo, plus identical cycle-stamped SB event streams on a traced
+//! sub-matrix. A machine-parseable parity report (one JSON line per
+//! combo, with both wall clocks and the resulting speedup) is written
+//! for upload.
+//!
+//! ```text
+//! sparse_smoke [--out <path>] [--expect-default <on|off>]
+//! ```
+//!
+//! * `--out` — report path (default `target/sparse_smoke.json`),
+//! * `--expect-default` — assert the `HWGC_SPARSE` escape hatch: the
+//!   process-default `GcConfig` must have the sparse engine in exactly
+//!   this state. CI runs one leg with the variable unset (`on`) and one
+//!   with `HWGC_SPARSE=0` (`off`), so the hatch is exercised end to end.
+//!
+//! The matrix itself pins `sparse` explicitly on both sides, so parity
+//! coverage is identical in both CI legs; only the default is asserted.
+//! Any divergence prints the combo and exits nonzero.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_heap::Snapshot;
+use hwgc_memsim::MemConfig;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sparse_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn sparse_config(cores: usize, extra: u32) -> GcConfig {
+    GcConfig {
+        n_cores: cores,
+        mem: MemConfig::default().with_extra_latency(extra),
+        sparse: true,
+        ..GcConfig::default()
+    }
+}
+
+fn naive_config(cores: usize, extra: u32) -> GcConfig {
+    GcConfig {
+        sparse: false,
+        fast_forward: false,
+        ..sparse_config(cores, extra)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        })
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "target/sparse_smoke.json".to_string());
+
+    if let Some(expect) = flag_value("--expect-default") {
+        let want = match expect.as_str() {
+            "on" => true,
+            "off" => false,
+            other => fail(&format!("--expect-default takes on|off, got {other:?}")),
+        };
+        let got = GcConfig::default().sparse;
+        if got != want {
+            fail(&format!(
+                "HWGC_SPARSE hatch broken: default sparse is {got}, expected {want} \
+                 (HWGC_SPARSE={:?})",
+                std::env::var("HWGC_SPARSE").ok()
+            ));
+        }
+        println!("sparse_smoke: default sparse = {got} (as expected)");
+    }
+
+    let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
+    let core_counts = [1usize, 4, 16];
+    let extras = [0u32, 20];
+
+    let mut report = String::new();
+    report.push_str("{\n  \"schema\": \"hwgc-sparse-smoke-v1\",\n  \"combos\": [\n");
+    let mut first = true;
+    println!(
+        "{:>10}  {:>5}  {:>6}  {:>12}  {:>10}  {:>10}  {:>8}",
+        "preset", "cores", "extra", "cycles", "sparse ms", "naive ms", "speedup"
+    );
+    for preset in presets {
+        for cores in core_counts {
+            for extra in extras {
+                let base = WorkloadSpec::new(preset, 42).build();
+                let snap = Snapshot::capture(&base);
+
+                let mut sparse_heap = base.clone();
+                let t = Instant::now();
+                let sparse =
+                    SimCollector::new(sparse_config(cores, extra)).collect(&mut sparse_heap);
+                let sparse_s = t.elapsed().as_secs_f64();
+                hwgc_heap::verify_collection(&sparse_heap, sparse.free, &snap).unwrap_or_else(
+                    |e| {
+                        fail(&format!(
+                            "{}/{cores}c +{extra}: sparse run failed verification: {e}",
+                            preset.name()
+                        ))
+                    },
+                );
+
+                let mut naive_heap = base;
+                let t = Instant::now();
+                let naive = SimCollector::new(naive_config(cores, extra)).collect(&mut naive_heap);
+                let naive_s = t.elapsed().as_secs_f64();
+
+                if sparse.stats != naive.stats || sparse.free != naive.free {
+                    fail(&format!(
+                        "{}/{cores}c +{extra}: sparse diverged from naive \
+                         ({} vs {} total cycles)",
+                        preset.name(),
+                        sparse.stats.total_cycles,
+                        naive.stats.total_cycles
+                    ));
+                }
+
+                let speedup = naive_s / sparse_s.max(1e-9);
+                println!(
+                    "{:>10}  {cores:>5}  {extra:>6}  {:>12}  {:>10.3}  {:>10.3}  {speedup:>7.2}x",
+                    preset.name(),
+                    sparse.stats.total_cycles,
+                    sparse_s * 1e3,
+                    naive_s * 1e3,
+                );
+                let sep = if first { "" } else { ",\n" };
+                first = false;
+                let _ = write!(
+                    report,
+                    "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \"extra_latency\": {extra}, \
+                     \"cycles\": {}, \"sparse_wall_s\": {sparse_s:.6}, \
+                     \"naive_wall_s\": {naive_s:.6}, \"speedup\": {speedup:.2}, \"parity\": true}}",
+                    preset.name(),
+                    sparse.stats.total_cycles,
+                );
+            }
+        }
+    }
+    report.push_str("\n  ],\n");
+
+    // Traced sub-matrix: the SB event log flips the sparse park rules
+    // for lock classes, and the event stream pins cycle stamps one by
+    // one — the strictest parity surface.
+    let mut traced = 0usize;
+    for cores in core_counts {
+        let base = WorkloadSpec::new(Preset::Javac, 42).build();
+        let mut h1 = base.clone();
+        let mut t1 = SignalTrace::with_events(1 << 40);
+        let sparse = SimCollector::new(sparse_config(cores, 20)).collect_traced(&mut h1, &mut t1);
+        let mut h2 = base;
+        let mut t2 = SignalTrace::with_events(1 << 40);
+        let naive = SimCollector::new(naive_config(cores, 20)).collect_traced(&mut h2, &mut t2);
+        if sparse.stats != naive.stats {
+            fail(&format!("javac/{cores}c +20 (traced): stats diverged"));
+        }
+        if t1.events() != t2.events() {
+            fail(&format!("javac/{cores}c +20: SB event streams diverged"));
+        }
+        if t1.rows() != t2.rows() {
+            fail(&format!("javac/{cores}c +20: trace rows diverged"));
+        }
+        traced += 1;
+    }
+    println!("traced parity: javac +20 at {core_counts:?} cores, event streams identical");
+    let _ = writeln!(report, "  \"traced_combos\": {traced},");
+    let _ = writeln!(
+        report,
+        "  \"default_sparse\": {}",
+        GcConfig::default().sparse
+    );
+    report.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("[json] {out_path}");
+    println!("sparse_smoke: PASS");
+}

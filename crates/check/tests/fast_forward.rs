@@ -14,7 +14,13 @@ use hwgc_heap::Heap;
 use hwgc_workloads::{Preset, WorkloadSpec};
 
 fn ff_config(cores: usize) -> GcConfig {
-    let cfg = GcConfig::with_cores(cores);
+    // The sparse engine is pinned off on both sides: this differential
+    // isolates the event-horizon fast-forward against the naive loop
+    // (the sparse engine has its own matrix in `tests/sparse.rs`).
+    let cfg = GcConfig {
+        sparse: false,
+        ..GcConfig::with_cores(cores)
+    };
     assert!(cfg.fast_forward, "fast-forward must be the default");
     cfg
 }

@@ -48,6 +48,27 @@ pub struct GcConfig {
     /// observe the skipped cycles. `false` forces the naive per-cycle
     /// loop (the differential tests compare both).
     pub fast_forward: bool,
+    /// Sparse active-set engine (default on, `HWGC_SPARSE=0` in the
+    /// environment flips the default off): cores whose next retry provably
+    /// fails park on per-resource wake conditions — SB lock releases,
+    /// memory retirements, or a computed wake cycle — and the clock jumps
+    /// to the earliest wake instead of ticking every core every cycle.
+    /// Per-cycle work becomes O(runnable) instead of O(n_cores). Bit-exact
+    /// — identical `GcStats`, SB event stamps and trace rows, including
+    /// under schedule policies — and automatically suppressed when a
+    /// mutator runs (its ticks observe every cycle). `false` forces the
+    /// naive per-cycle loop (the differential tests compare both).
+    pub sparse: bool,
+}
+
+/// Parse the `HWGC_SPARSE` escape hatch: unset keeps the sparse engine
+/// on; `0` / `false` / `off` / `no` (trimmed) disable it; anything else
+/// leaves it on.
+pub fn sparse_from(var: Option<&str>) -> bool {
+    !matches!(
+        var.map(str::trim),
+        Some("0") | Some("false") | Some("off") | Some("no")
+    )
 }
 
 impl Default for GcConfig {
@@ -61,6 +82,7 @@ impl Default for GcConfig {
             multiport_sb: false,
             max_cycles: 2_000_000_000,
             fast_forward: true,
+            sparse: sparse_from(std::env::var("HWGC_SPARSE").ok().as_deref()),
         }
     }
 }
@@ -91,5 +113,19 @@ mod tests {
         let c = GcConfig::with_cores(16);
         assert_eq!(c.n_cores, 16);
         assert_eq!(c.mem, MemConfig::default());
+    }
+
+    #[test]
+    fn sparse_from_documents_every_input_class() {
+        // Unset: on by default.
+        assert!(sparse_from(None));
+        // Explicit off spellings, with surrounding whitespace tolerated.
+        for off in ["0", "false", "off", "no", " 0 ", "\tfalse\n"] {
+            assert!(!sparse_from(Some(off)), "{off:?} should disable");
+        }
+        // Anything else (including empty and affirmative values): on.
+        for on in ["", "1", "true", "on", "yes", "sparse", "OFF"] {
+            assert!(sparse_from(Some(on)), "{on:?} should keep the default");
+        }
     }
 }

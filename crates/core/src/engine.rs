@@ -310,256 +310,346 @@ impl SimCollector {
         // arbiters advance their RNG per cycle). Tracing is handled
         // per-jump by capping the skip at the next wanted sample.
         let ff_enabled = cfg.fast_forward && mutator.is_none() && policy.is_none();
+        // The sparse active-set engine composes with schedule policies
+        // (parked cores keep their slot in the arranged order, and skipped
+        // cycles replay `arrange` against the frozen view, so policy RNG
+        // streams stay aligned); only a mutator — which ticks every cycle
+        // and can touch any SB resource — forces the naive loop. The wake
+        // lists use one u64 bitmask, hence the 64-core bound.
+        let use_sparse = cfg.sparse && mutator.is_none() && cfg.n_cores <= 64;
 
-        loop {
-            mem.tick();
-            sb.begin_cycle();
-            if let Some(m) = mutator.as_mut() {
-                m.tick(heap, &mut sb, &mut fifo);
-            }
-            if let Some(p) = policy.as_deref_mut() {
-                for (i, (view, core)) in views.iter_mut().zip(&cores).enumerate() {
-                    *view = CoreView {
-                        pending_header: core.pending_header(),
-                        holds_header: sb.header_lock_of(i),
-                        holds_scan: sb.holds_scan(i),
-                        holds_free: sb.holds_free(i),
-                        busy: sb.is_busy(i),
-                    };
-                }
-                let view = ScheduleView {
-                    scan: sb.scan(),
-                    free: sb.free(),
-                    cores: &views,
-                };
-                p.arrange(cycles + 1, &view, &mut order);
-            }
-            let mut any_progress = false;
-            for &idx in &order {
-                let scan_before = if P::ACTIVE { sb.scan() } else { 0 };
-                let core = &mut cores[idx];
-                let mut ctx = Ctx {
-                    heap,
-                    sb: &mut sb,
-                    mem: &mut mem,
-                    fifo: &mut fifo,
-                    done: &mut done,
-                    counters: &mut counters,
-                    test_before_lock: cfg.test_before_lock,
-                    line_split: cfg.line_split,
-                };
-                let outcome = core.tick(&mut ctx);
-                outcomes[idx] = outcome;
-                any_progress |= outcome == TickOutcome::Progress;
-                if P::ACTIVE {
-                    // Stall-run bookkeeping: a stalled tick extends the
-                    // open run (stamped `cycles + 1`, like every stall
-                    // this tick records); progress or parking closes it.
-                    let run = &mut stall_runs[idx];
-                    if let TickOutcome::Stalled(reason) = outcome {
-                        match run {
-                            Some((r, _, len)) if *r == reason => *len += 1,
-                            _ => {
-                                flush_stall_run(probe, idx, run);
-                                *run = Some((reason, cycles + 1, 1));
-                            }
-                        }
-                    } else {
-                        flush_stall_run(probe, idx, run);
-                    }
-                    // Transition events are stamped with the cycle the
-                    // tick completes (`cycles` increments just below).
-                    let state = cores[idx].state().index();
-                    if prev_states[idx] != state {
-                        prev_states[idx] = state;
-                        probe.record(
-                            cycles + 1,
-                            &Event::CoreState {
-                                core: idx as u32,
-                                state,
-                                name: State::name_of(state),
-                            },
-                        );
-                    }
-                    let scan_after = sb.scan();
-                    if scan_after != scan_before {
-                        probe.record(
-                            cycles + 1,
-                            &Event::WorklistClaim {
-                                core: idx as u32,
-                                from: scan_before,
-                                to: scan_after,
-                            },
-                        );
-                    }
-                }
-            }
-            cycles += 1;
-            if sb.scan() == sb.free() {
-                stats.empty_worklist_cycles += 1;
-            }
-            if P::ACTIVE {
-                let fifo_len = fifo.len() as u32;
-                if fifo_len != prev_fifo_len {
-                    prev_fifo_len = fifo_len;
-                    probe.record(cycles, &Event::FifoDepth { depth: fifo_len });
-                }
-                if probe.next_sample(cycles) == Some(cycles) {
-                    probe.record(
-                        cycles,
-                        &Event::Sample(SampleRec {
-                            scan: sb.scan(),
-                            free: sb.free(),
-                            gray_words: sb.free() - sb.scan(),
-                            busy_cores: sb.busy_count() as u32,
-                            fifo_len,
-                            queue_depth: mem.queue_len() as u32,
-                            states: &prev_states,
-                            state_name: State::name_of,
-                        }),
-                    );
-                }
-            }
-            if cores.iter().all(|c| c.state() == State::Done) && mem.all_idle() {
-                break;
-            }
-            assert!(
-                cycles < cfg.max_cycles,
-                "simulation exceeded {} cycles; oldest in-flight txn age {:?}; core states {:?}",
-                cfg.max_cycles,
-                mem.oldest_inflight_age(),
-                cores.iter().map(|c| c.state()).collect::<Vec<_>>()
-            );
-            // --- event-horizon fast-forward ----------------------------
-            // Every core just stalled (or is parked): with frozen SB
-            // registers, FIFO and heap, the coming cycles replay
-            // identically until memory changes something a core can see.
-            // Two flavors of skip alternate until the next core-visible
-            // event:
-            //  * horizon jump — nothing in the memory system moves until
-            //    the earliest in-service completion; jump there in one
-            //    step, replicating the skipped per-cycle statistics in
-            //    bulk;
-            //  * service-start replication — a queued request enters DRAM
-            //    service next tick, which no core can observe; run
-            //    `mem.tick()` for real and replay the cores' stalled
-            //    cycle without ticking them.
-            // The second bridges the one-cycle gap between "request
-            // queued" and "request in service" that would otherwise cost
-            // a full n-core tick in every stall window.
-            if ff_enabled && !any_progress {
-                // Each failed lock attempt emits a cycle-stamped event;
-                // those cannot be replicated outside `core.tick()`.
-                let events_pinned = sb.event_log_enabled()
-                    && outcomes.iter().any(|o| {
-                        matches!(
-                            o,
-                            TickOutcome::Stalled(
-                                StallReason::ScanLock
-                                    | StallReason::FreeLock
-                                    | StallReason::HeaderLock
-                            )
-                        )
-                    });
-                loop {
-                    if let Some(done_at) = mem.next_event_cycle() {
-                        // `mem`'s clock equals `cycles` here (aligned
-                        // after the root phase, ticked in lock step).
-                        let mut k = (done_at - 1).saturating_sub(mem.cycle());
-                        if P::ACTIVE {
-                            // Do not skip over a cycle the probe wants
-                            // sampled.
-                            if let Some(ns) = probe.next_sample(cycles + 1) {
-                                k = k.min(ns.saturating_sub(cycles + 1));
-                            }
-                        }
-                        if events_pinned {
-                            k = 0;
-                        }
-                        // Run out of cycles exactly where the naive loop
-                        // would panic.
-                        k = k.min(cfg.max_cycles - 1 - cycles);
+        if use_sparse {
+            // ===========================================================
+            // Sparse active-set loop. Contract: bit-identical GcStats, SB
+            // event log, probe streams and trace rows to the naive loop
+            // below (the differential tests compare both). A core ticks
+            // only while its next retry could succeed; otherwise it parks
+            // on the wake condition of its stall class:
+            //
+            //   ScanLock, holder-held ... SB scan-release list
+            //   ScanLock, write-port .... stays awake (port re-arms next
+            //                             cycle, the retry may succeed)
+            //   FreeLock ................ stays awake (the free lock never
+            //                             crosses a cycle boundary, so
+            //                             every failure is a same-cycle
+            //                             conflict)
+            //   HeaderLock .............. SB per-address header list
+            //   EmptySpin ............... SB empty list (set_free or a
+            //                             busy-bit clear re-arms the
+            //                             termination test it polls)
+            //   memory stalls, Drain .... memory wake feed (only a
+            //                             retirement of one of the core's
+            //                             own transactions can change its
+            //                             retry, and the feed reports
+            //                             every retirement)
+            //
+            // Lock-failure retries are impure (each failed attempt counts,
+            // and logs an event when the SB log is on): the skipped
+            // attempts are replayed in bulk at wake time, and with the
+            // event log on the lock classes simply stay awake so every
+            // per-cycle fail event is a real tick. All other parked
+            // retries are provably side-effect-free self-loops, so a
+            // skipped cycle replays as `record_n` alone.
+            //
+            // When every core is parked, the clock jumps straight to the
+            // earliest wake: the memory system's next activity (its
+            // retirement horizon — the event calendar of this engine; all
+            // SB wakes are caused by core ticks, which cannot happen while
+            // every core sleeps), capped at the next wanted trace sample.
+            // ===========================================================
+            sb.enable_wake_tracking();
+            mem.enable_wake_feed(cfg.n_cores);
+            let n = cfg.n_cores;
+            // Cores not parked. Parked ⇒ `park_reason` is `Some`, except
+            // for Done cores, which never wake (their naive ticks are
+            // no-op `Parked` outcomes).
+            let mut awake: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            // Cores ticking in the cycle currently executing.
+            let mut cur: u64;
+            let mut park_reason: Vec<Option<StallReason>> = vec![None; n];
+            // Cycle stamp of each core's parking tick (which recorded its
+            // own stall); replay at wake covers the cycles after it.
+            let mut park_since: Vec<u64> = vec![0; n];
+            // Position of each core in this cycle's arranged tick order.
+            let mut pos_of: Vec<usize> = vec![0; n];
+            // Drain buffer for SB wake notifications (the macro below
+            // needs `sb` mutably). A core sits on at most one list.
+            let mut wake_scratch: Vec<usize> = Vec::with_capacity(sb_slots);
+            let mut done_announced = false;
+            // O(1) termination: `Done` is entered only inside a tick and
+            // is permanent, so counting the transitions replaces the
+            // per-cycle all-cores scan. `mem.all_idle()` is still
+            // re-checked on every executed cycle, and with all cores
+            // `Done` the clock jumps straight to the retirement that
+            // drains the last transaction — the same cycle the naive
+            // loop's check first passes.
+            let mut done_count: usize = 0;
+
+            // Wake core `$w` if parked: replay the stalls its skipped
+            // retries would have recorded, then re-admit it — into the
+            // executing cycle when `$this_cycle` (its slot in the tick
+            // order is still ahead, or the wake arrived with the memory
+            // tick at cycle start), else from the next cycle. `cycles` is
+            // pre-increment here, so the executing cycle is `cycles + 1`:
+            // a core ticking this cycle replays `cycles - park_since`
+            // skipped stalls, one more if its retry this cycle already
+            // failed behind the waker's back.
+            macro_rules! wake_parked {
+                ($w:expr, $this_cycle:expr) => {{
+                    let w: usize = $w;
+                    if let Some(reason) = park_reason[w] {
+                        let this_cycle: bool = $this_cycle;
+                        let k = if this_cycle {
+                            cycles - park_since[w]
+                        } else {
+                            cycles + 1 - park_since[w]
+                        };
                         if k > 0 {
-                            cycles += k;
-                            sb.fast_forward(k);
-                            mem.fast_forward(k);
-                            if sb.scan() == sb.free() {
-                                stats.empty_worklist_cycles += k;
-                            }
-                            for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate()
-                            {
-                                if let TickOutcome::Stalled(reason) = *outcome {
-                                    core.stalls.record_n(reason, k);
-                                    if P::ACTIVE {
-                                        // The tick that opened this window
-                                        // left a matching run open; the
-                                        // jump extends it by `k` without
-                                        // emitting (the span closes when
-                                        // the stall resolves).
-                                        match &mut stall_runs[i] {
-                                            Some((r, _, len)) if *r == reason => *len += k,
-                                            run => {
-                                                flush_stall_run(probe, i, run);
-                                                *run = Some((reason, cycles - k + 1, k));
-                                            }
-                                        }
-                                    }
-                                    match reason {
-                                        StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, k),
-                                        StallReason::FreeLock => sb.bulk_fail(LockKind::Free, k),
-                                        StallReason::HeaderLock => {
-                                            sb.bulk_fail(LockKind::Header, k)
-                                        }
-                                        _ => {}
-                                    }
-                                }
-                            }
-                        }
-                        break;
-                    }
-                    if events_pinned
-                        || cycles + 1 >= cfg.max_cycles
-                        || !mem.next_tick_starts_service_only()
-                    {
-                        break;
-                    }
-                    // Replicate one cycle bit for bit: the real memory
-                    // tick (it only starts DRAM services, which no core
-                    // observes), the cores' unchanged stall outcomes, and
-                    // the loop epilogue.
-                    mem.tick();
-                    sb.begin_cycle();
-                    for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate() {
-                        if let TickOutcome::Stalled(reason) = *outcome {
-                            core.stalls.record_n(reason, 1);
-                            if P::ACTIVE {
-                                // Extend the open stall run exactly as a
-                                // naive iteration would have.
-                                match &mut stall_runs[i] {
-                                    Some((r, _, len)) if *r == reason => *len += 1,
-                                    run => {
-                                        flush_stall_run(probe, i, run);
-                                        *run = Some((reason, cycles + 1, 1));
-                                    }
-                                }
-                            }
+                            cores[w].stalls.record_n(reason, k);
+                            // Parked lock waiters fail their acquisition
+                            // every skipped cycle (and only park while the
+                            // SB event log is off — see the catalog).
                             match reason {
-                                StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, 1),
-                                StallReason::FreeLock => sb.bulk_fail(LockKind::Free, 1),
-                                StallReason::HeaderLock => sb.bulk_fail(LockKind::Header, 1),
+                                StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, k),
+                                StallReason::FreeLock => sb.bulk_fail(LockKind::Free, k),
+                                StallReason::HeaderLock => sb.bulk_fail(LockKind::Header, k),
                                 _ => {}
                             }
+                            if P::ACTIVE {
+                                match &mut stall_runs[w] {
+                                    Some((r, _, len)) if *r == reason => *len += k,
+                                    run => {
+                                        flush_stall_run(probe, w, run);
+                                        *run = Some((reason, park_since[w] + 1, k));
+                                    }
+                                }
+                            }
+                        }
+                        park_reason[w] = None;
+                        sb.cancel_park(w);
+                        awake |= 1u64 << w;
+                        if this_cycle {
+                            cur |= 1u64 << w;
                         }
                     }
-                    cycles += 1;
-                    if sb.scan() == sb.free() {
-                        stats.empty_worklist_cycles += 1;
+                }};
+            }
+
+            // One core's tick plus all its bookkeeping — shared by the
+            // policy-ordered scan and the static-priority bit iteration
+            // below. `$wake_this_cycle` is a predicate closure over a
+            // woken core's index: does its slot in this cycle's arranged
+            // order still lie ahead of the one ticking now?
+            macro_rules! tick_core {
+                ($idx:expr, $wake_this_cycle:expr) => {{
+                    let idx: usize = $idx;
+                    let wake_this_cycle = $wake_this_cycle;
+                    let scan_before = if P::ACTIVE { sb.scan() } else { 0 };
+                    let core = &mut cores[idx];
+                    let was_done = core.state() == State::Done;
+                    let mut ctx = Ctx {
+                        heap,
+                        sb: &mut sb,
+                        mem: &mut mem,
+                        fifo: &mut fifo,
+                        done: &mut done,
+                        counters: &mut counters,
+                        test_before_lock: cfg.test_before_lock,
+                        line_split: cfg.line_split,
+                    };
+                    let outcome = core.tick(&mut ctx);
+                    if !was_done && cores[idx].state() == State::Done {
+                        done_count += 1;
                     }
                     if P::ACTIVE {
-                        // The replicated cycle is transition-free for the
-                        // cores, the FIFO and the SB registers, so only a
-                        // wanted sample can be due.
-                        if probe.next_sample(cycles) == Some(cycles) {
+                        // Identical per-tick bookkeeping to the naive loop:
+                        // ticks are real here, only skipped retries differ.
+                        let run = &mut stall_runs[idx];
+                        if let TickOutcome::Stalled(reason) = outcome {
+                            match run {
+                                Some((r, _, len)) if *r == reason => *len += 1,
+                                _ => {
+                                    flush_stall_run(probe, idx, run);
+                                    *run = Some((reason, cycles + 1, 1));
+                                }
+                            }
+                        } else {
+                            flush_stall_run(probe, idx, run);
+                        }
+                        let state = cores[idx].state().index();
+                        if prev_states[idx] != state {
+                            prev_states[idx] = state;
+                            probe.record(
+                                cycles + 1,
+                                &Event::CoreState {
+                                    core: idx as u32,
+                                    state,
+                                    name: State::name_of(state),
+                                },
+                            );
+                        }
+                        let scan_after = sb.scan();
+                        if scan_after != scan_before {
+                            probe.record(
+                                cycles + 1,
+                                &Event::WorklistClaim {
+                                    core: idx as u32,
+                                    from: scan_before,
+                                    to: scan_after,
+                                },
+                            );
+                        }
+                    }
+                    // Park decision (see the wake-condition catalog above).
+                    if let TickOutcome::Stalled(reason) = outcome {
+                        let park = match reason {
+                            StallReason::ScanLock => match sb.scan_owner() {
+                                Some(_) if !sb.event_log_enabled() => {
+                                    sb.park_on_scan_release(idx);
+                                    true
+                                }
+                                // Write-port conflict (owner already gone)
+                                // clears at the next cycle boundary; with
+                                // the event log on, every per-cycle
+                                // FailScan must be a real tick.
+                                _ => false,
+                            },
+                            StallReason::FreeLock => false,
+                            StallReason::HeaderLock => {
+                                if sb.event_log_enabled() {
+                                    false
+                                } else {
+                                    let addr = cores[idx]
+                                        .pending_header()
+                                        .expect("header-lock stall without a pending header");
+                                    sb.park_on_header(idx, addr);
+                                    true
+                                }
+                            }
+                            StallReason::EmptySpin => {
+                                // The empty-worklist retry is pure (no
+                                // lock, no stats, no events), so this park
+                                // is legal even with the event log on.
+                                sb.park_on_empty(idx);
+                                true
+                            }
+                            StallReason::BodyLoad
+                            | StallReason::BodyStore
+                            | StallReason::HeaderLoad
+                            | StallReason::HeaderStore
+                            | StallReason::Drain => true,
+                        };
+                        if park {
+                            park_reason[idx] = Some(reason);
+                            park_since[idx] = cycles + 1;
+                            awake &= !(1u64 << idx);
+                        }
+                    } else if outcome == TickOutcome::Parked {
+                        // Done core: it never ticks again, and the
+                        // termination check below fires on the very cycle
+                        // the last core arrives — `Parked` naive ticks
+                        // record nothing, so nothing is replayed either.
+                        awake &= !(1u64 << idx);
+                    }
+                    // SB operations in this tick may have woken parked
+                    // cores. A woken core whose slot in the arranged order
+                    // is still ahead ticks this cycle (its retry now
+                    // succeeds, as in the naive loop); one whose slot
+                    // already passed failed once more behind the waker's
+                    // back and resumes next cycle.
+                    if !sb.wakes().is_empty() {
+                        wake_scratch.clear();
+                        wake_scratch.extend_from_slice(sb.wakes());
+                        sb.clear_wakes();
+                        for i in 0..wake_scratch.len() {
+                            let w = wake_scratch[i];
+                            wake_parked!(w, wake_this_cycle(w));
+                        }
+                    }
+                    if done && !done_announced {
+                        // Termination broadcast: the done flag is read by
+                        // every poll retry, so no park may outlive it.
+                        // (Every parked core also has an ordinary wake
+                        // pending — this is one-shot insurance.)
+                        done_announced = true;
+                        for c in 0..n {
+                            if park_reason[c].is_some() {
+                                wake_parked!(c, wake_this_cycle(c));
+                            }
+                        }
+                    }
+                }};
+            }
+
+            loop {
+                if awake == 0 {
+                    // Every core is parked: jump the clock to the earliest
+                    // wake. SB wakes need a core tick, so the only future
+                    // activity is the memory system's.
+                    let wake_target = mem.next_activity_cycle().unwrap_or(u64::MAX);
+                    assert!(
+                        wake_target != u64::MAX,
+                        "deadlock: every core parked with no wake condition; \
+                         park reasons {:?}; oldest in-flight txn age {:?}; core states {:?}",
+                        park_reason,
+                        mem.oldest_inflight_age(),
+                        cores.iter().map(|c| c.state()).collect::<Vec<_>>()
+                    );
+                    // Cores resume at `wake_target`; the skip covers the
+                    // hollow cycles before it — unless the probe wants a
+                    // cycle sampled first, in which case land exactly on
+                    // it (state is frozen, so the sample replays bit for
+                    // bit) and keep jumping from there.
+                    let mut k = wake_target - 1 - cycles;
+                    let mut sample_landing = false;
+                    if P::ACTIVE {
+                        if let Some(ns) = probe.next_sample(cycles + 1) {
+                            if ns < wake_target {
+                                k = ns - cycles;
+                                sample_landing = true;
+                            }
+                        }
+                    }
+                    // Run out of cycles exactly where the naive loop would
+                    // panic: cap the jump one short of the bound, so the
+                    // following (hollow) real cycle trips the epilogue
+                    // assert with the exact naive cycle count.
+                    let cap = cfg.max_cycles - 1 - cycles;
+                    if k > cap {
+                        k = cap;
+                        sample_landing = false;
+                    }
+                    if k > 0 {
+                        if let Some(p) = policy.as_deref_mut() {
+                            // Replay the per-cycle arranges against the
+                            // frozen state so the policy's RNG stream (and
+                            // therefore every later cycle's order) matches
+                            // the naive loop.
+                            for (i, (view, core)) in views.iter_mut().zip(&cores).enumerate() {
+                                *view = CoreView {
+                                    pending_header: core.pending_header(),
+                                    holds_header: sb.header_lock_of(i),
+                                    holds_scan: sb.holds_scan(i),
+                                    holds_free: sb.holds_free(i),
+                                    busy: sb.is_busy(i),
+                                };
+                            }
+                            let view = ScheduleView {
+                                scan: sb.scan(),
+                                free: sb.free(),
+                                cores: &views,
+                            };
+                            for x in 1..=k {
+                                p.arrange(cycles + x, &view, &mut order);
+                            }
+                        }
+                        cycles += k;
+                        sb.fast_forward(k);
+                        mem.fast_forward(k);
+                        if sb.scan() == sb.free() {
+                            stats.empty_worklist_cycles += k;
+                        }
+                        if P::ACTIVE && sample_landing {
                             probe.record(
                                 cycles,
                                 &Event::Sample(SampleRec {
@@ -574,9 +664,376 @@ impl SimCollector {
                                 }),
                             );
                         }
+                        continue;
                     }
-                    // The queue may now have drained into service, opening
-                    // a horizon jump on the next pass.
+                    // k == 0: the very next tick has memory work (a queued
+                    // service start or a comparator re-check); run it for
+                    // real below — with no cores ticking, it is cheap.
+                }
+
+                mem.tick();
+                sb.begin_cycle();
+                cur = awake;
+                // Retirements in this memory tick wake their owners into
+                // this cycle — exactly the cycle the naive loop would
+                // first see the retry succeed.
+                for i in 0..mem.wakes().len() {
+                    let w = mem.wakes()[i];
+                    wake_parked!(w, true);
+                }
+                mem.clear_wakes();
+                if let Some(p) = policy.as_deref_mut() {
+                    for (i, (view, core)) in views.iter_mut().zip(&cores).enumerate() {
+                        *view = CoreView {
+                            pending_header: core.pending_header(),
+                            holds_header: sb.header_lock_of(i),
+                            holds_scan: sb.holds_scan(i),
+                            holds_free: sb.holds_free(i),
+                            busy: sb.is_busy(i),
+                        };
+                    }
+                    let view = ScheduleView {
+                        scan: sb.scan(),
+                        free: sb.free(),
+                        cores: &views,
+                    };
+                    p.arrange(cycles + 1, &view, &mut order);
+                    for (pos, &idx) in order.iter().enumerate() {
+                        pos_of[idx] = pos;
+                    }
+                    for (pos, &idx) in order.iter().enumerate() {
+                        if cur & (1u64 << idx) == 0 {
+                            continue;
+                        }
+                        tick_core!(idx, |w: usize| pos_of[w] > pos);
+                    }
+                } else {
+                    // Static priority (the paper's arbiter): walk only the
+                    // set bits of `cur`, ascending — identical order, no
+                    // O(n_cores) scan. A wake during core `idx`'s tick
+                    // lands this cycle exactly when the woken index is
+                    // higher, and the re-OR after each tick folds any such
+                    // still-unvisited additions back into the iteration
+                    // (`(!1u64) << idx` is the bits strictly above `idx`).
+                    let mut rem = cur;
+                    while rem != 0 {
+                        let idx = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        tick_core!(idx, |w: usize| w > idx);
+                        rem |= cur & ((!1u64) << idx);
+                    }
+                }
+                cycles += 1;
+                if sb.scan() == sb.free() {
+                    stats.empty_worklist_cycles += 1;
+                }
+                if P::ACTIVE {
+                    let fifo_len = fifo.len() as u32;
+                    if fifo_len != prev_fifo_len {
+                        prev_fifo_len = fifo_len;
+                        probe.record(cycles, &Event::FifoDepth { depth: fifo_len });
+                    }
+                    if probe.next_sample(cycles) == Some(cycles) {
+                        probe.record(
+                            cycles,
+                            &Event::Sample(SampleRec {
+                                scan: sb.scan(),
+                                free: sb.free(),
+                                gray_words: sb.free() - sb.scan(),
+                                busy_cores: sb.busy_count() as u32,
+                                fifo_len,
+                                queue_depth: mem.queue_len() as u32,
+                                states: &prev_states,
+                                state_name: State::name_of,
+                            }),
+                        );
+                    }
+                }
+                if done_count == n && mem.all_idle() {
+                    break;
+                }
+                assert!(
+                    cycles < cfg.max_cycles,
+                    "simulation exceeded {} cycles; oldest in-flight txn age {:?}; core states {:?}",
+                    cfg.max_cycles,
+                    mem.oldest_inflight_age(),
+                    cores.iter().map(|c| c.state()).collect::<Vec<_>>()
+                );
+            }
+            debug_assert!(cores.iter().all(|c| c.state() == State::Done));
+        } else {
+            loop {
+                mem.tick();
+                sb.begin_cycle();
+                if let Some(m) = mutator.as_mut() {
+                    m.tick(heap, &mut sb, &mut fifo);
+                }
+                if let Some(p) = policy.as_deref_mut() {
+                    for (i, (view, core)) in views.iter_mut().zip(&cores).enumerate() {
+                        *view = CoreView {
+                            pending_header: core.pending_header(),
+                            holds_header: sb.header_lock_of(i),
+                            holds_scan: sb.holds_scan(i),
+                            holds_free: sb.holds_free(i),
+                            busy: sb.is_busy(i),
+                        };
+                    }
+                    let view = ScheduleView {
+                        scan: sb.scan(),
+                        free: sb.free(),
+                        cores: &views,
+                    };
+                    p.arrange(cycles + 1, &view, &mut order);
+                }
+                let mut any_progress = false;
+                for &idx in &order {
+                    let scan_before = if P::ACTIVE { sb.scan() } else { 0 };
+                    let core = &mut cores[idx];
+                    let mut ctx = Ctx {
+                        heap,
+                        sb: &mut sb,
+                        mem: &mut mem,
+                        fifo: &mut fifo,
+                        done: &mut done,
+                        counters: &mut counters,
+                        test_before_lock: cfg.test_before_lock,
+                        line_split: cfg.line_split,
+                    };
+                    let outcome = core.tick(&mut ctx);
+                    outcomes[idx] = outcome;
+                    any_progress |= outcome == TickOutcome::Progress;
+                    if P::ACTIVE {
+                        // Stall-run bookkeeping: a stalled tick extends the
+                        // open run (stamped `cycles + 1`, like every stall
+                        // this tick records); progress or parking closes it.
+                        let run = &mut stall_runs[idx];
+                        if let TickOutcome::Stalled(reason) = outcome {
+                            match run {
+                                Some((r, _, len)) if *r == reason => *len += 1,
+                                _ => {
+                                    flush_stall_run(probe, idx, run);
+                                    *run = Some((reason, cycles + 1, 1));
+                                }
+                            }
+                        } else {
+                            flush_stall_run(probe, idx, run);
+                        }
+                        // Transition events are stamped with the cycle the
+                        // tick completes (`cycles` increments just below).
+                        let state = cores[idx].state().index();
+                        if prev_states[idx] != state {
+                            prev_states[idx] = state;
+                            probe.record(
+                                cycles + 1,
+                                &Event::CoreState {
+                                    core: idx as u32,
+                                    state,
+                                    name: State::name_of(state),
+                                },
+                            );
+                        }
+                        let scan_after = sb.scan();
+                        if scan_after != scan_before {
+                            probe.record(
+                                cycles + 1,
+                                &Event::WorklistClaim {
+                                    core: idx as u32,
+                                    from: scan_before,
+                                    to: scan_after,
+                                },
+                            );
+                        }
+                    }
+                }
+                cycles += 1;
+                if sb.scan() == sb.free() {
+                    stats.empty_worklist_cycles += 1;
+                }
+                if P::ACTIVE {
+                    let fifo_len = fifo.len() as u32;
+                    if fifo_len != prev_fifo_len {
+                        prev_fifo_len = fifo_len;
+                        probe.record(cycles, &Event::FifoDepth { depth: fifo_len });
+                    }
+                    if probe.next_sample(cycles) == Some(cycles) {
+                        probe.record(
+                            cycles,
+                            &Event::Sample(SampleRec {
+                                scan: sb.scan(),
+                                free: sb.free(),
+                                gray_words: sb.free() - sb.scan(),
+                                busy_cores: sb.busy_count() as u32,
+                                fifo_len,
+                                queue_depth: mem.queue_len() as u32,
+                                states: &prev_states,
+                                state_name: State::name_of,
+                            }),
+                        );
+                    }
+                }
+                if cores.iter().all(|c| c.state() == State::Done) && mem.all_idle() {
+                    break;
+                }
+                assert!(
+                cycles < cfg.max_cycles,
+                "simulation exceeded {} cycles; oldest in-flight txn age {:?}; core states {:?}",
+                cfg.max_cycles,
+                mem.oldest_inflight_age(),
+                cores.iter().map(|c| c.state()).collect::<Vec<_>>()
+            );
+                // --- event-horizon fast-forward ----------------------------
+                // Every core just stalled (or is parked): with frozen SB
+                // registers, FIFO and heap, the coming cycles replay
+                // identically until memory changes something a core can see.
+                // Two flavors of skip alternate until the next core-visible
+                // event:
+                //  * horizon jump — nothing in the memory system moves until
+                //    the earliest in-service completion; jump there in one
+                //    step, replicating the skipped per-cycle statistics in
+                //    bulk;
+                //  * service-start replication — a queued request enters DRAM
+                //    service next tick, which no core can observe; run
+                //    `mem.tick()` for real and replay the cores' stalled
+                //    cycle without ticking them.
+                // The second bridges the one-cycle gap between "request
+                // queued" and "request in service" that would otherwise cost
+                // a full n-core tick in every stall window.
+                if ff_enabled && !any_progress {
+                    // Each failed lock attempt emits a cycle-stamped event;
+                    // those cannot be replicated outside `core.tick()`.
+                    let events_pinned = sb.event_log_enabled()
+                        && outcomes.iter().any(|o| {
+                            matches!(
+                                o,
+                                TickOutcome::Stalled(
+                                    StallReason::ScanLock
+                                        | StallReason::FreeLock
+                                        | StallReason::HeaderLock
+                                )
+                            )
+                        });
+                    loop {
+                        if let Some(done_at) = mem.next_event_cycle() {
+                            // `mem`'s clock equals `cycles` here (aligned
+                            // after the root phase, ticked in lock step).
+                            let mut k = (done_at - 1).saturating_sub(mem.cycle());
+                            if P::ACTIVE {
+                                // Do not skip over a cycle the probe wants
+                                // sampled.
+                                if let Some(ns) = probe.next_sample(cycles + 1) {
+                                    k = k.min(ns.saturating_sub(cycles + 1));
+                                }
+                            }
+                            if events_pinned {
+                                k = 0;
+                            }
+                            // Run out of cycles exactly where the naive loop
+                            // would panic.
+                            k = k.min(cfg.max_cycles - 1 - cycles);
+                            if k > 0 {
+                                cycles += k;
+                                sb.fast_forward(k);
+                                mem.fast_forward(k);
+                                if sb.scan() == sb.free() {
+                                    stats.empty_worklist_cycles += k;
+                                }
+                                for (i, (core, outcome)) in
+                                    cores.iter_mut().zip(&outcomes).enumerate()
+                                {
+                                    if let TickOutcome::Stalled(reason) = *outcome {
+                                        core.stalls.record_n(reason, k);
+                                        if P::ACTIVE {
+                                            // The tick that opened this window
+                                            // left a matching run open; the
+                                            // jump extends it by `k` without
+                                            // emitting (the span closes when
+                                            // the stall resolves).
+                                            match &mut stall_runs[i] {
+                                                Some((r, _, len)) if *r == reason => *len += k,
+                                                run => {
+                                                    flush_stall_run(probe, i, run);
+                                                    *run = Some((reason, cycles - k + 1, k));
+                                                }
+                                            }
+                                        }
+                                        match reason {
+                                            StallReason::ScanLock => {
+                                                sb.bulk_fail(LockKind::Scan, k)
+                                            }
+                                            StallReason::FreeLock => {
+                                                sb.bulk_fail(LockKind::Free, k)
+                                            }
+                                            StallReason::HeaderLock => {
+                                                sb.bulk_fail(LockKind::Header, k)
+                                            }
+                                            _ => {}
+                                        }
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        if events_pinned
+                            || cycles + 1 >= cfg.max_cycles
+                            || !mem.next_tick_starts_service_only()
+                        {
+                            break;
+                        }
+                        // Replicate one cycle bit for bit: the real memory
+                        // tick (it only starts DRAM services, which no core
+                        // observes), the cores' unchanged stall outcomes, and
+                        // the loop epilogue.
+                        mem.tick();
+                        sb.begin_cycle();
+                        for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate() {
+                            if let TickOutcome::Stalled(reason) = *outcome {
+                                core.stalls.record_n(reason, 1);
+                                if P::ACTIVE {
+                                    // Extend the open stall run exactly as a
+                                    // naive iteration would have.
+                                    match &mut stall_runs[i] {
+                                        Some((r, _, len)) if *r == reason => *len += 1,
+                                        run => {
+                                            flush_stall_run(probe, i, run);
+                                            *run = Some((reason, cycles + 1, 1));
+                                        }
+                                    }
+                                }
+                                match reason {
+                                    StallReason::ScanLock => sb.bulk_fail(LockKind::Scan, 1),
+                                    StallReason::FreeLock => sb.bulk_fail(LockKind::Free, 1),
+                                    StallReason::HeaderLock => sb.bulk_fail(LockKind::Header, 1),
+                                    _ => {}
+                                }
+                            }
+                        }
+                        cycles += 1;
+                        if sb.scan() == sb.free() {
+                            stats.empty_worklist_cycles += 1;
+                        }
+                        if P::ACTIVE {
+                            // The replicated cycle is transition-free for the
+                            // cores, the FIFO and the SB registers, so only a
+                            // wanted sample can be due.
+                            if probe.next_sample(cycles) == Some(cycles) {
+                                probe.record(
+                                    cycles,
+                                    &Event::Sample(SampleRec {
+                                        scan: sb.scan(),
+                                        free: sb.free(),
+                                        gray_words: sb.free() - sb.scan(),
+                                        busy_cores: sb.busy_count() as u32,
+                                        fifo_len: fifo.len() as u32,
+                                        queue_depth: mem.queue_len() as u32,
+                                        states: &prev_states,
+                                        state_name: State::name_of,
+                                    }),
+                                );
+                            }
+                        }
+                        // The queue may now have drained into service, opening
+                        // a horizon jump on the next pass.
+                    }
                 }
             }
         }
@@ -939,8 +1396,12 @@ mod tests {
         // replication error in stall/stat accounting would surface.
         use hwgc_memsim::MemConfig;
         for cores in [1, 2, 4, 16] {
+            // Pin the sparse engine off: this differential isolates the
+            // PR 2 fast-forward against the naive loop (the sparse engine
+            // has its own differentials below).
             let cfg = GcConfig {
                 mem: MemConfig::default().with_extra_latency(20),
+                sparse: false,
                 ..GcConfig::with_cores(cores)
             };
             let mut h1 = diamond(500);
@@ -961,6 +1422,7 @@ mod tests {
         use hwgc_memsim::MemConfig;
         let cfg = GcConfig {
             mem: MemConfig::default().with_extra_latency(20),
+            sparse: false,
             ..GcConfig::with_cores(4)
         };
         // Sparse sampling leaves room to skip between samples; the rows
@@ -1013,6 +1475,7 @@ mod tests {
         use hwgc_obs::{OwnedEvent, Recorder, Recording};
         let cfg = GcConfig {
             mem: MemConfig::default().with_extra_latency(20),
+            sparse: false,
             ..GcConfig::with_cores(4)
         };
         let run = |cfg: GcConfig| {
@@ -1063,6 +1526,147 @@ mod tests {
                     reason.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sparse_is_bit_exact_across_cores_and_latency() {
+        // The sparse active-set loop must replicate the naive loop's
+        // stats exactly in both the contended low-latency regime (parks
+        // are mostly lock waits) and the Figure 6 regime (+20 cycles per
+        // access, parks are mostly memory waits). `sparse: true` is
+        // explicit so the differential survives `HWGC_SPARSE=0` in CI.
+        use hwgc_memsim::MemConfig;
+        for extra in [0u32, 20] {
+            for cores in [1, 2, 4, 16] {
+                let cfg = GcConfig {
+                    mem: MemConfig::default().with_extra_latency(extra),
+                    sparse: true,
+                    ..GcConfig::with_cores(cores)
+                };
+                let mut h1 = diamond(500);
+                let sparse = SimCollector::new(cfg).collect(&mut h1);
+                let mut h2 = diamond(500);
+                let naive = SimCollector::new(GcConfig {
+                    sparse: false,
+                    fast_forward: false,
+                    ..cfg
+                })
+                .collect(&mut h2);
+                assert_eq!(sparse.stats, naive.stats, "{cores} cores +{extra}");
+                assert_eq!(sparse.free, naive.free, "{cores} cores +{extra}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_preserves_trace_rows_and_events() {
+        // `with_events` turns the SB event log on, which forbids parking
+        // the lock classes (each per-cycle fail logs an event): the rows,
+        // the complete SB event log, and the stats must all be identical
+        // at every sampling stride.
+        use hwgc_memsim::MemConfig;
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            sparse: true,
+            ..GcConfig::with_cores(4)
+        };
+        for sample_every in [1u64, 7, 1 << 40] {
+            let mut h1 = diamond(500);
+            let mut t1 = crate::trace::SignalTrace::with_events(sample_every);
+            let sparse = SimCollector::new(cfg).collect_traced(&mut h1, &mut t1);
+            let mut h2 = diamond(500);
+            let mut t2 = crate::trace::SignalTrace::with_events(sample_every);
+            let naive = SimCollector::new(GcConfig {
+                sparse: false,
+                fast_forward: false,
+                ..cfg
+            })
+            .collect_traced(&mut h2, &mut t2);
+            assert_eq!(sparse.stats, naive.stats, "sample_every {sample_every}");
+            assert_eq!(t1.rows(), t2.rows(), "sample_every {sample_every}");
+            assert_eq!(t1.events(), t2.events(), "sample_every {sample_every}");
+        }
+    }
+
+    #[test]
+    fn sparse_is_bit_exact_under_schedule_policies() {
+        // Unlike the PR 2 fast-forward (which a policy suppresses), the
+        // sparse engine composes with `SchedulePolicy`: policies reorder
+        // only runnable cores, and the per-cycle `arrange` stream is
+        // replayed through jumps, so the whole run — cycle counts and
+        // stall attribution included — is identical to the naive loop.
+        use crate::schedule::{Adversarial, RandomOrder, SchedulePolicy};
+        use hwgc_memsim::MemConfig;
+        for extra in [0u32, 20] {
+            let cfg = GcConfig {
+                mem: MemConfig::default().with_extra_latency(extra),
+                sparse: true,
+                ..GcConfig::with_cores(4)
+            };
+            for seed in [1u64, 42, 0xDEAD_BEEF] {
+                let make: [fn(u64) -> Box<dyn SchedulePolicy>; 2] = [
+                    |s| Box::new(RandomOrder::new(s)),
+                    |s| Box::new(Adversarial::new(s)),
+                ];
+                for mk in make {
+                    let mut p1 = mk(seed);
+                    let mut h1 = diamond(500);
+                    let sparse = SimCollector::new(cfg).collect_scheduled(&mut h1, p1.as_mut());
+                    let mut p2 = mk(seed);
+                    let mut h2 = diamond(500);
+                    let naive = SimCollector::new(GcConfig {
+                        sparse: false,
+                        ..cfg
+                    })
+                    .collect_scheduled(&mut h2, p2.as_mut());
+                    assert_eq!(
+                        sparse.stats,
+                        naive.stats,
+                        "{} seed {seed} +{extra}",
+                        p1.name()
+                    );
+                    assert_eq!(sparse.free, naive.free, "{} seed {seed}", p1.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_preserves_probe_streams() {
+        // The full probe-bus recording — stall spans, core-state edges,
+        // worklist claims, FIFO depths, samples, SB events — must be
+        // bit-identical, with both a sampling recorder (forces jump
+        // landings on sample cycles) and a transition-only one.
+        use hwgc_memsim::MemConfig;
+        use hwgc_obs::Recorder;
+        let cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(20),
+            sparse: true,
+            ..GcConfig::with_cores(4)
+        };
+        for sample in [Some(8u64), None] {
+            let mk = || match sample {
+                Some(n) => Recorder::sampling(n),
+                None => Recorder::new(),
+            };
+            let mut r1 = mk();
+            let mut h1 = diamond(500);
+            let sparse = SimCollector::new(cfg).collect_probed(&mut h1, &mut r1);
+            let mut r2 = mk();
+            let mut h2 = diamond(500);
+            let naive = SimCollector::new(GcConfig {
+                sparse: false,
+                fast_forward: false,
+                ..cfg
+            })
+            .collect_probed(&mut h2, &mut r2);
+            assert_eq!(sparse.stats, naive.stats, "sample {sample:?}");
+            assert_eq!(
+                r1.recording().events,
+                r2.recording().events,
+                "sample {sample:?}"
+            );
         }
     }
 

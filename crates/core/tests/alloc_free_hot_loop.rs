@@ -62,52 +62,63 @@ fn collect_counting(heap: &mut Heap, cfg: GcConfig) -> (u64, u64) {
 
 #[test]
 fn steady_state_cycles_do_not_allocate() {
-    // fast_forward off so every simulated cycle actually runs the loop
-    // body this test is about.
-    let cfg = GcConfig {
+    // Both steady-state engines are covered: the naive per-cycle loop
+    // (sparse and fast-forward pinned off so every simulated cycle runs
+    // the loop body) and the sparse active-set loop, whose park/wake
+    // machinery — wake lists, wake feed, retirement calendar, replay
+    // scratch — must likewise be preallocated before cycle 0.
+    let naive = GcConfig {
+        sparse: false,
         fast_forward: false,
         ..GcConfig::with_cores(4)
     };
-    let mut small = chain(64);
-    let mut large = chain(512);
+    let sparse = GcConfig {
+        sparse: true,
+        ..GcConfig::with_cores(4)
+    };
+    for (mode, cfg) in [("naive", naive), ("sparse", sparse)] {
+        let mut small = chain(64);
+        let mut large = chain(512);
 
-    // Warm-up: allocator internals (size-class metadata etc.) may lazily
-    // allocate on first use; measure on the second run of each shape.
-    collect_counting(&mut chain(64), cfg);
-    collect_counting(&mut chain(512), cfg);
+        // Warm-up: allocator internals (size-class metadata etc.) may
+        // lazily allocate on first use; measure on the second run of
+        // each shape.
+        collect_counting(&mut chain(64), cfg);
+        collect_counting(&mut chain(512), cfg);
 
-    let (small_allocs, small_cycles) = collect_counting(&mut small, cfg);
-    let (large_allocs, large_cycles) = collect_counting(&mut large, cfg);
-    assert!(
-        large_cycles > small_cycles + 1_000,
-        "chain lengths must separate the cycle counts ({small_cycles} vs {large_cycles})"
-    );
-    assert_eq!(
-        small_allocs,
-        large_allocs,
-        "per-cycle allocations detected: {} extra allocations over {} extra cycles",
-        large_allocs as i64 - small_allocs as i64,
-        large_cycles - small_cycles
-    );
+        let (small_allocs, small_cycles) = collect_counting(&mut small, cfg);
+        let (large_allocs, large_cycles) = collect_counting(&mut large, cfg);
+        assert!(
+            large_cycles > small_cycles + 1_000,
+            "{mode}: chain lengths must separate the cycle counts ({small_cycles} vs {large_cycles})"
+        );
+        assert_eq!(
+            small_allocs,
+            large_allocs,
+            "{mode}: per-cycle allocations detected: {} extra allocations over {} extra cycles",
+            large_allocs as i64 - small_allocs as i64,
+            large_cycles - small_cycles
+        );
 
-    // A traced run may allocate for the sampled rows themselves (the rows
-    // vector doubling as it grows), but still nothing per *cycle*: the
-    // per-row core states live inline, so a sparse trace adds only
-    // O(log rows) allocations.
-    let mut trace = SignalTrace::new(4096);
-    let mut heap = chain(512);
-    let before = ALLOCS.load(Ordering::Relaxed);
-    SimCollector::new(cfg).collect_traced(&mut heap, &mut trace);
-    let traced_delta = ALLOCS.load(Ordering::Relaxed) - before;
-    let untraced = large_allocs;
-    assert!(
-        !trace.rows().is_empty(),
-        "the chain must run long enough to sample at least one row"
-    );
-    assert!(
-        traced_delta <= untraced + 64,
-        "tracing added {} allocations over the untraced run ({} rows)",
-        traced_delta as i64 - untraced as i64,
-        trace.rows().len()
-    );
+        // A traced run may allocate for the sampled rows themselves (the
+        // rows vector doubling as it grows), but still nothing per
+        // *cycle*: the per-row core states live inline, so a sparse
+        // trace adds only O(log rows) allocations.
+        let mut trace = SignalTrace::new(4096);
+        let mut heap = chain(512);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        SimCollector::new(cfg).collect_traced(&mut heap, &mut trace);
+        let traced_delta = ALLOCS.load(Ordering::Relaxed) - before;
+        let untraced = large_allocs;
+        assert!(
+            !trace.rows().is_empty(),
+            "{mode}: the chain must run long enough to sample at least one row"
+        );
+        assert!(
+            traced_delta <= untraced + 64,
+            "{mode}: tracing added {} allocations over the untraced run ({} rows)",
+            traced_delta as i64 - untraced as i64,
+            trace.rows().len()
+        );
+    }
 }

@@ -1,6 +1,7 @@
 //! The memory access scheduler and DRAM timing model.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Memory-system configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,9 +223,26 @@ pub struct MemorySystem {
     blocked: usize,
     complete: usize,
     next_retire: u64,
+    /// Retirement calendar: one `(done_at, core, port)` entry per
+    /// in-service transaction, min-ordered. A retire cycle pops exactly
+    /// the transactions that are due instead of scanning every port
+    /// buffer and then rescanning to recompute `next_retire` — the scans
+    /// were O(cores × ports) on nearly every cycle at 16 cores, and
+    /// dominated the whole simulator (see DESIGN.md "profiling the
+    /// simulator"). In-service transactions never cancel, so the calendar
+    /// holds no stale entries, and within a cycle the `(core, port)` tie
+    /// break reproduces the old scan's retire order exactly (ports are
+    /// declared in index order). Bounded by the port-buffer count, so the
+    /// preallocated heap never grows.
+    retire_cal: BinaryHeap<Reverse<(u64, u32, u8)>>,
     /// Set when a pending header store retired; the comparator re-check
     /// can only unblock a load on such a cycle.
     pending_stores_dirty: bool,
+    /// Sparse-engine wake feed (`None` = off): core ids whose transactions
+    /// retired since the engine last drained. A core parked on a memory
+    /// stall re-ticks when its id appears here — retirement is the only
+    /// event that can make its retry succeed.
+    wake_feed: Option<Vec<usize>>,
     /// Cycle-stamped transition log; `None` (the default) records nothing
     /// and costs nothing.
     events: Option<Vec<MemEventRecord>>,
@@ -253,7 +271,9 @@ impl MemorySystem {
             blocked: 0,
             complete: 0,
             next_retire: u64::MAX,
+            retire_cal: BinaryHeap::with_capacity(n_cores * PORT_COUNT + PORT_COUNT),
             pending_stores_dirty: false,
+            wake_feed: None,
             events: None,
         }
     }
@@ -274,6 +294,37 @@ impl MemorySystem {
     /// Take ownership of the recorded events (empty if logging was off).
     pub fn take_event_log(&mut self) -> Vec<MemEventRecord> {
         self.events.take().unwrap_or_default()
+    }
+
+    // --- sparse-engine wake feed ---------------------------------------
+
+    /// Turn on the wake feed (see the `wake_feed` field). Off by default;
+    /// the naive loop pays nothing.
+    pub fn enable_wake_feed(&mut self, n_cores: usize) {
+        // One outstanding transaction per (core, port): a single tick can
+        // retire at most PORT_COUNT entries per core.
+        self.wake_feed = Some(Vec::with_capacity(n_cores * PORT_COUNT));
+    }
+
+    /// Core ids whose transactions retired since the last
+    /// [`MemorySystem::clear_wakes`] (duplicates possible — one entry per
+    /// retirement).
+    pub fn wakes(&self) -> &[usize] {
+        self.wake_feed.as_deref().unwrap_or(&[])
+    }
+
+    /// Forget the drained wake notifications.
+    pub fn clear_wakes(&mut self) {
+        if let Some(feed) = &mut self.wake_feed {
+            feed.clear();
+        }
+    }
+
+    #[inline]
+    fn push_wake(&mut self, core: usize) {
+        if let Some(feed) = &mut self.wake_feed {
+            feed.push(core);
+        }
     }
 
     #[inline]
@@ -357,49 +408,47 @@ impl MemorySystem {
         self.cycle += 1;
         self.stats.cycles += 1;
 
-        // 1. Retire in-service transactions that are done. The earliest
-        // completion is tracked in `next_retire`, so cycles with nothing
-        // to retire skip the port scan entirely.
+        // 1. Retire in-service transactions that are done: pop exactly
+        // the due entries off the retirement calendar (min-ordered, so
+        // ties retire in the same `(core, port)` order the old full port
+        // scan produced). `next_retire` is the calendar's minimum, so
+        // cycles with nothing to retire cost one comparison.
         if self.in_service > 0 && self.next_retire <= self.cycle {
-            for core in 0..self.ports.len() {
-                for port in Port::ALL {
-                    if let Some(txn) = &mut self.ports[core][port as usize] {
-                        if let TxnState::InService { done_at } = txn.state {
-                            if done_at <= self.cycle {
-                                self.in_service -= 1;
-                                if port.is_load() {
-                                    txn.state = TxnState::Complete;
-                                    self.complete += 1;
-                                } else {
-                                    // Stores retire fully; free the buffer.
-                                    if port == Port::HeaderStore {
-                                        let addr = txn.addr;
-                                        remove_one(&mut self.pending_header_stores, addr);
-                                        self.pending_stores_dirty = true;
-                                    }
-                                    self.ports[core][port as usize] = None;
-                                    self.occupied -= 1;
-                                }
-                                self.log(MemEvent::Retire {
-                                    core: core as u32,
-                                    port,
-                                });
-                            }
-                        }
-                    }
+            while let Some(&Reverse((done_at, core, port_idx))) = self.retire_cal.peek() {
+                if done_at > self.cycle {
+                    break;
                 }
+                self.retire_cal.pop();
+                let core = core as usize;
+                let port = Port::ALL[port_idx as usize];
+                let txn = self.ports[core][port_idx as usize]
+                    .as_mut()
+                    .expect("calendar entry without a transaction");
+                debug_assert_eq!(txn.state, TxnState::InService { done_at });
+                self.in_service -= 1;
+                if port.is_load() {
+                    txn.state = TxnState::Complete;
+                    self.complete += 1;
+                } else {
+                    // Stores retire fully; free the buffer.
+                    if port == Port::HeaderStore {
+                        let addr = txn.addr;
+                        remove_one(&mut self.pending_header_stores, addr);
+                        self.pending_stores_dirty = true;
+                    }
+                    self.ports[core][port_idx as usize] = None;
+                    self.occupied -= 1;
+                }
+                self.log(MemEvent::Retire {
+                    core: core as u32,
+                    port,
+                });
+                self.push_wake(core);
             }
-            // Recompute the horizon over whatever is still in service.
-            self.next_retire = self
-                .ports
-                .iter()
-                .flat_map(|p| p.iter().flatten())
-                .filter_map(|t| match t.state {
-                    TxnState::InService { done_at } => Some(done_at),
-                    _ => None,
-                })
-                .min()
-                .unwrap_or(u64::MAX);
+            self.next_retire = match self.retire_cal.peek() {
+                Some(&Reverse((done_at, _, _))) => done_at,
+                None => u64::MAX,
+            };
         }
 
         // 2. Unblock header loads (comparator array re-check). A blocked
@@ -471,6 +520,7 @@ impl MemorySystem {
                         core: core as u32,
                         port,
                     });
+                    self.push_wake(core);
                     continue;
                 }
                 let done_at = self.cycle + latency as u64;
@@ -480,6 +530,8 @@ impl MemorySystem {
                 debug_assert_eq!(txn.state, TxnState::Queued);
                 txn.state = TxnState::InService { done_at };
                 self.in_service += 1;
+                self.retire_cal
+                    .push(Reverse((done_at, core as u32, port as u8)));
                 self.next_retire = self.next_retire.min(done_at);
             }
         }
@@ -656,8 +708,34 @@ impl MemorySystem {
         // consumed by the owning core's next tick — neither is a dead
         // cycle. Blocked header loads only move when the matching store
         // retires, which is itself an in-service completion — covered by
-        // the horizon. All tracked by counter, so this is O(1).
-        if !self.queue.is_empty() || self.complete > 0 || self.in_service == 0 {
+        // the horizon — except for a zero-latency store retiring at
+        // service start, which leaves the dirty flag set for the next
+        // tick's comparator re-check. All tracked by counter/flag, O(1).
+        if !self.queue.is_empty()
+            || self.complete > 0
+            || self.pending_stores_dirty
+            || self.in_service == 0
+        {
+            return None;
+        }
+        Some(self.next_retire)
+    }
+
+    /// The next cycle at which this memory system can change any state a
+    /// core reads, assuming no new requests arrive in between. `None`
+    /// means never: nothing queued, nothing in service, no comparator
+    /// re-check pending — the memory system is quiet until a core acts.
+    ///
+    /// Unlike [`MemorySystem::next_event_cycle`] this does not demand
+    /// global quiescence, so the sparse engine can jump while some cores
+    /// still run: completed loads are ignored (their owners were already
+    /// woken when the data arrived), and a non-empty queue or a pending
+    /// re-check simply bounds the jump at the very next tick.
+    pub fn next_activity_cycle(&self) -> Option<u64> {
+        if !self.queue.is_empty() || self.pending_stores_dirty {
+            return Some(self.cycle + 1);
+        }
+        if self.in_service == 0 {
             return None;
         }
         Some(self.next_retire)
@@ -1129,6 +1207,96 @@ mod tests {
             m.load_ready(1, Port::BodyLoad) && !m.load_ready(0, Port::BodyLoad)
         });
         assert!(inverted, "no seed inverted the service order");
+    }
+
+    #[test]
+    fn wake_feed_reports_retirements() {
+        let mut m = mem(2); // latency 3, bandwidth 2
+        m.enable_wake_feed(2);
+        assert!(m.wakes().is_empty());
+        assert!(m.try_issue(0, Port::BodyLoad, 10));
+        assert!(m.try_issue(1, Port::BodyStore, 20));
+        m.tick(); // both start service: done at cycle 4
+        assert!(m.wakes().is_empty(), "nothing retired yet");
+        m.tick();
+        m.tick();
+        m.tick(); // cycle 4: both retire
+        assert_eq!(m.wakes(), &[0, 1]);
+        m.clear_wakes();
+        assert!(m.wakes().is_empty());
+        m.consume_load(0, Port::BodyLoad);
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn wake_feed_reports_zero_latency_burst_retirements() {
+        // Sequential body stores: the second continues the burst and
+        // retires within the tick that starts its service.
+        let mut m = mem(1);
+        m.enable_wake_feed(1);
+        assert!(m.try_issue(0, Port::BodyStore, 100));
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert_eq!(m.wakes(), &[0]);
+        m.clear_wakes();
+        assert!(m.try_issue(0, Port::BodyStore, 101));
+        m.tick(); // burst continuation: latency 0, retires at service start
+        assert_eq!(m.wakes(), &[0]);
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn next_activity_tracks_queue_service_and_quiet() {
+        let mut m = mem(2); // latency 3, bandwidth 2
+        assert_eq!(m.next_activity_cycle(), None, "idle system is quiet");
+        assert!(m.try_issue(0, Port::BodyLoad, 10));
+        assert_eq!(
+            m.next_activity_cycle(),
+            Some(m.cycle() + 1),
+            "queued request starts service next tick"
+        );
+        m.tick(); // service starts at cycle 1, retires at 4
+        assert_eq!(m.next_activity_cycle(), Some(4));
+        m.tick();
+        assert_eq!(m.next_activity_cycle(), Some(4), "horizon is absolute");
+        m.tick();
+        m.tick(); // retires
+        assert_eq!(
+            m.next_activity_cycle(),
+            None,
+            "a completed load awaiting its owner is not future activity"
+        );
+        m.consume_load(0, Port::BodyLoad);
+        assert_eq!(m.next_activity_cycle(), None);
+    }
+
+    #[test]
+    fn next_activity_bounds_jump_at_pending_comparator_recheck() {
+        // Under zero DRAM latency a header store retires within the tick
+        // that starts its service, leaving the dirty flag set for the
+        // *next* tick's comparator re-check; neither horizon may jump
+        // past that tick.
+        let mut m = MemorySystem::new(
+            1,
+            MemConfig {
+                latency: 0,
+                bandwidth: 1,
+                header_fifo_capacity: 16,
+                ..MemConfig::default()
+            },
+        );
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        m.tick(); // service starts and retires in one tick
+        assert!(m.all_idle());
+        assert_eq!(m.next_activity_cycle(), Some(m.cycle() + 1));
+        assert_eq!(
+            m.next_event_cycle(),
+            None,
+            "global horizon is equally conservative about the re-check"
+        );
+        m.tick();
+        assert_eq!(m.next_activity_cycle(), None);
     }
 
     #[test]

@@ -155,6 +155,18 @@ pub struct SyncBlock {
     /// claim/evacuation atomicity — only the write-port conflict
     /// disappears. Not a paper configuration.
     multiport: bool,
+    /// Incremental index of held header locks as `(addr, core)` pairs —
+    /// the `Some` entries of `header_regs`. The hardware compares a lock
+    /// attempt against all registers in parallel; scanning the whole
+    /// vector per attempt made [`SyncBlock::try_lock_header`] O(n_cores)
+    /// on the hottest simulator path. Conflict checks walk this list
+    /// (O(#held), typically 0–2) instead; `header_regs` stays the
+    /// authoritative register file and cross-checks the index under
+    /// `debug_assert`.
+    held_headers: Vec<(u32, u32)>,
+    /// Sparse-engine wake lists (`None` = tracking off; the naive engine
+    /// loop pays nothing). See [`SyncBlock::enable_wake_tracking`].
+    wake: Option<WakeLists>,
     /// SB clock: number of `begin_cycle` calls (adjustable via
     /// `set_cycle` so event stamps match the engine's numbering).
     cycle: u64,
@@ -185,6 +197,9 @@ impl SyncBlock {
             scan_written: false,
             free_written: false,
             multiport: false,
+            // At most one held header lock per core.
+            held_headers: Vec::with_capacity(n_cores),
+            wake: None,
             cycle: 0,
             events: None,
             stats: SyncStats::default(),
@@ -229,15 +244,17 @@ impl SyncBlock {
         self.events.is_some()
     }
 
-    /// Skip `k` dead cycles in one jump. Only legal when no core touched
-    /// the SB this cycle (the register write ports are unarmed) — each
-    /// skipped cycle would merely have called [`SyncBlock::begin_cycle`]
-    /// on an untouched SB.
+    /// Skip `k` dead cycles in one jump: each skipped cycle would merely
+    /// have called [`SyncBlock::begin_cycle`] on an SB no core touches, so
+    /// the write ports are re-armed once and the clock advances by `k`.
+    /// (The ports *may* be armed on entry — e.g. a core sets `free` and
+    /// then stalls on a memory port in the same tick — which is exactly
+    /// the state the first skipped `begin_cycle` would have cleared.)
     pub fn fast_forward(&mut self, k: u64) {
-        debug_assert!(
-            !self.scan_written && !self.free_written,
-            "fast-forward across a register write"
-        );
+        if k > 0 {
+            self.scan_written = false;
+            self.free_written = false;
+        }
         self.cycle += k;
     }
 
@@ -337,6 +354,9 @@ impl SyncBlock {
         });
         self.free = value;
         self.free_written = true;
+        if let Some(w) = &mut self.wake {
+            w.wake_empty();
+        }
     }
 
     /// Cycle boundary: the engine calls this once per clock to re-arm the
@@ -377,6 +397,14 @@ impl SyncBlock {
         assert_eq!(self.scan_owner, Some(core), "scan release without lock");
         self.scan_owner = None;
         self.log(SbEvent::ReleaseScan { core });
+        if let Some(w) = &mut self.wake {
+            w.wake_scan_release();
+        }
+    }
+
+    /// The core currently holding the `scan` lock, if any.
+    pub fn scan_owner(&self) -> Option<usize> {
+        self.scan_owner
     }
 
     /// Attempt to acquire the `free` lock. Zero-cost when uncontended,
@@ -436,10 +464,17 @@ impl SyncBlock {
             "core {core} already holds a different header lock"
         );
         let taken = self
-            .header_regs
+            .held_headers
             .iter()
-            .enumerate()
-            .any(|(c, &reg)| c != core && reg == Some(addr));
+            .any(|&(a, c)| a == addr && c != core as u32);
+        debug_assert_eq!(
+            taken,
+            self.header_regs
+                .iter()
+                .enumerate()
+                .any(|(c, &reg)| c != core && reg == Some(addr)),
+            "held-header index out of sync with the register file"
+        );
         if taken {
             self.stats.failed_attempts[2] += 1;
             self.log(SbEvent::FailHeader { core, addr });
@@ -448,6 +483,7 @@ impl SyncBlock {
             if self.header_regs[core] != Some(addr) {
                 self.stats.acquisitions[2] += 1;
                 self.log(SbEvent::LockHeader { core, addr });
+                self.held_headers.push((addr, core as u32));
             }
             self.header_regs[core] = Some(addr);
             true
@@ -458,7 +494,16 @@ impl SyncBlock {
     pub fn unlock_header(&mut self, core: usize) {
         let addr = self.header_regs[core].expect("header unlock without lock");
         self.header_regs[core] = None;
+        let idx = self
+            .held_headers
+            .iter()
+            .position(|&(_, c)| c == core as u32)
+            .expect("held-header index missing an entry");
+        self.held_headers.swap_remove(idx);
         self.log(SbEvent::UnlockHeader { core, addr });
+        if let Some(w) = &mut self.wake {
+            w.wake_header(addr);
+        }
     }
 
     /// The address currently locked by `core`, if any.
@@ -482,6 +527,9 @@ impl SyncBlock {
         if self.busy[core] {
             self.busy[core] = false;
             self.busy_n -= 1;
+            if let Some(w) = &mut self.wake {
+                w.wake_empty();
+            }
         }
         self.log(SbEvent::ClearBusy { core });
     }
@@ -566,9 +614,134 @@ impl SyncBlock {
             self.header_regs.iter().all(Option::is_none),
             "header lock leaked"
         );
+        assert!(self.held_headers.is_empty(), "held-header index leaked");
         assert!(self.busy.iter().all(|&b| !b), "busy bit leaked");
         assert!(self.splits.is_empty(), "split object leaked");
         assert_eq!(self.scan_chunk_off, 0, "chunk offset leaked");
+    }
+
+    // --- sparse-engine wake lists --------------------------------------
+
+    /// Turn on the wake lists the sparse engine parks stalled cores on.
+    /// Off by default — the naive loop and the checkers never consult
+    /// them, and every hook below is a `None` test when off.
+    pub fn enable_wake_tracking(&mut self) {
+        self.wake = Some(WakeLists::new(self.n_cores));
+    }
+
+    /// Park `core` until the scan lock is next released.
+    pub fn park_on_scan_release(&mut self, core: usize) {
+        let w = self.wake.as_mut().expect("wake tracking off");
+        w.scan_release |= 1u64 << core;
+    }
+
+    /// Park `core` until the header lock on `addr` is released.
+    pub fn park_on_header(&mut self, core: usize, addr: u32) {
+        let w = self.wake.as_mut().expect("wake tracking off");
+        if w.header[core].replace(addr).is_none() {
+            w.header_n += 1;
+        }
+    }
+
+    /// Park `core` in the empty-worklist spin: woken when `free` moves or
+    /// a busy bit clears (either can change the termination test it is
+    /// polling).
+    pub fn park_on_empty(&mut self, core: usize) {
+        let w = self.wake.as_mut().expect("wake tracking off");
+        w.empty |= 1u64 << core;
+    }
+
+    /// Remove `core` from every wake list (the engine woke it by other
+    /// means — a timer, a memory retirement, or the done broadcast). A
+    /// no-op if the core is not parked here or tracking is off.
+    pub fn cancel_park(&mut self, core: usize) {
+        if let Some(w) = &mut self.wake {
+            w.scan_release &= !(1u64 << core);
+            w.empty &= !(1u64 << core);
+            if w.header[core].take().is_some() {
+                w.header_n -= 1;
+            }
+        }
+    }
+
+    /// Cores woken by SB operations since the last
+    /// [`SyncBlock::clear_wakes`], in ascending-core order per wake event.
+    /// Woken cores have already been removed from their lists.
+    pub fn wakes(&self) -> &[usize] {
+        self.wake.as_ref().map_or(&[], |w| &w.woken)
+    }
+
+    /// Forget the drained wake notifications.
+    pub fn clear_wakes(&mut self) {
+        if let Some(w) = &mut self.wake {
+            w.woken.clear();
+        }
+    }
+}
+
+/// Per-resource lists of parked cores for the sparse engine. A core on a
+/// list has proven its next retry must fail until the listed SB operation
+/// happens; the hooks in [`SyncBlock::release_scan`],
+/// [`SyncBlock::unlock_header`], [`SyncBlock::set_free`] and
+/// [`SyncBlock::clear_busy`] move it to `woken` the moment that operation
+/// executes. Spurious wakes are safe (the core re-ticks and re-parks);
+/// only a *missed* wake would break the sparse engine's bit-exactness.
+#[derive(Debug, Clone)]
+struct WakeLists {
+    /// Cores parked until the scan lock's next release (bitmask).
+    scan_release: u64,
+    /// Cores parked in the empty-worklist spin (bitmask).
+    empty: u64,
+    /// Per-core header address the core is parked on.
+    header: Vec<Option<u32>>,
+    /// Number of `Some` entries in `header` (skip the scan when zero).
+    header_n: usize,
+    /// Cores woken since the engine last drained, in wake order.
+    woken: Vec<usize>,
+}
+
+impl WakeLists {
+    fn new(n_cores: usize) -> WakeLists {
+        assert!(n_cores <= 64, "wake bitmasks hold at most 64 cores");
+        WakeLists {
+            scan_release: 0,
+            empty: 0,
+            header: vec![None; n_cores],
+            header_n: 0,
+            woken: Vec::with_capacity(n_cores),
+        }
+    }
+
+    fn drain_mask(&mut self, mut mask: u64) {
+        while mask != 0 {
+            self.woken.push(mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+        }
+    }
+
+    fn wake_scan_release(&mut self) {
+        let m = self.scan_release;
+        self.scan_release = 0;
+        self.drain_mask(m);
+    }
+
+    fn wake_empty(&mut self) {
+        let m = self.empty;
+        self.empty = 0;
+        self.drain_mask(m);
+    }
+
+    fn wake_header(&mut self, addr: u32) {
+        if self.header_n == 0 {
+            return;
+        }
+        for c in 0..self.header.len() {
+            if self.header[c] == Some(addr) {
+                self.header[c] = None;
+                self.header_n -= 1;
+                self.woken.push(c);
+            }
+        }
     }
 }
 
@@ -818,5 +991,86 @@ mod tests {
         sb.set_cycle(10);
         sb.begin_cycle();
         assert_eq!(sb.cycle(), 11);
+    }
+
+    #[test]
+    fn held_header_index_tracks_lock_churn() {
+        // Exercise acquire / idempotent re-acquire / conflicting attempt /
+        // swap-removed release; the debug_assert in try_lock_header
+        // cross-checks the index against the register file on every call.
+        let mut sb = SyncBlock::new(4);
+        assert!(sb.try_lock_header(0, 0xA0));
+        assert!(sb.try_lock_header(1, 0xB0));
+        assert!(sb.try_lock_header(2, 0xC0));
+        assert!(sb.try_lock_header(1, 0xB0)); // idempotent: no new entry
+        assert!(!sb.try_lock_header(3, 0xB0));
+        sb.unlock_header(0); // swap_remove moves the tail entry
+        assert!(!sb.try_lock_header(0, 0xC0));
+        assert!(sb.try_lock_header(0, 0xA0)); // released addr is free again
+        sb.unlock_header(0);
+        sb.unlock_header(1);
+        assert!(sb.try_lock_header(3, 0xB0));
+        sb.unlock_header(2);
+        sb.unlock_header(3);
+        sb.assert_quiescent();
+    }
+
+    #[test]
+    fn wake_lists_fire_on_release_setfree_and_clearbusy() {
+        let mut sb = SyncBlock::new(4);
+        sb.enable_wake_tracking();
+        assert!(sb.wakes().is_empty());
+
+        // Scan-release wakes every core parked on it, ascending.
+        assert!(sb.try_acquire_scan(0));
+        sb.park_on_scan_release(2);
+        sb.park_on_scan_release(1);
+        sb.release_scan(0);
+        assert_eq!(sb.wakes(), &[1, 2]);
+        sb.clear_wakes();
+
+        // Header wake matches the released address only.
+        assert!(sb.try_lock_header(0, 0xA0));
+        assert!(sb.try_lock_header(1, 0xB0));
+        sb.park_on_header(2, 0xA0);
+        sb.park_on_header(3, 0xB0);
+        sb.unlock_header(0);
+        assert_eq!(sb.wakes(), &[2]);
+        sb.clear_wakes();
+        sb.unlock_header(1);
+        assert_eq!(sb.wakes(), &[3]);
+        sb.clear_wakes();
+
+        // set_free and a real busy-bit clear both wake the empty list.
+        sb.park_on_empty(3);
+        assert!(sb.try_acquire_free(0));
+        sb.set_free(0, 8);
+        sb.release_free(0);
+        assert_eq!(sb.wakes(), &[3]);
+        sb.clear_wakes();
+        sb.park_on_empty(1);
+        sb.set_busy(0);
+        assert!(sb.wakes().is_empty()); // setting a bit wakes nobody
+        sb.clear_busy(0);
+        assert_eq!(sb.wakes(), &[1]);
+        sb.clear_wakes();
+        sb.clear_busy(0); // already clear: no transition, no wake
+        assert!(sb.wakes().is_empty());
+        sb.assert_quiescent();
+    }
+
+    #[test]
+    fn cancel_park_removes_a_core_from_every_list() {
+        let mut sb = SyncBlock::new(2);
+        sb.enable_wake_tracking();
+        assert!(sb.try_acquire_scan(0));
+        sb.park_on_scan_release(1);
+        sb.park_on_empty(1);
+        assert!(sb.try_lock_header(0, 4));
+        sb.park_on_header(1, 4);
+        sb.cancel_park(1);
+        sb.release_scan(0);
+        sb.unlock_header(0);
+        assert!(sb.wakes().is_empty());
     }
 }
