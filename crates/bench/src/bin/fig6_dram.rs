@@ -1,0 +1,93 @@
+//! Figure 6 variant under *realistic* memory timing: the bank/row DRAM
+//! backend (default 100 ns open-page preset) instead of the paper's flat
+//! "+20 cycles per access" proxy.
+//!
+//! The question this answers for EXPERIMENTS.md: does the paper's
+//! counter-intuitive Figure 6 finding — higher memory latency *improves*
+//! scalability — survive when the extra latency comes from row
+//! activations and bank conflicts rather than a uniform constant?
+//!
+//! Besides the CSV, the run writes a metrics-registry snapshot
+//! (`--metrics-out`, default `target/experiments/fig6_dram.metrics.json`)
+//! holding the `fig6dram.<app>.c<N>.{cycles,speedup,row_hit_rate}`
+//! gauges — the input `gen_stall_tables` uses to regenerate (and
+//! `--check`) EXPERIMENTS.md's realistic-timing table.
+
+use hwgc_bench::{experiments_dir, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_core::GcConfig;
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig};
+use hwgc_workloads::Preset;
+
+fn main() {
+    println!("Figure 6 (realistic timing): scaling under the bank/row DRAM backend\n");
+    let widths = [10, 12, 8, 8, 8, 8, 8, 9];
+    let header: Vec<String> = [
+        "app",
+        "1-core cyc",
+        "x1",
+        "x2",
+        "x4",
+        "x8",
+        "x16",
+        "row-hit",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", row(&header, &widths));
+
+    let backend = MemBackendKind::Dram(DramConfig::default());
+    let mut csv = Vec::new();
+    let mut metrics = hwgc_obs::MetricsRegistry::new();
+    for preset in Preset::ALL {
+        let s = spec(preset);
+        let mut cycles = Vec::new();
+        let mut hit_rate_16c = 0.0;
+        for &n in &CORE_COUNTS {
+            let cfg = GcConfig {
+                n_cores: n,
+                mem: MemConfig::default().with_backend(backend),
+                ..GcConfig::default()
+            };
+            let out = run_verified(&s, cfg);
+            let dram = out
+                .stats
+                .mem
+                .dram
+                .as_ref()
+                .expect("DRAM backend reports DramStats");
+            let hit_rate = dram.row_hit_rate();
+            hit_rate_16c = hit_rate;
+            cycles.push(out.stats.total_cycles);
+            metrics.gauge_set(
+                &format!("fig6dram.{}.c{n}.cycles", preset.name()),
+                out.stats.total_cycles as f64,
+            );
+            metrics.gauge_set(
+                &format!("fig6dram.{}.c{n}.row_hit_rate", preset.name()),
+                hit_rate,
+            );
+        }
+        let base = cycles[0] as f64;
+        let mut cells = vec![preset.name().to_string(), cycles[0].to_string()];
+        for (&c, &n) in cycles.iter().zip(&CORE_COUNTS) {
+            let speedup = base / c as f64;
+            cells.push(format!("{speedup:.2}"));
+            csv.push(format!("{},{},{},{:.4}", preset.name(), n, c, speedup));
+            metrics.gauge_set(&format!("fig6dram.{}.c{n}.speedup", preset.name()), speedup);
+        }
+        cells.push(format!("{:.0}%", hit_rate_16c * 100.0));
+        println!("{}", row(&cells, &widths));
+    }
+    write_csv("fig6_dram", "app,cores,cycles,speedup", &csv);
+
+    let metrics_path = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--metrics-out")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(|| experiments_dir().join("fig6_dram.metrics.json"));
+    std::fs::write(&metrics_path, metrics.to_json_string())
+        .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
+    println!("[metrics] {}", metrics_path.display());
+}

@@ -7,11 +7,13 @@
 //!   `table1_empty_worklist`;
 //! * **Table II** (stall breakdown) from the
 //!   `table2.<app>.stall_frac.*` gauges written by
-//!   `table2_stall_breakdown`.
+//!   `table2_stall_breakdown`;
+//! * **Figure 6, realistic timing** (DRAM-backend scaling) from the
+//!   `fig6dram.<app>.c<N>.*` gauges written by `fig6_dram`.
 //!
 //! ```text
 //! gen_stall_tables [--metrics <path>] [--table1-metrics <path>]
-//!                  [--doc <path>] [--check]
+//!                  [--fig6dram-metrics <path>] [--doc <path>] [--check]
 //! ```
 //!
 //! Each table is replaced between its
@@ -25,6 +27,7 @@ use hwgc_obs::MetricsRegistry;
 
 const TABLE1_TAG: &str = "table1-empty-worklist";
 const TABLE2_TAG: &str = "table2-stall-breakdown";
+const FIG6_DRAM_TAG: &str = "fig6-dram-scaling";
 
 /// Render the measured Table I (empty-worklist fractions) from the
 /// registry gauges.
@@ -84,6 +87,42 @@ fn render_table2(reg: &MetricsRegistry) -> String {
     out
 }
 
+/// Render the realistic-timing Figure 6 table (speedups under the
+/// bank/row DRAM backend, plus the 16-core row-buffer hit rate) from the
+/// registry gauges.
+fn render_fig6_dram(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("| app | 1-core cycles |");
+    for n in CORE_COUNTS {
+        out.push_str(&format!(" x{n} |"));
+    }
+    out.push_str(" row-hit (16c) |\n|---|---|");
+    out.push_str(&"---|".repeat(CORE_COUNTS.len() + 1));
+    out.push('\n');
+    for preset in hwgc_workloads::Preset::ALL {
+        let app = preset.name();
+        let gauge = |name: &str| {
+            reg.gauge(name)
+                .unwrap_or_else(|| panic!("metrics JSON missing gauge {name}"))
+        };
+        out.push_str(&format!(
+            "| {app} | {} |",
+            gauge(&format!("fig6dram.{app}.c1.cycles")) as u64
+        ));
+        for n in CORE_COUNTS {
+            out.push_str(&format!(
+                " {:.2} |",
+                gauge(&format!("fig6dram.{app}.c{n}.speedup"))
+            ));
+        }
+        out.push_str(&format!(
+            " {} |\n",
+            pct(gauge(&format!("fig6dram.{app}.c16.row_hit_rate")))
+        ));
+    }
+    out
+}
+
 /// Splice `table` between the `tag` markers of `doc`.
 fn splice(doc: &str, tag: &str, table: &str) -> Result<String, String> {
     let begin_marker = format!("<!-- BEGIN GENERATED: {tag} -->");
@@ -124,6 +163,9 @@ fn main() {
     let table1_metrics = flag_value("--table1-metrics")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| experiments_dir().join("table1_empty_worklist.metrics.json"));
+    let fig6dram_metrics = flag_value("--fig6dram-metrics")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| experiments_dir().join("fig6_dram.metrics.json"));
     let doc_path = flag_value("--doc").unwrap_or_else(|| "EXPERIMENTS.md".to_string());
     let check = args.iter().any(|a| a == "--check");
 
@@ -137,6 +179,10 @@ fn main() {
         (
             TABLE2_TAG,
             render_table2(&load_registry(&table2_metrics, "table2_stall_breakdown")),
+        ),
+        (
+            FIG6_DRAM_TAG,
+            render_fig6_dram(&load_registry(&fig6dram_metrics, "fig6_dram")),
         ),
     ] {
         updated = splice(&updated, tag, &table).unwrap_or_else(|e| panic!("{doc_path}: {e}"));

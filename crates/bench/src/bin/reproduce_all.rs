@@ -38,6 +38,7 @@ fn main() {
         "table1_empty_worklist",
         "table2_stall_breakdown",
         "fig6_latency",
+        "fig6_dram",
         "ablation_fifo",
         "ablation_testlock",
         "ablation_heapsize",

@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! sparse_smoke [--out <path>] [--expect-default <on|off>]
+//!              [--expect-backend <fixed|dram>]
 //! ```
 //!
 //! * `--out` — report path (default `target/sparse_smoke.json`),
@@ -16,6 +17,14 @@
 //!   process-default `GcConfig` must have the sparse engine in exactly
 //!   this state. CI runs one leg with the variable unset (`on`) and one
 //!   with `HWGC_SPARSE=0` (`off`), so the hatch is exercised end to end.
+//! * `--expect-backend` — assert the `HWGC_MEM_BACKEND` hatch the same
+//!   way: the process-default `MemConfig` must resolve to this memory
+//!   backend.
+//!
+//! The parity matrix itself carries a backend axis: every preset × cores
+//! combo runs under the fixed-latency backend (both `extra_latency`
+//! regimes) and under two bank/row DRAM backends (open- and closed-page),
+//! each pinned explicitly on both the sparse and the naive side.
 //!
 //! The matrix itself pins `sparse` explicitly on both sides, so parity
 //! coverage is identical in both CI legs; only the default is asserted.
@@ -26,7 +35,7 @@ use std::time::Instant;
 
 use hwgc_core::{GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Snapshot;
-use hwgc_memsim::MemConfig;
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_workloads::{Preset, WorkloadSpec};
 
 fn fail(msg: &str) -> ! {
@@ -34,21 +43,42 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-fn sparse_config(cores: usize, extra: u32) -> GcConfig {
+fn sparse_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig {
     GcConfig {
         n_cores: cores,
-        mem: MemConfig::default().with_extra_latency(extra),
+        mem: MemConfig::default()
+            .with_extra_latency(extra)
+            .with_backend(backend),
         sparse: true,
         ..GcConfig::default()
     }
 }
 
-fn naive_config(cores: usize, extra: u32) -> GcConfig {
+fn naive_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig {
     GcConfig {
         sparse: false,
         fast_forward: false,
-        ..sparse_config(cores, extra)
+        ..sparse_config(cores, extra, backend)
     }
+}
+
+/// The backend axis of the parity matrix: the fixed model in both
+/// latency regimes, and the DRAM model under both page policies (the
+/// closed-page leg uses the fastest preset so CI wall clock stays flat).
+fn backend_axis() -> Vec<(&'static str, MemBackendKind, Vec<u32>)> {
+    let closed = DramConfig {
+        page_policy: PagePolicy::Closed,
+        ..DramConfig::preset("80ns").expect("preset exists")
+    };
+    vec![
+        ("fixed", MemBackendKind::Fixed, vec![0, 20]),
+        (
+            "dram-open",
+            MemBackendKind::Dram(DramConfig::default()),
+            vec![0],
+        ),
+        ("dram-closed", MemBackendKind::Dram(closed), vec![0]),
+    ]
 }
 
 fn main() {
@@ -79,70 +109,92 @@ fn main() {
         println!("sparse_smoke: default sparse = {got} (as expected)");
     }
 
+    if let Some(expect) = flag_value("--expect-backend") {
+        let got = MemConfig::default().backend;
+        let matches = match expect.as_str() {
+            "fixed" => got == MemBackendKind::Fixed,
+            "dram" => matches!(got, MemBackendKind::Dram(_)),
+            other => fail(&format!("--expect-backend takes fixed|dram, got {other:?}")),
+        };
+        if !matches {
+            fail(&format!(
+                "HWGC_MEM_BACKEND hatch broken: default backend is {got:?}, expected \
+                 {expect} (HWGC_MEM_BACKEND={:?})",
+                std::env::var("HWGC_MEM_BACKEND").ok()
+            ));
+        }
+        println!("sparse_smoke: default backend = {got:?} (as expected)");
+    }
+
     let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
     let core_counts = [1usize, 4, 16];
-    let extras = [0u32, 20];
 
     let mut report = String::new();
     report.push_str("{\n  \"schema\": \"hwgc-sparse-smoke-v1\",\n  \"combos\": [\n");
     let mut first = true;
     println!(
-        "{:>10}  {:>5}  {:>6}  {:>12}  {:>10}  {:>10}  {:>8}",
-        "preset", "cores", "extra", "cycles", "sparse ms", "naive ms", "speedup"
+        "{:>10}  {:>5}  {:>11}  {:>6}  {:>12}  {:>10}  {:>10}  {:>8}",
+        "preset", "cores", "backend", "extra", "cycles", "sparse ms", "naive ms", "speedup"
     );
     for preset in presets {
         for cores in core_counts {
-            for extra in extras {
-                let base = WorkloadSpec::new(preset, 42).build();
-                let snap = Snapshot::capture(&base);
+            for (backend_name, backend, extras) in backend_axis() {
+                for extra in extras {
+                    let base = WorkloadSpec::new(preset, 42).build();
+                    let snap = Snapshot::capture(&base);
 
-                let mut sparse_heap = base.clone();
-                let t = Instant::now();
-                let sparse =
-                    SimCollector::new(sparse_config(cores, extra)).collect(&mut sparse_heap);
-                let sparse_s = t.elapsed().as_secs_f64();
-                hwgc_heap::verify_collection(&sparse_heap, sparse.free, &snap).unwrap_or_else(
-                    |e| {
+                    let mut sparse_heap = base.clone();
+                    let t = Instant::now();
+                    let sparse = SimCollector::new(sparse_config(cores, extra, backend))
+                        .collect(&mut sparse_heap);
+                    let sparse_s = t.elapsed().as_secs_f64();
+                    hwgc_heap::verify_collection(&sparse_heap, sparse.free, &snap).unwrap_or_else(
+                        |e| {
+                            fail(&format!(
+                                "{}/{cores}c/{backend_name} +{extra}: sparse run failed \
+                                 verification: {e}",
+                                preset.name()
+                            ))
+                        },
+                    );
+
+                    let mut naive_heap = base;
+                    let t = Instant::now();
+                    let naive = SimCollector::new(naive_config(cores, extra, backend))
+                        .collect(&mut naive_heap);
+                    let naive_s = t.elapsed().as_secs_f64();
+
+                    if sparse.stats != naive.stats || sparse.free != naive.free {
                         fail(&format!(
-                            "{}/{cores}c +{extra}: sparse run failed verification: {e}",
-                            preset.name()
-                        ))
-                    },
-                );
+                            "{}/{cores}c/{backend_name} +{extra}: sparse diverged from naive \
+                             ({} vs {} total cycles)",
+                            preset.name(),
+                            sparse.stats.total_cycles,
+                            naive.stats.total_cycles
+                        ));
+                    }
 
-                let mut naive_heap = base;
-                let t = Instant::now();
-                let naive = SimCollector::new(naive_config(cores, extra)).collect(&mut naive_heap);
-                let naive_s = t.elapsed().as_secs_f64();
-
-                if sparse.stats != naive.stats || sparse.free != naive.free {
-                    fail(&format!(
-                        "{}/{cores}c +{extra}: sparse diverged from naive \
-                         ({} vs {} total cycles)",
+                    let speedup = naive_s / sparse_s.max(1e-9);
+                    println!(
+                        "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
+                         {:>10.3}  {speedup:>7.2}x",
                         preset.name(),
                         sparse.stats.total_cycles,
-                        naive.stats.total_cycles
-                    ));
+                        sparse_s * 1e3,
+                        naive_s * 1e3,
+                    );
+                    let sep = if first { "" } else { ",\n" };
+                    first = false;
+                    let _ = write!(
+                        report,
+                        "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
+                         \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
+                         \"cycles\": {}, \"sparse_wall_s\": {sparse_s:.6}, \
+                         \"naive_wall_s\": {naive_s:.6}, \"speedup\": {speedup:.2}, \"parity\": true}}",
+                        preset.name(),
+                        sparse.stats.total_cycles,
+                    );
                 }
-
-                let speedup = naive_s / sparse_s.max(1e-9);
-                println!(
-                    "{:>10}  {cores:>5}  {extra:>6}  {:>12}  {:>10.3}  {:>10.3}  {speedup:>7.2}x",
-                    preset.name(),
-                    sparse.stats.total_cycles,
-                    sparse_s * 1e3,
-                    naive_s * 1e3,
-                );
-                let sep = if first { "" } else { ",\n" };
-                first = false;
-                let _ = write!(
-                    report,
-                    "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \"extra_latency\": {extra}, \
-                     \"cycles\": {}, \"sparse_wall_s\": {sparse_s:.6}, \
-                     \"naive_wall_s\": {naive_s:.6}, \"speedup\": {speedup:.2}, \"parity\": true}}",
-                    preset.name(),
-                    sparse.stats.total_cycles,
-                );
             }
         }
     }
@@ -152,26 +204,43 @@ fn main() {
     // for lock classes, and the event stream pins cycle stamps one by
     // one — the strictest parity surface.
     let mut traced = 0usize;
+    let traced_backends = [
+        ("fixed", MemBackendKind::Fixed, 20u32),
+        ("dram-open", MemBackendKind::Dram(DramConfig::default()), 0),
+    ];
     for cores in core_counts {
-        let base = WorkloadSpec::new(Preset::Javac, 42).build();
-        let mut h1 = base.clone();
-        let mut t1 = SignalTrace::with_events(1 << 40);
-        let sparse = SimCollector::new(sparse_config(cores, 20)).collect_traced(&mut h1, &mut t1);
-        let mut h2 = base;
-        let mut t2 = SignalTrace::with_events(1 << 40);
-        let naive = SimCollector::new(naive_config(cores, 20)).collect_traced(&mut h2, &mut t2);
-        if sparse.stats != naive.stats {
-            fail(&format!("javac/{cores}c +20 (traced): stats diverged"));
+        for (backend_name, backend, extra) in traced_backends {
+            let base = WorkloadSpec::new(Preset::Javac, 42).build();
+            let mut h1 = base.clone();
+            let mut t1 = SignalTrace::with_events(1 << 40);
+            let sparse = SimCollector::new(sparse_config(cores, extra, backend))
+                .collect_traced(&mut h1, &mut t1);
+            let mut h2 = base;
+            let mut t2 = SignalTrace::with_events(1 << 40);
+            let naive = SimCollector::new(naive_config(cores, extra, backend))
+                .collect_traced(&mut h2, &mut t2);
+            if sparse.stats != naive.stats {
+                fail(&format!(
+                    "javac/{cores}c/{backend_name} (traced): stats diverged"
+                ));
+            }
+            if t1.events() != t2.events() {
+                fail(&format!(
+                    "javac/{cores}c/{backend_name}: SB event streams diverged"
+                ));
+            }
+            if t1.rows() != t2.rows() {
+                fail(&format!(
+                    "javac/{cores}c/{backend_name}: trace rows diverged"
+                ));
+            }
+            traced += 1;
         }
-        if t1.events() != t2.events() {
-            fail(&format!("javac/{cores}c +20: SB event streams diverged"));
-        }
-        if t1.rows() != t2.rows() {
-            fail(&format!("javac/{cores}c +20: trace rows diverged"));
-        }
-        traced += 1;
     }
-    println!("traced parity: javac +20 at {core_counts:?} cores, event streams identical");
+    println!(
+        "traced parity: javac at {core_counts:?} cores x {{fixed +20, dram-open}}, \
+         event streams identical"
+    );
     let _ = writeln!(report, "  \"traced_combos\": {traced},");
     let _ = writeln!(
         report,

@@ -13,6 +13,7 @@ use hwgc_bench::{
 };
 use hwgc_core::{GcConfig, GcOutcome, SignalTrace};
 use hwgc_heap::{GraphBuilder, Heap};
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig};
 use hwgc_obs::{validate_chrome_trace, Recording};
 
 const CORES: usize = 2;
@@ -45,6 +46,18 @@ fn tiny_heap() -> Heap {
 fn run() -> (GcOutcome, SignalTrace, Recording) {
     let mut heap = tiny_heap();
     run_probed_heap(&mut heap, GcConfig::with_cores(CORES), "golden", 1)
+}
+
+/// Same tiny graph under the bank/row DRAM backend (default open-page
+/// preset), exercising the `mem.dram.*` metrics and the Chrome
+/// row-outcome counter tracks.
+fn run_dram() -> (GcOutcome, SignalTrace, Recording) {
+    let mut heap = tiny_heap();
+    let cfg = GcConfig {
+        mem: MemConfig::default().with_backend(MemBackendKind::Dram(DramConfig::default())),
+        ..GcConfig::with_cores(CORES)
+    };
+    run_probed_heap(&mut heap, cfg, "golden-dram", 1)
 }
 
 fn golden(name: &str, actual: &str) {
@@ -109,4 +122,47 @@ fn metrics_snapshot_matches_golden() {
     let (out, _, recording) = run();
     let reg = metrics_for_run("golden", CORES, &out, &recording);
     golden("trace_golden.metrics.json", &reg.to_json_string());
+}
+
+#[test]
+fn dram_metrics_snapshot_matches_golden() {
+    let (out, _, recording) = run_dram();
+    let reg = metrics_for_run("golden-dram", CORES, &out, &recording);
+    let json = reg.to_json_string();
+    // The snapshot must actually carry the new backend metrics, not just
+    // be byte-stable without them.
+    for key in [
+        "mem.dram.row_hit",
+        "mem.dram.bank",
+        "mem.dram.bank_queue_depth",
+    ] {
+        assert!(json.contains(key), "metrics snapshot lost {key}");
+    }
+    golden("trace_golden_dram.metrics.json", &json);
+}
+
+#[test]
+fn dram_chrome_trace_matches_golden() {
+    let (out, _, recording) = run_dram();
+    let text = chrome_trace("golden-dram", CORES, &out, &recording);
+    let summary = validate_chrome_trace(&text, CORES).expect("dram chrome trace validates");
+    assert!(summary.core_tracks >= CORES);
+    assert!(
+        text.contains("dram.row_"),
+        "chrome trace lost the row-outcome counter tracks"
+    );
+    golden("trace_golden_dram.chrome.json", &text);
+}
+
+/// The fixed backend must not grow the new bank/row series: its exports
+/// are pinned byte-for-byte by the goldens above, and the `DramAccess`
+/// event is emitted by the DRAM backend only. (The pre-existing
+/// `dram.queue_depth` track is the shared memory queue, not bank/row.)
+#[test]
+fn fixed_backend_exports_stay_free_of_dram_series() {
+    let (out, _, recording) = run();
+    assert!(!metrics_for_run("golden", CORES, &out, &recording)
+        .to_json_string()
+        .contains("mem.dram."));
+    assert!(!chrome_trace("golden", CORES, &out, &recording).contains("dram.row_"));
 }

@@ -16,7 +16,7 @@ use hwgc_check::{graphs, par_map};
 use hwgc_core::schedule::{Adversarial, RandomOrder, SchedulePolicy};
 use hwgc_core::{GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Heap;
-use hwgc_memsim::MemConfig;
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_obs::Recorder;
 use hwgc_workloads::{Preset, WorkloadSpec};
 
@@ -34,6 +34,27 @@ fn naive_config(cores: usize, extra: u32) -> GcConfig {
         fast_forward: false,
         ..sparse_config(cores, extra)
     }
+}
+
+fn with_backend(mut cfg: GcConfig, backend: MemBackendKind) -> GcConfig {
+    cfg.mem = cfg.mem.with_backend(backend);
+    cfg
+}
+
+/// The DRAM leg of the backend axis: the default open-page model and the
+/// fastest preset under closed-page (different latency shape per access,
+/// exercising the conflict/precharge paths of the horizon contracts).
+fn dram_backends() -> [(&'static str, MemBackendKind); 2] {
+    [
+        ("dram-open", MemBackendKind::Dram(DramConfig::default())),
+        (
+            "dram-closed",
+            MemBackendKind::Dram(DramConfig {
+                page_policy: PagePolicy::Closed,
+                ..DramConfig::preset("80ns").expect("preset exists")
+            }),
+        ),
+    ]
 }
 
 #[test]
@@ -66,6 +87,82 @@ fn every_preset_is_bit_exact_under_sparse() {
             "{}/{cores}c +{extra}: allocation frontier diverged",
             preset.name()
         );
+    });
+}
+
+/// Backend axis of the parity matrix: the sparse engine must stay
+/// bit-exact when per-access latency is bank/row dependent. DRAM retire
+/// calendars are sparser and more irregular than the fixed model's, so
+/// this is the hardest regime for the horizon contracts.
+#[test]
+fn every_preset_is_bit_exact_under_sparse_with_dram_backend() {
+    let mut combos: Vec<(Preset, usize, MemBackendKind, &'static str)> = Vec::new();
+    for preset in Preset::ALL {
+        for cores in [1usize, 4, 16] {
+            for (name, backend) in dram_backends() {
+                combos.push((preset, cores, backend, name));
+            }
+        }
+    }
+    par_map(&combos, |_, &(preset, cores, backend, name)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut sparse_heap = base.clone();
+        let mut naive_heap = base;
+        let sparse = SimCollector::new(with_backend(sparse_config(cores, 0), backend))
+            .collect(&mut sparse_heap);
+        let naive = SimCollector::new(with_backend(naive_config(cores, 0), backend))
+            .collect(&mut naive_heap);
+        assert_eq!(
+            sparse.stats,
+            naive.stats,
+            "{}/{cores}c/{name}: stats diverged under sparse",
+            preset.name()
+        );
+        assert_eq!(
+            sparse.free,
+            naive.free,
+            "{}/{cores}c/{name}: allocation frontier diverged",
+            preset.name()
+        );
+    });
+}
+
+/// SB event-stream and trace-row parity under the DRAM backend, on the
+/// adversarial graph catalog (lock convoys + bank conflicts together).
+#[test]
+fn catalog_graphs_preserve_the_sb_event_stream_under_sparse_with_dram() {
+    let catalog: Vec<(&'static str, Heap)> = graphs::catalog();
+    par_map(&catalog, |_, (name, heap)| {
+        for cores in [1usize, 4, 16] {
+            for (backend_name, backend) in dram_backends() {
+                let mut sparse_heap = heap.clone();
+                let mut naive_heap = heap.clone();
+                let mut sparse_trace = SignalTrace::with_events(1 << 40);
+                let mut naive_trace = SignalTrace::with_events(1 << 40);
+                let sparse = SimCollector::new(with_backend(sparse_config(cores, 0), backend))
+                    .collect_traced(&mut sparse_heap, &mut sparse_trace);
+                let naive = SimCollector::new(with_backend(naive_config(cores, 0), backend))
+                    .collect_traced(&mut naive_heap, &mut naive_trace);
+                assert_eq!(
+                    sparse.stats, naive.stats,
+                    "{name}/{cores}c/{backend_name}: stats diverged under sparse"
+                );
+                assert_eq!(
+                    sparse.free, naive.free,
+                    "{name}/{cores}c/{backend_name}: allocation frontier diverged"
+                );
+                assert_eq!(
+                    sparse_trace.events(),
+                    naive_trace.events(),
+                    "{name}/{cores}c/{backend_name}: SB event streams diverged"
+                );
+                assert_eq!(
+                    sparse_trace.rows(),
+                    naive_trace.rows(),
+                    "{name}/{cores}c/{backend_name}: sampled trace rows diverged"
+                );
+            }
+        }
     });
 }
 

@@ -34,7 +34,7 @@
 
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Heap, NULL};
-use hwgc_memsim::{HeaderFifo, MemorySystem};
+use hwgc_memsim::{DramMemorySystem, HeaderFifo, MemBackend, MemBackendKind, MemorySystem};
 use hwgc_obs::{Event, NullProbe, Probe, SampleRec};
 use hwgc_sync::{LockKind, SyncBlock};
 
@@ -195,6 +195,28 @@ impl SimCollector {
         policy: Option<&mut dyn SchedulePolicy>,
         probe: &mut P,
     ) -> (Addr, GcStats, Option<MutatorStats>) {
+        // Static dispatch on the memory backend: each instantiation of
+        // `run_backend` is monomorphized against its concrete backend, so
+        // the fixed-latency hot loop compiles exactly as before the trait
+        // was introduced.
+        match self.cfg.mem.backend {
+            MemBackendKind::Fixed => {
+                self.run_backend::<P, MemorySystem>(heap, mutator_cfg, policy, probe)
+            }
+            MemBackendKind::Dram(_) => {
+                self.run_backend::<P, DramMemorySystem>(heap, mutator_cfg, policy, probe)
+            }
+        }
+    }
+
+    /// [`SimCollector::run`] instantiated for one memory backend.
+    fn run_backend<P: Probe, B: MemBackend>(
+        &self,
+        heap: &mut Heap,
+        mutator_cfg: Option<MutatorConfig>,
+        policy: Option<&mut dyn SchedulePolicy>,
+        probe: &mut P,
+    ) -> (Addr, GcStats, Option<MutatorStats>) {
         let cfg = self.cfg;
         heap.flip();
         // One extra SB slot when the mutator participates (its header/free
@@ -206,7 +228,7 @@ impl SimCollector {
             sb.enable_event_log();
         }
         sb.init_pointers(heap.to_base(), heap.to_base());
-        let mut mem = MemorySystem::new(cfg.n_cores, cfg.mem);
+        let mut mem = B::new_backend(cfg.n_cores, cfg.mem);
         if P::ACTIVE && probe.wants_mem_events() {
             mem.enable_event_log();
         }
@@ -224,7 +246,14 @@ impl SimCollector {
                 },
             );
         }
-        self.root_phase(heap, &mut sb, &mut fifo, &mut counters, &mut stats);
+        self.root_phase(
+            heap,
+            &mut sb,
+            &mut fifo,
+            &mut counters,
+            &mut stats,
+            mem.uncontended_read_latency(),
+        );
         let mut mutator = mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
 
         // --- Phase 2+3: parallel scan loop and drain --------------------
@@ -1117,9 +1146,10 @@ impl SimCollector {
         fifo: &mut HeaderFifo,
         counters: &mut WorkCounters,
         stats: &mut GcStats,
+        read_latency: u32,
     ) {
         let mut cycles: u64 = 0;
-        let read_cost = self.cfg.mem.latency as u64 + 1;
+        let read_cost = read_latency as u64 + 1;
         for i in 0..heap.roots().len() {
             // Each root takes several cycles; the register write ports
             // re-arm accordingly. Keep the SB clock on the *engine*
@@ -1153,7 +1183,7 @@ impl SimCollector {
                 let (w0, w1) = Header::gray(h.pi, h.delta, r).encode();
                 if !fifo.push(dst, w0, w1) {
                     // Gray header must go through memory: charge the store.
-                    cycles += self.cfg.mem.latency as u64;
+                    cycles += read_latency as u64;
                 }
                 counters.objects_copied += 1;
                 counters.words_copied += size as u64;

@@ -31,7 +31,7 @@
 
 use hwgc_heap::header::{self, Header};
 use hwgc_heap::{Addr, Color, Heap, NULL};
-use hwgc_memsim::{HeaderFifo, MemorySystem, Port};
+use hwgc_memsim::{HeaderFifo, MemBackend, MemorySystem, Port};
 use hwgc_sync::SyncBlock;
 
 use crate::stats::{StallBreakdown, StallReason};
@@ -47,11 +47,13 @@ pub struct WorkCounters {
     pub chunks_claimed: u64,
 }
 
-/// Everything a core touches during a tick.
-pub struct Ctx<'a> {
+/// Everything a core touches during a tick, generic over the memory
+/// backend (defaulted so existing `Ctx<'_>` spellings keep meaning the
+/// fixed-latency model).
+pub struct Ctx<'a, B: MemBackend = MemorySystem> {
     pub heap: &'a mut Heap,
     pub sb: &'a mut SyncBlock,
-    pub mem: &'a mut MemorySystem,
+    pub mem: &'a mut B,
     pub fifo: &'a mut HeaderFifo,
     pub done: &'a mut bool,
     pub counters: &'a mut WorkCounters,
@@ -257,7 +259,7 @@ impl CoreSm {
     }
 
     /// Execute one clock cycle.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_>) -> TickOutcome {
+    pub fn tick<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> TickOutcome {
         if self.state == State::Done {
             return TickOutcome::Parked;
         }
@@ -284,7 +286,7 @@ impl CoreSm {
         );
     }
 
-    fn step(&mut self, state: State, ctx: &mut Ctx<'_>) -> Step {
+    fn step<B: MemBackend>(&mut self, state: State, ctx: &mut Ctx<'_, B>) -> Step {
         match state {
             State::Poll => self.poll(ctx),
             State::ScanHeaderWait => self.scan_header_wait(ctx),
@@ -306,7 +308,7 @@ impl CoreSm {
 
     // --- main scanning loop entry ---------------------------------------
 
-    fn poll(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn poll<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if *ctx.done {
             return Step::Chain(State::Drain);
         }
@@ -341,7 +343,7 @@ impl CoreSm {
     /// the header FIFO when possible (zero cycles, no memory access) or
     /// from memory otherwise — the latter lengthens the scan critical
     /// section, which is the paper's `cup` pathology.
-    fn fetch_scan_header(&mut self, ctx: &mut Ctx<'_>, scan: Addr) -> Step {
+    fn fetch_scan_header<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>, scan: Addr) -> Step {
         if let Some((w0, w1)) = ctx.fifo.peek(scan) {
             return self.claim_object(ctx, scan, w0, w1, true);
         }
@@ -351,7 +353,7 @@ impl CoreSm {
         Step::Yield(State::ScanHeaderWait)
     }
 
-    fn scan_header_wait(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn scan_header_wait<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.mem.load_ready(self.id, Port::HeaderLoad) {
             return Step::Stall(State::ScanHeaderWait, StallReason::HeaderLoad);
         }
@@ -370,9 +372,9 @@ impl CoreSm {
     /// is at most `L` body words; `scan` only advances once the object's
     /// last chunk is claimed, and the SB's chunk-offset register carries
     /// the intra-object progress between claimants.
-    fn claim_object(
+    fn claim_object<B: MemBackend>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_, B>,
         frame: Addr,
         w0: u32,
         w1: u32,
@@ -434,7 +436,7 @@ impl CoreSm {
 
     // --- body copy -------------------------------------------------------
 
-    fn body_start(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn body_start<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if self.regs.idx == self.regs.end {
             return Step::Chain(State::ClaimDone);
         }
@@ -444,7 +446,7 @@ impl CoreSm {
         Step::Yield(State::CopyWait)
     }
 
-    fn copy_wait(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn copy_wait<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.mem.load_ready(self.id, Port::BodyLoad) {
             return Step::Stall(State::CopyWait, StallReason::BodyLoad);
         }
@@ -477,7 +479,7 @@ impl CoreSm {
 
     // --- child processing --------------------------------------------------
 
-    fn child_probe_wait(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_probe_wait<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.mem.load_ready(self.id, Port::HeaderLoad) {
             return Step::Stall(State::ChildProbeWait, StallReason::HeaderLoad);
         }
@@ -494,7 +496,7 @@ impl CoreSm {
         Step::Chain(State::ChildLock)
     }
 
-    fn child_lock(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_lock<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.sb.try_lock_header(self.id, self.regs.child) {
             return Step::Stall(State::ChildLock, StallReason::HeaderLock);
         }
@@ -505,7 +507,7 @@ impl CoreSm {
         Step::Yield(State::ChildHeaderWait)
     }
 
-    fn child_header_wait(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_header_wait<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.mem.load_ready(self.id, Port::HeaderLoad) {
             return Step::Stall(State::ChildHeaderWait, StallReason::HeaderLoad);
         }
@@ -530,7 +532,7 @@ impl CoreSm {
     /// are issued right after release, still under the child's header
     /// lock; the comparator array orders any concurrent reader behind
     /// them.
-    fn child_evac_free(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_evac_free<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx.sb.try_acquire_free(self.id) {
             return Step::Stall(State::ChildEvacFree, StallReason::FreeLock);
         }
@@ -562,7 +564,7 @@ impl CoreSm {
         Step::Chain(State::ChildEvacStore)
     }
 
-    fn child_evac_store(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_evac_store<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         // Mark + forwarding pointer to the fromspace header.
         if !ctx
             .mem
@@ -581,7 +583,7 @@ impl CoreSm {
         Step::Yield(State::ChildEvacOverflow)
     }
 
-    fn child_evac_overflow(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn child_evac_overflow<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         // The header-store buffer still holds the fromspace store; the
         // gray header must wait for it — the overflow penalty.
         if !ctx
@@ -597,7 +599,7 @@ impl CoreSm {
 
     // --- store + blacken --------------------------------------------------
 
-    fn store_word(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn store_word<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         let addr = self.regs.frame + 2 + self.regs.idx;
         if !ctx.mem.try_issue(self.id, Port::BodyStore, addr) {
             return Step::Stall(State::StoreWord, StallReason::BodyStore);
@@ -618,7 +620,7 @@ impl CoreSm {
     /// straight to blackening; for split chunks, the SB's chunk counter
     /// decides whether this core was the last finisher (and blackens) or
     /// simply returns to polling.
-    fn claim_done(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn claim_done<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !self.regs.split {
             return Step::Chain(State::Blacken);
         }
@@ -629,7 +631,7 @@ impl CoreSm {
         Step::Yield(State::Poll)
     }
 
-    fn blacken(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn blacken<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         if !ctx
             .mem
             .try_issue(self.id, Port::HeaderStore, self.regs.frame)
@@ -646,7 +648,7 @@ impl CoreSm {
 
     // --- shutdown ----------------------------------------------------------
 
-    fn drain(&mut self, ctx: &mut Ctx<'_>) -> Step {
+    fn drain<B: MemBackend>(&mut self, ctx: &mut Ctx<'_, B>) -> Step {
         let idle = Port::ALL.iter().all(|&p| !ctx.mem.port_busy(self.id, p));
         if idle {
             Step::Yield(State::Done)

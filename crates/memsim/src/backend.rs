@@ -1,0 +1,424 @@
+//! The pluggable memory-timing boundary.
+//!
+//! [`MemBackend`] is the `DelaySimulator`-style trait the engine is
+//! generic over: it owns request service timing, retirement scheduling,
+//! and the calendar/fast-forward contracts that the event-horizon
+//! fast-forward (naive loop) and the sparse active-set engine both lean
+//! on. Two implementations ship:
+//!
+//! * [`MemorySystem`](crate::MemorySystem) — the fixed latency/bandwidth
+//!   model the repo has always had (the paper's regime). The trait impl
+//!   is pure delegation to the inherent methods, so routing the engine
+//!   through the trait is bit-exact by construction; the differential
+//!   wall (`crates/check`, `BENCH_simulator.json` pinning) enforces it.
+//! * [`DramMemorySystem`](crate::DramMemorySystem) — a bank/row DRAM
+//!   timing model with row-buffer hit/miss/conflict latencies, per-bank
+//!   queues and an open/closed-page policy knob (see [`crate::dram`]).
+//!
+//! # Contract (proof obligations for every implementation)
+//!
+//! The engine's clock-skipping machinery is only sound if the backend
+//! upholds the following; the property tests in
+//! `crates/memsim/tests/backend_contracts.rs` exercise each point on
+//! both implementations against a shadow-naive run:
+//!
+//! 1. **Horizon soundness** ([`MemBackend::next_event_cycle`]): when it
+//!    returns `Some(c)`, every tick strictly before `c` is
+//!    *observationally identical* for the cores — no retirement, no
+//!    comparator unblocking that a core could read, no service start.
+//!    `None` whenever the next tick is not a pure wait.
+//! 2. **Activity lower bound** ([`MemBackend::next_activity_cycle`]):
+//!    when it returns `Some(c)`, no state a core reads changes before
+//!    cycle `c` (assuming no new requests arrive); `None` means the
+//!    memory system is quiet forever absent new requests. It may be
+//!    conservative (earlier than the real next change) but never late —
+//!    the sparse engine jumps straight to `c` when every core is parked.
+//! 3. **Service-only ticks** ([`MemBackend::next_tick_starts_service_only`]):
+//!    `true` only if the coming tick's effects are core-invisible (no
+//!    retirement, no completed load waiting, every service start has a
+//!    nonzero latency).
+//! 4. **Fast-forward replication** ([`MemBackend::fast_forward`]): after
+//!    `fast_forward(k)` under the rule of (1)/(3), the statistics and
+//!    event log must equal a `k`-fold naive `tick()` sequence bit for
+//!    bit (dead-wait windows are transition-free, so the log gains
+//!    nothing; per-cycle counters are replicated in bulk).
+//! 5. **Wake completeness** ([`MemBackend::wakes`]): with the feed
+//!    enabled, every retirement that can change the outcome of a core's
+//!    retry pushes that core's id before the engine drains the feed — a
+//!    parked core is woken by the feed or not at all.
+
+use crate::dram::DramConfig;
+use crate::system::{MemConfig, MemEventRecord, MemStats, MemorySystem, Port};
+
+/// Which memory-timing backend the engine instantiates. Carried inside
+/// [`MemConfig`] so every existing config-construction site (struct
+/// update syntax on `MemConfig::default()`) picks up the knob for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemBackendKind {
+    /// The fixed latency/bandwidth model ([`MemorySystem`]) — the
+    /// default, and the paper's configuration.
+    Fixed,
+    /// The bank/row DRAM timing model
+    /// ([`DramMemorySystem`](crate::DramMemorySystem)) with the given
+    /// timing parameters.
+    Dram(DramConfig),
+}
+
+/// Parse the `HWGC_MEM_BACKEND` environment knob (mirrors
+/// `hwgc_core::config::sparse_from` / `hwgc_check`'s `jobs_from`).
+///
+/// Grammar (ASCII case-insensitive, surrounding whitespace ignored):
+///
+/// * unset / empty / `fixed` — the fixed-latency backend;
+/// * `dram` — the DRAM backend with default timings
+///   ([`DramConfig::default`]);
+/// * `dram:<preset>` — a named timing preset (`150ns`, `120ns`,
+///   `100ns`, `80ns`; see [`DramConfig::preset`]);
+/// * either DRAM form may append `:open` or `:closed` to pick the
+///   page policy, e.g. `dram:100ns:closed`.
+///
+/// Anything unrecognized falls back to `Fixed` — an experiment sweep
+/// with a typo'd knob must still run, and the backend in use is
+/// visible in the stats (`MemStats::dram` is `Some` only for DRAM).
+pub fn backend_from(var: Option<&str>) -> MemBackendKind {
+    let Some(raw) = var else {
+        return MemBackendKind::Fixed;
+    };
+    let text = raw.trim().to_ascii_lowercase();
+    if text.is_empty() || text == "fixed" {
+        return MemBackendKind::Fixed;
+    }
+    let mut parts = text.split(':');
+    if parts.next() != Some("dram") {
+        return MemBackendKind::Fixed;
+    }
+    let mut cfg = DramConfig::default();
+    for part in parts {
+        if let Some(preset) = DramConfig::preset(part) {
+            cfg = DramConfig {
+                page_policy: cfg.page_policy,
+                ..preset
+            };
+        } else if let Some(policy) = crate::dram::PagePolicy::parse(part) {
+            cfg.page_policy = policy;
+        } else {
+            return MemBackendKind::Fixed;
+        }
+    }
+    MemBackendKind::Dram(cfg)
+}
+
+/// The memory-timing backend the engine drives (see the module docs for
+/// the contract). Method semantics are specified on the fixed-latency
+/// reference implementation, [`MemorySystem`]; implementations may only
+/// differ in *when* transactions complete, never in the request/consume
+/// protocol or the comparator-array ordering guarantee.
+pub trait MemBackend {
+    /// Construct the backend for `n_cores` cores. The timing parameters
+    /// come from `cfg` (including `cfg.backend` for implementations
+    /// configured through [`MemBackendKind`]).
+    fn new_backend(n_cores: usize, cfg: MemConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Advance one cycle (retire, re-check the comparator, start
+    /// service). See [`MemorySystem::tick`].
+    fn tick(&mut self);
+
+    /// Issue a request; `false` means the `(core, port)` buffer is busy.
+    /// See [`MemorySystem::try_issue`].
+    fn try_issue(&mut self, core: usize, port: Port, addr: u32) -> bool;
+
+    /// Is the `(core, port)` buffer occupied?
+    fn port_busy(&self, core: usize, port: Port) -> bool;
+
+    /// Has the load on `(core, port)` completed?
+    fn load_ready(&self, core: usize, port: Port) -> bool;
+
+    /// Consume a completed load, freeing the buffer.
+    fn consume_load(&mut self, core: usize, port: Port) -> u32;
+
+    /// Are all buffers of all cores empty?
+    fn all_idle(&self) -> bool;
+
+    /// Is a header store to `addr` pending (comparator-array view)?
+    fn header_store_pending(&self, addr: u32) -> bool;
+
+    /// Global event horizon for the naive fast-forward (contract
+    /// obligation 1). See [`MemorySystem::next_event_cycle`].
+    fn next_event_cycle(&self) -> Option<u64>;
+
+    /// Conservative lower bound on the next core-visible change
+    /// (contract obligation 2). See
+    /// [`MemorySystem::next_activity_cycle`].
+    fn next_activity_cycle(&self) -> Option<u64>;
+
+    /// Is the coming tick core-invisible (contract obligation 3)? See
+    /// [`MemorySystem::next_tick_starts_service_only`].
+    fn next_tick_starts_service_only(&self) -> bool;
+
+    /// Skip `k` dead-wait cycles in one jump (contract obligation 4).
+    fn fast_forward(&mut self, k: u64);
+
+    /// Align the memory clock with the engine clock (only legal with no
+    /// traffic in flight).
+    fn set_cycle(&mut self, cycle: u64);
+
+    /// Current cycle number.
+    fn cycle(&self) -> u64;
+
+    /// The active configuration.
+    fn config(&self) -> &MemConfig;
+
+    /// Latency, in cycles, of one uncontended random read — what the
+    /// sequential root phase charges per root header fetch (the
+    /// artificial `extra_latency` knob is *not* included, matching the
+    /// engine's historical `cfg.latency`-based charge). The fixed
+    /// backend returns exactly `cfg.latency`; the DRAM backend returns
+    /// its closed-row access time (`t_rcd + t_cas`).
+    fn uncontended_read_latency(&self) -> u32;
+
+    /// Turn on the cycle-stamped transition log.
+    fn enable_event_log(&mut self);
+
+    /// Is the transition log enabled?
+    fn event_log_enabled(&self) -> bool;
+
+    /// Take ownership of the recorded events.
+    fn take_event_log(&mut self) -> Vec<MemEventRecord>;
+
+    /// Turn on the sparse-engine wake feed (contract obligation 5).
+    fn enable_wake_feed(&mut self, n_cores: usize);
+
+    /// Core ids whose transactions retired since the last
+    /// [`MemBackend::clear_wakes`].
+    fn wakes(&self) -> &[usize];
+
+    /// Forget the drained wake notifications.
+    fn clear_wakes(&mut self);
+
+    /// Statistics so far.
+    fn stats(&self) -> &MemStats;
+
+    /// Consume the drained backend, yielding its statistics.
+    fn into_stats(self) -> MemStats
+    where
+        Self: Sized;
+
+    /// Requests currently waiting for service (monitoring).
+    fn queue_len(&self) -> usize;
+
+    /// Age of the oldest in-flight transaction (deadlock diagnostics).
+    fn oldest_inflight_age(&self) -> Option<u64>;
+}
+
+/// The fixed latency/bandwidth model *is* the reference backend: pure
+/// delegation, so trait-routed runs are bit-exact with direct calls.
+impl MemBackend for MemorySystem {
+    fn new_backend(n_cores: usize, cfg: MemConfig) -> MemorySystem {
+        MemorySystem::new(n_cores, cfg)
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        MemorySystem::tick(self)
+    }
+
+    #[inline]
+    fn try_issue(&mut self, core: usize, port: Port, addr: u32) -> bool {
+        MemorySystem::try_issue(self, core, port, addr)
+    }
+
+    #[inline]
+    fn port_busy(&self, core: usize, port: Port) -> bool {
+        MemorySystem::port_busy(self, core, port)
+    }
+
+    #[inline]
+    fn load_ready(&self, core: usize, port: Port) -> bool {
+        MemorySystem::load_ready(self, core, port)
+    }
+
+    #[inline]
+    fn consume_load(&mut self, core: usize, port: Port) -> u32 {
+        MemorySystem::consume_load(self, core, port)
+    }
+
+    #[inline]
+    fn all_idle(&self) -> bool {
+        MemorySystem::all_idle(self)
+    }
+
+    #[inline]
+    fn header_store_pending(&self, addr: u32) -> bool {
+        MemorySystem::header_store_pending(self, addr)
+    }
+
+    #[inline]
+    fn next_event_cycle(&self) -> Option<u64> {
+        MemorySystem::next_event_cycle(self)
+    }
+
+    #[inline]
+    fn next_activity_cycle(&self) -> Option<u64> {
+        MemorySystem::next_activity_cycle(self)
+    }
+
+    #[inline]
+    fn next_tick_starts_service_only(&self) -> bool {
+        MemorySystem::next_tick_starts_service_only(self)
+    }
+
+    #[inline]
+    fn fast_forward(&mut self, k: u64) {
+        MemorySystem::fast_forward(self, k)
+    }
+
+    #[inline]
+    fn set_cycle(&mut self, cycle: u64) {
+        MemorySystem::set_cycle(self, cycle)
+    }
+
+    #[inline]
+    fn cycle(&self) -> u64 {
+        MemorySystem::cycle(self)
+    }
+
+    #[inline]
+    fn config(&self) -> &MemConfig {
+        MemorySystem::config(self)
+    }
+
+    #[inline]
+    fn uncontended_read_latency(&self) -> u32 {
+        self.config().latency
+    }
+
+    fn enable_event_log(&mut self) {
+        MemorySystem::enable_event_log(self)
+    }
+
+    #[inline]
+    fn event_log_enabled(&self) -> bool {
+        MemorySystem::event_log_enabled(self)
+    }
+
+    fn take_event_log(&mut self) -> Vec<MemEventRecord> {
+        MemorySystem::take_event_log(self)
+    }
+
+    fn enable_wake_feed(&mut self, n_cores: usize) {
+        MemorySystem::enable_wake_feed(self, n_cores)
+    }
+
+    #[inline]
+    fn wakes(&self) -> &[usize] {
+        MemorySystem::wakes(self)
+    }
+
+    #[inline]
+    fn clear_wakes(&mut self) {
+        MemorySystem::clear_wakes(self)
+    }
+
+    #[inline]
+    fn stats(&self) -> &MemStats {
+        MemorySystem::stats(self)
+    }
+
+    fn into_stats(self) -> MemStats {
+        MemorySystem::into_stats(self)
+    }
+
+    #[inline]
+    fn queue_len(&self) -> usize {
+        MemorySystem::queue_len(self)
+    }
+
+    fn oldest_inflight_age(&self) -> Option<u64> {
+        MemorySystem::oldest_inflight_age(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::PagePolicy;
+
+    /// Every input class the parser distinguishes, in one place — the
+    /// documentation test for the `HWGC_MEM_BACKEND` grammar (the
+    /// `sparse_from`/`jobs_from` convention).
+    #[test]
+    fn backend_from_documents_every_input_class() {
+        // Unset, empty, and explicit `fixed` are the fixed backend.
+        assert_eq!(backend_from(None), MemBackendKind::Fixed);
+        assert_eq!(backend_from(Some("")), MemBackendKind::Fixed);
+        assert_eq!(backend_from(Some("  ")), MemBackendKind::Fixed);
+        assert_eq!(backend_from(Some("fixed")), MemBackendKind::Fixed);
+        assert_eq!(backend_from(Some(" Fixed ")), MemBackendKind::Fixed);
+
+        // Bare `dram` takes the default timing preset.
+        assert_eq!(
+            backend_from(Some("dram")),
+            MemBackendKind::Dram(DramConfig::default())
+        );
+        assert_eq!(
+            backend_from(Some(" DRAM ")),
+            MemBackendKind::Dram(DramConfig::default())
+        );
+
+        // Named presets.
+        for name in ["150ns", "120ns", "100ns", "80ns"] {
+            let spelled = format!("dram:{name}");
+            assert_eq!(
+                backend_from(Some(&spelled)),
+                MemBackendKind::Dram(DramConfig::preset(name).unwrap()),
+                "{spelled}"
+            );
+        }
+
+        // Page-policy suffix, with or without a preset.
+        let closed = backend_from(Some("dram:closed"));
+        assert_eq!(
+            closed,
+            MemBackendKind::Dram(DramConfig {
+                page_policy: PagePolicy::Closed,
+                ..DramConfig::default()
+            })
+        );
+        assert_eq!(
+            backend_from(Some("dram:80ns:closed")),
+            MemBackendKind::Dram(DramConfig {
+                page_policy: PagePolicy::Closed,
+                ..DramConfig::preset("80ns").unwrap()
+            })
+        );
+        assert_eq!(
+            backend_from(Some("dram:open")),
+            MemBackendKind::Dram(DramConfig::default())
+        );
+
+        // Anything unrecognized falls back to the fixed backend.
+        assert_eq!(backend_from(Some("sram")), MemBackendKind::Fixed);
+        assert_eq!(backend_from(Some("dram:200ns")), MemBackendKind::Fixed);
+        assert_eq!(
+            backend_from(Some("dram:100ns:bogus")),
+            MemBackendKind::Fixed
+        );
+        assert_eq!(backend_from(Some("1")), MemBackendKind::Fixed);
+    }
+
+    #[test]
+    fn fixed_backend_uncontended_read_latency_is_exactly_cfg_latency() {
+        // The root phase charges `latency + 1` per root header read and
+        // excludes `extra_latency`; the trait must preserve that so the
+        // refactor is bit-exact (the BENCH_simulator.json pin).
+        let cfg = MemConfig {
+            latency: 7,
+            ..MemConfig::default()
+        }
+        .with_extra_latency(20);
+        let m = MemorySystem::new(1, cfg);
+        assert_eq!(MemBackend::uncontended_read_latency(&m), 7);
+    }
+}

@@ -1,0 +1,1031 @@
+//! The bank/row DRAM timing backend.
+//!
+//! [`DramMemorySystem`] keeps the fixed model's request protocol — the
+//! same per-core single-entry port buffers, the same comparator array
+//! ordering header loads behind matching header stores, the same
+//! optional header cache and retirement calendar — but replaces the flat
+//! `latency` with a row-buffer model over `n_banks` independent banks:
+//!
+//! * **row hit** — the addressed row is open: `tCAS`;
+//! * **row empty** — the bank is precharged: `tRCD + tCAS`;
+//! * **row conflict** — another row is open: wait out the remainder of
+//!   `tRAS` since that row's activate, then `tRP + tRCD + tCAS`.
+//!
+//! Addresses map row-interleaved: `row = addr / row_words`,
+//! `bank = row % n_banks`, so Cheney's sequentially allocated tospace
+//! streams stay inside one open row for `row_words` words — the effect
+//! the paper's flat-latency prototype could not measure — while random
+//! header traffic scatters across banks.
+//!
+//! Each bank serves one access at a time (`ready_at`) from its own FIFO
+//! queue; a global `bandwidth` cap bounds service starts per cycle, and
+//! banks are scanned in index order, so service is deterministic. Under
+//! [`PagePolicy::Closed`] every access auto-precharges (`ready_at`
+//! extends by `tRP`, the next access is always a row empty).
+//!
+//! The Figure 6 `extra_latency` knob still applies to every access.
+//! `tCAS >= 1` is asserted, so no access retires within its service
+//! start tick — the calendar contracts below need no zero-latency path.
+//!
+//! # Calendar/fast-forward contracts (see [`crate::MemBackend`])
+//!
+//! * `next_activity_cycle` returns `Some(cycle + 1)` whenever any bank
+//!   queue is non-empty or a comparator re-check is pending — a
+//!   conservative lower bound (a bank may still be busy next tick); the
+//!   sparse engine then single-steps through bank-busy windows, which
+//!   terminates because every queue drains at the in-service
+//!   retirements the calendar tracks. With all queues empty it is the
+//!   retirement horizon, exactly as in the fixed model.
+//! * `next_event_cycle` requires global quiescence (no queued request,
+//!   no unconsumed load, no pending re-check) — then ticks up to the
+//!   horizon are pure waits: banks only change state at service starts
+//!   and the absolute `ready_at`/`active_since` stamps do not drift.
+//! * `next_tick_starts_service_only` holds whenever requests are queued
+//!   but nothing retires next tick and no load data waits: every
+//!   possible service start has latency `>= tCAS >= 1`, and a tick in
+//!   which busy banks start nothing at all is equally core-invisible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::backend::{MemBackend, MemBackendKind};
+use crate::system::{
+    remove_one, MemConfig, MemEvent, MemEventRecord, MemStats, Port, RowOutcome, Txn, TxnState,
+    PORT_COUNT,
+};
+
+/// Row-buffer page policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Leave the accessed row open (row hits possible; conflicts pay
+    /// precharge + activate).
+    Open,
+    /// Auto-precharge after every access: no hits, no conflicts, every
+    /// access is a row empty, and the bank re-arms `tRP` after data.
+    Closed,
+}
+
+impl PagePolicy {
+    /// Parse a policy token from the `HWGC_MEM_BACKEND` grammar.
+    pub fn parse(text: &str) -> Option<PagePolicy> {
+        match text {
+            "open" => Some(PagePolicy::Open),
+            "closed" => Some(PagePolicy::Closed),
+            _ => None,
+        }
+    }
+}
+
+/// DRAM timing parameters, in core clock cycles.
+///
+/// The named presets scale the TMS4256-style nanosecond tiers of
+/// seritools/picoram's `DramTimingConfig` (150/120/100/80 ns parts)
+/// onto the paper's 25 MHz-class core clock (≈25 ns per core cycle,
+/// rounded up — the prototype's DDR-SDRAM ran several times faster
+/// than the cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Activate-to-column delay (row empty adds this before `t_cas`).
+    pub t_rcd: u32,
+    /// Column access latency — every access pays at least this.
+    pub t_cas: u32,
+    /// Precharge time (conflict and closed-page re-arm delay).
+    pub t_rp: u32,
+    /// Minimum row-active time before a precharge may begin.
+    pub t_ras: u32,
+    /// Independent banks (row-interleaved mapping).
+    pub n_banks: u32,
+    /// Words per DRAM row — the unit of row-buffer locality.
+    pub row_words: u32,
+    /// Open- or closed-page controller policy.
+    pub page_policy: PagePolicy,
+}
+
+impl Default for DramConfig {
+    /// The `100ns` preset with open-page policy: comparable in
+    /// random-access cost to the fixed model's default `latency: 5`
+    /// (`tRCD + tCAS = 3` on an empty bank, more under conflicts).
+    fn default() -> DramConfig {
+        DramConfig::preset("100ns").expect("default preset exists")
+    }
+}
+
+impl DramConfig {
+    /// Look up a named timing preset (`150ns`, `120ns`, `100ns`,
+    /// `80ns`). All presets use 8 banks, 128-word rows, open page.
+    pub fn preset(name: &str) -> Option<DramConfig> {
+        let (t_ras, t_cas, t_rcd, t_rp) = match name {
+            "150ns" => (6, 3, 1, 4),
+            "120ns" => (5, 3, 1, 4),
+            "100ns" => (4, 2, 1, 4),
+            "80ns" => (4, 2, 1, 3),
+            _ => return None,
+        };
+        Some(DramConfig {
+            t_rcd,
+            t_cas,
+            t_rp,
+            t_ras,
+            n_banks: 8,
+            row_words: 128,
+            page_policy: PagePolicy::Open,
+        })
+    }
+}
+
+/// Bank/row counters, carried in [`MemStats::dram`] (always `Some` for
+/// this backend, `None` for the fixed one).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Accesses that found their row open.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank (includes every closed-page
+    /// access).
+    pub row_empties: u64,
+    /// Accesses that had to close another row first.
+    pub row_conflicts: u64,
+    /// Service starts per bank.
+    pub bank_accesses: Vec<u64>,
+    /// Cycles each bank spent busy (access in flight or precharging).
+    pub bank_busy_cycles: Vec<u64>,
+}
+
+impl DramStats {
+    /// Total service starts.
+    pub fn total_accesses(&self) -> u64 {
+        self.row_hits + self.row_empties + self.row_conflicts
+    }
+
+    /// Fraction of accesses that hit an open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-bank row-buffer and availability state. Timestamps are absolute
+/// cycles, so clock jumps (`fast_forward`, `set_cycle`) need no fixup.
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u32>,
+    /// First cycle at which this bank may start another access.
+    ready_at: u64,
+    /// Cycle the open row's activate was issued (for the `tRAS` floor).
+    active_since: u64,
+}
+
+/// The bank/row DRAM backend (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DramMemorySystem {
+    cfg: MemConfig,
+    dram: DramConfig,
+    cycle: u64,
+    /// `ports[core][port]` — identical protocol to the fixed model.
+    ports: Vec<[Option<Txn>; PORT_COUNT]>,
+    /// Per-bank service queues, FIFO within a bank.
+    bank_queues: Vec<VecDeque<(usize, Port, u32)>>,
+    /// Total requests across all bank queues.
+    queued_total: usize,
+    pending_header_stores: Vec<u32>,
+    header_cache: Vec<Option<u32>>,
+    banks: Vec<Bank>,
+    stats: MemStats,
+    occupied: usize,
+    in_service: usize,
+    blocked: usize,
+    complete: usize,
+    next_retire: u64,
+    retire_cal: BinaryHeap<Reverse<(u64, u32, u8)>>,
+    pending_stores_dirty: bool,
+    wake_feed: Option<Vec<usize>>,
+    events: Option<Vec<MemEventRecord>>,
+}
+
+impl DramMemorySystem {
+    /// DRAM backend serving `n_cores` cores. Timing comes from
+    /// `cfg.backend` when it is [`MemBackendKind::Dram`], otherwise
+    /// from [`DramConfig::default`].
+    pub fn new(n_cores: usize, cfg: MemConfig) -> DramMemorySystem {
+        let dram = match cfg.backend {
+            MemBackendKind::Dram(d) => d,
+            MemBackendKind::Fixed => DramConfig::default(),
+        };
+        assert!(cfg.bandwidth > 0, "bandwidth must be positive");
+        assert!(dram.t_cas >= 1, "tCAS must be at least one cycle");
+        assert!(dram.n_banks >= 1, "need at least one bank");
+        assert!(dram.row_words >= 1, "rows must hold at least one word");
+        let n_banks = dram.n_banks as usize;
+        // Built in a loop, not `vec![..; n]`: cloning a `VecDeque` does
+        // not preserve capacity, and the steady-state loop must never
+        // grow these (the engine's no-alloc test counts).
+        let queue_cap = n_cores * PORT_COUNT + PORT_COUNT;
+        let mut bank_queues = Vec::with_capacity(n_banks);
+        bank_queues.resize_with(n_banks, || VecDeque::with_capacity(queue_cap));
+        DramMemorySystem {
+            cfg,
+            dram,
+            cycle: 0,
+            ports: vec![[None; PORT_COUNT]; n_cores],
+            bank_queues,
+            queued_total: 0,
+            pending_header_stores: Vec::with_capacity(n_cores + 1),
+            header_cache: vec![None; cfg.header_cache_entries],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0,
+                    active_since: 0,
+                };
+                n_banks
+            ],
+            stats: MemStats {
+                dram: Some(DramStats {
+                    bank_accesses: vec![0; n_banks],
+                    bank_busy_cycles: vec![0; n_banks],
+                    ..DramStats::default()
+                }),
+                ..MemStats::default()
+            },
+            occupied: 0,
+            in_service: 0,
+            blocked: 0,
+            complete: 0,
+            next_retire: u64::MAX,
+            retire_cal: BinaryHeap::with_capacity(n_cores * PORT_COUNT + PORT_COUNT),
+            pending_stores_dirty: false,
+            wake_feed: None,
+            events: None,
+        }
+    }
+
+    /// The DRAM timing parameters in effect.
+    pub fn dram_config(&self) -> &DramConfig {
+        &self.dram
+    }
+
+    #[inline]
+    fn bank_of(&self, addr: u32) -> usize {
+        ((addr / self.dram.row_words) % self.dram.n_banks) as usize
+    }
+
+    #[inline]
+    fn push_wake(&mut self, core: usize) {
+        if let Some(feed) = &mut self.wake_feed {
+            feed.push(core);
+        }
+    }
+
+    #[inline]
+    fn log(&mut self, event: MemEvent) {
+        if let Some(events) = &mut self.events {
+            events.push(MemEventRecord {
+                cycle: self.cycle,
+                event,
+            });
+        }
+    }
+
+    fn cache_lookup(&mut self, addr: u32) -> bool {
+        if self.header_cache.is_empty() {
+            return false;
+        }
+        let set = addr as usize % self.header_cache.len();
+        if self.header_cache[set] == Some(addr) {
+            self.stats.header_cache_hits += 1;
+            true
+        } else {
+            self.stats.header_cache_misses += 1;
+            false
+        }
+    }
+
+    fn cache_fill(&mut self, addr: u32) {
+        if self.header_cache.is_empty() {
+            return;
+        }
+        let set = addr as usize % self.header_cache.len();
+        self.header_cache[set] = Some(addr);
+    }
+
+    /// Resolve one access against bank `b`'s row buffer at the current
+    /// cycle: returns the service latency (before `extra_latency`) and
+    /// the row outcome, and commits the bank's new row/timing state for
+    /// an access completing at `now + latency (+ extra)`.
+    fn access_bank(&mut self, b: usize, addr: u32) -> (u32, RowOutcome) {
+        let row = addr / self.dram.row_words;
+        let now = self.cycle;
+        let bank = &mut self.banks[b];
+        match self.dram.page_policy {
+            PagePolicy::Closed => (self.dram.t_rcd + self.dram.t_cas, RowOutcome::Empty),
+            PagePolicy::Open => match bank.open_row {
+                Some(open) if open == row => (self.dram.t_cas, RowOutcome::Hit),
+                Some(_) => {
+                    // Precharge may only begin once the open row has
+                    // been active for `tRAS`; pay the remainder first.
+                    let ras_rest =
+                        (bank.active_since + self.dram.t_ras as u64).saturating_sub(now) as u32;
+                    let latency = ras_rest + self.dram.t_rp + self.dram.t_rcd + self.dram.t_cas;
+                    bank.open_row = Some(row);
+                    bank.active_since = now + (ras_rest + self.dram.t_rp) as u64;
+                    (latency, RowOutcome::Conflict)
+                }
+                None => {
+                    bank.open_row = Some(row);
+                    bank.active_since = now;
+                    (self.dram.t_rcd + self.dram.t_cas, RowOutcome::Empty)
+                }
+            },
+        }
+    }
+
+    /// Advance one cycle: retire due transactions, re-check the
+    /// comparator array, then let ready banks start service under the
+    /// global bandwidth cap. Structure mirrors
+    /// [`crate::MemorySystem::tick`]; only step 3 differs.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+
+        // 1. Retire in-service transactions that are due.
+        if self.in_service > 0 && self.next_retire <= self.cycle {
+            while let Some(&Reverse((done_at, core, port_idx))) = self.retire_cal.peek() {
+                if done_at > self.cycle {
+                    break;
+                }
+                self.retire_cal.pop();
+                let core = core as usize;
+                let port = Port::ALL[port_idx as usize];
+                let txn = self.ports[core][port_idx as usize]
+                    .as_mut()
+                    .expect("calendar entry without a transaction");
+                debug_assert_eq!(txn.state, TxnState::InService { done_at });
+                self.in_service -= 1;
+                if port.is_load() {
+                    txn.state = TxnState::Complete;
+                    self.complete += 1;
+                } else {
+                    if port == Port::HeaderStore {
+                        let addr = txn.addr;
+                        remove_one(&mut self.pending_header_stores, addr);
+                        self.pending_stores_dirty = true;
+                    }
+                    self.ports[core][port_idx as usize] = None;
+                    self.occupied -= 1;
+                }
+                self.log(MemEvent::Retire {
+                    core: core as u32,
+                    port,
+                });
+                self.push_wake(core);
+            }
+            self.next_retire = match self.retire_cal.peek() {
+                Some(&Reverse((done_at, _, _))) => done_at,
+                None => u64::MAX,
+            };
+        }
+
+        // 2. Comparator re-check (identical to the fixed model).
+        if self.blocked > 0 {
+            if self.pending_stores_dirty {
+                for core in 0..self.ports.len() {
+                    if let Some(txn) = &mut self.ports[core][Port::HeaderLoad as usize] {
+                        if txn.state == TxnState::Blocked {
+                            if self.pending_header_stores.contains(&txn.addr) {
+                                self.stats.comparator_blocked_cycles += 1;
+                            } else {
+                                txn.state = TxnState::Queued;
+                                let addr = txn.addr;
+                                self.blocked -= 1;
+                                let bank = self.bank_of(addr);
+                                self.bank_queues[bank].push_back((core, Port::HeaderLoad, addr));
+                                self.queued_total += 1;
+                                self.log(MemEvent::CompUnblocked {
+                                    core: core as u32,
+                                    addr,
+                                });
+                            }
+                        }
+                    }
+                }
+            } else {
+                self.stats.comparator_blocked_cycles += self.blocked as u64;
+            }
+        }
+        self.pending_stores_dirty = false;
+
+        // 3. Ready banks start service, bank index order, up to
+        // `bandwidth` starts per cycle, one in-flight access per bank.
+        if self.queued_total > 0 {
+            self.stats.queue_occupancy_sum += self.queued_total as u64;
+            self.stats.queue_busy_cycles += 1;
+            let mut budget = self.cfg.bandwidth;
+            for b in 0..self.banks.len() {
+                if budget == 0 {
+                    break;
+                }
+                if self.bank_queues[b].is_empty() || self.banks[b].ready_at > self.cycle {
+                    continue;
+                }
+                let (core, port, addr) = self.bank_queues[b].pop_front().expect("checked");
+                self.queued_total -= 1;
+                budget -= 1;
+                let left_behind = self.bank_queues[b].len() as u32;
+                let (row_latency, outcome) = self.access_bank(b, addr);
+                let latency = row_latency + self.cfg.extra_latency;
+                debug_assert!(latency >= 1, "tCAS >= 1 forbids zero-latency service");
+                let done_at = self.cycle + latency as u64;
+                self.banks[b].ready_at = match self.dram.page_policy {
+                    PagePolicy::Open => done_at,
+                    PagePolicy::Closed => done_at + self.dram.t_rp as u64,
+                };
+                let busy = self.banks[b].ready_at - self.cycle;
+                let dstats = self.stats.dram.as_mut().expect("dram stats present");
+                match outcome {
+                    RowOutcome::Hit => dstats.row_hits += 1,
+                    RowOutcome::Empty => dstats.row_empties += 1,
+                    RowOutcome::Conflict => dstats.row_conflicts += 1,
+                }
+                dstats.bank_accesses[b] += 1;
+                dstats.bank_busy_cycles[b] += busy;
+                self.log(MemEvent::DramAccess {
+                    core: core as u32,
+                    port,
+                    bank: b as u32,
+                    outcome,
+                    bank_queue: left_behind,
+                });
+                self.log(MemEvent::ServiceStart {
+                    core: core as u32,
+                    port,
+                    latency,
+                });
+                let txn = self.ports[core][port as usize]
+                    .as_mut()
+                    .expect("queued transaction must exist");
+                debug_assert_eq!(txn.state, TxnState::Queued);
+                txn.state = TxnState::InService { done_at };
+                self.in_service += 1;
+                self.retire_cal
+                    .push(Reverse((done_at, core as u32, port as u8)));
+                self.next_retire = self.next_retire.min(done_at);
+            }
+        }
+    }
+
+    /// Issue a request on `(core, port)` — the protocol (port buffers,
+    /// comparator array, header cache) is identical to
+    /// [`crate::MemorySystem::try_issue`]; only the queue the request
+    /// joins is per-bank.
+    pub fn try_issue(&mut self, core: usize, port: Port, addr: u32) -> bool {
+        if self.ports[core][port as usize].is_some() {
+            return false;
+        }
+        let mut state = TxnState::Queued;
+        if port == Port::HeaderLoad && self.pending_header_stores.contains(&addr) {
+            state = TxnState::Blocked;
+        } else if port == Port::HeaderLoad && self.cache_lookup(addr) {
+            state = TxnState::Complete;
+        }
+        if port == Port::HeaderLoad && state == TxnState::Queued {
+            self.cache_fill(addr);
+        }
+        if port == Port::HeaderStore {
+            self.pending_header_stores.push(addr);
+            self.cache_fill(addr);
+        }
+        self.ports[core][port as usize] = Some(Txn {
+            addr,
+            state,
+            issued_at: self.cycle,
+        });
+        self.occupied += 1;
+        self.log(MemEvent::Issue {
+            core: core as u32,
+            port,
+            addr,
+        });
+        match state {
+            TxnState::Queued => {
+                let bank = self.bank_of(addr);
+                self.bank_queues[bank].push_back((core, port, addr));
+                self.queued_total += 1;
+            }
+            TxnState::Blocked => {
+                self.blocked += 1;
+                self.log(MemEvent::CompBlocked {
+                    core: core as u32,
+                    addr,
+                });
+            }
+            TxnState::Complete => {
+                self.complete += 1;
+                self.log(MemEvent::CacheHit {
+                    core: core as u32,
+                    addr,
+                });
+            }
+            TxnState::InService { .. } => unreachable!("issue never starts service"),
+        }
+        self.stats.issued[port as usize] += 1;
+        true
+    }
+}
+
+impl MemBackend for DramMemorySystem {
+    fn new_backend(n_cores: usize, cfg: MemConfig) -> DramMemorySystem {
+        DramMemorySystem::new(n_cores, cfg)
+    }
+
+    #[inline]
+    fn tick(&mut self) {
+        DramMemorySystem::tick(self)
+    }
+
+    #[inline]
+    fn try_issue(&mut self, core: usize, port: Port, addr: u32) -> bool {
+        DramMemorySystem::try_issue(self, core, port, addr)
+    }
+
+    #[inline]
+    fn port_busy(&self, core: usize, port: Port) -> bool {
+        self.ports[core][port as usize].is_some()
+    }
+
+    #[inline]
+    fn load_ready(&self, core: usize, port: Port) -> bool {
+        assert!(port.is_load());
+        matches!(
+            self.ports[core][port as usize],
+            Some(Txn {
+                state: TxnState::Complete,
+                ..
+            })
+        )
+    }
+
+    fn consume_load(&mut self, core: usize, port: Port) -> u32 {
+        assert!(port.is_load());
+        let txn = self.ports[core][port as usize]
+            .take()
+            .expect("no load in buffer");
+        assert_eq!(
+            txn.state,
+            TxnState::Complete,
+            "load consumed before completion"
+        );
+        self.occupied -= 1;
+        self.complete -= 1;
+        self.log(MemEvent::Consume {
+            core: core as u32,
+            port,
+        });
+        txn.addr
+    }
+
+    #[inline]
+    fn all_idle(&self) -> bool {
+        self.occupied == 0
+    }
+
+    #[inline]
+    fn header_store_pending(&self, addr: u32) -> bool {
+        self.pending_header_stores.contains(&addr)
+    }
+
+    fn next_event_cycle(&self) -> Option<u64> {
+        if self.queued_total > 0
+            || self.complete > 0
+            || self.pending_stores_dirty
+            || self.in_service == 0
+        {
+            return None;
+        }
+        Some(self.next_retire)
+    }
+
+    fn next_activity_cycle(&self) -> Option<u64> {
+        if self.queued_total > 0 || self.pending_stores_dirty {
+            return Some(self.cycle + 1);
+        }
+        if self.in_service == 0 {
+            return None;
+        }
+        Some(self.next_retire)
+    }
+
+    fn next_tick_starts_service_only(&self) -> bool {
+        // Every possible service start has latency >= tCAS >= 1 (no
+        // burst-continuation path), and ticks in which busy banks start
+        // nothing are equally core-invisible — so unlike the fixed
+        // model, no per-request latency peek is needed.
+        self.queued_total > 0 && self.complete == 0 && self.next_retire > self.cycle + 1
+    }
+
+    fn fast_forward(&mut self, k: u64) {
+        debug_assert!(self.queued_total == 0, "fast-forward with queued requests");
+        self.cycle += k;
+        self.stats.cycles += k;
+        self.stats.comparator_blocked_cycles += k * self.blocked as u64;
+    }
+
+    fn set_cycle(&mut self, cycle: u64) {
+        assert!(cycle >= self.cycle, "memory clock may not go backwards");
+        assert!(
+            self.occupied == 0 && self.queued_total == 0,
+            "set_cycle with traffic in flight"
+        );
+        self.cycle = cycle;
+    }
+
+    #[inline]
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    #[inline]
+    fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn uncontended_read_latency(&self) -> u32 {
+        // A root header fetch lands on a precharged bank: activate +
+        // column access (`extra_latency` excluded, as in the fixed
+        // backend).
+        self.dram.t_rcd + self.dram.t_cas
+    }
+
+    fn enable_event_log(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    #[inline]
+    fn event_log_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    fn take_event_log(&mut self) -> Vec<MemEventRecord> {
+        self.events.take().unwrap_or_default()
+    }
+
+    fn enable_wake_feed(&mut self, n_cores: usize) {
+        self.wake_feed = Some(Vec::with_capacity(n_cores * PORT_COUNT));
+    }
+
+    #[inline]
+    fn wakes(&self) -> &[usize] {
+        self.wake_feed.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn clear_wakes(&mut self) {
+        if let Some(feed) = &mut self.wake_feed {
+            feed.clear();
+        }
+    }
+
+    #[inline]
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn into_stats(self) -> MemStats {
+        self.stats
+    }
+
+    #[inline]
+    fn queue_len(&self) -> usize {
+        self.queued_total
+    }
+
+    fn oldest_inflight_age(&self) -> Option<u64> {
+        self.ports
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|t| self.cycle.saturating_sub(t.issued_at))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram_cfg() -> DramConfig {
+        DramConfig {
+            t_rcd: 2,
+            t_cas: 2,
+            t_rp: 3,
+            t_ras: 6,
+            n_banks: 4,
+            row_words: 16,
+            page_policy: PagePolicy::Open,
+        }
+    }
+
+    fn mem(n: usize) -> DramMemorySystem {
+        DramMemorySystem::new(
+            n,
+            MemConfig {
+                bandwidth: 2,
+                backend: MemBackendKind::Dram(dram_cfg()),
+                ..MemConfig::default()
+            },
+        )
+    }
+
+    fn dstats(m: &DramMemorySystem) -> &DramStats {
+        m.stats.dram.as_ref().unwrap()
+    }
+
+    #[test]
+    fn row_empty_then_hit_then_conflict() {
+        let mut m = mem(1);
+        // Cold bank: empty access, tRCD + tCAS = 4.
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        m.tick(); // service starts at cycle 1, done at 5
+        for _ in 0..3 {
+            m.tick();
+            assert!(!m.load_ready(0, Port::BodyLoad));
+        }
+        m.tick(); // cycle 5
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert_eq!(m.consume_load(0, Port::BodyLoad), 0);
+        assert_eq!(dstats(&m).row_empties, 1);
+
+        // Same row: hit, tCAS = 2.
+        assert!(m.try_issue(0, Port::BodyLoad, 1));
+        m.tick(); // start at 6, done at 8
+        m.tick();
+        m.tick();
+        assert!(m.load_ready(0, Port::BodyLoad));
+        m.consume_load(0, Port::BodyLoad);
+        assert_eq!(dstats(&m).row_hits, 1);
+
+        // Different row, same bank (row 4 = addr 64 maps to bank 0):
+        // conflict.
+        assert!(m.try_issue(0, Port::BodyLoad, 64));
+        let before = m.cycle();
+        while !m.load_ready(0, Port::BodyLoad) {
+            m.tick();
+            assert!(m.cycle() < before + 32);
+        }
+        m.consume_load(0, Port::BodyLoad);
+        assert_eq!(dstats(&m).row_conflicts, 1);
+        // Conflict paid at least tRP + tRCD + tCAS beyond the start.
+        assert!(m.cycle() - before >= (3 + 2 + 2) as u64);
+    }
+
+    #[test]
+    fn conflict_waits_out_t_ras() {
+        let mut m = mem(1);
+        // Activate row 0 at its service start.
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        m.tick(); // activate at cycle 1, done at 5 (tRAS runs to 7)
+        for _ in 0..4 {
+            m.tick();
+        }
+        m.consume_load(0, Port::BodyLoad);
+        // Conflict right away: precharge can only start at
+        // active_since + tRAS = 1 + 6 = 7.
+        assert!(m.try_issue(0, Port::BodyLoad, 64));
+        m.tick(); // start at cycle 6: ras_rest = 1
+                  // latency = 1 + 3 + 2 + 2 = 8 → done at 14.
+        while !m.load_ready(0, Port::BodyLoad) {
+            m.tick();
+        }
+        assert_eq!(m.cycle(), 14);
+    }
+
+    #[test]
+    fn closed_page_never_hits_and_rearms_with_t_rp() {
+        let mut m = DramMemorySystem::new(
+            1,
+            MemConfig {
+                bandwidth: 2,
+                backend: MemBackendKind::Dram(DramConfig {
+                    page_policy: PagePolicy::Closed,
+                    ..dram_cfg()
+                }),
+                ..MemConfig::default()
+            },
+        );
+        for round in 0..2 {
+            assert!(m.try_issue(0, Port::BodyLoad, round));
+            while !m.load_ready(0, Port::BodyLoad) {
+                m.tick();
+            }
+            m.consume_load(0, Port::BodyLoad);
+        }
+        assert_eq!(dstats(&m).row_hits, 0);
+        assert_eq!(dstats(&m).row_empties, 2);
+        // Second access could not start while the bank precharged: its
+        // done time shows the tRP gap. First: start 1, done 5, bank
+        // ready 8. Second issued at 5, bank busy until 8 → starts at 8,
+        // done at 12.
+        assert_eq!(m.cycle(), 12);
+    }
+
+    #[test]
+    fn banks_serve_in_parallel_under_bandwidth() {
+        // Two accesses to different banks both start on the first tick
+        // (bandwidth 2), so they retire together.
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::BodyLoad, 0)); // bank 0
+        assert!(m.try_issue(1, Port::BodyLoad, 16)); // bank 1
+        for _ in 0..5 {
+            m.tick();
+        }
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert!(m.load_ready(1, Port::BodyLoad));
+    }
+
+    #[test]
+    fn one_access_in_flight_per_bank() {
+        // Two accesses to the same row of the same bank: the second
+        // waits for the bank even though global bandwidth allows it.
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        assert!(m.try_issue(1, Port::BodyLoad, 1));
+        for _ in 0..5 {
+            m.tick();
+        }
+        // First: start 1 (empty, 4) → done 5. Second: bank ready at 5,
+        // starts at 5 (hit, 2) → done 7.
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert!(!m.load_ready(1, Port::BodyLoad));
+        m.tick();
+        m.tick();
+        assert!(m.load_ready(1, Port::BodyLoad));
+    }
+
+    #[test]
+    fn comparator_orders_header_load_after_store() {
+        let mut m = mem(2);
+        assert!(m.try_issue(0, Port::HeaderStore, 42));
+        assert!(m.try_issue(1, Port::HeaderLoad, 42));
+        assert!(m.header_store_pending(42));
+        while m.header_store_pending(42) {
+            assert!(!m.load_ready(1, Port::HeaderLoad), "load bypassed store");
+            m.tick();
+        }
+        while !m.load_ready(1, Port::HeaderLoad) {
+            m.tick();
+        }
+        assert!(m.stats().comparator_blocked_cycles > 0);
+        m.consume_load(1, Port::HeaderLoad);
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn sequential_body_stream_stays_in_the_open_row() {
+        // A Cheney-style sequential scan: after the first (empty)
+        // access, every following word in the row is a hit.
+        let mut m = mem(1);
+        for addr in 0..8u32 {
+            assert!(m.try_issue(0, Port::BodyLoad, addr));
+            while !m.load_ready(0, Port::BodyLoad) {
+                m.tick();
+            }
+            m.consume_load(0, Port::BodyLoad);
+        }
+        assert_eq!(dstats(&m).row_empties, 1);
+        assert_eq!(dstats(&m).row_hits, 7);
+    }
+
+    #[test]
+    fn horizon_contracts_match_the_fixed_model_shape() {
+        let mut m = mem(1);
+        assert_eq!(m.next_event_cycle(), None, "idle system has no horizon");
+        assert_eq!(m.next_activity_cycle(), None, "idle system is quiet");
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        assert_eq!(m.next_event_cycle(), None, "queued request blocks skipping");
+        assert_eq!(m.next_activity_cycle(), Some(m.cycle() + 1));
+        m.tick(); // start at 1, done at 5
+        assert_eq!(m.next_event_cycle(), Some(5));
+        assert_eq!(m.next_activity_cycle(), Some(5));
+        assert!(!m.next_tick_starts_service_only(), "nothing queued");
+        m.fast_forward(5 - 1 - m.cycle());
+        m.tick();
+        assert!(m.load_ready(0, Port::BodyLoad));
+        assert_eq!(
+            m.next_activity_cycle(),
+            None,
+            "completed load awaiting its owner is not future activity"
+        );
+        m.consume_load(0, Port::BodyLoad);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_exact_against_naive_ticks() {
+        let run = |ff: bool| {
+            let mut m = mem(2);
+            m.enable_event_log();
+            assert!(m.try_issue(0, Port::HeaderStore, 42));
+            assert!(m.try_issue(1, Port::HeaderLoad, 42));
+            m.tick(); // store starts; load blocked
+            if ff {
+                let horizon = MemBackend::next_event_cycle(&m).expect("in service");
+                let jump = horizon - 1 - m.cycle();
+                MemBackend::fast_forward(&mut m, jump);
+            }
+            while !m.load_ready(1, Port::HeaderLoad) {
+                m.tick();
+            }
+            m.consume_load(1, Port::HeaderLoad);
+            (m.take_event_log(), MemBackend::into_stats(m))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn wake_feed_reports_retirements() {
+        let mut m = mem(2);
+        m.enable_wake_feed(2);
+        assert!(m.try_issue(0, Port::BodyLoad, 0)); // bank 0
+        assert!(m.try_issue(1, Port::BodyStore, 16)); // bank 1
+        m.tick(); // both start (bandwidth 2): done at 5
+        assert!(m.wakes().is_empty(), "nothing retired yet");
+        for _ in 0..4 {
+            m.tick();
+        }
+        assert_eq!(m.wakes(), &[0, 1]);
+        m.clear_wakes();
+        m.consume_load(0, Port::BodyLoad);
+        assert!(m.all_idle());
+    }
+
+    #[test]
+    fn event_log_records_dram_access_outcomes() {
+        let mut m = mem(1);
+        m.enable_event_log();
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        while !m.load_ready(0, Port::BodyLoad) {
+            m.tick();
+        }
+        m.consume_load(0, Port::BodyLoad);
+        let events = m.take_event_log();
+        let access = events
+            .iter()
+            .find_map(|r| match r.event {
+                MemEvent::DramAccess {
+                    bank,
+                    outcome,
+                    bank_queue,
+                    ..
+                } => Some((bank, outcome, bank_queue)),
+                _ => None,
+            })
+            .expect("DramAccess logged");
+        assert_eq!(access, (0, RowOutcome::Empty, 0));
+        // The DramAccess immediately precedes its ServiceStart.
+        let pos = events
+            .iter()
+            .position(|r| matches!(r.event, MemEvent::DramAccess { .. }))
+            .unwrap();
+        assert!(matches!(
+            events[pos + 1].event,
+            MemEvent::ServiceStart { latency: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn extra_latency_applies_to_every_access() {
+        let mut m = DramMemorySystem::new(
+            1,
+            MemConfig {
+                bandwidth: 2,
+                backend: MemBackendKind::Dram(dram_cfg()),
+                ..MemConfig::default()
+            }
+            .with_extra_latency(20),
+        );
+        assert!(m.try_issue(0, Port::BodyLoad, 0));
+        m.tick(); // start at 1: empty (4) + 20 → done at 25
+        while !m.load_ready(0, Port::BodyLoad) {
+            m.tick();
+        }
+        assert_eq!(m.cycle(), 25);
+    }
+
+    #[test]
+    fn preset_table_is_monotone_in_speed_grade() {
+        let presets: Vec<DramConfig> = ["150ns", "120ns", "100ns", "80ns"]
+            .iter()
+            .map(|n| DramConfig::preset(n).unwrap())
+            .collect();
+        for pair in presets.windows(2) {
+            let (slow, fast) = (&pair[0], &pair[1]);
+            assert!(fast.t_ras <= slow.t_ras);
+            assert!(fast.t_cas <= slow.t_cas);
+            assert!(fast.t_rp <= slow.t_rp);
+        }
+        assert_eq!(DramConfig::preset("60ns"), None);
+    }
+}

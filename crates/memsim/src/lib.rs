@@ -28,8 +28,14 @@
 //! written at `free`, so as long as the gray population fits the FIFO, the
 //! scan-side header read needs no memory access at all.
 
+pub mod backend;
+pub mod dram;
 pub mod fifo;
 pub mod system;
 
+pub use backend::{backend_from, MemBackend, MemBackendKind};
+pub use dram::{DramConfig, DramMemorySystem, DramStats, PagePolicy};
 pub use fifo::{FifoStats, HeaderFifo};
-pub use system::{MemConfig, MemEvent, MemEventRecord, MemStats, MemorySystem, Port, PORT_COUNT};
+pub use system::{
+    MemConfig, MemEvent, MemEventRecord, MemStats, MemorySystem, Port, RowOutcome, PORT_COUNT,
+};

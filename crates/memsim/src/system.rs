@@ -3,6 +3,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::backend::{backend_from, MemBackendKind};
+use crate::dram::DramStats;
+
 /// Memory-system configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
@@ -32,8 +35,15 @@ pub struct MemConfig {
     /// requirement (header loads after matching header stores) is enforced
     /// by the comparator array *before* a request enters the queue — so a
     /// functional difference under reordering is a collector bug. `None`
-    /// (the default) keeps FIFO service.
+    /// (the default) keeps FIFO service. Fixed backend only; the DRAM
+    /// backend's service order is its per-bank FIFO discipline.
     pub service_reorder_seed: Option<u64>,
+    /// Which timing backend the engine instantiates (see
+    /// [`crate::MemBackend`]). Defaults from the `HWGC_MEM_BACKEND`
+    /// environment knob ([`backend_from`] documents the grammar);
+    /// `MemorySystem` itself ignores this field — it *is* the
+    /// [`MemBackendKind::Fixed`] implementation.
+    pub backend: MemBackendKind,
 }
 
 impl Default for MemConfig {
@@ -49,6 +59,7 @@ impl Default for MemConfig {
             extra_latency: 0,
             header_cache_entries: 0,
             service_reorder_seed: None,
+            backend: backend_from(std::env::var("HWGC_MEM_BACKEND").ok().as_deref()),
         }
     }
 }
@@ -65,6 +76,12 @@ impl MemConfig {
     /// exploration; see [`MemConfig::service_reorder_seed`]).
     pub fn with_service_reorder(mut self, seed: u64) -> MemConfig {
         self.service_reorder_seed = Some(seed);
+        self
+    }
+
+    /// Select the memory-timing backend (see [`MemBackendKind`]).
+    pub fn with_backend(mut self, backend: MemBackendKind) -> MemConfig {
+        self.backend = backend;
         self
     }
 }
@@ -98,7 +115,7 @@ impl Port {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TxnState {
+pub(crate) enum TxnState {
     /// Header load waiting for a matching header store (comparator array).
     Blocked,
     /// Waiting for DRAM service.
@@ -110,10 +127,10 @@ enum TxnState {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Txn {
-    addr: u32,
-    state: TxnState,
-    issued_at: u64,
+pub(crate) struct Txn {
+    pub(crate) addr: u32,
+    pub(crate) state: TxnState,
+    pub(crate) issued_at: u64,
 }
 
 /// One memory-system transition, as recorded by the opt-in event log (see
@@ -140,6 +157,43 @@ pub enum MemEvent {
     Retire { core: u32, port: Port },
     /// The owning core consumed waiting load data, freeing the buffer.
     Consume { core: u32, port: Port },
+    /// DRAM backend only: a service start resolved against the row
+    /// buffer of `bank` with the given `outcome`; `bank_queue` requests
+    /// were still waiting in that bank's queue afterwards. Emitted
+    /// immediately before the matching [`MemEvent::ServiceStart`], and
+    /// *never* by the fixed backend — existing event streams and golden
+    /// files are byte-identical through the trait refactor.
+    DramAccess {
+        core: u32,
+        port: Port,
+        bank: u32,
+        outcome: RowOutcome,
+        bank_queue: u32,
+    },
+}
+
+/// How a DRAM access resolved against its bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The addressed row was already open: column access only (`tCAS`).
+    Hit,
+    /// The bank was precharged (no open row): activate + column access
+    /// (`tRCD + tCAS`). Every closed-page access resolves here.
+    Empty,
+    /// Another row was open: precharge (after `tRAS` expires) +
+    /// activate + column access.
+    Conflict,
+}
+
+impl RowOutcome {
+    /// Display name (metric key segment).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowOutcome::Hit => "hit",
+            RowOutcome::Empty => "empty",
+            RowOutcome::Conflict => "conflict",
+        }
+    }
 }
 
 /// A [`MemEvent`] stamped with the memory-system cycle it occurred in
@@ -169,6 +223,10 @@ pub struct MemStats {
     pub queue_busy_cycles: u64,
     /// Total cycles observed.
     pub cycles: u64,
+    /// Bank/row counters — `Some` only when the DRAM backend produced
+    /// these stats, so fixed-backend `GcStats` comparisons (and every
+    /// committed golden) are untouched by the backend boundary.
+    pub dram: Option<DramStats>,
 }
 
 impl MemStats {
@@ -803,7 +861,7 @@ impl MemorySystem {
     }
 }
 
-fn remove_one(v: &mut Vec<u32>, value: u32) {
+pub(crate) fn remove_one(v: &mut Vec<u32>, value: u32) {
     let idx = v
         .iter()
         .position(|&x| x == value)

@@ -322,7 +322,9 @@ impl RunModel {
                                 }
                             }
                         }
-                        MemEvent::CacheHit { .. } | MemEvent::Consume { .. } => {}
+                        MemEvent::CacheHit { .. }
+                        | MemEvent::Consume { .. }
+                        | MemEvent::DramAccess { .. } => {}
                     }
                 }
                 _ => {}

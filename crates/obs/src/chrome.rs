@@ -22,7 +22,7 @@
 use crate::event::OwnedEvent;
 use crate::json::Json;
 use crate::probe::Recording;
-use hwgc_memsim::{MemEvent, Port, PORT_COUNT};
+use hwgc_memsim::{MemEvent, Port, RowOutcome, PORT_COUNT};
 
 /// Run context the exporters need but the event stream does not carry.
 #[derive(Debug, Clone)]
@@ -93,6 +93,16 @@ fn thread_name(tid: i128, name: &str) -> Json {
     )
 }
 
+/// Row-outcome counter track name (`dram.row_hits` …), cumulative over
+/// the run so the viewer's slope is the instantaneous rate.
+pub fn row_outcome_track_name(outcome: RowOutcome) -> &'static str {
+    match outcome {
+        RowOutcome::Hit => "dram.row_hits",
+        RowOutcome::Empty => "dram.row_empties",
+        RowOutcome::Conflict => "dram.row_conflicts",
+    }
+}
+
 /// Port kind display name (`port.HeaderLoad` …).
 pub fn port_track_name(port: Port) -> &'static str {
     match port {
@@ -132,6 +142,9 @@ pub fn chrome_trace_json(recording: &Recording, meta: &RunMeta) -> String {
     // Per-port-kind occupied-buffer counts (summed across cores).
     let mut port_occ = [0u64; PORT_COUNT];
     let mut port_seen = [false; PORT_COUNT];
+    // Cumulative row-buffer outcome counts (DRAM backend only; the
+    // tracks appear only when `DramAccess` events are present).
+    let mut row_outcomes = [0u64; 3];
 
     for &(ts, ref event) in &recording.events {
         match *event {
@@ -199,6 +212,19 @@ pub fn chrome_trace_json(recording: &Recording, meta: &RunMeta) -> String {
                 // slices it would drown the core tracks.
             }
             OwnedEvent::Mem(rec) => {
+                if let MemEvent::DramAccess { outcome, .. } = rec.event {
+                    let slot = match outcome {
+                        RowOutcome::Hit => 0,
+                        RowOutcome::Empty => 1,
+                        RowOutcome::Conflict => 2,
+                    };
+                    row_outcomes[slot] += 1;
+                    events.push(counter(
+                        row_outcome_track_name(outcome),
+                        rec.cycle,
+                        row_outcomes[slot],
+                    ));
+                }
                 let delta: Option<(Port, i64)> = match rec.event {
                     MemEvent::Issue { port, .. } => Some((port, 1)),
                     // Loads free the buffer at Consume, stores at Retire.

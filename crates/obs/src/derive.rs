@@ -168,6 +168,17 @@ pub fn derive_metrics(recording: &Recording, meta: &RunMeta) -> MetricsRegistry 
                 MemEvent::CacheHit { .. } => {
                     reg.counter_add("mem.header_cache.hits", 1);
                 }
+                MemEvent::DramAccess {
+                    bank,
+                    outcome,
+                    bank_queue,
+                    ..
+                } => {
+                    reg.counter_add(&format!("mem.dram.row_{}", outcome.name()), 1);
+                    reg.counter_add(&format!("mem.dram.bank{bank}.accesses"), 1);
+                    reg.histogram("mem.dram.bank_queue_depth")
+                        .record(bank_queue as u64);
+                }
                 MemEvent::Consume { .. } => {}
             },
             OwnedEvent::FifoDepth { depth } => {
