@@ -1,0 +1,281 @@
+//! CI parity smoke for the parallel window engine (`EngineKind::Par`):
+//! runs a preset × core-count × backend × latency matrix twice — the par
+//! engine with a worker pool, then the plain sparse loop — and requires
+//! bit-identical `GcStats` and allocation frontier on every combo. A
+//! traced sub-matrix on the window-rich regime additionally pins the
+//! cycle-stamped SB event streams one record at a time and publishes
+//! their FNV fingerprints, so two CI legs (or a CI leg and a laptop) can
+//! be compared by eyeballing one hex word per combo in the uploaded
+//! artifact.
+//!
+//! ```text
+//! par_smoke [--out <path>] [--host-threads <N>]
+//!           [--expect-default <on|off>] [--expect-engine <par|none>]
+//! ```
+//!
+//! * `--out` — report path (default `target/par_smoke.json`),
+//! * `--host-threads` — worker-pool size for the par side (default 2, so
+//!   the pool handshake is exercised even on a single-core runner),
+//! * `--expect-default` — assert the `HWGC_SPARSE` escape hatch exactly
+//!   like `sparse_smoke` does: the parity matrix pins the engine on both
+//!   sides, so both CI legs prove par == sparse on the full grid while
+//!   the flag proves the hatch end to end,
+//! * `--expect-engine` — assert the `HWGC_ENGINE` hatch: `par` requires
+//!   the process-default `GcConfig` to resolve to the window engine,
+//!   `none` requires the override to be absent.
+//!
+//! `par_copy_threshold` is pinned to 1 on the par side so every planned
+//! window exercises the pool dispatch path, not just the large ones.
+//! Any divergence prints the combo and exits nonzero.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
+use hwgc_heap::Snapshot;
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
+use hwgc_sync::event_fingerprint;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("par_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn sparse_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig {
+    GcConfig {
+        n_cores: cores,
+        mem: MemConfig::default()
+            .with_extra_latency(extra)
+            .with_backend(backend),
+        engine: Some(EngineKind::Sparse),
+        sparse: true,
+        ..GcConfig::default()
+    }
+}
+
+fn par_config(cores: usize, extra: u32, backend: MemBackendKind, host_threads: usize) -> GcConfig {
+    GcConfig {
+        engine: Some(EngineKind::Par),
+        host_threads,
+        par_copy_threshold: 1,
+        ..sparse_config(cores, extra, backend)
+    }
+}
+
+/// The backend axis: the fixed model in both latency regimes (+20 is the
+/// window-rich one — parked copy streams are what windows are made of),
+/// and the DRAM model under both page policies, where the engine must
+/// degrade to the plain sparse loop (no `window_ready`) and still match.
+fn backend_axis() -> Vec<(&'static str, MemBackendKind, Vec<u32>)> {
+    let closed = DramConfig {
+        page_policy: PagePolicy::Closed,
+        ..DramConfig::preset("80ns").expect("preset exists")
+    };
+    vec![
+        ("fixed", MemBackendKind::Fixed, vec![0, 20]),
+        (
+            "dram-open",
+            MemBackendKind::Dram(DramConfig::default()),
+            vec![0],
+        ),
+        ("dram-closed", MemBackendKind::Dram(closed), vec![0]),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        })
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "target/par_smoke.json".to_string());
+    let host_threads: usize = flag_value("--host-threads")
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("--host-threads: {e}")))
+        .unwrap_or(2);
+
+    if let Some(expect) = flag_value("--expect-default") {
+        let want = match expect.as_str() {
+            "on" => true,
+            "off" => false,
+            other => fail(&format!("--expect-default takes on|off, got {other:?}")),
+        };
+        let got = GcConfig::default().sparse;
+        if got != want {
+            fail(&format!(
+                "HWGC_SPARSE hatch broken: default sparse is {got}, expected {want} \
+                 (HWGC_SPARSE={:?})",
+                std::env::var("HWGC_SPARSE").ok()
+            ));
+        }
+        println!("par_smoke: default sparse = {got} (as expected)");
+    }
+
+    if let Some(expect) = flag_value("--expect-engine") {
+        let got = GcConfig::default().engine;
+        let matches = match expect.as_str() {
+            "par" => got == Some(EngineKind::Par),
+            "none" => got.is_none(),
+            other => fail(&format!("--expect-engine takes par|none, got {other:?}")),
+        };
+        if !matches {
+            fail(&format!(
+                "HWGC_ENGINE hatch broken: default engine is {got:?}, expected {expect} \
+                 (HWGC_ENGINE={:?})",
+                std::env::var("HWGC_ENGINE").ok()
+            ));
+        }
+        println!("par_smoke: default engine = {got:?} (as expected)");
+    }
+
+    let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
+    let core_counts = [1usize, 4, 16];
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{{\n  \"schema\": \"hwgc-par-smoke-v1\",\n  \"host_threads\": {host_threads},\n  \"combos\": ["
+    );
+    let mut first = true;
+    println!(
+        "{:>10}  {:>5}  {:>11}  {:>6}  {:>12}  {:>10}  {:>10}",
+        "preset", "cores", "backend", "extra", "cycles", "par ms", "sparse ms"
+    );
+    for preset in presets {
+        for cores in core_counts {
+            for (backend_name, backend, extras) in backend_axis() {
+                for extra in extras {
+                    let base = WorkloadSpec::new(preset, 42).build();
+                    let snap = Snapshot::capture(&base);
+
+                    let mut par_heap = base.clone();
+                    let t = Instant::now();
+                    let par = SimCollector::new(par_config(cores, extra, backend, host_threads))
+                        .collect(&mut par_heap);
+                    let par_s = t.elapsed().as_secs_f64();
+                    hwgc_heap::verify_collection(&par_heap, par.free, &snap).unwrap_or_else(|e| {
+                        fail(&format!(
+                            "{}/{cores}c/{backend_name} +{extra}: par run failed verification: {e}",
+                            preset.name()
+                        ))
+                    });
+
+                    let mut sparse_heap = base;
+                    let t = Instant::now();
+                    let sparse = SimCollector::new(sparse_config(cores, extra, backend))
+                        .collect(&mut sparse_heap);
+                    let sparse_s = t.elapsed().as_secs_f64();
+
+                    if par.stats != sparse.stats || par.free != sparse.free {
+                        fail(&format!(
+                            "{}/{cores}c/{backend_name} +{extra}: par diverged from sparse \
+                             ({} vs {} total cycles)",
+                            preset.name(),
+                            par.stats.total_cycles,
+                            sparse.stats.total_cycles
+                        ));
+                    }
+                    if par_heap.words() != sparse_heap.words() {
+                        fail(&format!(
+                            "{}/{cores}c/{backend_name} +{extra}: window copies left a \
+                             different heap image",
+                            preset.name()
+                        ));
+                    }
+
+                    println!(
+                        "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
+                         {:>10.3}",
+                        preset.name(),
+                        par.stats.total_cycles,
+                        par_s * 1e3,
+                        sparse_s * 1e3,
+                    );
+                    let sep = if first { "" } else { ",\n" };
+                    first = false;
+                    let _ = write!(
+                        report,
+                        "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
+                         \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
+                         \"cycles\": {}, \"par_wall_s\": {par_s:.6}, \
+                         \"sparse_wall_s\": {sparse_s:.6}, \"parity\": true}}",
+                        preset.name(),
+                        par.stats.total_cycles,
+                    );
+                }
+            }
+        }
+    }
+    report.push_str("\n  ],\n");
+
+    // Traced sub-matrix: compress under fixed +20 is the window-rich
+    // regime (thousands of windows per run), so this leg proves the
+    // closed-form replay reproduces the SB event stream the sparse
+    // engine emits tick by tick — and publishes the FNV fingerprint of
+    // that stream per combo, the one-word cross-host comparison handle.
+    report.push_str("  \"traced\": [\n");
+    let mut first = true;
+    let traced_backends = [
+        ("fixed", MemBackendKind::Fixed, 20u32),
+        ("dram-open", MemBackendKind::Dram(DramConfig::default()), 0),
+    ];
+    for cores in core_counts {
+        for (backend_name, backend, extra) in traced_backends {
+            let base = WorkloadSpec::new(Preset::Compress, 42).build();
+            let mut h1 = base.clone();
+            let mut t1 = SignalTrace::with_events(1 << 40);
+            let par = SimCollector::new(par_config(cores, extra, backend, host_threads))
+                .collect_traced(&mut h1, &mut t1);
+            let mut h2 = base;
+            let mut t2 = SignalTrace::with_events(1 << 40);
+            let sparse = SimCollector::new(sparse_config(cores, extra, backend))
+                .collect_traced(&mut h2, &mut t2);
+            if par.stats != sparse.stats {
+                fail(&format!(
+                    "compress/{cores}c/{backend_name} (traced): stats diverged"
+                ));
+            }
+            if t1.events() != t2.events() {
+                fail(&format!(
+                    "compress/{cores}c/{backend_name}: SB event streams diverged"
+                ));
+            }
+            if t1.rows() != t2.rows() {
+                fail(&format!(
+                    "compress/{cores}c/{backend_name}: trace rows diverged"
+                ));
+            }
+            let fp = event_fingerprint(t1.events());
+            println!(
+                "traced compress/{cores}c/{backend_name}: {} SB events, fingerprint \
+                 {fp:#018x}",
+                t1.events().len()
+            );
+            let sep = if first { "" } else { ",\n" };
+            first = false;
+            let _ = write!(
+                report,
+                "{sep}    {{\"preset\": \"compress\", \"cores\": {cores}, \
+                 \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
+                 \"sb_events\": {}, \"fingerprint\": \"{fp:#018x}\"}}",
+                t1.events().len(),
+            );
+        }
+    }
+    report.push_str("\n  ],\n");
+    let _ = writeln!(
+        report,
+        "  \"default_engine\": \"{:?}\"\n}}",
+        GcConfig::default().engine
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("[json] {out_path}");
+    println!("par_smoke: PASS");
+}

@@ -33,7 +33,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Snapshot;
 use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_workloads::{Preset, WorkloadSpec};
@@ -49,6 +49,7 @@ fn sparse_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig 
         mem: MemConfig::default()
             .with_extra_latency(extra)
             .with_backend(backend),
+        engine: Some(EngineKind::Sparse),
         sparse: true,
         ..GcConfig::default()
     }
@@ -56,6 +57,7 @@ fn sparse_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig 
 
 fn naive_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig {
     GcConfig {
+        engine: Some(EngineKind::Naive),
         sparse: false,
         fast_forward: false,
         ..sparse_config(cores, extra, backend)

@@ -1,0 +1,219 @@
+//! Differential matrix for the parallel window engine (the PR 7
+//! acceptance contract): `EngineKind::Par` — the sparse loop plus
+//! conservative time windows with host-thread copy fan-out — must report
+//! *exactly* what the sparse engine reports on every workload preset ×
+//! {1, 4, 16} cores × latency regime, at every host-thread count, and
+//! must leave the identical heap image. Where windows cannot soundly
+//! open (DRAM backend, schedule policies, tracing), the engine must
+//! degrade to the plain sparse loop — still bit-exact.
+//!
+//! The matrix rides the `HWGC_JOBS` worker pool; every pair is an
+//! independent simulation. `engine` is explicit everywhere so the
+//! differential still bites when CI exports `HWGC_ENGINE`.
+
+use hwgc_check::{graphs, par_map};
+use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
+use hwgc_heap::Heap;
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn sparse_config(cores: usize, extra: u32) -> GcConfig {
+    GcConfig {
+        mem: MemConfig::default().with_extra_latency(extra),
+        engine: Some(EngineKind::Sparse),
+        sparse: true,
+        ..GcConfig::with_cores(cores)
+    }
+}
+
+/// Par with a 1-word copy threshold, so even tiny windows exercise the
+/// pool dispatch path when `host_threads > 1`.
+fn par_config(cores: usize, extra: u32, host_threads: usize) -> GcConfig {
+    GcConfig {
+        engine: Some(EngineKind::Par),
+        host_threads,
+        par_copy_threshold: 1,
+        ..sparse_config(cores, extra)
+    }
+}
+
+fn with_backend(mut cfg: GcConfig, backend: MemBackendKind) -> GcConfig {
+    cfg.mem = cfg.mem.with_backend(backend);
+    cfg
+}
+
+#[test]
+fn every_preset_is_bit_exact_under_par() {
+    let mut combos: Vec<(Preset, usize, u32)> = Vec::new();
+    for preset in Preset::ALL {
+        for cores in [1usize, 4, 16] {
+            // Default latency (lock-bound parks) and the Figure 6 regime
+            // (+20 per access — the window-rich regime).
+            for extra in [0u32, 20] {
+                combos.push((preset, cores, extra));
+            }
+        }
+    }
+    par_map(&combos, |_, &(preset, cores, extra)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut par_heap = base.clone();
+        let mut sparse_heap = base;
+        let par = SimCollector::new(par_config(cores, extra, 2)).collect(&mut par_heap);
+        let sparse = SimCollector::new(sparse_config(cores, extra)).collect(&mut sparse_heap);
+        assert_eq!(
+            par.stats,
+            sparse.stats,
+            "{}/{cores}c +{extra}: stats diverged under par",
+            preset.name()
+        );
+        assert_eq!(
+            par.free,
+            sparse.free,
+            "{}/{cores}c +{extra}: allocation frontier diverged",
+            preset.name()
+        );
+        assert_eq!(
+            par_heap.words(),
+            sparse_heap.words(),
+            "{}/{cores}c +{extra}: heap image diverged under par",
+            preset.name()
+        );
+    });
+}
+
+/// Every host-thread count must produce the identical collection — the
+/// thread pool only moves heap words; nothing timing-visible may depend
+/// on the host. The window-rich Figure 6 regime at 16 cores is the
+/// hardest case.
+#[test]
+fn host_thread_count_is_invisible() {
+    let combos: Vec<(Preset, usize)> = vec![
+        (Preset::Javac, 16),
+        (Preset::Compress, 16),
+        (Preset::Javac, 4),
+    ];
+    par_map(&combos, |_, &(preset, cores)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut reference_heap = base.clone();
+        let reference = SimCollector::new(par_config(cores, 20, 1)).collect(&mut reference_heap);
+        for host_threads in [2usize, 4, 8] {
+            let mut heap = base.clone();
+            let out = SimCollector::new(par_config(cores, 20, host_threads)).collect(&mut heap);
+            assert_eq!(
+                out.stats,
+                reference.stats,
+                "{}/{cores}c: stats changed at {host_threads} host threads",
+                preset.name()
+            );
+            assert_eq!(out.free, reference.free);
+            assert_eq!(
+                heap.words(),
+                reference_heap.words(),
+                "{}/{cores}c: heap image changed at {host_threads} host threads",
+                preset.name()
+            );
+        }
+    });
+}
+
+/// Adversarial graph catalog under plain stats collection — windows on.
+#[test]
+fn every_catalog_graph_is_bit_exact_under_par() {
+    let catalog: Vec<(&'static str, Heap)> = graphs::catalog();
+    par_map(&catalog, |_, (name, heap)| {
+        for cores in [1usize, 4, 16] {
+            for extra in [0u32, 20] {
+                let mut par_heap = heap.clone();
+                let mut sparse_heap = heap.clone();
+                let par = SimCollector::new(par_config(cores, extra, 2)).collect(&mut par_heap);
+                let sparse =
+                    SimCollector::new(sparse_config(cores, extra)).collect(&mut sparse_heap);
+                assert_eq!(
+                    par.stats, sparse.stats,
+                    "{name}/{cores}c +{extra}: stats diverged under par"
+                );
+                assert_eq!(par.free, sparse.free);
+                assert_eq!(
+                    par_heap.words(),
+                    sparse_heap.words(),
+                    "{name}/{cores}c +{extra}: heap image diverged under par"
+                );
+            }
+        }
+    });
+}
+
+/// Backend axis: the DRAM backend opts out of windows (`window_ready`
+/// is always false there), so par must degrade to the plain sparse loop
+/// — bit-exact, windows or not.
+#[test]
+fn par_degrades_to_sparse_under_the_dram_backend() {
+    let backends = [
+        ("dram-open", MemBackendKind::Dram(DramConfig::default())),
+        (
+            "dram-closed",
+            MemBackendKind::Dram(DramConfig {
+                page_policy: PagePolicy::Closed,
+                ..DramConfig::preset("80ns").expect("preset exists")
+            }),
+        ),
+    ];
+    let mut combos: Vec<(Preset, usize, MemBackendKind, &'static str)> = Vec::new();
+    for preset in [Preset::Javac, Preset::Compress] {
+        for cores in [1usize, 16] {
+            for (name, backend) in backends {
+                combos.push((preset, cores, backend, name));
+            }
+        }
+    }
+    par_map(&combos, |_, &(preset, cores, backend, name)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut par_heap = base.clone();
+        let mut sparse_heap = base;
+        let par = SimCollector::new(with_backend(par_config(cores, 0, 4), backend))
+            .collect(&mut par_heap);
+        let sparse = SimCollector::new(with_backend(sparse_config(cores, 0), backend))
+            .collect(&mut sparse_heap);
+        assert_eq!(
+            par.stats,
+            sparse.stats,
+            "{}/{cores}c/{name}: stats diverged under par",
+            preset.name()
+        );
+        assert_eq!(par.free, sparse.free);
+        assert_eq!(par_heap.words(), sparse_heap.words());
+    });
+}
+
+/// Observability axis: tracing logs SB events, which forbids windows
+/// (quiet mode), so par under a trace must degrade to the sparse loop —
+/// identical stats, event streams and sampled rows.
+#[test]
+fn par_degrades_to_sparse_under_tracing() {
+    let combos: Vec<(Preset, usize)> = vec![(Preset::Javac, 16), (Preset::Db, 4)];
+    par_map(&combos, |_, &(preset, cores)| {
+        let base = WorkloadSpec::new(preset, 42).build();
+        let mut par_heap = base.clone();
+        let mut sparse_heap = base;
+        let mut par_trace = SignalTrace::with_events(1 << 40);
+        let mut sparse_trace = SignalTrace::with_events(1 << 40);
+        let par = SimCollector::new(par_config(cores, 20, 4))
+            .collect_traced(&mut par_heap, &mut par_trace);
+        let sparse = SimCollector::new(sparse_config(cores, 20))
+            .collect_traced(&mut sparse_heap, &mut sparse_trace);
+        assert_eq!(
+            par.stats,
+            sparse.stats,
+            "{}/{cores}c traced: stats diverged under par",
+            preset.name()
+        );
+        assert_eq!(par.free, sparse.free);
+        assert_eq!(
+            par_trace.events(),
+            sparse_trace.events(),
+            "{}/{cores}c traced: SB event streams diverged",
+            preset.name()
+        );
+        assert_eq!(par_trace.rows(), sparse_trace.rows());
+    });
+}

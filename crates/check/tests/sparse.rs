@@ -14,7 +14,7 @@
 
 use hwgc_check::{graphs, par_map};
 use hwgc_core::schedule::{Adversarial, RandomOrder, SchedulePolicy};
-use hwgc_core::{GcConfig, SignalTrace, SimCollector};
+use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Heap;
 use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_obs::Recorder;
@@ -23,6 +23,10 @@ use hwgc_workloads::{Preset, WorkloadSpec};
 fn sparse_config(cores: usize, extra: u32) -> GcConfig {
     GcConfig {
         mem: MemConfig::default().with_extra_latency(extra),
+        // Pinned: the unpinned default auto-selects the naive loop at a
+        // single core (see `GcConfig::effective_engine`), which would
+        // quietly turn the 1-core legs into naive-vs-naive.
+        engine: Some(EngineKind::Sparse),
         sparse: true,
         ..GcConfig::with_cores(cores)
     }
@@ -30,6 +34,7 @@ fn sparse_config(cores: usize, extra: u32) -> GcConfig {
 
 fn naive_config(cores: usize, extra: u32) -> GcConfig {
     GcConfig {
+        engine: Some(EngineKind::Naive),
         sparse: false,
         fast_forward: false,
         ..sparse_config(cores, extra)

@@ -32,6 +32,8 @@
 //! `ACTIVE == false` compiles every emission site away, keeping the
 //! steady-state loop allocation-free at its current cycle costs.
 
+pub(crate) mod par;
+
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Heap, NULL};
 use hwgc_memsim::{DramMemorySystem, HeaderFifo, MemBackend, MemBackendKind, MemorySystem};
@@ -39,7 +41,8 @@ use hwgc_obs::{Event, NullProbe, Probe, SampleRec};
 use hwgc_sync::{LockKind, SyncBlock};
 
 use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
-use crate::config::GcConfig;
+use crate::config::{EngineKind, GcConfig};
+use crate::engine::par::{ParPool, Windower};
 use crate::machine::{CoreSm, Ctx, State, TickOutcome, WorkCounters};
 use crate::schedule::{CoreView, RandomOrder, SchedulePolicy, ScheduleView};
 use crate::stats::{GcStats, StallReason};
@@ -344,8 +347,11 @@ impl SimCollector {
         // cycles replay `arrange` against the frozen view, so policy RNG
         // streams stay aligned); only a mutator — which ticks every cycle
         // and can touch any SB resource — forces the naive loop. The wake
-        // lists use one u64 bitmask, hence the 64-core bound.
-        let use_sparse = cfg.sparse && mutator.is_none() && cfg.n_cores <= 64;
+        // lists use one u64 bitmask, hence the 64-core bound. The parallel
+        // engine is the sparse loop plus conservative windows, so it
+        // shares the gate.
+        let kind = cfg.effective_engine();
+        let use_sparse = kind != EngineKind::Naive && mutator.is_none() && cfg.n_cores <= 64;
 
         if use_sparse {
             // ===========================================================
@@ -413,6 +419,36 @@ impl SimCollector {
             // drains the last transaction — the same cycle the naive
             // loop's check first passes.
             let mut done_count: usize = 0;
+            // Conservative time windows (EngineKind::Par): legal only in
+            // *quiet mode* — nothing that observes or perturbs individual
+            // cycles may be attached. Probes and event logs would miss
+            // the windowed ticks; a schedule policy (including the
+            // tick_permutation_seed fallback) advances per-cycle RNG; a
+            // line split claim consults the SB chunk counter mid-copy.
+            // The windowed stall bookkeeping also *relies* on probes
+            // being off (park stamps are split-invariant only for the
+            // aggregate tallies, not for span streams).
+            let windowed = kind == EngineKind::Par
+                && policy.is_none()
+                && !P::ACTIVE
+                && !sb.event_log_enabled()
+                && !mem.event_log_enabled()
+                && cfg.line_split.is_none();
+            let mut windower = if windowed {
+                Some(Windower::new())
+            } else {
+                None
+            };
+            let mut pool: Option<ParPool> = None;
+            // O(1) window-candidate gate: number of cores currently parked
+            // on a body load inside an eligible pure copy run (>= 2 words
+            // left). Maintained at the three park-state transitions below;
+            // purely an optimization — the planner re-filters.
+            let mut win_cands: u32 = 0;
+            let is_win_cand = |sm: &CoreSm| {
+                sm.copy_run()
+                    .is_some_and(|r| !r.in_store && r.end - r.idx >= 2)
+            };
 
             // Wake core `$w` if parked: replay the stalls its skipped
             // retries would have recorded, then re-admit it — into the
@@ -453,6 +489,9 @@ impl SimCollector {
                                     }
                                 }
                             }
+                        }
+                        if windowed && reason == StallReason::BodyLoad && is_win_cand(&cores[w]) {
+                            win_cands -= 1;
                         }
                         park_reason[w] = None;
                         sb.cancel_park(w);
@@ -569,6 +608,12 @@ impl SimCollector {
                             | StallReason::Drain => true,
                         };
                         if park {
+                            if windowed
+                                && reason == StallReason::BodyLoad
+                                && is_win_cand(&cores[idx])
+                            {
+                                win_cands += 1;
+                            }
                             park_reason[idx] = Some(reason);
                             park_since[idx] = cycles + 1;
                             awake &= !(1u64 << idx);
@@ -612,6 +657,83 @@ impl SimCollector {
 
             loop {
                 if awake == 0 {
+                    // Parallel-engine window: with every core parked and
+                    // the memory system window-ready, try to advance the
+                    // pure copy streams to a conservatively safe horizon
+                    // in one step (see `engine::par` and DESIGN §10). On
+                    // success the heap writes fan out across the host
+                    // pool; on failure fall through to the ordinary jump.
+                    if win_cands > 0 {
+                        if let Some(wd) = windower.as_mut().filter(|wd| cycles >= wd.snooze_until) {
+                            let plan = wd.plan(
+                                cycles,
+                                cfg.max_cycles,
+                                cfg.mem.bandwidth,
+                                u64::from(cfg.mem.latency),
+                                u64::from(cfg.mem.extra_latency),
+                                &cores,
+                                &park_reason,
+                                &park_since,
+                                &mem,
+                            );
+                            if plan.is_none() {
+                                // Failed attempts are throttled: windows
+                                // open in chains (each fire re-parks the
+                                // streams straight into the next attempt),
+                                // so between chains a short cooldown costs
+                                // at most a clipped first window.
+                                wd.snooze_until = wd.snooze_until.max(cycles + 64);
+                            }
+                            if let Some(win) = plan {
+                                let w = win.end_cycle - cycles;
+                                for f in wd.finishes() {
+                                    // The consumed-but-unstored boundary
+                                    // word is read from fromspace, which
+                                    // no window copy writes.
+                                    let store_val = if f.in_store {
+                                        heap.word(f.copy_src + f.copy_len)
+                                    } else {
+                                        0
+                                    };
+                                    cores[f.core]
+                                        .set_copy_run_parked(f.new_idx, f.in_store, store_val);
+                                    if f.load_stalls > 0 {
+                                        cores[f.core]
+                                            .stalls
+                                            .record_n(StallReason::BodyLoad, f.load_stalls);
+                                    }
+                                    if f.store_stalls > 0 {
+                                        cores[f.core]
+                                            .stalls
+                                            .record_n(StallReason::BodyStore, f.store_stalls);
+                                    }
+                                    park_reason[f.core] = Some(if f.in_store {
+                                        StallReason::BodyStore
+                                    } else {
+                                        StallReason::BodyLoad
+                                    });
+                                    park_since[f.core] = f.park_since;
+                                    if f.in_store || !is_win_cand(&cores[f.core]) {
+                                        win_cands -= 1;
+                                    }
+                                }
+                                mem.apply_body_window(
+                                    win.end_cycle,
+                                    win.busy_ticks,
+                                    win.occupancy_sum,
+                                    wd.patches(),
+                                );
+                                cycles = win.end_cycle;
+                                sb.fast_forward(w);
+                                if sb.scan() == sb.free() {
+                                    stats.empty_worklist_cycles += w;
+                                }
+                                pool.get_or_insert_with(|| ParPool::new(cfg.host_threads))
+                                    .copy(heap, wd.copies(), cfg.par_copy_threshold);
+                                continue;
+                            }
+                        }
+                    }
                     // Every core is parked: jump the clock to the earliest
                     // wake. SB wakes need a core tick, so the only future
                     // activity is the memory system's.
@@ -1571,6 +1693,9 @@ mod tests {
             for cores in [1, 2, 4, 16] {
                 let cfg = GcConfig {
                     mem: MemConfig::default().with_extra_latency(extra),
+                    // Pinned: the unpinned 1-core default auto-selects
+                    // the naive loop, degrading this leg to naive-vs-naive.
+                    engine: Some(EngineKind::Sparse),
                     sparse: true,
                     ..GcConfig::with_cores(cores)
                 };
@@ -1578,6 +1703,7 @@ mod tests {
                 let sparse = SimCollector::new(cfg).collect(&mut h1);
                 let mut h2 = diamond(500);
                 let naive = SimCollector::new(GcConfig {
+                    engine: Some(EngineKind::Naive),
                     sparse: false,
                     fast_forward: false,
                     ..cfg

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod trace;
 
 pub use concurrent::{MutatorConfig, MutatorStats};
-pub use config::GcConfig;
+pub use config::{engine_from, host_threads_from, EngineKind, GcConfig};
 pub use engine::{ConcurrentOutcome, GcOutcome, SimCollector};
 pub use schedule::{
     Adversarial, CoreView, RandomOrder, SchedulePolicy, ScheduleView, StaticPriority,

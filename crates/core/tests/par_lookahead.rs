@@ -1,0 +1,164 @@
+//! Lookahead-conservativity property tests for the parallel window
+//! engine (`EngineKind::Par`).
+//!
+//! A window is sound only if its published horizon `E` is a conservative
+//! lower bound on the next cross-core coupling: every in-service retire
+//! of a non-kernel core, every success tick of a kernel stream, and the
+//! first oversubscribed queue tick must all lie beyond the cut (see
+//! `engine::par`). If any planned window ever overruns that bound — a
+//! lookahead that was *not* a conservative lower bound — some core's
+//! observable timeline shifts: a wake lands a cycle early or late, a
+//! stall tally splits differently, a queue statistic counts a tick that
+//! never was. The shadow single-thread sparse engine ticks through the
+//! same cycles event by event and cannot overrun anything, so full
+//! `GcStats` equality (per-core, per-reason stall breakdowns included)
+//! plus heap-image equality on the same graph *is* the conservativity
+//! assertion, explored here across proptest-drawn graphs, core counts,
+//! latency/bandwidth regimes, and host-thread counts.
+
+use hwgc_core::{EngineKind, GcConfig, SimCollector};
+use hwgc_heap::{verify_collection, GraphBuilder, Heap, Snapshot};
+use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
+use proptest::prelude::*;
+
+/// One object: `pi` pointer slots, `delta` data words. `delta` is drawn
+/// large enough that multi-word copy runs (the window kernel) are common.
+type Node = (u32, u32);
+/// One edge: (parent index, slot index, child index), reduced modulo the
+/// actual node/slot counts.
+type Edge = (usize, u32, usize);
+
+#[derive(Debug, Clone)]
+struct Shape {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    roots: Vec<usize>,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        prop::collection::vec((0u32..4, 1u32..24), 1..32),
+        prop::collection::vec((0usize..32, 0u32..4, 0usize..32), 0..64),
+        prop::collection::vec(0usize..32, 1..6),
+    )
+        .prop_map(|(nodes, edges, roots)| Shape {
+            nodes,
+            edges,
+            roots,
+        })
+}
+
+fn build(shape: &Shape) -> Heap {
+    let mut heap = Heap::new(4096);
+    let mut b = GraphBuilder::new(&mut heap);
+    let mut ids = Vec::with_capacity(shape.nodes.len());
+    for &(pi, delta) in &shape.nodes {
+        ids.push(b.add(pi, delta).expect("graph exceeds fromspace"));
+    }
+    for &(parent, slot, child) in &shape.edges {
+        let p = parent % ids.len();
+        let pi = shape.nodes[p].0;
+        if pi > 0 {
+            b.link(ids[p], slot % pi, ids[child % ids.len()]);
+        }
+    }
+    for &root in &shape.roots {
+        b.root(ids[root % ids.len()]);
+    }
+    heap
+}
+
+fn mem(latency: u32, bandwidth: u32, extra: u32) -> MemConfig {
+    MemConfig {
+        latency,
+        bandwidth,
+        extra_latency: extra,
+        ..MemConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Windowed engine vs the sparse shadow across the whole quiet-mode
+    /// parameter space: graphs × cores × latency × bandwidth × artificial
+    /// latency × host threads. Bandwidth down to 1 exercises the
+    /// feasibility cut; `extra` up to 24 the window-rich regime where
+    /// nearly every copy stream is park-bound.
+    #[test]
+    fn window_horizons_are_conservative(
+        shape in shapes(),
+        cores in 1usize..=16,
+        latency in 0u32..8,
+        bandwidth in 1u32..12,
+        extra in proptest::strategy::Union::new(vec![
+            proptest::strategy::boxed(Just(0u32)),
+            proptest::strategy::boxed(1u32..24),
+        ]),
+        host_threads in 1usize..=4,
+    ) {
+        let sparse_cfg = GcConfig {
+            mem: mem(latency, bandwidth, extra),
+            engine: Some(EngineKind::Sparse),
+            sparse: true,
+            ..GcConfig::with_cores(cores)
+        };
+        let par_cfg = GcConfig {
+            engine: Some(EngineKind::Par),
+            host_threads,
+            par_copy_threshold: 1,
+            ..sparse_cfg
+        };
+        let mut par_heap = build(&shape);
+        let snap = Snapshot::capture(&par_heap);
+        let par = SimCollector::new(par_cfg).collect(&mut par_heap);
+        let mut sparse_heap = build(&shape);
+        let sparse = SimCollector::new(sparse_cfg).collect(&mut sparse_heap);
+        prop_assert_eq!(
+            &par.stats, &sparse.stats,
+            "par diverged from the sparse shadow ({cores} cores, lat {latency}, bw {bandwidth}, +{extra}, {host_threads} host threads)"
+        );
+        prop_assert_eq!(par.free, sparse.free);
+        prop_assert_eq!(
+            par_heap.words(), sparse_heap.words(),
+            "window copies left a different heap image"
+        );
+        // The collection must also be correct, not merely consistent.
+        verify_collection(&par_heap, par.free, &snap).unwrap();
+    }
+
+    /// The DRAM backend never reports `window_ready`, so under it the par
+    /// engine must degrade to the plain sparse loop — same shadow
+    /// comparison, zero windows, still bit-exact.
+    #[test]
+    fn par_is_exact_under_the_dram_backend(
+        shape in shapes(),
+        cores in 1usize..=16,
+        extra in 0u32..12,
+        closed_page in 0u8..2,
+    ) {
+        let backend = MemBackendKind::Dram(DramConfig {
+            page_policy: if closed_page == 1 { PagePolicy::Closed } else { PagePolicy::Open },
+            ..DramConfig::default()
+        });
+        let sparse_cfg = GcConfig {
+            mem: MemConfig::default().with_extra_latency(extra).with_backend(backend),
+            engine: Some(EngineKind::Sparse),
+            sparse: true,
+            ..GcConfig::with_cores(cores)
+        };
+        let par_cfg = GcConfig {
+            engine: Some(EngineKind::Par),
+            host_threads: 2,
+            par_copy_threshold: 1,
+            ..sparse_cfg
+        };
+        let mut par_heap = build(&shape);
+        let par = SimCollector::new(par_cfg).collect(&mut par_heap);
+        let mut sparse_heap = build(&shape);
+        let sparse = SimCollector::new(sparse_cfg).collect(&mut sparse_heap);
+        prop_assert_eq!(&par.stats, &sparse.stats);
+        prop_assert_eq!(par.free, sparse.free);
+        prop_assert_eq!(par_heap.words(), sparse_heap.words());
+    }
+}

@@ -114,10 +114,14 @@ proptest! {
     ) {
         let sparse_cfg = GcConfig {
             mem: MemConfig::default().with_extra_latency(extra),
+            // Pinned so the 1-core draws still differential sparse vs
+            // naive (the unpinned single-core default is the naive loop).
+            engine: Some(hwgc_core::EngineKind::Sparse),
             sparse: true,
             ..GcConfig::with_cores(cores)
         };
         let naive_cfg = GcConfig {
+            engine: Some(hwgc_core::EngineKind::Naive),
             sparse: false,
             fast_forward: false,
             ..sparse_cfg
@@ -143,6 +147,9 @@ proptest! {
     ) {
         let sparse_cfg = GcConfig {
             mem: MemConfig::default().with_extra_latency(extra),
+            // Pinned so the 1-core draws still differential sparse vs
+            // naive (the unpinned single-core default is the naive loop).
+            engine: Some(hwgc_core::EngineKind::Sparse),
             sparse: true,
             ..GcConfig::with_cores(cores)
         };
@@ -152,6 +159,7 @@ proptest! {
         let mut h2 = build(&shape);
         let mut t2 = hwgc_core::trace::SignalTrace::with_events(1 << 40);
         let naive = SimCollector::new(GcConfig {
+            engine: Some(hwgc_core::EngineKind::Naive),
             sparse: false,
             fast_forward: false,
             ..sparse_cfg

@@ -242,6 +242,13 @@ impl Heap {
         &self.words
     }
 
+    /// Mutable view of the backing words — the parallel engine's copy
+    /// pool writes disjoint tospace ranges through this in bulk instead
+    /// of per-word [`Heap::set_word`] calls.
+    pub fn words_mut(&mut self) -> &mut [Word] {
+        &mut self.words
+    }
+
     /// Consume the heap, yielding the backing words.
     pub fn into_words(self) -> Vec<Word> {
         self.words

@@ -33,7 +33,10 @@ pub mod dram;
 pub mod fifo;
 pub mod system;
 
-pub use backend::{backend_from, MemBackend, MemBackendKind};
+pub use backend::{
+    backend_from, BodyPortsView, BodyWindowPatch, FinalTxn, InflightTxnView, MemBackend,
+    MemBackendKind,
+};
 pub use dram::{DramConfig, DramMemorySystem, DramStats, PagePolicy};
 pub use fifo::{FifoStats, HeaderFifo};
 pub use system::{

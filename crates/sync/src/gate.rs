@@ -1,0 +1,187 @@
+//! The window-handshake primitive of the parallel engine (DESIGN §10).
+//!
+//! [`WindowGate`] is a scatter/gather epoch gate: one coordinator
+//! publishes a job per epoch, a fixed set of persistent workers each
+//! execute it once, and the coordinator blocks until every worker has
+//! reported back. It is the *only* inter-thread synchronization the
+//! parallel engine uses — the simulation state itself is never shared
+//! (the planner runs on the coordinator; workers receive disjoint copy
+//! ranges), so keeping this primitive small keeps the concurrency
+//! auditable: the CI ThreadSanitizer leg and the unit tests below
+//! exercise exactly this file.
+//!
+//! Memory ordering is inherited from the `Mutex`: the coordinator's
+//! writes before [`WindowGate::dispatch`] happen-before each worker's
+//! [`WindowGate::next_job`] return (job publication), and a worker's
+//! writes before [`WindowGate::finish_one`] happen-before
+//! [`WindowGate::await_done`] returning (result publication). Workers
+//! never block each other: each waits only on the epoch counter.
+
+use std::sync::{Condvar, Mutex};
+
+struct GateState<T> {
+    /// Monotonic job counter; bumped by every dispatch.
+    epoch: u64,
+    /// The current epoch's job; workers clone it out.
+    job: Option<T>,
+    /// Workers that have not yet finished the current epoch.
+    pending: usize,
+    /// One-way latch ending every worker loop.
+    shutdown: bool,
+}
+
+/// Scatter/gather epoch gate (see the module docs).
+pub struct WindowGate<T> {
+    state: Mutex<GateState<T>>,
+    /// Signalled on dispatch and shutdown (workers wait here).
+    work: Condvar,
+    /// Signalled when the last worker finishes (coordinator waits here).
+    done: Condvar,
+}
+
+impl<T: Clone> WindowGate<T> {
+    /// A gate with no job published.
+    pub fn new() -> WindowGate<T> {
+        WindowGate {
+            state: Mutex::new(GateState {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publish `job` to `workers` workers and open a new epoch. Must not
+    /// be called while an epoch is outstanding (single coordinator,
+    /// [`WindowGate::await_done`] between dispatches).
+    pub fn dispatch(&self, workers: usize, job: T) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert_eq!(s.pending, 0, "dispatch with an epoch outstanding");
+        s.epoch += 1;
+        s.job = Some(job);
+        s.pending = workers;
+        drop(s);
+        self.work.notify_all();
+    }
+
+    /// Block until every worker of the current epoch has called
+    /// [`WindowGate::finish_one`]. Returns immediately if none are
+    /// outstanding.
+    pub fn await_done(&self) {
+        let mut s = self.state.lock().unwrap();
+        while s.pending > 0 {
+            s = self.done.wait(s).unwrap();
+        }
+    }
+
+    /// Worker side: block for the next epoch after `*last_epoch`, record
+    /// it, and return its job — or `None` once the gate is shut down.
+    pub fn next_job(&self, last_epoch: &mut u64) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.shutdown {
+                return None;
+            }
+            if s.epoch > *last_epoch {
+                *last_epoch = s.epoch;
+                return Some(s.job.as_ref().expect("epoch without a job").clone());
+            }
+            s = self.work.wait(s).unwrap();
+        }
+    }
+
+    /// Worker side: report the current epoch's job complete.
+    pub fn finish_one(&self) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(s.pending > 0, "finish without a dispatch");
+        s.pending -= 1;
+        if s.pending == 0 {
+            drop(s);
+            self.done.notify_one();
+        }
+    }
+
+    /// End every worker loop ([`WindowGate::next_job`] returns `None`).
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+    }
+}
+
+impl<T: Clone> Default for WindowGate<T> {
+    fn default() -> WindowGate<T> {
+        WindowGate::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn scatter_gather_runs_every_worker_every_epoch() {
+        let gate: Arc<WindowGate<u64>> = Arc::new(WindowGate::new());
+        let sum = Arc::new(AtomicU64::new(0));
+        const WORKERS: usize = 3;
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || {
+                    let mut epoch = 0;
+                    while let Some(job) = gate.next_job(&mut epoch) {
+                        sum.fetch_add(job, Ordering::Relaxed);
+                        gate.finish_one();
+                    }
+                })
+            })
+            .collect();
+
+        let mut expect = 0;
+        for job in [5u64, 11, 2, 40] {
+            gate.dispatch(WORKERS, job);
+            gate.await_done();
+            expect += job * WORKERS as u64;
+            // The gather is a barrier: after await_done every worker's
+            // contribution for this epoch is visible.
+            assert_eq!(sum.load(Ordering::Relaxed), expect);
+        }
+        gate.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn await_done_without_dispatch_returns_immediately() {
+        let gate: WindowGate<()> = WindowGate::new();
+        gate.await_done();
+        gate.shutdown();
+        let mut epoch = 0;
+        assert_eq!(gate.next_job(&mut epoch), None);
+    }
+
+    #[test]
+    fn late_worker_still_sees_the_epoch() {
+        // A worker that starts waiting after dispatch must still pick the
+        // job up (the epoch counter, not the notification, carries it).
+        let gate: Arc<WindowGate<u32>> = Arc::new(WindowGate::new());
+        gate.dispatch(1, 7);
+        let g = Arc::clone(&gate);
+        let h = std::thread::spawn(move || {
+            let mut epoch = 0;
+            let job = g.next_job(&mut epoch);
+            g.finish_one();
+            job
+        });
+        gate.await_done();
+        gate.shutdown();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+}

@@ -23,8 +23,10 @@
 //! order.
 
 pub mod barrier;
+pub mod gate;
 pub mod sb;
 pub mod sw;
 
 pub use barrier::Barrier;
-pub use sb::{LockKind, SbEvent, SbEventRecord, SyncBlock, SyncStats};
+pub use gate::WindowGate;
+pub use sb::{event_fingerprint, LockKind, SbEvent, SbEventRecord, SyncBlock, SyncStats};
