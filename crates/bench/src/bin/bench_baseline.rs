@@ -67,6 +67,14 @@
 //! handshake fails CI. On a single-core host the two legs coincide —
 //! the committed baseline records that honestly rather than a scaling
 //! number this container cannot produce.
+//!
+//! Since PR 8 the binary also writes two companions next to `--out`:
+//! `BENCH_hostprof.json` — the `hwgc-hostprof-v1` self-profile of an
+//! extra untimed compress/16c par-engine run (the timed matrix always
+//! keeps the zero-overhead `NullHostProf` path) — and
+//! `BENCH_ledger.jsonl` — one `hwgc-ledger-v1` provenance record per
+//! profiled run, deterministic efficacy counters split from the
+//! quarantined `host_*` wall-clock fields.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -711,6 +719,52 @@ fn main() {
     let report = render_report(mode, &combos, speedup_1c, speedup_16c, &host_scaling);
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");
+
+    // Host-profile and run-ledger companions next to the report: one
+    // extra untimed run per host_scaling config with the HostProfiler
+    // attached (never the timed matrix — profiling the profiler would
+    // poison the throughput numbers). The hostprof dump records the
+    // window-rich compress/16c run; the ledger gets one provenance
+    // record per profiled run, wall clock quarantined in host_* fields.
+    let out_dir = std::path::Path::new(&out_path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let hostprof_path = out_dir.join("BENCH_hostprof.json");
+    let ledger_path = out_dir.join("BENCH_ledger.jsonl");
+    let _ = std::fs::remove_file(&ledger_path);
+    for &(config, preset, cores) in HOST_SCALING {
+        let cfg = GcConfig {
+            n_cores: cores,
+            mem: MemConfig::default().with_extra_latency(20),
+            sparse: true,
+            engine: Some(EngineKind::Par),
+            host_threads: 1,
+            ..GcConfig::default()
+        };
+        let (run, prof) = hwgc_bench::run_hostprof(&spec(preset), cfg);
+        hwgc_bench::append_ledger_to(
+            &hwgc_bench::ledger_record(
+                "bench_baseline",
+                config,
+                &cfg,
+                &run.stats,
+                None,
+                Some(&prof),
+            ),
+            &ledger_path,
+        );
+        if preset == Preset::Compress {
+            std::fs::write(&hostprof_path, prof.to_json_string())
+                .unwrap_or_else(|e| panic!("write {}: {e}", hostprof_path.display()));
+            println!("[hostprof] {}", hostprof_path.display());
+        }
+    }
+    println!(
+        "[ledger] {} (+{} records)",
+        ledger_path.display(),
+        HOST_SCALING.len()
+    );
 
     if let Some(check_path) = check_path {
         let reference = std::fs::read_to_string(&check_path)

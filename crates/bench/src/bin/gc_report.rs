@@ -5,12 +5,25 @@
 //!
 //! ```text
 //! gc_report [preset] [--cores N] [--scale F] [--extra-latency N]
-//!           [--fifo N] [--out-dir DIR] [--check]
+//!           [--fifo N] [--out-dir DIR] [--hostprof-out FILE]
+//!           [--ledger FILE] [--check]
 //! ```
 //!
 //! Defaults: `cup`, 8 cores, scale 1.0, no extra latency, the default
 //! FIFO, artifacts under `target/experiments/` as
-//! `report_<preset>.{md,json}`.
+//! `report_<preset>.{md,json}` plus a host-profile dump
+//! (`hwgc-hostprof-v1`) as `report_<preset>_hostprof.json`.
+//!
+//! The report's **host performance** section comes from a second run of
+//! the same heap under the par-window engine with the [`HostProfiler`]
+//! attached: its deterministic window-funnel counters
+//! (`win.attempted`/`win.veto.*`/`win.fired`) explain *why* a workload
+//! fires (or never fires) copy windows — e.g. javac/16c fires zero
+//! because retirement-order bounds veto every candidate instant.
+//!
+//! `--ledger FILE` (or `HWGC_LEDGER`) appends one `hwgc-ledger-v1` JSONL
+//! record per simulation (the probed default-engine run and the profiled
+//! par run) with config hash, stats digest and efficacy counters.
 //!
 //! `--check` (what the CI `report-smoke` job runs) additionally asserts:
 //!
@@ -19,14 +32,19 @@
 //! 2. **conservative completeness** — every blame row (and its per-core
 //!    slices) sums exactly to the engine's corresponding stall counter:
 //!    every stall cycle attributed once, none invented;
-//! 3. the critical path partitions the run's wall-clock cycles exactly.
+//! 3. the critical path partitions the run's wall-clock cycles exactly;
+//! 4. **hostprof parity** — a hostprof-off par run produces identical
+//!    `GcStats` to the profiled par run (self-observation must not
+//!    perturb the simulation either), and the emitted hostprof JSON
+//!    passes schema validation.
 
 use hwgc_bench::{
-    assert_blame_reconciles, experiments_dir, report_for_run, run_probed_heap, run_verified_heap,
+    append_ledger_to, assert_blame_reconciles, experiments_dir, ledger_path, ledger_record,
+    report_for_run, run_hostprof_heap, run_probed_heap, run_verified_heap,
 };
-use hwgc_core::GcConfig;
+use hwgc_core::{EngineKind, GcConfig};
 use hwgc_memsim::MemConfig;
-use hwgc_obs::{render_report_json, render_report_markdown};
+use hwgc_obs::{render_report_json, render_report_markdown, validate_hostprof_json, HostSection};
 use hwgc_workloads::{Preset, WorkloadSpec};
 
 fn main() {
@@ -36,6 +54,8 @@ fn main() {
     let mut extra_latency = 0u32;
     let mut fifo: Option<usize> = None;
     let mut out_dir: Option<String> = None;
+    let mut hostprof_out: Option<String> = None;
+    let mut ledger: Option<String> = None;
     let mut check = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +85,14 @@ fn main() {
             }
             "--out-dir" => {
                 out_dir = Some(value(i));
+                i += 2;
+            }
+            "--hostprof-out" => {
+                hostprof_out = Some(value(i));
+                i += 2;
+            }
+            "--ledger" => {
+                ledger = Some(value(i));
                 i += 2;
             }
             "--check" => {
@@ -103,6 +131,18 @@ fn main() {
     let (out, _trace, recording) = run_probed_heap(&mut heap, cfg, &label, 64);
     let report = report_for_run(&label, cores, &out, &recording, mem.bandwidth);
 
+    // Second run of the same heap under the par-window engine with the
+    // host profiler attached: the report's host section (window funnel,
+    // veto taxonomy, park/wake statistics) describes *this* run.
+    let par_cfg = GcConfig {
+        engine: Some(EngineKind::Par),
+        ..cfg
+    };
+    let mut par_heap = spec.build();
+    let (par_out, prof) = run_hostprof_heap(&mut par_heap, par_cfg, &label);
+    let hostprof_json = prof.to_json_string();
+    let report = report.with_host(HostSection::from_profiler(&prof));
+
     if check {
         let mut reference_heap = spec.build();
         let reference = run_verified_heap(&mut reference_heap, cfg, &label);
@@ -116,6 +156,20 @@ fn main() {
         println!(
             "[check] blame matrix reconciles: every stall cycle of all {} classes attributed",
             hwgc_core::StallReason::COUNT
+        );
+        let mut plain_heap = spec.build();
+        let plain = run_verified_heap(&mut plain_heap, par_cfg, &label);
+        assert_eq!(
+            par_out.stats, plain.stats,
+            "hostprof-on GcStats diverged from hostprof-off"
+        );
+        assert_eq!(par_out.free, plain.free, "hostprof-on free diverged");
+        println!("[check] hostprof-on GcStats identical to hostprof-off");
+        validate_hostprof_json(&hostprof_json)
+            .unwrap_or_else(|e| panic!("hostprof JSON failed validation: {e}"));
+        println!(
+            "[check] hostprof JSON validates against {}",
+            hwgc_obs::HOSTPROF_SCHEMA
         );
     }
 
@@ -137,4 +191,39 @@ fn main() {
         format!("report_{label}.json"),
         &render_report_json(&report),
     );
+    match hostprof_out {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            std::fs::write(&path, &hostprof_json)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("[hostprof] {}", path.display());
+        }
+        None => write(
+            "hostprof",
+            format!("report_{label}_hostprof.json"),
+            &hostprof_json,
+        ),
+    }
+
+    // Run ledger: one JSONL record per simulation performed above. The
+    // probed default-engine run carries no profiler (its efficacy
+    // counters live in the report); the par run carries the full set.
+    if let Some(path) = ledger.map(std::path::PathBuf::from).or_else(ledger_path) {
+        append_ledger_to(
+            &ledger_record("gc_report", &label, &cfg, &out.stats, None, None),
+            &path,
+        );
+        append_ledger_to(
+            &ledger_record(
+                "gc_report",
+                &label,
+                &par_cfg,
+                &par_out.stats,
+                None,
+                Some(&prof),
+            ),
+            &path,
+        );
+        println!("[ledger] {} (+2 records)", path.display());
+    }
 }

@@ -266,6 +266,50 @@ fn main() {
         }
     }
     report.push_str("\n  ],\n");
+
+    // Window-funnel leg (PR 8): profile the par engine's window planner
+    // on the two reference regimes — compress/16c +20 (window-rich) and
+    // javac/16c +0 (fires zero windows) — and publish the deterministic
+    // funnel counters (`win.attempted`, `win.veto.*`, `win.fired`) in the
+    // artifact, so CI answers *why* a leg fired no windows, not just that
+    // it matched. Every counter here is split-invariant and identical
+    // across hosts; wall-clock never enters this section.
+    report.push_str("  \"window_funnel\": [\n");
+    let mut first = true;
+    let funnel_combos = [(Preset::Compress, 20u32), (Preset::Javac, 0)];
+    for (preset, extra) in funnel_combos {
+        let cfg = par_config(16, extra, MemBackendKind::Fixed, host_threads);
+        let (out, prof) = hwgc_bench::run_hostprof(&WorkloadSpec::new(preset, 42), cfg);
+        hwgc_bench::append_ledger(&hwgc_bench::ledger_record(
+            "par_smoke",
+            preset.name(),
+            &cfg,
+            &out.stats,
+            None,
+            Some(&prof),
+        ));
+        let funnel: Vec<String> = prof
+            .counters()
+            .filter(|(k, _)| k.starts_with("win."))
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        println!(
+            "funnel {}/16c +{extra}: attempted {}, fired {}",
+            preset.name(),
+            prof.counter("win.attempted"),
+            prof.counter("win.fired"),
+        );
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        let _ = write!(
+            report,
+            "{sep}    {{\"preset\": \"{}\", \"cores\": 16, \"extra_latency\": {extra}, \
+             {}}}",
+            preset.name(),
+            funnel.join(", "),
+        );
+    }
+    report.push_str("\n  ],\n");
     let _ = writeln!(
         report,
         "  \"default_engine\": \"{:?}\"\n}}",

@@ -10,7 +10,11 @@
 //! `--trace-out <path>` / `--metrics-out <path>` are forwarded to the
 //! `trace_dump` child (as `HWGC_TRACE_OUT` / `HWGC_METRICS_OUT`), so one
 //! driver invocation can also produce the Perfetto trace and the metrics
-//! snapshot of the traced run. After the batch, `gen_stall_tables
+//! snapshot of the traced run. `--ledger <path>` is forwarded to every
+//! child as `HWGC_LEDGER`, so the ledger-aware experiments (`gc_report`
+//! today) append their `hwgc-ledger-v1` records to one batch-wide JSONL
+//! file (appends are single `O_APPEND` writes, safe under `HWGC_JOBS`
+//! concurrency). After the batch, `gen_stall_tables
 //! --check` verifies that EXPERIMENTS.md's generated tables (Table I,
 //! Table II) still match the metrics JSON `table1_empty_worklist` and
 //! `table2_stall_breakdown` just wrote.
@@ -32,6 +36,7 @@ fn main() {
     };
     let trace_out = flag_value("--trace-out");
     let metrics_out = flag_value("--metrics-out");
+    let ledger = flag_value("--ledger");
 
     let binaries = [
         "fig5_scaling",
@@ -54,6 +59,9 @@ fn main() {
     let start = std::time::Instant::now();
     let outputs = hwgc_check::par_map(&binaries, |_, bin| {
         let mut cmd = Command::new(dir.join(bin));
+        if let Some(p) = &ledger {
+            cmd.env("HWGC_LEDGER", p);
+        }
         if *bin == "trace_dump" {
             if let Some(p) = &trace_out {
                 cmd.env("HWGC_TRACE_OUT", p);

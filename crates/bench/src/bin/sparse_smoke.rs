@@ -175,6 +175,14 @@ fn main() {
                             naive.stats.total_cycles
                         ));
                     }
+                    hwgc_bench::append_ledger(&hwgc_bench::ledger_record(
+                        "sparse_smoke",
+                        preset.name(),
+                        &sparse_config(cores, extra, backend),
+                        &sparse.stats,
+                        None,
+                        None,
+                    ));
 
                     let speedup = naive_s / sparse_s.max(1e-9);
                     println!(

@@ -10,11 +10,12 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use hwgc_core::{GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
+use hwgc_core::{EngineKind, GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
 use hwgc_heap::{verify_collection, Heap, Snapshot};
+use hwgc_memsim::MemBackendKind;
 use hwgc_obs::{
-    chrome_trace_json, derive_metrics, Fanout, FoldedStacks, MetricsRegistry, Recorder, Recording,
-    RunMeta, RunReport,
+    chrome_trace_json, derive_metrics, Fanout, FoldedStacks, HostProfiler, Json, LedgerRecord,
+    MetricsRegistry, Recorder, Recording, RunMeta, RunReport,
 };
 use hwgc_workloads::{Preset, WorkloadSpec};
 
@@ -330,4 +331,187 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         .map(|(c, w)| format!("{c:>w$}", w = w))
         .collect::<Vec<_>>()
         .join("  ")
+}
+
+// ---------------------------------------------------------------------------
+// Host self-profiling + run ledger (PR 8)
+// ---------------------------------------------------------------------------
+
+/// Is host self-profiling requested? `HWGC_HOSTPROF=1|true|on` turns the
+/// [`HostProfiler`] on in the binaries that honour it; anything else (or
+/// unset) keeps the zero-overhead [`hwgc_obs::NullHostProf`] path.
+pub fn hostprof_enabled() -> bool {
+    hostprof_from(std::env::var("HWGC_HOSTPROF").ok().as_deref())
+}
+
+/// Parse an `HWGC_HOSTPROF`-style value (separated from the env read for
+/// testability).
+pub fn hostprof_from(var: Option<&str>) -> bool {
+    matches!(
+        var.map(str::trim),
+        Some("1") | Some("true") | Some("on") | Some("yes")
+    )
+}
+
+/// One verified collection with the host profiler attached. The profiler
+/// never influences the simulation — `collect_hostprof` produces
+/// bit-identical [`GcStats`] to `collect` (enforced by the
+/// `hostprof_differential` test) — so callers may substitute this for
+/// [`run_verified_heap`] freely.
+pub fn run_hostprof_heap(heap: &mut Heap, cfg: GcConfig, label: &str) -> (GcOutcome, HostProfiler) {
+    let snap = Snapshot::capture(heap);
+    let mut prof = HostProfiler::new();
+    let out = SimCollector::new(cfg).collect_hostprof(heap, &mut prof);
+    verify_collection(heap, out.free, &snap)
+        .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+    (out, prof)
+}
+
+/// [`run_hostprof_heap`] on a preset workload.
+pub fn run_hostprof(spec: &WorkloadSpec, cfg: GcConfig) -> (GcOutcome, HostProfiler) {
+    let mut heap = spec.build();
+    run_hostprof_heap(&mut heap, cfg, &spec.preset.to_string())
+}
+
+/// Ledger label for the engine a config resolves to.
+pub fn engine_label(cfg: &GcConfig) -> &'static str {
+    match cfg.effective_engine() {
+        EngineKind::Naive => "naive",
+        EngineKind::Sparse => "sparse",
+        EngineKind::Par => "par",
+    }
+}
+
+/// Ledger label for the memory-timing backend.
+pub fn backend_label(cfg: &GcConfig) -> &'static str {
+    match cfg.mem.backend {
+        MemBackendKind::Fixed => "fixed",
+        MemBackendKind::Dram(_) => "dram",
+    }
+}
+
+/// The simulation-relevant config of a run as sorted key/value pairs —
+/// the input to [`LedgerRecord::config_hash`]. Every field of
+/// [`GcConfig`] that can change a simulation outcome appears here; output
+/// paths and profiling toggles deliberately do not, so two records of the
+/// same simulation hash identically whether or not they were profiled.
+pub fn ledger_config_pairs(cfg: &GcConfig) -> Vec<(String, String)> {
+    let kv = |k: &str, v: String| (k.to_string(), v);
+    vec![
+        kv("backend", backend_label(cfg).to_string()),
+        kv("bandwidth", cfg.mem.bandwidth.to_string()),
+        kv("engine", engine_label(cfg).to_string()),
+        kv("extra_latency", cfg.mem.extra_latency.to_string()),
+        kv("fast_forward", cfg.fast_forward.to_string()),
+        kv(
+            "header_cache_entries",
+            cfg.mem.header_cache_entries.to_string(),
+        ),
+        kv(
+            "header_fifo_capacity",
+            cfg.mem.header_fifo_capacity.to_string(),
+        ),
+        kv("host_threads", cfg.host_threads.to_string()),
+        kv("latency", cfg.mem.latency.to_string()),
+        kv("line_split", format!("{:?}", cfg.line_split)),
+        kv("max_cycles", cfg.max_cycles.to_string()),
+        kv("multiport_sb", cfg.multiport_sb.to_string()),
+        kv("n_cores", cfg.n_cores.to_string()),
+        kv("par_copy_threshold", cfg.par_copy_threshold.to_string()),
+        kv(
+            "service_reorder_seed",
+            format!("{:?}", cfg.mem.service_reorder_seed),
+        ),
+        kv("sparse", cfg.sparse.to_string()),
+        kv("test_before_lock", cfg.test_before_lock.to_string()),
+        kv(
+            "tick_permutation_seed",
+            format!("{:?}", cfg.tick_permutation_seed),
+        ),
+    ]
+}
+
+/// `HWGC_*` environment knobs that shape simulation behaviour, captured
+/// for the ledger's provenance field. Output-only knobs (`HWGC_LEDGER`,
+/// `HWGC_HOSTPROF`, `HWGC_UPDATE_GOLDENS`) and harness parallelism
+/// (`HWGC_JOBS`) are excluded — they cannot change a simulation result.
+pub fn ledger_env_pairs() -> Vec<(String, String)> {
+    const EXCLUDE: [&str; 4] = [
+        "HWGC_LEDGER",
+        "HWGC_HOSTPROF",
+        "HWGC_UPDATE_GOLDENS",
+        "HWGC_JOBS",
+    ];
+    let mut pairs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("HWGC_") && !EXCLUDE.contains(&k.as_str()))
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// Build one [`LedgerRecord`] for a finished run. Deterministic efficacy
+/// counters come from the profiler's counter map; wall-clock timers and
+/// machine-dependent notes are quarantined into the record's `host`
+/// fields (serialized with a `host_` prefix so downstream tooling can
+/// strip them before diffing records across machines).
+pub fn ledger_record(
+    binary: &str,
+    workload: &str,
+    cfg: &GcConfig,
+    stats: &GcStats,
+    sb_fingerprint: Option<u64>,
+    prof: Option<&HostProfiler>,
+) -> LedgerRecord {
+    let mut rec = LedgerRecord {
+        binary: binary.to_string(),
+        workload: workload.to_string(),
+        engine: engine_label(cfg).to_string(),
+        backend: backend_label(cfg).to_string(),
+        config: ledger_config_pairs(cfg),
+        env: ledger_env_pairs(),
+        stats_digest: stats.digest(),
+        sb_fingerprint,
+        efficacy: Vec::new(),
+        host: Vec::new(),
+    };
+    if let Some(p) = prof {
+        rec.efficacy = p.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        for (k, t) in p.timers() {
+            rec.host
+                .push((format!("time.{k}.total_ns"), Json::Int(t.total_ns as i128)));
+            rec.host
+                .push((format!("time.{k}.count"), Json::Int(t.count as i128)));
+        }
+        for (k, v) in p.notes() {
+            rec.host.push((format!("note.{k}"), Json::Int(v as i128)));
+        }
+    }
+    rec
+}
+
+/// The run-ledger path requested via `HWGC_LEDGER`, if any.
+pub fn ledger_path() -> Option<PathBuf> {
+    std::env::var("HWGC_LEDGER")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Append `rec` to the JSONL ledger at `path`.
+///
+/// # Panics
+/// Panics on I/O failure — a silently dropped ledger line defeats the
+/// point of provenance.
+pub fn append_ledger_to(rec: &LedgerRecord, path: &std::path::Path) {
+    rec.append_jsonl(path)
+        .unwrap_or_else(|e| panic!("ledger append to {} failed: {e}", path.display()));
+}
+
+/// Append `rec` to the ledger named by `HWGC_LEDGER`; no-op when the
+/// variable is unset or empty.
+pub fn append_ledger(rec: &LedgerRecord) {
+    if let Some(path) = ledger_path() {
+        append_ledger_to(rec, &path);
+    }
 }

@@ -33,5 +33,5 @@ pub mod sweep;
 
 pub use lint::{lint_events, lint_trace, TraceLint, Violation};
 pub use oracle::{differential, sim_configs, OracleOutcome};
-pub use par::{jobs, jobs_from, par_map};
+pub use par::{jobs, jobs_from, par_map, par_map_profiled, ParMapStats};
 pub use sweep::{run_sweep, PolicyKind, SweepConfig, SweepOutcome};

@@ -37,7 +37,7 @@ pub(crate) mod par;
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Heap, NULL};
 use hwgc_memsim::{DramMemorySystem, HeaderFifo, MemBackend, MemBackendKind, MemorySystem};
-use hwgc_obs::{Event, NullProbe, Probe, SampleRec};
+use hwgc_obs::{Event, HostProf, NullHostProf, NullProbe, Probe, SampleRec};
 use hwgc_sync::{LockKind, SyncBlock};
 
 use crate::concurrent::{MutatorConfig, MutatorSm, MutatorStats};
@@ -72,6 +72,25 @@ pub struct ConcurrentOutcome {
 #[derive(Debug, Clone, Copy)]
 pub struct SimCollector {
     cfg: GcConfig,
+}
+
+/// The `engine.park.*` hostprof counter key for a park on `reason` —
+/// one count per park *event* (the simulated cycles spent parked are in
+/// `GcStats`; this is how often the sparse engine transitions a core to
+/// sleep, per wake-condition class).
+#[inline]
+fn park_key(reason: StallReason) -> &'static str {
+    match reason {
+        StallReason::ScanLock => "engine.park.scan_lock",
+        StallReason::FreeLock => "engine.park.free_lock",
+        StallReason::HeaderLock => "engine.park.header_lock",
+        StallReason::BodyLoad => "engine.park.body_load",
+        StallReason::BodyStore => "engine.park.body_store",
+        StallReason::HeaderLoad => "engine.park.header_load",
+        StallReason::HeaderStore => "engine.park.header_store",
+        StallReason::EmptySpin => "engine.park.empty_spin",
+        StallReason::Drain => "engine.park.drain",
+    }
 }
 
 /// Close a core's open stall run on the bus: emit the
@@ -115,7 +134,20 @@ impl SimCollector {
     /// Run one stop-the-world collection cycle on `heap` (the paper's
     /// configuration: the main processor is stopped throughout).
     pub fn collect(&self, heap: &mut Heap) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, None, &mut NullProbe);
+        let (free, stats, _) = self.run(heap, None, None, &mut NullProbe, &mut NullHostProf);
+        GcOutcome { free, stats }
+    }
+
+    /// Run one collection cycle with `host` collecting *host-time*
+    /// self-profiling: wall-clock phase timers, engine loop and window
+    /// funnel counters, pool scatter/gather latency. Unlike the event
+    /// bus, a hostprof does **not** disable the parallel engine's
+    /// windows — its deterministic counters are aggregates, invariant
+    /// under window splits — so `GcStats` stay bit-identical to
+    /// [`SimCollector::collect`] (the differential tests compare them).
+    /// Wall-clock quantities never flow back into the simulation.
+    pub fn collect_hostprof<H: HostProf>(&self, heap: &mut Heap, host: &mut H) -> GcOutcome {
+        let (free, stats, _) = self.run(heap, None, None, &mut NullProbe, host);
         GcOutcome { free, stats }
     }
 
@@ -127,7 +159,7 @@ impl SimCollector {
     /// passive: the outcome and `GcStats` are bit-identical to
     /// [`SimCollector::collect`].
     pub fn collect_probed<P: Probe>(&self, heap: &mut Heap, probe: &mut P) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, None, probe);
+        let (free, stats, _) = self.run(heap, None, None, probe, &mut NullHostProf);
         GcOutcome { free, stats }
     }
 
@@ -139,7 +171,7 @@ impl SimCollector {
     /// the classic CSV view rides the same bus as every other exporter.
     pub fn collect_traced(&self, heap: &mut Heap, trace: &mut SignalTrace) -> GcOutcome {
         let mut probe = trace.as_probe();
-        let (free, stats, _) = self.run(heap, None, None, &mut probe);
+        let (free, stats, _) = self.run(heap, None, None, &mut probe, &mut NullHostProf);
         GcOutcome { free, stats }
     }
 
@@ -148,7 +180,8 @@ impl SimCollector {
     /// functional outcome must match [`SimCollector::collect`] for every
     /// policy; only timing and stall attribution may shift.
     pub fn collect_scheduled(&self, heap: &mut Heap, policy: &mut dyn SchedulePolicy) -> GcOutcome {
-        let (free, stats, _) = self.run(heap, None, Some(policy), &mut NullProbe);
+        let (free, stats, _) =
+            self.run(heap, None, Some(policy), &mut NullProbe, &mut NullHostProf);
         GcOutcome { free, stats }
     }
 
@@ -161,7 +194,7 @@ impl SimCollector {
         trace: &mut SignalTrace,
     ) -> GcOutcome {
         let mut probe = trace.as_probe();
-        let (free, stats, _) = self.run(heap, None, Some(policy), &mut probe);
+        let (free, stats, _) = self.run(heap, None, Some(policy), &mut probe, &mut NullHostProf);
         GcOutcome { free, stats }
     }
 
@@ -176,7 +209,13 @@ impl SimCollector {
         heap: &mut Heap,
         mutator_cfg: &MutatorConfig,
     ) -> ConcurrentOutcome {
-        let (free, stats, mutator) = self.run(heap, Some(*mutator_cfg), None, &mut NullProbe);
+        let (free, stats, mutator) = self.run(
+            heap,
+            Some(*mutator_cfg),
+            None,
+            &mut NullProbe,
+            &mut NullHostProf,
+        );
         ConcurrentOutcome {
             free,
             stats,
@@ -191,12 +230,13 @@ impl SimCollector {
     /// transition-free, per-cycle SB lock-failure events pin the skip via
     /// `events_pinned`, and sampled cycles cap it via
     /// [`Probe::next_sample`].
-    fn run<P: Probe>(
+    fn run<P: Probe, H: HostProf>(
         &self,
         heap: &mut Heap,
         mutator_cfg: Option<MutatorConfig>,
         policy: Option<&mut dyn SchedulePolicy>,
         probe: &mut P,
+        host: &mut H,
     ) -> (Addr, GcStats, Option<MutatorStats>) {
         // Static dispatch on the memory backend: each instantiation of
         // `run_backend` is monomorphized against its concrete backend, so
@@ -204,21 +244,25 @@ impl SimCollector {
         // was introduced.
         match self.cfg.mem.backend {
             MemBackendKind::Fixed => {
-                self.run_backend::<P, MemorySystem>(heap, mutator_cfg, policy, probe)
+                self.run_backend::<P, H, MemorySystem>(heap, mutator_cfg, policy, probe, host)
             }
             MemBackendKind::Dram(_) => {
-                self.run_backend::<P, DramMemorySystem>(heap, mutator_cfg, policy, probe)
+                self.run_backend::<P, H, DramMemorySystem>(heap, mutator_cfg, policy, probe, host)
             }
         }
     }
 
-    /// [`SimCollector::run`] instantiated for one memory backend.
-    fn run_backend<P: Probe, B: MemBackend>(
+    /// [`SimCollector::run`] instantiated for one memory backend. `host`
+    /// is the hostprof sink ([`NullHostProf`] on every probe door): like
+    /// the probe, each `H::ACTIVE` site compiles away when inactive, so
+    /// the quiet hot loop is unchanged.
+    fn run_backend<P: Probe, H: HostProf, B: MemBackend>(
         &self,
         heap: &mut Heap,
         mutator_cfg: Option<MutatorConfig>,
         policy: Option<&mut dyn SchedulePolicy>,
         probe: &mut P,
+        host: &mut H,
     ) -> (Addr, GcStats, Option<MutatorStats>) {
         let cfg = self.cfg;
         heap.flip();
@@ -249,6 +293,7 @@ impl SimCollector {
                 },
             );
         }
+        let host_root_start = host.now();
         self.root_phase(
             heap,
             &mut sb,
@@ -257,6 +302,12 @@ impl SimCollector {
             &mut stats,
             mem.uncontended_read_latency(),
         );
+        if H::ACTIVE {
+            let t = host.now();
+            host.time("phase.root", t - host_root_start);
+            host.span("phase.root", host_root_start, t);
+        }
+        let host_steady_start = host.now();
         let mut mutator = mutator_cfg.map(|mcfg| MutatorSm::new(mcfg, heap.roots(), cfg.n_cores));
 
         // --- Phase 2+3: parallel scan loop and drain --------------------
@@ -427,7 +478,13 @@ impl SimCollector {
             // line split claim consults the SB chunk counter mid-copy.
             // The windowed stall bookkeeping also *relies* on probes
             // being off (park stamps are split-invariant only for the
-            // aggregate tallies, not for span streams).
+            // aggregate tallies, not for span streams). A hostprof is
+            // deliberately *not* part of this gate: its deterministic
+            // counters are aggregates (counts and totals, never
+            // per-cycle streams), invariant under window splits, so
+            // windows stay enabled and hostprof-on `GcStats` remain
+            // bit-identical — which is also what lets it observe the
+            // window funnel at all.
             let windowed = kind == EngineKind::Par
                 && policy.is_none()
                 && !P::ACTIVE
@@ -458,11 +515,15 @@ impl SimCollector {
             // pre-increment here, so the executing cycle is `cycles + 1`:
             // a core ticking this cycle replays `cycles - park_since`
             // skipped stalls, one more if its retry this cycle already
-            // failed behind the waker's back.
+            // failed behind the waker's back. `$wake_key` is the hostprof
+            // counter of the wake's cause class (`engine.wake.*`).
             macro_rules! wake_parked {
-                ($w:expr, $this_cycle:expr) => {{
+                ($w:expr, $this_cycle:expr, $wake_key:expr) => {{
                     let w: usize = $w;
                     if let Some(reason) = park_reason[w] {
+                        if H::ACTIVE {
+                            host.count($wake_key, 1);
+                        }
                         let this_cycle: bool = $this_cycle;
                         let k = if this_cycle {
                             cycles - park_since[w]
@@ -608,6 +669,9 @@ impl SimCollector {
                             | StallReason::Drain => true,
                         };
                         if park {
+                            if H::ACTIVE {
+                                host.count(park_key(reason), 1);
+                            }
                             if windowed
                                 && reason == StallReason::BodyLoad
                                 && is_win_cand(&cores[idx])
@@ -637,7 +701,7 @@ impl SimCollector {
                         sb.clear_wakes();
                         for i in 0..wake_scratch.len() {
                             let w = wake_scratch[i];
-                            wake_parked!(w, wake_this_cycle(w));
+                            wake_parked!(w, wake_this_cycle(w), "engine.wake.sb");
                         }
                     }
                     if done && !done_announced {
@@ -648,7 +712,7 @@ impl SimCollector {
                         done_announced = true;
                         for c in 0..n {
                             if park_reason[c].is_some() {
-                                wake_parked!(c, wake_this_cycle(c));
+                                wake_parked!(c, wake_this_cycle(c), "engine.wake.done");
                             }
                         }
                     }
@@ -664,73 +728,103 @@ impl SimCollector {
                     // success the heap writes fan out across the host
                     // pool; on failure fall through to the ordinary jump.
                     if win_cands > 0 {
-                        if let Some(wd) = windower.as_mut().filter(|wd| cycles >= wd.snooze_until) {
-                            let plan = wd.plan(
-                                cycles,
-                                cfg.max_cycles,
-                                cfg.mem.bandwidth,
-                                u64::from(cfg.mem.latency),
-                                u64::from(cfg.mem.extra_latency),
-                                &cores,
-                                &park_reason,
-                                &park_since,
-                                &mem,
-                            );
-                            if plan.is_none() {
-                                // Failed attempts are throttled: windows
-                                // open in chains (each fire re-parks the
-                                // streams straight into the next attempt),
-                                // so between chains a short cooldown costs
-                                // at most a clipped first window.
-                                wd.snooze_until = wd.snooze_until.max(cycles + 64);
-                            }
-                            if let Some(win) = plan {
-                                let w = win.end_cycle - cycles;
-                                for f in wd.finishes() {
-                                    // The consumed-but-unstored boundary
-                                    // word is read from fromspace, which
-                                    // no window copy writes.
-                                    let store_val = if f.in_store {
-                                        heap.word(f.copy_src + f.copy_len)
-                                    } else {
-                                        0
-                                    };
-                                    cores[f.core]
-                                        .set_copy_run_parked(f.new_idx, f.in_store, store_val);
-                                    if f.load_stalls > 0 {
-                                        cores[f.core]
-                                            .stalls
-                                            .record_n(StallReason::BodyLoad, f.load_stalls);
-                                    }
-                                    if f.store_stalls > 0 {
-                                        cores[f.core]
-                                            .stalls
-                                            .record_n(StallReason::BodyStore, f.store_stalls);
-                                    }
-                                    park_reason[f.core] = Some(if f.in_store {
-                                        StallReason::BodyStore
-                                    } else {
-                                        StallReason::BodyLoad
-                                    });
-                                    park_since[f.core] = f.park_since;
-                                    if f.in_store || !is_win_cand(&cores[f.core]) {
-                                        win_cands -= 1;
-                                    }
+                        if let Some(wd) = windower.as_mut() {
+                            if cycles < wd.snooze_until {
+                                // Throttled after a failed attempt; the
+                                // funnel counts the skipped instants too.
+                                if H::ACTIVE {
+                                    host.count("win.snoozed", 1);
                                 }
-                                mem.apply_body_window(
-                                    win.end_cycle,
-                                    win.busy_ticks,
-                                    win.occupancy_sum,
-                                    wd.patches(),
+                            } else {
+                                if H::ACTIVE {
+                                    host.count("win.attempted", 1);
+                                }
+                                let plan = wd.plan(
+                                    cycles,
+                                    cfg.max_cycles,
+                                    cfg.mem.bandwidth,
+                                    u64::from(cfg.mem.latency),
+                                    u64::from(cfg.mem.extra_latency),
+                                    &cores,
+                                    &park_reason,
+                                    &park_since,
+                                    &mem,
                                 );
-                                cycles = win.end_cycle;
-                                sb.fast_forward(w);
-                                if sb.scan() == sb.free() {
-                                    stats.empty_worklist_cycles += w;
+                                if plan.is_none() {
+                                    if H::ACTIVE {
+                                        host.count(wd.last_veto(), 1);
+                                    }
+                                    // Failed attempts are throttled: windows
+                                    // open in chains (each fire re-parks the
+                                    // streams straight into the next attempt),
+                                    // so between chains a short cooldown costs
+                                    // at most a clipped first window.
+                                    wd.snooze_until = wd.snooze_until.max(cycles + 64);
                                 }
-                                pool.get_or_insert_with(|| ParPool::new(cfg.host_threads))
-                                    .copy(heap, wd.copies(), cfg.par_copy_threshold);
-                                continue;
+                                if let Some(win) = plan {
+                                    let w = win.end_cycle - cycles;
+                                    if H::ACTIVE {
+                                        host.count("win.fired", 1);
+                                        host.sample("win.len", w);
+                                        host.sample(
+                                            "win.copy_words",
+                                            wd.copies().iter().map(|s| u64::from(s.len)).sum(),
+                                        );
+                                    }
+                                    for f in wd.finishes() {
+                                        // The consumed-but-unstored boundary
+                                        // word is read from fromspace, which
+                                        // no window copy writes.
+                                        let store_val = if f.in_store {
+                                            heap.word(f.copy_src + f.copy_len)
+                                        } else {
+                                            0
+                                        };
+                                        cores[f.core]
+                                            .set_copy_run_parked(f.new_idx, f.in_store, store_val);
+                                        if f.load_stalls > 0 {
+                                            cores[f.core]
+                                                .stalls
+                                                .record_n(StallReason::BodyLoad, f.load_stalls);
+                                        }
+                                        if f.store_stalls > 0 {
+                                            cores[f.core]
+                                                .stalls
+                                                .record_n(StallReason::BodyStore, f.store_stalls);
+                                        }
+                                        park_reason[f.core] = Some(if f.in_store {
+                                            StallReason::BodyStore
+                                        } else {
+                                            StallReason::BodyLoad
+                                        });
+                                        park_since[f.core] = f.park_since;
+                                        if f.in_store || !is_win_cand(&cores[f.core]) {
+                                            win_cands -= 1;
+                                        }
+                                    }
+                                    mem.apply_body_window(
+                                        win.end_cycle,
+                                        win.busy_ticks,
+                                        win.occupancy_sum,
+                                        wd.patches(),
+                                    );
+                                    cycles = win.end_cycle;
+                                    sb.fast_forward(w);
+                                    if sb.scan() == sb.free() {
+                                        stats.empty_worklist_cycles += w;
+                                    }
+                                    let p = pool.get_or_insert_with(|| {
+                                        ParPool::new_profiled(cfg.host_threads, H::ACTIVE)
+                                    });
+                                    if H::ACTIVE {
+                                        let t0 = host.now();
+                                        p.copy(heap, wd.copies(), cfg.par_copy_threshold);
+                                        host.time("pool.copy", host.now() - t0);
+                                    } else {
+                                        p.copy(heap, wd.copies(), cfg.par_copy_threshold);
+                                    }
+                                    continue;
+                                }
                             }
                         }
                     }
@@ -771,6 +865,11 @@ impl SimCollector {
                         sample_landing = false;
                     }
                     if k > 0 {
+                        if H::ACTIVE {
+                            host.count("engine.jump.all_parked", 1);
+                            host.count("engine.jump.all_parked_cycles", k);
+                            host.sample("engine.jump.len", k);
+                        }
                         if let Some(p) = policy.as_deref_mut() {
                             // Replay the per-cycle arranges against the
                             // frozen state so the policy's RNG stream (and
@@ -820,9 +919,19 @@ impl SimCollector {
                     // k == 0: the very next tick has memory work (a queued
                     // service start or a comparator re-check); run it for
                     // real below — with no cores ticking, it is cheap.
+                    if H::ACTIVE {
+                        host.count("engine.calendar.pops", 1);
+                    }
                 }
 
-                mem.tick();
+                if H::ACTIVE {
+                    host.count("engine.cycles_executed", 1);
+                    let t0 = host.now();
+                    mem.tick();
+                    host.time("mem.tick", host.now() - t0);
+                } else {
+                    mem.tick();
+                }
                 sb.begin_cycle();
                 cur = awake;
                 // Retirements in this memory tick wake their owners into
@@ -830,7 +939,7 @@ impl SimCollector {
                 // first see the retry succeed.
                 for i in 0..mem.wakes().len() {
                     let w = mem.wakes()[i];
-                    wake_parked!(w, true);
+                    wake_parked!(w, true, "engine.wake.mem");
                 }
                 mem.clear_wakes();
                 if let Some(p) = policy.as_deref_mut() {
@@ -912,9 +1021,30 @@ impl SimCollector {
                 );
             }
             debug_assert!(cores.iter().all(|c| c.state() == State::Done));
+            if H::ACTIVE {
+                if let Some(p) = &pool {
+                    // Host-thread-count-dependent quantities are *notes*
+                    // (quarantined with the wall-clock timers), never
+                    // deterministic counters: `host_threads = 0` sizes
+                    // the pool to the machine.
+                    host.note("pool.dispatches", p.dispatches());
+                    host.note("pool.inline_copies", p.inline_copies());
+                    host.time("pool.gather_wait", p.gather_wait_ns());
+                    for (stripe, busy) in p.worker_busy_ns().into_iter().enumerate() {
+                        host.time_slot("pool.worker_busy", stripe as u32, busy);
+                    }
+                }
+            }
         } else {
             loop {
-                mem.tick();
+                if H::ACTIVE {
+                    host.count("engine.cycles_executed", 1);
+                    let t0 = host.now();
+                    mem.tick();
+                    host.time("mem.tick", host.now() - t0);
+                } else {
+                    mem.tick();
+                }
                 sb.begin_cycle();
                 if let Some(m) = mutator.as_mut() {
                     m.tick(heap, &mut sb, &mut fifo);
@@ -1082,6 +1212,10 @@ impl SimCollector {
                             // would panic.
                             k = k.min(cfg.max_cycles - 1 - cycles);
                             if k > 0 {
+                                if H::ACTIVE {
+                                    host.count("engine.ff.horizon_jumps", 1);
+                                    host.count("engine.ff.horizon_cycles", k);
+                                }
                                 cycles += k;
                                 sb.fast_forward(k);
                                 mem.fast_forward(k);
@@ -1134,7 +1268,14 @@ impl SimCollector {
                         // tick (it only starts DRAM services, which no core
                         // observes), the cores' unchanged stall outcomes, and
                         // the loop epilogue.
-                        mem.tick();
+                        if H::ACTIVE {
+                            host.count("engine.ff.service_replays", 1);
+                            let t0 = host.now();
+                            mem.tick();
+                            host.time("mem.tick", host.now() - t0);
+                        } else {
+                            mem.tick();
+                        }
                         sb.begin_cycle();
                         for (i, (core, outcome)) in cores.iter_mut().zip(&outcomes).enumerate() {
                             if let TickOutcome::Stalled(reason) = *outcome {
@@ -1187,6 +1328,12 @@ impl SimCollector {
                     }
                 }
             }
+        }
+
+        if H::ACTIVE {
+            let t = host.now();
+            host.time("phase.steady", t - host_steady_start);
+            host.span("phase.steady", host_steady_start, t);
         }
 
         debug_assert!(

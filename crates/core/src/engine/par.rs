@@ -51,8 +51,10 @@
 //! once for *any* legal `park_since`. Windows only run with probes off
 //! (quiet mode), so no observer can distinguish the splits.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hwgc_heap::{Addr, Heap, Word};
 use hwgc_memsim::{BodyWindowPatch, FinalTxn, MemBackend, Port};
@@ -145,6 +147,11 @@ pub(crate) struct Windower {
     /// transaction keeps re-bounding every attempt until it retires.
     /// Purely an optimization; attempts before it would just fail again.
     pub(crate) snooze_until: u64,
+    /// Why the last [`Windower::plan`] returned `None`, as a hostprof
+    /// counter key (`win.veto.*`). Deterministic — set from simulation
+    /// state only — so the window funnel is golden-testable. The engine
+    /// reads it only when its hostprof is active.
+    last_veto: &'static str,
     sims: Vec<KernelSim>,
     /// Per simulated word: (consume tick `c`, store-action tick `s`,
     /// store retire `d`), flattened across sims.
@@ -162,6 +169,7 @@ impl Windower {
     pub(crate) fn new() -> Windower {
         Windower {
             snooze_until: 0,
+            last_veto: "win.veto.none",
             sims: Vec::new(),
             events: Vec::new(),
             issues: Vec::new(),
@@ -184,6 +192,23 @@ impl Windower {
         &self.copies
     }
 
+    /// The `win.veto.*` counter key of the last failed [`Windower::plan`]:
+    ///
+    /// * `no_bandwidth` — zero-bandwidth memory model, windows never open;
+    /// * `mem_not_ready` — a transaction queued / completed / blocked /
+    ///   logging, so the memory system is not in plain flight;
+    /// * `retire_bound` — a non-kernel core's earliest retirement caps the
+    ///   window below [`MIN_WINDOW`];
+    /// * `no_kernels` — no parked core qualifies as a kernel stream;
+    /// * `stream_bound` — a kernel stream's own final-word consume (or its
+    ///   horizon) caps the window below [`MIN_WINDOW`];
+    /// * `clean_cut` — feasibility truncation plus the walk off success
+    ///   ticks left less than [`MIN_WINDOW`];
+    /// * `no_words` — a legal window in which no stream completes a word.
+    pub(crate) fn last_veto(&self) -> &'static str {
+        self.last_veto
+    }
+
     /// Plan a window starting after `now`. `None` when no sound window of
     /// at least [`MIN_WINDOW`] cycles with at least one fully-copied word
     /// exists; the caller then falls back to the ordinary sparse jump.
@@ -204,9 +229,11 @@ impl Windower {
         mem: &B,
     ) -> Option<WindowSummary> {
         if bandwidth == 0 {
+            self.last_veto = "win.veto.no_bandwidth";
             return None;
         }
         if !mem.window_ready() {
+            self.last_veto = "win.veto.mem_not_ready";
             return None;
         }
         // Kernel candidacy on engine state alone (the caller's O(1) gate
@@ -233,6 +260,7 @@ impl Windower {
                 bound = bound.min(r - 1);
                 if bound < now + MIN_WINDOW {
                     self.snooze_until = bound + 1;
+                    self.last_veto = "win.veto.retire_bound";
                     return None;
                 }
             }
@@ -282,6 +310,7 @@ impl Windower {
                         bound = bound.min(r - 1);
                         if bound < now + MIN_WINDOW {
                             self.snooze_until = bound + 1;
+                            self.last_veto = "win.veto.retire_bound";
                             return None;
                         }
                     }
@@ -289,6 +318,7 @@ impl Windower {
             }
         }
         if self.sims.is_empty() {
+            self.last_veto = "win.veto.no_kernels";
             return None;
         }
 
@@ -330,6 +360,7 @@ impl Windower {
         }
         let mut end = bound;
         if end < now + MIN_WINDOW {
+            self.last_veto = "win.veto.stream_bound";
             return None;
         }
 
@@ -367,6 +398,7 @@ impl Windower {
             end -= 1;
         }
         if end < now + MIN_WINDOW {
+            self.last_veto = "win.veto.clean_cut";
             return None;
         }
 
@@ -490,6 +522,7 @@ impl Windower {
             }
         }
         if total_words == 0 {
+            self.last_veto = "win.veto.no_words";
             return None;
         }
         // Queue statistics of the skipped ticks: issues at t arrive (and
@@ -550,34 +583,72 @@ fn run_stripe(job: CopyJob, stripe: usize) {
 /// host thread (or for small windows) everything runs inline on the
 /// coordinator; otherwise spans are striped round-robin across the
 /// workers plus the coordinator behind one [`WindowGate`] epoch.
+///
+/// When built with `profiled = true` the pool additionally keeps host-time
+/// telemetry: dispatch/inline decision counts, cumulative scatter/gather
+/// wait on the coordinator, and per-stripe busy nanoseconds (stripe 0 is
+/// the coordinator). The atomics live outside the `profiled = false` path
+/// entirely, so the quiet configuration's copy loop is untouched.
 pub(crate) struct ParPool {
     gate: Arc<WindowGate<CopyJob>>,
     workers: Vec<JoinHandle<()>>,
+    profiled: bool,
+    dispatches: AtomicU64,
+    inline_copies: AtomicU64,
+    gather_wait_ns: AtomicU64,
+    /// Busy nanoseconds per stripe; index 0 is the coordinator.
+    busy_ns: Arc<Vec<AtomicU64>>,
 }
 
 impl ParPool {
-    /// `host_threads == 0` sizes to the host; `1` means no workers (all
-    /// copies inline).
+    /// Unprofiled pool (the engine always goes through
+    /// [`ParPool::new_profiled`] with its hostprof's `ACTIVE`).
+    #[cfg(test)]
     pub(crate) fn new(host_threads: usize) -> ParPool {
+        ParPool::new_profiled(host_threads, false)
+    }
+
+    /// `host_threads == 0` sizes to the host; `1` means no workers (all
+    /// copies inline). `profiled` switches on the pool's host-time
+    /// telemetry.
+    pub(crate) fn new_profiled(host_threads: usize, profiled: bool) -> ParPool {
         let threads = if host_threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             host_threads
         };
         let gate: Arc<WindowGate<CopyJob>> = Arc::new(WindowGate::new());
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
         let workers = (1..threads)
             .map(|stripe| {
                 let gate = Arc::clone(&gate);
+                let busy_ns = Arc::clone(&busy_ns);
                 std::thread::spawn(move || {
                     let mut epoch = 0;
                     while let Some(job) = gate.next_job(&mut epoch) {
-                        run_stripe(job, stripe);
+                        if profiled {
+                            let t0 = Instant::now();
+                            run_stripe(job, stripe);
+                            busy_ns[stripe]
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        } else {
+                            run_stripe(job, stripe);
+                        }
                         gate.finish_one();
                     }
                 })
             })
             .collect();
-        ParPool { gate, workers }
+        ParPool {
+            gate,
+            workers,
+            profiled,
+            dispatches: AtomicU64::new(0),
+            inline_copies: AtomicU64::new(0),
+            gather_wait_ns: AtomicU64::new(0),
+            busy_ns,
+        }
     }
 
     /// Execute every span (each a disjoint fromspace→tospace word copy).
@@ -585,6 +656,15 @@ impl ParPool {
         let total: u64 = spans.iter().map(|s| u64::from(s.len)).sum();
         let words = heap.words_mut();
         if self.workers.is_empty() || (total as usize) < threshold {
+            if self.profiled {
+                self.inline_copies.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                for s in spans {
+                    words.copy_within(s.src as usize..(s.src + s.len) as usize, s.dst as usize);
+                }
+                self.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return;
+            }
             for s in spans {
                 words.copy_within(s.src as usize..(s.src + s.len) as usize, s.dst as usize);
             }
@@ -601,8 +681,45 @@ impl ParPool {
             stripes: self.workers.len() + 1,
         };
         self.gate.dispatch(self.workers.len(), job);
-        run_stripe(job, 0);
-        self.gate.await_done();
+        if self.profiled {
+            self.dispatches.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            run_stripe(job, 0);
+            self.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let t1 = Instant::now();
+            self.gate.await_done();
+            self.gather_wait_ns
+                .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            run_stripe(job, 0);
+            self.gate.await_done();
+        }
+    }
+
+    /// Copies dispatched to the worker gate (profiled pools only).
+    pub(crate) fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Copies run inline on the coordinator (profiled pools only).
+    pub(crate) fn inline_copies(&self) -> u64 {
+        self.inline_copies.load(Ordering::Relaxed)
+    }
+
+    /// Coordinator nanoseconds spent waiting in `await_done` after its
+    /// own stripe finished (profiled pools only).
+    pub(crate) fn gather_wait_ns(&self) -> u64 {
+        self.gather_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Busy nanoseconds per stripe, coordinator first (profiled pools
+    /// only). Workers have quiesced whenever this is read: the engine
+    /// harvests after the last `copy` returned, and `copy` gathers.
+    pub(crate) fn worker_busy_ns(&self) -> Vec<u64> {
+        self.busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

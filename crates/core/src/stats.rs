@@ -219,6 +219,22 @@ pub struct GcStats {
 }
 
 impl GcStats {
+    /// FNV-1a digest over the complete statistics (every counter of every
+    /// substructure, via the canonical `Debug` rendering — all fields are
+    /// integers, so the rendering is exact). Two runs are stats-equivalent
+    /// iff their digests match; the run ledger records this as the
+    /// simulation's output fingerprint. Wall-clock never enters: `GcStats`
+    /// carries simulated quantities only.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in format!("{self:?}").bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Fraction of cycles with an empty work list (Table I), in [0, 1].
     pub fn empty_worklist_fraction(&self) -> f64 {
         if self.total_cycles == 0 {

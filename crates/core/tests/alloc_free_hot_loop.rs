@@ -120,5 +120,20 @@ fn steady_state_cycles_do_not_allocate() {
             traced_delta as i64 - untraced as i64,
             trace.rows().len()
         );
+
+        // The hostprof door with the null profiler must be
+        // allocation-identical to the plain door: every `H::ACTIVE`
+        // guard compiles the profiling hooks out of the hot loop, so a
+        // hostprof-off run is the same machine code path as `collect`.
+        let mut heap = chain(512);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        SimCollector::new(cfg).collect_hostprof(&mut heap, &mut hwgc_obs::NullHostProf);
+        let hostprof_delta = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            hostprof_delta, untraced,
+            "{mode}: collect_hostprof(NullHostProf) allocated {} times, collect {} — \
+             the null profiler must be free",
+            hostprof_delta, untraced
+        );
     }
 }

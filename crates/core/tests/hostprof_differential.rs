@@ -1,0 +1,135 @@
+//! Self-observation must not perturb the simulation: a run with the
+//! [`hwgc_obs::HostProfiler`] attached must produce bit-identical
+//! `GcStats` and allocation frontier to a hostprof-off run of the same
+//! heap, on every engine. This is the property that lets wall-clock
+//! profiling stay on in CI legs and experiment binaries without
+//! invalidating a single deterministic number — and what keeps the
+//! profiler's *deterministic* counters (the window funnel, park/wake
+//! statistics) honest: they describe exactly the run the plain door
+//! would have executed.
+//!
+//! The par engine leg is the load-bearing one: hostprof is deliberately
+//! *not* part of the engine's `windowed` gate (unlike `Probe`, which
+//! disables windows so per-cycle event streams stay pinned), because
+//! every hostprof counter is an aggregate that window-splitting cannot
+//! change. This test is the enforcement of that claim.
+
+use hwgc_core::{EngineKind, GcConfig, SimCollector};
+use hwgc_memsim::MemConfig;
+use hwgc_obs::HostProfiler;
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+fn config(engine: EngineKind, cores: usize, extra: u32) -> GcConfig {
+    GcConfig {
+        n_cores: cores,
+        mem: MemConfig::default().with_extra_latency(extra),
+        engine: Some(engine),
+        sparse: engine != EngineKind::Naive,
+        host_threads: 1,
+        par_copy_threshold: 1,
+        ..GcConfig::default()
+    }
+}
+
+#[test]
+fn hostprof_on_equals_hostprof_off_across_engines() {
+    let engines = [EngineKind::Naive, EngineKind::Sparse, EngineKind::Par];
+    let presets = [Preset::Compress, Preset::Javac];
+    // +20 puts compress in the window-rich regime, so the par leg
+    // exercises the full funnel (attempt → plan → fire → pool copy)
+    // under profiling, not just the veto paths.
+    for engine in engines {
+        for preset in presets {
+            for (cores, extra) in [(4usize, 0u32), (16, 20)] {
+                let cfg = config(engine, cores, extra);
+                let base = WorkloadSpec::new(preset, 42).build();
+
+                let mut plain_heap = base.clone();
+                let plain = SimCollector::new(cfg).collect(&mut plain_heap);
+
+                let mut prof = HostProfiler::new();
+                let mut prof_heap = base;
+                let profiled = SimCollector::new(cfg).collect_hostprof(&mut prof_heap, &mut prof);
+
+                assert_eq!(
+                    profiled.stats,
+                    plain.stats,
+                    "{engine:?}/{}/{cores}c +{extra}: hostprof-on GcStats diverged",
+                    preset.name()
+                );
+                assert_eq!(
+                    profiled.free,
+                    plain.free,
+                    "{engine:?}/{}/{cores}c +{extra}: hostprof-on free diverged",
+                    preset.name()
+                );
+                assert_eq!(
+                    prof_heap.words(),
+                    plain_heap.words(),
+                    "{engine:?}/{}/{cores}c +{extra}: hostprof-on heap image diverged",
+                    preset.name()
+                );
+
+                // The profiler actually observed the run: the cycle
+                // counter is a full-loop count, so it can never exceed
+                // the simulated total, and a sparse/par run must have
+                // skipped at least something on these workloads.
+                let executed = prof.counter("engine.cycles_executed");
+                assert!(
+                    executed > 0,
+                    "{engine:?}/{}: no cycles observed",
+                    preset.name()
+                );
+                assert!(
+                    executed <= plain.stats.total_cycles,
+                    "{engine:?}/{}: observed {executed} executed cycles > {} simulated",
+                    preset.name(),
+                    plain.stats.total_cycles
+                );
+                if engine == EngineKind::Par {
+                    let attempted = prof.counter("win.attempted");
+                    let fired = prof.counter("win.fired");
+                    let vetoed: u64 = [
+                        "win.veto.no_bandwidth",
+                        "win.veto.mem_not_ready",
+                        "win.veto.retire_bound",
+                        "win.veto.no_kernels",
+                        "win.veto.stream_bound",
+                        "win.veto.clean_cut",
+                        "win.veto.no_words",
+                    ]
+                    .iter()
+                    .map(|k| prof.counter(k))
+                    .sum();
+                    assert_eq!(
+                        attempted,
+                        fired + vetoed,
+                        "{}/{cores}c +{extra}: window funnel does not reconcile \
+                         (attempted {attempted} != fired {fired} + vetoed {vetoed})",
+                        preset.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_counters_are_stable_across_reruns() {
+    // Two profiled runs of the same configuration must agree on every
+    // deterministic counter and histogram — this is what makes them
+    // golden-testable. (Timers and notes are explicitly exempt.)
+    let cfg = config(EngineKind::Par, 16, 20);
+    let run = || {
+        let mut heap = WorkloadSpec::new(Preset::Compress, 42).build();
+        let mut prof = HostProfiler::new();
+        SimCollector::new(cfg).collect_hostprof(&mut heap, &mut prof);
+        prof
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        a.deterministic_json().to_string_compact(),
+        b.deterministic_json().to_string_compact(),
+        "deterministic counters diverged between identical runs"
+    );
+}

@@ -40,7 +40,9 @@ pub mod critpath;
 pub mod derive;
 pub mod event;
 pub mod folded;
+pub mod host;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod probe;
 pub mod report;
@@ -52,8 +54,13 @@ pub use critpath::{critical_path, CritPath};
 pub use derive::derive_metrics;
 pub use event::{Event, OwnedEvent, SampleRec};
 pub use folded::FoldedStacks;
+pub use host::{
+    merge_host_track, validate_hostprof_json, HostProf, HostProfiler, NullHostProf, TimerAgg,
+    HOSTPROF_SCHEMA,
+};
 pub use json::Json;
+pub use ledger::{read_jsonl, LedgerRecord, LEDGER_SCHEMA};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::{Fanout, NullProbe, Probe, Recorder, Recording, SharedProbe};
-pub use report::{render_report_json, render_report_markdown, RunReport};
+pub use report::{render_report_json, render_report_markdown, HostSection, RunReport};
 pub use whatif::{predict, Prediction};

@@ -171,7 +171,7 @@ impl Histogram {
             .map(|(i, &n)| (Self::bucket_lo(i), n))
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let buckets = self
             .nonzero_buckets()
             .map(|(lo, n)| Json::Arr(vec![Json::Int(lo as i128), Json::Int(n as i128)]))
@@ -188,7 +188,7 @@ impl Histogram {
         Json::Obj(fields)
     }
 
-    fn from_json(v: &Json) -> Option<Histogram> {
+    pub(crate) fn from_json(v: &Json) -> Option<Histogram> {
         let mut h = Histogram::new();
         h.count = u64::try_from(v.get("count")?.as_int()?).ok()?;
         h.sum = u64::try_from(v.get("sum")?.as_int()?).ok()?;

@@ -12,12 +12,122 @@
 use crate::attr::{attribute, BlameReport, RunModel};
 use crate::chrome::RunMeta;
 use crate::critpath::{critical_path, CritPath};
+use crate::host::HostProfiler;
 use crate::json::Json;
 use crate::probe::Recording;
 use crate::whatif::{predict, Prediction, WhatIfInputs};
 
 /// JSON schema tag of [`render_report_json`].
 pub const REPORT_SCHEMA: &str = "hwgc-report-v1";
+
+/// Host-performance section of a report: the window-engine funnel and
+/// engine loop counters from a hostprof run of the same workload, with
+/// wall-clock quantities kept strictly apart from the deterministic
+/// counters (only the latter may appear in goldens).
+#[derive(Debug, Clone, Default)]
+pub struct HostSection {
+    /// Deterministic counters (sorted by key): `win.*`, `engine.*`.
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock timers as `(key, count, total_ns)` — nondeterministic.
+    pub timers: Vec<(String, u64, u64)>,
+    /// Machine-dependent notes (pool dispatch decisions etc.).
+    pub notes: Vec<(String, u64)>,
+}
+
+impl HostSection {
+    /// Snapshot a profiler into the report-facing form.
+    pub fn from_profiler(prof: &HostProfiler) -> HostSection {
+        HostSection {
+            counters: prof.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            timers: prof
+                .timers()
+                .map(|(k, t)| (k.to_string(), t.count, t.total_ns))
+                .collect(),
+            notes: prof.notes().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// The named deterministic counter (0 when never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The `win.veto.*` rows, heaviest first.
+    pub fn vetoes(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("win.veto."))
+            .map(|(k, n)| (k.as_str(), *n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// One-sentence window-engine verdict: why windows did (not) open on
+    /// this workload. This is the committed answer to "why does javac/16c
+    /// fire zero windows": the veto counters name the binding constraint.
+    pub fn window_explanation(&self) -> String {
+        let attempted = self.counter("win.attempted");
+        let fired = self.counter("win.fired");
+        if fired > 0 {
+            return format!(
+                "the window engine fired {fired} of {attempted} attempted windows \
+                 (median and total lengths in the win.len histogram)."
+            );
+        }
+        if attempted == 0 {
+            return "the window engine never found an eligible instant: no all-parked \
+                    moment had a core parked on a body load inside a pure copy run \
+                    with two or more words left, so no plan was ever attempted."
+                .to_string();
+        }
+        match self.vetoes().first() {
+            Some(&(reason, n)) => format!(
+                "the window engine attempted {attempted} windows and fired none; the \
+                 dominant veto was {reason} ({n} of {attempted}), i.e. {}",
+                veto_gloss(reason)
+            ),
+            None => format!(
+                "the window engine attempted {attempted} windows and fired none, \
+                 with no veto recorded (unexpected — counters may be incomplete)."
+            ),
+        }
+    }
+}
+
+/// Human gloss for a `win.veto.*` counter key.
+fn veto_gloss(key: &str) -> &'static str {
+    match key {
+        "win.veto.no_bandwidth" => "the memory model has zero bandwidth, so windows never open.",
+        "win.veto.mem_not_ready" => {
+            "the memory system was never in plain flight at an all-parked instant \
+             (queued, completed or blocked transactions pin the cycle-by-cycle loop)."
+        }
+        "win.veto.retire_bound" => {
+            "a non-kernel core's imminent transaction retirement kept capping the \
+             window below the minimum length — other cores wake too soon for a \
+             safe horizon to exist."
+        }
+        "win.veto.no_kernels" => {
+            "no parked core qualified as a pure copy-stream kernel (header ports \
+             busy, or the copy run too short)."
+        }
+        "win.veto.stream_bound" => {
+            "the copy streams themselves were too short: the final word's consume \
+             capped the window below the minimum length."
+        }
+        "win.veto.clean_cut" => {
+            "feasibility truncation and the clean-cut walk left less than the \
+             minimum window length."
+        }
+        "win.veto.no_words" => "no stream completed a single word inside the legal window.",
+        _ => "an unrecognized veto reason.",
+    }
+}
 
 /// The complete analysis of one recorded run.
 #[derive(Debug, Clone)]
@@ -34,6 +144,9 @@ pub struct RunReport {
     pub path: CritPath,
     /// What-if resource-relaxation estimates.
     pub predictions: Vec<Prediction>,
+    /// Host-performance section (window funnel, engine loop, host time),
+    /// present when the harness also ran the workload under a hostprof.
+    pub host: Option<HostSection>,
 }
 
 impl RunReport {
@@ -58,7 +171,15 @@ impl RunReport {
             blame,
             path,
             predictions,
+            host: None,
         }
+    }
+
+    /// Attach the host-performance section from a hostprof run of the
+    /// same workload.
+    pub fn with_host(mut self, host: HostSection) -> RunReport {
+        self.host = Some(host);
+        self
     }
 
     /// Re-check the exactness invariants.
@@ -142,6 +263,46 @@ pub fn render_report_markdown(r: &RunReport) -> String {
             p.resource, p.predicted_cycles, p.predicted_speedup
         );
     }
+
+    if let Some(host) = &r.host {
+        let _ = writeln!(out, "\n## Host performance\n");
+        let _ = writeln!(out, "{}\n", host.window_explanation());
+        let _ = writeln!(out, "### Window funnel (deterministic)\n");
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---:|");
+        for (k, v) in &host.counters {
+            if k.starts_with("win.") {
+                let _ = writeln!(out, "| {k} | {v} |");
+            }
+        }
+        let _ = writeln!(out, "\n### Engine loop (deterministic)\n");
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---:|");
+        for (k, v) in &host.counters {
+            if !k.starts_with("win.") {
+                let _ = writeln!(out, "| {k} | {v} |");
+            }
+        }
+        if !host.timers.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n### Host time (wall clock — not comparable across runs)\n"
+            );
+            let _ = writeln!(out, "| timer | count | total |");
+            let _ = writeln!(out, "|---|---:|---:|");
+            for (k, count, total_ns) in &host.timers {
+                let _ = writeln!(out, "| {k} | {count} | {:.3} ms |", *total_ns as f64 / 1e6);
+            }
+        }
+        if !host.notes.is_empty() {
+            let _ = writeln!(out, "\n### Pool notes (machine-dependent)\n");
+            let _ = writeln!(out, "| note | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (k, v) in &host.notes {
+                let _ = writeln!(out, "| {k} | {v} |");
+            }
+        }
+    }
     out
 }
 
@@ -215,7 +376,7 @@ pub fn render_report_json(r: &RunReport) -> String {
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("schema".to_string(), Json::Str(REPORT_SCHEMA.to_string())),
         ("name".to_string(), Json::Str(r.name.clone())),
         ("n_cores".to_string(), Json::Int(r.n_cores as i128)),
@@ -239,8 +400,65 @@ pub fn render_report_json(r: &RunReport) -> String {
             ]),
         ),
         ("whatif".to_string(), Json::Arr(predictions)),
-    ])
-    .to_string_compact()
+    ];
+    if let Some(host) = &r.host {
+        // The deterministic counters and the wall-clock quantities stay in
+        // separate sub-objects; anything under "host_time" must never be
+        // compared across runs or committed as a golden.
+        fields.push((
+            "host".to_string(),
+            Json::Obj(vec![
+                (
+                    "explanation".to_string(),
+                    Json::Str(host.window_explanation()),
+                ),
+                (
+                    "counters".to_string(),
+                    Json::Obj(
+                        host.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "host_time".to_string(),
+                    Json::Obj(vec![
+                        (
+                            "timers".to_string(),
+                            Json::Obj(
+                                host.timers
+                                    .iter()
+                                    .map(|(k, count, total_ns)| {
+                                        (
+                                            k.clone(),
+                                            Json::Obj(vec![
+                                                ("count".to_string(), Json::Int(*count as i128)),
+                                                (
+                                                    "total_ns".to_string(),
+                                                    Json::Int(*total_ns as i128),
+                                                ),
+                                            ]),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "notes".to_string(),
+                            Json::Obj(
+                                host.notes
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(fields).to_string_compact()
 }
 
 #[cfg(test)]
@@ -377,6 +595,71 @@ mod tests {
         }
         let whatif = doc.get("whatif").and_then(Json::as_arr).unwrap();
         assert_eq!(whatif.len(), 3);
+    }
+
+    #[test]
+    fn host_section_renders_and_explains_zero_windows() {
+        let host = HostSection {
+            counters: vec![
+                ("engine.cycles_executed".to_string(), 1234),
+                ("win.attempted".to_string(), 40),
+                ("win.veto.mem_not_ready".to_string(), 5),
+                ("win.veto.retire_bound".to_string(), 35),
+            ],
+            timers: vec![("phase.steady".to_string(), 1, 2_500_000)],
+            notes: vec![("pool.dispatches".to_string(), 0)],
+        };
+        // Zero fired: the explanation names the dominant veto.
+        let expl = host.window_explanation();
+        assert!(expl.contains("win.veto.retire_bound"), "{expl}");
+        assert!(expl.contains("fired none"), "{expl}");
+        let report = RunReport::analyze(&recording(), &meta(), 10).with_host(host);
+        let md = render_report_markdown(&report);
+        for section in [
+            "## Host performance",
+            "### Window funnel (deterministic)",
+            "win.veto.retire_bound",
+            "### Engine loop (deterministic)",
+            "engine.cycles_executed",
+            "### Host time (wall clock",
+            "phase.steady",
+            "pool.dispatches",
+        ] {
+            assert!(md.contains(section), "missing {section:?} in:\n{md}");
+        }
+        let doc = Json::parse(&render_report_json(&report)).unwrap();
+        let host_doc = doc.get("host").unwrap();
+        assert_eq!(
+            host_doc
+                .get("counters")
+                .and_then(|c| c.get("win.attempted"))
+                .and_then(Json::as_int),
+            Some(40)
+        );
+        // Wall clock lives only under host_time.
+        assert!(host_doc.get("host_time").is_some());
+        assert!(host_doc
+            .get("counters")
+            .and_then(|c| c.get("phase.steady"))
+            .is_none());
+    }
+
+    #[test]
+    fn fired_windows_change_the_explanation() {
+        let host = HostSection {
+            counters: vec![
+                ("win.attempted".to_string(), 10),
+                ("win.fired".to_string(), 7),
+            ],
+            ..HostSection::default()
+        };
+        let expl = host.window_explanation();
+        assert!(expl.contains("fired 7 of 10"), "{expl}");
+        // Never-eligible runs are distinguished from vetoed runs.
+        let idle = HostSection::default();
+        assert!(idle
+            .window_explanation()
+            .contains("never found an eligible instant"));
     }
 
     #[test]
