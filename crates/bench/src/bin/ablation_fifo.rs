@@ -7,7 +7,7 @@
 //! the memory reads prolong the scan-lock critical section (cup's
 //! pathology in Table II).
 
-use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_bench::{row, run_verified, spec, sweep_finish, write_csv};
 use hwgc_core::{GcConfig, StallReason};
 use hwgc_memsim::MemConfig;
 use hwgc_workloads::Preset;
@@ -72,4 +72,5 @@ fn main() {
         "app,fifo_capacity,total,scan_lock_frac,header_load_frac,fifo_hit_rate,overflows",
         &csv,
     );
+    sweep_finish();
 }

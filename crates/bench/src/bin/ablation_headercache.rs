@@ -8,7 +8,7 @@
 //! headers are re-read by every parent — benefits most; db's headers are
 //! read once each and mostly miss.
 
-use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_bench::{row, run_verified, spec, sweep_finish, write_csv};
 use hwgc_core::{GcConfig, StallReason};
 use hwgc_memsim::MemConfig;
 use hwgc_workloads::Preset;
@@ -74,4 +74,5 @@ fn main() {
         "app,entries,total,header_load_frac,cache_hits,cache_misses",
         &csv,
     );
+    sweep_finish();
 }

@@ -6,7 +6,7 @@
 //! most child-header reads find the mark bit already set, so the unlocked
 //! probe eliminates almost all header-lock contention.
 
-use hwgc_bench::{row, run_verified, spec, write_csv};
+use hwgc_bench::{row, run_verified, spec, sweep_finish, write_csv};
 use hwgc_core::{GcConfig, StallReason};
 use hwgc_workloads::Preset;
 
@@ -65,4 +65,5 @@ fn main() {
         "app,variant,total,header_lock_frac,header_load_frac",
         &csv,
     );
+    sweep_finish();
 }

@@ -75,6 +75,17 @@
 //! `BENCH_ledger.jsonl` — one `hwgc-ledger-v1` provenance record per
 //! profiled run, deterministic efficacy counters split from the
 //! quarantined `host_*` wall-clock fields.
+//!
+//! Since PR 9 the ledger companion is maintained through
+//! [`hwgc_obs::LedgerStore`] rather than blind append: this run's fresh
+//! records are merged with whatever the file already holds (fresh
+//! records win a digest conflict — the file is being *regenerated* — but
+//! the drift is reported), and the result is written canonically: one
+//! record per `config_hash`, sorted by hash, so the committed file
+//! byte-stabilizes and diffs stay reviewable. The report also carries a
+//! `cache_sweep` section: the same reduced sweep timed uncached and
+//! against a warm content-addressed result cache, the wall-clock saving
+//! the PR 9 observatory buys a repeat `reproduce_all`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -82,9 +93,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use hwgc_bench::spec;
+use hwgc_check::{CacheMode, ResultCache};
 use hwgc_core::{EngineKind, GcConfig, GcOutcome, SimCollector};
 use hwgc_heap::{verify_collection, Snapshot};
 use hwgc_memsim::MemConfig;
+use hwgc_obs::{LedgerStore, StoreError};
 use hwgc_workloads::Preset;
 
 /// Minimum acceptable measured/reference aggregate-throughput ratio: a
@@ -274,12 +287,104 @@ fn measure_host_scaling() -> Vec<HostScalingRow> {
         .collect()
 }
 
+/// The reduced sweep the cache-effect measurement replays: small enough
+/// to keep bench_baseline quick, large enough that simulation wall clock
+/// dominates cache bookkeeping.
+const CACHE_SWEEP: &[(Preset, usize)] = &[
+    (Preset::Compress, 1),
+    (Preset::Compress, 4),
+    (Preset::Javac, 1),
+    (Preset::Javac, 4),
+    (Preset::Jlisp, 1),
+    (Preset::Jlisp, 4),
+];
+
+struct CacheSweep {
+    jobs: usize,
+    uncached_wall_s: f64,
+    cached_wall_s: f64,
+}
+
+impl CacheSweep {
+    fn speedup(&self) -> f64 {
+        self.uncached_wall_s / self.cached_wall_s.max(1e-9)
+    }
+}
+
+/// Time the [`CACHE_SWEEP`] jobs uncached and then against a warm
+/// content-addressed result cache (a private `rw` file under
+/// `target/experiments/`, rebuilt each run so the warm leg replays this
+/// binary's own records). Every payload hit re-verifies the recorded
+/// digest before being returned, so the cached leg is an integrity pass,
+/// not a free ride; hit outcomes are asserted bit-exact against the
+/// uncached leg's.
+fn measure_cache_sweep() -> CacheSweep {
+    let sim = |preset: Preset, cores: usize| {
+        let mut heap = spec(preset).build();
+        let snap = Snapshot::capture(&heap);
+        let out = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
+        verify_collection(&heap, out.free, &snap)
+            .unwrap_or_else(|e| panic!("{} failed verification: {e}", preset.name()));
+        out
+    };
+    let key = |preset: Preset, cores: usize| {
+        let cfg = GcConfig::with_cores(cores);
+        hwgc_bench::cache_key(&hwgc_bench::workload_key(&spec(preset)), &cfg)
+    };
+
+    let t = Instant::now();
+    let uncached: Vec<GcOutcome> = CACHE_SWEEP.iter().map(|&(p, n)| sim(p, n)).collect();
+    let uncached_wall_s = t.elapsed().as_secs_f64();
+
+    let path = hwgc_bench::experiments_dir().join("bench_cache_probe.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let cold = ResultCache::open(CacheMode::Rw, &[], Some(&path))
+        .unwrap_or_else(|e| panic!("cache probe open: {e}"));
+    for &(p, n) in CACHE_SWEEP {
+        cold.run_cached(&key(p, n), || sim(p, n))
+            .unwrap_or_else(|e| panic!("cache probe fill: {e}"));
+    }
+    assert_eq!(
+        cold.counters().misses,
+        CACHE_SWEEP.len(),
+        "the cold pass must simulate every job"
+    );
+
+    let warm = ResultCache::open(CacheMode::Rw, &[], Some(&path))
+        .unwrap_or_else(|e| panic!("cache probe reopen: {e}"));
+    let t = Instant::now();
+    for (&(p, n), reference) in CACHE_SWEEP.iter().zip(&uncached) {
+        let (out, _) = warm
+            .run_cached(&key(p, n), || sim(p, n))
+            .unwrap_or_else(|e| panic!("warm cache probe: {e}"));
+        assert_eq!(
+            out.stats,
+            reference.stats,
+            "cached outcome diverged on {}/{n}c",
+            p.name()
+        );
+    }
+    let cached_wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        warm.counters().hits,
+        CACHE_SWEEP.len(),
+        "the warm pass must hit every job"
+    );
+
+    CacheSweep {
+        jobs: CACHE_SWEEP.len(),
+        uncached_wall_s,
+        cached_wall_s,
+    }
+}
+
 fn render_report(
     mode: &str,
     combos: &[ComboResult],
     speedup_1c: f64,
     speedup_16c: f64,
     host_scaling: &[HostScalingRow],
+    cache_sweep: &CacheSweep,
 ) -> String {
     let total_cycles: u64 = combos.iter().map(|c| c.cycles).sum();
     let total_wall: f64 = combos.iter().map(|c| c.wall_s).sum();
@@ -327,6 +432,15 @@ fn render_report(
         );
     }
     out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"cache_sweep\": {{\"jobs\": {}, \"uncached_wall_s\": {:.6}, \
+         \"cached_wall_s\": {:.6}, \"speedup\": {:.2}}},",
+        cache_sweep.jobs,
+        cache_sweep.uncached_wall_s,
+        cache_sweep.cached_wall_s,
+        cache_sweep.speedup(),
+    );
     let _ = writeln!(out, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(out, "  \"total_wall_s\": {total_wall:.6},");
     let _ = writeln!(
@@ -683,6 +797,16 @@ fn main() {
         );
     }
 
+    let cache_sweep = measure_cache_sweep();
+    println!(
+        "\ncache effect ({} jobs, reduced sweep): uncached {:.3} ms, warm cache {:.3} ms \
+         — {:.1}x",
+        cache_sweep.jobs,
+        cache_sweep.uncached_wall_s * 1e3,
+        cache_sweep.cached_wall_s * 1e3,
+        cache_sweep.speedup(),
+    );
+
     if trace_out.is_some() || metrics_out.is_some() {
         // One extra, untimed probed run of the fig6 configuration for the
         // observability exports. Bit-exactness of probe-on vs. probe-off
@@ -716,7 +840,14 @@ fn main() {
         append_trajectory(path, pr);
     }
 
-    let report = render_report(mode, &combos, speedup_1c, speedup_16c, &host_scaling);
+    let report = render_report(
+        mode,
+        &combos,
+        speedup_1c,
+        speedup_16c,
+        &host_scaling,
+        &cache_sweep,
+    );
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");
 
@@ -724,15 +855,18 @@ fn main() {
     // extra untimed run per host_scaling config with the HostProfiler
     // attached (never the timed matrix — profiling the profiler would
     // poison the throughput numbers). The hostprof dump records the
-    // window-rich compress/16c run; the ledger gets one provenance
-    // record per profiled run, wall clock quarantined in host_* fields.
+    // window-rich compress/16c run. The ledger is maintained through the
+    // store, not blind append: this run's fresh records are merged with
+    // the file's existing ones (fresh wins a digest conflict, with the
+    // drift reported — the file is being regenerated) and the result is
+    // written canonically, one hash-sorted record per config.
     let out_dir = std::path::Path::new(&out_path)
         .parent()
         .map(|p| p.to_path_buf())
         .unwrap_or_default();
     let hostprof_path = out_dir.join("BENCH_hostprof.json");
     let ledger_path = out_dir.join("BENCH_ledger.jsonl");
-    let _ = std::fs::remove_file(&ledger_path);
+    let mut store = LedgerStore::new();
     for &(config, preset, cores) in HOST_SCALING {
         let cfg = GcConfig {
             n_cores: cores,
@@ -743,27 +877,54 @@ fn main() {
             ..GcConfig::default()
         };
         let (run, prof) = hwgc_bench::run_hostprof(&spec(preset), cfg);
-        hwgc_bench::append_ledger_to(
-            &hwgc_bench::ledger_record(
+        store
+            .insert(hwgc_bench::ledger_record(
                 "bench_baseline",
                 config,
                 &cfg,
                 &run.stats,
                 None,
                 Some(&prof),
-            ),
-            &ledger_path,
-        );
+            ))
+            .unwrap_or_else(|e| panic!("fresh ledger records conflict: {e}"));
         if preset == Preset::Compress {
             std::fs::write(&hostprof_path, prof.to_json_string())
                 .unwrap_or_else(|e| panic!("write {}: {e}", hostprof_path.display()));
             println!("[hostprof] {}", hostprof_path.display());
         }
     }
+    match LedgerStore::load_tolerant(&ledger_path) {
+        Ok((old, load_report)) => {
+            for line in &load_report.quarantined {
+                eprintln!("[ledger] quarantined: {line}");
+            }
+            for rec in old.records() {
+                if let Err(StoreError::Conflict {
+                    config_hash,
+                    field,
+                    have,
+                    incoming,
+                }) = store.insert(rec.clone())
+                {
+                    println!(
+                        "[ledger] {config_hash:016x} {field} drifted: {incoming} -> {have} \
+                         (fresh run wins)"
+                    );
+                }
+            }
+        }
+        Err(e) => eprintln!(
+            "[ledger] existing {} not merged: {e}",
+            ledger_path.display()
+        ),
+    }
+    store
+        .write_canonical(&ledger_path)
+        .unwrap_or_else(|e| panic!("write {}: {e}", ledger_path.display()));
     println!(
-        "[ledger] {} (+{} records)",
+        "[ledger] {} ({} records, canonical)",
         ledger_path.display(),
-        HOST_SCALING.len()
+        store.len()
     );
 
     if let Some(check_path) = check_path {

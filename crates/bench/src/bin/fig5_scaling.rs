@@ -4,12 +4,13 @@
 //! paper notes it performs like sequential Cheney because uncontended
 //! synchronization is free.
 
-use hwgc_bench::{pct, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_bench::{pct, row, run_verified, spec, sweep_begin, sweep_finish, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
 use hwgc_workloads::Preset;
 
 fn main() {
     println!("Figure 5: scaling behavior (speedup vs 1-core baseline)\n");
+    sweep_begin("fig5_scaling", Preset::ALL.len() * CORE_COUNTS.len());
     let widths = [10, 12, 8, 8, 8, 8, 8];
     let header: Vec<String> = ["app", "1-core cyc", "x1", "x2", "x4", "x8", "x16"]
         .iter()
@@ -35,5 +36,6 @@ fn main() {
         println!("{}", row(&cells, &widths));
     }
     write_csv("fig5_scaling", "app,cores,cycles,speedup", &csv);
+    sweep_finish();
     let _ = pct(0.0);
 }

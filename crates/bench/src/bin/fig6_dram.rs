@@ -13,7 +13,7 @@
 //! gauges — the input `gen_stall_tables` uses to regenerate (and
 //! `--check`) EXPERIMENTS.md's realistic-timing table.
 
-use hwgc_bench::{experiments_dir, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_bench::{experiments_dir, row, run_verified, spec, sweep_finish, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
 use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig};
 use hwgc_workloads::Preset;
@@ -90,4 +90,5 @@ fn main() {
     std::fs::write(&metrics_path, metrics.to_json_string())
         .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
     println!("[metrics] {}", metrics_path.display());
+    sweep_finish();
 }

@@ -6,7 +6,7 @@
 //! parallelism, because each core spends a larger fraction of its time
 //! stalled, so more cores are needed to exhaust the memory bandwidth.
 
-use hwgc_bench::{row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_bench::{row, run_verified, spec, sweep_finish, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
 use hwgc_memsim::MemConfig;
 use hwgc_workloads::Preset;
@@ -43,4 +43,5 @@ fn main() {
         println!("{}", row(&cells, &widths));
     }
     write_csv("fig6_latency", "app,cores,cycles,speedup", &csv);
+    sweep_finish();
 }

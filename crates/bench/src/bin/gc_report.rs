@@ -44,7 +44,9 @@ use hwgc_bench::{
 };
 use hwgc_core::{EngineKind, GcConfig};
 use hwgc_memsim::MemConfig;
-use hwgc_obs::{render_report_json, render_report_markdown, validate_hostprof_json, HostSection};
+use hwgc_obs::{
+    render_report_json, render_report_markdown, validate_hostprof_json, HostSection, LedgerStore,
+};
 use hwgc_workloads::{Preset, WorkloadSpec};
 
 fn main() {
@@ -208,22 +210,58 @@ fn main() {
     // Run ledger: one JSONL record per simulation performed above. The
     // probed default-engine run carries no profiler (its efficacy
     // counters live in the report); the par run carries the full set.
+    // Before appending, cross-check the rendered stats against whatever
+    // record the ledger already holds for each config hash: a digest
+    // mismatch means this binary and a previous run disagree about the
+    // same configuration — fatal under `--check`.
     if let Some(path) = ledger.map(std::path::PathBuf::from).or_else(ledger_path) {
-        append_ledger_to(
-            &ledger_record("gc_report", &label, &cfg, &out.stats, None, None),
-            &path,
+        let rec_probe = ledger_record("gc_report", &label, &cfg, &out.stats, None, None);
+        let rec_par = ledger_record(
+            "gc_report",
+            &label,
+            &par_cfg,
+            &par_out.stats,
+            None,
+            Some(&prof),
         );
-        append_ledger_to(
-            &ledger_record(
-                "gc_report",
-                &label,
-                &par_cfg,
-                &par_out.stats,
-                None,
-                Some(&prof),
-            ),
-            &path,
-        );
+        let store = match LedgerStore::load_tolerant(&path) {
+            Ok((store, _report)) => store,
+            Err(e) if check => panic!("ledger {} failed to load: {e}", path.display()),
+            Err(e) => {
+                eprintln!("warning: ledger {} not cross-checked: {e}", path.display());
+                LedgerStore::new()
+            }
+        };
+        let mut checked = 0usize;
+        for rec in [&rec_probe, &rec_par] {
+            let hash = rec.config_hash();
+            if let Some(prev) = store.get(hash) {
+                if prev.stats_digest != rec.stats_digest {
+                    let msg = format!(
+                        "ledger cross-check failed for config {hash:016x} ({label}): \
+                         ledger has digest {:016x}, this run produced {:016x}",
+                        prev.stats_digest, rec.stats_digest
+                    );
+                    if check {
+                        panic!("{msg}");
+                    }
+                    eprintln!("warning: {msg}");
+                } else {
+                    checked += 1;
+                }
+            }
+        }
+        if checked > 0 {
+            println!(
+                "[ledger] {checked} record(s) cross-checked against {}",
+                path.display()
+            );
+            if check {
+                println!("[check] rendered stats match the ledger's recorded digests");
+            }
+        }
+        append_ledger_to(&rec_probe, &path);
+        append_ledger_to(&rec_par, &path);
         println!("[ledger] {} (+2 records)", path.display());
     }
 }

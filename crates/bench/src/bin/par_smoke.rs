@@ -134,6 +134,17 @@ fn main() {
     let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
     let core_counts = [1usize, 4, 16];
 
+    // Parity combos are never cached — replaying a recorded result would
+    // defeat the engine-parity differential — but they do report to the
+    // fleet telemetry stream, so a batch run sees this binary's progress.
+    let total = presets.len()
+        * core_counts.len()
+        * backend_axis()
+            .iter()
+            .map(|(_, _, e)| e.len())
+            .sum::<usize>();
+    let session = hwgc_bench::sweep_begin("par_smoke", total);
+
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -185,6 +196,12 @@ fn main() {
                             preset.name()
                         ));
                     }
+
+                    session.progress.job(
+                        &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
+                        hwgc_obs::JobOutcome::Miss,
+                        ((par_s + sparse_s) * 1e9) as u64,
+                    );
 
                     println!(
                         "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
@@ -321,5 +338,6 @@ fn main() {
     }
     std::fs::write(&out_path, report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");
+    hwgc_bench::sweep_finish();
     println!("par_smoke: PASS");
 }

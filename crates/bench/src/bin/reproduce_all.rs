@@ -19,6 +19,14 @@
 //! Table II) still match the metrics JSON `table1_empty_worklist` and
 //! `table2_stall_breakdown` just wrote.
 //!
+//! Observability (PR 9): every child consults the content-addressed
+//! result cache per the inherited `HWGC_CACHE` knobs, and all children
+//! append to one `hwgc-sweep-telemetry-v1` stream (`--telemetry <path>`,
+//! default `target/experiments/sweep-telemetry.jsonl`; single-line
+//! `O_APPEND` writes, safe under concurrency). After the batch the
+//! driver validates the stream and prints the fleet hit-rate line — on a
+//! warm `HWGC_CACHE=rw` cache a repeat run skips ≥90% of simulations.
+//!
 //! (`ablation_software` is excluded — it measures real threads and its
 //! wall-clock columns are host-dependent; run it separately, and prefer
 //! `HWGC_JOBS=1` when quoting its numbers.)
@@ -37,6 +45,12 @@ fn main() {
     let trace_out = flag_value("--trace-out");
     let metrics_out = flag_value("--metrics-out");
     let ledger = flag_value("--ledger");
+    let telemetry = flag_value("--telemetry")
+        .map(std::path::PathBuf::from)
+        .or_else(hwgc_bench::telemetry_path)
+        .unwrap_or_else(|| hwgc_bench::experiments_dir().join("sweep-telemetry.jsonl"));
+    // Fresh stream per batch: children append concurrently.
+    let _ = std::fs::remove_file(&telemetry);
 
     let binaries = [
         "fig5_scaling",
@@ -59,6 +73,7 @@ fn main() {
     let start = std::time::Instant::now();
     let outputs = hwgc_check::par_map(&binaries, |_, bin| {
         let mut cmd = Command::new(dir.join(bin));
+        cmd.env("HWGC_TELEMETRY", &telemetry);
         if let Some(p) = &ledger {
             cmd.env("HWGC_LEDGER", p);
         }
@@ -105,6 +120,28 @@ fn main() {
         check.status.success(),
         "EXPERIMENTS.md stall table is stale"
     );
+
+    // Fleet telemetry: validate the shared stream and print the
+    // batch-wide cache effectiveness line.
+    match std::fs::read_to_string(&telemetry) {
+        Ok(text) => match hwgc_obs::validate_telemetry_jsonl(&text) {
+            Ok(totals) => {
+                println!(
+                    "\n[telemetry] {} — {} jobs: {} hit / {} miss / {} verified / {} checked \
+                     ({:.1}% of simulations skipped via cache)",
+                    telemetry.display(),
+                    totals.done,
+                    totals.hits,
+                    totals.misses,
+                    totals.verified,
+                    totals.digest_checks,
+                    100.0 * totals.hit_rate(),
+                );
+            }
+            Err(e) => panic!("telemetry stream {} is invalid: {e}", telemetry.display()),
+        },
+        Err(e) => eprintln!("[telemetry] no stream at {}: {e}", telemetry.display()),
+    }
 
     println!(
         "\nall {} experiments reproduced in {:.1} s ({} jobs); CSVs under target/experiments/",

@@ -131,6 +131,17 @@ fn main() {
     let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
     let core_counts = [1usize, 4, 16];
 
+    // Parity combos are never cached — replaying a recorded result would
+    // defeat the engine-parity differential — but they do report to the
+    // fleet telemetry stream, so a batch run sees this binary's progress.
+    let total = presets.len()
+        * core_counts.len()
+        * backend_axis()
+            .iter()
+            .map(|(_, _, e)| e.len())
+            .sum::<usize>();
+    let session = hwgc_bench::sweep_begin("sparse_smoke", total);
+
     let mut report = String::new();
     report.push_str("{\n  \"schema\": \"hwgc-sparse-smoke-v1\",\n  \"combos\": [\n");
     let mut first = true;
@@ -183,6 +194,12 @@ fn main() {
                         None,
                         None,
                     ));
+
+                    session.progress.job(
+                        &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
+                        hwgc_obs::JobOutcome::Miss,
+                        ((sparse_s + naive_s) * 1e9) as u64,
+                    );
 
                     let speedup = naive_s / sparse_s.max(1e-9);
                     println!(
@@ -264,5 +281,6 @@ fn main() {
     }
     std::fs::write(&out_path, report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");
+    hwgc_bench::sweep_finish();
     println!("sparse_smoke: PASS");
 }

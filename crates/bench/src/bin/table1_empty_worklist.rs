@@ -9,7 +9,9 @@
 //! `table1.<app>.c<N>.empty_frac` gauges — the input `gen_stall_tables`
 //! uses to regenerate (and `--check`) EXPERIMENTS.md's Table I.
 
-use hwgc_bench::{experiments_dir, pct, row, run_verified, spec, write_csv, CORE_COUNTS};
+use hwgc_bench::{
+    experiments_dir, pct, row, run_verified, spec, sweep_finish, write_csv, CORE_COUNTS,
+};
 use hwgc_core::GcConfig;
 use hwgc_obs::MetricsRegistry;
 use hwgc_workloads::Preset;
@@ -48,4 +50,5 @@ fn main() {
     std::fs::write(&metrics_path, metrics.to_json_string())
         .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
     println!("[metrics] {}", metrics_path.display());
+    sweep_finish();
 }

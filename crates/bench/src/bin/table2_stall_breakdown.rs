@@ -10,7 +10,7 @@
 //! `table2.<app>.stall_frac.*` gauges — the input `gen_stall_tables`
 //! renders back into EXPERIMENTS.md.
 
-use hwgc_bench::{experiments_dir, record_stats, row, run_verified, spec, write_csv};
+use hwgc_bench::{experiments_dir, record_stats, row, run_verified, spec, sweep_finish, write_csv};
 use hwgc_core::{GcConfig, StallReason};
 use hwgc_obs::MetricsRegistry;
 use hwgc_workloads::Preset;
@@ -90,4 +90,5 @@ fn main() {
     std::fs::write(&metrics_path, metrics.to_json_string())
         .unwrap_or_else(|e| panic!("write {}: {e}", metrics_path.display()));
     println!("[metrics] {}", metrics_path.display());
+    sweep_finish();
 }

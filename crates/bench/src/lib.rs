@@ -8,14 +8,17 @@
 
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
 
+use hwgc_check::{cache_path_from_env, CacheMode, ResultCache};
 use hwgc_core::{EngineKind, GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
 use hwgc_heap::{verify_collection, Heap, Snapshot};
 use hwgc_memsim::MemBackendKind;
 use hwgc_obs::{
     chrome_trace_json, derive_metrics, Fanout, FoldedStacks, HostProfiler, Json, LedgerRecord,
-    MetricsRegistry, Recorder, Recording, RunMeta, RunReport,
+    MetricsRegistry, Recorder, Recording, RunMeta, RunReport, SweepProgress, SweepSummary,
 };
 use hwgc_workloads::{Preset, WorkloadSpec};
 
@@ -23,21 +26,30 @@ use hwgc_workloads::{Preset, WorkloadSpec};
 pub const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// Run one verified collection of `spec` under `cfg` and return the
-/// outcome.
+/// outcome. Rides the content-addressed result cache: the workload key
+/// is derived from the full spec ([`workload_key`]), so a cache hit is
+/// guaranteed to describe the identical heap.
 ///
 /// # Panics
 /// Panics if the collected heap fails verification — experiment numbers
-/// from an incorrect collection would be meaningless.
+/// from an incorrect collection would be meaningless — or on a cache
+/// integrity violation (a recorded digest disagreeing with a fresh
+/// simulation).
 pub fn run_verified(spec: &WorkloadSpec, cfg: GcConfig) -> GcOutcome {
-    let mut heap = spec.build();
-    let snap = Snapshot::capture(&heap);
-    let out = SimCollector::new(cfg).collect(&mut heap);
-    verify_collection(&heap, out.free, &snap)
-        .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.preset));
-    out
+    run_cached(&workload_key(spec), &cfg, || {
+        let mut heap = spec.build();
+        let snap = Snapshot::capture(&heap);
+        let out = SimCollector::new(cfg).collect(&mut heap);
+        verify_collection(&heap, out.free, &snap)
+            .unwrap_or_else(|e| panic!("{} failed verification: {e}", spec.preset));
+        out
+    })
 }
 
 /// Run a pre-built heap (caller keeps ownership of workload construction).
+/// Uncached: a display label does not identify heap *contents*, so this
+/// path never consults the result cache — see
+/// [`run_verified_heap_keyed`] for callers whose key does.
 pub fn run_verified_heap(heap: &mut Heap, cfg: GcConfig, label: &str) -> GcOutcome {
     let snap = Snapshot::capture(heap);
     let out = SimCollector::new(cfg).collect(heap);
@@ -46,9 +58,148 @@ pub fn run_verified_heap(heap: &mut Heap, cfg: GcConfig, label: &str) -> GcOutco
     out
 }
 
+/// [`run_verified_heap`] through the result cache. `workload_key` is a
+/// cache identity, not a display label: the caller guarantees that every
+/// heap ever run under this key (across binaries and sessions) is
+/// byte-identical. A violated guarantee cannot corrupt results — the
+/// digest cross-check hard-fails — but it will abort sweeps.
+pub fn run_verified_heap_keyed(heap: &mut Heap, cfg: GcConfig, workload_key: &str) -> GcOutcome {
+    run_cached(workload_key, &cfg, move || {
+        run_verified_heap(heap, cfg, workload_key)
+    })
+}
+
 /// Default workload spec for a preset (seed fixed for reproducibility).
 pub fn spec(preset: Preset) -> WorkloadSpec {
     WorkloadSpec::new(preset, 42)
+}
+
+// ---------------------------------------------------------------------------
+// Sweep observatory: result cache + fleet telemetry (PR 9)
+// ---------------------------------------------------------------------------
+
+/// The cache identity of a spec-built workload: every field of
+/// [`WorkloadSpec`] that shapes the heap. (`scale` is a multiplier with
+/// an exact decimal rendering for the values the harness uses.)
+pub fn workload_key(spec: &WorkloadSpec) -> String {
+    format!("{}/seed{}/scale{}", spec.preset, spec.seed, spec.scale)
+}
+
+/// One sweep's shared observability state: the content-addressed result
+/// cache and the telemetry reporter.
+pub struct SweepSession {
+    /// The `HWGC_CACHE`-configured result cache.
+    pub cache: ResultCache,
+    /// The live progress reporter (stderr + `HWGC_TELEMETRY` stream).
+    pub progress: SweepProgress,
+}
+
+static SWEEP: OnceLock<SweepSession> = OnceLock::new();
+
+/// The committed digest-only ledger the default `ro` cache mode checks
+/// against: `HWGC_CACHE_LEDGER` when set, else `BENCH_ledger.jsonl` in
+/// the working directory, else relative to the workspace root (so
+/// `cargo run` works from anywhere in the tree).
+pub fn committed_ledger_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("HWGC_CACHE_LEDGER") {
+        return PathBuf::from(p);
+    }
+    let cwd = PathBuf::from("BENCH_ledger.jsonl");
+    if cwd.exists() {
+        return cwd;
+    }
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../../BENCH_ledger.jsonl"),
+        None => cwd,
+    }
+}
+
+/// The telemetry JSONL stream requested via `HWGC_TELEMETRY`, if any.
+pub fn telemetry_path() -> Option<PathBuf> {
+    std::env::var("HWGC_TELEMETRY")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+fn binary_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(Path::new)
+        .and_then(Path::file_stem)
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "hwgc".to_string())
+}
+
+/// Begin (or join) the process-wide sweep session. The first caller
+/// names the sweep and announces its job total; later calls — including
+/// the lazy one inside [`run_verified`] — return the existing session
+/// unchanged. Opens the result cache per `HWGC_CACHE` (committed ledger
+/// read-only; workspace cache file from `HWGC_CACHE_PATH` in writable
+/// modes) and the telemetry stream per `HWGC_TELEMETRY`.
+///
+/// # Panics
+/// Panics when a cache source is corrupt or holds conflicting digests —
+/// a sweep must not start over a cache it cannot trust.
+pub fn sweep_begin(name: &str, total: usize) -> &'static SweepSession {
+    SWEEP.get_or_init(|| {
+        let mode = CacheMode::from_env();
+        let committed = committed_ledger_path();
+        let rw = cache_path_from_env();
+        let cache = ResultCache::open(mode, &[&committed], Some(&rw))
+            .unwrap_or_else(|e| panic!("result cache failed to open: {e}"));
+        let progress = SweepProgress::new(name, total, telemetry_path().as_deref(), false);
+        SweepSession { cache, progress }
+    })
+}
+
+/// The current sweep session, lazily begun with the binary's own name
+/// and an open-ended job total.
+pub fn sweep_session() -> &'static SweepSession {
+    match SWEEP.get() {
+        Some(s) => s,
+        None => sweep_begin(&binary_name(), 0),
+    }
+}
+
+/// Emit the telemetry summary line and return the final counters.
+/// No-op `None` when no job ever ran through the session.
+pub fn sweep_finish() -> Option<SweepSummary> {
+    SWEEP.get().map(|s| s.progress.finish())
+}
+
+/// The ledger identity of one cacheable job (outputs empty — the cache
+/// layer fills them on a miss).
+pub fn cache_key(workload: &str, cfg: &GcConfig) -> LedgerRecord {
+    LedgerRecord {
+        binary: binary_name(),
+        workload: workload.to_string(),
+        engine: engine_label(cfg).to_string(),
+        backend: backend_label(cfg).to_string(),
+        config: ledger_config_pairs(cfg),
+        env: ledger_env_pairs(),
+        ..LedgerRecord::default()
+    }
+}
+
+/// Satisfy one job through the session cache and report it to telemetry.
+fn run_cached(workload: &str, cfg: &GcConfig, sim: impl FnOnce() -> GcOutcome) -> GcOutcome {
+    let session = sweep_session();
+    let key = cache_key(workload, cfg);
+    let started = Instant::now();
+    match session.cache.run_cached(&key, sim) {
+        Ok((out, how)) => {
+            session.progress.job(
+                &format!("{workload}@{}c/{}", cfg.n_cores, engine_label(cfg)),
+                how,
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            out
+        }
+        Err(e) => panic!("content-addressed cache integrity failure: {e}"),
+    }
 }
 
 /// Directory that experiment CSV files are written to.
@@ -433,14 +584,22 @@ pub fn ledger_config_pairs(cfg: &GcConfig) -> Vec<(String, String)> {
 
 /// `HWGC_*` environment knobs that shape simulation behaviour, captured
 /// for the ledger's provenance field. Output-only knobs (`HWGC_LEDGER`,
-/// `HWGC_HOSTPROF`, `HWGC_UPDATE_GOLDENS`) and harness parallelism
-/// (`HWGC_JOBS`) are excluded — they cannot change a simulation result.
+/// `HWGC_HOSTPROF`, `HWGC_UPDATE_GOLDENS`), harness parallelism
+/// (`HWGC_JOBS`) and the observatory's own knobs (`HWGC_CACHE*`,
+/// `HWGC_TELEMETRY`) are excluded — they cannot change a simulation
+/// result, and a cache knob that perturbed the config hash would
+/// invalidate the very cache it configures.
 pub fn ledger_env_pairs() -> Vec<(String, String)> {
-    const EXCLUDE: [&str; 4] = [
+    const EXCLUDE: [&str; 9] = [
         "HWGC_LEDGER",
         "HWGC_HOSTPROF",
         "HWGC_UPDATE_GOLDENS",
         "HWGC_JOBS",
+        "HWGC_CACHE",
+        "HWGC_CACHE_PATH",
+        "HWGC_CACHE_VERIFY_PCT",
+        "HWGC_CACHE_LEDGER",
+        "HWGC_TELEMETRY",
     ];
     let mut pairs: Vec<(String, String)> = std::env::vars()
         .filter(|(k, _)| k.starts_with("HWGC_") && !EXCLUDE.contains(&k.as_str()))
@@ -470,8 +629,10 @@ pub fn ledger_record(
         config: ledger_config_pairs(cfg),
         env: ledger_env_pairs(),
         stats_digest: stats.digest(),
+        total_cycles: Some(stats.total_cycles),
         sb_fingerprint,
         efficacy: Vec::new(),
+        result: None,
         host: Vec::new(),
     };
     if let Some(p) = prof {

@@ -54,11 +54,21 @@ pub struct LedgerRecord {
     pub env: Vec<(String, String)>,
     /// Digest of the run's `GcStats` (an *output*; not hashed).
     pub stats_digest: u64,
+    /// Total simulated cycles — the one-number summary `ledger_diff`
+    /// renders deltas of (an *output*; not hashed). `None` on records
+    /// written before the field existed.
+    pub total_cycles: Option<u64>,
     /// SB event-stream FNV fingerprint, when the run logged SB events.
     pub sb_fingerprint: Option<u64>,
     /// Deterministic efficacy counters (windows fired, veto reasons,
     /// wake counts, ff jumps, …) — golden-testable, not hashed.
     pub efficacy: Vec<(String, u64)>,
+    /// Full result payload for the content-addressed cache (the complete
+    /// `GcStats` plus allocation frontier, serialized by `hwgc-check`'s
+    /// cache layer). Deterministic, not hashed, and absent from the
+    /// committed digest-only ledger — only workspace cache files carry
+    /// it.
+    pub result: Option<Json>,
     /// Nondeterministic host fields. Serialized with a `host_` prefix;
     /// excluded from the config hash by construction.
     pub host: Vec<(String, Json)>,
@@ -137,6 +147,9 @@ impl LedgerRecord {
             ),
             ("stats_digest".to_string(), hex(self.stats_digest)),
         ];
+        if let Some(tc) = self.total_cycles {
+            fields.push(("total_cycles".to_string(), Json::Int(i128::from(tc))));
+        }
         if let Some(fp) = self.sb_fingerprint {
             fields.push(("sb_fingerprint".to_string(), hex(fp)));
         }
@@ -149,6 +162,9 @@ impl LedgerRecord {
                     .collect(),
             ),
         ));
+        if let Some(result) = &self.result {
+            fields.push(("result".to_string(), result.clone()));
+        }
         for (k, v) in &self.host {
             fields.push((format!("host_{k}"), v.clone()));
         }
@@ -214,11 +230,20 @@ impl LedgerRecord {
             config: pairs("config")?,
             env: pairs("env")?,
             stats_digest: hex("stats_digest")?,
+            total_cycles: match v.get("total_cycles") {
+                Some(tc) => Some(
+                    tc.as_int()
+                        .and_then(|i| u64::try_from(i).ok())
+                        .ok_or("`total_cycles` is not a u64")?,
+                ),
+                None => None,
+            },
             sb_fingerprint: match v.get("sb_fingerprint") {
                 Some(_) => Some(hex("sb_fingerprint")?),
                 None => None,
             },
             efficacy,
+            result: v.get("result").cloned(),
             host,
         };
         let recorded = hex("config_hash")?;
@@ -275,11 +300,13 @@ mod tests {
             ],
             env: vec![("HWGC_HOST_THREADS".to_string(), "1".to_string())],
             stats_digest: 0xdead_beef,
+            total_cycles: Some(124_483),
             sb_fingerprint: Some(0x1234),
             efficacy: vec![
                 ("win.fired".to_string(), 120),
                 ("win.veto.retire_bound".to_string(), 4),
             ],
+            result: Some(Json::Obj(vec![("free".to_string(), Json::Int(0x1000))])),
             host: vec![
                 ("wall_ns".to_string(), Json::Int(31_500_000)),
                 (
@@ -343,8 +370,10 @@ mod tests {
         // on what it caches).
         let mut d = record();
         d.stats_digest = 1;
+        d.total_cycles = None;
         d.sb_fingerprint = None;
         d.efficacy.clear();
+        d.result = None;
         assert_eq!(a.config_hash(), d.config_hash());
     }
 
@@ -363,8 +392,10 @@ mod tests {
             "config",
             "env",
             "stats_digest",
+            "total_cycles",
             "sb_fingerprint",
             "efficacy",
+            "result",
         ];
         for (k, _) in &fields {
             assert!(

@@ -38,6 +38,7 @@ pub mod attr;
 pub mod chrome;
 pub mod critpath;
 pub mod derive;
+pub mod diff;
 pub mod event;
 pub mod folded;
 pub mod host;
@@ -46,12 +47,15 @@ pub mod ledger;
 pub mod metrics;
 pub mod probe;
 pub mod report;
+pub mod store;
+pub mod telemetry;
 pub mod whatif;
 
 pub use attr::{attribute, BlameReport, ClassBlame, RunModel};
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSummary, RunMeta};
 pub use critpath::{critical_path, CritPath};
 pub use derive::derive_metrics;
+pub use diff::{DiffEntry, DiffStatus, LedgerDiff, DIFF_SCHEMA};
 pub use event::{Event, OwnedEvent, SampleRec};
 pub use folded::FoldedStacks;
 pub use host::{
@@ -63,4 +67,8 @@ pub use ledger::{read_jsonl, LedgerRecord, LEDGER_SCHEMA};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::{Fanout, NullProbe, Probe, Recorder, Recording, SharedProbe};
 pub use report::{render_report_json, render_report_markdown, HostSection, RunReport};
+pub use store::{strip_host_fields, InsertOutcome, LedgerStore, LoadReport, StoreError};
+pub use telemetry::{
+    validate_telemetry_jsonl, JobOutcome, SweepProgress, SweepSummary, TELEMETRY_SCHEMA,
+};
 pub use whatif::{predict, Prediction};
