@@ -86,6 +86,27 @@
 //! `cache_sweep` section: the same reduced sweep timed uncached and
 //! against a warm content-addressed result cache, the wall-clock saving
 //! the PR 9 observatory buys a repeat `reproduce_all`.
+//!
+//! Since PR 10 the probes run through the unified job layer
+//! (`crates/jobs`), and the report gains a `sweep_scaling` section with
+//! three measurements of that layer on the reduced default-config sweep:
+//!
+//! * **cross_binary** — the sweep run read-only against the shared
+//!   workspace cache that `reproduce_all` (via `fig5_scaling`) populates.
+//!   Because the cache key excludes the binary name, every overlapping
+//!   configuration is a hit here: `reproduce_all` followed by
+//!   `bench_baseline` simulates strictly fewer jobs than the two run
+//!   cold. On a cold workspace the section honestly records zero hits.
+//! * **workers** — the same sweep executed uncached in-process
+//!   (`workers = 0`) and across 1, 2 and 4 `sweep_worker` processes,
+//!   wall clocks and steal counts recorded as measured. This container
+//!   has one host core, so the committed numbers show process overhead,
+//!   not scaling — recorded honestly rather than simulated.
+//! * **resume** — a 2-worker run of the sweep with a private journal and
+//!   cache, killed mid-sweep by an injected worker abort
+//!   (`HWGC_WORKER_ABORT_AFTER`); the rerun resumes from the journal ∪
+//!   cache and executes only the remainder, which the section records as
+//!   `killed_after_done` / `resumed_skipped` / `resumed_executed`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -93,9 +114,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use hwgc_bench::spec;
-use hwgc_check::{CacheMode, ResultCache};
 use hwgc_core::{EngineKind, GcConfig, GcOutcome, SimCollector};
 use hwgc_heap::{verify_collection, Snapshot};
+use hwgc_jobs::{
+    run_jobset, CacheMode, ConfigMatrix, ExecError, ExecOptions, ExecReport, JobSet, Journal,
+    ResultCache,
+};
 use hwgc_memsim::MemConfig;
 use hwgc_obs::{LedgerStore, StoreError};
 use hwgc_workloads::Preset;
@@ -287,17 +311,35 @@ fn measure_host_scaling() -> Vec<HostScalingRow> {
         .collect()
 }
 
-/// The reduced sweep the cache-effect measurement replays: small enough
-/// to keep bench_baseline quick, large enough that simulation wall clock
-/// dominates cache bookkeeping.
-const CACHE_SWEEP: &[(Preset, usize)] = &[
-    (Preset::Compress, 1),
-    (Preset::Compress, 4),
-    (Preset::Javac, 1),
-    (Preset::Javac, 4),
-    (Preset::Jlisp, 1),
-    (Preset::Jlisp, 4),
-];
+/// The reduced sweep every job-layer probe replays: the default-config
+/// `{compress, javac, jlisp} × {1, 4}` sub-matrix. Small enough to keep
+/// bench_baseline quick, large enough that simulation wall clock
+/// dominates cache/protocol bookkeeping — and deliberately a subset of
+/// what `fig5_scaling` sweeps, so the cross-binary probe measures real
+/// overlap with a `reproduce_all` run, not a synthetic one.
+fn scaling_set() -> JobSet {
+    ConfigMatrix::new(GcConfig::default())
+        .presets([Preset::Compress, Preset::Javac, Preset::Jlisp])
+        .cores([1usize, 4])
+        .lower()
+}
+
+/// Run `set` through [`run_jobset`] against the given cache, with no
+/// telemetry/journal and the given worker-process count. Panics on any
+/// execution failure — the probes expect clean runs.
+fn probe_run(set: &JobSet, cache: &ResultCache, workers: usize) -> ExecReport {
+    run_jobset(
+        set,
+        &ExecOptions {
+            binary: hwgc_bench::binary_name(),
+            cache,
+            progress: None,
+            workers,
+            journal: None,
+        },
+    )
+    .unwrap_or_else(|e| panic!("job-layer probe failed: {e}"))
+}
 
 struct CacheSweep {
     jobs: usize,
@@ -311,70 +353,195 @@ impl CacheSweep {
     }
 }
 
-/// Time the [`CACHE_SWEEP`] jobs uncached and then against a warm
+/// Time the [`scaling_set`] jobs uncached and then against a warm
 /// content-addressed result cache (a private `rw` file under
 /// `target/experiments/`, rebuilt each run so the warm leg replays this
 /// binary's own records). Every payload hit re-verifies the recorded
 /// digest before being returned, so the cached leg is an integrity pass,
 /// not a free ride; hit outcomes are asserted bit-exact against the
 /// uncached leg's.
-fn measure_cache_sweep() -> CacheSweep {
-    let sim = |preset: Preset, cores: usize| {
-        let mut heap = spec(preset).build();
-        let snap = Snapshot::capture(&heap);
-        let out = SimCollector::new(GcConfig::with_cores(cores)).collect(&mut heap);
-        verify_collection(&heap, out.free, &snap)
-            .unwrap_or_else(|e| panic!("{} failed verification: {e}", preset.name()));
-        out
-    };
-    let key = |preset: Preset, cores: usize| {
-        let cfg = GcConfig::with_cores(cores);
-        hwgc_bench::cache_key(&hwgc_bench::workload_key(&spec(preset)), &cfg)
-    };
-
+fn measure_cache_sweep(set: &JobSet) -> CacheSweep {
+    let off = ResultCache::open(CacheMode::Off, &[], None)
+        .unwrap_or_else(|e| panic!("cache probe open: {e}"));
     let t = Instant::now();
-    let uncached: Vec<GcOutcome> = CACHE_SWEEP.iter().map(|&(p, n)| sim(p, n)).collect();
+    let uncached = probe_run(set, &off, 0);
     let uncached_wall_s = t.elapsed().as_secs_f64();
 
     let path = hwgc_bench::experiments_dir().join("bench_cache_probe.jsonl");
     let _ = std::fs::remove_file(&path);
     let cold = ResultCache::open(CacheMode::Rw, &[], Some(&path))
         .unwrap_or_else(|e| panic!("cache probe open: {e}"));
-    for &(p, n) in CACHE_SWEEP {
-        cold.run_cached(&key(p, n), || sim(p, n))
-            .unwrap_or_else(|e| panic!("cache probe fill: {e}"));
-    }
+    probe_run(set, &cold, 0);
     assert_eq!(
         cold.counters().misses,
-        CACHE_SWEEP.len(),
+        set.len(),
         "the cold pass must simulate every job"
     );
 
     let warm = ResultCache::open(CacheMode::Rw, &[], Some(&path))
         .unwrap_or_else(|e| panic!("cache probe reopen: {e}"));
     let t = Instant::now();
-    for (&(p, n), reference) in CACHE_SWEEP.iter().zip(&uncached) {
-        let (out, _) = warm
-            .run_cached(&key(p, n), || sim(p, n))
-            .unwrap_or_else(|e| panic!("warm cache probe: {e}"));
-        assert_eq!(
-            out.stats,
-            reference.stats,
-            "cached outcome diverged on {}/{n}c",
-            p.name()
-        );
-    }
+    let cached = probe_run(set, &warm, 0);
     let cached_wall_s = t.elapsed().as_secs_f64();
     assert_eq!(
         warm.counters().hits,
-        CACHE_SWEEP.len(),
+        set.len(),
         "the warm pass must hit every job"
     );
+    for (i, job) in set.jobs().iter().enumerate() {
+        assert_eq!(
+            cached.outcomes[i].0.stats,
+            uncached.outcomes[i].0.stats,
+            "cached outcome diverged on {}",
+            job.label()
+        );
+    }
 
     CacheSweep {
-        jobs: CACHE_SWEEP.len(),
+        jobs: set.len(),
         uncached_wall_s,
         cached_wall_s,
+    }
+}
+
+/// One worker-count leg of the process-scaling probe.
+struct WorkersLeg {
+    workers: usize,
+    wall_s: f64,
+    steals: u64,
+    per_worker: Vec<usize>,
+}
+
+struct SweepScaling {
+    jobs: usize,
+    cross_hits: usize,
+    cross_misses: usize,
+    legs: Vec<WorkersLeg>,
+    killed_after_done: usize,
+    resumed_skipped: usize,
+    resumed_executed: usize,
+}
+
+/// The PR 10 job-layer measurements on [`scaling_set`]; see the module
+/// docs for what each sub-probe demonstrates.
+fn measure_sweep_scaling(set: &JobSet) -> SweepScaling {
+    // Cross-binary dedupe: read-only against the shared workspace cache
+    // (plus the committed digest-only ledger). Any configuration a prior
+    // binary — fig5_scaling under reproduce_all — already simulated
+    // comes back as a hit without executing.
+    let shared = hwgc_jobs::cache_path_from_env();
+    let committed = hwgc_bench::committed_ledger_path();
+    let cross_cache = ResultCache::open(CacheMode::Ro, &[&committed, &shared], None)
+        .unwrap_or_else(|e| panic!("cross-binary probe open: {e}"));
+    let cross = probe_run(set, &cross_cache, 0);
+    let (cross_hits, cross_misses) = (cross.skipped, set.len() - cross.skipped);
+
+    // Process-level scaling: the sweep uncached at each worker count,
+    // bit-exactness across engines asserted against the in-process leg.
+    let mut legs = Vec::new();
+    let mut reference: Option<ExecReport> = None;
+    for workers in [0usize, 1, 2, 4] {
+        let off = ResultCache::open(CacheMode::Off, &[], None)
+            .unwrap_or_else(|e| panic!("scaling probe open: {e}"));
+        let t = Instant::now();
+        let report = probe_run(set, &off, workers);
+        let wall_s = t.elapsed().as_secs_f64();
+        if let Some(reference) = &reference {
+            for (i, job) in set.jobs().iter().enumerate() {
+                assert_eq!(
+                    report.outcomes[i].0.stats,
+                    reference.outcomes[i].0.stats,
+                    "{} diverged between in-process and {workers}-worker runs",
+                    job.label()
+                );
+            }
+        }
+        legs.push(WorkersLeg {
+            workers,
+            wall_s,
+            steals: report.steals,
+            per_worker: report.per_worker.clone(),
+        });
+        reference.get_or_insert(report);
+    }
+
+    // Kill-and-resume: run the sweep on 2 workers with a private journal
+    // and rw cache, with worker 0 told to die after 2 completed jobs.
+    // The run fails; the journal then holds exactly the completed jobs.
+    // The rerun resumes (journal ∪ cache) and executes only the rest.
+    let journal_path = hwgc_bench::experiments_dir().join("bench_resume_journal.jsonl");
+    let cache_path = hwgc_bench::experiments_dir().join("bench_resume_cache.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+    let _ = std::fs::remove_file(&cache_path);
+    let open_rw = || {
+        ResultCache::open(CacheMode::Rw, &[], Some(&cache_path))
+            .unwrap_or_else(|e| panic!("resume probe cache: {e}"))
+    };
+    std::env::set_var("HWGC_WORKER_ABORT_AFTER", "2");
+    let killed = {
+        let cache = open_rw();
+        let journal = Journal::open(&journal_path, "sweep_scaling_resume", set)
+            .unwrap_or_else(|e| panic!("resume probe journal: {e}"));
+        run_jobset(
+            set,
+            &ExecOptions {
+                binary: hwgc_bench::binary_name(),
+                cache: &cache,
+                progress: None,
+                workers: 2,
+                journal: Some(&journal),
+            },
+        )
+    };
+    std::env::remove_var("HWGC_WORKER_ABORT_AFTER");
+    assert!(
+        matches!(killed, Err(ExecError::Worker { .. })),
+        "the aborted leg must fail with a worker error"
+    );
+
+    let cache = open_rw();
+    let journal = Journal::open(&journal_path, "sweep_scaling_resume", set)
+        .unwrap_or_else(|e| panic!("resume probe journal reopen: {e}"));
+    let killed_after_done = journal.resumed();
+    assert!(
+        killed_after_done > 0 && killed_after_done < set.len(),
+        "the injected abort must leave a genuinely partial sweep \
+         ({killed_after_done} of {} done)",
+        set.len()
+    );
+    let resumed = run_jobset(
+        set,
+        &ExecOptions {
+            binary: hwgc_bench::binary_name(),
+            cache: &cache,
+            progress: None,
+            workers: 2,
+            journal: Some(&journal),
+        },
+    )
+    .unwrap_or_else(|e| panic!("resumed sweep failed: {e}"));
+    assert_eq!(
+        resumed.skipped, killed_after_done,
+        "every journaled job must replay from the cache"
+    );
+    let reference = reference.expect("workers legs ran");
+    for (i, job) in set.jobs().iter().enumerate() {
+        assert_eq!(
+            resumed.outcomes[i].0.stats,
+            reference.outcomes[i].0.stats,
+            "{} diverged after resumption",
+            job.label()
+        );
+    }
+
+    SweepScaling {
+        jobs: set.len(),
+        cross_hits,
+        cross_misses,
+        legs,
+        killed_after_done,
+        resumed_skipped: resumed.skipped,
+        resumed_executed: set.len() - resumed.skipped,
     }
 }
 
@@ -385,6 +552,7 @@ fn render_report(
     speedup_16c: f64,
     host_scaling: &[HostScalingRow],
     cache_sweep: &CacheSweep,
+    sweep_scaling: &SweepScaling,
 ) -> String {
     let total_cycles: u64 = combos.iter().map(|c| c.cycles).sum();
     let total_wall: f64 = combos.iter().map(|c| c.wall_s).sum();
@@ -441,6 +609,43 @@ fn render_report(
         cache_sweep.cached_wall_s,
         cache_sweep.speedup(),
     );
+    // No `preset`/`config` keys anywhere in this section: the --check
+    // parsers key on those, and these rows must not join their gates.
+    out.push_str("  \"sweep_scaling\": {\n");
+    let _ = writeln!(out, "    \"jobs\": {},", sweep_scaling.jobs);
+    let _ = writeln!(
+        out,
+        "    \"cross_binary\": {{\"hits\": {}, \"misses\": {}}},",
+        sweep_scaling.cross_hits, sweep_scaling.cross_misses,
+    );
+    out.push_str("    \"workers\": [\n");
+    for (i, leg) in sweep_scaling.legs.iter().enumerate() {
+        let sep = if i + 1 == sweep_scaling.legs.len() {
+            ""
+        } else {
+            ","
+        };
+        let per_worker: Vec<String> = leg.per_worker.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "      {{\"workers\": {}, \"wall_s\": {:.6}, \"steals\": {}, \
+             \"per_worker\": [{}]}}{sep}",
+            leg.workers,
+            leg.wall_s,
+            leg.steals,
+            per_worker.join(", "),
+        );
+    }
+    out.push_str("    ],\n");
+    let _ = writeln!(
+        out,
+        "    \"resume\": {{\"killed_after_done\": {}, \"resumed_skipped\": {}, \
+         \"resumed_executed\": {}}}",
+        sweep_scaling.killed_after_done,
+        sweep_scaling.resumed_skipped,
+        sweep_scaling.resumed_executed,
+    );
+    out.push_str("  },\n");
     let _ = writeln!(out, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(out, "  \"total_wall_s\": {total_wall:.6},");
     let _ = writeln!(
@@ -743,16 +948,20 @@ fn main() {
         check_trajectory(path, pr);
     }
 
-    let (presets, core_counts): (&[Preset], &[usize]) = if smoke {
+    let presets: &[Preset] = if smoke {
         // 16-core combos stay in the smoke matrix: the sparse engine's
         // whole point is that regime, so CI must gate it.
-        (
-            &[Preset::Compress, Preset::Javac, Preset::Jlisp],
-            &[1, 4, 16],
-        )
+        &[Preset::Compress, Preset::Javac, Preset::Jlisp]
     } else {
-        (&Preset::ALL, &[1, 4, 16])
+        &Preset::ALL
     };
+    // The timed matrix is declared like every other sweep but runs
+    // serially and uncached on purpose: concurrent combos would contend
+    // for the machine and a cache replay has no wall clock to measure.
+    let timed_set = ConfigMatrix::new(GcConfig::default())
+        .presets(presets.iter().copied())
+        .cores([1usize, 4, 16])
+        .lower();
     let mode = if smoke { "smoke" } else { "full" };
 
     println!("bench_baseline: {mode} matrix, {REPS} reps per combo\n");
@@ -761,20 +970,18 @@ fn main() {
         "preset", "cores", "cycles", "wall ms", "cycles/sec", "allocs/cycle"
     );
     let mut combos = Vec::new();
-    for &preset in presets {
-        for &cores in core_counts {
-            let r = measure_combo(preset, cores);
-            println!(
-                "{:>10}  {:>5}  {:>12}  {:>9.3}  {:>14.0}  {:>15.4}",
-                r.preset,
-                r.cores,
-                r.cycles,
-                r.wall_s * 1e3,
-                r.cycles as f64 / r.wall_s.max(1e-9),
-                r.allocs as f64 / r.cycles.max(1) as f64,
-            );
-            combos.push(r);
-        }
+    for job in timed_set.jobs() {
+        let r = measure_combo(job.spec.preset, job.cfg.n_cores);
+        println!(
+            "{:>10}  {:>5}  {:>12}  {:>9.3}  {:>14.0}  {:>15.4}",
+            r.preset,
+            r.cores,
+            r.cycles,
+            r.wall_s * 1e3,
+            r.cycles as f64 / r.wall_s.max(1e-9),
+            r.allocs as f64 / r.cycles.max(1) as f64,
+        );
+        combos.push(r);
     }
 
     let speedup_1c = measure_engine_speedup(Preset::Javac, 1);
@@ -797,7 +1004,8 @@ fn main() {
         );
     }
 
-    let cache_sweep = measure_cache_sweep();
+    let probe_set = scaling_set();
+    let cache_sweep = measure_cache_sweep(&probe_set);
     println!(
         "\ncache effect ({} jobs, reduced sweep): uncached {:.3} ms, warm cache {:.3} ms \
          — {:.1}x",
@@ -805,6 +1013,33 @@ fn main() {
         cache_sweep.uncached_wall_s * 1e3,
         cache_sweep.cached_wall_s * 1e3,
         cache_sweep.speedup(),
+    );
+
+    let sweep_scaling = measure_sweep_scaling(&probe_set);
+    println!(
+        "\nsweep job layer ({} jobs): cross-binary dedupe {} hit / {} miss vs the \
+         shared workspace cache",
+        sweep_scaling.jobs, sweep_scaling.cross_hits, sweep_scaling.cross_misses,
+    );
+    for leg in &sweep_scaling.legs {
+        println!(
+            "  workers {:>1}: {:>8.3} ms, {} steal(s){}",
+            leg.workers,
+            leg.wall_s * 1e3,
+            leg.steals,
+            if leg.workers == 0 {
+                " (in-process reference)"
+            } else {
+                ""
+            },
+        );
+    }
+    println!(
+        "  kill-resume: aborted at {} of {} done; rerun skipped {} and executed {}",
+        sweep_scaling.killed_after_done,
+        sweep_scaling.jobs,
+        sweep_scaling.resumed_skipped,
+        sweep_scaling.resumed_executed,
     );
 
     if trace_out.is_some() || metrics_out.is_some() {
@@ -847,6 +1082,7 @@ fn main() {
         speedup_16c,
         &host_scaling,
         &cache_sweep,
+        &sweep_scaling,
     );
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("[json] {out_path}");

@@ -3,14 +3,25 @@
 //! memory configuration. The 1-core configuration is the baseline — the
 //! paper notes it performs like sequential Cheney because uncontended
 //! synchronization is free.
+//!
+//! The sweep is one declared [`ConfigMatrix`] run through the unified
+//! job layer: `HWGC_WORKERS` fans it over worker processes,
+//! `HWGC_JOURNAL` makes it resumable, and the cache dedupes it against
+//! every other binary sweeping the same configurations.
 
-use hwgc_bench::{pct, row, run_verified, spec, sweep_begin, sweep_finish, write_csv, CORE_COUNTS};
+use hwgc_bench::{pct, row, sweep_finish, sweep_jobset, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
+use hwgc_jobs::ConfigMatrix;
 use hwgc_workloads::Preset;
 
 fn main() {
     println!("Figure 5: scaling behavior (speedup vs 1-core baseline)\n");
-    sweep_begin("fig5_scaling", Preset::ALL.len() * CORE_COUNTS.len());
+    let set = ConfigMatrix::new(GcConfig::default())
+        .presets(Preset::ALL)
+        .cores(CORE_COUNTS)
+        .lower();
+    let report = sweep_jobset("fig5_scaling", &set);
+
     let widths = [10, 12, 8, 8, 8, 8, 8];
     let header: Vec<String> = ["app", "1-core cyc", "x1", "x2", "x4", "x8", "x16"]
         .iter()
@@ -19,13 +30,15 @@ fn main() {
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
-    for preset in Preset::ALL {
-        let s = spec(preset);
-        let mut cycles = Vec::new();
-        for &n in &CORE_COUNTS {
-            let out = run_verified(&s, GcConfig::with_cores(n));
-            cycles.push(out.stats.total_cycles);
-        }
+    for (pi, preset) in Preset::ALL.into_iter().enumerate() {
+        let cycles: Vec<u64> = (0..CORE_COUNTS.len())
+            .map(|ci| {
+                report.outcomes[pi * CORE_COUNTS.len() + ci]
+                    .0
+                    .stats
+                    .total_cycles
+            })
+            .collect();
         let base = cycles[0] as f64;
         let mut cells = vec![preset.name().to_string(), cycles[0].to_string()];
         for (&c, &n) in cycles.iter().zip(&CORE_COUNTS) {

@@ -6,14 +6,24 @@
 //! parallelism, because each core spends a larger fraction of its time
 //! stalled, so more cores are needed to exhaust the memory bandwidth.
 
-use hwgc_bench::{row, run_verified, spec, sweep_finish, write_csv, CORE_COUNTS};
+use hwgc_bench::{row, sweep_finish, sweep_jobset, write_csv, CORE_COUNTS};
 use hwgc_core::GcConfig;
+use hwgc_jobs::ConfigMatrix;
 use hwgc_memsim::MemConfig;
 use hwgc_workloads::Preset;
 
 fn main() {
     const EXTRA: u32 = 20;
     println!("Figure 6: scaling behavior with +{EXTRA} cycles memory latency\n");
+    let set = ConfigMatrix::new(GcConfig {
+        mem: MemConfig::default().with_extra_latency(EXTRA),
+        ..GcConfig::default()
+    })
+    .presets(Preset::ALL)
+    .cores(CORE_COUNTS)
+    .lower();
+    let report = sweep_jobset("fig6_latency", &set);
+
     let widths = [10, 12, 8, 8, 8, 8, 8];
     let header: Vec<String> = ["app", "1-core cyc", "x1", "x2", "x4", "x8", "x16"]
         .iter()
@@ -22,17 +32,15 @@ fn main() {
     println!("{}", row(&header, &widths));
 
     let mut csv = Vec::new();
-    for preset in Preset::ALL {
-        let s = spec(preset);
-        let mut cycles = Vec::new();
-        for &n in &CORE_COUNTS {
-            let cfg = GcConfig {
-                n_cores: n,
-                mem: MemConfig::default().with_extra_latency(EXTRA),
-                ..GcConfig::default()
-            };
-            cycles.push(run_verified(&s, cfg).stats.total_cycles);
-        }
+    for (pi, preset) in Preset::ALL.into_iter().enumerate() {
+        let cycles: Vec<u64> = (0..CORE_COUNTS.len())
+            .map(|ci| {
+                report.outcomes[pi * CORE_COUNTS.len() + ci]
+                    .0
+                    .stats
+                    .total_cycles
+            })
+            .collect();
         let base = cycles[0] as f64;
         let mut cells = vec![preset.name().to_string(), cycles[0].to_string()];
         for (&c, &n) in cycles.iter().zip(&CORE_COUNTS) {

@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Snapshot;
+use hwgc_jobs::ConfigMatrix;
 use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_sync::event_fingerprint;
 use hwgc_workloads::{Preset, WorkloadSpec};
@@ -67,20 +68,28 @@ fn par_config(cores: usize, extra: u32, backend: MemBackendKind, host_threads: u
 /// window-rich one — parked copy streams are what windows are made of),
 /// and the DRAM model under both page policies, where the engine must
 /// degrade to the plain sparse loop (no `window_ready`) and still match.
-fn backend_axis() -> Vec<(&'static str, MemBackendKind, Vec<u32>)> {
+fn backend_axis() -> Vec<(MemBackendKind, Vec<u32>)> {
     let closed = DramConfig {
         page_policy: PagePolicy::Closed,
         ..DramConfig::preset("80ns").expect("preset exists")
     };
     vec![
-        ("fixed", MemBackendKind::Fixed, vec![0, 20]),
-        (
-            "dram-open",
-            MemBackendKind::Dram(DramConfig::default()),
-            vec![0],
-        ),
-        ("dram-closed", MemBackendKind::Dram(closed), vec![0]),
+        (MemBackendKind::Fixed, vec![0, 20]),
+        (MemBackendKind::Dram(DramConfig::default()), vec![0]),
+        (MemBackendKind::Dram(closed), vec![0]),
     ]
+}
+
+/// Display label of a combo's memory backend (page policy included —
+/// the two DRAM legs differ only there).
+fn backend_name(backend: MemBackendKind) -> &'static str {
+    match backend {
+        MemBackendKind::Fixed => "fixed",
+        MemBackendKind::Dram(d) => match d.page_policy {
+            PagePolicy::Open => "dram-open",
+            PagePolicy::Closed => "dram-closed",
+        },
+    }
 }
 
 fn main() {
@@ -131,19 +140,20 @@ fn main() {
         println!("par_smoke: default engine = {got:?} (as expected)");
     }
 
-    let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
     let core_counts = [1usize, 4, 16];
 
-    // Parity combos are never cached — replaying a recorded result would
-    // defeat the engine-parity differential — but they do report to the
-    // fleet telemetry stream, so a batch run sees this binary's progress.
-    let total = presets.len()
-        * core_counts.len()
-        * backend_axis()
-            .iter()
-            .map(|(_, _, e)| e.len())
-            .sum::<usize>();
-    let session = hwgc_bench::sweep_begin("par_smoke", total);
+    // The parity grid is one declared matrix over the *sparse* config;
+    // the par side of every combo is derived from the job. Combos are
+    // never cached — replaying a recorded result would defeat the
+    // engine-parity differential — but they do report to the fleet
+    // telemetry stream, so a batch run sees this binary's progress.
+    let set = ConfigMatrix::new(sparse_config(1, 0, MemBackendKind::Fixed))
+        .presets([Preset::Compress, Preset::Javac, Preset::Jlisp])
+        .cores(core_counts)
+        .backends(backend_axis())
+        .lower();
+    assert_eq!(set.duplicates(), 0, "parity combos must all be distinct");
+    let session = hwgc_bench::sweep_begin("par_smoke", set.len());
 
     let mut report = String::new();
     let _ = writeln!(
@@ -155,76 +165,76 @@ fn main() {
         "{:>10}  {:>5}  {:>11}  {:>6}  {:>12}  {:>10}  {:>10}",
         "preset", "cores", "backend", "extra", "cycles", "par ms", "sparse ms"
     );
-    for preset in presets {
-        for cores in core_counts {
-            for (backend_name, backend, extras) in backend_axis() {
-                for extra in extras {
-                    let base = WorkloadSpec::new(preset, 42).build();
-                    let snap = Snapshot::capture(&base);
+    for job in set.jobs() {
+        let (preset, cores) = (job.spec.preset, job.cfg.n_cores);
+        let (extra, backend_name) = (job.cfg.mem.extra_latency, backend_name(job.cfg.mem.backend));
+        let base = job.spec.build();
+        let snap = Snapshot::capture(&base);
 
-                    let mut par_heap = base.clone();
-                    let t = Instant::now();
-                    let par = SimCollector::new(par_config(cores, extra, backend, host_threads))
-                        .collect(&mut par_heap);
-                    let par_s = t.elapsed().as_secs_f64();
-                    hwgc_heap::verify_collection(&par_heap, par.free, &snap).unwrap_or_else(|e| {
-                        fail(&format!(
-                            "{}/{cores}c/{backend_name} +{extra}: par run failed verification: {e}",
-                            preset.name()
-                        ))
-                    });
+        let mut par_heap = base.clone();
+        let t = Instant::now();
+        let par = SimCollector::new(GcConfig {
+            engine: Some(EngineKind::Par),
+            host_threads,
+            par_copy_threshold: 1,
+            ..job.cfg
+        })
+        .collect(&mut par_heap);
+        let par_s = t.elapsed().as_secs_f64();
+        hwgc_heap::verify_collection(&par_heap, par.free, &snap).unwrap_or_else(|e| {
+            fail(&format!(
+                "{}/{cores}c/{backend_name} +{extra}: par run failed verification: {e}",
+                preset.name()
+            ))
+        });
 
-                    let mut sparse_heap = base;
-                    let t = Instant::now();
-                    let sparse = SimCollector::new(sparse_config(cores, extra, backend))
-                        .collect(&mut sparse_heap);
-                    let sparse_s = t.elapsed().as_secs_f64();
+        let mut sparse_heap = base;
+        let t = Instant::now();
+        let sparse = SimCollector::new(job.cfg).collect(&mut sparse_heap);
+        let sparse_s = t.elapsed().as_secs_f64();
 
-                    if par.stats != sparse.stats || par.free != sparse.free {
-                        fail(&format!(
-                            "{}/{cores}c/{backend_name} +{extra}: par diverged from sparse \
-                             ({} vs {} total cycles)",
-                            preset.name(),
-                            par.stats.total_cycles,
-                            sparse.stats.total_cycles
-                        ));
-                    }
-                    if par_heap.words() != sparse_heap.words() {
-                        fail(&format!(
-                            "{}/{cores}c/{backend_name} +{extra}: window copies left a \
-                             different heap image",
-                            preset.name()
-                        ));
-                    }
-
-                    session.progress.job(
-                        &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
-                        hwgc_obs::JobOutcome::Miss,
-                        ((par_s + sparse_s) * 1e9) as u64,
-                    );
-
-                    println!(
-                        "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
-                         {:>10.3}",
-                        preset.name(),
-                        par.stats.total_cycles,
-                        par_s * 1e3,
-                        sparse_s * 1e3,
-                    );
-                    let sep = if first { "" } else { ",\n" };
-                    first = false;
-                    let _ = write!(
-                        report,
-                        "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
-                         \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
-                         \"cycles\": {}, \"par_wall_s\": {par_s:.6}, \
-                         \"sparse_wall_s\": {sparse_s:.6}, \"parity\": true}}",
-                        preset.name(),
-                        par.stats.total_cycles,
-                    );
-                }
-            }
+        if par.stats != sparse.stats || par.free != sparse.free {
+            fail(&format!(
+                "{}/{cores}c/{backend_name} +{extra}: par diverged from sparse \
+                 ({} vs {} total cycles)",
+                preset.name(),
+                par.stats.total_cycles,
+                sparse.stats.total_cycles
+            ));
         }
+        if par_heap.words() != sparse_heap.words() {
+            fail(&format!(
+                "{}/{cores}c/{backend_name} +{extra}: window copies left a \
+                 different heap image",
+                preset.name()
+            ));
+        }
+
+        session.progress.job(
+            &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
+            hwgc_obs::JobOutcome::Miss,
+            ((par_s + sparse_s) * 1e9) as u64,
+        );
+
+        println!(
+            "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
+             {:>10.3}",
+            preset.name(),
+            par.stats.total_cycles,
+            par_s * 1e3,
+            sparse_s * 1e3,
+        );
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        let _ = write!(
+            report,
+            "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
+             \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
+             \"cycles\": {}, \"par_wall_s\": {par_s:.6}, \
+             \"sparse_wall_s\": {sparse_s:.6}, \"parity\": true}}",
+            preset.name(),
+            par.stats.total_cycles,
+        );
     }
     report.push_str("\n  ],\n");
 

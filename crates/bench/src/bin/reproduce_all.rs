@@ -71,9 +71,15 @@ fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("target dir").to_path_buf();
     let start = std::time::Instant::now();
-    let outputs = hwgc_check::par_map(&binaries, |_, bin| {
+    // Children inherit the caller's HWGC_CACHE when set; when unset, pin
+    // the sweep default (`rw` on the shared cache path) explicitly so the
+    // whole batch dedupes against later binaries sweeping the same
+    // configurations (`bench_baseline` measures exactly that overlap).
+    let cache_mode = std::env::var("HWGC_CACHE").unwrap_or_else(|_| "rw".to_string());
+    let outputs = hwgc_jobs::par_map(&binaries, |_, bin| {
         let mut cmd = Command::new(dir.join(bin));
         cmd.env("HWGC_TELEMETRY", &telemetry);
+        cmd.env("HWGC_CACHE", &cache_mode);
         if let Some(p) = &ledger {
             cmd.env("HWGC_LEDGER", p);
         }
@@ -147,6 +153,6 @@ fn main() {
         "\nall {} experiments reproduced in {:.1} s ({} jobs); CSVs under target/experiments/",
         binaries.len(),
         start.elapsed().as_secs_f64(),
-        hwgc_check::jobs(),
+        hwgc_jobs::jobs(),
     );
 }

@@ -35,6 +35,7 @@ use std::time::Instant;
 
 use hwgc_core::{EngineKind, GcConfig, SignalTrace, SimCollector};
 use hwgc_heap::Snapshot;
+use hwgc_jobs::ConfigMatrix;
 use hwgc_memsim::{DramConfig, MemBackendKind, MemConfig, PagePolicy};
 use hwgc_workloads::{Preset, WorkloadSpec};
 
@@ -67,20 +68,28 @@ fn naive_config(cores: usize, extra: u32, backend: MemBackendKind) -> GcConfig {
 /// The backend axis of the parity matrix: the fixed model in both
 /// latency regimes, and the DRAM model under both page policies (the
 /// closed-page leg uses the fastest preset so CI wall clock stays flat).
-fn backend_axis() -> Vec<(&'static str, MemBackendKind, Vec<u32>)> {
+fn backend_axis() -> Vec<(MemBackendKind, Vec<u32>)> {
     let closed = DramConfig {
         page_policy: PagePolicy::Closed,
         ..DramConfig::preset("80ns").expect("preset exists")
     };
     vec![
-        ("fixed", MemBackendKind::Fixed, vec![0, 20]),
-        (
-            "dram-open",
-            MemBackendKind::Dram(DramConfig::default()),
-            vec![0],
-        ),
-        ("dram-closed", MemBackendKind::Dram(closed), vec![0]),
+        (MemBackendKind::Fixed, vec![0, 20]),
+        (MemBackendKind::Dram(DramConfig::default()), vec![0]),
+        (MemBackendKind::Dram(closed), vec![0]),
     ]
+}
+
+/// Display label of a combo's memory backend (page policy included —
+/// the two DRAM legs differ only there).
+fn backend_name(backend: MemBackendKind) -> &'static str {
+    match backend {
+        MemBackendKind::Fixed => "fixed",
+        MemBackendKind::Dram(d) => match d.page_policy {
+            PagePolicy::Open => "dram-open",
+            PagePolicy::Closed => "dram-closed",
+        },
+    }
 }
 
 fn main() {
@@ -128,19 +137,20 @@ fn main() {
         println!("sparse_smoke: default backend = {got:?} (as expected)");
     }
 
-    let presets = [Preset::Compress, Preset::Javac, Preset::Jlisp];
     let core_counts = [1usize, 4, 16];
 
-    // Parity combos are never cached — replaying a recorded result would
-    // defeat the engine-parity differential — but they do report to the
-    // fleet telemetry stream, so a batch run sees this binary's progress.
-    let total = presets.len()
-        * core_counts.len()
-        * backend_axis()
-            .iter()
-            .map(|(_, _, e)| e.len())
-            .sum::<usize>();
-    let session = hwgc_bench::sweep_begin("sparse_smoke", total);
+    // The parity grid is one declared matrix over the *sparse* config;
+    // the naive side of every combo is derived from the job. Combos are
+    // never cached — replaying a recorded result would defeat the
+    // engine-parity differential — but they do report to the fleet
+    // telemetry stream, so a batch run sees this binary's progress.
+    let set = ConfigMatrix::new(sparse_config(1, 0, MemBackendKind::Fixed))
+        .presets([Preset::Compress, Preset::Javac, Preset::Jlisp])
+        .cores(core_counts)
+        .backends(backend_axis())
+        .lower();
+    assert_eq!(set.duplicates(), 0, "parity combos must all be distinct");
+    let session = hwgc_bench::sweep_begin("sparse_smoke", set.len());
 
     let mut report = String::new();
     report.push_str("{\n  \"schema\": \"hwgc-sparse-smoke-v1\",\n  \"combos\": [\n");
@@ -149,81 +159,79 @@ fn main() {
         "{:>10}  {:>5}  {:>11}  {:>6}  {:>12}  {:>10}  {:>10}  {:>8}",
         "preset", "cores", "backend", "extra", "cycles", "sparse ms", "naive ms", "speedup"
     );
-    for preset in presets {
-        for cores in core_counts {
-            for (backend_name, backend, extras) in backend_axis() {
-                for extra in extras {
-                    let base = WorkloadSpec::new(preset, 42).build();
-                    let snap = Snapshot::capture(&base);
+    for job in set.jobs() {
+        let (preset, cores) = (job.spec.preset, job.cfg.n_cores);
+        let (extra, backend_name) = (job.cfg.mem.extra_latency, backend_name(job.cfg.mem.backend));
+        let base = job.spec.build();
+        let snap = Snapshot::capture(&base);
 
-                    let mut sparse_heap = base.clone();
-                    let t = Instant::now();
-                    let sparse = SimCollector::new(sparse_config(cores, extra, backend))
-                        .collect(&mut sparse_heap);
-                    let sparse_s = t.elapsed().as_secs_f64();
-                    hwgc_heap::verify_collection(&sparse_heap, sparse.free, &snap).unwrap_or_else(
-                        |e| {
-                            fail(&format!(
-                                "{}/{cores}c/{backend_name} +{extra}: sparse run failed \
-                                 verification: {e}",
-                                preset.name()
-                            ))
-                        },
-                    );
+        let mut sparse_heap = base.clone();
+        let t = Instant::now();
+        let sparse = SimCollector::new(job.cfg).collect(&mut sparse_heap);
+        let sparse_s = t.elapsed().as_secs_f64();
+        hwgc_heap::verify_collection(&sparse_heap, sparse.free, &snap).unwrap_or_else(|e| {
+            fail(&format!(
+                "{}/{cores}c/{backend_name} +{extra}: sparse run failed \
+                 verification: {e}",
+                preset.name()
+            ))
+        });
 
-                    let mut naive_heap = base;
-                    let t = Instant::now();
-                    let naive = SimCollector::new(naive_config(cores, extra, backend))
-                        .collect(&mut naive_heap);
-                    let naive_s = t.elapsed().as_secs_f64();
+        let mut naive_heap = base;
+        let t = Instant::now();
+        let naive = SimCollector::new(GcConfig {
+            engine: Some(EngineKind::Naive),
+            sparse: false,
+            fast_forward: false,
+            ..job.cfg
+        })
+        .collect(&mut naive_heap);
+        let naive_s = t.elapsed().as_secs_f64();
 
-                    if sparse.stats != naive.stats || sparse.free != naive.free {
-                        fail(&format!(
-                            "{}/{cores}c/{backend_name} +{extra}: sparse diverged from naive \
-                             ({} vs {} total cycles)",
-                            preset.name(),
-                            sparse.stats.total_cycles,
-                            naive.stats.total_cycles
-                        ));
-                    }
-                    hwgc_bench::append_ledger(&hwgc_bench::ledger_record(
-                        "sparse_smoke",
-                        preset.name(),
-                        &sparse_config(cores, extra, backend),
-                        &sparse.stats,
-                        None,
-                        None,
-                    ));
-
-                    session.progress.job(
-                        &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
-                        hwgc_obs::JobOutcome::Miss,
-                        ((sparse_s + naive_s) * 1e9) as u64,
-                    );
-
-                    let speedup = naive_s / sparse_s.max(1e-9);
-                    println!(
-                        "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
-                         {:>10.3}  {speedup:>7.2}x",
-                        preset.name(),
-                        sparse.stats.total_cycles,
-                        sparse_s * 1e3,
-                        naive_s * 1e3,
-                    );
-                    let sep = if first { "" } else { ",\n" };
-                    first = false;
-                    let _ = write!(
-                        report,
-                        "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
-                         \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
-                         \"cycles\": {}, \"sparse_wall_s\": {sparse_s:.6}, \
-                         \"naive_wall_s\": {naive_s:.6}, \"speedup\": {speedup:.2}, \"parity\": true}}",
-                        preset.name(),
-                        sparse.stats.total_cycles,
-                    );
-                }
-            }
+        if sparse.stats != naive.stats || sparse.free != naive.free {
+            fail(&format!(
+                "{}/{cores}c/{backend_name} +{extra}: sparse diverged from naive \
+                 ({} vs {} total cycles)",
+                preset.name(),
+                sparse.stats.total_cycles,
+                naive.stats.total_cycles
+            ));
         }
+        hwgc_bench::append_ledger(&hwgc_bench::ledger_record(
+            "sparse_smoke",
+            preset.name(),
+            &job.cfg,
+            &sparse.stats,
+            None,
+            None,
+        ));
+
+        session.progress.job(
+            &format!("{}@{cores}c/{backend_name}+{extra}", preset.name()),
+            hwgc_obs::JobOutcome::Miss,
+            ((sparse_s + naive_s) * 1e9) as u64,
+        );
+
+        let speedup = naive_s / sparse_s.max(1e-9);
+        println!(
+            "{:>10}  {cores:>5}  {backend_name:>11}  {extra:>6}  {:>12}  {:>10.3}  \
+             {:>10.3}  {speedup:>7.2}x",
+            preset.name(),
+            sparse.stats.total_cycles,
+            sparse_s * 1e3,
+            naive_s * 1e3,
+        );
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        let _ = write!(
+            report,
+            "{sep}    {{\"preset\": \"{}\", \"cores\": {cores}, \
+             \"backend\": \"{backend_name}\", \"extra_latency\": {extra}, \
+             \"cycles\": {}, \"sparse_wall_s\": {sparse_s:.6}, \
+             \"naive_wall_s\": {naive_s:.6}, \"speedup\": {speedup:.2}, \"parity\": true}}",
+            preset.name(),
+            sparse.stats.total_cycles,
+        );
     }
     report.push_str("\n  ],\n");
 

@@ -6,21 +6,26 @@
 //! verification, formatting the paper-style tables, and writing CSV files
 //! under `target/experiments/`.
 
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use hwgc_check::{cache_path_from_env, CacheMode, ResultCache};
-use hwgc_core::{EngineKind, GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
+use hwgc_check::{cache_path_from_env, ResultCache};
+use hwgc_core::{GcConfig, GcOutcome, GcStats, SignalTrace, SimCollector, StallReason};
 use hwgc_heap::{verify_collection, Heap, Snapshot};
-use hwgc_memsim::MemBackendKind;
+use hwgc_jobs::ArtifactStore;
 use hwgc_obs::{
     chrome_trace_json, derive_metrics, Fanout, FoldedStacks, HostProfiler, Json, LedgerRecord,
     MetricsRegistry, Recorder, Recording, RunMeta, RunReport, SweepProgress, SweepSummary,
 };
 use hwgc_workloads::{Preset, WorkloadSpec};
+
+// The ledger key builders and the sweep job layer's entry points live in
+// `hwgc-jobs` since the unified sweep layer (PR 10); re-exported here so
+// the experiment binaries keep one import surface.
+pub use hwgc_jobs::{
+    backend_label, engine_label, ledger_config_pairs, ledger_env_pairs, workload_key,
+};
 
 /// The core counts evaluated in the paper (Figures 5/6, Table I).
 pub const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -78,13 +83,6 @@ pub fn spec(preset: Preset) -> WorkloadSpec {
 // Sweep observatory: result cache + fleet telemetry (PR 9)
 // ---------------------------------------------------------------------------
 
-/// The cache identity of a spec-built workload: every field of
-/// [`WorkloadSpec`] that shapes the heap. (`scale` is a multiplier with
-/// an exact decimal rendering for the values the harness uses.)
-pub fn workload_key(spec: &WorkloadSpec) -> String {
-    format!("{}/seed{}/scale{}", spec.preset, spec.seed, spec.scale)
-}
-
 /// One sweep's shared observability state: the content-addressed result
 /// cache and the telemetry reporter.
 pub struct SweepSession {
@@ -123,7 +121,9 @@ pub fn telemetry_path() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-fn binary_name() -> String {
+/// The running experiment binary's name (ledger provenance; never part
+/// of the config hash).
+pub fn binary_name() -> String {
     std::env::args()
         .next()
         .as_deref()
@@ -145,7 +145,9 @@ fn binary_name() -> String {
 /// a sweep must not start over a cache it cannot trust.
 pub fn sweep_begin(name: &str, total: usize) -> &'static SweepSession {
     SWEEP.get_or_init(|| {
-        let mode = CacheMode::from_env();
+        // Sweeps default to `rw` (not the one-off `ro`): resumption and
+        // cross-binary dedupe both need payload records on disk.
+        let mode = hwgc_jobs::sweep_cache_mode();
         let committed = committed_ledger_path();
         let rw = cache_path_from_env();
         let cache = ResultCache::open(mode, &[&committed], Some(&rw))
@@ -168,6 +170,44 @@ pub fn sweep_session() -> &'static SweepSession {
 /// No-op `None` when no job ever ran through the session.
 pub fn sweep_finish() -> Option<SweepSummary> {
     SWEEP.get().map(|s| s.progress.finish())
+}
+
+/// Run a declared [`hwgc_jobs::JobSet`] through the session observatory:
+/// the shared result cache, fleet telemetry, `HWGC_WORKERS` process
+/// fleet sizing and the `HWGC_JOURNAL` resumption journal. Outcomes come
+/// back in job-set order regardless of execution engine, so callers can
+/// rebuild their tables deterministically.
+///
+/// # Panics
+/// Panics on cache/journal integrity violations and on worker-fleet
+/// failures (the journal then holds exactly the completed jobs — rerun
+/// the binary to resume).
+pub fn sweep_jobset(name: &str, set: &hwgc_jobs::JobSet) -> hwgc_jobs::ExecReport {
+    let session = sweep_begin(name, set.len());
+    let journal = hwgc_jobs::journal_path_from_env().map(|p| {
+        let j = hwgc_jobs::Journal::open(&p, name, set)
+            .unwrap_or_else(|e| panic!("resumption journal: {e}"));
+        if j.resumed() > 0 {
+            eprintln!(
+                "[journal] {}: resuming, {} of {} jobs already done",
+                j.path().display(),
+                j.resumed(),
+                set.len()
+            );
+        }
+        j
+    });
+    hwgc_jobs::run_jobset(
+        set,
+        &hwgc_jobs::ExecOptions {
+            binary: binary_name(),
+            cache: &session.cache,
+            progress: Some(&session.progress),
+            workers: hwgc_jobs::workers(),
+            journal: journal.as_ref(),
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name} sweep failed: {e}"))
 }
 
 /// The ledger identity of one cacheable job (outputs empty — the cache
@@ -202,24 +242,21 @@ fn run_cached(workload: &str, cfg: &GcConfig, sim: impl FnOnce() -> GcOutcome) -
     }
 }
 
+/// The typed artifact store every experiment binary writes into
+/// (`HWGC_ARTIFACTS`, default `target/experiments/`).
+pub fn artifacts() -> ArtifactStore {
+    ArtifactStore::open_default()
+}
+
 /// Directory that experiment CSV files are written to.
 pub fn experiments_dir() -> PathBuf {
-    let dir =
-        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
-            .join("experiments");
-    fs::create_dir_all(&dir).expect("create experiments dir");
-    dir
+    artifacts().root().to_path_buf()
 }
 
 /// Write `rows` (already comma-joined) to `target/experiments/<name>.csv`
 /// with the given header, and tell the user where it went.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").unwrap();
-    for row in rows {
-        writeln!(f, "{row}").unwrap();
-    }
+    let path = artifacts().csv(name, header, rows);
     println!("\n[csv] {}", path.display());
 }
 
@@ -522,90 +559,6 @@ pub fn run_hostprof_heap(heap: &mut Heap, cfg: GcConfig, label: &str) -> (GcOutc
 pub fn run_hostprof(spec: &WorkloadSpec, cfg: GcConfig) -> (GcOutcome, HostProfiler) {
     let mut heap = spec.build();
     run_hostprof_heap(&mut heap, cfg, &spec.preset.to_string())
-}
-
-/// Ledger label for the engine a config resolves to.
-pub fn engine_label(cfg: &GcConfig) -> &'static str {
-    match cfg.effective_engine() {
-        EngineKind::Naive => "naive",
-        EngineKind::Sparse => "sparse",
-        EngineKind::Par => "par",
-    }
-}
-
-/// Ledger label for the memory-timing backend.
-pub fn backend_label(cfg: &GcConfig) -> &'static str {
-    match cfg.mem.backend {
-        MemBackendKind::Fixed => "fixed",
-        MemBackendKind::Dram(_) => "dram",
-    }
-}
-
-/// The simulation-relevant config of a run as sorted key/value pairs —
-/// the input to [`LedgerRecord::config_hash`]. Every field of
-/// [`GcConfig`] that can change a simulation outcome appears here; output
-/// paths and profiling toggles deliberately do not, so two records of the
-/// same simulation hash identically whether or not they were profiled.
-pub fn ledger_config_pairs(cfg: &GcConfig) -> Vec<(String, String)> {
-    let kv = |k: &str, v: String| (k.to_string(), v);
-    vec![
-        kv("backend", backend_label(cfg).to_string()),
-        kv("bandwidth", cfg.mem.bandwidth.to_string()),
-        kv("engine", engine_label(cfg).to_string()),
-        kv("extra_latency", cfg.mem.extra_latency.to_string()),
-        kv("fast_forward", cfg.fast_forward.to_string()),
-        kv(
-            "header_cache_entries",
-            cfg.mem.header_cache_entries.to_string(),
-        ),
-        kv(
-            "header_fifo_capacity",
-            cfg.mem.header_fifo_capacity.to_string(),
-        ),
-        kv("host_threads", cfg.host_threads.to_string()),
-        kv("latency", cfg.mem.latency.to_string()),
-        kv("line_split", format!("{:?}", cfg.line_split)),
-        kv("max_cycles", cfg.max_cycles.to_string()),
-        kv("multiport_sb", cfg.multiport_sb.to_string()),
-        kv("n_cores", cfg.n_cores.to_string()),
-        kv("par_copy_threshold", cfg.par_copy_threshold.to_string()),
-        kv(
-            "service_reorder_seed",
-            format!("{:?}", cfg.mem.service_reorder_seed),
-        ),
-        kv("sparse", cfg.sparse.to_string()),
-        kv("test_before_lock", cfg.test_before_lock.to_string()),
-        kv(
-            "tick_permutation_seed",
-            format!("{:?}", cfg.tick_permutation_seed),
-        ),
-    ]
-}
-
-/// `HWGC_*` environment knobs that shape simulation behaviour, captured
-/// for the ledger's provenance field. Output-only knobs (`HWGC_LEDGER`,
-/// `HWGC_HOSTPROF`, `HWGC_UPDATE_GOLDENS`), harness parallelism
-/// (`HWGC_JOBS`) and the observatory's own knobs (`HWGC_CACHE*`,
-/// `HWGC_TELEMETRY`) are excluded — they cannot change a simulation
-/// result, and a cache knob that perturbed the config hash would
-/// invalidate the very cache it configures.
-pub fn ledger_env_pairs() -> Vec<(String, String)> {
-    const EXCLUDE: [&str; 9] = [
-        "HWGC_LEDGER",
-        "HWGC_HOSTPROF",
-        "HWGC_UPDATE_GOLDENS",
-        "HWGC_JOBS",
-        "HWGC_CACHE",
-        "HWGC_CACHE_PATH",
-        "HWGC_CACHE_VERIFY_PCT",
-        "HWGC_CACHE_LEDGER",
-        "HWGC_TELEMETRY",
-    ];
-    let mut pairs: Vec<(String, String)> = std::env::vars()
-        .filter(|(k, _)| k.starts_with("HWGC_") && !EXCLUDE.contains(&k.as_str()))
-        .collect();
-    pairs.sort();
-    pairs
 }
 
 /// Build one [`LedgerRecord`] for a finished run. Deterministic efficacy

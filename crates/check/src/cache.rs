@@ -1,644 +1,8 @@
-//! Content-addressed result cache over the run ledger.
-//!
-//! A sweep job is identified by its ledger key — workload, engine,
-//! backend and the sorted config/env pairs, hashed by
-//! [`hwgc_obs::LedgerRecord::config_hash`]. Before simulating, the
-//! harness consults a [`ResultCache`]; depending on what the cache holds
-//! for the hash and on the [`CacheMode`], the job is satisfied four ways:
-//!
-//! * **miss** — nothing cached: simulate, and in a writable mode append
-//!   a payload-carrying record to the workspace cache file;
-//! * **hit** — a record with a full `result` payload: decode it, re-check
-//!   its digest against the record's `stats_digest` (a corrupt payload is
-//!   an error, never a silent wrong answer) and skip the simulation;
-//! * **digest check** — a payload-less record (the committed
-//!   `BENCH_ledger.jsonl` is digest-only): simulate anyway and hard-fail
-//!   if the fresh digest disagrees with the recorded one — the default
-//!   `ro` mode therefore costs nothing and turns every committed ledger
-//!   line into a regression assertion;
-//! * **verify** — paranoia mode: a seeded fraction of would-be hits is
-//!   re-simulated and the digests compared; a mismatch means the cache
-//!   holds a stale record and the run aborts.
-//!
-//! Bit-exactness contract: for every mode, the `GcOutcome` a caller
-//! receives is digest-identical to what an uncached simulation would
-//! produce (enforced by `tests/cache.rs`). The cache can make a sweep
-//! faster or fail louder — never different.
-//!
-//! Modes come from `HWGC_CACHE` (`off` / `ro` / `rw` / `verify`;
-//! default `ro`); the workspace cache file from `HWGC_CACHE_PATH`; the
-//! verify sampling percentage from `HWGC_CACHE_VERIFY_PCT`.
+//! Re-export shim: the content-addressed result cache moved to
+//! [`hwgc_jobs::cache`] when the sweep job layer took over execution —
+//! the multi-process coordinator needs the cache's lookup/complete
+//! transaction, and layering forbids `hwgc-jobs` depending on this
+//! crate. The module path (`hwgc_check::cache`) and every name it
+//! exported are preserved so existing callers keep compiling.
 
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-use hwgc_core::{GcOutcome, GcStats, StallBreakdown, StallReason};
-use hwgc_memsim::{DramStats, FifoStats, MemStats, PORT_COUNT};
-use hwgc_obs::json::Json;
-use hwgc_obs::{JobOutcome, LedgerRecord, LedgerStore};
-use hwgc_sync::SyncStats;
-
-/// What the cache is allowed to do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum CacheMode {
-    /// Never consult or write the cache.
-    Off,
-    /// Consult committed/provided ledgers; never write. Payload hits skip
-    /// simulation; digest-only records become post-run cross-checks.
-    #[default]
-    Ro,
-    /// `Ro` plus: misses append payload records to the workspace cache.
-    Rw,
-    /// `Rw` plus: a seeded fraction of payload hits is re-simulated and
-    /// digest-compared (stale-cache detector).
-    Verify,
-}
-
-impl CacheMode {
-    /// Parse a `HWGC_CACHE` value.
-    pub fn parse(s: &str) -> Option<CacheMode> {
-        Some(match s.trim().to_ascii_lowercase().as_str() {
-            "off" | "0" | "none" => CacheMode::Off,
-            "ro" | "" => CacheMode::Ro,
-            "rw" => CacheMode::Rw,
-            "verify" => CacheMode::Verify,
-            _ => return None,
-        })
-    }
-
-    /// The mode selected by `HWGC_CACHE` (default [`CacheMode::Ro`];
-    /// unknown values fall back to the default rather than silently
-    /// disabling integrity checks).
-    pub fn from_env() -> CacheMode {
-        match std::env::var("HWGC_CACHE") {
-            Ok(v) => CacheMode::parse(&v).unwrap_or_default(),
-            Err(_) => CacheMode::Ro,
-        }
-    }
-
-    /// True when the mode may consult stored records at all.
-    pub fn reads(self) -> bool {
-        self != CacheMode::Off
-    }
-
-    /// True when misses append to the workspace cache file.
-    pub fn writes(self) -> bool {
-        matches!(self, CacheMode::Rw | CacheMode::Verify)
-    }
-}
-
-/// A cache-layer failure. Every variant is an integrity violation — the
-/// cache never degrades to a wrong answer.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CacheError {
-    /// A stored record's digest disagrees with a fresh simulation of the
-    /// same configuration (stale or corrupt cache/ledger).
-    StaleRecord {
-        config_hash: u64,
-        recorded: u64,
-        fresh: u64,
-        /// True when verify-mode sampling caught it on a payload hit.
-        verified: bool,
-    },
-    /// A payload decoded to stats whose digest disagrees with the
-    /// record's own `stats_digest` field (corrupt payload).
-    CorruptPayload {
-        config_hash: u64,
-        recorded: u64,
-        decoded: u64,
-    },
-    /// A cache source failed to load.
-    Load(String),
-}
-
-impl std::fmt::Display for CacheError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CacheError::StaleRecord {
-                config_hash,
-                recorded,
-                fresh,
-                verified,
-            } => write!(
-                f,
-                "{} for config {config_hash:016x}: ledger records digest \
-                 {recorded:016x}, fresh simulation produced {fresh:016x}",
-                if *verified {
-                    "HWGC_CACHE=verify caught a stale record"
-                } else {
-                    "stats digest mismatch"
-                }
-            ),
-            CacheError::CorruptPayload {
-                config_hash,
-                recorded,
-                decoded,
-            } => write!(
-                f,
-                "corrupt cache payload for config {config_hash:016x}: record \
-                 claims digest {recorded:016x}, payload decodes to {decoded:016x}"
-            ),
-            CacheError::Load(msg) => write!(f, "cache load: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for CacheError {}
-
-/// The content-addressed result cache shared by every job of a sweep.
-/// Thread-safe: `run_cached` may be called concurrently from `par_map`
-/// workers.
-pub struct ResultCache {
-    mode: CacheMode,
-    store: LedgerStore,
-    rw_path: Option<PathBuf>,
-    verify_pct: u64,
-    verify_seed: u64,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    verified: AtomicUsize,
-    digest_checks: AtomicUsize,
-    write_lock: Mutex<()>,
-}
-
-/// Counters accumulated by one [`ResultCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheCounters {
-    pub hits: usize,
-    pub misses: usize,
-    pub verified: usize,
-    pub digest_checks: usize,
-}
-
-impl ResultCache {
-    /// Open a cache in `mode` over the given sources. `ro_sources` are
-    /// consulted read-only (the committed ledger; loaded strictly — a
-    /// corrupt committed ledger is an error, a missing one is empty).
-    /// `rw_path`, used by writable modes, is loaded tolerantly (a line
-    /// torn by a concurrent writer is quarantined) and appended to on
-    /// misses. Conflicting digests between any two sources hard-fail.
-    pub fn open(
-        mode: CacheMode,
-        ro_sources: &[&Path],
-        rw_path: Option<&Path>,
-    ) -> Result<ResultCache, CacheError> {
-        let mut store = LedgerStore::new();
-        if mode.reads() {
-            for src in ro_sources {
-                if src.exists() {
-                    let loaded = LedgerStore::load(src)
-                        .map_err(|e| CacheError::Load(format!("{}: {e}", src.display())))?;
-                    store
-                        .merge(loaded.records().iter().cloned())
-                        .map_err(|e| CacheError::Load(format!("{}: {e}", src.display())))?;
-                }
-            }
-            // The workspace cache (payload-carrying, simulation-skipping)
-            // is consulted only by the writable modes: default `ro` must
-            // never skip a simulation on the say-so of an uncommitted
-            // file.
-            if mode.writes() {
-                if let Some(path) = rw_path {
-                    let (loaded, _report) = LedgerStore::load_tolerant(path)
-                        .map_err(|e| CacheError::Load(format!("{}: {e}", path.display())))?;
-                    store
-                        .merge(loaded.records().iter().cloned())
-                        .map_err(|e| CacheError::Load(format!("{}: {e}", path.display())))?;
-                }
-            }
-        }
-        Ok(ResultCache {
-            mode,
-            store,
-            rw_path: mode
-                .writes()
-                .then(|| rw_path.map(Path::to_path_buf))
-                .flatten(),
-            verify_pct: verify_pct_from_env(),
-            verify_seed: 0x00C0_FFEE,
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            verified: AtomicUsize::new(0),
-            digest_checks: AtomicUsize::new(0),
-            write_lock: Mutex::new(()),
-        })
-    }
-
-    /// An always-miss cache (mode `off`).
-    pub fn disabled() -> ResultCache {
-        ResultCache::open(CacheMode::Off, &[], None).expect("off-mode open cannot fail")
-    }
-
-    /// Override the verify sampling: re-simulate when
-    /// `(config_hash ^ seed) % 100 < pct`.
-    pub fn with_verify_sampling(mut self, pct: u64, seed: u64) -> ResultCache {
-        self.verify_pct = pct.min(100);
-        self.verify_seed = seed;
-        self
-    }
-
-    /// The mode this cache runs in.
-    pub fn mode(&self) -> CacheMode {
-        self.mode
-    }
-
-    /// Number of records loaded from the sources.
-    pub fn records_loaded(&self) -> usize {
-        self.store.len()
-    }
-
-    /// Counters so far.
-    pub fn counters(&self) -> CacheCounters {
-        CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            verified: self.verified.load(Ordering::Relaxed),
-            digest_checks: self.digest_checks.load(Ordering::Relaxed),
-        }
-    }
-
-    fn selected_for_verify(&self, config_hash: u64) -> bool {
-        self.verify_pct >= 100 || (config_hash ^ self.verify_seed) % 100 < self.verify_pct
-    }
-
-    /// Satisfy one job. `key` is the job's ledger identity (outputs and
-    /// host fields ignored); `sim` runs the real simulation. Returns the
-    /// outcome — digest-identical to `sim()`'s in every mode — and how it
-    /// was obtained. Errors are integrity violations only.
-    pub fn run_cached<F>(
-        &self,
-        key: &LedgerRecord,
-        sim: F,
-    ) -> Result<(GcOutcome, JobOutcome), CacheError>
-    where
-        F: FnOnce() -> GcOutcome,
-    {
-        if !self.mode.reads() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok((sim(), JobOutcome::Miss));
-        }
-        let hash = key.config_hash();
-        let cached = self
-            .store
-            .get(hash)
-            .map(|rec| (rec.stats_digest, rec.result.as_ref().map(outcome_from_json)));
-        match cached {
-            None => {
-                let outcome = sim();
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.append(key, &outcome);
-                Ok((outcome, JobOutcome::Miss))
-            }
-            Some((recorded, Some(payload))) => {
-                let decoded = payload.map_err(|e| {
-                    CacheError::Load(format!("config {hash:016x}: bad payload: {e}"))
-                })?;
-                let decoded_digest = decoded.stats.digest();
-                if decoded_digest != recorded {
-                    return Err(CacheError::CorruptPayload {
-                        config_hash: hash,
-                        recorded,
-                        decoded: decoded_digest,
-                    });
-                }
-                if self.mode == CacheMode::Verify && self.selected_for_verify(hash) {
-                    let fresh = sim();
-                    let fresh_digest = fresh.stats.digest();
-                    if fresh_digest != recorded {
-                        return Err(CacheError::StaleRecord {
-                            config_hash: hash,
-                            recorded,
-                            fresh: fresh_digest,
-                            verified: true,
-                        });
-                    }
-                    self.verified.fetch_add(1, Ordering::Relaxed);
-                    return Ok((fresh, JobOutcome::VerifyOk));
-                }
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok((decoded, JobOutcome::Hit))
-            }
-            Some((recorded, None)) => {
-                // Digest-only record (committed ledger): simulate and
-                // turn the record into a regression assertion.
-                let outcome = sim();
-                let fresh = outcome.stats.digest();
-                if fresh != recorded {
-                    return Err(CacheError::StaleRecord {
-                        config_hash: hash,
-                        recorded,
-                        fresh,
-                        verified: false,
-                    });
-                }
-                self.digest_checks.fetch_add(1, Ordering::Relaxed);
-                self.append(key, &outcome);
-                Ok((outcome, JobOutcome::DigestCheck))
-            }
-        }
-    }
-
-    /// Append a payload-carrying record for `key` to the workspace cache
-    /// file (writable modes only; single-line `O_APPEND` write, so
-    /// concurrent *processes* interleave whole lines and concurrent
-    /// threads serialize on the lock).
-    fn append(&self, key: &LedgerRecord, outcome: &GcOutcome) {
-        let Some(path) = &self.rw_path else { return };
-        let mut rec = key.clone();
-        rec.stats_digest = outcome.stats.digest();
-        rec.total_cycles = Some(outcome.stats.total_cycles);
-        rec.result = Some(outcome_to_json(outcome));
-        rec.host = Vec::new(); // cache records carry no host noise
-        let _guard = self.write_lock.lock().unwrap();
-        if let Err(e) = rec.append_jsonl(path) {
-            eprintln!("warning: cache append to {} failed: {e}", path.display());
-        }
-    }
-}
-
-fn verify_pct_from_env() -> u64 {
-    std::env::var("HWGC_CACHE_VERIFY_PCT")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(25, |pct| pct.min(100))
-}
-
-/// The workspace cache file: `HWGC_CACHE_PATH`, defaulting to
-/// `target/hwgc-cache.jsonl` so `cargo clean` clears it.
-pub fn cache_path_from_env() -> PathBuf {
-    std::env::var_os("HWGC_CACHE_PATH")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target/hwgc-cache.jsonl"))
-}
-
-// ---------------------------------------------------------------------
-// GcStats / GcOutcome <-> Json: the payload codec. Lives here (not in
-// hwgc-obs) because obs deliberately has no dependency on hwgc-core.
-// Round-trip is exact — every field is an integer — so the decoded
-// stats' `digest()` equals the original's.
-// ---------------------------------------------------------------------
-
-fn u64s(values: &[u64]) -> Json {
-    Json::Arr(values.iter().map(|&v| Json::Int(i128::from(v))).collect())
-}
-
-fn u64s_back(j: &Json, what: &str) -> Result<Vec<u64>, String> {
-    match j {
-        Json::Arr(items) => items
-            .iter()
-            .map(|v| {
-                v.as_int()
-                    .and_then(|i| u64::try_from(i).ok())
-                    .ok_or_else(|| format!("`{what}` holds a non-u64"))
-            })
-            .collect(),
-        _ => Err(format!("`{what}` is not an array")),
-    }
-}
-
-fn breakdown_to_json(b: &StallBreakdown) -> Json {
-    // One entry per StallReason, in bus-index order.
-    u64s(&StallReason::ALL.map(|r| b.get(r)))
-}
-
-fn breakdown_from_json(j: &Json, what: &str) -> Result<StallBreakdown, String> {
-    let values = u64s_back(j, what)?;
-    if values.len() != StallReason::COUNT {
-        return Err(format!(
-            "`{what}` has {} entries, expected {}",
-            values.len(),
-            StallReason::COUNT
-        ));
-    }
-    let mut b = StallBreakdown::default();
-    for (reason, &n) in StallReason::ALL.iter().zip(&values) {
-        b.record_n(*reason, n);
-    }
-    Ok(b)
-}
-
-/// Serialize full [`GcStats`] (payload half of a cache record).
-pub fn stats_to_json(s: &GcStats) -> Json {
-    let mut fields = vec![
-        (
-            "total_cycles".to_string(),
-            Json::Int(i128::from(s.total_cycles)),
-        ),
-        (
-            "empty_worklist_cycles".to_string(),
-            Json::Int(i128::from(s.empty_worklist_cycles)),
-        ),
-        ("stall".to_string(), breakdown_to_json(&s.stall)),
-        (
-            "per_core".to_string(),
-            Json::Arr(s.per_core.iter().map(breakdown_to_json).collect()),
-        ),
-        (
-            "objects_copied".to_string(),
-            Json::Int(i128::from(s.objects_copied)),
-        ),
-        (
-            "words_copied".to_string(),
-            Json::Int(i128::from(s.words_copied)),
-        ),
-        (
-            "pointers_visited".to_string(),
-            Json::Int(i128::from(s.pointers_visited)),
-        ),
-        (
-            "chunks_claimed".to_string(),
-            Json::Int(i128::from(s.chunks_claimed)),
-        ),
-        (
-            "roots_processed".to_string(),
-            Json::Int(i128::from(s.roots_processed)),
-        ),
-        (
-            "root_phase_cycles".to_string(),
-            Json::Int(i128::from(s.root_phase_cycles)),
-        ),
-        (
-            "fifo".to_string(),
-            u64s(&[
-                s.fifo.pushes,
-                s.fifo.overflows,
-                s.fifo.hits,
-                s.fifo.misses,
-                s.fifo.max_occupancy as u64,
-            ]),
-        ),
-        (
-            "mem".to_string(),
-            Json::Obj({
-                let mut mem = vec![
-                    ("issued".to_string(), u64s(&s.mem.issued)),
-                    (
-                        "comparator_blocked_cycles".to_string(),
-                        Json::Int(i128::from(s.mem.comparator_blocked_cycles)),
-                    ),
-                    (
-                        "header_cache_hits".to_string(),
-                        Json::Int(i128::from(s.mem.header_cache_hits)),
-                    ),
-                    (
-                        "header_cache_misses".to_string(),
-                        Json::Int(i128::from(s.mem.header_cache_misses)),
-                    ),
-                    (
-                        "queue_occupancy_sum".to_string(),
-                        Json::Int(i128::from(s.mem.queue_occupancy_sum)),
-                    ),
-                    (
-                        "queue_busy_cycles".to_string(),
-                        Json::Int(i128::from(s.mem.queue_busy_cycles)),
-                    ),
-                    ("cycles".to_string(), Json::Int(i128::from(s.mem.cycles))),
-                ];
-                if let Some(d) = &s.mem.dram {
-                    mem.push((
-                        "dram".to_string(),
-                        Json::Obj(vec![
-                            ("row_hits".to_string(), Json::Int(i128::from(d.row_hits))),
-                            (
-                                "row_empties".to_string(),
-                                Json::Int(i128::from(d.row_empties)),
-                            ),
-                            (
-                                "row_conflicts".to_string(),
-                                Json::Int(i128::from(d.row_conflicts)),
-                            ),
-                            ("bank_accesses".to_string(), u64s(&d.bank_accesses)),
-                            ("bank_busy_cycles".to_string(), u64s(&d.bank_busy_cycles)),
-                        ]),
-                    ));
-                }
-                mem
-            }),
-        ),
-        (
-            "sync".to_string(),
-            Json::Obj(vec![
-                ("acquisitions".to_string(), u64s(&s.sync.acquisitions)),
-                ("failed_attempts".to_string(), u64s(&s.sync.failed_attempts)),
-            ]),
-        ),
-    ];
-    fields.sort_by(|a, b| a.0.cmp(&b.0));
-    Json::Obj(fields)
-}
-
-fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
-    j.get(key)
-        .and_then(Json::as_int)
-        .and_then(|i| u64::try_from(i).ok())
-        .ok_or_else(|| format!("missing u64 field `{key}`"))
-}
-
-/// Decode [`stats_to_json`] output. Exact inverse: the decoded stats'
-/// digest equals the encoded stats'.
-pub fn stats_from_json(j: &Json) -> Result<GcStats, String> {
-    let fifo_raw = u64s_back(j.get("fifo").ok_or("missing `fifo`")?, "fifo")?;
-    if fifo_raw.len() != 5 {
-        return Err(format!("`fifo` has {} entries, expected 5", fifo_raw.len()));
-    }
-    let mem_j = j.get("mem").ok_or("missing `mem`")?;
-    let issued_raw = u64s_back(
-        mem_j.get("issued").ok_or("missing `mem.issued`")?,
-        "mem.issued",
-    )?;
-    let issued: [u64; PORT_COUNT] = issued_raw
-        .try_into()
-        .map_err(|_| format!("`mem.issued` is not {PORT_COUNT} entries"))?;
-    let dram = match mem_j.get("dram") {
-        Some(d) => Some(DramStats {
-            row_hits: req_u64(d, "row_hits")?,
-            row_empties: req_u64(d, "row_empties")?,
-            row_conflicts: req_u64(d, "row_conflicts")?,
-            bank_accesses: u64s_back(
-                d.get("bank_accesses")
-                    .ok_or("missing `dram.bank_accesses`")?,
-                "dram.bank_accesses",
-            )?,
-            bank_busy_cycles: u64s_back(
-                d.get("bank_busy_cycles")
-                    .ok_or("missing `dram.bank_busy_cycles`")?,
-                "dram.bank_busy_cycles",
-            )?,
-        }),
-        None => None,
-    };
-    let sync_j = j.get("sync").ok_or("missing `sync`")?;
-    let arr3 = |key: &str| -> Result<[u64; 3], String> {
-        u64s_back(
-            sync_j
-                .get(key)
-                .ok_or_else(|| format!("missing `sync.{key}`"))?,
-            key,
-        )?
-        .try_into()
-        .map_err(|_| format!("`sync.{key}` is not 3 entries"))
-    };
-    let per_core = match j.get("per_core") {
-        Some(Json::Arr(cores)) => cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| breakdown_from_json(c, &format!("per_core[{i}]")))
-            .collect::<Result<Vec<_>, _>>()?,
-        _ => return Err("missing array field `per_core`".to_string()),
-    };
-    Ok(GcStats {
-        total_cycles: req_u64(j, "total_cycles")?,
-        empty_worklist_cycles: req_u64(j, "empty_worklist_cycles")?,
-        stall: breakdown_from_json(j.get("stall").ok_or("missing `stall`")?, "stall")?,
-        per_core,
-        objects_copied: req_u64(j, "objects_copied")?,
-        words_copied: req_u64(j, "words_copied")?,
-        pointers_visited: req_u64(j, "pointers_visited")?,
-        chunks_claimed: req_u64(j, "chunks_claimed")?,
-        roots_processed: req_u64(j, "roots_processed")?,
-        root_phase_cycles: req_u64(j, "root_phase_cycles")?,
-        fifo: FifoStats {
-            pushes: fifo_raw[0],
-            overflows: fifo_raw[1],
-            hits: fifo_raw[2],
-            misses: fifo_raw[3],
-            max_occupancy: usize::try_from(fifo_raw[4]).map_err(|_| "fifo occupancy overflow")?,
-        },
-        mem: MemStats {
-            issued,
-            comparator_blocked_cycles: req_u64(mem_j, "comparator_blocked_cycles")?,
-            header_cache_hits: req_u64(mem_j, "header_cache_hits")?,
-            header_cache_misses: req_u64(mem_j, "header_cache_misses")?,
-            queue_occupancy_sum: req_u64(mem_j, "queue_occupancy_sum")?,
-            queue_busy_cycles: req_u64(mem_j, "queue_busy_cycles")?,
-            cycles: req_u64(mem_j, "cycles")?,
-            dram,
-        },
-        sync: SyncStats {
-            acquisitions: arr3("acquisitions")?,
-            failed_attempts: arr3("failed_attempts")?,
-        },
-    })
-}
-
-/// Serialize a full [`GcOutcome`] (the cache payload).
-pub fn outcome_to_json(o: &GcOutcome) -> Json {
-    Json::Obj(vec![
-        ("free".to_string(), Json::Int(i128::from(o.free))),
-        ("stats".to_string(), stats_to_json(&o.stats)),
-    ])
-}
-
-/// Decode [`outcome_to_json`] output.
-pub fn outcome_from_json(j: &Json) -> Result<GcOutcome, String> {
-    let free = j
-        .get("free")
-        .and_then(Json::as_int)
-        .and_then(|i| u32::try_from(i).ok())
-        .ok_or("missing u32 field `free`")?;
-    Ok(GcOutcome {
-        free,
-        stats: stats_from_json(j.get("stats").ok_or("missing `stats`")?)?,
-    })
-}
+pub use hwgc_jobs::cache::*;

@@ -1,235 +1,6 @@
-//! Scoped-thread work pool for the harness: sweep combinations, oracle
-//! configurations and experiment rows are independent simulations (each
-//! owns its heap and engine), so they fan out across `std::thread::scope`
-//! workers — no external dependency, no unsafe.
-//!
-//! Parallelism is controlled by the `HWGC_JOBS` environment variable:
-//!
-//! * unset, `0`, or unparseable → the machine's available parallelism,
-//! * `1` → serial execution on the calling thread (deterministic
-//!   debugging order),
-//! * `N ≥ 2` → that many workers.
-//!
-//! Results are always collected in input order, regardless of completion
-//! order, so every caller is deterministic modulo wall-clock.
+//! Re-export shim: the scoped-thread work pool moved to
+//! [`hwgc_jobs::par`] when the sweep job layer grew a multi-process
+//! executor on top of it. The module path (`hwgc_check::par`) and every
+//! name it exported are preserved so existing callers keep compiling.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
-/// The worker count requested by `HWGC_JOBS` (see the module docs for the
-/// exact unset/zero/garbage semantics).
-pub fn jobs() -> usize {
-    jobs_from(std::env::var("HWGC_JOBS").ok().as_deref())
-}
-
-/// [`jobs`] on an explicit value — separable for tests, since the process
-/// environment is shared mutable state.
-pub fn jobs_from(var: Option<&str>) -> usize {
-    match var.and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        // 0 or garbage falls through to the default, like unset.
-        _ => default_parallelism(),
-    }
-}
-
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Apply `f` to every item, using up to [`jobs`] scoped worker threads,
-/// and return the results in input order. `f` receives the item index and
-/// the item. With one worker (or one item) everything runs inline on the
-/// calling thread. A panic in any worker propagates to the caller with
-/// its original payload once the scope joins.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let n = items.len();
-    let workers = jobs().min(n);
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
-
-/// Host-time telemetry of one [`par_map_profiled`] call, for the
-/// harness's hostprof section. Everything here is wall-clock or
-/// machine-dependent; it must never enter simulation artifacts.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ParMapStats {
-    /// Items processed.
-    pub jobs: u64,
-    /// Worker threads used (1 = inline on the caller).
-    pub workers: u64,
-    /// Wall time of the whole call, scatter to gather.
-    pub wall_ns: u64,
-    /// Sum over items of the delay between call start and the item's
-    /// pickup — the queue-wait integral (high values with low
-    /// `busy_ns` mean the pool is starved, not oversubscribed).
-    pub queue_wait_ns_total: u64,
-    /// Sum over items of their processing time (worker occupancy; with
-    /// `wall_ns * workers` this gives pool utilization).
-    pub busy_ns: u64,
-}
-
-/// [`par_map`] with host-time telemetry: identical results and ordering,
-/// plus a [`ParMapStats`] describing queue wait and worker occupancy.
-pub fn par_map_profiled<T, R, F>(items: &[T], f: F) -> (Vec<R>, ParMapStats)
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let n = items.len();
-    let workers = jobs().min(n);
-    let start = Instant::now();
-    if workers <= 1 {
-        let mut busy = 0u64;
-        let out = items
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let t0 = Instant::now();
-                let r = f(i, t);
-                busy += t0.elapsed().as_nanos() as u64;
-                r
-            })
-            .collect();
-        let stats = ParMapStats {
-            jobs: n as u64,
-            workers: 1,
-            wall_ns: start.elapsed().as_nanos() as u64,
-            queue_wait_ns_total: 0,
-            busy_ns: busy,
-        };
-        return (out, stats);
-    }
-    let next = AtomicUsize::new(0);
-    let queue_wait = AtomicU64::new(0);
-    let busy = AtomicU64::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                queue_wait.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                let t0 = Instant::now();
-                let r = f(i, &items[i]);
-                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    let stats = ParMapStats {
-        jobs: n as u64,
-        workers: workers as u64,
-        wall_ns: start.elapsed().as_nanos() as u64,
-        queue_wait_ns_total: queue_wait.load(Ordering::Relaxed),
-        busy_ns: busy.load(Ordering::Relaxed),
-    };
-    let out = slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect();
-    (out, stats)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn jobs_from_documents_every_input_class() {
-        let default = default_parallelism();
-        assert!(default >= 1);
-        // Unset → default.
-        assert_eq!(jobs_from(None), default);
-        // Zero → default (a zero-worker pool is meaningless).
-        assert_eq!(jobs_from(Some("0")), default);
-        // Garbage → default.
-        assert_eq!(jobs_from(Some("lots")), default);
-        assert_eq!(jobs_from(Some("")), default);
-        assert_eq!(jobs_from(Some("-3")), default);
-        assert_eq!(jobs_from(Some("2.5")), default);
-        // Explicit counts are honored, including serial mode.
-        assert_eq!(jobs_from(Some("1")), 1);
-        assert_eq!(jobs_from(Some("7")), 7);
-        assert_eq!(jobs_from(Some(" 4 ")), 4, "whitespace is trimmed");
-    }
-
-    #[test]
-    fn par_map_preserves_input_order() {
-        let items: Vec<u64> = (0..257).collect();
-        let out = par_map(&items, |i, &x| {
-            assert_eq!(i as u64, x);
-            x * x
-        });
-        assert_eq!(out.len(), items.len());
-        for (i, &r) in out.iter().enumerate() {
-            assert_eq!(r, (i * i) as u64);
-        }
-    }
-
-    #[test]
-    fn par_map_empty_and_singleton() {
-        let none: Vec<u32> = par_map(&[], |_, &x: &u32| x);
-        assert!(none.is_empty());
-        assert_eq!(par_map(&[9u32], |i, &x| (i, x)), vec![(0, 9)]);
-    }
-
-    #[test]
-    fn par_map_profiled_matches_par_map() {
-        let items: Vec<u64> = (0..64).collect();
-        let plain = par_map(&items, |_, &x| x * 3);
-        let (profiled, stats) = par_map_profiled(&items, |_, &x| x * 3);
-        assert_eq!(plain, profiled);
-        assert_eq!(stats.jobs, 64);
-        assert!(stats.workers >= 1);
-        // Wall time covers the whole call; busy time is per-item work.
-        assert!(stats.wall_ns > 0);
-    }
-
-    #[test]
-    fn par_map_propagates_worker_panics() {
-        let items: Vec<usize> = (0..64).collect();
-        let result = std::panic::catch_unwind(|| {
-            par_map(&items, |_, &x| {
-                assert!(x != 13, "combo 13 diverged");
-                x
-            })
-        });
-        assert!(result.is_err(), "worker panic must reach the caller");
-    }
-}
+pub use hwgc_jobs::par::*;

@@ -33,7 +33,7 @@
 //!
 //! Mutator accesses are charged fixed costs (the main processor has its
 //! own caches and port into the memory system; we model the latency, not
-//! the bandwidth interference — see DESIGN.md §15).
+//! the bandwidth interference — see DESIGN.md §16).
 
 use hwgc_heap::header::Header;
 use hwgc_heap::{Addr, Color, Heap, NULL};

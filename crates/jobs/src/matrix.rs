@@ -1,0 +1,297 @@
+//! Declarative sweep enumeration: a [`ConfigMatrix`] is an axis product
+//! (presets × seeds × scales × core counts × memory backends × extra
+//! latencies) over a pinned base [`GcConfig`], optionally filtered; it
+//! lowers to a [`JobSet`] — the canonical, order-stable, deduplicated
+//! list of [`SimJob`]s an executor runs.
+//!
+//! Canonical form: lowering preserves the axis nesting order (preset
+//! outermost, extra latency innermost — the order every hand-rolled
+//! sweep loop used), and drops any job whose ledger `config_hash`
+//! already appeared. First occurrence wins, so a job set's *sequence*
+//! matches what the old per-binary loops produced, while its *identity*
+//! — [`JobSet::digest`], an order-insensitive hash over the sorted
+//! config hashes — is stable under axis reordering (proptested in
+//! `tests/jobset.rs`).
+
+use hwgc_core::GcConfig;
+use hwgc_memsim::{MemBackendKind, MemConfig};
+use hwgc_workloads::{Preset, WorkloadSpec};
+
+use crate::job::SimJob;
+
+/// Axis product + pins + filters; see the module docs.
+pub struct ConfigMatrix {
+    presets: Vec<Preset>,
+    seeds: Vec<u64>,
+    scales: Vec<f64>,
+    cores: Vec<usize>,
+    /// Memory-backend axis: each entry is a backend plus the extra
+    /// latencies to sweep under it (the Figure 6 knob is per-backend —
+    /// `fixed` sweeps +0/+20 while the DRAM backends pin +0).
+    backends: Vec<(MemBackendKind, Vec<u32>)>,
+    base: GcConfig,
+    #[allow(clippy::type_complexity)]
+    filters: Vec<Box<dyn Fn(&SimJob) -> bool>>,
+}
+
+impl ConfigMatrix {
+    /// A single-point matrix over `base`: one preset-less job per axis
+    /// value added later. Every axis defaults to the base config's own
+    /// value, so only the swept dimensions need declaring.
+    pub fn new(base: GcConfig) -> ConfigMatrix {
+        ConfigMatrix {
+            presets: Vec::new(),
+            seeds: vec![42],
+            scales: vec![1.0],
+            cores: vec![base.n_cores],
+            backends: vec![(base.mem.backend, vec![base.mem.extra_latency])],
+            base,
+            filters: Vec::new(),
+        }
+    }
+
+    /// The workload presets to sweep (required — an empty matrix lowers
+    /// to an empty job set).
+    pub fn presets(mut self, presets: impl IntoIterator<Item = Preset>) -> ConfigMatrix {
+        self.presets = presets.into_iter().collect();
+        self
+    }
+
+    /// Workload seeds (default `[42]`, the harness's fixed seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> ConfigMatrix {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Workload scale multipliers (default `[1.0]`).
+    pub fn scales(mut self, scales: impl IntoIterator<Item = f64>) -> ConfigMatrix {
+        self.scales = scales.into_iter().collect();
+        self
+    }
+
+    /// Core counts (default: the base config's).
+    pub fn cores(mut self, cores: impl IntoIterator<Item = usize>) -> ConfigMatrix {
+        self.cores = cores.into_iter().collect();
+        self
+    }
+
+    /// Memory-backend axis with per-backend extra-latency sweeps
+    /// (default: the base config's backend at its own extra latency).
+    pub fn backends(
+        mut self,
+        backends: impl IntoIterator<Item = (MemBackendKind, Vec<u32>)>,
+    ) -> ConfigMatrix {
+        self.backends = backends.into_iter().collect();
+        self
+    }
+
+    /// Keep only jobs the predicate accepts (applied before dedupe).
+    pub fn filter(mut self, pred: impl Fn(&SimJob) -> bool + 'static) -> ConfigMatrix {
+        self.filters.push(Box::new(pred));
+        self
+    }
+
+    /// Lower to the canonical deduplicated [`JobSet`].
+    pub fn lower(&self) -> JobSet {
+        let mut jobs = Vec::new();
+        for &preset in &self.presets {
+            for &seed in &self.seeds {
+                for &scale in &self.scales {
+                    for &n_cores in &self.cores {
+                        for (backend, extras) in &self.backends {
+                            for &extra_latency in extras {
+                                let job = SimJob {
+                                    spec: WorkloadSpec {
+                                        preset,
+                                        seed,
+                                        scale,
+                                    },
+                                    cfg: GcConfig {
+                                        n_cores,
+                                        mem: MemConfig {
+                                            backend: *backend,
+                                            extra_latency,
+                                            ..self.base.mem
+                                        },
+                                        ..self.base
+                                    },
+                                };
+                                if self.filters.iter().all(|f| f(&job)) {
+                                    jobs.push(job);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        JobSet::from_jobs(jobs)
+    }
+}
+
+/// The canonical, order-stable, content-deduplicated job list. See the
+/// module docs for the canonical-form guarantees.
+#[derive(Debug, Clone)]
+pub struct JobSet {
+    jobs: Vec<SimJob>,
+    hashes: Vec<u64>,
+    duplicates: usize,
+}
+
+impl JobSet {
+    /// Dedupe `jobs` by ledger `config_hash`, first occurrence winning.
+    pub fn from_jobs(jobs: impl IntoIterator<Item = SimJob>) -> JobSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept = Vec::new();
+        let mut hashes = Vec::new();
+        let mut duplicates = 0;
+        for job in jobs {
+            let h = job.config_hash();
+            if seen.insert(h) {
+                kept.push(job);
+                hashes.push(h);
+            } else {
+                duplicates += 1;
+            }
+        }
+        JobSet {
+            jobs: kept,
+            hashes,
+            duplicates,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in canonical (lowering) order.
+    pub fn jobs(&self) -> &[SimJob] {
+        &self.jobs
+    }
+
+    /// Per-job ledger config hashes, parallel to [`JobSet::jobs`].
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Jobs dropped by dedupe during construction.
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// The config hashes in sorted order — the set's order-insensitive
+    /// identity.
+    pub fn canonical_hashes(&self) -> Vec<u64> {
+        let mut hs = self.hashes.clone();
+        hs.sort_unstable();
+        hs
+    }
+
+    /// FNV-1a over the sorted config hashes: one u64 naming the job
+    /// set's *content*, independent of lowering order. The resumption
+    /// journal records it so a journal can never be replayed against a
+    /// different sweep.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for hash in self.canonical_hashes() {
+            for byte in hash.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
+    /// The first `n` jobs as their own set (for partial-sweep probes;
+    /// prefix of the canonical order, so indices line up).
+    pub fn take(&self, n: usize) -> JobSet {
+        JobSet {
+            jobs: self.jobs[..n.min(self.jobs.len())].to_vec(),
+            hashes: self.hashes[..n.min(self.hashes.len())].to_vec(),
+            duplicates: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwgc_memsim::DramConfig;
+
+    #[test]
+    fn lowering_order_matches_the_hand_rolled_loops() {
+        let set = ConfigMatrix::new(GcConfig::default())
+            .presets([Preset::Compress, Preset::Javac])
+            .cores([1, 4])
+            .lower();
+        let labels: Vec<String> = set.jobs().iter().map(SimJob::label).collect();
+        assert_eq!(labels.len(), 4);
+        assert!(labels[0].starts_with("compress/seed42/scale1@1c"));
+        assert!(labels[1].starts_with("compress/seed42/scale1@4c"));
+        assert!(labels[2].starts_with("javac/seed42/scale1@1c"));
+        assert!(labels[3].starts_with("javac/seed42/scale1@4c"));
+    }
+
+    #[test]
+    fn dedupe_drops_repeats_and_keeps_first_occurrence() {
+        let base = GcConfig::default();
+        let job = SimJob {
+            spec: WorkloadSpec::new(Preset::Jlisp, 42),
+            cfg: base,
+        };
+        let set = JobSet::from_jobs([job, job, job]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.duplicates(), 2);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_content_sensitive() {
+        let a = SimJob {
+            spec: WorkloadSpec::new(Preset::Compress, 42),
+            cfg: GcConfig::with_cores(1),
+        };
+        let b = SimJob {
+            spec: WorkloadSpec::new(Preset::Compress, 42),
+            cfg: GcConfig::with_cores(4),
+        };
+        let fwd = JobSet::from_jobs([a, b]);
+        let rev = JobSet::from_jobs([b, a]);
+        assert_eq!(fwd.digest(), rev.digest());
+        assert_ne!(fwd.digest(), JobSet::from_jobs([a]).digest());
+    }
+
+    #[test]
+    fn backend_axis_carries_per_backend_extras() {
+        let set = ConfigMatrix::new(GcConfig::default())
+            .presets([Preset::Compress])
+            .backends([
+                (MemBackendKind::Fixed, vec![0, 20]),
+                (MemBackendKind::Dram(DramConfig::default()), vec![0]),
+            ])
+            .lower();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.jobs()[1].cfg.mem.extra_latency, 20);
+        assert!(matches!(
+            set.jobs()[2].cfg.mem.backend,
+            MemBackendKind::Dram(_)
+        ));
+    }
+
+    #[test]
+    fn filters_prune_before_dedupe() {
+        let set = ConfigMatrix::new(GcConfig::default())
+            .presets([Preset::Compress, Preset::Javac])
+            .cores([1, 4, 16])
+            .filter(|j| j.cfg.n_cores < 16)
+            .lower();
+        assert_eq!(set.len(), 4);
+        assert!(set.jobs().iter().all(|j| j.cfg.n_cores < 16));
+    }
+}

@@ -3,14 +3,17 @@
 //! into periodic stderr progress lines and a machine-readable
 //! [`TELEMETRY_SCHEMA`] JSONL stream.
 //!
-//! The stream carries three line kinds:
+//! The stream carries four line kinds:
 //!
 //! * `start` — sweep label and total job count;
 //! * `job` — one per completed job: label, outcome
 //!   (hit / miss / verify_ok / digest_check), host nanoseconds, and the
 //!   running done/hit/miss counters at completion time;
-//! * `summary` — final counters, hit rate, total host time, and the
-//!   slowest-job watermarks.
+//! * `workers` — fleet gauges from the work-stealing coordinator:
+//!   jobs currently in flight across worker processes, the cumulative
+//!   steal count, and the monotone ETA (see [`SweepProgress::fleet`]);
+//! * `summary` — final counters, hit rate, total host time, steal
+//!   count, and the slowest-job watermarks.
 //!
 //! Everything in the stream except the counters is **host data** (wall
 //! clocks, ETAs) and therefore nondeterministic — the stream is an
@@ -94,6 +97,9 @@ pub struct SweepSummary {
     pub digest_checks: usize,
     /// Total host nanoseconds across jobs.
     pub host_ns: u64,
+    /// Jobs stolen between worker queues (multi-process sweeps only;
+    /// 0 for in-process execution).
+    pub steals: u64,
     /// Slowest jobs, worst first: `(host_ns, label)`.
     pub slowest: Vec<(u64, String)>,
 }
@@ -121,6 +127,14 @@ pub struct SweepProgress {
     verified: AtomicUsize,
     digest_checks: AtomicUsize,
     host_ns: AtomicU64,
+    in_flight: AtomicUsize,
+    steals: AtomicU64,
+    /// Projected finish instant in elapsed-ms, clamped non-increasing
+    /// (`u64::MAX` = no estimate yet). This is what keeps the ETA
+    /// monotone under work-stealing: a queue rebalance can shuffle
+    /// *which* worker runs the tail, never add work, so a later
+    /// projection than the stored one is noise and is discarded.
+    eta_finish_ms: AtomicU64,
     last_stderr_ms: AtomicU64,
     quiet: bool,
     slowest: Mutex<Vec<(u64, String)>>,
@@ -155,6 +169,9 @@ impl SweepProgress {
             verified: AtomicUsize::new(0),
             digest_checks: AtomicUsize::new(0),
             host_ns: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            eta_finish_ms: AtomicU64::new(u64::MAX),
             last_stderr_ms: AtomicU64::new(0),
             quiet,
             slowest: Mutex::new(Vec::new()),
@@ -209,6 +226,73 @@ impl SweepProgress {
         self.maybe_stderr(done);
     }
 
+    /// Update the work-stealing fleet gauges and emit a `workers` line.
+    /// The multi-process coordinator calls this whenever a worker picks
+    /// up or finishes a job and whenever a queue steal happens:
+    /// `in_flight` is the number of jobs executing across workers right
+    /// now, `steals` the cumulative cross-queue steal count. In-process
+    /// sweeps never call it and their streams carry no `workers` lines.
+    pub fn fleet(&self, in_flight: usize, steals: u64) {
+        self.in_flight.store(in_flight, Ordering::Relaxed);
+        self.steals.store(steals, Ordering::Relaxed);
+        let mut fields = vec![
+            (
+                "schema".to_string(),
+                Json::Str(TELEMETRY_SCHEMA.to_string()),
+            ),
+            ("kind".to_string(), Json::Str("workers".to_string())),
+            ("sweep".to_string(), Json::Str(self.sweep.clone())),
+            (
+                "done".to_string(),
+                Json::Int(self.done.load(Ordering::Relaxed) as i128),
+            ),
+            ("in_flight".to_string(), Json::Int(in_flight as i128)),
+            ("steals".to_string(), Json::Int(i128::from(steals))),
+        ];
+        fields.push((
+            "eta_ms".to_string(),
+            self.eta_ms()
+                .map_or(Json::Null, |ms| Json::Int(i128::from(ms))),
+        ));
+        self.emit(Json::Obj(fields));
+    }
+
+    /// Monotone time-to-finish estimate in milliseconds; `None` until
+    /// the first job completes (or for open-ended/finished sweeps).
+    ///
+    /// The raw estimate is mean-per-job × remaining, with each
+    /// in-flight job counted as half done — without that, a steal burst
+    /// (several workers picking up fresh jobs at once) inflates
+    /// "remaining" and the naive ETA jumps backwards. The projected
+    /// *finish instant* is additionally clamped to never move later
+    /// than any previous projection, so the countdown a user watches is
+    /// non-increasing (it bottoms out at 0 when a projection is
+    /// overdue, never resurges).
+    pub fn eta_ms(&self) -> Option<u64> {
+        let done = self.done.load(Ordering::Relaxed);
+        if done == 0 || self.total == 0 || done >= self.total {
+            return None;
+        }
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let remaining = (self.total - done) as f64;
+        let in_flight = (self.in_flight.load(Ordering::Relaxed) as f64).min(remaining);
+        let per_job = now_ms as f64 / done as f64;
+        let raw_finish = now_ms + (per_job * (remaining - 0.5 * in_flight)) as u64;
+        let mut prev = self.eta_finish_ms.load(Ordering::Relaxed);
+        loop {
+            let clamped = raw_finish.min(prev);
+            match self.eta_finish_ms.compare_exchange_weak(
+                prev,
+                clamped,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(clamped.saturating_sub(now_ms)),
+                Err(p) => prev = p,
+            }
+        }
+    }
+
     /// Counters so far (also the shape of the final summary line).
     pub fn snapshot(&self) -> SweepSummary {
         SweepSummary {
@@ -220,6 +304,7 @@ impl SweepProgress {
             verified: self.verified.load(Ordering::Relaxed),
             digest_checks: self.digest_checks.load(Ordering::Relaxed),
             host_ns: self.host_ns.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
             slowest: self.slowest.lock().unwrap().clone(),
         }
     }
@@ -257,6 +342,7 @@ impl SweepProgress {
             ),
             ("hit_rate".to_string(), Json::Float(s.hit_rate())),
             ("host_ns".to_string(), Json::Int(i128::from(s.host_ns))),
+            ("steals".to_string(), Json::Int(i128::from(s.steals))),
             ("slowest".to_string(), slowest),
         ]));
         if !self.quiet {
@@ -302,14 +388,9 @@ impl SweepProgress {
             return; // another worker just printed
         }
         let hits = self.hits.load(Ordering::Relaxed);
-        let eta = if self.total > done && done > 0 {
-            let per_job_ms = now_ms as f64 / done as f64;
-            format!(
-                ", eta {:.0}s",
-                per_job_ms * (self.total - done) as f64 / 1000.0
-            )
-        } else {
-            String::new()
+        let eta = match self.eta_ms() {
+            Some(ms) => format!(", eta {:.0}s", ms as f64 / 1000.0),
+            None => String::new(),
         };
         if self.total == 0 {
             eprintln!("[{}] {done} jobs done ({hits} cached{eta})", self.sweep);
@@ -373,6 +454,19 @@ pub fn validate_telemetry_jsonl(text: &str) -> Result<SweepSummary, String> {
                     .ok_or_else(|| format!("line {n}: job without `host_ns`"))?;
                 totals.host_ns +=
                     u64::try_from(ns).map_err(|_| format!("line {n}: negative `host_ns`"))?;
+            }
+            "workers" => {
+                // Fleet gauges are instantaneous host data; validate the
+                // required fields and keep the high-water steal count.
+                let steals = v
+                    .get("steals")
+                    .and_then(Json::as_int)
+                    .and_then(|i| u64::try_from(i).ok())
+                    .ok_or_else(|| format!("line {n}: workers without `steals`"))?;
+                v.get("in_flight")
+                    .and_then(Json::as_int)
+                    .ok_or_else(|| format!("line {n}: workers without `in_flight`"))?;
+                totals.steals = totals.steals.max(steals);
             }
             "summary" => {
                 // Summaries restate counters; watermarks are aggregated.
@@ -455,6 +549,53 @@ mod tests {
         assert_eq!(s.hits + s.misses, 64);
         assert_eq!(s.hits, 32);
         assert_eq!(s.host_ns, 640);
+    }
+
+    #[test]
+    fn eta_is_monotone_under_stealing_bursts() {
+        let progress = SweepProgress::new("eta", 100, None, true);
+        assert_eq!(progress.eta_ms(), None, "no estimate before the first job");
+        let mut last_eta = u64::MAX;
+        for i in 0..60 {
+            progress.job(&format!("j{i}"), JobOutcome::Miss, 1_000);
+            // A steal burst: several workers pick up fresh jobs at once.
+            // The naive per-job extrapolation would wobble; the clamped
+            // countdown must never resurge.
+            progress.fleet(if i % 7 == 0 { 4 } else { 1 }, i / 7);
+            let eta = progress.eta_ms().expect("estimate after first job");
+            assert!(
+                eta <= last_eta,
+                "job {i}: countdown resurged ({eta} > {last_eta})"
+            );
+            last_eta = eta;
+        }
+        let s = progress.snapshot();
+        assert_eq!(s.steals, 59 / 7);
+    }
+
+    #[test]
+    fn workers_lines_validate_and_aggregate_steals() {
+        let dir = std::env::temp_dir().join("hwgc_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workers.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let progress = SweepProgress::new("fleet", 2, Some(path.as_path()), true);
+        progress.job("a", JobOutcome::Miss, 100);
+        progress.fleet(1, 3);
+        progress.job("b", JobOutcome::Miss, 100);
+        progress.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"workers\""));
+        let totals = validate_telemetry_jsonl(&text).unwrap();
+        assert_eq!(totals.done, 2);
+        assert_eq!(totals.steals, 3);
+        let _ = std::fs::remove_file(&path);
+
+        let err = validate_telemetry_jsonl(
+            "{\"schema\":\"hwgc-sweep-telemetry-v1\",\"kind\":\"workers\"}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("steals"), "{err}");
     }
 
     #[test]
